@@ -1,0 +1,87 @@
+// Experiment E6 (Theorem 5.12): the on-the-fly containment decider's cost
+// as the program and query sizes grow, and the word-automaton track for
+// linear programs compared with the general tree track on the same
+// instances.
+#include <benchmark/benchmark.h>
+
+#include "src/containment/decider.h"
+#include "src/containment/linear.h"
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+void BM_DeciderTcVsPathUnionSize(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs paths = PathQueries(k);
+  ContainmentOptions options;
+  options.track_witness = false;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(tc, "p", paths, options);
+    DATALOG_CHECK(decision.ok());
+    DATALOG_CHECK(!decision->contained);
+    states = decision->stats.states_discovered;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_DeciderTcVsPathUnionSize)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_DeciderVsRuleWidth(benchmark::State& state) {
+  // Wider chain rules blow up the canonical-instance space.
+  int step = static_cast<int>(state.range(0));
+  Program chain = ChainProgram(step);
+  UnionOfCqs top;
+  top.Add(ConjunctiveQuery({Term::Variable("X"), Term::Variable("Y")}, {}));
+  ContainmentOptions options;
+  options.track_witness = false;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(chain, "p", top, options);
+    DATALOG_CHECK(decision.ok());
+    DATALOG_CHECK(decision->contained);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_DeciderVsRuleWidth)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_DeciderNonlinearProgram(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Program nl = NonlinearTransitiveClosureProgram();
+  UnionOfCqs paths = PathQueries(k);
+  ContainmentOptions options;
+  options.track_witness = false;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(nl, "p", paths, options);
+    DATALOG_CHECK(decision.ok());
+    DATALOG_CHECK(!decision->contained);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_DeciderNonlinearProgram)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LinearWordTrack(benchmark::State& state) {
+  // Same instance as BM_DeciderTcVsPathUnionSize, via word automata.
+  int k = static_cast<int>(state.range(0));
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs paths = PathQueries(k);
+  std::size_t explored = 0;
+  for (auto _ : state) {
+    StatusOr<LinearContainmentResult> result =
+        DecideLinearDatalogInUcq(tc, "p", paths);
+    DATALOG_CHECK(result.ok());
+    DATALOG_CHECK(!result->contained);
+    explored = result->pairs_explored;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs_explored"] = static_cast<double>(explored);
+}
+BENCHMARK(BM_LinearWordTrack)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace datalog

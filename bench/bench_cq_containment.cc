@@ -1,0 +1,71 @@
+// Experiment E1 (substrate): conjunctive-query containment mapping search
+// (Theorem 2.2). Chain-into-chain containments scale the NP-complete
+// homomorphism search; the grid case forces backtracking.
+#include <benchmark/benchmark.h>
+
+#include "src/cq/containment.h"
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+// psi = chain of length k; theta = chain of length m >= k: containment
+// mapping from psi to theta exists (collapse is allowed since inner
+// variables are existential... it maps onto a prefix).
+void BM_ChainIntoChain(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery theta = ChainQuery(2 * k);
+  // Drop head to make inner variables flexible: use Boolean versions.
+  ConjunctiveQuery psi_bool(std::vector<Term>{}, ChainQuery(k).body());
+  ConjunctiveQuery theta_bool(std::vector<Term>{}, theta.body());
+  for (auto _ : state) {
+    auto mapping = FindContainmentMapping(psi_bool, theta_bool);
+    DATALOG_CHECK(mapping.has_value());
+    benchmark::DoNotOptimize(mapping);
+  }
+  state.counters["atoms"] = k;
+}
+BENCHMARK(BM_ChainIntoChain)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// A negative case: cycle of odd length into a long even cycle — no
+// containment mapping; the search must exhaust.
+void BM_OddCycleIntoEvenCycle(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));  // odd
+  auto cycle = [](int length, const std::string& prefix) {
+    std::vector<Atom> body;
+    for (int i = 0; i < length; ++i) {
+      body.push_back(
+          Atom("e", {Term::Variable(StrCat(prefix, i)),
+                     Term::Variable(StrCat(prefix, (i + 1) % length))}));
+    }
+    return ConjunctiveQuery({}, body);
+  };
+  ConjunctiveQuery psi = cycle(k, "A");
+  ConjunctiveQuery theta = cycle(2 * k, "B");
+  for (auto _ : state) {
+    auto mapping = FindContainmentMapping(psi, theta);
+    DATALOG_CHECK(!mapping.has_value());
+    benchmark::DoNotOptimize(mapping);
+  }
+  state.counters["atoms"] = k;
+}
+BENCHMARK(BM_OddCycleIntoEvenCycle)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+// UCQ containment (Theorem 2.3): unions of path queries.
+void BM_UcqContainment(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  UnionOfCqs shorter = PathQueries(k);
+  UnionOfCqs longer = PathQueries(2 * k);
+  for (auto _ : state) {
+    bool contained = IsUcqContained(shorter, longer);
+    DATALOG_CHECK(contained);
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["disjuncts"] = k;
+}
+BENCHMARK(BM_UcqContainment)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace datalog

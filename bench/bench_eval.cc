@@ -1,0 +1,86 @@
+// Experiment E13 (paper §1 motivation): recursion elimination pays off at
+// evaluation time. Evaluates Example 1.1's recursive buys1 against its
+// equivalent nonrecursive rewriting on synthetic data, and measures
+// semi-naive vs naive fixpoint evaluation on transitive closure.
+#include <benchmark/benchmark.h>
+
+#include "src/engine/eval.h"
+#include "src/engine/random_db.h"
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+Database BuysDatabase(int people, int items) {
+  Database db;
+  for (int p = 0; p < people; ++p) {
+    if (p % 3 == 0) db.AddFact("trendy", {StrCat("p", p)});
+    for (int i = 0; i < items; ++i) {
+      if ((p + i) % 7 == 0) {
+        db.AddFact("likes", {StrCat("p", p), StrCat("i", i)});
+      }
+    }
+  }
+  return db;
+}
+
+void BM_RecursiveBuys(benchmark::State& state) {
+  Program program = Buys1Program();
+  Database db = BuysDatabase(static_cast<int>(state.range(0)), 40);
+  for (auto _ : state) {
+    StatusOr<Relation> result = EvaluateGoal(program, "buys", db);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RecursiveBuys)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_NonrecursiveBuys(benchmark::State& state) {
+  Program program = Buys1NonrecursiveProgram();
+  Database db = BuysDatabase(static_cast<int>(state.range(0)), 40);
+  for (auto _ : state) {
+    StatusOr<Relation> result = EvaluateGoal(program, "buys", db);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NonrecursiveBuys)->Arg(30)->Arg(60)->Arg(120);
+
+Database LineGraph(int length) {
+  Database db;
+  for (int i = 0; i < length; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  return db;
+}
+
+void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  Database db = LineGraph(static_cast<int>(state.range(0)));
+  EvalOptions options;
+  options.semi_naive = true;
+  for (auto _ : state) {
+    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TransitiveClosureSemiNaive)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransitiveClosureNaive(benchmark::State& state) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  Database db = LineGraph(static_cast<int>(state.range(0)));
+  EvalOptions options;
+  options.semi_naive = false;
+  for (auto _ : state) {
+    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TransitiveClosureNaive)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace datalog

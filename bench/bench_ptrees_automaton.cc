@@ -1,0 +1,63 @@
+// Experiment E4 (Proposition 5.9): the proof-tree automaton A^ptrees is
+// exponential in the program's rule width (variables per rule) but linear
+// in the number of rules. Measured by constructing the explicit automaton
+// for chain programs of growing step width and for programs with a
+// growing number of rules.
+#include <benchmark/benchmark.h>
+
+#include "src/containment/ptrees_automaton.h"
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+void BM_PtreesAutomatonVsRuleWidth(benchmark::State& state) {
+  // ChainProgram(step) has step+2 variables in the recursive rule, so the
+  // alphabet grows like (2*(step+2))^(step+2).
+  int step = static_cast<int>(state.range(0));
+  Program program = ChainProgram(step);
+  std::size_t labels = 0;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StatusOr<PtreesAutomaton> automaton =
+        BuildPtreesAutomaton(program, "p", 50'000'000);
+    DATALOG_CHECK(automaton.ok()) << automaton.status();
+    labels = automaton->alphabet.labels.size();
+    states = automaton->nfta.num_states();
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["alphabet"] = static_cast<double>(labels);
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_PtreesAutomatonVsRuleWidth)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PtreesAutomatonVsRuleCount(benchmark::State& state) {
+  // Many rules of fixed width: p alternates over k distinct EDB
+  // predicates; the automaton grows linearly.
+  int k = static_cast<int>(state.range(0));
+  Program program;
+  for (int i = 0; i < k; ++i) {
+    program.AddRule(Rule(
+        Atom("p", {Term::Variable("X"), Term::Variable("Y")}),
+        {Atom(StrCat("e", i), {Term::Variable("X"), Term::Variable("Z")}),
+         Atom("p", {Term::Variable("Z"), Term::Variable("Y")})}));
+  }
+  program.AddRule(Rule(Atom("p", {Term::Variable("X"), Term::Variable("Y")}),
+                       {Atom("base", {Term::Variable("X"),
+                                      Term::Variable("Y")})}));
+  std::size_t labels = 0;
+  for (auto _ : state) {
+    StatusOr<PtreesAutomaton> automaton =
+        BuildPtreesAutomaton(program, "p", 50'000'000);
+    DATALOG_CHECK(automaton.ok());
+    labels = automaton->alphabet.labels.size();
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["alphabet"] = static_cast<double>(labels);
+}
+BENCHMARK(BM_PtreesAutomatonVsRuleCount)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,54 @@
+// Experiment E5 (Proposition 5.10 / Theorem 5.11): explicit A^θ
+// construction cost and the full explicit-automata containment pipeline,
+// as the query grows. This is the construction whose worst case drives the
+// 2EXPTIME upper bound; the measured state counts show the blowup in the
+// query size.
+#include <benchmark/benchmark.h>
+
+#include "src/containment/theta_automaton.h"
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+void BM_ThetaAutomatonVsQuerySize(benchmark::State& state) {
+  int query_length = static_cast<int>(state.range(0));
+  Program tc = TransitiveClosureProgram("e", "e");
+  ConjunctiveQuery theta = ChainQuery(query_length);
+  StatusOr<PtreesAutomaton> ptrees = BuildPtreesAutomaton(tc, "p");
+  DATALOG_CHECK(ptrees.ok());
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  for (auto _ : state) {
+    StatusOr<ThetaAutomaton> automaton =
+        BuildThetaAutomaton(tc, "p", theta, ptrees->alphabet);
+    DATALOG_CHECK(automaton.ok()) << automaton.status();
+    states = automaton->nfta.num_states();
+    transitions = automaton->nfta.NumTransitions();
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["theta_states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+}
+BENCHMARK(BM_ThetaAutomatonVsQuerySize)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ExplicitContainmentPipeline(benchmark::State& state) {
+  // Theorem 5.11 end to end: TC ⊆ paths(k)? (never; counterexample found).
+  int k = static_cast<int>(state.range(0));
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs paths = PathQueries(k);
+  bool contained = true;
+  for (auto _ : state) {
+    StatusOr<ExplicitContainmentResult> result =
+        DecideContainmentViaExplicitAutomata(tc, "p", paths);
+    DATALOG_CHECK(result.ok()) << result.status();
+    contained = result->contained;
+    benchmark::DoNotOptimize(result);
+  }
+  DATALOG_CHECK(!contained);
+}
+BENCHMARK(BM_ExplicitContainmentPipeline)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace datalog

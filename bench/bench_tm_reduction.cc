@@ -1,0 +1,66 @@
+// Experiment E7 (Theorem 5.15): the §5.3 lower-bound reduction as a
+// workload. Measures (a) the size of the generated instance as n grows —
+// program linear in n, query set linear in n — and (b) the containment
+// decision on micro machines with n = 1 (both verdicts), which is already
+// a heavyweight instance for the decider, as the lower bound predicts.
+#include <benchmark/benchmark.h>
+
+#include "src/containment/decider.h"
+#include "src/tm/tm_encoding.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+void BM_EncodingSize(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TuringMachine tm = BounceAndAcceptMachine();
+  std::size_t rules = 0;
+  std::size_t queries = 0;
+  for (auto _ : state) {
+    StatusOr<TmEncoding> encoding = EncodeLinearTmContainment(tm, n);
+    DATALOG_CHECK(encoding.ok());
+    rules = encoding->program.rules().size();
+    queries = encoding->queries.size();
+    benchmark::DoNotOptimize(encoding);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["queries"] = static_cast<double>(queries);
+}
+BENCHMARK(BM_EncodingSize)->DenseRange(1, 8, 1);
+
+void RunReduction(benchmark::State& state, const TuringMachine& tm,
+                  bool expect_contained) {
+  StatusOr<TmEncoding> encoding = EncodeLinearTmContainment(tm, 1);
+  DATALOG_CHECK(encoding.ok());
+  ContainmentOptions options;
+  options.track_witness = false;
+  options.max_states = 5'000'000;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(
+        encoding->program, encoding->goal, encoding->queries, options);
+    DATALOG_CHECK(decision.ok()) << decision.status();
+    DATALOG_CHECK(decision->contained == expect_contained);
+    states = decision->stats.states_discovered;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["decider_states"] = static_cast<double>(states);
+  state.counters["queries"] = static_cast<double>(encoding->queries.size());
+}
+
+void BM_AcceptingMachineNotContained(benchmark::State& state) {
+  RunReduction(state, ImmediatelyAcceptingMachine(),
+               /*expect_contained=*/false);
+}
+BENCHMARK(BM_AcceptingMachineNotContained)->Unit(benchmark::kMillisecond);
+
+void BM_LoopingMachineContained(benchmark::State& state) {
+  RunReduction(state, LoopsInPlaceMachine(), /*expect_contained=*/true);
+}
+BENCHMARK(BM_LoopingMachineContained)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datalog

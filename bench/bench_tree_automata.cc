@@ -1,0 +1,87 @@
+// Experiment E12 (Propositions 4.5/4.6): tree-automaton emptiness is
+// polynomial; containment is exponential in the worst case (subset
+// construction), mitigated by antichain pruning.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/automata/nfta.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+// Alphabet: two leaves and one binary symbol.
+const std::vector<int> kArity = {0, 0, 2};
+
+Nfta RandomNfta(std::mt19937_64& rng, int states, double density) {
+  Nfta nfta(states, kArity);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> pick(0, states - 1);
+  for (int s = 0; s < states; ++s) {
+    if (coin(rng) < 0.25) nfta.SetFinal(s);
+    if (coin(rng) < 0.6) nfta.AddTransition(0, {}, s);
+    if (coin(rng) < 0.3) nfta.AddTransition(1, {}, s);
+  }
+  int binary = std::max(1, static_cast<int>(density * states * states));
+  for (int i = 0; i < binary; ++i) {
+    nfta.AddTransition(2, {pick(rng), pick(rng)}, pick(rng));
+  }
+  return nfta;
+}
+
+void BM_NftaEmptiness(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  Nfta nfta = RandomNfta(rng, static_cast<int>(state.range(0)), 0.05);
+  for (auto _ : state) {
+    bool empty = nfta.IsEmpty();
+    benchmark::DoNotOptimize(empty);
+  }
+  state.counters["transitions"] = static_cast<double>(nfta.NumTransitions());
+}
+BENCHMARK(BM_NftaEmptiness)->Arg(32)->Arg(128)->Arg(512);
+
+void RunContainment(benchmark::State& state, bool antichain) {
+  std::mt19937_64 rng(5);
+  int n = static_cast<int>(state.range(0));
+  Nfta a = RandomNfta(rng, n, 0.4);
+  Nfta b = RandomNfta(rng, n, 0.4);
+  Nfta::ContainmentOptions options;
+  options.antichain = antichain;
+  std::size_t explored = 0;
+  for (auto _ : state) {
+    auto result = Nfta::Contains(a, b, options);
+    DATALOG_CHECK(result.ok());
+    explored = result->explored;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs_explored"] = static_cast<double>(explored);
+}
+
+void BM_NftaContainmentAntichain(benchmark::State& state) {
+  RunContainment(state, true);
+}
+BENCHMARK(BM_NftaContainmentAntichain)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_NftaContainmentExact(benchmark::State& state) {
+  RunContainment(state, false);
+}
+BENCHMARK(BM_NftaContainmentExact)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_NftaDeterminize(benchmark::State& state) {
+  std::mt19937_64 rng(9);
+  int n = static_cast<int>(state.range(0));
+  Nfta nfta = RandomNfta(rng, n, 0.3);
+  std::size_t det_states = 0;
+  for (auto _ : state) {
+    StatusOr<Nfta> det = nfta.Determinize();
+    DATALOG_CHECK(det.ok());
+    det_states = det->num_states();
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["det_states"] = static_cast<double>(det_states);
+}
+BENCHMARK(BM_NftaDeterminize)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace datalog

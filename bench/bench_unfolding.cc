@@ -1,0 +1,95 @@
+// Experiments E8/E9 (Examples 6.1, 6.2, 6.3, 6.6): nonrecursive programs
+// are exponentially more succinct than unions of conjunctive queries.
+// dist_n unfolds to one CQ with 2^n atoms; word_n (linear nonrecursive)
+// unfolds to 2^n disjuncts of size O(n). These measured blowups are the
+// engine behind the 3EXPTIME lower bound (Theorem 6.4).
+#include <benchmark/benchmark.h>
+
+#include "src/containment/unfold.h"
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+void BM_UnfoldDist(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Program program = DistProgram(n);
+  std::size_t atoms = 0;
+  for (auto _ : state) {
+    StatusOr<UnionOfCqs> ucq = UnfoldNonrecursive(program, DistPredicate(n));
+    DATALOG_CHECK(ucq.ok());
+    atoms = ucq->disjuncts()[0].body().size();
+    benchmark::DoNotOptimize(ucq);
+  }
+  state.counters["program_rules"] =
+      static_cast<double>(program.rules().size());
+  state.counters["cq_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_UnfoldDist)->DenseRange(2, 14, 3);
+
+void BM_UnfoldWord(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Program program = WordProgram(n);
+  std::size_t disjuncts = 0;
+  for (auto _ : state) {
+    StatusOr<UnionOfCqs> ucq = UnfoldNonrecursive(program, WordPredicate(n));
+    DATALOG_CHECK(ucq.ok());
+    disjuncts = ucq->size();
+    benchmark::DoNotOptimize(ucq);
+  }
+  state.counters["program_rules"] =
+      static_cast<double>(program.rules().size());
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_UnfoldWord)->DenseRange(2, 12, 2);
+
+void BM_UnfoldDistLe(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Program program = DistLeProgram(n);
+  std::size_t disjuncts = 0;
+  for (auto _ : state) {
+    StatusOr<UnionOfCqs> ucq =
+        UnfoldNonrecursive(program, DistLePredicate(n));
+    DATALOG_CHECK(ucq.ok());
+    disjuncts = ucq->size();
+    benchmark::DoNotOptimize(ucq);
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_UnfoldDistLe)->DenseRange(1, 7, 2);
+
+void BM_UnfoldEqual(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Program program = EqualProgram(n);
+  std::size_t disjuncts = 0;
+  for (auto _ : state) {
+    StatusOr<UnionOfCqs> ucq =
+        UnfoldNonrecursive(program, EqualPredicate(n));
+    DATALOG_CHECK(ucq.ok());
+    disjuncts = ucq->size();
+    benchmark::DoNotOptimize(ucq);
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_UnfoldEqual)->DenseRange(1, 4, 1);
+
+void BM_EstimateOnly(benchmark::State& state) {
+  // The size estimate is polynomial even where materialization is
+  // astronomically large.
+  int n = static_cast<int>(state.range(0));
+  Program program = DistProgram(n);
+  std::uint64_t atoms = 0;
+  for (auto _ : state) {
+    StatusOr<UnfoldSizeEstimate> estimate =
+        EstimateUnfoldSize(program, DistPredicate(n));
+    DATALOG_CHECK(estimate.ok());
+    atoms = estimate->max_disjunct_atoms;
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["estimated_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_EstimateOnly)->Arg(10)->Arg(20)->Arg(40)->Arg(60);
+
+}  // namespace
+}  // namespace datalog

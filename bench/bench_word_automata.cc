@@ -1,0 +1,84 @@
+// Experiment E11 (Propositions 4.2/4.3): word-automaton emptiness is
+// cheap (graph reachability); containment pays for the subset
+// construction, with antichain pruning as the mitigation.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/automata/nfa.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+Nfa RandomNfa(std::mt19937_64& rng, int states, int symbols,
+              double edge_prob) {
+  Nfa nfa(states, symbols);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  nfa.SetInitial(0);
+  for (int s = 0; s < states; ++s) {
+    if (coin(rng) < 0.2) nfa.SetAccepting(s);
+    for (int a = 0; a < symbols; ++a) {
+      for (int t = 0; t < states; ++t) {
+        if (coin(rng) < edge_prob) nfa.AddTransition(s, a, t);
+      }
+    }
+  }
+  return nfa;
+}
+
+void BM_NfaEmptiness(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  Nfa nfa = RandomNfa(rng, static_cast<int>(state.range(0)), 4, 0.05);
+  for (auto _ : state) {
+    bool empty = nfa.IsEmpty();
+    benchmark::DoNotOptimize(empty);
+  }
+  state.counters["states"] = static_cast<double>(nfa.num_states());
+}
+BENCHMARK(BM_NfaEmptiness)->Arg(64)->Arg(256)->Arg(1024);
+
+void RunContainment(benchmark::State& state, bool antichain) {
+  std::mt19937_64 rng(7);
+  int n = static_cast<int>(state.range(0));
+  Nfa a = RandomNfa(rng, n, 2, 2.0 / n);
+  Nfa b = RandomNfa(rng, n, 2, 2.0 / n);
+  Nfa::ContainmentOptions options;
+  options.antichain = antichain;
+  std::size_t explored = 0;
+  for (auto _ : state) {
+    auto result = Nfa::Contains(a, b, options);
+    DATALOG_CHECK(result.ok());
+    explored = result->explored;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs_explored"] = static_cast<double>(explored);
+}
+
+void BM_NfaContainmentAntichain(benchmark::State& state) {
+  RunContainment(state, true);
+}
+BENCHMARK(BM_NfaContainmentAntichain)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_NfaContainmentExact(benchmark::State& state) {
+  RunContainment(state, false);
+}
+BENCHMARK(BM_NfaContainmentExact)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_NfaDeterminize(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  int n = static_cast<int>(state.range(0));
+  Nfa nfa = RandomNfa(rng, n, 2, 2.5 / n);
+  std::size_t det_states = 0;
+  for (auto _ : state) {
+    StatusOr<Nfa> det = nfa.Determinize();
+    DATALOG_CHECK(det.ok());
+    det_states = det->num_states();
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["det_states"] = static_cast<double>(det_states);
+}
+BENCHMARK(BM_NfaDeterminize)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,75 @@
+// Boundedness explorer: given a Datalog program (file or built-in
+// example), search for an equivalent bounded-depth unfolding — the
+// semi-decision procedure for the boundedness problem discussed in the
+// paper's introduction (full boundedness is undecidable [GMSV93]).
+//
+//   $ ./build/examples/boundedness_explorer                # demo programs
+//   $ ./build/examples/boundedness_explorer FILE GOAL [K]  # your program
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/ast/parser.h"
+#include "src/containment/boundedness.h"
+#include "src/generators/examples.h"
+#include "src/trees/enumerate.h"
+
+namespace {
+
+void Explore(const datalog::Program& program, const std::string& goal,
+             std::size_t max_depth) {
+  using namespace datalog;
+  std::cout << "program:\n" << program.ToString() << "\n";
+  StatusOr<std::optional<std::size_t>> depth =
+      FindBoundedDepth(program, goal, max_depth);
+  if (!depth.ok()) {
+    std::cerr << depth.status() << "\n";
+    return;
+  }
+  if (depth->has_value()) {
+    std::cout << "BOUNDED: equivalent to its depth-" << **depth
+              << " unfolding:\n";
+    EnumerateOptions options;
+    options.max_depth = **depth;
+    UnionOfCqs expansions = BoundedExpansions(program, goal, options);
+    for (const ConjunctiveQuery& cq : expansions.disjuncts()) {
+      std::cout << "  " << goal << cq.ToString() << "\n";
+    }
+  } else {
+    std::cout << "not bounded at any depth <= " << max_depth
+              << " (boundedness is undecidable in general, so this is all "
+                 "the procedure can say)\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace datalog;
+  if (argc >= 3) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    StatusOr<Program> program = ParseProgram(text.str());
+    if (!program.ok()) {
+      std::cerr << program.status() << "\n";
+      return 1;
+    }
+    std::size_t max_depth = argc > 3 ? std::atoi(argv[3]) : 4;
+    Explore(*program, argv[2], max_depth);
+    return 0;
+  }
+
+  std::cout << "=== Example 1.1 Pi_1 (bounded at depth 2) ===\n";
+  Explore(Buys1Program(), "buys", 4);
+  std::cout << "=== Example 1.1 Pi_2 (inherently recursive) ===\n";
+  Explore(Buys2Program(), "buys", 4);
+  std::cout << "=== Transitive closure (unbounded) ===\n";
+  Explore(TransitiveClosureProgram(), "p", 4);
+  return 0;
+}

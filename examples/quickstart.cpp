@@ -1,0 +1,79 @@
+// Quickstart: parse the paper's Example 1.1 programs, decide equivalence
+// to their nonrecursive rewritings, and inspect the counterexample for
+// the inherently recursive one.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "src/ast/parser.h"
+#include "src/containment/equivalence.h"
+#include "src/trees/connectivity.h"
+#include "src/trees/expansion_tree.h"
+
+int main() {
+  using namespace datalog;
+
+  // Π1 from Example 1.1: buys via likes, with a trendy shortcut.
+  StatusOr<Program> buys1 = ParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+  // The nonrecursive program the paper claims is equivalent.
+  StatusOr<Program> buys1_nonrec = ParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), likes(Z, Y).
+  )");
+  // Π2: buys via knows-chains — inherently recursive.
+  StatusOr<Program> buys2 = ParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- knows(X, Z), buys(Z, Y).
+  )");
+  StatusOr<Program> buys2_nonrec = ParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- knows(X, Z), likes(Z, Y).
+  )");
+  if (!buys1.ok() || !buys1_nonrec.ok() || !buys2.ok() ||
+      !buys2_nonrec.ok()) {
+    std::cerr << "parse error\n";
+    return 1;
+  }
+
+  std::cout << "=== Example 1.1, program Pi_1 ===\n"
+            << buys1->ToString() << "\n\n";
+  StatusOr<EquivalenceResult> r1 =
+      DecideRecNonrecEquivalence(*buys1, "buys", *buys1_nonrec, "buys");
+  if (!r1.ok()) {
+    std::cerr << r1.status() << "\n";
+    return 1;
+  }
+  std::cout << "equivalent to its nonrecursive rewriting? "
+            << (r1->equivalent ? "YES" : "NO") << "\n"
+            << "  (forward " << r1->forward_contained << ", backward "
+            << r1->backward_contained << ", rewriting has "
+            << r1->unfolded_disjuncts << " disjuncts)\n\n";
+
+  std::cout << "=== Example 1.1, program Pi_2 ===\n"
+            << buys2->ToString() << "\n\n";
+  StatusOr<EquivalenceResult> r2 =
+      DecideRecNonrecEquivalence(*buys2, "buys", *buys2_nonrec, "buys");
+  if (!r2.ok()) {
+    std::cerr << r2.status() << "\n";
+    return 1;
+  }
+  std::cout << "equivalent to its nonrecursive rewriting? "
+            << (r2->equivalent ? "YES" : "NO") << "\n";
+  if (r2->forward_counterexample.has_value()) {
+    std::cout << "\ncounterexample proof tree (paper §5.1):\n"
+              << r2->forward_counterexample->ToString()
+              << "\nits expansion, as a conjunctive query:\n  "
+              << TreeToCq(*buys2, TreeConnectivity(
+                                      *r2->forward_counterexample)
+                                      .RenameByClass())
+                     .ToString()
+              << "\n\nThis expansion (a two-step knows-chain) is derivable "
+                 "by the recursive\nprogram but covered by no disjunct of "
+                 "the rewriting — Pi_2 is inherently\nrecursive, exactly "
+                 "as the paper states.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Recursion elimination as a query optimization (the paper's §1
+// motivation): check that a recursive program equals a nonrecursive
+// rewriting, then evaluate both on synthetic data and report the speedup.
+//
+//   $ ./build/examples/recursion_elimination [people] [items]
+#include <chrono>
+#include <iostream>
+
+#include "src/containment/equivalence.h"
+#include "src/engine/eval.h"
+#include "src/generators/examples.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace datalog;
+  using Clock = std::chrono::steady_clock;
+
+  int people = argc > 1 ? std::atoi(argv[1]) : 200;
+  int items = argc > 2 ? std::atoi(argv[2]) : 50;
+
+  Program recursive = Buys1Program();
+  Program nonrecursive = Buys1NonrecursiveProgram();
+
+  // Step 1: prove the rewriting is safe (Theorem 6.5 machinery).
+  StatusOr<EquivalenceResult> equivalence =
+      DecideRecNonrecEquivalence(recursive, "buys", nonrecursive, "buys");
+  if (!equivalence.ok()) {
+    std::cerr << equivalence.status() << "\n";
+    return 1;
+  }
+  std::cout << "rewriting verified equivalent: "
+            << (equivalence->equivalent ? "yes" : "NO (aborting)") << "\n";
+  if (!equivalence->equivalent) return 1;
+
+  // Step 2: synthetic shopping data.
+  Database db;
+  for (int p = 0; p < people; ++p) {
+    if (p % 3 == 0) db.AddFact("trendy", {StrCat("p", p)});
+    for (int i = 0; i < items; ++i) {
+      if ((p + i) % 7 == 0) {
+        db.AddFact("likes", {StrCat("p", p), StrCat("i", i)});
+      }
+    }
+  }
+  std::cout << "database: " << db.TotalFacts() << " facts\n";
+
+  // Step 3: evaluate both and compare.
+  auto timed = [&db](const Program& program) {
+    auto start = Clock::now();
+    StatusOr<Relation> result = EvaluateGoal(program, "buys", db);
+    auto elapsed = std::chrono::duration<double, std::milli>(
+        Clock::now() - start);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      std::exit(1);
+    }
+    return std::make_pair(*result, elapsed.count());
+  };
+  auto [rec_result, rec_ms] = timed(recursive);
+  auto [nonrec_result, nonrec_ms] = timed(nonrecursive);
+
+  std::cout << "recursive evaluation:    " << rec_result.size()
+            << " tuples in " << rec_ms << " ms\n"
+            << "nonrecursive evaluation: " << nonrec_result.size()
+            << " tuples in " << nonrec_ms << " ms\n"
+            << "results identical: "
+            << (rec_result == nonrec_result ? "yes" : "NO — BUG") << "\n";
+  if (nonrec_ms > 0) {
+    std::cout << "speedup: " << rec_ms / nonrec_ms << "x\n";
+  }
+  return rec_result == nonrec_result ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// The §5.3 lower-bound reduction, live: encode micro Turing machines as
+// containment instances, decide them, and cross-check the verdict against
+// direct simulation. Demonstrates Theorem 5.15's correspondence
+//   Pi ⊆ Theta  iff  M does not accept.
+//
+//   $ ./build/examples/tm_reduction_demo
+#include <iostream>
+
+#include "src/containment/decider.h"
+#include "src/tm/tm_encoding.h"
+
+namespace {
+
+void Demo(const std::string& name, const datalog::TuringMachine& tm) {
+  using namespace datalog;
+  const int n = 1;  // 1 address bit: configurations of 2 tape cells
+  TmVerdict simulated = SimulateOnEmptyTape(tm, 1 << n);
+  StatusOr<TmEncoding> encoding = EncodeLinearTmContainment(tm, n);
+  if (!encoding.ok()) {
+    std::cerr << encoding.status() << "\n";
+    return;
+  }
+  std::cout << "--- " << name << " ---\n"
+            << "simulator verdict: "
+            << (simulated == TmVerdict::kAccepts ? "accepts"
+                                                 : "does not accept")
+            << "\nencoding: " << encoding->program.rules().size()
+            << " rules, " << encoding->queries.size() << " error queries\n";
+  ContainmentOptions options;
+  options.max_states = 2'000'000;
+  StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(
+      encoding->program, encoding->goal, encoding->queries, options);
+  if (!decision.ok()) {
+    std::cerr << decision.status() << "\n";
+    return;
+  }
+  bool reduction_says_accepts = !decision->contained;
+  std::cout << "containment verdict: Pi "
+            << (decision->contained ? "⊆" : "⊄") << " Theta  =>  machine "
+            << (reduction_says_accepts ? "accepts" : "does not accept")
+            << "\nagreement with simulator: "
+            << ((simulated == datalog::TmVerdict::kAccepts) ==
+                        reduction_says_accepts
+                    ? "YES"
+                    : "NO — BUG")
+            << "\n";
+  if (decision->counterexample.has_value()) {
+    std::cout << "counterexample expansion has "
+              << decision->counterexample->Size()
+              << " nodes (an error-free accepting computation encoding)\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace datalog;
+  Demo("immediately accepting machine", ImmediatelyAcceptingMachine());
+  Demo("machine that loops in place", LoopsInPlaceMachine());
+  Demo("machine that runs off the tape", RunsOffTheTapeMachine());
+  std::cout << "(Each instance is doubly-exponentially hard in general — "
+               "Theorem 5.15;\n these micro machines are the feasible tip "
+               "of the construction.)\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "src/ast/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+
+int DependenceGraph::NodeId(const std::string& predicate) const {
+  auto it = predicate_ids.find(predicate);
+  DATALOG_CHECK(it != predicate_ids.end()) << "unknown predicate " << predicate;
+  return it->second;
+}
+
+bool DependenceGraph::MutuallyRecursive(const std::string& p,
+                                        const std::string& q) const {
+  int pid = NodeId(p);
+  int qid = NodeId(q);
+  if (sccs.component[pid] != sccs.component[qid]) return false;
+  if (pid != qid) return true;
+  // Same predicate: recursive only if its SCC is nontrivial or it has a
+  // self-loop.
+  return IsRecursivePredicate(p);
+}
+
+bool DependenceGraph::IsRecursivePredicate(const std::string& p) const {
+  int pid = NodeId(p);
+  if (sccs.component_members[sccs.component[pid]].size() > 1) return true;
+  // Singleton component: recursive iff there is a self-loop.
+  for (int v : adjacency[pid]) {
+    if (v == pid) return true;
+  }
+  return false;
+}
+
+DependenceGraph BuildDependenceGraph(const Program& program) {
+  DependenceGraph graph;
+  for (const std::string& p : program.AllPredicates()) {
+    graph.predicate_ids[p] = static_cast<int>(graph.predicates.size());
+    graph.predicates.push_back(p);
+  }
+  graph.adjacency.assign(graph.predicates.size(), {});
+  std::set<std::pair<int, int>> seen;
+  for (const Rule& rule : program.rules()) {
+    int head = graph.predicate_ids[rule.head().predicate()];
+    for (const Atom& atom : rule.body()) {
+      int body = graph.predicate_ids[atom.predicate()];
+      if (seen.insert({body, head}).second) {
+        graph.adjacency[body].push_back(head);
+      }
+    }
+  }
+  graph.sccs =
+      StronglyConnectedComponents(graph.predicates.size(), graph.adjacency);
+  return graph;
+}
+
+bool IsRecursive(const Program& program) {
+  DependenceGraph graph = BuildDependenceGraph(program);
+  for (const std::string& p : graph.predicates) {
+    if (graph.IsRecursivePredicate(p)) return true;
+  }
+  return false;
+}
+
+bool IsLinear(const Program& program) {
+  DependenceGraph graph = BuildDependenceGraph(program);
+  for (const Rule& rule : program.rules()) {
+    int recursive_subgoals = 0;
+    for (const Atom& atom : rule.body()) {
+      if (graph.MutuallyRecursive(rule.head().predicate(), atom.predicate())) {
+        ++recursive_subgoals;
+      }
+    }
+    if (recursive_subgoals > 1) return false;
+  }
+  return true;
+}
+
+bool IsLinearInIdb(const Program& program) {
+  std::set<std::string> idb = program.IdbPredicates();
+  for (const Rule& rule : program.rules()) {
+    int idb_subgoals = 0;
+    for (const Atom& atom : rule.body()) {
+      if (idb.count(atom.predicate()) > 0) ++idb_subgoals;
+    }
+    if (idb_subgoals > 1) return false;
+  }
+  return true;
+}
+
+std::size_t VarNumOfRule(const Program& program, const Rule& rule) {
+  std::set<std::string> idb = program.IdbPredicates();
+  std::unordered_set<std::string> vars;
+  auto collect = [&vars](const Atom& atom) {
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) vars.insert(t.name());
+    }
+  };
+  collect(rule.head());  // The head is always an IDB atom.
+  for (const Atom& atom : rule.body()) {
+    if (idb.count(atom.predicate()) > 0) collect(atom);
+  }
+  return vars.size();
+}
+
+std::size_t TotalVarsOfRule(const Rule& rule) {
+  return rule.VariableNames().size();
+}
+
+std::size_t VarNum(const Program& program) {
+  std::size_t max_rule = 1;
+  for (const Rule& rule : program.rules()) {
+    max_rule = std::max(max_rule, TotalVarsOfRule(rule));
+  }
+  return 2 * max_rule;
+}
+
+std::string ProofVariableName(std::size_t i) { return StrCat("$", i); }
+
+bool IsProofVariableName(const std::string& name) {
+  return !name.empty() && name[0] == '$';
+}
+
+std::vector<std::string> ProofVariables(const Program& program,
+                                        std::size_t minimum) {
+  std::size_t k = std::max(VarNum(program), minimum);
+  std::vector<std::string> vars;
+  vars.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) vars.push_back(ProofVariableName(i));
+  return vars;
+}
+
+std::vector<std::string> TopologicalPredicateOrder(const Program& program) {
+  DATALOG_CHECK(IsNonrecursive(program))
+      << "TopologicalPredicateOrder requires a nonrecursive program";
+  DependenceGraph graph = BuildDependenceGraph(program);
+  // Tarjan numbers components in reverse topological order of the digraph
+  // whose edges run Q -> P ("P depends on Q"), so an edge from Q to P has
+  // component[Q] >= component[P]. Listing components in decreasing id order
+  // therefore yields dependencies before dependents. Components are
+  // singletons since the program is nonrecursive.
+  std::vector<std::string> order;
+  for (int c = graph.sccs.num_components - 1; c >= 0; --c) {
+    for (int node : graph.sccs.component_members[c]) {
+      order.push_back(graph.predicates[node]);
+    }
+  }
+  return order;
+}
+
+}  // namespace datalog

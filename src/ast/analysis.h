@@ -1,0 +1,87 @@
+// Structural analysis of Datalog programs (paper §2.1, §5.1):
+// dependence graph, recursion / linearity classification, and the
+// varnum(Π) / var(Π) machinery underlying proof trees.
+#ifndef DATALOG_EQ_SRC_AST_ANALYSIS_H_
+#define DATALOG_EQ_SRC_AST_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/util/scc.h"
+
+namespace datalog {
+
+/// The dependence graph of a program: nodes are predicates; there is an
+/// edge from Q to P when P depends on Q, i.e. Q occurs in the body of a
+/// rule whose head predicate is P (paper §2.1).
+struct DependenceGraph {
+  std::vector<std::string> predicates;        // node id -> name
+  std::map<std::string, int> predicate_ids;   // name -> node id
+  std::vector<std::vector<int>> adjacency;    // edges Q -> P
+  SccResult sccs;
+
+  int NodeId(const std::string& predicate) const;
+  /// True if `p` and `q` are mutually recursive (same nontrivial SCC, or
+  /// p == q with a self-loop).
+  bool MutuallyRecursive(const std::string& p, const std::string& q) const;
+  /// True if `p` depends recursively on itself.
+  bool IsRecursivePredicate(const std::string& p) const;
+};
+
+DependenceGraph BuildDependenceGraph(const Program& program);
+
+/// True if the dependence graph has a cycle (paper: a program is
+/// nonrecursive iff its dependence graph is acyclic).
+bool IsRecursive(const Program& program);
+inline bool IsNonrecursive(const Program& program) {
+  return !IsRecursive(program);
+}
+
+/// True if every rule has at most one body atom that is mutually recursive
+/// with the rule's head (the paper's "linear program": at most one
+/// recursive subgoal per rule, §1).
+bool IsLinear(const Program& program);
+
+/// True if every rule has at most one IDB body atom of any kind. For
+/// nonrecursive programs this is the "linear nonrecursive" class of
+/// Theorem 6.7 (unfolds to exponentially many but individually small CQs).
+bool IsLinearInIdb(const Program& program);
+
+/// varnum(r) as defined in the paper §5.1: the number of distinct
+/// variables occurring in IDB atoms of rule `r` (head or body), where
+/// IDB-ness is relative to `program`.
+std::size_t VarNumOfRule(const Program& program, const Rule& rule);
+
+/// The number of distinct variables occurring anywhere in `rule`.
+std::size_t TotalVarsOfRule(const Rule& rule);
+
+/// varnum(Π): twice the maximum, over the rules, of the number of rule
+/// variables. NOTE: the paper (§5.1) counts only variables of IDB atoms
+/// here, but its own proof of Proposition 5.6 renames ALL body variables
+/// of a rule instance distinctly, which requires var(Π) to accommodate
+/// every variable of a rule; we therefore use the total count (always
+/// >= the paper's figure, so all results go through unchanged).
+std::size_t VarNum(const Program& program);
+
+/// var(Π): the canonical proof-tree variable set {$0, ..., $k-1} with
+/// k = max(VarNum(program), minimum). The '$' prefix cannot be produced by
+/// the parser, so proof variables never collide with program variables.
+std::vector<std::string> ProofVariables(const Program& program,
+                                        std::size_t minimum = 0);
+
+/// The canonical i-th proof variable name, "$i".
+std::string ProofVariableName(std::size_t i);
+
+/// True if `name` is a canonical proof variable.
+bool IsProofVariableName(const std::string& name);
+
+/// Predicates of a nonrecursive program in a topological order of the
+/// dependence graph (every predicate appears after the predicates it
+/// depends on). CHECK-fails on recursive programs.
+std::vector<std::string> TopologicalPredicateOrder(const Program& program);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_AST_ANALYSIS_H_

@@ -1,0 +1,39 @@
+// Text parser for Datalog programs.
+//
+// Grammar (Prolog-like):
+//   program  := clause*
+//   clause   := atom ( ":-" atoms? )? "."
+//   atoms    := atom ("," atom)*
+//   atom     := IDENT ( "(" terms? ")" )?      -- bare IDENT is 0-ary
+//   terms    := term ("," term)*
+//   term     := VARIABLE | CONSTANT
+//   VARIABLE := [A-Z_][A-Za-z0-9_]*
+//   CONSTANT := [a-z][A-Za-z0-9_]* | [0-9]+ | "quoted string"
+// Comments run from '%' or '//' to end of line.
+//
+// `p(X) :- .` is accepted as an explicit empty body (equivalent to the fact
+// `p(X).`, the paper's Example 6.2 convention).
+#ifndef DATALOG_EQ_SRC_AST_PARSER_H_
+#define DATALOG_EQ_SRC_AST_PARSER_H_
+
+#include <string_view>
+
+#include "src/ast/rule.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+/// Parses a full program. Returns InvalidArgumentError with line/column
+/// information on malformed input. The parsed program is additionally
+/// passed through Program::Validate().
+StatusOr<Program> ParseProgram(std::string_view text);
+
+/// Parses a single atom, e.g. "p(X, a)".
+StatusOr<Atom> ParseAtom(std::string_view text);
+
+/// Parses a single rule (with trailing '.'), e.g. "p(X) :- e(X, Y).".
+StatusOr<Rule> ParseRule(std::string_view text);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_AST_PARSER_H_

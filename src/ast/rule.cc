@@ -1,0 +1,126 @@
+#include "src/ast/rule.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+std::string Rule::ToString() const {
+  if (body_.empty()) return StrCat(head_.ToString(), ".");
+  return StrCat(head_.ToString(), " :- ",
+                StrJoin(body_, ", ",
+                        [](std::ostream& os, const Atom& a) {
+                          os << a.ToString();
+                        }),
+                ".");
+}
+
+std::vector<std::string> Rule::VariableNames() const {
+  std::vector<Atom> all;
+  all.reserve(body_.size() + 1);
+  all.push_back(head_);
+  for (const Atom& a : body_) all.push_back(a);
+  return CollectVariables(all);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rule& rule) {
+  return os << rule.ToString();
+}
+
+Rule ApplySubstitution(const Substitution& subst, const Rule& rule) {
+  std::vector<Atom> body;
+  body.reserve(rule.body().size());
+  for (const Atom& a : rule.body()) {
+    body.push_back(ApplySubstitution(subst, a));
+  }
+  return Rule(ApplySubstitution(subst, rule.head()), std::move(body));
+}
+
+std::set<std::string> Program::IdbPredicates() const {
+  std::set<std::string> idb;
+  for (const Rule& rule : rules_) idb.insert(rule.head().predicate());
+  return idb;
+}
+
+std::set<std::string> Program::EdbPredicates() const {
+  std::set<std::string> idb = IdbPredicates();
+  std::set<std::string> edb;
+  for (const Rule& rule : rules_) {
+    for (const Atom& atom : rule.body()) {
+      if (idb.count(atom.predicate()) == 0) edb.insert(atom.predicate());
+    }
+  }
+  return edb;
+}
+
+std::set<std::string> Program::AllPredicates() const {
+  std::set<std::string> all = IdbPredicates();
+  for (const Rule& rule : rules_) {
+    for (const Atom& atom : rule.body()) all.insert(atom.predicate());
+  }
+  return all;
+}
+
+bool Program::IsIdb(const std::string& predicate) const {
+  for (const Rule& rule : rules_) {
+    if (rule.head().predicate() == predicate) return true;
+  }
+  return false;
+}
+
+std::size_t Program::PredicateArity(const std::string& predicate) const {
+  for (const Rule& rule : rules_) {
+    if (rule.head().predicate() == predicate) return rule.head().arity();
+    for (const Atom& atom : rule.body()) {
+      if (atom.predicate() == predicate) return atom.arity();
+    }
+  }
+  DATALOG_CHECK(false) << "unknown predicate: " << predicate;
+  return 0;
+}
+
+std::vector<std::size_t> Program::RulesFor(const std::string& predicate) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].head().predicate() == predicate) indices.push_back(i);
+  }
+  return indices;
+}
+
+Status Program::Validate() const {
+  if (rules_.empty()) {
+    return InvalidArgumentError("program has no rules");
+  }
+  std::unordered_map<std::string, std::size_t> arity;
+  auto check = [&arity](const Atom& atom) -> Status {
+    auto [it, inserted] = arity.emplace(atom.predicate(), atom.arity());
+    if (!inserted && it->second != atom.arity()) {
+      return InvalidArgumentError(
+          StrCat("predicate ", atom.predicate(), " used with arities ",
+                 it->second, " and ", atom.arity()));
+    }
+    return OkStatus();
+  };
+  for (const Rule& rule : rules_) {
+    Status s = check(rule.head());
+    if (!s.ok()) return s;
+    for (const Atom& atom : rule.body()) {
+      s = check(atom);
+      if (!s.ok()) return s;
+    }
+  }
+  return OkStatus();
+}
+
+std::string Program::ToString() const {
+  return StrJoin(rules_, "\n",
+                 [](std::ostream& os, const Rule& r) { os << r.ToString(); });
+}
+
+std::ostream& operator<<(std::ostream& os, const Program& program) {
+  return os << program.ToString();
+}
+
+}  // namespace datalog

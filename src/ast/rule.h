@@ -1,0 +1,95 @@
+// Horn rules and Datalog programs (paper §2.1).
+//
+// A rule is `head :- body.` where the head is a single atom and the body a
+// (possibly empty) conjunction of atoms; an empty body means `true` (the
+// convention used in the paper's Example 6.2). A program is a finite set of
+// rules. Predicates occurring in some head are intentional (IDB); all
+// others are extensional (EDB).
+#ifndef DATALOG_EQ_SRC_AST_RULE_H_
+#define DATALOG_EQ_SRC_AST_RULE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/term.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+class Rule {
+ public:
+  Rule() = default;
+  Rule(Atom head, std::vector<Atom> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  const Atom& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+
+  bool operator==(const Rule& other) const {
+    return head_ == other.head_ && body_ == other.body_;
+  }
+  bool operator!=(const Rule& other) const { return !(*this == other); }
+
+  /// Renders e.g. `p(X, Y) :- e(X, Z), p(Z, Y).`; a fact renders `p(X).`.
+  std::string ToString() const;
+
+  /// The distinct variable names occurring anywhere in the rule, in
+  /// first-occurrence order (head first).
+  std::vector<std::string> VariableNames() const;
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rule& rule);
+
+/// Applies `subst` to the head and every body atom.
+Rule ApplySubstitution(const Substitution& subst, const Rule& rule);
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  bool operator==(const Program& other) const { return rules_ == other.rules_; }
+
+  /// Predicates occurring in some rule head, sorted.
+  std::set<std::string> IdbPredicates() const;
+
+  /// Predicates occurring only in rule bodies, sorted.
+  std::set<std::string> EdbPredicates() const;
+
+  /// All predicates, sorted.
+  std::set<std::string> AllPredicates() const;
+
+  /// True if `predicate` occurs in some rule head.
+  bool IsIdb(const std::string& predicate) const;
+
+  /// Arity of `predicate` as first used; CHECK-fails if absent. Call
+  /// Validate() first to ensure arities are consistent.
+  std::size_t PredicateArity(const std::string& predicate) const;
+
+  /// The rules whose head predicate is `predicate`, by rule index.
+  std::vector<std::size_t> RulesFor(const std::string& predicate) const;
+
+  /// Checks structural sanity: consistent arities per predicate, and at
+  /// least one rule. (Range restriction is NOT required: the paper allows
+  /// unsafe facts such as `dist0(x, x) :- .`)
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Program& program);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_AST_RULE_H_

@@ -1,0 +1,73 @@
+#include "src/ast/term.h"
+
+#include <unordered_set>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+std::string Term::ToString() const { return name_; }
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToString();
+}
+
+Term ApplySubstitution(const Substitution& subst, const Term& term) {
+  if (!term.is_variable()) return term;
+  auto it = subst.find(term.name());
+  if (it == subst.end()) return term;
+  return it->second;
+}
+
+std::string Atom::ToString() const {
+  if (args_.empty()) return predicate_;
+  return StrCat(predicate_, "(",
+                StrJoin(args_, ", ",
+                        [](std::ostream& os, const Term& t) { os << t; }),
+                ")");
+}
+
+std::ostream& operator<<(std::ostream& os, const Atom& atom) {
+  return os << atom.ToString();
+}
+
+void Atom::AppendVariables(std::vector<std::string>* out) const {
+  for (const Term& t : args_) {
+    if (t.is_variable()) out->push_back(t.name());
+  }
+}
+
+std::vector<std::string> Atom::VariableNames() const {
+  std::vector<std::string> occurrences;
+  AppendVariables(&occurrences);
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string> seen;
+  for (std::string& name : occurrences) {
+    if (seen.insert(name).second) distinct.push_back(std::move(name));
+  }
+  return distinct;
+}
+
+Atom ApplySubstitution(const Substitution& subst, const Atom& atom) {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    args.push_back(ApplySubstitution(subst, t));
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+std::vector<std::string> CollectVariables(const std::vector<Atom>& atoms) {
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.args()) {
+      if (t.is_variable() && seen.insert(t.name()).second) {
+        distinct.push_back(t.name());
+      }
+    }
+  }
+  return distinct;
+}
+
+}  // namespace datalog

@@ -1,0 +1,132 @@
+// Terms and atoms: the basic syntactic objects of Datalog (paper §2.1).
+//
+// A term is a variable or a constant. An atom is a predicate symbol applied
+// to a vector of terms, e.g. `buys(X, Y)`. The paper's core development is
+// constant-free; constants are supported throughout per Remark 5.14.
+#ifndef DATALOG_EQ_SRC_AST_TERM_H_
+#define DATALOG_EQ_SRC_AST_TERM_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace datalog {
+
+enum class TermKind { kVariable, kConstant };
+
+/// A variable or constant. Variables and constants live in separate
+/// namespaces: Variable("x") != Constant("x").
+class Term {
+ public:
+  Term() : kind_(TermKind::kVariable) {}
+  Term(TermKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  static Term Variable(std::string name) {
+    return Term(TermKind::kVariable, std::move(name));
+  }
+  static Term Constant(std::string name) {
+    return Term(TermKind::kConstant, std::move(name));
+  }
+
+  TermKind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == TermKind::kVariable; }
+  bool is_constant() const { return kind_ == TermKind::kConstant; }
+  const std::string& name() const { return name_; }
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && name_ == other.name_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    return name_ < other.name_;
+  }
+
+  /// Renders the term; constants are prefixed with nothing (their spelling
+  /// distinguishes them in parsed programs), so this is for display only.
+  std::string ToString() const;
+
+ private:
+  TermKind kind_;
+  std::string name_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+struct TermHash {
+  std::size_t operator()(const Term& t) const {
+    std::size_t seed = static_cast<std::size_t>(t.kind());
+    HashCombine(&seed, t.name());
+    return seed;
+  }
+};
+
+/// A substitution maps variable names to terms. Constants are never
+/// remapped.
+using Substitution = std::unordered_map<std::string, Term>;
+
+/// Applies `subst` to `term`: a variable in the substitution's domain is
+/// replaced, anything else is returned unchanged.
+Term ApplySubstitution(const Substitution& subst, const Term& term);
+
+/// An atomic formula `predicate(args...)`.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> args)
+      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::size_t arity() const { return args_.size(); }
+
+  bool operator==(const Atom& other) const {
+    return predicate_ == other.predicate_ && args_ == other.args_;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  bool operator<(const Atom& other) const {
+    if (predicate_ != other.predicate_) return predicate_ < other.predicate_;
+    return args_ < other.args_;
+  }
+
+  /// Renders e.g. `p(X, a)`; 0-ary atoms render as the bare predicate name.
+  std::string ToString() const;
+
+  /// Appends the names of variables occurring in this atom to `out`,
+  /// in order of occurrence, without deduplication.
+  void AppendVariables(std::vector<std::string>* out) const;
+
+  /// The distinct variable names of this atom, in first-occurrence order.
+  std::vector<std::string> VariableNames() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Term> args_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Atom& atom);
+
+struct AtomHash {
+  std::size_t operator()(const Atom& a) const {
+    std::size_t seed = 0;
+    HashCombine(&seed, a.predicate());
+    TermHash term_hash;
+    for (const Term& t : a.args()) HashCombine(&seed, term_hash(t));
+    return seed;
+  }
+};
+
+/// Applies `subst` to every argument of `atom`.
+Atom ApplySubstitution(const Substitution& subst, const Atom& atom);
+
+/// Collects the distinct variable names occurring in `atoms`, in
+/// first-occurrence order.
+std::vector<std::string> CollectVariables(const std::vector<Atom>& atoms);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_AST_TERM_H_

@@ -1,0 +1,334 @@
+#include "src/automata/nfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+// Sorted-vector subset representation used by the subset constructions.
+using StateSet = std::vector<int>;
+
+StateSet SortedUnique(StateSet set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+bool IsSubsetOf(const StateSet& a, const StateSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+Nfa::Nfa(std::size_t num_states, std::size_t num_symbols)
+    : num_states_(num_states),
+      num_symbols_(num_symbols),
+      initial_(num_states, false),
+      accepting_(num_states, false),
+      delta_(num_states, std::vector<std::vector<int>>(num_symbols)) {}
+
+int Nfa::AddState() {
+  initial_.push_back(false);
+  accepting_.push_back(false);
+  delta_.emplace_back(num_symbols_);
+  return static_cast<int>(num_states_++);
+}
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  DATALOG_CHECK_LT(static_cast<std::size_t>(from), num_states_);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(to), num_states_);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(symbol), num_symbols_);
+  delta_[from][symbol].push_back(to);
+}
+
+void Nfa::SetInitial(int state, bool initial) { initial_[state] = initial; }
+void Nfa::SetAccepting(int state, bool accepting) {
+  accepting_[state] = accepting;
+}
+
+std::size_t Nfa::NumTransitions() const {
+  std::size_t total = 0;
+  for (const auto& per_state : delta_) {
+    for (const auto& successors : per_state) total += successors.size();
+  }
+  return total;
+}
+
+bool Nfa::Accepts(const std::vector<int>& word) const {
+  StateSet current;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (initial_[s]) current.push_back(static_cast<int>(s));
+  }
+  for (int symbol : word) {
+    StateSet next;
+    for (int s : current) {
+      for (int t : delta_[s][symbol]) next.push_back(t);
+    }
+    current = SortedUnique(std::move(next));
+    if (current.empty()) return false;
+  }
+  return std::any_of(current.begin(), current.end(),
+                     [this](int s) { return accepting_[s]; });
+}
+
+bool Nfa::IsEmpty() const { return !ShortestWord().has_value(); }
+
+std::optional<std::vector<int>> Nfa::ShortestWord() const {
+  // BFS from initial states; remember the (symbol, predecessor) that first
+  // reached each state.
+  std::vector<int> pred_state(num_states_, -1);
+  std::vector<int> pred_symbol(num_states_, -1);
+  std::vector<bool> seen(num_states_, false);
+  std::deque<int> queue;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (initial_[s]) {
+      seen[s] = true;
+      queue.push_back(static_cast<int>(s));
+    }
+  }
+  int goal = -1;
+  while (!queue.empty() && goal == -1) {
+    int s = queue.front();
+    queue.pop_front();
+    if (accepting_[s]) {
+      goal = s;
+      break;
+    }
+    for (std::size_t a = 0; a < num_symbols_; ++a) {
+      for (int t : delta_[s][a]) {
+        if (!seen[t]) {
+          seen[t] = true;
+          pred_state[t] = s;
+          pred_symbol[t] = static_cast<int>(a);
+          queue.push_back(t);
+        }
+      }
+    }
+  }
+  if (goal == -1) return std::nullopt;
+  std::vector<int> word;
+  for (int s = goal; pred_state[s] != -1; s = pred_state[s]) {
+    word.push_back(pred_symbol[s]);
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
+  DATALOG_CHECK_EQ(a.num_symbols_, b.num_symbols_);
+  Nfa result(a.num_states_ + b.num_states_, a.num_symbols_);
+  auto copy = [&result](const Nfa& source, std::size_t offset) {
+    for (std::size_t s = 0; s < source.num_states_; ++s) {
+      result.initial_[offset + s] = source.initial_[s];
+      result.accepting_[offset + s] = source.accepting_[s];
+      for (std::size_t sym = 0; sym < source.num_symbols_; ++sym) {
+        for (int t : source.delta_[s][sym]) {
+          result.delta_[offset + s][sym].push_back(static_cast<int>(offset) +
+                                                   t);
+        }
+      }
+    }
+  };
+  copy(a, 0);
+  copy(b, a.num_states_);
+  return result;
+}
+
+Nfa Nfa::Intersection(const Nfa& a, const Nfa& b) {
+  DATALOG_CHECK_EQ(a.num_symbols_, b.num_symbols_);
+  // Product over reachable pairs only.
+  std::map<std::pair<int, int>, int> ids;
+  std::deque<std::pair<int, int>> queue;
+  Nfa result(0, a.num_symbols_);
+  auto intern = [&](int sa, int sb) {
+    auto [it, inserted] = ids.emplace(std::make_pair(sa, sb), -1);
+    if (inserted) {
+      it->second = result.AddState();
+      result.accepting_[it->second] = a.accepting_[sa] && b.accepting_[sb];
+      queue.emplace_back(sa, sb);
+    }
+    return it->second;
+  };
+  for (std::size_t sa = 0; sa < a.num_states_; ++sa) {
+    if (!a.initial_[sa]) continue;
+    for (std::size_t sb = 0; sb < b.num_states_; ++sb) {
+      if (!b.initial_[sb]) continue;
+      int id = intern(static_cast<int>(sa), static_cast<int>(sb));
+      result.initial_[id] = true;
+    }
+  }
+  while (!queue.empty()) {
+    auto [sa, sb] = queue.front();
+    queue.pop_front();
+    int from = ids.at({sa, sb});
+    for (std::size_t sym = 0; sym < a.num_symbols_; ++sym) {
+      for (int ta : a.delta_[sa][sym]) {
+        for (int tb : b.delta_[sb][sym]) {
+          int to = intern(ta, tb);
+          result.delta_[from][sym].push_back(to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<Nfa> Nfa::Determinize(std::size_t max_states) const {
+  std::map<StateSet, int> ids;
+  std::deque<StateSet> queue;
+  Nfa result(0, num_symbols_);
+  auto intern = [&](StateSet set) -> int {
+    auto [it, inserted] = ids.emplace(std::move(set), -1);
+    if (inserted) {
+      it->second = result.AddState();
+      bool accepting = std::any_of(it->first.begin(), it->first.end(),
+                                   [this](int s) { return accepting_[s]; });
+      result.accepting_[it->second] = accepting;
+      queue.push_back(it->first);
+    }
+    return it->second;
+  };
+  StateSet start;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (initial_[s]) start.push_back(static_cast<int>(s));
+  }
+  int start_id = intern(SortedUnique(std::move(start)));
+  result.initial_[start_id] = true;
+  while (!queue.empty()) {
+    if (ids.size() > max_states) {
+      return Status(ResourceExhaustedError(
+          StrCat("determinization exceeded ", max_states, " states")));
+    }
+    StateSet current = queue.front();
+    queue.pop_front();
+    int from = ids.at(current);
+    for (std::size_t sym = 0; sym < num_symbols_; ++sym) {
+      StateSet next;
+      for (int s : current) {
+        for (int t : delta_[s][sym]) next.push_back(t);
+      }
+      int to = intern(SortedUnique(std::move(next)));
+      result.delta_[from][sym].push_back(to);
+    }
+  }
+  return result;
+}
+
+StatusOr<Nfa> Nfa::Complement(std::size_t max_states) const {
+  StatusOr<Nfa> determinized = Determinize(max_states);
+  if (!determinized.ok()) return determinized.status();
+  Nfa result = std::move(determinized).value();
+  for (std::size_t s = 0; s < result.num_states_; ++s) {
+    result.accepting_[s] = !result.accepting_[s];
+  }
+  return result;
+}
+
+StatusOr<Nfa::ContainmentResult> Nfa::Contains(
+    const Nfa& a, const Nfa& b, const ContainmentOptions& options) {
+  DATALOG_CHECK_EQ(a.num_symbols_, b.num_symbols_);
+  ContainmentResult result;
+  // Frontier of (a-state, subset of b-states) with the word that got us
+  // there; BFS so counterexamples are shortest.
+  struct Item {
+    int state;
+    StateSet set;
+    std::vector<int> word;
+  };
+  // visited[a-state] = antichain (or plain list) of explored b-subsets.
+  std::vector<std::vector<StateSet>> visited(a.num_states_);
+  auto already_covered = [&](int state, const StateSet& set) {
+    for (const StateSet& existing : visited[state]) {
+      if (options.antichain ? IsSubsetOf(existing, set) : existing == set) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto record = [&](int state, const StateSet& set) {
+    if (options.antichain) {
+      // Drop dominated (superset) entries.
+      auto& chain = visited[state];
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [&set](const StateSet& existing) {
+                                   return IsSubsetOf(set, existing);
+                                 }),
+                  chain.end());
+    }
+    visited[state].push_back(set);
+  };
+
+  std::deque<Item> queue;
+  StateSet b_start;
+  for (std::size_t s = 0; s < b.num_states_; ++s) {
+    if (b.initial_[s]) b_start.push_back(static_cast<int>(s));
+  }
+  b_start = SortedUnique(std::move(b_start));
+  for (std::size_t s = 0; s < a.num_states_; ++s) {
+    if (!a.initial_[s]) continue;
+    queue.push_back({static_cast<int>(s), b_start, {}});
+  }
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    if (already_covered(item.state, item.set)) continue;
+    record(item.state, item.set);
+    if (++result.explored > options.max_explored) {
+      return Status(ResourceExhaustedError(
+          StrCat("containment exceeded ", options.max_explored, " pairs")));
+    }
+    bool a_accepts = a.accepting_[item.state];
+    bool b_accepts = std::any_of(item.set.begin(), item.set.end(),
+                                 [&b](int s) { return b.accepting_[s]; });
+    if (a_accepts && !b_accepts) {
+      result.contained = false;
+      result.counterexample = item.word;
+      return result;
+    }
+    for (std::size_t sym = 0; sym < a.num_symbols_; ++sym) {
+      StateSet next_set;
+      for (int s : item.set) {
+        for (int t : b.delta_[s][sym]) next_set.push_back(t);
+      }
+      next_set = SortedUnique(std::move(next_set));
+      for (int t : a.delta_[item.state][sym]) {
+        if (already_covered(t, next_set)) continue;
+        Item next{t, next_set, item.word};
+        next.word.push_back(static_cast<int>(sym));
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<Nfa::ContainmentResult> Nfa::Contains(const Nfa& a, const Nfa& b) {
+  return Contains(a, b, ContainmentOptions());
+}
+
+std::string Nfa::ToString() const {
+  std::string out = StrCat("NFA states=", num_states_,
+                           " symbols=", num_symbols_, "\n");
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    out += StrCat("  q", s, initial_[s] ? " [init]" : "",
+                  accepting_[s] ? " [acc]" : "", ":");
+    for (std::size_t sym = 0; sym < num_symbols_; ++sym) {
+      for (int t : delta_[s][sym]) {
+        out += StrCat(" --", sym, "--> q", t, "; ");
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace datalog

@@ -1,0 +1,94 @@
+// Nondeterministic finite word automata (paper §4.1).
+//
+// Symbols are dense integers 0..num_symbols-1 (callers keep their own label
+// tables). Supports the operations the paper relies on: boolean closure
+// (Proposition 4.1), emptiness via reachability (Proposition 4.2), and
+// containment via on-the-fly subset construction with optional antichain
+// pruning (Proposition 4.3; PSPACE-complete in general).
+#ifndef DATALOG_EQ_SRC_AUTOMATA_NFA_H_
+#define DATALOG_EQ_SRC_AUTOMATA_NFA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace datalog {
+
+class Nfa {
+ public:
+  Nfa(std::size_t num_states, std::size_t num_symbols);
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_symbols() const { return num_symbols_; }
+
+  int AddState();
+  void AddTransition(int from, int symbol, int to);
+  void SetInitial(int state, bool initial = true);
+  void SetAccepting(int state, bool accepting = true);
+
+  bool IsInitial(int state) const { return initial_[state]; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+  const std::vector<int>& Successors(int state, int symbol) const {
+    return delta_[state][symbol];
+  }
+  std::size_t NumTransitions() const;
+
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// L(A) == ∅, by graph reachability (Proposition 4.2).
+  bool IsEmpty() const;
+
+  /// Some accepted word (shortest), or nullopt if the language is empty.
+  std::optional<std::vector<int>> ShortestWord() const;
+
+  /// Disjoint union: L = L(a) ∪ L(b). Alphabets must match.
+  static Nfa Union(const Nfa& a, const Nfa& b);
+
+  /// Product: L = L(a) ∩ L(b). Alphabets must match.
+  static Nfa Intersection(const Nfa& a, const Nfa& b);
+
+  /// Subset construction; the result is deterministic and complete.
+  /// Fails with ResourceExhausted beyond `max_states`.
+  StatusOr<Nfa> Determinize(std::size_t max_states = 1u << 20) const;
+
+  /// Complement via determinization (exponential in the worst case, per
+  /// [MF71]).
+  StatusOr<Nfa> Complement(std::size_t max_states = 1u << 20) const;
+
+  struct ContainmentOptions {
+    /// Prune subset states dominated by a smaller visited subset.
+    bool antichain = true;
+    /// Abort with ResourceExhausted beyond this many explored pairs.
+    std::size_t max_explored = 10'000'000;
+  };
+  struct ContainmentResult {
+    bool contained = true;
+    /// A witness word in L(a) \ L(b) when not contained.
+    std::vector<int> counterexample;
+    /// Number of (state, subset) pairs explored.
+    std::size_t explored = 0;
+  };
+
+  /// Decides L(a) ⊆ L(b) by an on-the-fly product of `a` with the subset
+  /// construction of `b`.
+  static StatusOr<ContainmentResult> Contains(
+      const Nfa& a, const Nfa& b, const ContainmentOptions& options);
+  static StatusOr<ContainmentResult> Contains(const Nfa& a, const Nfa& b);
+
+  std::string ToString() const;
+
+ private:
+  std::size_t num_states_;
+  std::size_t num_symbols_;
+  std::vector<bool> initial_;
+  std::vector<bool> accepting_;
+  // delta_[state][symbol] -> successor states
+  std::vector<std::vector<std::vector<int>>> delta_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_AUTOMATA_NFA_H_

@@ -1,0 +1,110 @@
+// The (β, M) absorption machinery shared by the A^θ automaton construction
+// (Proposition 5.10) and the on-the-fly containment decider (§5.2).
+//
+// An *achieved pair* (query, β, pinned) records that a proof subtree can
+// strongly absorb the atom subset β (a bitmask) of disjunct `query`, with
+// every exposed variable of β pinned to an image term that is visible in
+// the subtree's root goal (a variable of the goal atom, or a constant).
+// This is the bottom-up rendering of the paper's automaton states
+// (α, β, M), with M restricted to the exposed variables (a
+// language-preserving quotient — see query_analysis.h).
+//
+// `CombineAtNode` implements one bottom-up automaton step: given a rule
+// instance ρ and one achieved pair per child subtree, it enumerates the
+// pairs achievable at the parent, i.e. the transition relation of
+// Proposition 5.10 read bottom-up (conditions 1-4 of the paper map to the
+// partition/consistency/visibility checks here).
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_ABSORB_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_ABSORB_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/containment/query_analysis.h"
+
+namespace datalog {
+
+/// Pinned exposed-variable images: (variable id, image term), sorted by
+/// variable id.
+using PinnedMap = std::vector<std::pair<int, Term>>;
+
+struct AchievedPair {
+  int query = 0;
+  std::uint64_t mask = 0;
+  PinnedMap pinned;
+
+  bool operator==(const AchievedPair& other) const {
+    return query == other.query && mask == other.mask &&
+           pinned == other.pinned;
+  }
+  bool operator<(const AchievedPair& other) const {
+    if (query != other.query) return query < other.query;
+    if (mask != other.mask) return mask < other.mask;
+    return pinned < other.pinned;
+  }
+  std::string ToString() const;
+};
+
+/// A deduplicated, sorted set of achieved pairs: the "achievable set" of a
+/// proof subtree (one deterministic-subset-construction state). The empty
+/// pair (β = ∅) is implicit and never stored.
+using AchievedSet = std::vector<AchievedPair>;
+
+/// Inserts `pair` keeping the set sorted and unique.
+void InsertPair(AchievedSet* set, AchievedPair pair);
+
+/// True if every pair of `a` also occurs in `b` (both sorted).
+bool IsAchievedSubset(const AchievedSet& a, const AchievedSet& b);
+
+/// One bottom-up combination step at a node labeled with `instance`.
+///
+/// `queries`: analyses of all disjuncts of Θ.
+/// `instance`: the rule instance ρ labelling the node (head = node goal).
+/// `edb_atoms`: pointers to the EDB atoms of ρ's body.
+/// `child_goals`: the IDB atoms of ρ's body, in order.
+/// `child_sets`: the achievable set of each child subtree, with pinned
+///   images expressed in the instance's variable frame.
+///
+/// Emits every nonempty pair achievable at the parent into `out`
+/// (deduplicated). The implicit empty pair stays implicit.
+void CombineAtNode(const std::vector<QueryAnalysis>& queries,
+                   const Rule& instance,
+                   const std::vector<const Atom*>& edb_atoms,
+                   const std::vector<Atom>& child_goals,
+                   const std::vector<const AchievedSet*>& child_sets,
+                   AchievedSet* out);
+
+/// Root acceptance (Theorem 5.8 / start states of Proposition 5.10): true
+/// if some disjunct maps strongly into a subtree with root goal
+/// `root_goal` whose achievable set is `set` — i.e. the disjunct's head
+/// unifies with the root goal's argument vector and, when the disjunct has
+/// body atoms, `set` contains a full-mask pair whose pinned distinguished
+/// images agree with that unification.
+bool RootAccepts(const std::vector<QueryAnalysis>& queries,
+                 const Atom& root_goal, const AchievedSet& set);
+
+/// Like RootAccepts for a single disjunct (the set must contain only this
+/// disjunct's pairs).
+bool RootAcceptsQuery(const QueryAnalysis& query, const Atom& root_goal,
+                      const AchievedSet& set);
+
+/// Forward (top-down) absorption step, used by the word-automaton
+/// construction for linear programs: enumerates every subset β' of the
+/// pending atoms `pending_mask` of `query` that maps homomorphically into
+/// `edb_atoms` consistently with the seed assignment, and calls
+/// `visit(beta_prime, assignment)` with the extended assignment (indexed
+/// by query variable id; unassigned entries are nullopt). The empty subset
+/// is included.
+void EnumerateForwardAbsorptions(
+    const QueryAnalysis& query, std::uint64_t pending_mask,
+    const std::vector<const Atom*>& edb_atoms, const PinnedMap& seed,
+    const std::function<void(std::uint64_t,
+                             const std::vector<std::optional<Term>>&)>&
+        visit);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_ABSORB_H_

@@ -1,0 +1,34 @@
+#include "src/containment/boundedness.h"
+
+#include "src/trees/enumerate.h"
+
+namespace datalog {
+
+StatusOr<bool> IsBoundedAtDepth(const Program& program,
+                                const std::string& goal, std::size_t depth,
+                                const ContainmentOptions& options) {
+  EnumerateOptions enumerate;
+  enumerate.max_depth = depth;
+  UnionOfCqs expansions = BoundedExpansions(program, goal, enumerate);
+  if (expansions.empty()) {
+    // No expansion up to this depth; Π ⊆ ∅ iff Π has no expansions at all,
+    // which the decider determines with an empty union.
+  }
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(program, goal, expansions, options);
+  if (!decision.ok()) return decision.status();
+  return decision->contained;
+}
+
+StatusOr<std::optional<std::size_t>> FindBoundedDepth(
+    const Program& program, const std::string& goal, std::size_t max_depth,
+    const ContainmentOptions& options) {
+  for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+    StatusOr<bool> bounded = IsBoundedAtDepth(program, goal, depth, options);
+    if (!bounded.ok()) return bounded.status();
+    if (*bounded) return std::optional<std::size_t>(depth);
+  }
+  return std::optional<std::size_t>();
+}
+
+}  // namespace datalog

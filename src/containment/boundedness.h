@@ -1,0 +1,31 @@
+// Bounded-depth approximation of the (undecidable [GMSV93]) boundedness
+// problem discussed in the paper's introduction: a program is *bounded*
+// when it is equivalent to SOME nonrecursive program. Since the depth-k
+// expansions Π_k always satisfy Π_k ⊆ Π, the program is equivalent to its
+// own depth-k unfolding iff Π ⊆ Π_k — which Theorem 5.12 lets us decide.
+// Searching k = 1, 2, ... yields a semi-decision procedure for
+// boundedness (it cannot terminate on unbounded programs; the caller
+// provides the cutoff).
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_BOUNDEDNESS_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_BOUNDEDNESS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/containment/decider.h"
+
+namespace datalog {
+
+/// Is Π equivalent to the union of its depth<=k expansions?
+StatusOr<bool> IsBoundedAtDepth(
+    const Program& program, const std::string& goal, std::size_t depth,
+    const ContainmentOptions& options = ContainmentOptions());
+
+/// Smallest k <= max_depth at which the program is bounded, or nullopt.
+StatusOr<std::optional<std::size_t>> FindBoundedDepth(
+    const Program& program, const std::string& goal, std::size_t max_depth,
+    const ContainmentOptions& options = ContainmentOptions());
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_BOUNDEDNESS_H_

@@ -1,0 +1,273 @@
+#include "src/containment/decider.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/analysis.h"
+#include "src/containment/absorb.h"
+#include "src/containment/instances.h"
+#include "src/containment/query_analysis.h"
+#include "src/util/iteration.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+struct StateEntry {
+  AchievedSet set;
+  ExpansionTree witness;  // a proof subtree realizing the set
+  std::uint64_t serial = 0;  // stable identity for combination memoization
+};
+
+struct GoalEntry {
+  Atom goal;  // canonical form
+  std::vector<StateEntry> states;
+};
+
+class Decider {
+ public:
+  Decider(const Program& program, const std::string& goal,
+          const UnionOfCqs& theta, const ContainmentOptions& options)
+      : program_(program),
+        goal_(goal),
+        options_(options),
+        idb_(program.IdbPredicates()),
+        proof_vars_(ProofVariables(program)) {
+    StatusOr<std::vector<QueryAnalysis>> analyses = AnalyzeUnion(theta);
+    if (!analyses.ok()) {
+      init_error_ = analyses.status();
+      return;
+    }
+    queries_ = std::move(analyses).value();
+  }
+
+  StatusOr<ContainmentDecision> Run() {
+    if (!init_error_.ok()) return init_error_;
+    if (idb_.count(goal_) == 0) {
+      return Status(InvalidArgumentError(
+          StrCat("goal predicate ", goal_, " is not an IDB predicate")));
+    }
+    ContainmentDecision decision;
+    // Process EDB-only rules first (they seed the fixpoint), then rules
+    // heading the goal predicate (failing root states surface early),
+    // then the rest.
+    std::vector<const Rule*> ordered_rules;
+    auto rule_class = [this](const Rule& rule) {
+      bool leaf = true;
+      for (const Atom& atom : rule.body()) {
+        if (idb_.count(atom.predicate()) > 0) leaf = false;
+      }
+      if (leaf) return 0;
+      return rule.head().predicate() == goal_ ? 1 : 2;
+    };
+    for (int cls = 0; cls <= 2; ++cls) {
+      for (const Rule& rule : program_.rules()) {
+        if (rule_class(rule) == cls) ordered_rules.push_back(&rule);
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++decision.stats.rounds;
+      for (const Rule* rule : ordered_rules) {
+        bool ok = ForEachCanonicalInstance(
+            *rule, proof_vars_.size(), [&](const Rule& instance) {
+              return ProcessInstance(instance, &decision, &changed);
+            });
+        if (!ok) {
+          // Stopped early: either a counterexample or a resource limit.
+          if (!decision.contained) return decision;
+          return Status(ResourceExhaustedError(
+              StrCat("containment decider exceeded ", options_.max_states,
+                     " states")));
+        }
+      }
+    }
+    decision.stats.goals_discovered = store_.size();
+    return decision;
+  }
+
+ private:
+  // Returns false to stop the enumeration (counterexample or limit hit).
+  bool ProcessInstance(const Rule& instance, ContainmentDecision* decision,
+                       bool* changed) {
+    ++decision->stats.combine_calls;
+    // Split the body into EDB atoms and child goals.
+    std::vector<const Atom*> edb_atoms;
+    std::vector<Atom> child_goals;
+    std::vector<std::size_t> idb_positions;
+    for (std::size_t i = 0; i < instance.body().size(); ++i) {
+      const Atom& atom = instance.body()[i];
+      if (idb_.count(atom.predicate()) > 0) {
+        child_goals.push_back(atom);
+        idb_positions.push_back(i);
+      } else {
+        edb_atoms.push_back(&atom);
+      }
+    }
+    // Look up the canonical entry for each child goal. The states are
+    // snapshotted by value: Register() below may grow or prune the very
+    // same GoalEntry when the rule is self-recursive (child canonical goal
+    // == parent goal), which would invalidate references into it.
+    std::vector<std::vector<StateEntry>> child_states;
+    std::vector<CanonicalAtomInfo> child_canonical;
+    for (const Atom& child : child_goals) {
+      CanonicalAtomInfo info = CanonicalizeAtom(child);
+      auto it = store_.find(info.atom.ToString());
+      if (it == store_.end()) return true;  // no subtree for this child yet
+      child_states.push_back(it->second.states);
+      child_canonical.push_back(std::move(info));
+    }
+    // Iterate over every choice of one discovered state per child.
+    std::vector<std::size_t> sizes;
+    sizes.reserve(child_states.size());
+    for (const std::vector<StateEntry>& states : child_states) {
+      sizes.push_back(states.size());
+    }
+    return ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
+      // Skip combinations already combined in an earlier round.
+      std::string memo_key = instance.ToString();
+      for (std::size_t j = 0; j < child_states.size(); ++j) {
+        memo_key += StrCat("#", child_states[j][choice[j]].serial);
+      }
+      if (!combined_.insert(std::move(memo_key)).second) return true;
+      // Rename each child state from its canonical frame into the
+      // instance frame.
+      std::vector<AchievedSet> renamed_sets(child_goals.size());
+      std::vector<const AchievedSet*> set_ptrs(child_goals.size());
+      for (std::size_t j = 0; j < child_goals.size(); ++j) {
+        const StateEntry& state = child_states[j][choice[j]];
+        const std::vector<std::string>& originals =
+            child_canonical[j].original_vars;
+        AchievedSet renamed;
+        renamed.reserve(state.set.size());
+        for (const AchievedPair& pair : state.set) {
+          AchievedPair copy = pair;
+          for (auto& [v, term] : copy.pinned) {
+            if (term.is_variable()) {
+              // Canonical variable $k corresponds to originals[k].
+              std::size_t k = CanonicalIndex(term.name());
+              DATALOG_CHECK_LT(k, originals.size());
+              term = Term::Variable(originals[k]);
+            }
+          }
+          renamed.push_back(std::move(copy));
+        }
+        std::sort(renamed.begin(), renamed.end());
+        renamed_sets[j] = std::move(renamed);
+        set_ptrs[j] = &renamed_sets[j];
+      }
+      AchievedSet parent_set;
+      CombineAtNode(queries_, instance, edb_atoms, child_goals, set_ptrs,
+                    &parent_set);
+      return Register(instance, idb_positions, child_states, child_canonical,
+                      choice, std::move(parent_set), decision, changed);
+    });
+  }
+
+  static std::size_t CanonicalIndex(const std::string& name) {
+    DATALOG_CHECK(IsProofVariableName(name));
+    return static_cast<std::size_t>(std::stoul(name.substr(1)));
+  }
+
+  // Registers a (goal, set) state; returns false to stop everything.
+  bool Register(const Rule& instance,
+                const std::vector<std::size_t>& idb_positions,
+                const std::vector<std::vector<StateEntry>>& child_states,
+                const std::vector<CanonicalAtomInfo>& child_canonical,
+                const std::vector<std::size_t>& choice, AchievedSet set,
+                ContainmentDecision* decision, bool* changed) {
+    const Atom& goal_atom = instance.head();
+    std::string key = goal_atom.ToString();
+    auto [it, inserted] = store_.emplace(key, GoalEntry{goal_atom, {}});
+    GoalEntry& entry = it->second;
+    if (options_.antichain) {
+      for (const StateEntry& existing : entry.states) {
+        if (IsAchievedSubset(existing.set, set)) return true;  // dominated
+      }
+      entry.states.erase(
+          std::remove_if(entry.states.begin(), entry.states.end(),
+                         [&set](const StateEntry& existing) {
+                           return IsAchievedSubset(set, existing.set);
+                         }),
+          entry.states.end());
+    } else {
+      for (const StateEntry& existing : entry.states) {
+        if (existing.set == set) return true;  // already known
+      }
+    }
+    StateEntry state;
+    state.serial = next_serial_++;
+    state.set = std::move(set);
+    if (options_.track_witness) {
+      ExpansionNode node;
+      node.goal = goal_atom;
+      node.rule = instance;
+      node.idb_positions = idb_positions;
+      for (std::size_t j = 0; j < child_states.size(); ++j) {
+        const StateEntry& child_state = child_states[j][choice[j]];
+        // The child witness's root goal is the canonical child goal; embed
+        // it into the instance frame by a var(Π) permutation extending
+        // canonical-var -> original-var.
+        std::vector<std::string> from;
+        for (std::size_t k = 0; k < child_canonical[j].original_vars.size();
+             ++k) {
+          from.push_back(ProofVariableName(k));
+        }
+        Substitution permutation = ExtendToPermutation(
+            from, child_canonical[j].original_vars, proof_vars_);
+        node.children.push_back(
+            RenameTree(child_state.witness, permutation).root());
+      }
+      state.witness = ExpansionTree(std::move(node));
+    }
+    // A new root-goal state must accept, or we have a counterexample.
+    if (goal_atom.predicate() == goal_ &&
+        !RootAccepts(queries_, goal_atom, state.set)) {
+      decision->contained = false;
+      if (options_.track_witness) {
+        decision->counterexample = state.witness;
+      }
+      return false;
+    }
+    entry.states.push_back(std::move(state));
+    *changed = true;
+    if (++decision->stats.states_discovered > options_.max_states) {
+      return false;
+    }
+    return true;
+  }
+
+  const Program& program_;
+  const std::string goal_;
+  const ContainmentOptions& options_;
+  Status init_error_;
+  std::set<std::string> idb_;
+  std::vector<std::string> proof_vars_;
+  std::vector<QueryAnalysis> queries_;
+  std::map<std::string, GoalEntry> store_;
+  std::set<std::string> combined_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace
+
+StatusOr<ContainmentDecision> DecideDatalogInUcq(
+    const Program& program, const std::string& goal, const UnionOfCqs& theta,
+    const ContainmentOptions& options) {
+  Decider decider(program, goal, theta, options);
+  return decider.Run();
+}
+
+StatusOr<ContainmentDecision> DecideDatalogInCq(
+    const Program& program, const std::string& goal,
+    const ConjunctiveQuery& theta, const ContainmentOptions& options) {
+  UnionOfCqs union_of_one;
+  union_of_one.Add(theta);
+  return DecideDatalogInUcq(program, goal, union_of_one, options);
+}
+
+}  // namespace datalog

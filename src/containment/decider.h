@@ -1,0 +1,74 @@
+// On-the-fly decision procedure for containment of a recursive Datalog
+// program in a union of conjunctive queries (Theorem 5.12).
+//
+// Conceptually this runs the emptiness test of
+//   A^ptrees_{Q,Π}  ∩  complement( ∪_i A^θi_{Q,Π} )
+// without materializing the doubly-exponential automata: a bottom-up least
+// fixpoint discovers pairs (goal atom over var(Π), achievable set), where
+// the achievable set — the set of (disjunct, β, pinned-images) triples
+// some proof subtree with that root goal can strongly absorb — is exactly
+// one state of the determinized ∪A^θi. Goal atoms are explored up to
+// variable renaming (canonical instances; see instances.h) and child
+// states are re-embedded through var(Π) permutations, which is complete
+// because the semantics is renaming-equivariant.
+//
+// Π is contained in Θ iff every reachable root state accepts
+// (Theorem 5.8); a reachable non-accepting root state yields a concrete
+// counterexample proof tree.
+//
+// Options: `antichain` keeps only ⊆-minimal achievable sets per goal
+// (acceptance is ⊆-upward-closed and the combine step is monotone, so this
+// is sound and complete); disabling it gives the exact subset
+// construction, used for cross-validation.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_DECIDER_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_DECIDER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+#include "src/trees/expansion_tree.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+struct ContainmentOptions {
+  /// Keep only ⊆-minimal achievable sets per goal.
+  bool antichain = true;
+  /// Build counterexample proof trees (small cost; disable for benches).
+  bool track_witness = true;
+  /// Abort with ResourceExhausted beyond this many (goal, set) states.
+  std::size_t max_states = 1'000'000;
+};
+
+struct ContainmentStats {
+  std::size_t goals_discovered = 0;
+  std::size_t states_discovered = 0;
+  std::size_t combine_calls = 0;
+  int rounds = 0;
+};
+
+struct ContainmentDecision {
+  bool contained = true;
+  /// When not contained: a proof tree of the goal predicate into which no
+  /// disjunct maps strongly (a counterexample expansion), present when
+  /// track_witness was set.
+  std::optional<ExpansionTree> counterexample;
+  ContainmentStats stats;
+};
+
+/// Decides Q_Π ⊆ Θ for the goal predicate `goal` of `program`.
+StatusOr<ContainmentDecision> DecideDatalogInUcq(
+    const Program& program, const std::string& goal, const UnionOfCqs& theta,
+    const ContainmentOptions& options = ContainmentOptions());
+
+/// Convenience wrapper for a single conjunctive query.
+StatusOr<ContainmentDecision> DecideDatalogInCq(
+    const Program& program, const std::string& goal,
+    const ConjunctiveQuery& theta,
+    const ContainmentOptions& options = ContainmentOptions());
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_DECIDER_H_

@@ -1,0 +1,59 @@
+#include "src/containment/equivalence.h"
+
+#include "src/ast/analysis.h"
+#include "src/containment/ucq_in_datalog.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+
+StatusOr<ContainmentDecision> DecideDatalogInNonrecursive(
+    const Program& recursive, const std::string& recursive_goal,
+    const Program& nonrecursive, const std::string& nonrecursive_goal,
+    const EquivalenceOptions& options) {
+  StatusOr<UnionOfCqs> unfolded =
+      UnfoldNonrecursive(nonrecursive, nonrecursive_goal, options.unfold);
+  if (!unfolded.ok()) return unfolded.status();
+  return DecideDatalogInUcq(recursive, recursive_goal, *unfolded,
+                            options.containment);
+}
+
+StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
+    const Program& recursive, const std::string& recursive_goal,
+    const Program& nonrecursive, const std::string& nonrecursive_goal,
+    const EquivalenceOptions& options) {
+  if (IsRecursive(nonrecursive)) {
+    return Status(InvalidArgumentError(
+        "second program must be nonrecursive; swap the arguments"));
+  }
+  EquivalenceResult result;
+  StatusOr<UnionOfCqs> unfolded =
+      UnfoldNonrecursive(nonrecursive, nonrecursive_goal, options.unfold);
+  if (!unfolded.ok()) return unfolded.status();
+  result.unfolded_disjuncts = unfolded->size();
+
+  // Forward direction: Π ⊆ Π' via Theorem 5.12.
+  StatusOr<ContainmentDecision> forward = DecideDatalogInUcq(
+      recursive, recursive_goal, *unfolded, options.containment);
+  if (!forward.ok()) return forward.status();
+  result.forward_contained = forward->contained;
+  result.forward_counterexample = forward->counterexample;
+  result.forward_stats = forward->stats;
+
+  // Backward direction: Π' ⊆ Π via canonical databases, disjunct by
+  // disjunct (Theorem 2.3 reduces UCQ containment to its disjuncts).
+  result.backward_contained = true;
+  for (const ConjunctiveQuery& disjunct : unfolded->disjuncts()) {
+    StatusOr<bool> contained =
+        IsCqContainedInDatalog(disjunct, recursive, recursive_goal);
+    if (!contained.ok()) return contained.status();
+    if (!*contained) {
+      result.backward_contained = false;
+      result.backward_counterexample = disjunct;
+      break;
+    }
+  }
+  result.equivalent = result.forward_contained && result.backward_contained;
+  return result;
+}
+
+}  // namespace datalog

@@ -1,0 +1,118 @@
+#include "src/containment/instances.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/ast/analysis.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+
+CanonicalAtomInfo CanonicalizeAtom(const Atom& atom) {
+  CanonicalAtomInfo info;
+  Substitution rename;
+  for (const Term& t : atom.args()) {
+    if (!t.is_variable()) continue;
+    if (rename.count(t.name()) > 0) continue;
+    std::string canonical = ProofVariableName(info.original_vars.size());
+    rename.emplace(t.name(), Term::Variable(canonical));
+    info.original_vars.push_back(t.name());
+  }
+  info.atom = ApplySubstitution(rename, atom);
+  return info;
+}
+
+bool ForEachCanonicalInstance(const Rule& rule, std::size_t num_proof_vars,
+                              const std::function<bool(const Rule&)>& visit) {
+  std::vector<std::string> vars = rule.VariableNames();
+  // Restricted-growth strings: assignment[i] in 0..max(assignment[0..i-1])+1.
+  std::vector<std::size_t> classes(vars.size(), 0);
+  std::function<bool(std::size_t, std::size_t)> recurse =
+      [&](std::size_t index, std::size_t num_classes) -> bool {
+    if (index == vars.size()) {
+      Substitution subst;
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        subst.emplace(vars[i], Term::Variable(ProofVariableName(classes[i])));
+      }
+      return visit(ApplySubstitution(subst, rule));
+    }
+    std::size_t limit = std::min(num_classes + 1, num_proof_vars);
+    for (std::size_t c = 0; c < limit; ++c) {
+      classes[index] = c;
+      if (!recurse(index + 1, std::max(num_classes, c + 1))) return false;
+    }
+    return true;
+  };
+  return recurse(0, 0);
+}
+
+bool ForEachInstanceOver(const Rule& rule,
+                         const std::vector<std::string>& proof_vars,
+                         const std::function<bool(const Rule&)>& visit) {
+  std::vector<std::string> vars = rule.VariableNames();
+  std::vector<std::size_t> choice(vars.size(), 0);
+  std::function<bool(std::size_t)> recurse = [&](std::size_t index) -> bool {
+    if (index == vars.size()) {
+      Substitution subst;
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        subst.emplace(vars[i], Term::Variable(proof_vars[choice[i]]));
+      }
+      return visit(ApplySubstitution(subst, rule));
+    }
+    for (std::size_t c = 0; c < proof_vars.size(); ++c) {
+      choice[index] = c;
+      if (!recurse(index + 1)) return false;
+    }
+    return true;
+  };
+  return recurse(0);
+}
+
+namespace {
+
+ExpansionNode RenameNode(const ExpansionNode& node, const Substitution& subst) {
+  ExpansionNode renamed;
+  renamed.goal = ApplySubstitution(subst, node.goal);
+  renamed.rule = ApplySubstitution(subst, node.rule);
+  renamed.idb_positions = node.idb_positions;
+  renamed.children.reserve(node.children.size());
+  for (const ExpansionNode& child : node.children) {
+    renamed.children.push_back(RenameNode(child, subst));
+  }
+  return renamed;
+}
+
+}  // namespace
+
+ExpansionTree RenameTree(const ExpansionTree& tree, const Substitution& subst) {
+  return ExpansionTree(RenameNode(tree.root(), subst));
+}
+
+Substitution ExtendToPermutation(const std::vector<std::string>& from,
+                                 const std::vector<std::string>& to,
+                                 const std::vector<std::string>& proof_vars) {
+  DATALOG_CHECK_EQ(from.size(), to.size());
+  Substitution permutation;
+  std::unordered_set<std::string> used_targets;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    auto [it, inserted] = permutation.emplace(from[i], Term::Variable(to[i]));
+    DATALOG_CHECK(inserted || it->second.name() == to[i])
+        << "partial map is not a function";
+    DATALOG_CHECK(used_targets.insert(to[i]).second || !inserted)
+        << "partial map is not injective";
+  }
+  // Pair up the remaining proof variables.
+  std::vector<std::string> free_targets;
+  for (const std::string& v : proof_vars) {
+    if (used_targets.count(v) == 0) free_targets.push_back(v);
+  }
+  std::size_t next = 0;
+  for (const std::string& v : proof_vars) {
+    if (permutation.count(v) > 0) continue;
+    DATALOG_CHECK_LT(next, free_targets.size());
+    permutation.emplace(v, Term::Variable(free_targets[next++]));
+  }
+  return permutation;
+}
+
+}  // namespace datalog

@@ -1,0 +1,65 @@
+// Rule-instance enumeration over var(Π) (paper §5.1-5.2).
+//
+// The automata of Propositions 5.9/5.10 run over the alphabet of rule
+// instances with variables in var(Π). Two enumeration modes are provided:
+//
+// * Full enumeration — every substitution of the rule's variables by
+//   var(Π) variables. Faithful to the paper; exponential; used by the
+//   explicit automaton constructions on small programs.
+//
+// * Canonical enumeration — one instance per variable-identification
+//   pattern (set partition of the rule's variables, via restricted-growth
+//   strings), with classes named $0, $1, ... in first-occurrence order.
+//   The achievable-set semantics of proof subtrees is equivariant under
+//   permutations of var(Π), so exploring canonical instances and
+//   re-embedding child states through a permutation is complete; this is
+//   what makes the on-the-fly decider practical.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_INSTANCES_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_INSTANCES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/trees/expansion_tree.h"
+
+namespace datalog {
+
+/// An atom with variables renamed to $0, $1, ... in first-occurrence
+/// order, plus the original variable spelled by each canonical index.
+struct CanonicalAtomInfo {
+  Atom atom;
+  /// original_vars[i] is the variable the canonical variable $i replaced.
+  std::vector<std::string> original_vars;
+};
+
+CanonicalAtomInfo CanonicalizeAtom(const Atom& atom);
+
+/// Enumerates one instance per set partition of the rule's variables
+/// (classes named canonically); partitions needing more than
+/// `num_proof_vars` classes are skipped (cannot occur over var(Π)).
+/// Returns false if `visit` stopped the enumeration.
+bool ForEachCanonicalInstance(const Rule& rule, std::size_t num_proof_vars,
+                              const std::function<bool(const Rule&)>& visit);
+
+/// Enumerates every instance of `rule` over the variable names in
+/// `proof_vars` (full substitution space; |proof_vars|^k instances).
+bool ForEachInstanceOver(const Rule& rule,
+                         const std::vector<std::string>& proof_vars,
+                         const std::function<bool(const Rule&)>& visit);
+
+/// Applies a variable renaming to every label of an expansion tree.
+ExpansionTree RenameTree(const ExpansionTree& tree, const Substitution& subst);
+
+/// Builds a permutation of `proof_vars` (as a Substitution) that sends
+/// from[i] to to[i] for each i; the partial map must be injective and both
+/// sides must consist of proof variables. Remaining variables are matched
+/// up arbitrarily.
+Substitution ExtendToPermutation(const std::vector<std::string>& from,
+                                 const std::vector<std::string>& to,
+                                 const std::vector<std::string>& proof_vars);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_INSTANCES_H_

@@ -1,0 +1,262 @@
+#include "src/containment/linear.h"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "src/ast/analysis.h"
+#include "src/containment/absorb.h"
+#include "src/containment/query_analysis.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+std::string PinnedToString(const PinnedMap& pinned) {
+  std::string out;
+  for (const auto& [v, t] : pinned) out += StrCat(v, "=", t.ToString(), ";");
+  return out;
+}
+
+// Builds the word automaton for one disjunct over the shared alphabet.
+// States: (goal atom, pending atom mask, pinned images) plus `accept`.
+StatusOr<Nfa> BuildThetaWordAutomaton(
+    const QueryAnalysis& query, const ProgramAlphabet& alphabet,
+    const std::map<std::string, std::vector<int>>& labels_by_head,
+    const std::vector<Atom>& goal_atoms, std::size_t max_states) {
+  Nfa nfa(0, alphabet.labels.size());
+  int accept = nfa.AddState();
+  nfa.SetAccepting(accept);
+
+  struct State {
+    Atom atom;
+    std::uint64_t mask;
+    PinnedMap pinned;
+  };
+  std::vector<State> states;
+  std::map<std::string, int> ids;
+  std::vector<int> worklist;
+  auto intern = [&](Atom atom, std::uint64_t mask, PinnedMap pinned) -> int {
+    std::string key =
+        StrCat(atom.ToString(), "|", mask, "|", PinnedToString(pinned));
+    auto [it, inserted] = ids.emplace(key, -1);
+    if (inserted) {
+      it->second = nfa.AddState();
+      states.push_back({std::move(atom), mask, std::move(pinned)});
+      worklist.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  // Initial states: unify the disjunct's head vector with each goal atom.
+  const ConjunctiveQuery& cq = *query.cq;
+  for (const Atom& root : goal_atoms) {
+    if (cq.head_args().size() != root.args().size()) continue;
+    PinnedMap pinned;
+    std::vector<std::optional<Term>> head_image(query.vars.size());
+    bool ok = true;
+    for (std::size_t i = 0; i < root.args().size() && ok; ++i) {
+      const Term& from = cq.head_args()[i];
+      const Term& to = root.args()[i];
+      if (from.is_constant()) {
+        ok = to.is_constant() && to.name() == from.name();
+        continue;
+      }
+      int v = query.var_ids.at(from.name());
+      if (head_image[v].has_value()) {
+        ok = (*head_image[v] == to);
+      } else {
+        head_image[v] = to;
+      }
+    }
+    if (!ok) continue;
+    // Pin distinguished variables that occur in the body.
+    for (std::size_t v = 0; v < query.vars.size(); ++v) {
+      if (head_image[v].has_value() && query.atoms_of_var[v] != 0) {
+        pinned.emplace_back(static_cast<int>(v), *head_image[v]);
+      }
+    }
+    int id = intern(root, query.full_mask, std::move(pinned));
+    nfa.SetInitial(id);
+  }
+
+  std::set<std::string> idb_free;  // not needed; arity from alphabet
+  (void)idb_free;
+  while (!worklist.empty()) {
+    if (states.size() > max_states) {
+      return Status(ResourceExhaustedError(
+          StrCat("linear theta automaton exceeded ", max_states,
+                 " states")));
+    }
+    int id = worklist.back();
+    worklist.pop_back();
+    // Copy: `states` may reallocate while we intern successors.
+    State state = states[id - 1];  // state ids start after `accept`
+    auto it = labels_by_head.find(state.atom.ToString());
+    if (it == labels_by_head.end()) continue;
+    for (int symbol : it->second) {
+      const Rule& label = alphabet.labels[symbol];
+      std::vector<const Atom*> edb_atoms;
+      for (std::size_t i = 0; i < label.body().size(); ++i) {
+        bool is_idb = false;
+        for (std::size_t pos : alphabet.label_idb_positions[symbol]) {
+          if (pos == i) is_idb = true;
+        }
+        if (!is_idb) edb_atoms.push_back(&label.body()[i]);
+      }
+      int arity = alphabet.arities[symbol];
+      const Atom* child_goal =
+          arity == 1
+              ? &label.body()[alphabet.label_idb_positions[symbol][0]]
+              : nullptr;
+      EnumerateForwardAbsorptions(
+          query, state.mask, edb_atoms, state.pinned,
+          [&](std::uint64_t beta_prime,
+              const std::vector<std::optional<Term>>& images) {
+            if (arity == 0) {
+              // Leaf: everything pending must be absorbed here.
+              if (beta_prime == state.mask) {
+                nfa.AddTransition(id, symbol, accept);
+              }
+              return;
+            }
+            std::uint64_t next_mask = state.mask & ~beta_prime;
+            // Variables still relevant below: pending atoms contain them
+            // and their image is already determined.
+            PinnedMap next_pinned;
+            std::unordered_set<std::string> child_vars;
+            for (const Term& t : child_goal->args()) {
+              if (t.is_variable()) child_vars.insert(t.name());
+            }
+            for (std::size_t v = 0; v < query.vars.size(); ++v) {
+              if ((query.atoms_of_var[v] & next_mask) == 0) continue;
+              if (!images[v].has_value()) continue;
+              // Visibility (the paper's condition 4): the image must
+              // occur in the child goal to stay connected.
+              if (images[v]->is_variable() &&
+                  child_vars.count(images[v]->name()) == 0) {
+                return;  // this absorption cannot continue downward
+              }
+              next_pinned.emplace_back(static_cast<int>(v), *images[v]);
+            }
+            int next = intern(*child_goal, next_mask, std::move(next_pinned));
+            nfa.AddTransition(id, symbol, next);
+          });
+    }
+  }
+  return nfa;
+}
+
+}  // namespace
+
+StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
+    const Program& program, const std::string& goal, const UnionOfCqs& theta,
+    const LinearContainmentOptions& options) {
+  if (!IsLinearInIdb(program)) {
+    return Status(InvalidArgumentError(
+        "program is not linear (a rule has more than one IDB subgoal)"));
+  }
+  StatusOr<ProgramAlphabet> alphabet_or =
+      BuildProgramAlphabet(program, options.max_labels);
+  if (!alphabet_or.ok()) return alphabet_or.status();
+  const ProgramAlphabet& alphabet = *alphabet_or;
+
+  LinearContainmentResult result;
+  result.alphabet_size = alphabet.labels.size();
+
+  // A^ptrees as a word automaton: states are the IDB atoms, words read the
+  // labels from the root to the leaf.
+  Nfa ptrees(0, alphabet.labels.size());
+  int accept = ptrees.AddState();
+  ptrees.SetAccepting(accept);
+  std::map<std::string, int> atom_ids;
+  std::vector<Atom> state_atoms;
+  auto atom_state = [&](const Atom& atom) {
+    auto [it, inserted] =
+        atom_ids.emplace(atom.ToString(), -1);
+    if (inserted) {
+      it->second = ptrees.AddState();
+      state_atoms.push_back(atom);
+    }
+    return it->second;
+  };
+  std::map<std::string, std::vector<int>> labels_by_head;
+  for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
+    const Rule& label = alphabet.labels[symbol];
+    int from = atom_state(label.head());
+    labels_by_head[label.head().ToString()].push_back(
+        static_cast<int>(symbol));
+    if (alphabet.arities[symbol] == 0) {
+      ptrees.AddTransition(from, static_cast<int>(symbol), accept);
+    } else {
+      int to =
+          atom_state(label.body()[alphabet.label_idb_positions[symbol][0]]);
+      ptrees.AddTransition(from, static_cast<int>(symbol), to);
+    }
+  }
+  std::vector<Atom> goal_atoms;
+  for (const Atom& atom : state_atoms) {
+    if (atom.predicate() == goal) {
+      ptrees.SetInitial(atom_ids.at(atom.ToString()));
+      goal_atoms.push_back(atom);
+    }
+  }
+  result.ptrees_states = ptrees.num_states();
+
+  // Union of the disjuncts' word automata.
+  std::optional<Nfa> union_automaton;
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    StatusOr<QueryAnalysis> analysis = AnalyzeQuery(disjunct);
+    if (!analysis.ok()) return analysis.status();
+    StatusOr<Nfa> theta_nfa =
+        BuildThetaWordAutomaton(*analysis, alphabet, labels_by_head,
+                                goal_atoms, options.max_states);
+    if (!theta_nfa.ok()) return theta_nfa.status();
+    result.theta_states += theta_nfa->num_states();
+    if (union_automaton.has_value()) {
+      union_automaton = Nfa::Union(*union_automaton, *theta_nfa);
+    } else {
+      union_automaton = std::move(theta_nfa).value();
+    }
+  }
+
+  auto decode = [&alphabet](const std::vector<int>& word) {
+    DATALOG_CHECK(!word.empty());
+    // Build the path tree bottom-up from the last label.
+    ExpansionNode node;
+    for (std::size_t i = word.size(); i-- > 0;) {
+      ExpansionNode parent;
+      parent.rule = alphabet.labels[word[i]];
+      parent.goal = parent.rule.head();
+      parent.idb_positions = alphabet.label_idb_positions[word[i]];
+      if (i + 1 < word.size()) {
+        parent.children.push_back(std::move(node));
+      }
+      node = std::move(parent);
+    }
+    return ExpansionTree(std::move(node));
+  };
+
+  if (!union_automaton.has_value()) {
+    result.contained = ptrees.IsEmpty();
+    if (!result.contained) {
+      result.counterexample = decode(*ptrees.ShortestWord());
+    }
+    return result;
+  }
+
+  Nfa::ContainmentOptions containment_options;
+  containment_options.antichain = options.antichain;
+  StatusOr<Nfa::ContainmentResult> containment =
+      Nfa::Contains(ptrees, *union_automaton, containment_options);
+  if (!containment.ok()) return containment.status();
+  result.contained = containment->contained;
+  result.pairs_explored = containment->explored;
+  if (!containment->contained) {
+    result.counterexample = decode(containment->counterexample);
+  }
+  return result;
+}
+
+}  // namespace datalog

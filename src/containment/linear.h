@@ -1,0 +1,51 @@
+// Containment for linear programs via WORD automata — the parenthetical
+// track of Theorem 5.12 (EXPSPACE instead of 2EXPTIME).
+//
+// When every rule has at most one IDB subgoal, proof trees are paths, so
+// ptrees(Q,Π) and the strongly-covered trees are regular *word* languages
+// over the rule-instance alphabet: a word lists the labels from the root
+// down to the leaf. A^ptrees becomes an NFA over IDB-atom states; A^θ
+// becomes an NFA over states (goal atom, pending atom set β, pinned
+// images m) that absorbs θ's atoms greedily down the path; containment is
+// then NFA containment (PSPACE in the automata, Proposition 4.3), decided
+// by the on-the-fly subset construction with antichain pruning.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_LINEAR_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_LINEAR_H_
+
+#include <optional>
+#include <string>
+
+#include "src/automata/nfa.h"
+#include "src/containment/ptrees_automaton.h"
+#include "src/cq/cq.h"
+#include "src/trees/expansion_tree.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+struct LinearContainmentOptions {
+  bool antichain = true;
+  std::size_t max_states = 500'000;
+  std::size_t max_labels = 2'000'000;
+};
+
+struct LinearContainmentResult {
+  bool contained = true;
+  /// A counterexample path proof tree when not contained.
+  std::optional<ExpansionTree> counterexample;
+  std::size_t alphabet_size = 0;
+  std::size_t ptrees_states = 0;
+  std::size_t theta_states = 0;
+  /// (state, subset) pairs explored by the NFA containment check.
+  std::size_t pairs_explored = 0;
+};
+
+/// Decides Q_Π ⊆ Θ for a linear-in-IDB program (every rule has at most one
+/// IDB subgoal); InvalidArgument otherwise.
+StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
+    const Program& program, const std::string& goal, const UnionOfCqs& theta,
+    const LinearContainmentOptions& options = LinearContainmentOptions());
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_LINEAR_H_

@@ -1,0 +1,139 @@
+#include "src/containment/ptrees_automaton.h"
+
+#include <set>
+
+#include "src/ast/analysis.h"
+#include "src/containment/instances.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+
+int ProgramAlphabet::SymbolOf(const Rule& instance) const {
+  auto it = label_ids.find(instance.ToString());
+  return it == label_ids.end() ? -1 : it->second;
+}
+
+StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
+                                               std::size_t max_labels) {
+  ProgramAlphabet alphabet;
+  alphabet.proof_vars = ProofVariables(program);
+  std::set<std::string> idb = program.IdbPredicates();
+  bool overflow = false;
+  for (std::size_t rule_index = 0; rule_index < program.rules().size();
+       ++rule_index) {
+    const Rule& rule = program.rules()[rule_index];
+    bool completed = ForEachInstanceOver(
+        rule, alphabet.proof_vars, [&](const Rule& instance) {
+          if (alphabet.labels.size() >= max_labels) {
+            overflow = true;
+            return false;
+          }
+          auto [it, inserted] = alphabet.label_ids.emplace(
+              instance.ToString(), static_cast<int>(alphabet.labels.size()));
+          if (!inserted) return true;  // duplicate instance
+          std::vector<std::size_t> idb_positions;
+          for (std::size_t i = 0; i < instance.body().size(); ++i) {
+            if (idb.count(instance.body()[i].predicate()) > 0) {
+              idb_positions.push_back(i);
+            }
+          }
+          alphabet.arities.push_back(static_cast<int>(idb_positions.size()));
+          alphabet.label_idb_positions.push_back(std::move(idb_positions));
+          alphabet.labels.push_back(instance);
+          alphabet.label_rule_index.push_back(rule_index);
+          return true;
+        });
+    if (!completed && overflow) {
+      return Status(ResourceExhaustedError(
+          StrCat("alphabet exceeded ", max_labels, " labels")));
+    }
+  }
+  return alphabet;
+}
+
+int PtreesAutomaton::StateOf(const Atom& atom) const {
+  auto it = atom_states.find(atom.ToString());
+  return it == atom_states.end() ? -1 : it->second;
+}
+
+StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
+                                               const std::string& goal,
+                                               std::size_t max_labels) {
+  StatusOr<ProgramAlphabet> alphabet =
+      BuildProgramAlphabet(program, max_labels);
+  if (!alphabet.ok()) return alphabet.status();
+  PtreesAutomaton automaton{std::move(alphabet).value(),
+                            Nfta(0, {}),
+                            {},
+                            {}};
+  // States: every IDB atom occurring as a label head or IDB body atom.
+  Nfta nfta(0, automaton.alphabet.arities);
+  auto state_of = [&automaton, &nfta](const Atom& atom) {
+    auto [it, inserted] = automaton.atom_states.emplace(
+        atom.ToString(), static_cast<int>(automaton.state_atoms.size()));
+    if (inserted) {
+      automaton.state_atoms.push_back(atom);
+      nfta.AddState();
+    }
+    return it->second;
+  };
+  for (std::size_t symbol = 0; symbol < automaton.alphabet.labels.size();
+       ++symbol) {
+    const Rule& label = automaton.alphabet.labels[symbol];
+    std::vector<int> children;
+    for (std::size_t pos : automaton.alphabet.label_idb_positions[symbol]) {
+      children.push_back(state_of(label.body()[pos]));
+    }
+    int head_state = state_of(label.head());
+    nfta.AddTransition(static_cast<int>(symbol), std::move(children),
+                       head_state);
+  }
+  // Final states (the paper's start states, read top-down): all
+  // goal-predicate atoms.
+  for (std::size_t s = 0; s < automaton.state_atoms.size(); ++s) {
+    if (automaton.state_atoms[s].predicate() == goal) {
+      nfta.SetFinal(static_cast<int>(s));
+    }
+  }
+  automaton.nfta = std::move(nfta);
+  return automaton;
+}
+
+std::optional<LabeledTree> ProofTreeToLabeledTree(
+    const ProgramAlphabet& alphabet, const ExpansionTree& tree) {
+  std::function<std::optional<LabeledTree>(const ExpansionNode&)> encode =
+      [&](const ExpansionNode& node) -> std::optional<LabeledTree> {
+    int symbol = alphabet.SymbolOf(node.rule);
+    if (symbol < 0) return std::nullopt;
+    LabeledTree encoded;
+    encoded.symbol = symbol;
+    for (const ExpansionNode& child : node.children) {
+      std::optional<LabeledTree> encoded_child = encode(child);
+      if (!encoded_child.has_value()) return std::nullopt;
+      encoded.children.push_back(std::move(*encoded_child));
+    }
+    return encoded;
+  };
+  return encode(tree.root());
+}
+
+ExpansionTree LabeledTreeToProofTree(const ProgramAlphabet& alphabet,
+                                     const LabeledTree& tree) {
+  std::function<ExpansionNode(const LabeledTree&)> decode =
+      [&](const LabeledTree& node) {
+        DATALOG_CHECK_LT(static_cast<std::size_t>(node.symbol),
+                         alphabet.labels.size());
+        ExpansionNode decoded;
+        decoded.rule = alphabet.labels[node.symbol];
+        decoded.goal = decoded.rule.head();
+        decoded.idb_positions = alphabet.label_idb_positions[node.symbol];
+        for (const LabeledTree& child : node.children) {
+          decoded.children.push_back(decode(child));
+        }
+        return decoded;
+      };
+  return ExpansionTree(decode(tree));
+}
+
+}  // namespace datalog

@@ -1,0 +1,74 @@
+// The explicit tree automaton A^ptrees_{Q,Π} of Proposition 5.9, whose
+// language is exactly ptrees(Q, Π) — the proof trees of the goal
+// predicate. Faithful to the paper: the alphabet is the set of rule
+// instances over var(Π) (exponential in the size of Π), the states are the
+// IDB atoms over var(Π), and (read bottom-up) a node labeled by instance ρ
+// maps the states of its children (the IDB body atoms of ρ) to the state
+// head(ρ); final states are the goal-predicate atoms.
+//
+// Intended for small programs and cross-validation against the on-the-fly
+// decider; construction cost is exponential by design.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_PTREES_AUTOMATON_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_PTREES_AUTOMATON_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/automata/nfta.h"
+#include "src/trees/expansion_tree.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+/// The label alphabet of Propositions 5.9/5.10: every instance of every
+/// program rule over var(Π), tagged with the originating rule. The symbol
+/// arity is the number of IDB atoms in the instance's body.
+struct ProgramAlphabet {
+  std::vector<Rule> labels;
+  std::vector<std::size_t> label_rule_index;
+  /// Positions of IDB atoms in each label's body (children align).
+  std::vector<std::vector<std::size_t>> label_idb_positions;
+  std::vector<int> arities;
+  std::map<std::string, int> label_ids;  // Rule::ToString() -> symbol
+  std::vector<std::string> proof_vars;
+
+  int SymbolOf(const Rule& instance) const;
+};
+
+/// Enumerates the full alphabet. Fails with ResourceExhausted beyond
+/// `max_labels` instances.
+StatusOr<ProgramAlphabet> BuildProgramAlphabet(
+    const Program& program, std::size_t max_labels = 2'000'000);
+
+struct PtreesAutomaton {
+  ProgramAlphabet alphabet;
+  Nfta nfta;
+  std::map<std::string, int> atom_states;  // Atom::ToString() -> state
+  std::vector<Atom> state_atoms;
+
+  int StateOf(const Atom& atom) const;
+};
+
+/// Builds A^ptrees_{Q,Π} (Proposition 5.9).
+StatusOr<PtreesAutomaton> BuildPtreesAutomaton(
+    const Program& program, const std::string& goal,
+    std::size_t max_labels = 2'000'000);
+
+/// Encodes a proof tree as a labeled tree over the alphabet; nullopt if a
+/// node's rule instance is not an alphabet label (i.e. uses variables
+/// outside var(Π)).
+std::optional<LabeledTree> ProofTreeToLabeledTree(
+    const ProgramAlphabet& alphabet, const ExpansionTree& tree);
+
+/// Decodes a labeled tree back into an expansion tree (goals are the
+/// instance heads). The result may fail ValidateExpansionTree if the
+/// labeled tree was not actually accepted.
+ExpansionTree LabeledTreeToProofTree(const ProgramAlphabet& alphabet,
+                                     const LabeledTree& tree);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_PTREES_AUTOMATON_H_

@@ -1,0 +1,57 @@
+#include "src/containment/query_analysis.h"
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+StatusOr<QueryAnalysis> AnalyzeQuery(const ConjunctiveQuery& cq) {
+  if (cq.body().size() > 62) {
+    return Status(InvalidArgumentError(
+        StrCat("disjunct has ", cq.body().size(),
+               " atoms; at most 62 are supported")));
+  }
+  QueryAnalysis analysis;
+  analysis.cq = &cq;
+  auto var_id = [&analysis](const std::string& name) {
+    auto [it, inserted] =
+        analysis.var_ids.emplace(name, static_cast<int>(analysis.vars.size()));
+    if (inserted) {
+      analysis.vars.push_back(name);
+      analysis.atoms_of_var.push_back(0);
+      analysis.distinguished.push_back(false);
+    }
+    return it->second;
+  };
+  for (const Term& t : cq.head_args()) {
+    if (t.is_variable()) analysis.distinguished[var_id(t.name())] = true;
+  }
+  for (std::size_t a = 0; a < cq.body().size(); ++a) {
+    analysis.full_mask |= std::uint64_t{1} << a;
+    std::vector<int> vars_here;
+    for (const Term& t : cq.body()[a].args()) {
+      if (!t.is_variable()) continue;
+      int v = var_id(t.name());
+      analysis.atoms_of_var[v] |= std::uint64_t{1} << a;
+      bool seen = false;
+      for (int existing : vars_here) {
+        if (existing == v) seen = true;
+      }
+      if (!seen) vars_here.push_back(v);
+    }
+    analysis.vars_of_atom.push_back(std::move(vars_here));
+  }
+  return analysis;
+}
+
+StatusOr<std::vector<QueryAnalysis>> AnalyzeUnion(const UnionOfCqs& ucq) {
+  std::vector<QueryAnalysis> analyses;
+  analyses.reserve(ucq.size());
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    StatusOr<QueryAnalysis> analysis = AnalyzeQuery(cq);
+    if (!analysis.ok()) return analysis.status();
+    analyses.push_back(std::move(analysis).value());
+  }
+  return analyses;
+}
+
+}  // namespace datalog

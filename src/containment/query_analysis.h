@@ -1,0 +1,56 @@
+// Per-disjunct precomputation for the containment machinery of §5:
+// variable indexing, atom-incidence bitmasks, and the "exposed variable"
+// computation that underlies both the A^θ automaton (Proposition 5.10) and
+// the on-the-fly containment decider.
+//
+// For a subset β of θ's atoms (an absorbed set), a variable v of β is
+// *exposed* when its image must remain visible at the current subtree's
+// root goal: v is distinguished, or v also occurs in atoms outside β.
+// Exposed images are exactly the partial mapping M the paper threads
+// through the automaton states; restricting M to exposed variables is
+// language-preserving and keeps the state space finite-practical.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_QUERY_ANALYSIS_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_QUERY_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cq/cq.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+/// Analysis of one conjunctive query (a disjunct of Θ).
+struct QueryAnalysis {
+  const ConjunctiveQuery* cq = nullptr;
+  /// Distinct variable names, head first.
+  std::vector<std::string> vars;
+  std::unordered_map<std::string, int> var_ids;
+  /// For each variable: bitmask of body atoms containing it.
+  std::vector<std::uint64_t> atoms_of_var;
+  /// For each variable: whether it occurs in the head.
+  std::vector<bool> distinguished;
+  /// For each body atom: the variable ids occurring in it.
+  std::vector<std::vector<int>> vars_of_atom;
+  /// Bitmask with one bit per body atom.
+  std::uint64_t full_mask = 0;
+
+  /// True if variable `v` is exposed w.r.t. absorbed set `mask`.
+  bool IsExposed(int v, std::uint64_t mask) const {
+    if ((atoms_of_var[v] & mask) == 0) return false;  // not in beta at all
+    if (distinguished[v]) return true;
+    return (atoms_of_var[v] & full_mask & ~mask) != 0;
+  }
+};
+
+/// Builds the analysis; fails if a disjunct has more than 62 body atoms.
+StatusOr<QueryAnalysis> AnalyzeQuery(const ConjunctiveQuery& cq);
+
+/// Analyses for all disjuncts of a union.
+StatusOr<std::vector<QueryAnalysis>> AnalyzeUnion(const UnionOfCqs& ucq);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_QUERY_ANALYSIS_H_

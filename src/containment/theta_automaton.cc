@@ -1,0 +1,182 @@
+#include "src/containment/theta_automaton.h"
+
+#include <set>
+
+#include "src/containment/query_analysis.h"
+#include "src/util/iteration.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+std::string StateKey(const Atom& atom,
+                     const std::optional<AchievedPair>& pair) {
+  if (!pair.has_value()) return StrCat(atom.ToString(), " | -");
+  return StrCat(atom.ToString(), " | ", pair->ToString());
+}
+
+}  // namespace
+
+StatusOr<ThetaAutomaton> BuildThetaAutomaton(
+    const Program& program, const std::string& goal,
+    const ConjunctiveQuery& theta, const ProgramAlphabet& alphabet,
+    const ThetaAutomatonLimits& limits) {
+  StatusOr<QueryAnalysis> analysis = AnalyzeQuery(theta);
+  if (!analysis.ok()) return analysis.status();
+  std::vector<QueryAnalysis> queries;
+  queries.push_back(std::move(analysis).value());
+
+  std::set<std::string> idb = program.IdbPredicates();
+  ThetaAutomaton automaton{Nfta(0, alphabet.arities), {}, {}};
+  Nfta nfta(0, alphabet.arities);
+  // Discovered state ids per atom string, for child enumeration.
+  std::map<std::string, std::vector<int>> by_atom;
+  auto intern = [&](const Atom& atom,
+                    const std::optional<AchievedPair>& pair) -> int {
+    std::string key = StateKey(atom, pair);
+    auto [it, inserted] =
+        automaton.state_ids.emplace(key, static_cast<int>(
+                                             automaton.states.size()));
+    if (inserted) {
+      automaton.states.push_back({atom, pair});
+      by_atom[atom.ToString()].push_back(it->second);
+      nfta.AddState();
+    }
+    return it->second;
+  };
+
+  std::set<std::string> transition_keys;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
+      const Rule& label = alphabet.labels[symbol];
+      std::vector<const Atom*> edb_atoms;
+      std::vector<Atom> child_goals;
+      for (std::size_t i = 0; i < label.body().size(); ++i) {
+        if (idb.count(label.body()[i].predicate()) > 0) {
+          child_goals.push_back(label.body()[i]);
+        } else {
+          edb_atoms.push_back(&label.body()[i]);
+        }
+      }
+      // Options per child: all discovered states for the child atom.
+      std::vector<const std::vector<int>*> options;
+      bool feasible = true;
+      for (const Atom& child : child_goals) {
+        auto it = by_atom.find(child.ToString());
+        if (it == by_atom.end()) {
+          feasible = false;
+          break;
+        }
+        options.push_back(&it->second);
+      }
+      if (!feasible) continue;
+      std::vector<std::size_t> sizes;
+      for (const std::vector<int>* option : options) {
+        sizes.push_back(option->size());
+      }
+      bool within_limits = ForEachProduct(sizes, [&](const std::vector<
+                                                     std::size_t>& choice) {
+        std::vector<int> child_ids;
+        std::vector<AchievedSet> child_sets(child_goals.size());
+        std::vector<const AchievedSet*> set_ptrs(child_goals.size());
+        bool all_children_empty = true;
+        for (std::size_t j = 0; j < child_goals.size(); ++j) {
+          int id = (*options[j])[choice[j]];
+          child_ids.push_back(id);
+          if (automaton.states[id].pair.has_value()) {
+            child_sets[j].push_back(*automaton.states[id].pair);
+            all_children_empty = false;
+          }
+          set_ptrs[j] = &child_sets[j];
+        }
+        AchievedSet parents;
+        CombineAtNode(queries, label, edb_atoms, child_goals, set_ptrs,
+                      &parents);
+        auto add_transition = [&](const std::optional<AchievedPair>& pair) {
+          int parent = intern(label.head(), pair);
+          if (automaton.states.size() > limits.max_states) return false;
+          std::string key = StrCat(symbol, "|", StrJoin(child_ids, ","),
+                                   "->", parent);
+          if (transition_keys.insert(key).second) {
+            nfta.AddTransition(static_cast<int>(symbol), child_ids, parent);
+            changed = true;
+          }
+          return transition_keys.size() <= limits.max_transitions;
+        };
+        for (const AchievedPair& pair : parents) {
+          if (!add_transition(pair)) return false;
+        }
+        if (all_children_empty) {
+          // The "absorbed nothing" run continues.
+          if (!add_transition(std::nullopt)) return false;
+        }
+        return true;
+      });
+      if (!within_limits) {
+        return Status(ResourceExhaustedError(
+            StrCat("theta automaton exceeded limits (states=",
+                   automaton.states.size(), ", transitions=",
+                   transition_keys.size(), ")")));
+      }
+    }
+  }
+  // Final states: root acceptance per Theorem 5.8.
+  for (std::size_t s = 0; s < automaton.states.size(); ++s) {
+    const ThetaAutomaton::State& state = automaton.states[s];
+    if (state.atom.predicate() != goal) continue;
+    AchievedSet singleton;
+    if (state.pair.has_value()) singleton.push_back(*state.pair);
+    if (RootAcceptsQuery(queries[0], state.atom, singleton)) {
+      nfta.SetFinal(static_cast<int>(s));
+    }
+  }
+  automaton.nfta = std::move(nfta);
+  return automaton;
+}
+
+StatusOr<ExplicitContainmentResult> DecideContainmentViaExplicitAutomata(
+    const Program& program, const std::string& goal, const UnionOfCqs& theta,
+    const ThetaAutomatonLimits& limits) {
+  StatusOr<PtreesAutomaton> ptrees = BuildPtreesAutomaton(program, goal);
+  if (!ptrees.ok()) return ptrees.status();
+  ExplicitContainmentResult result;
+  result.ptrees_states = ptrees->nfta.num_states();
+  result.alphabet_size = ptrees->alphabet.labels.size();
+
+  std::optional<Nfta> union_automaton;
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    StatusOr<ThetaAutomaton> theta_automaton = BuildThetaAutomaton(
+        program, goal, disjunct, ptrees->alphabet, limits);
+    if (!theta_automaton.ok()) return theta_automaton.status();
+    result.theta_states += theta_automaton->nfta.num_states();
+    if (union_automaton.has_value()) {
+      union_automaton =
+          Nfta::Union(*union_automaton, theta_automaton->nfta);
+    } else {
+      union_automaton = theta_automaton->nfta;
+    }
+  }
+  if (!union_automaton.has_value()) {
+    // Empty union: contained iff the proof-tree language is empty.
+    result.contained = ptrees->nfta.IsEmpty();
+    if (!result.contained) {
+      result.counterexample =
+          LabeledTreeToProofTree(ptrees->alphabet, *ptrees->nfta.WitnessTree());
+    }
+    return result;
+  }
+  StatusOr<Nfta::ContainmentResult> containment =
+      Nfta::Contains(ptrees->nfta, *union_automaton);
+  if (!containment.ok()) return containment.status();
+  result.contained = containment->contained;
+  if (!containment->contained) {
+    result.counterexample =
+        LabeledTreeToProofTree(ptrees->alphabet, containment->counterexample);
+  }
+  return result;
+}
+
+}  // namespace datalog

@@ -1,0 +1,67 @@
+// The explicit tree automaton A^θ_{Q,Π} of Proposition 5.10: it accepts
+// exactly the proof trees in ptrees(Q,Π) into which the conjunctive query
+// θ has a strong containment mapping. Containment of Π in a union Θ then
+// reduces to tree-automaton containment (Theorem 5.11):
+//   Π ⊆ Θ  iff  T(A^ptrees) ⊆ ∪_i T(A^θi).
+//
+// States are (IDB atom α over var(Π), absorbed pair (β, m)) with m the
+// paper's partial mapping restricted to the exposed variables of β (a
+// language-preserving quotient; see query_analysis.h), plus an "absorbed
+// nothing" state per atom. Construction is bottom-up over reachable
+// states only, but still exponential by design — use the on-the-fly
+// decider for anything but small inputs.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_THETA_AUTOMATON_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_THETA_AUTOMATON_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/automata/nfta.h"
+#include "src/containment/absorb.h"
+#include "src/containment/ptrees_automaton.h"
+#include "src/cq/cq.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+struct ThetaAutomaton {
+  struct State {
+    Atom atom;
+    /// nullopt encodes the "absorbed nothing" state.
+    std::optional<AchievedPair> pair;
+  };
+  Nfta nfta;
+  std::vector<State> states;
+  std::map<std::string, int> state_ids;
+};
+
+struct ThetaAutomatonLimits {
+  std::size_t max_states = 200'000;
+  std::size_t max_transitions = 2'000'000;
+};
+
+/// Builds A^θ_{Q,Π} over the given program alphabet.
+StatusOr<ThetaAutomaton> BuildThetaAutomaton(
+    const Program& program, const std::string& goal,
+    const ConjunctiveQuery& theta, const ProgramAlphabet& alphabet,
+    const ThetaAutomatonLimits& limits = ThetaAutomatonLimits());
+
+/// Theorem 5.11 end-to-end on explicit automata: decides Π ⊆ Θ by testing
+/// T(A^ptrees) ⊆ ∪_i T(A^θi); returns the automaton-level result plus the
+/// decoded counterexample proof tree when not contained.
+struct ExplicitContainmentResult {
+  bool contained = true;
+  std::optional<ExpansionTree> counterexample;
+  std::size_t ptrees_states = 0;
+  std::size_t theta_states = 0;
+  std::size_t alphabet_size = 0;
+};
+StatusOr<ExplicitContainmentResult> DecideContainmentViaExplicitAutomata(
+    const Program& program, const std::string& goal, const UnionOfCqs& theta,
+    const ThetaAutomatonLimits& limits = ThetaAutomatonLimits());
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_THETA_AUTOMATON_H_

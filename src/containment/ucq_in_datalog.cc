@@ -1,0 +1,48 @@
+#include "src/containment/ucq_in_datalog.h"
+
+#include "src/cq/canonical_db.h"
+#include "src/engine/database.h"
+#include "src/engine/eval.h"
+
+namespace datalog {
+
+StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
+                                      const Program& program,
+                                      const std::string& goal) {
+  CanonicalDatabase frozen = FreezeCq(theta);
+  Database db;
+  for (const Atom& fact : frozen.facts) {
+    Status s = db.AddFactAtom(fact);
+    if (!s.ok()) return s;
+  }
+  // Every frozen variable is part of the canonical instance's domain, even
+  // when it appears only in the head; record it in an auxiliary relation
+  // so the active domain is right for unsafe rules.
+  for (const Term& t : frozen.goal_tuple) {
+    db.AddFact("__domain", {t.name()});
+  }
+  StatusOr<Relation> result = EvaluateGoal(program, goal, db);
+  if (!result.ok()) return result.status();
+  Tuple goal_tuple;
+  goal_tuple.reserve(frozen.goal_tuple.size());
+  for (const Term& t : frozen.goal_tuple) {
+    int id = db.dictionary().Lookup(t.name());
+    if (id < 0) return false;  // constant unseen anywhere: cannot be derived
+    goal_tuple.push_back(id);
+  }
+  return result->Contains(goal_tuple);
+}
+
+StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
+                                       const Program& program,
+                                       const std::string& goal) {
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    StatusOr<bool> contained =
+        IsCqContainedInDatalog(disjunct, program, goal);
+    if (!contained.ok()) return contained;
+    if (!*contained) return false;
+  }
+  return true;
+}
+
+}  // namespace datalog

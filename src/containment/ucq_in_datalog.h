@@ -1,0 +1,33 @@
+// Containment of (unions of) conjunctive queries in a Datalog program —
+// the "easy" direction, decidable by the classic canonical-database method
+// [CK86] cited in the paper's introduction: freeze the CQ into a database,
+// evaluate the program, and check that the frozen head tuple is derived.
+#ifndef DATALOG_EQ_SRC_CONTAINMENT_UCQ_IN_DATALOG_H_
+#define DATALOG_EQ_SRC_CONTAINMENT_UCQ_IN_DATALOG_H_
+
+#include <string>
+
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+/// θ ⊆ Q_Π: evaluates Π over the canonical database of θ and tests the
+/// frozen head tuple. For θ with head variables that do not occur in the
+/// body, active-domain semantics applies (consistent with the evaluation
+/// engine); such a θ over an empty body is contained only if the program
+/// derives the goal over every database, which the canonical-database
+/// method checks on the frozen instance.
+StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
+                                      const Program& program,
+                                      const std::string& goal);
+
+/// Θ ⊆ Q_Π: every disjunct contained.
+StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
+                                       const Program& program,
+                                       const std::string& goal);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CONTAINMENT_UCQ_IN_DATALOG_H_

@@ -1,0 +1,28 @@
+#include "src/cq/canonical_db.h"
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+std::string FrozenConstantName(const std::string& name) {
+  return StrCat("@", name);
+}
+
+CanonicalDatabase FreezeCq(const ConjunctiveQuery& cq) {
+  Substitution freeze;
+  for (const std::string& v : cq.VariableNames()) {
+    freeze.emplace(v, Term::Constant(FrozenConstantName(v)));
+  }
+  CanonicalDatabase db;
+  db.facts.reserve(cq.body().size());
+  for (const Atom& atom : cq.body()) {
+    db.facts.push_back(ApplySubstitution(freeze, atom));
+  }
+  db.goal_tuple.reserve(cq.head_args().size());
+  for (const Term& t : cq.head_args()) {
+    db.goal_tuple.push_back(ApplySubstitution(freeze, t));
+  }
+  return db;
+}
+
+}  // namespace datalog

@@ -1,0 +1,32 @@
+// Canonical ("frozen") databases of conjunctive queries, the classic tool
+// for deciding containment of a CQ in a Datalog program [CK86]: freeze the
+// CQ's variables into fresh constants, evaluate the program on the frozen
+// body, and test whether the frozen head tuple is derived.
+#ifndef DATALOG_EQ_SRC_CQ_CANONICAL_DB_H_
+#define DATALOG_EQ_SRC_CQ_CANONICAL_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cq/cq.h"
+
+namespace datalog {
+
+struct CanonicalDatabase {
+  /// The frozen body atoms: all arguments are constants.
+  std::vector<Atom> facts;
+  /// The frozen head argument tuple (constants).
+  std::vector<Term> goal_tuple;
+};
+
+/// Freezes `cq`, mapping each variable v to the fresh constant "@v". The
+/// '@' prefix cannot be produced by the parser, so frozen constants never
+/// collide with constants already present in the query.
+CanonicalDatabase FreezeCq(const ConjunctiveQuery& cq);
+
+/// The frozen-constant spelling for variable `name`.
+std::string FrozenConstantName(const std::string& name);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CQ_CANONICAL_DB_H_

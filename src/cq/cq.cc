@@ -1,0 +1,116 @@
+#include "src/cq/cq.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+std::vector<std::string> ConjunctiveQuery::VariableNames() const {
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string> seen;
+  for (const Term& t : head_args_) {
+    if (t.is_variable() && seen.insert(t.name()).second) {
+      distinct.push_back(t.name());
+    }
+  }
+  for (const Atom& atom : body_) {
+    for (const Term& t : atom.args()) {
+      if (t.is_variable() && seen.insert(t.name()).second) {
+        distinct.push_back(t.name());
+      }
+    }
+  }
+  return distinct;
+}
+
+std::vector<std::string> ConjunctiveQuery::DistinguishedVariableNames() const {
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string> seen;
+  for (const Term& t : head_args_) {
+    if (t.is_variable() && seen.insert(t.name()).second) {
+      distinct.push_back(t.name());
+    }
+  }
+  return distinct;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string head = StrCat(
+      "(",
+      StrJoin(head_args_, ", ",
+              [](std::ostream& os, const Term& t) { os << t; }),
+      ")");
+  if (body_.empty()) return StrCat(head, " :- true");
+  return StrCat(head, " :- ",
+                StrJoin(body_, ", ", [](std::ostream& os, const Atom& a) {
+                  os << a.ToString();
+                }));
+}
+
+std::ostream& operator<<(std::ostream& os, const ConjunctiveQuery& cq) {
+  return os << cq.ToString();
+}
+
+std::string UnionOfCqs::ToString() const {
+  return StrJoin(disjuncts_, "\n | ",
+                 [](std::ostream& os, const ConjunctiveQuery& cq) {
+                   os << cq.ToString();
+                 });
+}
+
+std::ostream& operator<<(std::ostream& os, const UnionOfCqs& ucq) {
+  return os << ucq.ToString();
+}
+
+ConjunctiveQuery CqFromRule(const Rule& rule) {
+  return ConjunctiveQuery(rule.head().args(), rule.body());
+}
+
+Rule RuleFromCq(const std::string& head_predicate,
+                const ConjunctiveQuery& cq) {
+  return Rule(Atom(head_predicate, cq.head_args()), cq.body());
+}
+
+ConjunctiveQuery ApplySubstitution(const Substitution& subst,
+                                   const ConjunctiveQuery& cq) {
+  std::vector<Term> head;
+  head.reserve(cq.head_args().size());
+  for (const Term& t : cq.head_args()) {
+    head.push_back(ApplySubstitution(subst, t));
+  }
+  std::vector<Atom> body;
+  body.reserve(cq.body().size());
+  for (const Atom& a : cq.body()) {
+    body.push_back(ApplySubstitution(subst, a));
+  }
+  return ConjunctiveQuery(std::move(head), std::move(body));
+}
+
+ConjunctiveQuery CanonicalizeVariables(const ConjunctiveQuery& cq) {
+  Substitution subst;
+  std::size_t next = 0;
+  for (const std::string& v : cq.VariableNames()) {
+    subst.emplace(v, Term::Variable(StrCat("V", next++)));
+  }
+  return ApplySubstitution(subst, cq);
+}
+
+ConjunctiveQuery SortedBodyCanonicalForm(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery current = CanonicalizeVariables(cq);
+  // Sorting the body can change first-occurrence order, so iterate
+  // rename+sort until stable (bounded by a small constant in practice; cap
+  // the iteration count defensively).
+  for (int iteration = 0; iteration < 16; ++iteration) {
+    std::vector<Atom> body = current.body();
+    std::sort(body.begin(), body.end());
+    ConjunctiveQuery sorted(current.head_args(), std::move(body));
+    ConjunctiveQuery renamed = CanonicalizeVariables(sorted);
+    if (renamed == current) break;
+    current = std::move(renamed);
+  }
+  return current;
+}
+
+}  // namespace datalog

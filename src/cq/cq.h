@@ -1,0 +1,95 @@
+// Conjunctive queries and unions of conjunctive queries (paper §2.1).
+//
+// A conjunctive query θ(x1,...,xk) = ∃y1..ym (a1 ∧ ... ∧ an) is represented
+// by its head argument vector (the distinguished terms; repeated variables
+// and constants are allowed, generalizing the paper per Remark 5.14) and
+// its body atoms. A CQ with no body atoms is `true` restricted to the head
+// binding pattern (paper Example 6.2).
+#ifndef DATALOG_EQ_SRC_CQ_CQ_H_
+#define DATALOG_EQ_SRC_CQ_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/ast/term.h"
+
+namespace datalog {
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<Term> head_args, std::vector<Atom> body)
+      : head_args_(std::move(head_args)), body_(std::move(body)) {}
+
+  const std::vector<Term>& head_args() const { return head_args_; }
+  const std::vector<Atom>& body() const { return body_; }
+  std::size_t arity() const { return head_args_.size(); }
+
+  bool operator==(const ConjunctiveQuery& other) const {
+    return head_args_ == other.head_args_ && body_ == other.body_;
+  }
+
+  /// Distinct variables occurring anywhere (head first), in
+  /// first-occurrence order.
+  std::vector<std::string> VariableNames() const;
+
+  /// Distinct variables occurring in the head, in occurrence order.
+  std::vector<std::string> DistinguishedVariableNames() const;
+
+  /// Renders e.g. `(X, Y) :- e(X, Z), e(Z, Y)`.
+  std::string ToString() const;
+
+ private:
+  std::vector<Term> head_args_;
+  std::vector<Atom> body_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ConjunctiveQuery& cq);
+
+/// A finite union of conjunctive queries, all of the same arity.
+class UnionOfCqs {
+ public:
+  UnionOfCqs() = default;
+  explicit UnionOfCqs(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  void Add(ConjunctiveQuery cq) { disjuncts_.push_back(std::move(cq)); }
+  bool empty() const { return disjuncts_.empty(); }
+  std::size_t size() const { return disjuncts_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+std::ostream& operator<<(std::ostream& os, const UnionOfCqs& ucq);
+
+/// Views a rule as a CQ: head arguments become the distinguished terms and
+/// the rule body becomes the CQ body. (Meaningful when the body is
+/// EDB-only; callers unfolding programs guarantee that.)
+ConjunctiveQuery CqFromRule(const Rule& rule);
+
+/// Renders a CQ back as a rule with the given head predicate.
+Rule RuleFromCq(const std::string& head_predicate, const ConjunctiveQuery& cq);
+
+/// Applies a substitution to head and body.
+ConjunctiveQuery ApplySubstitution(const Substitution& subst,
+                                   const ConjunctiveQuery& cq);
+
+/// Renames all variables canonically ("V0", "V1", ... in first-occurrence
+/// order, head first). Two CQs equal up to variable renaming canonicalize
+/// to equal objects if their atom orders align; combine with
+/// SortedBodyCanonicalForm for order-insensitivity in tests.
+ConjunctiveQuery CanonicalizeVariables(const ConjunctiveQuery& cq);
+
+/// Canonical form whose body is sorted after canonical variable renaming;
+/// iterates renaming and sorting to a fixpoint, giving a practical (not
+/// perfect) syntactic normal form for deduplication.
+ConjunctiveQuery SortedBodyCanonicalForm(const ConjunctiveQuery& cq);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CQ_CQ_H_

@@ -1,0 +1,123 @@
+#include "src/engine/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+
+int ConstantDictionary::Intern(const std::string& name) {
+  auto [it, inserted] = ids_.emplace(name, static_cast<int>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+int ConstantDictionary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& ConstantDictionary::NameOf(int id) const {
+  DATALOG_CHECK_GE(id, 0);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(id), names_.size());
+  return names_[id];
+}
+
+bool Relation::Insert(Tuple tuple) {
+  DATALOG_CHECK_EQ(tuple.size(), arity_);
+  return tuples_.insert(std::move(tuple)).second;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> sorted(tuples_.begin(), tuples_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+void Database::AddFact(const std::string& predicate,
+                       const std::vector<std::string>& constants) {
+  Tuple tuple;
+  tuple.reserve(constants.size());
+  for (const std::string& c : constants) tuple.push_back(dictionary_.Intern(c));
+  AddTuple(predicate, std::move(tuple));
+}
+
+Status Database::AddFactAtom(const Atom& atom) {
+  std::vector<std::string> constants;
+  constants.reserve(atom.arity());
+  for (const Term& t : atom.args()) {
+    if (!t.is_constant()) {
+      return InvalidArgumentError(
+          StrCat("non-ground fact atom: ", atom.ToString()));
+    }
+    constants.push_back(t.name());
+  }
+  AddFact(atom.predicate(), constants);
+  return OkStatus();
+}
+
+void Database::AddTuple(const std::string& predicate, Tuple tuple) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) {
+    it = relations_.emplace(predicate, Relation(tuple.size())).first;
+  }
+  it->second.Insert(std::move(tuple));
+}
+
+const Relation& Database::GetRelation(const std::string& predicate,
+                                      std::size_t arity) const {
+  static const Relation* empty_relations = new Relation[16];
+  auto it = relations_.find(predicate);
+  if (it != relations_.end()) {
+    DATALOG_CHECK_EQ(it->second.arity(), arity)
+        << "predicate " << predicate << " arity mismatch";
+    return it->second;
+  }
+  DATALOG_CHECK_LT(arity, std::size_t{16});
+  // Shared empty relations, one per small arity.
+  static bool initialized = [] {
+    for (std::size_t a = 0; a < 16; ++a) {
+      const_cast<Relation&>(empty_relations[a]) = Relation(a);
+    }
+    return true;
+  }();
+  (void)initialized;
+  return empty_relations[arity];
+}
+
+std::vector<int> Database::ActiveDomain() const {
+  std::set<int> domain;
+  for (const auto& [name, relation] : relations_) {
+    for (const Tuple& tuple : relation.tuples()) {
+      domain.insert(tuple.begin(), tuple.end());
+    }
+  }
+  return std::vector<int>(domain.begin(), domain.end());
+}
+
+std::size_t Database::TotalFacts() const {
+  std::size_t total = 0;
+  for (const auto& [name, relation] : relations_) total += relation.size();
+  return total;
+}
+
+std::vector<std::string> Database::DecodeTuple(const Tuple& tuple) const {
+  std::vector<std::string> decoded;
+  decoded.reserve(tuple.size());
+  for (int id : tuple) decoded.push_back(dictionary_.NameOf(id));
+  return decoded;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, relation] : relations_) {
+    for (const Tuple& tuple : relation.SortedTuples()) {
+      out += StrCat(name, "(", StrJoin(DecodeTuple(tuple), ", "), ").\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace datalog

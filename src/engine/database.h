@@ -1,0 +1,113 @@
+// Dictionary-encoded relational storage: tuples of integer-encoded
+// constants grouped into named relations. This is the substrate on which
+// Datalog programs are evaluated (paper §2.1's Q_Π(D)).
+#ifndef DATALOG_EQ_SRC_ENGINE_DATABASE_H_
+#define DATALOG_EQ_SRC_ENGINE_DATABASE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ast/term.h"
+#include "src/util/hash.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+using Tuple = std::vector<int>;
+using TupleSet = std::unordered_set<Tuple, VectorHash<int>>;
+
+/// Bidirectional mapping between constant spellings and dense integer ids.
+class ConstantDictionary {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  int Intern(const std::string& name);
+  /// Returns the id of `name` or -1 if unknown.
+  int Lookup(const std::string& name) const;
+  const std::string& NameOf(int id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> names_;
+};
+
+/// A set of same-arity tuples.
+class Relation {
+ public:
+  Relation() : arity_(0) {}
+  explicit Relation(std::size_t arity) : arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `tuple`; returns true if it was new.
+  bool Insert(Tuple tuple);
+  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+  const TupleSet& tuples() const { return tuples_; }
+
+  /// Tuples in sorted order, for deterministic display and comparison.
+  std::vector<Tuple> SortedTuples() const;
+
+  bool operator==(const Relation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+
+ private:
+  std::size_t arity_;
+  TupleSet tuples_;
+};
+
+/// A database: relations by predicate name plus the shared constant
+/// dictionary and the active domain.
+class Database {
+ public:
+  ConstantDictionary& dictionary() { return dictionary_; }
+  const ConstantDictionary& dictionary() const { return dictionary_; }
+
+  /// Adds a fact with constant spelling arguments.
+  void AddFact(const std::string& predicate,
+               const std::vector<std::string>& constants);
+
+  /// Adds a ground atom. Returns InvalidArgumentError if any argument is a
+  /// variable.
+  Status AddFactAtom(const Atom& atom);
+
+  /// Adds an already-encoded tuple.
+  void AddTuple(const std::string& predicate, Tuple tuple);
+
+  bool HasRelation(const std::string& predicate) const {
+    return relations_.count(predicate) > 0;
+  }
+  /// The relation for `predicate`; an empty relation of arity `arity` if
+  /// absent.
+  const Relation& GetRelation(const std::string& predicate,
+                              std::size_t arity) const;
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// All constant ids appearing in any tuple (the active domain), sorted.
+  std::vector<int> ActiveDomain() const;
+
+  /// Total number of facts across relations.
+  std::size_t TotalFacts() const;
+
+  /// Decodes a tuple back to constant spellings.
+  std::vector<std::string> DecodeTuple(const Tuple& tuple) const;
+
+  std::string ToString() const;
+
+ private:
+  ConstantDictionary dictionary_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ENGINE_DATABASE_H_

@@ -1,0 +1,349 @@
+#include "src/engine/eval.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+// A body atom compiled against the dictionary: each argument is either a
+// constant id (>= 0 in `constant`) or a variable slot (index into the
+// binding array, in `variable`).
+struct CompiledAtom {
+  std::string predicate;
+  std::size_t arity;
+  std::vector<int> constant;  // -1 when the position holds a variable
+  std::vector<int> variable;  // -1 when the position holds a constant
+};
+
+struct CompiledRule {
+  std::string head_predicate;
+  std::vector<int> head_constant;  // parallel to head args, -1 for variables
+  std::vector<int> head_variable;
+  std::vector<CompiledAtom> body;
+  std::size_t num_variables = 0;
+  // Variable slots appearing in the head but in no body atom (unsafe).
+  std::vector<int> unbound_head_variables;
+};
+
+constexpr int kUnbound = -1;
+
+class RuleCompiler {
+ public:
+  explicit RuleCompiler(ConstantDictionary* dictionary)
+      : dictionary_(dictionary) {}
+
+  CompiledRule Compile(const Rule& rule) {
+    CompiledRule compiled;
+    slots_.clear();
+    compiled.head_predicate = rule.head().predicate();
+    std::vector<bool> in_body;
+    for (const Atom& atom : rule.body()) {
+      compiled.body.push_back(CompileAtom(atom));
+    }
+    std::size_t body_variables = slots_.size();
+    CompileHead(rule.head(), &compiled);
+    compiled.num_variables = slots_.size();
+    for (int v : compiled.head_variable) {
+      if (v >= 0 && static_cast<std::size_t>(v) >= body_variables) {
+        compiled.unbound_head_variables.push_back(v);
+      }
+    }
+    return compiled;
+  }
+
+ private:
+  int SlotFor(const std::string& variable) {
+    auto [it, inserted] =
+        slots_.emplace(variable, static_cast<int>(slots_.size()));
+    return it->second;
+  }
+
+  CompiledAtom CompileAtom(const Atom& atom) {
+    CompiledAtom compiled;
+    compiled.predicate = atom.predicate();
+    compiled.arity = atom.arity();
+    for (const Term& t : atom.args()) {
+      if (t.is_constant()) {
+        compiled.constant.push_back(dictionary_->Intern(t.name()));
+        compiled.variable.push_back(-1);
+      } else {
+        compiled.constant.push_back(-1);
+        compiled.variable.push_back(SlotFor(t.name()));
+      }
+    }
+    return compiled;
+  }
+
+  void CompileHead(const Atom& head, CompiledRule* compiled) {
+    for (const Term& t : head.args()) {
+      if (t.is_constant()) {
+        compiled->head_constant.push_back(dictionary_->Intern(t.name()));
+        compiled->head_variable.push_back(-1);
+      } else {
+        compiled->head_constant.push_back(-1);
+        compiled->head_variable.push_back(SlotFor(t.name()));
+      }
+    }
+  }
+
+  ConstantDictionary* dictionary_;
+  std::unordered_map<std::string, int> slots_;
+};
+
+// Evaluates rule bodies against a database, with one body atom optionally
+// restricted to a delta relation (semi-naive evaluation).
+class Evaluator {
+ public:
+  Evaluator(const Program& program, const Database& edb,
+            const EvalOptions& options, EvalStats* stats)
+      : options_(options), stats_(stats), db_(edb) {
+    RuleCompiler compiler(&db_.dictionary());
+    for (const Rule& rule : program.rules()) {
+      rules_.push_back(compiler.Compile(rule));
+    }
+    active_domain_ = db_.ActiveDomain();
+    // Constants mentioned only in the program are part of the domain too.
+    for (const CompiledRule& rule : rules_) {
+      for (int c : rule.head_constant) {
+        if (c >= 0) InsertDomain(c);
+      }
+      for (const CompiledAtom& atom : rule.body) {
+        for (int c : atom.constant) {
+          if (c >= 0) InsertDomain(c);
+        }
+      }
+    }
+  }
+
+  StatusOr<Database> Run() {
+    if (options_.semi_naive) {
+      Status s = RunSemiNaive();
+      if (!s.ok()) return s;
+    } else {
+      Status s = RunNaive();
+      if (!s.ok()) return s;
+    }
+    return std::move(db_);
+  }
+
+ private:
+  void InsertDomain(int id) {
+    for (int existing : active_domain_) {
+      if (existing == id) return;
+    }
+    active_domain_.push_back(id);
+  }
+
+  // Matches body atoms [index..] given the current binding; on a complete
+  // match, emits head tuples (enumerating the active domain for unsafe
+  // head variables). `delta_atom` designates the atom that must match the
+  // delta relation, or -1 for none.
+  bool MatchBody(const CompiledRule& rule, std::size_t index, int delta_atom,
+                 const std::map<std::string, Relation>& delta,
+                 std::vector<int>* binding, Relation* out) {
+    if (index == rule.body.size()) {
+      return EmitHead(rule, 0, binding, out);
+    }
+    const CompiledAtom& atom = rule.body[index];
+    const Relation* relation;
+    if (static_cast<int>(index) == delta_atom) {
+      auto it = delta.find(atom.predicate);
+      if (it == delta.end()) return true;  // empty delta: no matches
+      relation = &it->second;
+    } else {
+      relation = &db_.GetRelation(atom.predicate, atom.arity);
+    }
+    for (const Tuple& tuple : relation->tuples()) {
+      if (stats_ != nullptr) ++stats_->join_probes;
+      // Try to unify the atom with the tuple under the current binding.
+      std::vector<int> undo;
+      bool ok = true;
+      for (std::size_t i = 0; i < atom.arity; ++i) {
+        if (atom.constant[i] >= 0) {
+          if (atom.constant[i] != tuple[i]) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        int slot = atom.variable[i];
+        if ((*binding)[slot] == kUnbound) {
+          (*binding)[slot] = tuple[i];
+          undo.push_back(slot);
+        } else if ((*binding)[slot] != tuple[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        if (!MatchBody(rule, index + 1, delta_atom, delta, binding, out)) {
+          return false;
+        }
+      }
+      for (int slot : undo) (*binding)[slot] = kUnbound;
+    }
+    return true;
+  }
+
+  // Emits head tuples, enumerating active-domain values for unbound head
+  // variables starting at position `unbound_index` in
+  // rule.unbound_head_variables. Returns false when the fact limit is hit.
+  bool EmitHead(const CompiledRule& rule, std::size_t unbound_index,
+                std::vector<int>* binding, Relation* out) {
+    if (unbound_index < rule.unbound_head_variables.size()) {
+      int slot = rule.unbound_head_variables[unbound_index];
+      if ((*binding)[slot] != kUnbound) {
+        return EmitHead(rule, unbound_index + 1, binding, out);
+      }
+      for (int value : active_domain_) {
+        (*binding)[slot] = value;
+        if (!EmitHead(rule, unbound_index + 1, binding, out)) {
+          (*binding)[slot] = kUnbound;
+          return false;
+        }
+      }
+      (*binding)[slot] = kUnbound;
+      return true;
+    }
+    Tuple head(rule.head_constant.size());
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      if (rule.head_constant[i] >= 0) {
+        head[i] = rule.head_constant[i];
+      } else {
+        int value = (*binding)[rule.head_variable[i]];
+        DATALOG_CHECK_NE(value, kUnbound);
+        head[i] = value;
+      }
+    }
+    out->Insert(std::move(head));
+    ++emitted_;
+    return emitted_ <= options_.max_derived_facts;
+  }
+
+  // Evaluates `rule` and inserts newly derived facts into `new_facts`,
+  // considering only matches that use `delta` at `delta_atom` (or all
+  // matches when delta_atom == -1).
+  Status EvaluateRule(const CompiledRule& rule, int delta_atom,
+                      const std::map<std::string, Relation>& delta,
+                      std::map<std::string, Relation>* new_facts) {
+    Relation derived(rule.head_constant.size());
+    std::vector<int> binding(rule.num_variables, kUnbound);
+    if (!MatchBody(rule, 0, delta_atom, delta, &binding, &derived)) {
+      return ResourceExhaustedError(
+          StrCat("evaluation exceeded ", options_.max_derived_facts,
+                 " derived facts"));
+    }
+    const Relation& existing =
+        db_.GetRelation(rule.head_predicate, derived.arity());
+    for (const Tuple& tuple : derived.tuples()) {
+      if (existing.Contains(tuple)) continue;
+      auto it = new_facts->find(rule.head_predicate);
+      if (it == new_facts->end()) {
+        it = new_facts->emplace(rule.head_predicate, Relation(derived.arity()))
+                 .first;
+      }
+      it->second.Insert(tuple);
+    }
+    return OkStatus();
+  }
+
+  Status ApplyNewFacts(const std::map<std::string, Relation>& new_facts) {
+    for (const auto& [predicate, relation] : new_facts) {
+      for (const Tuple& tuple : relation.tuples()) {
+        db_.AddTuple(predicate, tuple);
+        if (stats_ != nullptr) ++stats_->facts_derived;
+      }
+    }
+    return OkStatus();
+  }
+
+  Status RunNaive() {
+    const std::map<std::string, Relation> no_delta;
+    while (true) {
+      if (stats_ != nullptr) ++stats_->iterations;
+      std::map<std::string, Relation> new_facts;
+      for (const CompiledRule& rule : rules_) {
+        Status s = EvaluateRule(rule, -1, no_delta, &new_facts);
+        if (!s.ok()) return s;
+      }
+      if (new_facts.empty()) return OkStatus();
+      Status s = ApplyNewFacts(new_facts);
+      if (!s.ok()) return s;
+    }
+  }
+
+  Status RunSemiNaive() {
+    // Round 0: full naive pass to seed the deltas.
+    const std::map<std::string, Relation> no_delta;
+    std::map<std::string, Relation> delta;
+    if (stats_ != nullptr) ++stats_->iterations;
+    for (const CompiledRule& rule : rules_) {
+      Status s = EvaluateRule(rule, -1, no_delta, &delta);
+      if (!s.ok()) return s;
+    }
+    Status s = ApplyNewFacts(delta);
+    if (!s.ok()) return s;
+
+    while (!delta.empty()) {
+      if (stats_ != nullptr) ++stats_->iterations;
+      std::map<std::string, Relation> next_delta;
+      for (const CompiledRule& rule : rules_) {
+        for (std::size_t i = 0; i < rule.body.size(); ++i) {
+          if (delta.count(rule.body[i].predicate) == 0) continue;
+          Status rs = EvaluateRule(rule, static_cast<int>(i), delta,
+                                   &next_delta);
+          if (!rs.ok()) return rs;
+        }
+      }
+      s = ApplyNewFacts(next_delta);
+      if (!s.ok()) return s;
+      delta = std::move(next_delta);
+    }
+    return OkStatus();
+  }
+
+  const EvalOptions& options_;
+  EvalStats* stats_;
+  Database db_;
+  std::vector<CompiledRule> rules_;
+  std::vector<int> active_domain_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Database> EvaluateProgram(const Program& program, const Database& edb,
+                                   const EvalOptions& options,
+                                   EvalStats* stats) {
+  Evaluator evaluator(program, edb, options, stats);
+  return evaluator.Run();
+}
+
+StatusOr<Relation> EvaluateGoal(const Program& program,
+                                const std::string& goal_predicate,
+                                const Database& edb,
+                                const EvalOptions& options, EvalStats* stats) {
+  StatusOr<Database> result = EvaluateProgram(program, edb, options, stats);
+  if (!result.ok()) return result.status();
+  std::size_t arity = program.PredicateArity(goal_predicate);
+  return result->GetRelation(goal_predicate, arity);
+}
+
+StatusOr<Relation> EvaluateUcq(const UnionOfCqs& ucq, const Database& edb) {
+  DATALOG_CHECK(!ucq.empty()) << "cannot evaluate an empty union";
+  const std::string goal = "__ucq_goal";
+  Program program;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    program.AddRule(RuleFromCq(goal, cq));
+  }
+  return EvaluateGoal(program, goal, edb);
+}
+
+}  // namespace datalog

@@ -1,0 +1,51 @@
+// Bottom-up Datalog evaluation: naive and semi-naive fixpoint computation
+// of Q_Π(D) (paper §2.1). Unsafe rules (head variables not bound by the
+// body, e.g. `dist0(x, x) :- .` from Example 6.2) are evaluated with
+// active-domain semantics: unbound variables range over the active domain
+// of the input database.
+#ifndef DATALOG_EQ_SRC_ENGINE_EVAL_H_
+#define DATALOG_EQ_SRC_ENGINE_EVAL_H_
+
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+#include "src/engine/database.h"
+
+namespace datalog {
+
+struct EvalOptions {
+  /// Use semi-naive (delta-driven) iteration instead of naive re-derivation.
+  bool semi_naive = true;
+  /// Abort with ResourceExhausted if more than this many facts are derived.
+  std::size_t max_derived_facts = 50'000'000;
+};
+
+struct EvalStats {
+  /// Number of fixpoint rounds until no new facts appear.
+  int iterations = 0;
+  /// Number of distinct IDB facts derived.
+  std::size_t facts_derived = 0;
+  /// Number of rule-body match attempts (join probe count), a work proxy.
+  std::size_t join_probes = 0;
+};
+
+/// Evaluates `program` over `edb` and returns a database containing both
+/// the input facts and all derived IDB facts. The input database's
+/// dictionary is extended with any constants appearing in the program.
+StatusOr<Database> EvaluateProgram(const Program& program, const Database& edb,
+                                   const EvalOptions& options = {},
+                                   EvalStats* stats = nullptr);
+
+/// Evaluates Q_Π(D): the relation of the goal predicate after evaluation.
+StatusOr<Relation> EvaluateGoal(const Program& program,
+                                const std::string& goal_predicate,
+                                const Database& edb,
+                                const EvalOptions& options = {},
+                                EvalStats* stats = nullptr);
+
+/// Evaluates a union of conjunctive queries directly over `edb` (no
+/// recursion involved), returning the set of satisfying head tuples.
+StatusOr<Relation> EvaluateUcq(const UnionOfCqs& ucq, const Database& edb);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ENGINE_EVAL_H_

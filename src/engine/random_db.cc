@@ -1,0 +1,38 @@
+#include "src/engine/random_db.h"
+
+#include <random>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+Database RandomDatabase(const std::map<std::string, std::size_t>& signature,
+                        const RandomDbOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> pick(0, options.domain_size - 1);
+  Database db;
+  // Intern the whole domain so the active domain is stable even if some
+  // constant never appears in a tuple.
+  for (int i = 0; i < options.domain_size; ++i) {
+    db.dictionary().Intern(StrCat("c", i));
+  }
+  for (const auto& [predicate, arity] : signature) {
+    for (int t = 0; t < options.tuples_per_relation; ++t) {
+      Tuple tuple(arity);
+      for (std::size_t i = 0; i < arity; ++i) tuple[i] = pick(rng);
+      db.AddTuple(predicate, std::move(tuple));
+    }
+  }
+  return db;
+}
+
+Database RandomDatabaseFor(const Program& program,
+                           const RandomDbOptions& options) {
+  std::map<std::string, std::size_t> signature;
+  for (const std::string& predicate : program.EdbPredicates()) {
+    signature[predicate] = program.PredicateArity(predicate);
+  }
+  return RandomDatabase(signature, options);
+}
+
+}  // namespace datalog

@@ -1,0 +1,35 @@
+// Seeded random database generation for differential testing: equivalence
+// claims are spot-checked by evaluating both sides on many random
+// databases.
+#ifndef DATALOG_EQ_SRC_ENGINE_RANDOM_DB_H_
+#define DATALOG_EQ_SRC_ENGINE_RANDOM_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/ast/rule.h"
+#include "src/engine/database.h"
+
+namespace datalog {
+
+struct RandomDbOptions {
+  /// Number of distinct constants ("c0".."c{n-1}").
+  int domain_size = 4;
+  /// Expected number of tuples per relation (sampled with replacement).
+  int tuples_per_relation = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random database over the given EDB signature
+/// (predicate -> arity).
+Database RandomDatabase(const std::map<std::string, std::size_t>& signature,
+                        const RandomDbOptions& options);
+
+/// Convenience: random database over the EDB predicates of `program`.
+Database RandomDatabaseFor(const Program& program,
+                           const RandomDbOptions& options);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ENGINE_RANDOM_DB_H_

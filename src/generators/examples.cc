@@ -1,0 +1,184 @@
+#include "src/generators/examples.h"
+
+#include "src/ast/parser.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+Program MustParse(const std::string& text) {
+  StatusOr<Program> program = ParseProgram(text);
+  DATALOG_CHECK(program.ok()) << program.status() << "\n" << text;
+  return *program;
+}
+
+Term Var(const std::string& name) { return Term::Variable(name); }
+
+}  // namespace
+
+Program Buys1Program() {
+  return MustParse(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+}
+
+Program Buys2Program() {
+  return MustParse(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- knows(X, Z), buys(Z, Y).
+  )");
+}
+
+Program Buys1NonrecursiveProgram() {
+  return MustParse(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), likes(Z, Y).
+  )");
+}
+
+Program Buys2NonrecursiveProgram() {
+  return MustParse(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- knows(X, Z), likes(Z, Y).
+  )");
+}
+
+Program TransitiveClosureProgram(const std::string& step_edb,
+                                 const std::string& base_edb) {
+  Program program;
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom(step_edb, {Var("X"), Var("Z")}),
+                        Atom("p", {Var("Z"), Var("Y")})}));
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom(base_edb, {Var("X"), Var("Y")})}));
+  return program;
+}
+
+Program NonlinearTransitiveClosureProgram() {
+  return MustParse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(X, Z), p(Z, Y).
+  )");
+}
+
+std::string DistPredicate(int i) { return StrCat("dist", i); }
+std::string DistLePredicate(int i) { return StrCat("distle", i); }
+std::string EqualPredicate(int i) { return StrCat("equal", i); }
+std::string WordPredicate(int i) { return StrCat("word", i); }
+
+Program DistProgram(int n) {
+  DATALOG_CHECK_GE(n, 0);
+  Program program;
+  for (int i = n; i > 0; --i) {
+    program.AddRule(Rule(Atom(DistPredicate(i), {Var("X"), Var("Y")}),
+                         {Atom(DistPredicate(i - 1), {Var("X"), Var("Z")}),
+                          Atom(DistPredicate(i - 1), {Var("Z"), Var("Y")})}));
+  }
+  program.AddRule(Rule(Atom(DistPredicate(0), {Var("X"), Var("Y")}),
+                       {Atom("e", {Var("X"), Var("Y")})}));
+  return program;
+}
+
+Program DistLeProgram(int n) {
+  DATALOG_CHECK_GE(n, 0);
+  Program program;
+  for (int i = n; i > 0; --i) {
+    program.AddRule(Rule(Atom(DistPredicate(i), {Var("X"), Var("Y")}),
+                         {Atom(DistPredicate(i - 1), {Var("X"), Var("Z")}),
+                          Atom(DistPredicate(i - 1), {Var("Z"), Var("Y")})}));
+    program.AddRule(
+        Rule(Atom(DistLePredicate(i), {Var("X"), Var("Y")}),
+             {Atom(DistLePredicate(i - 1), {Var("X"), Var("Z")}),
+              Atom(DistPredicate(i - 1), {Var("Z"), Var("Y")})}));
+  }
+  program.AddRule(Rule(Atom(DistPredicate(0), {Var("X"), Var("Y")}),
+                       {Atom("e", {Var("X"), Var("Y")})}));
+  program.AddRule(Rule(Atom(DistPredicate(0), {Var("X"), Var("X")}), {}));
+  program.AddRule(Rule(Atom(DistLePredicate(0), {Var("X"), Var("X")}), {}));
+  return program;
+}
+
+Program EqualProgram(int n) {
+  DATALOG_CHECK_GE(n, 0);
+  Program program;
+  for (int i = n; i > 0; --i) {
+    program.AddRule(Rule(
+        Atom(EqualPredicate(i), {Var("X"), Var("Y"), Var("U"), Var("V")}),
+        {Atom(EqualPredicate(i - 1),
+              {Var("X"), Var("X1"), Var("U"), Var("U1")}),
+         Atom(EqualPredicate(i - 1),
+              {Var("X1"), Var("Y"), Var("U1"), Var("V")})}));
+  }
+  program.AddRule(Rule(
+      Atom(EqualPredicate(0), {Var("X"), Var("Y"), Var("U"), Var("V")}),
+      {Atom("e", {Var("X"), Var("Y")}), Atom("e", {Var("U"), Var("V")}),
+       Atom("zero", {Var("X")}), Atom("zero", {Var("U")})}));
+  program.AddRule(Rule(
+      Atom(EqualPredicate(0), {Var("X"), Var("Y"), Var("U"), Var("V")}),
+      {Atom("e", {Var("X"), Var("Y")}), Atom("e", {Var("U"), Var("V")}),
+       Atom("one", {Var("X")}), Atom("one", {Var("U")})}));
+  return program;
+}
+
+Program WordProgram(int n) {
+  DATALOG_CHECK_GE(n, 1);
+  Program program;
+  for (int i = n; i > 1; --i) {
+    for (const char* label : {"zero", "one"}) {
+      program.AddRule(Rule(Atom(WordPredicate(i), {Var("X"), Var("Y")}),
+                           {Atom(WordPredicate(i - 1), {Var("X"), Var("X1")}),
+                            Atom("e", {Var("X1"), Var("Y")}),
+                            Atom(label, {Var("Y")})}));
+    }
+  }
+  for (const char* label : {"zero", "one"}) {
+    program.AddRule(Rule(Atom(WordPredicate(1), {Var("X"), Var("Y")}),
+                         {Atom("e", {Var("X"), Var("Y")}),
+                          Atom(label, {Var("X")})}));
+  }
+  return program;
+}
+
+UnionOfCqs PathQueries(int max_length) {
+  UnionOfCqs union_of_paths;
+  for (int length = 1; length <= max_length; ++length) {
+    union_of_paths.Add(ChainQuery(length));
+  }
+  return union_of_paths;
+}
+
+ConjunctiveQuery ChainQuery(int length) {
+  DATALOG_CHECK_GE(length, 1);
+  std::vector<Atom> body;
+  auto node = [length](int i) {
+    if (i == 0) return Var("X");
+    if (i == length) return Var("Y");
+    return Var(StrCat("Z", i));
+  };
+  for (int i = 0; i < length; ++i) {
+    body.push_back(Atom("e", {node(i), node(i + 1)}));
+  }
+  return ConjunctiveQuery({Var("X"), Var("Y")}, std::move(body));
+}
+
+Program ChainProgram(int step) {
+  DATALOG_CHECK_GE(step, 1);
+  Program program;
+  std::vector<Atom> body;
+  auto node = [step](int i) {
+    if (i == 0) return Var("X");
+    return Var(StrCat("Z", i));
+  };
+  for (int i = 0; i < step; ++i) {
+    body.push_back(Atom("e", {node(i), node(i + 1)}));
+  }
+  body.push_back(Atom("p", {node(step), Var("Y")}));
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}), std::move(body)));
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("e", {Var("X"), Var("Y")})}));
+  return program;
+}
+
+}  // namespace datalog

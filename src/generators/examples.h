@@ -1,0 +1,72 @@
+// Generators for every program family used in the paper:
+//   Example 1.1 — the buys/likes/trendy/knows programs;
+//   Example 2.5 — transitive closure;
+//   Example 6.1 — dist_i (paths of length exactly 2^i);
+//   Example 6.2 — dist_i / dist<_i with empty-body base rules;
+//   Example 6.3 — equal_i (label-equal path pairs of length 2^i);
+//   Example 6.6 — word_i (labeled paths; linear nonrecursive).
+// Plus parametric helpers used by tests and benchmarks.
+#ifndef DATALOG_EQ_SRC_GENERATORS_EXAMPLES_H_
+#define DATALOG_EQ_SRC_GENERATORS_EXAMPLES_H_
+
+#include <string>
+
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+
+namespace datalog {
+
+/// Example 1.1, Π1: buys via likes with a trendy shortcut. Equivalent to
+/// a nonrecursive program (bounded).
+Program Buys1Program();
+/// Example 1.1, Π2: buys via knows chains. Inherently recursive.
+Program Buys2Program();
+/// The nonrecursive program the paper pairs with Π1 (equivalent to it).
+Program Buys1NonrecursiveProgram();
+/// The nonrecursive program the paper pairs with Π2 (NOT equivalent).
+Program Buys2NonrecursiveProgram();
+
+/// Example 2.5: linear transitive closure with base predicate `base_edb`
+/// and step predicate `step_edb`, goal predicate "p".
+Program TransitiveClosureProgram(const std::string& step_edb = "e",
+                                 const std::string& base_edb = "e0");
+/// Nonlinear (divide-and-conquer) transitive closure over one EDB "e".
+Program NonlinearTransitiveClosureProgram();
+
+/// Example 6.1: dist_i(x, y) iff there is a path of length exactly 2^i.
+/// Nonrecursive; unfolds to one CQ with 2^n atoms.
+Program DistProgram(int n);
+std::string DistPredicate(int i);
+
+/// Example 6.2: dist_i (length <= 2^i) and dist<_i (length <= 2^i - 1),
+/// with empty-body base rules. Goal: DistLePredicate(n) or
+/// DistPredicate(n).
+Program DistLeProgram(int n);
+std::string DistLePredicate(int i);
+
+/// Example 6.3: equal_i(x, y, u, v) iff there are Zero/One-labeled paths
+/// of length 2^i from x to y and u to v with equal labels (except
+/// possibly at the endpoints).
+Program EqualProgram(int n);
+std::string EqualPredicate(int i);
+
+/// Example 6.6: word_i(x, y) iff there is a Zero/One-labeled path of
+/// length i from x to y. Linear nonrecursive: 2^n disjuncts of size O(n).
+Program WordProgram(int n);
+std::string WordPredicate(int i);
+
+/// The union of e-path queries p(X, Y) :- e(X, Z1), ..., e(Zk-1, Y) for
+/// k = 1..max_length (used to probe transitive closure).
+UnionOfCqs PathQueries(int max_length);
+
+/// A single e-chain CQ of the given length: q(X0, Xn) with n edge atoms.
+ConjunctiveQuery ChainQuery(int length);
+
+/// A linear "chain" program whose recursive rule advances `step` EDB
+/// predicates at a time (used for scaling benchmarks): p(X, Y) :- e(X,Z1),
+/// ..., e(Z_step-1, Z_step), p(Z_step, Y) plus base p(X, Y) :- e(X, Y).
+Program ChainProgram(int step);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_GENERATORS_EXAMPLES_H_

@@ -1,0 +1,119 @@
+#include "src/tm/tm.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+Status TuringMachine::Validate() const {
+  auto has_state = [this](const std::string& s) {
+    return std::find(states.begin(), states.end(), s) != states.end();
+  };
+  auto has_symbol = [this](const std::string& s) {
+    return std::find(tape_symbols.begin(), tape_symbols.end(), s) !=
+           tape_symbols.end();
+  };
+  if (!has_state(initial_state)) {
+    return InvalidArgumentError("initial state not in state set");
+  }
+  if (!has_symbol(blank)) {
+    return InvalidArgumentError("blank symbol not in tape alphabet");
+  }
+  for (const std::string& s : accepting_states) {
+    if (!has_state(s)) {
+      return InvalidArgumentError(StrCat("accepting state ", s, " unknown"));
+    }
+  }
+  for (const auto& [key, transition] : delta) {
+    if (!has_state(key.first) || !has_symbol(key.second) ||
+        !has_state(transition.next_state) || !has_symbol(transition.write)) {
+      return InvalidArgumentError("transition references unknown state or "
+                                  "symbol");
+    }
+  }
+  return OkStatus();
+}
+
+TmVerdict SimulateOnEmptyTape(const TuringMachine& tm, int space_cells,
+                              std::size_t max_steps) {
+  std::vector<std::string> tape(space_cells, tm.blank);
+  std::string state = tm.initial_state;
+  int head = 0;
+  std::set<std::string> seen;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    if (tm.accepting_states.count(state) > 0) return TmVerdict::kAccepts;
+    std::string config = StrCat(state, "#", head, "#", StrJoin(tape, ","));
+    if (!seen.insert(config).second) return TmVerdict::kLoops;
+    auto it = tm.delta.find({state, tape[head]});
+    if (it == tm.delta.end()) return TmVerdict::kHalts;
+    const TmTransition& transition = it->second;
+    tape[head] = transition.write;
+    state = transition.next_state;
+    switch (transition.move) {
+      case TmMove::kLeft:
+        if (--head < 0) return TmVerdict::kOutOfSpace;
+        break;
+      case TmMove::kRight:
+        if (++head >= space_cells) return TmVerdict::kOutOfSpace;
+        break;
+      case TmMove::kStay:
+        break;
+    }
+  }
+  return TmVerdict::kLoops;  // safety net: treat as non-accepting
+}
+
+TuringMachine ImmediatelyAcceptingMachine() {
+  TuringMachine tm;
+  tm.states = {"qa"};
+  tm.tape_symbols = {"_"};
+  tm.initial_state = "qa";
+  tm.accepting_states = {"qa"};
+  return tm;
+}
+
+TuringMachine AcceptAfterOneStepMachine() {
+  TuringMachine tm;
+  tm.states = {"q0", "qa"};
+  tm.tape_symbols = {"_", "m"};
+  tm.initial_state = "q0";
+  tm.accepting_states = {"qa"};
+  tm.delta[{"q0", "_"}] = {"qa", "m", TmMove::kStay};
+  return tm;
+}
+
+TuringMachine RunsOffTheTapeMachine() {
+  TuringMachine tm;
+  tm.states = {"q0"};
+  tm.tape_symbols = {"_"};
+  tm.initial_state = "q0";
+  tm.delta[{"q0", "_"}] = {"q0", "_", TmMove::kRight};
+  return tm;
+}
+
+TuringMachine LoopsInPlaceMachine() {
+  TuringMachine tm;
+  tm.states = {"q0"};
+  tm.tape_symbols = {"_"};
+  tm.initial_state = "q0";
+  tm.delta[{"q0", "_"}] = {"q0", "_", TmMove::kStay};
+  return tm;
+}
+
+TuringMachine BounceAndAcceptMachine() {
+  // q0: mark cell 0, move right (state qr). qr: on blank keep moving
+  // right... on a 2-cell tape: qr at cell 1 writes nothing and turns
+  // around (state ql). ql: back at the mark: accept.
+  TuringMachine tm;
+  tm.states = {"q0", "qr", "ql", "qa"};
+  tm.tape_symbols = {"_", "m"};
+  tm.initial_state = "q0";
+  tm.accepting_states = {"qa"};
+  tm.delta[{"q0", "_"}] = {"qr", "m", TmMove::kRight};
+  tm.delta[{"qr", "_"}] = {"ql", "_", TmMove::kLeft};
+  tm.delta[{"ql", "m"}] = {"qa", "m", TmMove::kStay};
+  return tm;
+}
+
+}  // namespace datalog

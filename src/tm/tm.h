@@ -1,0 +1,64 @@
+// Deterministic Turing machines and a space-bounded simulator.
+//
+// This is the substrate for the paper's lower-bound constructions (§5.3):
+// the reduction encodes the computation of an exponential-space machine as
+// a Datalog containment instance, and the simulator serves as the
+// acceptance oracle the reduction is validated against on micro machines.
+#ifndef DATALOG_EQ_SRC_TM_TM_H_
+#define DATALOG_EQ_SRC_TM_TM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace datalog {
+
+enum class TmMove { kLeft, kRight, kStay };
+
+struct TmTransition {
+  std::string next_state;
+  std::string write;
+  TmMove move = TmMove::kStay;
+};
+
+struct TuringMachine {
+  std::vector<std::string> states;
+  std::vector<std::string> tape_symbols;  // must include `blank`
+  std::string blank = "_";
+  std::string initial_state;
+  std::set<std::string> accepting_states;
+  /// Partial transition function; an undefined (state, symbol) halts.
+  std::map<std::pair<std::string, std::string>, TmTransition> delta;
+
+  Status Validate() const;
+};
+
+enum class TmVerdict {
+  kAccepts,      // reached an accepting state
+  kHalts,        // halted in a non-accepting state (no transition)
+  kOutOfSpace,   // tried to leave the tape segment
+  kLoops,        // revisited a configuration: runs forever
+};
+
+/// Runs `tm` on the empty (all-blank) tape of `space_cells` cells with the
+/// head starting at the leftmost cell. Exact: configurations are
+/// deduplicated, so looping is detected rather than timed out; `max_steps`
+/// is a safety net only.
+TmVerdict SimulateOnEmptyTape(const TuringMachine& tm, int space_cells,
+                              std::size_t max_steps = 1'000'000);
+
+/// Convenience machines for tests and benchmarks.
+TuringMachine ImmediatelyAcceptingMachine();
+TuringMachine AcceptAfterOneStepMachine();
+TuringMachine RunsOffTheTapeMachine();
+TuringMachine LoopsInPlaceMachine();
+/// Writes a mark, bounces to the right end, then accepts iff the mark is
+/// still there when it bounces back (exercises multi-config computations).
+TuringMachine BounceAndAcceptMachine();
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_TM_TM_H_

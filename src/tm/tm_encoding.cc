@@ -1,0 +1,464 @@
+#include "src/tm/tm_encoding.h"
+
+#include <optional>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+// A tape-cell symbol: a plain tape symbol or a composite (state, symbol)
+// pair marking the head position.
+struct CellSymbol {
+  bool composite = false;
+  std::string state;   // composite only
+  std::string symbol;  // the tape symbol
+
+  std::string PredicateName() const {
+    return composite ? StrCat("sym_", state, "_", symbol)
+                     : StrCat("sym_", symbol);
+  }
+  bool operator==(const CellSymbol& other) const {
+    return composite == other.composite && state == other.state &&
+           symbol == other.symbol;
+  }
+};
+
+// The successor value of a cell, or "stuck" (every next value is an
+// error; used when the machine halts or would leave the tape).
+struct Successor {
+  bool stuck = true;
+  CellSymbol value;
+};
+
+class EncodingBuilder {
+ public:
+  EncodingBuilder(const TuringMachine& tm, int n) : tm_(tm), n_(n) {
+    for (const std::string& symbol : tm.tape_symbols) {
+      symbols_.push_back({false, "", symbol});
+    }
+    for (const std::string& state : tm.states) {
+      for (const std::string& symbol : tm.tape_symbols) {
+        symbols_.push_back({true, state, symbol});
+      }
+    }
+  }
+
+  TmEncoding Build() {
+    TmEncoding encoding;
+    BuildRules(&encoding.program);
+    BuildQueries(&encoding.queries);
+    for (const CellSymbol& s : symbols_) {
+      encoding.symbol_predicates.push_back(s.PredicateName());
+    }
+    return encoding;
+  }
+
+ private:
+  // --- symbols and successor relations -------------------------------
+
+  const TmTransition* Delta(const CellSymbol& s) const {
+    if (!s.composite) return nullptr;
+    auto it = tm_.delta.find({s.state, s.symbol});
+    return it == tm_.delta.end() ? nullptr : &it->second;
+  }
+
+  // Middle-cell successor: the cell b with left neighbor a and right
+  // neighbor c.
+  Successor MiddleSuccessor(const CellSymbol& a, const CellSymbol& b,
+                            const CellSymbol& c) const {
+    if (b.composite) {
+      const TmTransition* t = Delta(b);
+      if (t == nullptr) return {};  // machine halts: stuck
+      if (t->move == TmMove::kStay) {
+        return {false, {true, t->next_state, t->write}};
+      }
+      return {false, {false, "", t->write}};
+    }
+    if (a.composite) {
+      const TmTransition* t = Delta(a);
+      if (t != nullptr && t->move == TmMove::kRight) {
+        return {false, {true, t->next_state, b.symbol}};
+      }
+    }
+    if (c.composite) {
+      const TmTransition* t = Delta(c);
+      if (t != nullptr && t->move == TmMove::kLeft) {
+        return {false, {true, t->next_state, b.symbol}};
+      }
+    }
+    return {false, b};
+  }
+
+  // Leftmost-cell successor (cell b, right neighbor c).
+  Successor LeftSuccessor(const CellSymbol& b, const CellSymbol& c) const {
+    if (b.composite) {
+      const TmTransition* t = Delta(b);
+      if (t == nullptr) return {};
+      if (t->move == TmMove::kLeft) return {};  // falls off the tape
+      if (t->move == TmMove::kStay) {
+        return {false, {true, t->next_state, t->write}};
+      }
+      return {false, {false, "", t->write}};
+    }
+    if (c.composite) {
+      const TmTransition* t = Delta(c);
+      if (t != nullptr && t->move == TmMove::kLeft) {
+        return {false, {true, t->next_state, b.symbol}};
+      }
+    }
+    return {false, b};
+  }
+
+  // Rightmost-cell successor (cell b, left neighbor a).
+  Successor RightSuccessor(const CellSymbol& a, const CellSymbol& b) const {
+    if (b.composite) {
+      const TmTransition* t = Delta(b);
+      if (t == nullptr) return {};
+      if (t->move == TmMove::kRight) return {};  // falls off the tape
+      if (t->move == TmMove::kStay) {
+        return {false, {true, t->next_state, t->write}};
+      }
+      return {false, {false, "", t->write}};
+    }
+    if (a.composite) {
+      const TmTransition* t = Delta(a);
+      if (t != nullptr && t->move == TmMove::kRight) {
+        return {false, {true, t->next_state, b.symbol}};
+      }
+    }
+    return {false, b};
+  }
+
+  // --- rules -----------------------------------------------------------
+
+  static Term V(const std::string& name) { return Term::Variable(name); }
+
+  std::string BitPred(int i) const { return StrCat("bit", i); }
+  std::string APred(int i) const { return StrCat("a", i); }
+
+  Atom AAtom(int i, Term third, Term fourth, Term z, Term z2, Term u,
+             Term v) const {
+    return Atom(APred(i), {V("X"), V("Y"), third, fourth, z, z2, u, v});
+  }
+
+  void BuildRules(Program* program) const {
+    const std::vector<std::pair<Term, Term>> marker_pairs = {
+        {V("X"), V("X")}, {V("X"), V("Y")}, {V("Y"), V("X")},
+        {V("Y"), V("Y")}};
+    // Address-bit rules (1 <= i <= n-1).
+    for (int i = 1; i <= n_ - 1; ++i) {
+      for (const auto& [ab, cb] : marker_pairs) {
+        program->AddRule(Rule(
+            Atom(BitPred(i), {V("X"), V("Y"), V("Z"), V("U"), V("V")}),
+            {Atom(BitPred(i + 1), {V("X"), V("Y"), V("Z2"), V("U"), V("V")}),
+             AAtom(i, ab, cb, V("Z"), V("Z2"), V("U"), V("V"))}));
+      }
+    }
+    for (const CellSymbol& symbol : symbols_) {
+      Atom symbol_atom(symbol.PredicateName(), {V("Z")});
+      for (const auto& [ab, cb] : marker_pairs) {
+        // Symbol rule: next position within the same configuration.
+        program->AddRule(Rule(
+            Atom(BitPred(n_), {V("X"), V("Y"), V("Z"), V("U"), V("V")}),
+            {Atom(BitPred(1), {V("X"), V("Y"), V("Z2"), V("U"), V("V")}),
+             AAtom(n_, ab, cb, V("Z"), V("Z2"), V("U"), V("V")),
+             symbol_atom}));
+        // Configuration-transition rule: u migrates to the v position of
+        // the next configuration's persistent pair.
+        program->AddRule(Rule(
+            Atom(BitPred(n_), {V("X"), V("Y"), V("Z"), V("U"), V("V")}),
+            {Atom(BitPred(1), {V("X"), V("Y"), V("Z2"), V("U2"), V("U")}),
+             AAtom(n_, ab, cb, V("Z"), V("Z2"), V("U"), V("V")),
+             symbol_atom}));
+        // Acceptance rule: the expansion may end at an accepting symbol.
+        if (symbol.composite &&
+            tm_.accepting_states.count(symbol.state) > 0) {
+          program->AddRule(Rule(
+              Atom(BitPred(n_), {V("X"), V("Y"), V("Z"), V("U"), V("V")}),
+              {AAtom(n_, ab, cb, V("Z"), V("Z2"), V("U"), V("V")),
+               symbol_atom}));
+        }
+      }
+    }
+    // Start rule.
+    program->AddRule(
+        Rule(Atom("c", {}),
+             {Atom(BitPred(1), {V("X"), V("Y"), V("Z"), V("U"), V("V")}),
+              Atom("start", {V("Z")})}));
+  }
+
+  // --- queries ---------------------------------------------------------
+
+  // Helper assembling one Boolean query. Variables named per call; `Dot()`
+  // yields a fresh variable.
+  struct QueryBuilder {
+    std::vector<Atom> atoms;
+    int dot_counter = 0;
+    Term Dot() { return Term::Variable(StrCat("D", dot_counter++)); }
+  };
+
+  // Appends the chained block a_first..a_last with shared (u, v); third
+  // and fourth args default to dots unless overridden via callbacks.
+  // Returns the z variable of the a_n atom (where the symbol attaches).
+  template <typename ThirdFn, typename FourthFn>
+  Term AppendBlock(QueryBuilder* qb, const std::string& z_prefix, int z_base,
+                   Term u, Term v, ThirdFn third, FourthFn fourth) const {
+    Term symbol_z = V("unused");
+    for (int i = 1; i <= n_; ++i) {
+      Term z = V(StrCat(z_prefix, z_base + i - 1));
+      Term z2 = V(StrCat(z_prefix, z_base + i));
+      qb->atoms.push_back(AAtom(i, third(i, qb), fourth(i, qb), z, z2, u, v));
+      if (i == n_) symbol_z = z;
+    }
+    return symbol_z;
+  }
+
+  void BuildQueries(UnionOfCqs* queries) const {
+    auto add = [queries](QueryBuilder& qb) {
+      queries->Add(ConjunctiveQuery({}, std::move(qb.atoms)));
+    };
+    auto dots3 = [](int, QueryBuilder* qb) { return qb->Dot(); };
+
+    // (F1) The first address is not 0...0: bit i of the position anchored
+    // at Start is 1.
+    for (int i = 1; i <= n_; ++i) {
+      QueryBuilder qb;
+      qb.atoms.push_back(Atom("start", {V("Z1")}));
+      for (int j = 1; j <= i; ++j) {
+        Term third = (j == i) ? V("Y") : qb.Dot();
+        qb.atoms.push_back(AAtom(j, third, qb.Dot(), V(StrCat("Z", j)),
+                                 V(StrCat("Z", j + 1)), V("U"), V("V")));
+      }
+      add(qb);
+    }
+
+    // (F2a) A first carry bit is 0 (incrementing always carries in 1).
+    {
+      QueryBuilder qb;
+      qb.atoms.push_back(AAtom(1, qb.Dot(), V("X"), qb.Dot(), qb.Dot(),
+                               qb.Dot(), qb.Dot()));
+      add(qb);
+    }
+
+    // (F2b) Carry-chain errors between address k (bit values) and address
+    // k+1 (carry values): c_{i+1} must be a_i AND c_i.
+    auto marker = [this](int bit) { return bit == 0 ? V("X") : V("Y"); };
+    for (int i = 1; i <= n_ - 1; ++i) {
+      // a_i=1 and c_i=1 but c_{i+1}=0.
+      {
+        QueryBuilder qb;
+        // Chain from position with a_i at block k to positions i, i+1 of
+        // block k+1: n+2 atoms a_i, a_{i+1}, ..., a_n, a_1, ..., a_{i+1}.
+        int z = 0;
+        auto chain = [&](int index, Term third, Term fourth) {
+          qb.atoms.push_back(AAtom(index, third, fourth, V(StrCat("Z", z)),
+                                   V(StrCat("Z", z + 1)), qb.Dot(),
+                                   qb.Dot()));
+          ++z;
+        };
+        chain(i, marker(1), qb.Dot());
+        for (int j = i + 1; j <= n_; ++j) chain(j, qb.Dot(), qb.Dot());
+        for (int j = 1; j < i; ++j) chain(j, qb.Dot(), qb.Dot());
+        chain(i, qb.Dot(), marker(1));
+        chain(i + 1, qb.Dot(), marker(0));
+        add(qb);
+      }
+      // a_i=0 but c_{i+1}=1.
+      {
+        QueryBuilder qb;
+        int z = 0;
+        auto chain = [&](int index, Term third, Term fourth) {
+          qb.atoms.push_back(AAtom(index, third, fourth, V(StrCat("Z", z)),
+                                   V(StrCat("Z", z + 1)), qb.Dot(),
+                                   qb.Dot()));
+          ++z;
+        };
+        chain(i, marker(0), qb.Dot());
+        for (int j = i + 1; j <= n_; ++j) chain(j, qb.Dot(), qb.Dot());
+        for (int j = 1; j <= i; ++j) chain(j, qb.Dot(), qb.Dot());
+        chain(i + 1, qb.Dot(), marker(1));
+        add(qb);
+      }
+      // c_i=0 but c_{i+1}=1 (local to one address block).
+      {
+        QueryBuilder qb;
+        qb.atoms.push_back(AAtom(i, qb.Dot(), marker(0), V("Z1"), V("Z2"),
+                                 qb.Dot(), qb.Dot()));
+        qb.atoms.push_back(AAtom(i + 1, qb.Dot(), marker(1), V("Z2"),
+                                 V("Z3"), qb.Dot(), qb.Dot()));
+        add(qb);
+      }
+    }
+
+    // (F2c) Address-increment errors: b_i != a_i XOR c_i, where a_i sits
+    // at address k and (b_i, c_i) at address k+1, n positions later.
+    for (int i = 1; i <= n_; ++i) {
+      for (int a = 0; a <= 1; ++a) {
+        for (int c = 0; c <= 1; ++c) {
+          int wrong_b = 1 - (a ^ c);
+          QueryBuilder qb;
+          int z = 0;
+          auto chain = [&](int index, Term third, Term fourth) {
+            qb.atoms.push_back(AAtom(index, third, fourth, V(StrCat("Z", z)),
+                                     V(StrCat("Z", z + 1)), qb.Dot(),
+                                     qb.Dot()));
+            ++z;
+          };
+          chain(i, marker(a), qb.Dot());
+          for (int j = i + 1; j <= n_; ++j) chain(j, qb.Dot(), qb.Dot());
+          for (int j = 1; j < i; ++j) chain(j, qb.Dot(), qb.Dot());
+          chain(i, marker(wrong_b), marker(c));
+          add(qb);
+        }
+      }
+    }
+
+    // (F3-1) The configuration changes although address bit i is 0.
+    for (int i = 1; i <= n_; ++i) {
+      QueryBuilder qb;
+      int z = 0;
+      for (int j = i; j <= n_; ++j) {
+        Term third = (j == i) ? V("X") : qb.Dot();
+        qb.atoms.push_back(AAtom(j, third, qb.Dot(), V(StrCat("Z", z)),
+                                 V(StrCat("Z", z + 1)), V("U"), V("V")));
+        ++z;
+      }
+      qb.atoms.push_back(AAtom(1, qb.Dot(), qb.Dot(), V(StrCat("Z", z)),
+                               V(StrCat("Z", z + 1)), V("U2"), V("U")));
+      add(qb);
+    }
+    // (F3-2) The configuration does not change although the address is
+    // all ones.
+    {
+      QueryBuilder qb;
+      int z = 0;
+      for (int j = 1; j <= n_; ++j) {
+        qb.atoms.push_back(AAtom(j, V("Y"), qb.Dot(), V(StrCat("Z", z)),
+                                 V(StrCat("Z", z + 1)), V("U"), V("V")));
+        ++z;
+      }
+      qb.atoms.push_back(AAtom(1, qb.Dot(), qb.Dot(), V(StrCat("Z", z)),
+                               V(StrCat("Z", z + 1)), V("U"), V("V")));
+      add(qb);
+    }
+
+    // (F4) Initial configuration errors.
+    CellSymbol initial_head{true, tm_.initial_state, tm_.blank};
+    CellSymbol blank{false, "", tm_.blank};
+    for (const CellSymbol& symbol : symbols_) {
+      if (symbol == initial_head) continue;
+      // First cell of the first configuration is not (initial, blank).
+      QueryBuilder qb;
+      qb.atoms.push_back(Atom("start", {V("Z0")}));
+      Term symbol_z = AppendBlock(&qb, "Z", 0, V("U"), V("V"), dots3, dots3);
+      qb.atoms.push_back(Atom(symbol.PredicateName(), {symbol_z}));
+      add(qb);
+    }
+    for (const CellSymbol& symbol : symbols_) {
+      if (symbol == blank) continue;
+      // A non-first cell (bit i is 1) of the first configuration is not
+      // blank.
+      for (int i = 1; i <= n_; ++i) {
+        QueryBuilder qb;
+        qb.atoms.push_back(Atom("start", {V("Z0")}));
+        qb.atoms.push_back(
+            AAtom(1, qb.Dot(), qb.Dot(), V("Z0"), qb.Dot(), V("U"), V("V")));
+        Term symbol_z = V("unused");
+        for (int j = i; j <= n_; ++j) {
+          Term third = (j == i) ? V("Y") : qb.Dot();
+          Term z = V(StrCat("W", j));
+          Term z2 = V(StrCat("W", j + 1));
+          qb.atoms.push_back(AAtom(j, third, qb.Dot(), z, z2, V("U"), V("V")));
+          if (j == n_) symbol_z = z;
+        }
+        qb.atoms.push_back(Atom(symbol.PredicateName(), {symbol_z}));
+        add(qb);
+      }
+    }
+
+    // (F5) Transition errors against R_M, R^l_M, R^r_M.
+    auto all_zero = [](int, QueryBuilder*) { return V("X"); };
+    auto all_one = [](int, QueryBuilder*) { return V("Y"); };
+    auto shared_s = [](int i, QueryBuilder*) { return V(StrCat("S", i)); };
+
+    // Middle cells (three consecutive positions in one configuration; the
+    // corresponding position of the successor configuration).
+    for (const CellSymbol& a : symbols_) {
+      for (const CellSymbol& b : symbols_) {
+        for (const CellSymbol& c : symbols_) {
+          Successor successor = MiddleSuccessor(a, b, c);
+          for (const CellSymbol& d : symbols_) {
+            if (!successor.stuck && d == successor.value) continue;
+            QueryBuilder qb;
+            Term za = AppendBlock(&qb, "Z", 0, V("U"), V("V"), dots3, dots3);
+            Term zb = AppendBlock(&qb, "Z", n_, V("U"), V("V"), shared_s,
+                                  dots3);
+            Term zc =
+                AppendBlock(&qb, "Z", 2 * n_, V("U"), V("V"), dots3, dots3);
+            Term zd =
+                AppendBlock(&qb, "W", 0, V("U2"), V("U"), shared_s, dots3);
+            qb.atoms.push_back(Atom(a.PredicateName(), {za}));
+            qb.atoms.push_back(Atom(b.PredicateName(), {zb}));
+            qb.atoms.push_back(Atom(c.PredicateName(), {zc}));
+            qb.atoms.push_back(Atom(d.PredicateName(), {zd}));
+            add(qb);
+          }
+        }
+      }
+    }
+    // Leftmost cell (address all zeros).
+    for (const CellSymbol& b : symbols_) {
+      for (const CellSymbol& c : symbols_) {
+        Successor successor = LeftSuccessor(b, c);
+        for (const CellSymbol& d : symbols_) {
+          if (!successor.stuck && d == successor.value) continue;
+          QueryBuilder qb;
+          Term zb = AppendBlock(&qb, "Z", 0, V("U"), V("V"), all_zero, dots3);
+          Term zc = AppendBlock(&qb, "Z", n_, V("U"), V("V"), dots3, dots3);
+          Term zd = AppendBlock(&qb, "W", 0, V("U2"), V("U"), all_zero,
+                                dots3);
+          qb.atoms.push_back(Atom(b.PredicateName(), {zb}));
+          qb.atoms.push_back(Atom(c.PredicateName(), {zc}));
+          qb.atoms.push_back(Atom(d.PredicateName(), {zd}));
+          add(qb);
+        }
+      }
+    }
+    // Rightmost cell (address all ones).
+    for (const CellSymbol& a : symbols_) {
+      for (const CellSymbol& b : symbols_) {
+        Successor successor = RightSuccessor(a, b);
+        for (const CellSymbol& d : symbols_) {
+          if (!successor.stuck && d == successor.value) continue;
+          QueryBuilder qb;
+          Term za = AppendBlock(&qb, "Z", 0, V("U"), V("V"), dots3, dots3);
+          Term zb = AppendBlock(&qb, "Z", n_, V("U"), V("V"), all_one, dots3);
+          Term zd = AppendBlock(&qb, "W", 0, V("U2"), V("U"), all_one, dots3);
+          qb.atoms.push_back(Atom(a.PredicateName(), {za}));
+          qb.atoms.push_back(Atom(b.PredicateName(), {zb}));
+          qb.atoms.push_back(Atom(d.PredicateName(), {zd}));
+          add(qb);
+        }
+      }
+    }
+  }
+
+  const TuringMachine& tm_;
+  const int n_;
+  std::vector<CellSymbol> symbols_;
+};
+
+}  // namespace
+
+StatusOr<TmEncoding> EncodeLinearTmContainment(const TuringMachine& tm,
+                                               int n) {
+  if (n < 1) return Status(InvalidArgumentError("need n >= 1 address bits"));
+  Status valid = tm.Validate();
+  if (!valid.ok()) return valid;
+  EncodingBuilder builder(tm, n);
+  return builder.Build();
+}
+
+}  // namespace datalog

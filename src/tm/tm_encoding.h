@@ -1,0 +1,42 @@
+// The lower-bound reduction of §5.3: encoding the computation of a
+// space-2^n Turing machine as a containment instance (Π, Θ) with
+//   Π ⊆ Θ   iff   M does NOT accept the empty tape in space 2^n.
+//
+// The unfolding expansions of the linear program Π spell out sequences of
+// n-bit addressed tape cells grouped into configurations; the union Θ
+// collects one Boolean conjunctive query per possible encoding error
+// (bad address counter, bad configuration boundary, bad initial
+// configuration, or a local transition violating M's successor relations
+// R_M / R^l_M / R^r_M). An expansion that avoids every error query is a
+// faithful accepting computation, so containment fails exactly when M
+// accepts. See DESIGN.md (experiment E7) for the validation protocol.
+#ifndef DATALOG_EQ_SRC_TM_TM_ENCODING_H_
+#define DATALOG_EQ_SRC_TM_TM_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+#include "src/tm/tm.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+struct TmEncoding {
+  Program program;
+  UnionOfCqs queries;
+  std::string goal = "c";
+  /// Tape/composite symbols in index order, as EDB predicate names
+  /// ("sym_<plain>" / "sym_<state>_<symbol>").
+  std::vector<std::string> symbol_predicates;
+};
+
+/// Builds the §5.3 instance for deterministic `tm` with n address bits
+/// (configurations of length 2^n).
+StatusOr<TmEncoding> EncodeLinearTmContainment(const TuringMachine& tm,
+                                               int n);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_TM_TM_ENCODING_H_

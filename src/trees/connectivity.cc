@@ -1,0 +1,88 @@
+#include "src/trees/connectivity.h"
+
+#include <unordered_set>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+void Flatten(const ExpansionNode& node, std::size_t parent,
+             std::vector<const ExpansionNode*>* nodes,
+             std::vector<std::size_t>* parents) {
+  std::size_t id = nodes->size();
+  nodes->push_back(&node);
+  parents->push_back(parent);
+  for (const ExpansionNode& child : node.children) {
+    Flatten(child, id, nodes, parents);
+  }
+}
+
+}  // namespace
+
+TreeConnectivity::TreeConnectivity(const ExpansionTree& tree)
+    : union_find_(0) {
+  Flatten(tree.root(), 0, &nodes_, &parents_);
+  // Link rule: (x, v) ~ (parent(x), v) iff v occurs in the goal of x.
+  for (std::size_t id = 1; id < nodes_.size(); ++id) {
+    std::unordered_set<std::string> goal_vars;
+    for (const Term& t : nodes_[id]->goal.args()) {
+      if (t.is_variable()) goal_vars.insert(t.name());
+    }
+    for (const std::string& v : goal_vars) {
+      union_find_.Union(Index(id, v), Index(parents_[id], v));
+    }
+  }
+}
+
+std::size_t TreeConnectivity::Index(std::size_t node_id,
+                                    const std::string& var) {
+  auto [it, inserted] = indices_.emplace(std::make_pair(node_id, var),
+                                         union_find_.size());
+  if (inserted) union_find_.Add();
+  return it->second;
+}
+
+std::size_t TreeConnectivity::ClassOf(std::size_t node_id,
+                                      const std::string& var) {
+  return union_find_.Find(Index(node_id, var));
+}
+
+bool TreeConnectivity::Connected(std::size_t node1, std::size_t node2,
+                                 const std::string& var) {
+  return ClassOf(node1, var) == ClassOf(node2, var);
+}
+
+bool TreeConnectivity::IsDistinguishedOccurrence(std::size_t node_id,
+                                                 const std::string& var) {
+  bool in_root_goal = false;
+  for (const Term& t : nodes_[0]->goal.args()) {
+    if (t.is_variable() && t.name() == var) in_root_goal = true;
+  }
+  if (!in_root_goal) return false;
+  return Connected(node_id, 0, var);
+}
+
+ExpansionNode TreeConnectivity::RenameNode(std::size_t node_id) {
+  const ExpansionNode& original = *nodes_[node_id];
+  Substitution rename;
+  for (const std::string& v : original.rule.VariableNames()) {
+    rename.emplace(v, Term::Variable(StrCat("_c", ClassOf(node_id, v))));
+  }
+  ExpansionNode renamed;
+  renamed.rule = ApplySubstitution(rename, original.rule);
+  renamed.goal = renamed.rule.head();
+  renamed.idb_positions = original.idb_positions;
+  // Children follow this node contiguously in preorder; walk them by
+  // scanning for nodes whose parent is node_id, in order.
+  for (std::size_t id = node_id + 1; id < nodes_.size(); ++id) {
+    if (parents_[id] == node_id) renamed.children.push_back(RenameNode(id));
+  }
+  return renamed;
+}
+
+ExpansionTree TreeConnectivity::RenameByClass() {
+  return ExpansionTree(RenameNode(0));
+}
+
+}  // namespace datalog

@@ -1,0 +1,63 @@
+// Connectedness of variable occurrences in proof trees (paper
+// Definition 5.2) and the class-renaming that turns a proof tree back into
+// an expansion tree (the mapping Δ in the proof of Proposition 5.5).
+//
+// Occurrences of a variable v at nodes x1, x2 with lowest common ancestor
+// x are connected iff every node on the simple path between x1 and x2,
+// except possibly x, has v in its goal atom. Connectedness is an
+// equivalence relation; occurrences within one node are always connected.
+// This is computed with a union-find over (node, variable) pairs using the
+// link rule: (x, v) ~ (parent(x), v) iff v occurs in the goal of x.
+#ifndef DATALOG_EQ_SRC_TREES_CONNECTIVITY_H_
+#define DATALOG_EQ_SRC_TREES_CONNECTIVITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trees/expansion_tree.h"
+#include "src/util/union_find.h"
+
+namespace datalog {
+
+class TreeConnectivity {
+ public:
+  explicit TreeConnectivity(const ExpansionTree& tree);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  /// Preorder node access; node 0 is the root.
+  const ExpansionNode& node(std::size_t id) const { return *nodes_[id]; }
+  /// Parent of node `id`; the root's parent is itself.
+  std::size_t parent(std::size_t id) const { return parents_[id]; }
+
+  /// The connectivity class of variable `var` at node `node_id`.
+  /// Valid for any (node, var); classes exist even where the variable has
+  /// no occurrence (they act as pass-through links).
+  std::size_t ClassOf(std::size_t node_id, const std::string& var);
+
+  /// True if occurrences of `var` at `node1` and `node2` are connected.
+  bool Connected(std::size_t node1, std::size_t node2, const std::string& var);
+
+  /// True if an occurrence of `var` at node `node_id` is a distinguished
+  /// occurrence: connected to an occurrence of `var` in the root atom.
+  bool IsDistinguishedOccurrence(std::size_t node_id, const std::string& var);
+
+  /// Renames every variable occurrence to a name determined by its
+  /// connectivity class ("_c<k>"); the result is an expansion tree whose
+  /// CQ is equivalent to the proof tree's intended expansion
+  /// (Proposition 5.5's renaming Δ).
+  ExpansionTree RenameByClass();
+
+ private:
+  std::size_t Index(std::size_t node_id, const std::string& var);
+  ExpansionNode RenameNode(std::size_t node_id);
+
+  std::vector<const ExpansionNode*> nodes_;
+  std::vector<std::size_t> parents_;
+  std::map<std::pair<std::size_t, std::string>, std::size_t> indices_;
+  UnionFind union_find_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_TREES_CONNECTIVITY_H_

@@ -1,0 +1,206 @@
+#include "src/trees/enumerate.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "src/ast/analysis.h"
+#include "src/util/iteration.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+// Matches `pattern` (the rule head) against `target` (the goal atom),
+// extending `subst`; false on clash.
+bool MatchHead(const Atom& pattern, const Atom& target, Substitution* subst) {
+  if (pattern.predicate() != target.predicate() ||
+      pattern.arity() != target.arity()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < pattern.arity(); ++i) {
+    const Term& p = pattern.args()[i];
+    const Term& t = target.args()[i];
+    if (p.is_constant()) {
+      if (p != t) return false;
+      continue;
+    }
+    auto [it, inserted] = subst->emplace(p.name(), t);
+    if (!inserted && it->second != t) return false;
+  }
+  return true;
+}
+
+class TreeEnumerator {
+ public:
+  TreeEnumerator(const Program& program, const EnumerateOptions& options,
+                 bool proof_mode, std::size_t min_vars)
+      : program_(program),
+        options_(options),
+        proof_mode_(proof_mode),
+        idb_(program.IdbPredicates()) {
+    if (proof_mode_) {
+      for (const std::string& name : ProofVariables(program, min_vars)) {
+        proof_vars_.push_back(Term::Variable(name));
+      }
+    }
+  }
+
+  bool Run(const std::string& goal,
+           const std::function<bool(const ExpansionTree&)>& visit) {
+    std::vector<Atom> roots = RootAtoms(goal);
+    for (const Atom& root : roots) {
+      bool keep_going = ExpandGoal(
+          root, options_.max_depth, [&](ExpansionNode node) {
+            if (yielded_ >= options_.max_trees) return false;
+            ++yielded_;
+            ExpansionTree tree(std::move(node));
+            return visit(tree);
+          });
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Atom> RootAtoms(const std::string& goal) {
+    std::vector<Atom> roots;
+    std::set<Atom> seen;
+    if (proof_mode_) {
+      // All goal-predicate atoms over var(Π).
+      std::size_t arity = program_.PredicateArity(goal);
+      std::vector<std::size_t> sizes(arity, proof_vars_.size());
+      ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
+        std::vector<Term> args;
+        args.reserve(arity);
+        for (std::size_t c : choice) args.push_back(proof_vars_[c]);
+        Atom atom(goal, std::move(args));
+        if (seen.insert(atom).second) roots.push_back(atom);
+        return true;
+      });
+    } else {
+      // Heads of rules for the goal predicate (Definition 2.4(a)).
+      for (const Rule& rule : program_.rules()) {
+        if (rule.head().predicate() == goal && seen.insert(rule.head()).second) {
+          roots.push_back(rule.head());
+        }
+      }
+    }
+    return roots;
+  }
+
+  // Enumerates all subtrees for `goal` with depth at most `depth`,
+  // passing each to `sink`. Returns false iff some sink call returned
+  // false (abort).
+  bool ExpandGoal(const Atom& goal, std::size_t depth,
+                  const std::function<bool(ExpansionNode)>& sink) {
+    if (depth == 0) return true;
+    for (const Rule& rule : program_.rules()) {
+      Substitution head_subst;
+      if (!MatchHead(rule.head(), goal, &head_subst)) continue;
+      // Variables of the rule not bound by the head.
+      std::vector<std::string> free_vars;
+      for (const std::string& v : rule.VariableNames()) {
+        if (head_subst.count(v) == 0) free_vars.push_back(v);
+      }
+      bool keep_going = true;
+      auto try_instance = [&](const Substitution& full_subst) {
+        Rule instance = ApplySubstitution(full_subst, rule);
+        std::vector<std::size_t> idb_positions;
+        std::vector<Atom> child_goals;
+        for (std::size_t i = 0; i < instance.body().size(); ++i) {
+          if (idb_.count(instance.body()[i].predicate()) > 0) {
+            idb_positions.push_back(i);
+            child_goals.push_back(instance.body()[i]);
+          }
+        }
+        if (!child_goals.empty() && depth == 1) return true;  // too deep
+        std::vector<ExpansionNode> children;
+        return ExpandChildren(child_goals, 0, depth - 1, &children, [&]() {
+          ExpansionNode node;
+          node.goal = goal;
+          node.rule = instance;
+          node.idb_positions = idb_positions;
+          node.children = children;
+          return sink(std::move(node));
+        });
+      };
+      if (proof_mode_) {
+        std::vector<std::size_t> sizes(free_vars.size(), proof_vars_.size());
+        keep_going = ForEachProduct(
+            sizes, [&](const std::vector<std::size_t>& choice) {
+              Substitution full = head_subst;
+              for (std::size_t i = 0; i < free_vars.size(); ++i) {
+                full.emplace(free_vars[i], proof_vars_[choice[i]]);
+              }
+              return try_instance(full);
+            });
+      } else {
+        Substitution full = head_subst;
+        for (const std::string& v : free_vars) {
+          full.emplace(v, Term::Variable(StrCat("_u", fresh_counter_++)));
+        }
+        keep_going = try_instance(full);
+      }
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  // Builds all forests for `goals[index..]` into `*acc`, invoking `done`
+  // for each complete forest.
+  bool ExpandChildren(const std::vector<Atom>& goals, std::size_t index,
+                      std::size_t depth, std::vector<ExpansionNode>* acc,
+                      const std::function<bool()>& done) {
+    if (index == goals.size()) return done();
+    return ExpandGoal(goals[index], depth, [&](ExpansionNode node) {
+      acc->push_back(std::move(node));
+      bool keep_going = ExpandChildren(goals, index + 1, depth, acc, done);
+      acc->pop_back();
+      return keep_going;
+    });
+  }
+
+  const Program& program_;
+  const EnumerateOptions& options_;
+  const bool proof_mode_;
+  std::set<std::string> idb_;
+  std::vector<Term> proof_vars_;
+  std::size_t yielded_ = 0;
+  std::size_t fresh_counter_ = 0;
+};
+
+}  // namespace
+
+bool EnumerateUnfoldingTrees(
+    const Program& program, const std::string& goal,
+    const EnumerateOptions& options,
+    const std::function<bool(const ExpansionTree&)>& visit) {
+  TreeEnumerator enumerator(program, options, /*proof_mode=*/false,
+                            /*min_vars=*/0);
+  return enumerator.Run(goal, visit);
+}
+
+bool EnumerateProofTrees(const Program& program, const std::string& goal,
+                         const EnumerateOptions& options,
+                         const std::function<bool(const ExpansionTree&)>& visit,
+                         std::size_t min_vars) {
+  TreeEnumerator enumerator(program, options, /*proof_mode=*/true, min_vars);
+  return enumerator.Run(goal, visit);
+}
+
+UnionOfCqs BoundedExpansions(const Program& program, const std::string& goal,
+                             const EnumerateOptions& options) {
+  UnionOfCqs expansions;
+  std::unordered_set<std::string> seen;
+  EnumerateUnfoldingTrees(program, goal, options,
+                          [&](const ExpansionTree& tree) {
+                            ConjunctiveQuery cq = TreeToCq(program, tree);
+                            std::string key =
+                                SortedBodyCanonicalForm(cq).ToString();
+                            if (seen.insert(key).second) expansions.Add(cq);
+                            return true;
+                          });
+  return expansions;
+}
+
+}  // namespace datalog

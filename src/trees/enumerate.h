@@ -1,0 +1,54 @@
+// Bounded enumeration of unfolding expansion trees and proof trees.
+//
+// Used as a (semi-decision) test oracle: enumerating all trees up to a
+// depth bound lets tests cross-check the automata-theoretic machinery tree
+// by tree, and refute containment claims by exhibiting expansions.
+#ifndef DATALOG_EQ_SRC_TREES_ENUMERATE_H_
+#define DATALOG_EQ_SRC_TREES_ENUMERATE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/trees/expansion_tree.h"
+
+namespace datalog {
+
+struct EnumerateOptions {
+  /// Maximum tree depth (a leaf-only tree has depth 1).
+  std::size_t max_depth = 3;
+  /// Stop after yielding this many trees.
+  std::size_t max_trees = 1'000'000;
+};
+
+/// Calls `visit` for every unfolding expansion tree of `program` for goal
+/// predicate `goal` with depth at most options.max_depth. Fresh variables
+/// are named "_u0", "_u1", ... Returns false if enumeration was cut short
+/// (visit returned false or max_trees hit); true if the bounded space was
+/// exhausted.
+bool EnumerateUnfoldingTrees(
+    const Program& program, const std::string& goal,
+    const EnumerateOptions& options,
+    const std::function<bool(const ExpansionTree&)>& visit);
+
+/// Calls `visit` for every proof tree of `program` for goal predicate
+/// `goal` with depth at most options.max_depth: root goals range over all
+/// atoms of the goal predicate with variables in var(Π) (sized at least
+/// `min_vars`), and body-only variables of each rule instance range over
+/// all of var(Π). Exponential; intended for tiny programs in tests.
+bool EnumerateProofTrees(
+    const Program& program, const std::string& goal,
+    const EnumerateOptions& options,
+    const std::function<bool(const ExpansionTree&)>& visit,
+    std::size_t min_vars = 0);
+
+/// The expansions of the program up to the depth bound, as CQs
+/// (Proposition 2.6 truncated at depth max_depth): the union of TreeToCq
+/// over unfolding trees. Deduplicated syntactically via
+/// SortedBodyCanonicalForm.
+UnionOfCqs BoundedExpansions(const Program& program, const std::string& goal,
+                             const EnumerateOptions& options);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_TREES_ENUMERATE_H_

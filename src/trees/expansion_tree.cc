@@ -1,0 +1,225 @@
+#include "src/trees/expansion_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace {
+
+void RenderNode(const ExpansionNode& node, int indent, std::string* out) {
+  out->append(2 * indent, ' ');
+  out->append(StrCat("(", node.goal.ToString(), "  |  ", node.rule.ToString(),
+                     ")\n"));
+  for (const ExpansionNode& child : node.children) {
+    RenderNode(child, indent + 1, out);
+  }
+}
+
+// Tries to match `pattern` (with variables) against `target` term-by-term,
+// extending `subst`; returns false on clash.
+bool MatchAtom(const Atom& pattern, const Atom& target, Substitution* subst) {
+  if (pattern.predicate() != target.predicate() ||
+      pattern.arity() != target.arity()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < pattern.arity(); ++i) {
+    const Term& p = pattern.args()[i];
+    const Term& t = target.args()[i];
+    if (p.is_constant()) {
+      if (p != t) return false;
+      continue;
+    }
+    auto [it, inserted] = subst->emplace(p.name(), t);
+    if (!inserted && it->second != t) return false;
+  }
+  return true;
+}
+
+Status ValidateNode(const Program& program, const ExpansionNode& node,
+                    const std::set<std::string>& idb) {
+  if (node.rule.head() != node.goal) {
+    return InvalidArgumentError(StrCat("node goal ", node.goal.ToString(),
+                                       " differs from rule head ",
+                                       node.rule.head().ToString()));
+  }
+  if (!std::any_of(program.rules().begin(), program.rules().end(),
+                   [&node](const Rule& rule) {
+                     return IsRuleInstance(rule, node.rule);
+                   })) {
+    return InvalidArgumentError(
+        StrCat("rule is not an instance of any program rule: ",
+               node.rule.ToString()));
+  }
+  // Children must align with the IDB atoms of the body.
+  std::vector<std::size_t> expected_positions;
+  for (std::size_t i = 0; i < node.rule.body().size(); ++i) {
+    if (idb.count(node.rule.body()[i].predicate()) > 0) {
+      expected_positions.push_back(i);
+    }
+  }
+  if (expected_positions != node.idb_positions) {
+    return InvalidArgumentError(
+        StrCat("idb_positions mismatch at node ", node.goal.ToString()));
+  }
+  if (node.children.size() != expected_positions.size()) {
+    return InvalidArgumentError(
+        StrCat("node ", node.goal.ToString(), " has ", node.children.size(),
+               " children but ", expected_positions.size(), " IDB subgoals"));
+  }
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const Atom& subgoal = node.rule.body()[expected_positions[i]];
+    if (node.children[i].goal != subgoal) {
+      return InvalidArgumentError(
+          StrCat("child goal ", node.children[i].goal.ToString(),
+                 " does not match subgoal ", subgoal.ToString()));
+    }
+    Status s = ValidateNode(program, node.children[i], idb);
+    if (!s.ok()) return s;
+  }
+  return OkStatus();
+}
+
+// Checks unfolding condition (b): variables in the body of node's rule
+// either occur in the goal or occur in no node strictly above.
+// `above_vars` holds all variable names in labels of strict ancestors.
+Status ValidateUnfoldingNode(const ExpansionNode& node,
+                             std::unordered_set<std::string>* above_vars) {
+  std::unordered_set<std::string> goal_vars;
+  for (const Term& t : node.goal.args()) {
+    if (t.is_variable()) goal_vars.insert(t.name());
+  }
+  for (const Atom& atom : node.rule.body()) {
+    for (const Term& t : atom.args()) {
+      if (!t.is_variable()) continue;
+      if (goal_vars.count(t.name()) > 0) continue;
+      if (above_vars->count(t.name()) > 0) {
+        return InvalidArgumentError(
+            StrCat("variable ", t.name(), " in body of node ",
+                   node.goal.ToString(),
+                   " occurs above but not in the node's goal"));
+      }
+    }
+  }
+  // Extend above_vars with this node's label variables for the children.
+  std::vector<std::string> added;
+  auto add = [&](const Term& t) {
+    if (t.is_variable() && above_vars->insert(t.name()).second) {
+      added.push_back(t.name());
+    }
+  };
+  for (const Term& t : node.goal.args()) add(t);
+  for (const Atom& atom : node.rule.body()) {
+    for (const Term& t : atom.args()) add(t);
+  }
+  for (const ExpansionNode& child : node.children) {
+    Status s = ValidateUnfoldingNode(child, above_vars);
+    if (!s.ok()) return s;
+  }
+  for (const std::string& name : added) above_vars->erase(name);
+  return OkStatus();
+}
+
+void CollectTreeVariables(const ExpansionNode& node,
+                          std::unordered_set<std::string>* vars) {
+  for (const std::string& v : node.rule.VariableNames()) vars->insert(v);
+  for (const ExpansionNode& child : node.children) {
+    CollectTreeVariables(child, vars);
+  }
+}
+
+void CollectEdbAtoms(const ExpansionNode& node,
+                     const std::set<std::string>& idb,
+                     std::vector<Atom>* atoms) {
+  for (const Atom& atom : node.rule.body()) {
+    if (idb.count(atom.predicate()) == 0) atoms->push_back(atom);
+  }
+  for (const ExpansionNode& child : node.children) {
+    CollectEdbAtoms(child, idb, atoms);
+  }
+}
+
+}  // namespace
+
+std::size_t ExpansionNode::Size() const {
+  std::size_t total = 1;
+  for (const ExpansionNode& child : children) total += child.Size();
+  return total;
+}
+
+std::size_t ExpansionNode::Depth() const {
+  std::size_t deepest = 0;
+  for (const ExpansionNode& child : children) {
+    deepest = std::max(deepest, child.Depth());
+  }
+  return deepest + 1;
+}
+
+std::string ExpansionTree::ToString() const {
+  std::string out;
+  RenderNode(root_, 0, &out);
+  return out;
+}
+
+bool IsRuleInstance(const Rule& rule, const Rule& instance) {
+  if (rule.body().size() != instance.body().size()) return false;
+  Substitution subst;
+  if (!MatchAtom(rule.head(), instance.head(), &subst)) return false;
+  for (std::size_t i = 0; i < rule.body().size(); ++i) {
+    if (!MatchAtom(rule.body()[i], instance.body()[i], &subst)) return false;
+  }
+  return true;
+}
+
+Status ValidateExpansionTree(const Program& program,
+                             const ExpansionTree& tree) {
+  return ValidateNode(program, tree.root(), program.IdbPredicates());
+}
+
+Status ValidateUnfoldingTree(const Program& program,
+                             const ExpansionTree& tree) {
+  Status s = ValidateExpansionTree(program, tree);
+  if (!s.ok()) return s;
+  // Condition (a): the root atom is the head of a rule of the program.
+  bool root_is_head = false;
+  for (const Rule& rule : program.rules()) {
+    if (rule.head() == tree.root().goal) root_is_head = true;
+  }
+  if (!root_is_head) {
+    return InvalidArgumentError(
+        StrCat("root atom ", tree.root().goal.ToString(),
+               " is not the head of any program rule"));
+  }
+  std::unordered_set<std::string> above;
+  return ValidateUnfoldingNode(tree.root(), &above);
+}
+
+Status ValidateProofTree(const Program& program, const ExpansionTree& tree,
+                         std::size_t min_vars) {
+  Status s = ValidateExpansionTree(program, tree);
+  if (!s.ok()) return s;
+  std::unordered_set<std::string> vars;
+  CollectTreeVariables(tree.root(), &vars);
+  std::vector<std::string> allowed = ProofVariables(program, min_vars);
+  std::unordered_set<std::string> allowed_set(allowed.begin(), allowed.end());
+  for (const std::string& v : vars) {
+    if (allowed_set.count(v) == 0) {
+      return InvalidArgumentError(
+          StrCat("variable ", v, " is not in var(P) of size ",
+                 allowed.size()));
+    }
+  }
+  return OkStatus();
+}
+
+ConjunctiveQuery TreeToCq(const Program& program, const ExpansionTree& tree) {
+  std::vector<Atom> body;
+  CollectEdbAtoms(tree.root(), program.IdbPredicates(), &body);
+  return ConjunctiveQuery(tree.root().goal.args(), std::move(body));
+}
+
+}  // namespace datalog

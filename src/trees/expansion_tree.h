@@ -1,0 +1,79 @@
+// Expansion trees (paper §2.3) and proof trees (paper §5.1).
+//
+// A node is labeled by a pair (goal atom α, rule instance ρ) where the head
+// of ρ equals α; the node has one child per IDB atom in ρ's body, in body
+// order. The conjunctive query of a tree is the conjunction of all EDB
+// atoms of all rule instances, with the root atom's arguments as the
+// distinguished terms. A proof tree is an expansion tree whose variables
+// all come from var(Π) (see ProofVariables in src/ast/analysis.h).
+#ifndef DATALOG_EQ_SRC_TREES_EXPANSION_TREE_H_
+#define DATALOG_EQ_SRC_TREES_EXPANSION_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/analysis.h"
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+#include "src/util/status.h"
+
+namespace datalog {
+
+struct ExpansionNode {
+  Atom goal;
+  Rule rule;  // instance; rule.head() == goal
+  /// Positions in rule.body() holding IDB atoms; children[i] expands
+  /// rule.body()[idb_positions[i]].
+  std::vector<std::size_t> idb_positions;
+  std::vector<ExpansionNode> children;
+
+  std::size_t Size() const;   // number of nodes
+  std::size_t Depth() const;  // 1 for a leaf
+};
+
+class ExpansionTree {
+ public:
+  ExpansionTree() = default;
+  explicit ExpansionTree(ExpansionNode root) : root_(std::move(root)) {}
+
+  const ExpansionNode& root() const { return root_; }
+  ExpansionNode& mutable_root() { return root_; }
+
+  std::size_t Size() const { return root_.Size(); }
+  std::size_t Depth() const { return root_.Depth(); }
+
+  /// Indented multi-line rendering, for debugging and examples.
+  std::string ToString() const;
+
+ private:
+  ExpansionNode root_;
+};
+
+/// Checks that `tree` is a well-formed expansion tree of `program`:
+/// every node's rule is an instance of a program rule with head equal to
+/// the node's goal, children align with the IDB atoms of the body, and
+/// leaves have EDB-only bodies.
+Status ValidateExpansionTree(const Program& program, const ExpansionTree& tree);
+
+/// Additionally checks the unfolding condition (Definition 2.4): the root
+/// atom is the head of a program rule, and each body variable of each node
+/// either occurs in the node's goal or occurs in no node above.
+Status ValidateUnfoldingTree(const Program& program, const ExpansionTree& tree);
+
+/// Additionally checks that all variables are drawn from var(Π) of size
+/// max(VarNum(program), min_vars) (a proof tree, §5.1).
+Status ValidateProofTree(const Program& program, const ExpansionTree& tree,
+                         std::size_t min_vars = 0);
+
+/// The conjunctive query of the tree: all EDB atoms (relative to
+/// `program`) of all rule instances in preorder, with the root goal's
+/// arguments as head.
+ConjunctiveQuery TreeToCq(const Program& program, const ExpansionTree& tree);
+
+/// True if `instance` is an instance of `rule`: some substitution of
+/// rule's variables yields `instance` (atom-for-atom, order preserved).
+bool IsRuleInstance(const Rule& rule, const Rule& instance);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_TREES_EXPANSION_TREE_H_

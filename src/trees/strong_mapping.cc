@@ -1,0 +1,212 @@
+#include "src/trees/strong_mapping.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trees/connectivity.h"
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+// An EDB atom occurrence in the tree: which node's rule body it sits in.
+struct TargetAtom {
+  std::size_t node_id;
+  const Atom* atom;
+};
+
+// Binding of a theta variable: the image term; when the image is a tree
+// variable, also the connectivity class all occurrences must share.
+struct Binding {
+  Term term;
+  std::size_t class_id = 0;
+  bool has_class = false;
+};
+
+class StrongMappingSearch {
+ public:
+  StrongMappingSearch(const Program& program, const ExpansionTree& tree,
+                      const ConjunctiveQuery& theta)
+      : theta_(theta), connectivity_(tree) {
+    std::set<std::string> idb = program.IdbPredicates();
+    CollectTargets(tree.root(), idb, 0);
+  }
+
+  std::optional<Substitution> Run() {
+    if (!SeedFromHead()) return std::nullopt;
+    mapped_.assign(theta_.body().size(), false);
+    if (!Search(theta_.body().size())) return std::nullopt;
+    Substitution result;
+    for (const auto& [name, binding] : bindings_) {
+      result.emplace(name, binding.term);
+    }
+    return result;
+  }
+
+ private:
+  // Flattens the EDB atoms of the tree in preorder, tagged with node ids
+  // (node ids must agree with TreeConnectivity's preorder).
+  std::size_t CollectTargets(const ExpansionNode& node,
+                             const std::set<std::string>& idb,
+                             std::size_t id) {
+    for (const Atom& atom : node.rule.body()) {
+      if (idb.count(atom.predicate()) == 0) {
+        targets_.push_back({id, &atom});
+      }
+    }
+    std::size_t next = id + 1;
+    for (const ExpansionNode& child : node.children) {
+      next = CollectTargets(child, idb, next);
+    }
+    return next;
+  }
+
+  // Seeds bindings from the head: theta's i-th head term must map to the
+  // root goal's i-th argument, and variable images anchor to the root
+  // occurrence's connectivity class (distinguished-occurrence condition).
+  bool SeedFromHead() {
+    const Atom& root_goal = connectivity_.node(0).goal;
+    if (theta_.head_args().size() != root_goal.args().size()) return false;
+    for (std::size_t i = 0; i < theta_.head_args().size(); ++i) {
+      const Term& from = theta_.head_args()[i];
+      const Term& to = root_goal.args()[i];
+      if (from.is_constant()) {
+        if (!(to.is_constant() && to.name() == from.name())) return false;
+        continue;
+      }
+      Binding binding;
+      binding.term = to;
+      if (to.is_variable()) {
+        binding.class_id = connectivity_.ClassOf(0, to.name());
+        binding.has_class = true;
+      }
+      auto it = bindings_.find(from.name());
+      if (it != bindings_.end()) {
+        if (it->second.term != binding.term) return false;
+        // Repeated head variable: classes agree because the term and node
+        // (root) are the same.
+      } else {
+        bindings_.emplace(from.name(), binding);
+      }
+    }
+    return true;
+  }
+
+  std::size_t TrailMark() const { return trail_.size(); }
+  void UndoTo(std::size_t mark) {
+    while (trail_.size() > mark) {
+      bindings_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+  bool UnifyTerm(const Term& from, const Term& to, std::size_t node_id) {
+    if (from.is_constant()) {
+      return to.is_constant() && to.name() == from.name();
+    }
+    Binding candidate;
+    candidate.term = to;
+    if (to.is_variable()) {
+      candidate.class_id = connectivity_.ClassOf(node_id, to.name());
+      candidate.has_class = true;
+    }
+    auto it = bindings_.find(from.name());
+    if (it != bindings_.end()) {
+      const Binding& existing = it->second;
+      if (existing.term != candidate.term) return false;
+      // Strongness: occurrences of the same theta variable must land in
+      // connected occurrences (same connectivity class).
+      if (existing.has_class &&
+          existing.class_id != candidate.class_id) {
+        return false;
+      }
+      return true;
+    }
+    bindings_.emplace(from.name(), candidate);
+    trail_.push_back(from.name());
+    return true;
+  }
+
+  bool UnifyAtom(const Atom& from, const TargetAtom& target) {
+    const Atom& to = *target.atom;
+    if (from.predicate() != to.predicate() || from.arity() != to.arity()) {
+      return false;
+    }
+    std::size_t mark = TrailMark();
+    for (std::size_t i = 0; i < from.arity(); ++i) {
+      if (!UnifyTerm(from.args()[i], to.args()[i], target.node_id)) {
+        UndoTo(mark);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t PickNextAtom() const {
+    std::size_t best = theta_.body().size();
+    int best_bound = -1;
+    for (std::size_t i = 0; i < theta_.body().size(); ++i) {
+      if (mapped_[i]) continue;
+      int bound = 0;
+      for (const Term& t : theta_.body()[i].args()) {
+        if (t.is_constant() || bindings_.count(t.name()) > 0) ++bound;
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool Search(std::size_t remaining) {
+    if (remaining == 0) return true;
+    std::size_t index = PickNextAtom();
+    DATALOG_CHECK_LT(index, theta_.body().size());
+    mapped_[index] = true;
+    const Atom& from = theta_.body()[index];
+    for (const TargetAtom& target : targets_) {
+      std::size_t mark = TrailMark();
+      if (UnifyAtom(from, target)) {
+        if (Search(remaining - 1)) return true;
+        UndoTo(mark);
+      }
+    }
+    mapped_[index] = false;
+    return false;
+  }
+
+  const ConjunctiveQuery& theta_;
+  TreeConnectivity connectivity_;
+  std::vector<TargetAtom> targets_;
+  std::unordered_map<std::string, Binding> bindings_;
+  std::vector<std::string> trail_;
+  std::vector<bool> mapped_;
+};
+
+}  // namespace
+
+std::optional<Substitution> FindStrongContainmentMapping(
+    const Program& program, const ExpansionTree& tree,
+    const ConjunctiveQuery& theta) {
+  StrongMappingSearch search(program, tree, theta);
+  return search.Run();
+}
+
+bool HasStrongContainmentMapping(const Program& program,
+                                 const ExpansionTree& tree,
+                                 const ConjunctiveQuery& theta) {
+  return FindStrongContainmentMapping(program, tree, theta).has_value();
+}
+
+bool AnyDisjunctMapsStrongly(const Program& program, const ExpansionTree& tree,
+                             const UnionOfCqs& ucq) {
+  for (const ConjunctiveQuery& theta : ucq.disjuncts()) {
+    if (HasStrongContainmentMapping(program, tree, theta)) return true;
+  }
+  return false;
+}
+
+}  // namespace datalog

@@ -1,0 +1,38 @@
+// Brute-force search for strong containment mappings from a conjunctive
+// query into a proof tree (paper Definition 5.4). This is the reference
+// oracle against which the automata constructions (Proposition 5.10) and
+// the on-the-fly containment decider are cross-checked in tests.
+//
+// A strong containment mapping from θ to a proof tree τ is a containment
+// mapping h from θ's atoms into the EDB atoms of τ's rule instances such
+// that (a) distinguished occurrences of θ map to distinguished occurrences
+// of τ, and (b) occurrences of the same θ-variable map to connected
+// occurrences of the same τ-variable.
+#ifndef DATALOG_EQ_SRC_TREES_STRONG_MAPPING_H_
+#define DATALOG_EQ_SRC_TREES_STRONG_MAPPING_H_
+
+#include <optional>
+
+#include "src/cq/cq.h"
+#include "src/trees/expansion_tree.h"
+
+namespace datalog {
+
+/// Searches for a strong containment mapping from `theta` to `tree` (a
+/// proof tree of `program`). Returns the variable mapping on success.
+std::optional<Substitution> FindStrongContainmentMapping(
+    const Program& program, const ExpansionTree& tree,
+    const ConjunctiveQuery& theta);
+
+bool HasStrongContainmentMapping(const Program& program,
+                                 const ExpansionTree& tree,
+                                 const ConjunctiveQuery& theta);
+
+/// True if some disjunct of `ucq` has a strong containment mapping into
+/// `tree` (the per-tree acceptance condition of Theorem 5.8).
+bool AnyDisjunctMapsStrongly(const Program& program, const ExpansionTree& tree,
+                             const UnionOfCqs& ucq);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_TREES_STRONG_MAPPING_H_

@@ -1,0 +1,43 @@
+// Hash-combination helpers for composite keys used throughout the library
+// (atoms, tuples, automaton states).
+#ifndef DATALOG_EQ_SRC_UTIL_HASH_H_
+#define DATALOG_EQ_SRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe).
+template <typename T>
+void HashCombine(std::size_t* seed, const T& value) {
+  std::hash<T> hasher;
+  *seed ^= hasher(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash functor for std::vector<T> with hashable T.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t seed = v.size();
+    for (const T& x : v) HashCombine(&seed, x);
+    return seed;
+  }
+};
+
+/// Hash functor for std::pair.
+template <typename A, typename B>
+struct PairHash {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = 0;
+    HashCombine(&seed, p.first);
+    HashCombine(&seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_HASH_H_

@@ -1,0 +1,48 @@
+// Combinatorial enumeration helpers: cartesian products over index ranges
+// and subset iteration. Callback-based to avoid materializing the space.
+#ifndef DATALOG_EQ_SRC_UTIL_ITERATION_H_
+#define DATALOG_EQ_SRC_UTIL_ITERATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace datalog {
+
+/// Calls `visit(choice)` for every vector `choice` with
+/// `0 <= choice[i] < sizes[i]`. If `visit` returns false, enumeration stops
+/// early and this function returns false. An empty `sizes` yields one empty
+/// choice. If any size is zero there are no choices.
+template <typename Visitor>
+bool ForEachProduct(const std::vector<std::size_t>& sizes, Visitor&& visit) {
+  for (std::size_t s : sizes) {
+    if (s == 0) return true;
+  }
+  std::vector<std::size_t> choice(sizes.size(), 0);
+  while (true) {
+    if (!visit(static_cast<const std::vector<std::size_t>&>(choice))) {
+      return false;
+    }
+    std::size_t i = 0;
+    for (; i < sizes.size(); ++i) {
+      if (++choice[i] < sizes[i]) break;
+      choice[i] = 0;
+    }
+    if (i == sizes.size()) return true;
+  }
+}
+
+/// Calls `visit(mask)` for every subset mask of {0, ..., n-1}; n must be
+/// at most 62. Stops early when `visit` returns false.
+template <typename Visitor>
+bool ForEachSubsetMask(std::size_t n, Visitor&& visit) {
+  std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!visit(mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_ITERATION_H_

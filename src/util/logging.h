@@ -1,0 +1,53 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// These are used for programmer errors (violated preconditions / internal
+// invariants), not for recoverable conditions; recoverable errors flow
+// through util::Status instead.
+#ifndef DATALOG_EQ_SRC_UTIL_LOGGING_H_
+#define DATALOG_EQ_SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace datalog::internal {
+
+// Accumulates a failure message and aborts the process when destroyed.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << file << ":" << line << " " << kind << " failed: " << condition
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace datalog::internal
+
+#define DATALOG_CHECK(cond)                                              \
+  if (!(cond))                                                           \
+  ::datalog::internal::CheckFailureStream("CHECK", __FILE__, __LINE__, #cond)
+
+#define DATALOG_CHECK_EQ(a, b) DATALOG_CHECK((a) == (b))
+#define DATALOG_CHECK_NE(a, b) DATALOG_CHECK((a) != (b))
+#define DATALOG_CHECK_LT(a, b) DATALOG_CHECK((a) < (b))
+#define DATALOG_CHECK_LE(a, b) DATALOG_CHECK((a) <= (b))
+#define DATALOG_CHECK_GT(a, b) DATALOG_CHECK((a) > (b))
+#define DATALOG_CHECK_GE(a, b) DATALOG_CHECK((a) >= (b))
+
+#endif  // DATALOG_EQ_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,74 @@
+#include "src/util/scc.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace datalog {
+
+SccResult StronglyConnectedComponents(
+    std::size_t num_nodes, const std::vector<std::vector<int>>& adjacency) {
+  DATALOG_CHECK_EQ(adjacency.size(), num_nodes);
+  SccResult result;
+  result.component.assign(num_nodes, -1);
+
+  std::vector<int> index(num_nodes, -1);
+  std::vector<int> lowlink(num_nodes, 0);
+  std::vector<bool> on_stack(num_nodes, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  // Explicit DFS stack of (node, next-edge-position) frames.
+  struct Frame {
+    int node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::size_t root = 0; root < num_nodes; ++root) {
+    if (index[root] != -1) continue;
+    dfs.push_back({static_cast<int>(root), 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      int u = frame.node;
+      if (frame.edge_pos < adjacency[u].size()) {
+        int v = adjacency[u][frame.edge_pos++];
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          int parent = dfs.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          // u is the root of a component; pop it off the stack.
+          std::vector<int> members;
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.num_components;
+            members.push_back(w);
+            if (w == u) break;
+          }
+          result.component_members.push_back(std::move(members));
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace datalog

@@ -1,0 +1,29 @@
+// Tarjan's strongly-connected-components algorithm on an adjacency-list
+// digraph. Used for Datalog dependence-graph analysis (recursion detection).
+#ifndef DATALOG_EQ_SRC_UTIL_SCC_H_
+#define DATALOG_EQ_SRC_UTIL_SCC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace datalog {
+
+struct SccResult {
+  /// Component id per node; components are numbered in reverse topological
+  /// order (an edge u->v with different components has
+  /// component[u] >= component[v]).
+  std::vector<int> component;
+  /// Total number of components.
+  int num_components = 0;
+  /// component_members[c] lists the nodes of component c.
+  std::vector<std::vector<int>> component_members;
+};
+
+/// Computes SCCs of the digraph with `num_nodes` nodes and edges
+/// `adjacency[u] = {v : u -> v}`. Iterative Tarjan (no recursion).
+SccResult StronglyConnectedComponents(
+    std::size_t num_nodes, const std::vector<std::vector<int>>& adjacency);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_SCC_H_

@@ -1,0 +1,52 @@
+// Small string helpers (join/split/printf-free concatenation).
+#ifndef DATALOG_EQ_SRC_UTIL_STRINGS_H_
+#define DATALOG_EQ_SRC_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datalog {
+
+/// Joins the elements of `parts` with `sep`. Elements must be streamable.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << sep;
+    first = false;
+    out << part;
+  }
+  return out.str();
+}
+
+/// Joins with a per-element formatter: `format(out, element)`.
+template <typename Container, typename Formatter>
+std::string StrJoin(const Container& parts, std::string_view sep,
+                    Formatter&& format) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << sep;
+    first = false;
+    format(out, part);
+  }
+  return out.str();
+}
+
+/// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Concatenates streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_STRINGS_H_

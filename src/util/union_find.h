@@ -1,0 +1,55 @@
+// Disjoint-set forest with path compression and union by rank.
+// Used for variable-occurrence connectedness (paper Definition 5.2).
+#ifndef DATALOG_EQ_SRC_UTIL_UNION_FIND_H_
+#define DATALOG_EQ_SRC_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace datalog {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Adds a fresh singleton element and returns its index.
+  std::size_t Add() {
+    parent_.push_back(parent_.size());
+    rank_.push_back(0);
+    return parent_.size() - 1;
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the classes of `a` and `b`; returns the new representative.
+  std::size_t Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return a;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return a;
+  }
+
+  bool Connected(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_UNION_FIND_H_

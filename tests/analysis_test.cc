@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/analysis.h"
+#include "src/ast/parser.h"
+
+namespace datalog {
+namespace {
+
+Program MustParse(const std::string& text) {
+  StatusOr<Program> program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return *program;
+}
+
+TEST(AnalysisTest, TransitiveClosureIsRecursiveAndLinear) {
+  Program tc = MustParse(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    p(X, Y) :- e0(X, Y).
+  )");
+  EXPECT_TRUE(IsRecursive(tc));
+  EXPECT_FALSE(IsNonrecursive(tc));
+  EXPECT_TRUE(IsLinear(tc));
+  EXPECT_TRUE(IsLinearInIdb(tc));
+}
+
+TEST(AnalysisTest, NonlinearTransitiveClosure) {
+  Program tc = MustParse(R"(
+    p(X, Y) :- p(X, Z), p(Z, Y).
+    p(X, Y) :- e(X, Y).
+  )");
+  EXPECT_TRUE(IsRecursive(tc));
+  EXPECT_FALSE(IsLinear(tc));
+  EXPECT_FALSE(IsLinearInIdb(tc));
+}
+
+TEST(AnalysisTest, NonrecursiveProgram) {
+  Program p = MustParse(R"(
+    dist1(X, Y) :- dist0(X, Z), dist0(Z, Y).
+    dist0(X, Y) :- e(X, Y).
+  )");
+  EXPECT_FALSE(IsRecursive(p));
+  // Two IDB atoms in one body: not linear-in-IDB, but trivially "linear"
+  // in the recursive sense (no recursion at all).
+  EXPECT_TRUE(IsLinear(p));
+  EXPECT_FALSE(IsLinearInIdb(p));
+}
+
+TEST(AnalysisTest, MutualRecursionDetected) {
+  Program p = MustParse(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )");
+  EXPECT_TRUE(IsRecursive(p));
+  DependenceGraph g = BuildDependenceGraph(p);
+  EXPECT_TRUE(g.MutuallyRecursive("even", "odd"));
+  EXPECT_TRUE(g.IsRecursivePredicate("even"));
+  EXPECT_FALSE(g.IsRecursivePredicate("zero"));
+}
+
+TEST(AnalysisTest, DependenceGraphEdgesFollowPaperOrientation) {
+  // Edge from Q to P if P depends on Q (Q in body of a rule with head P).
+  Program p = MustParse("p(X) :- q(X).");
+  DependenceGraph g = BuildDependenceGraph(p);
+  int q = g.NodeId("q");
+  int pid = g.NodeId("p");
+  ASSERT_EQ(g.adjacency[q].size(), 1u);
+  EXPECT_EQ(g.adjacency[q][0], pid);
+  EXPECT_TRUE(g.adjacency[pid].empty());
+}
+
+TEST(AnalysisTest, VarNumCountsIdbVariablesOnly) {
+  // Paper §5.1: varnum(r) counts variables occurring in IDB atoms of r.
+  Program tc = MustParse(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    p(X, Y) :- e0(X, Y).
+  )");
+  // Rule 0: IDB atoms p(X,Y), p(Z,Y) -> {X, Y, Z} -> 3.
+  EXPECT_EQ(VarNumOfRule(tc, tc.rules()[0]), 3u);
+  // Rule 1: IDB atom p(X,Y) -> 2.
+  EXPECT_EQ(VarNumOfRule(tc, tc.rules()[1]), 2u);
+  // varnum(program) = 2 * 3 = 6.
+  EXPECT_EQ(VarNum(tc), 6u);
+  EXPECT_EQ(ProofVariables(tc).size(), 6u);
+}
+
+TEST(AnalysisTest, VarNumOfRuleIgnoresEdbOnlyVariablesButVarNumDoesNot) {
+  Program p = MustParse(R"(
+    p(X) :- e(X, U, V, W), p(X).
+    p(X) :- f(X).
+  )");
+  // The paper's varnum(r) counts only IDB-atom variables...
+  EXPECT_EQ(VarNumOfRule(p, p.rules()[0]), 1u);
+  EXPECT_EQ(TotalVarsOfRule(p.rules()[0]), 4u);
+  // ...but var(Π) must be able to rename all rule variables distinctly
+  // (see the note on VarNum), so it is 2 * 4 here.
+  EXPECT_EQ(VarNum(p), 8u);
+}
+
+TEST(AnalysisTest, ProofVariablesRespectMinimum) {
+  Program p = MustParse("p(X) :- e(X), p(X).\np(X) :- f(X).");
+  EXPECT_EQ(ProofVariables(p, 10).size(), 10u);
+  EXPECT_TRUE(IsProofVariableName(ProofVariableName(3)));
+  EXPECT_FALSE(IsProofVariableName("X"));
+}
+
+TEST(AnalysisTest, TopologicalOrderDependenciesFirst) {
+  Program p = MustParse(R"(
+    top(X) :- mid(X), base(X).
+    mid(X) :- base(X).
+    base(X) :- e(X).
+  )");
+  std::vector<std::string> order = TopologicalPredicateOrder(p);
+  auto pos = [&order](const std::string& name) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == name) return i;
+    }
+    ADD_FAILURE() << name << " not in order";
+    return order.size();
+  };
+  EXPECT_LT(pos("e"), pos("base"));
+  EXPECT_LT(pos("base"), pos("mid"));
+  EXPECT_LT(pos("mid"), pos("top"));
+}
+
+TEST(AnalysisTest, PaperExampleBuysPrograms) {
+  Program buys1 = MustParse(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+  EXPECT_TRUE(IsRecursive(buys1));
+  EXPECT_TRUE(IsLinear(buys1));
+  // varnum: rule 2 IDB atoms buys(X,Y), buys(Z,Y): {X,Y,Z} -> 3; 2*3=6.
+  EXPECT_EQ(VarNum(buys1), 6u);
+}
+
+}  // namespace
+}  // namespace datalog

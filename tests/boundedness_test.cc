@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/containment/boundedness.h"
+#include "src/generators/examples.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+TEST(BoundednessTest, Buys1IsBoundedAtDepth2) {
+  // Example 1.1: buys1 is equivalent to a nonrecursive program — in fact
+  // to the union of its depth<=2 expansions.
+  Program buys1 = Buys1Program();
+  StatusOr<bool> at1 = IsBoundedAtDepth(buys1, "buys", 1);
+  StatusOr<bool> at2 = IsBoundedAtDepth(buys1, "buys", 2);
+  ASSERT_TRUE(at1.ok());
+  ASSERT_TRUE(at2.ok());
+  EXPECT_FALSE(*at1);
+  EXPECT_TRUE(*at2);
+  StatusOr<std::optional<std::size_t>> depth =
+      FindBoundedDepth(buys1, "buys", 4);
+  ASSERT_TRUE(depth.ok());
+  ASSERT_TRUE(depth->has_value());
+  EXPECT_EQ(**depth, 2u);
+}
+
+TEST(BoundednessTest, Buys2IsNotBoundedAtSmallDepths) {
+  // Example 1.1: buys2 is inherently recursive, so no bounded unfolding
+  // is equivalent (the semi-decision procedure never succeeds).
+  Program buys2 = Buys2Program();
+  StatusOr<std::optional<std::size_t>> depth =
+      FindBoundedDepth(buys2, "buys", 4);
+  ASSERT_TRUE(depth.ok());
+  EXPECT_FALSE(depth->has_value());
+}
+
+TEST(BoundednessTest, TransitiveClosureIsUnbounded) {
+  Program tc = TransitiveClosureProgram();
+  StatusOr<std::optional<std::size_t>> depth =
+      FindBoundedDepth(tc, "p", 4);
+  ASSERT_TRUE(depth.ok());
+  EXPECT_FALSE(depth->has_value());
+}
+
+TEST(BoundednessTest, TriviallyBoundedProgram) {
+  // The recursion is vacuous: the recursive rule derives a subset of what
+  // the base rule already derives.
+  Program p = MustParseProgram(R"(
+    q(X) :- e(X).
+    q(X) :- e(X), q(X).
+  )");
+  StatusOr<bool> at1 = IsBoundedAtDepth(p, "q", 1);
+  ASSERT_TRUE(at1.ok());
+  EXPECT_TRUE(*at1);
+}
+
+TEST(BoundednessTest, BoundedViaAbsorbingBaseCase) {
+  // p(X,Y) :- t(X,Y) | t(X,Z), p(Z,Y) where t is total on second arg...
+  // here a simpler classic: the recursive rule re-derives the base
+  // because the recursive subgoal's result is ignored up to projection.
+  Program p = MustParseProgram(R"(
+    q(X) :- e(X, Y).
+    q(X) :- e(X, Y), q(Y).
+  )");
+  // Depth 1 expansions: e(X,Y). A depth-2 expansion e(X,Y),e(Y,Z) maps
+  // onto e(X,Y) (Z fresh): bounded at 1.
+  StatusOr<bool> at1 = IsBoundedAtDepth(p, "q", 1);
+  ASSERT_TRUE(at1.ok());
+  EXPECT_TRUE(*at1);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "src/cq/containment.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+// Convention reminder (paper Theorem 2.2): theta ⊆ psi iff there is a
+// containment mapping FROM psi TO theta.
+
+TEST(ContainmentMappingTest, IdentityMappingExists) {
+  ConjunctiveQuery cq = MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y).");
+  EXPECT_TRUE(FindContainmentMapping(cq, cq).has_value());
+}
+
+TEST(ContainmentMappingTest, PathLength2IntoPathLength4) {
+  // Path of length 4 from X to Y is contained in "exists a path of length
+  // 2 from X to some Z"? No - heads differ. Use the classic: every path of
+  // length 2 (theta) is a path of length... test: psi = exists path of
+  // length 1 from X: q(X) :- e(X, W). theta = q(X) :- e(X, A), e(A, B).
+  ConjunctiveQuery psi = MustParseCq("q(X) :- e(X, W).");
+  ConjunctiveQuery theta = MustParseCq("q(X) :- e(X, A), e(A, B).");
+  // theta ⊆ psi: a length-2 path starting at X has a length-1 path at X.
+  EXPECT_TRUE(IsCqContained(theta, psi));
+  // psi ⊄ theta.
+  EXPECT_FALSE(IsCqContained(psi, theta));
+}
+
+TEST(ContainmentMappingTest, DistinguishedVariablesMustMapToThemselves) {
+  ConjunctiveQuery psi = MustParseCq("q(X, Y) :- e(X, Y).");
+  ConjunctiveQuery theta = MustParseCq("q(X, Y) :- e(Y, X).");
+  // The mapping would need X -> Y, violating head preservation.
+  EXPECT_FALSE(IsCqContained(theta, psi));
+}
+
+TEST(ContainmentMappingTest, CycleIntoSelfLoop) {
+  // A self-loop satisfies every cycle query: cycle2 ⊇ loop.
+  ConjunctiveQuery loop = MustParseCq("q(X) :- e(X, X).");
+  ConjunctiveQuery cycle2 = MustParseCq("q(X) :- e(X, Z), e(Z, X).");
+  EXPECT_TRUE(IsCqContained(loop, cycle2));   // loop ⊆ cycle2
+  EXPECT_FALSE(IsCqContained(cycle2, loop));  // cycle2 ⊄ loop
+}
+
+TEST(ContainmentMappingTest, BooleanQueries) {
+  ConjunctiveQuery some_edge = MustParseCq("q :- e(X, Y).");
+  ConjunctiveQuery triangle = MustParseCq("q :- e(X, Y), e(Y, Z), e(Z, X).");
+  EXPECT_TRUE(IsCqContained(triangle, some_edge));
+  EXPECT_FALSE(IsCqContained(some_edge, triangle));
+}
+
+TEST(ContainmentMappingTest, ConstantsMustMatchExactly) {
+  // Remark 5.14: constants map to themselves.
+  ConjunctiveQuery with_const = MustParseCq("q(X) :- e(X, a).");
+  ConjunctiveQuery with_other = MustParseCq("q(X) :- e(X, b).");
+  ConjunctiveQuery with_var = MustParseCq("q(X) :- e(X, Y).");
+  EXPECT_FALSE(IsCqContained(with_const, with_other));
+  // e(X, a) ⊆ e(X, Y): map Y -> a.
+  EXPECT_TRUE(IsCqContained(with_const, with_var));
+  // e(X, Y) ⊄ e(X, a).
+  EXPECT_FALSE(IsCqContained(with_var, with_const));
+}
+
+TEST(ContainmentMappingTest, ConstantInHead) {
+  ConjunctiveQuery c1 = MustParseCq("q(a, X) :- e(X).");
+  ConjunctiveQuery c2 = MustParseCq("q(a, X) :- e(X), f(X).");
+  ConjunctiveQuery c3 = MustParseCq("q(b, X) :- e(X).");
+  EXPECT_TRUE(IsCqContained(c2, c1));
+  EXPECT_FALSE(IsCqContained(c1, c2));
+  EXPECT_FALSE(IsCqContained(c3, c1));
+}
+
+TEST(ContainmentMappingTest, RepeatedHeadVariables) {
+  ConjunctiveQuery diag = MustParseCq("q(X, X) :- e(X).");
+  ConjunctiveQuery pair = MustParseCq("q(X, Y) :- e(X), e(Y).");
+  // diag ⊆ pair: map X->X, Y->X.
+  EXPECT_TRUE(IsCqContained(diag, pair));
+  // pair ⊄ diag: head (X, Y) cannot become (X, X).
+  EXPECT_FALSE(IsCqContained(pair, diag));
+}
+
+TEST(ContainmentMappingTest, EmptyBodyIsTop) {
+  ConjunctiveQuery top = MustParseCq("q(X, Y) :- .");
+  ConjunctiveQuery edge = MustParseCq("q(X, Y) :- e(X, Y).");
+  EXPECT_TRUE(IsCqContained(edge, top));
+  EXPECT_FALSE(IsCqContained(top, edge));
+}
+
+TEST(ContainmentMappingTest, MappingWitnessIsCorrect) {
+  ConjunctiveQuery psi = MustParseCq("q(X) :- e(X, Z).");
+  ConjunctiveQuery theta = MustParseCq("q(X) :- e(X, a), f(X).");
+  auto mapping = FindContainmentMapping(psi, theta);
+  ASSERT_TRUE(mapping.has_value());
+  // Applying the mapping to psi's body must land inside theta's body.
+  ConjunctiveQuery image = ApplySubstitution(*mapping, psi);
+  EXPECT_EQ(image.head_args(), theta.head_args());
+  for (const Atom& atom : image.body()) {
+    bool found = false;
+    for (const Atom& target : theta.body()) {
+      if (atom == target) found = true;
+    }
+    EXPECT_TRUE(found) << atom.ToString();
+  }
+}
+
+TEST(ContainmentMappingTest, RequiresMatchingArity) {
+  ConjunctiveQuery unary = MustParseCq("q(X) :- e(X).");
+  ConjunctiveQuery binary = MustParseCq("q(X, Y) :- e(X).");
+  EXPECT_FALSE(FindContainmentMapping(unary, binary).has_value());
+}
+
+TEST(ContainmentMappingTest, HardCaseRequiresBacktracking) {
+  // psi's first atom can map two ways; only one extends to a full mapping.
+  ConjunctiveQuery psi = MustParseCq("q(X) :- e(X, A), e(A, B), f(B).");
+  ConjunctiveQuery theta =
+      MustParseCq("q(X) :- e(X, U), e(X, V), e(V, W), f(W).");
+  EXPECT_TRUE(IsCqContained(theta, psi));
+}
+
+TEST(UcqContainmentTest, SagivYannakakisPerDisjunct) {
+  // Phi = {e-path-2} ∪ {f-edge}; Psi = {e-path-1} ∪ {f-edge}.
+  UnionOfCqs phi;
+  phi.Add(MustParseCq("q(X) :- e(X, A), e(A, B)."));
+  phi.Add(MustParseCq("q(X) :- f(X, A)."));
+  UnionOfCqs psi;
+  psi.Add(MustParseCq("q(X) :- e(X, A)."));
+  psi.Add(MustParseCq("q(X) :- f(X, A)."));
+  EXPECT_TRUE(IsUcqContained(phi, psi));
+  EXPECT_FALSE(IsUcqContained(psi, phi));
+  EXPECT_FALSE(IsUcqEquivalent(phi, psi));
+}
+
+TEST(UcqContainmentTest, EachDisjunctNeedsOneTarget) {
+  // phi disjunct contained in the union but in no single disjunct:
+  // for UCQs without constants this cannot happen (SY81), so containment
+  // must fail when no single disjunct covers.
+  UnionOfCqs phi;
+  phi.Add(MustParseCq("q(X) :- e(X, X)."));
+  UnionOfCqs psi;
+  psi.Add(MustParseCq("q(X) :- e(X, A), f(A)."));
+  psi.Add(MustParseCq("q(X) :- e(A, X), g(A)."));
+  EXPECT_FALSE(IsUcqContained(phi, psi));
+}
+
+TEST(UcqContainmentTest, EquivalentUpToRenamingAndReordering) {
+  UnionOfCqs a;
+  a.Add(MustParseCq("q(X) :- e(X, T), f(T)."));
+  a.Add(MustParseCq("q(X) :- g(X)."));
+  UnionOfCqs b;
+  b.Add(MustParseCq("q(U) :- g(U)."));
+  b.Add(MustParseCq("q(U) :- f(W), e(U, W)."));
+  EXPECT_TRUE(IsUcqEquivalent(a, b));
+}
+
+TEST(RemoveRedundantDisjunctsTest, DropsSubsumedDisjuncts) {
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("q(X) :- e(X, A), e(A, B)."));  // path-2: subsumed
+  ucq.Add(MustParseCq("q(X) :- e(X, A)."));           // path-1: keeps
+  ucq.Add(MustParseCq("q(X) :- f(X)."));
+  UnionOfCqs reduced = RemoveRedundantDisjuncts(ucq);
+  EXPECT_EQ(reduced.size(), 2u);
+  EXPECT_TRUE(IsUcqEquivalent(ucq, reduced));
+}
+
+TEST(RemoveRedundantDisjunctsTest, KeepsOneOfEquivalentPair) {
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("q(X) :- e(X, A)."));
+  ucq.Add(MustParseCq("q(U) :- e(U, W)."));  // same up to renaming
+  UnionOfCqs reduced = RemoveRedundantDisjuncts(ucq);
+  EXPECT_EQ(reduced.size(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/cq/cq.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+TEST(CqTest, FromRuleAndBack) {
+  Rule r = MustParseRule("q(X, Y) :- e(X, Z), e(Z, Y).");
+  ConjunctiveQuery cq = CqFromRule(r);
+  EXPECT_EQ(cq.arity(), 2u);
+  EXPECT_EQ(cq.body().size(), 2u);
+  Rule back = RuleFromCq("q", cq);
+  EXPECT_EQ(back, r);
+}
+
+TEST(CqTest, VariableNamesHeadFirst) {
+  ConjunctiveQuery cq = MustParseCq("q(Y, X) :- e(X, Z), e(Z, W).");
+  EXPECT_EQ(cq.VariableNames(),
+            (std::vector<std::string>{"Y", "X", "Z", "W"}));
+  EXPECT_EQ(cq.DistinguishedVariableNames(),
+            (std::vector<std::string>{"Y", "X"}));
+}
+
+TEST(CqTest, DistinguishedDeduplicated) {
+  ConjunctiveQuery cq = MustParseCq("q(X, X, a) :- e(X).");
+  EXPECT_EQ(cq.DistinguishedVariableNames(),
+            (std::vector<std::string>{"X"}));
+}
+
+TEST(CqTest, ToStringEmptyBody) {
+  ConjunctiveQuery cq = MustParseCq("q(X, X) :- .");
+  EXPECT_EQ(cq.ToString(), "(X, X) :- true");
+}
+
+TEST(CqTest, CanonicalizeVariablesRenamesInOccurrenceOrder) {
+  ConjunctiveQuery a = MustParseCq("q(U, W) :- e(U, T), e(T, W).");
+  ConjunctiveQuery b = MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y).");
+  EXPECT_EQ(CanonicalizeVariables(a), CanonicalizeVariables(b));
+}
+
+TEST(CqTest, CanonicalizePreservesConstants) {
+  ConjunctiveQuery cq = MustParseCq("q(X) :- e(X, k), f(k).");
+  ConjunctiveQuery canonical = CanonicalizeVariables(cq);
+  EXPECT_EQ(canonical.body()[0].args()[1], Term::Constant("k"));
+}
+
+TEST(CqTest, SortedBodyCanonicalFormIsOrderInsensitive) {
+  ConjunctiveQuery a = MustParseCq("q(X) :- e(X, Y), f(Y, Z).");
+  ConjunctiveQuery b = MustParseCq("q(U) :- f(V, W), e(U, V).");
+  EXPECT_EQ(SortedBodyCanonicalForm(a), SortedBodyCanonicalForm(b));
+}
+
+TEST(CqTest, ApplySubstitutionToHeadAndBody) {
+  ConjunctiveQuery cq = MustParseCq("q(X, Y) :- e(X, Y).");
+  Substitution s;
+  s.emplace("X", Term::Constant("a"));
+  ConjunctiveQuery result = ApplySubstitution(s, cq);
+  EXPECT_EQ(result.head_args()[0], Term::Constant("a"));
+  EXPECT_EQ(result.body()[0].args()[0], Term::Constant("a"));
+}
+
+TEST(UnionOfCqsTest, BasicOperations) {
+  UnionOfCqs ucq;
+  EXPECT_TRUE(ucq.empty());
+  ucq.Add(MustParseCq("q(X) :- e(X)."));
+  ucq.Add(MustParseCq("q(X) :- f(X)."));
+  EXPECT_EQ(ucq.size(), 2u);
+  EXPECT_FALSE(ucq.empty());
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+TEST(ConstantDictionaryTest, InternIsIdempotent) {
+  ConstantDictionary dictionary;
+  int a = dictionary.Intern("a");
+  int b = dictionary.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dictionary.Intern("a"), a);
+  EXPECT_EQ(dictionary.size(), 2u);
+  EXPECT_EQ(dictionary.NameOf(a), "a");
+  EXPECT_EQ(dictionary.Lookup("b"), b);
+  EXPECT_EQ(dictionary.Lookup("missing"), -1);
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({3, 3}));
+}
+
+TEST(RelationTest, SortedTuplesAreDeterministic) {
+  Relation r(2);
+  r.Insert({3, 1});
+  r.Insert({1, 2});
+  r.Insert({1, 1});
+  std::vector<Tuple> sorted = r.SortedTuples();
+  EXPECT_EQ(sorted, (std::vector<Tuple>{{1, 1}, {1, 2}, {3, 1}}));
+}
+
+TEST(RelationTest, ZeroArityRelationHoldsTheEmptyTuple) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({}));
+}
+
+TEST(DatabaseTest, AddFactAndDecode) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("e", {"b", "c"});
+  const Relation& e = db.GetRelation("e", 2);
+  EXPECT_EQ(e.size(), 2u);
+  for (const Tuple& tuple : e.tuples()) {
+    std::vector<std::string> decoded = db.DecodeTuple(tuple);
+    EXPECT_EQ(decoded.size(), 2u);
+  }
+  EXPECT_EQ(db.TotalFacts(), 2u);
+}
+
+TEST(DatabaseTest, AddFactAtomRejectsVariables) {
+  Database db;
+  EXPECT_TRUE(db.AddFactAtom(MustParseAtom("e(a, b)")).ok());
+  Status status = db.AddFactAtom(MustParseAtom("e(X, b)"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, MissingRelationIsEmpty) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  EXPECT_FALSE(db.HasRelation("f"));
+  EXPECT_TRUE(db.GetRelation("f", 3).empty());
+  EXPECT_EQ(db.GetRelation("f", 3).arity(), 3u);
+}
+
+TEST(DatabaseTest, ActiveDomainCollectsAllTupleValues) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("f", {"c"});
+  std::vector<int> domain = db.ActiveDomain();
+  EXPECT_EQ(domain.size(), 3u);
+  // Interned-but-unused constants are not in the active domain.
+  db.dictionary().Intern("unused");
+  EXPECT_EQ(db.ActiveDomain().size(), 3u);
+}
+
+TEST(DatabaseTest, ToStringListsFactsInOrder) {
+  Database db;
+  db.AddFact("e", {"b", "a"});
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("d", {"x"});
+  std::string rendered = db.ToString();
+  // Relations alphabetical, tuples sorted within each.
+  EXPECT_LT(rendered.find("d(x)"), rendered.find("e("));
+  EXPECT_NE(rendered.find("e(b, a)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datalog

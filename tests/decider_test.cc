@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include "src/containment/decider.h"
+#include "src/cq/containment.h"
+#include "src/engine/eval.h"
+#include "src/engine/random_db.h"
+#include "src/trees/connectivity.h"
+#include "src/trees/enumerate.h"
+#include "src/trees/strong_mapping.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+ContainmentDecision MustDecide(const Program& program, const std::string& goal,
+                               const UnionOfCqs& theta,
+                               const ContainmentOptions& options =
+                                   ContainmentOptions()) {
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(program, goal, theta, options);
+  EXPECT_TRUE(decision.ok()) << decision.status();
+  return *decision;
+}
+
+// Verifies a claimed counterexample: it must be a valid proof tree of the
+// program into which no disjunct maps strongly, and its expansion CQ must
+// not be contained in the union.
+void CheckCounterexample(const Program& program, const UnionOfCqs& theta,
+                         const ContainmentDecision& decision) {
+  ASSERT_FALSE(decision.contained);
+  ASSERT_TRUE(decision.counterexample.has_value());
+  const ExpansionTree& tree = *decision.counterexample;
+  EXPECT_TRUE(ValidateProofTree(program, tree).ok())
+      << ValidateProofTree(program, tree) << "\n"
+      << tree.ToString();
+  EXPECT_FALSE(AnyDisjunctMapsStrongly(program, tree, theta))
+      << tree.ToString();
+  // Double-check semantically: the renamed expansion CQ must escape Θ.
+  ExpansionTree renamed = TreeConnectivity(tree).RenameByClass();
+  ConjunctiveQuery expansion = TreeToCq(program, renamed);
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    EXPECT_FALSE(FindContainmentMapping(disjunct, expansion).has_value())
+        << "disjunct " << disjunct.ToString() << " covers the expansion "
+        << expansion.ToString();
+  }
+}
+
+// --- Paper Example 1.1 -----------------------------------------------
+
+Program Buys1() {
+  return MustParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+}
+
+Program Buys2() {
+  return MustParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- knows(X, Z), buys(Z, Y).
+  )");
+}
+
+UnionOfCqs Buys1Nonrecursive() {
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+  theta.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+  return theta;
+}
+
+UnionOfCqs Buys2NonrecursiveAttempt() {
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+  theta.Add(MustParseCq("buys(X, Y) :- knows(X, Z), likes(Z, Y)."));
+  return theta;
+}
+
+TEST(DeciderTest, PaperExample11Buys1IsContained) {
+  // The paper's headline positive example: buys1 IS equivalent to its
+  // nonrecursive rewriting, so in particular it is contained in it.
+  ContainmentDecision decision =
+      MustDecide(Buys1(), "buys", Buys1Nonrecursive());
+  EXPECT_TRUE(decision.contained);
+}
+
+TEST(DeciderTest, PaperExample11Buys2IsNotContained) {
+  // The paper's headline negative example: buys2 is NOT contained in the
+  // analogous rewriting (it is inherently recursive).
+  ContainmentDecision decision =
+      MustDecide(Buys2(), "buys", Buys2NonrecursiveAttempt());
+  CheckCounterexample(Buys2(), Buys2NonrecursiveAttempt(), decision);
+  // The shortest escape needs two knows-steps: a depth-3 proof tree.
+  EXPECT_EQ(decision.counterexample->Depth(), 3u);
+}
+
+TEST(DeciderTest, TransitiveClosureNotContainedInBoundedPaths) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs paths;
+  paths.Add(MustParseCq("p(X, Y) :- e(X, Y)."));
+  paths.Add(MustParseCq("p(X, Y) :- e(X, A), e(A, Y)."));
+  paths.Add(MustParseCq("p(X, Y) :- e(X, A), e(A, B), e(B, Y)."));
+  ContainmentDecision decision = MustDecide(tc, "p", paths);
+  CheckCounterexample(tc, paths, decision);
+  EXPECT_EQ(decision.counterexample->Depth(), 4u)
+      << "shortest escape is the length-4 path";
+}
+
+TEST(DeciderTest, EverythingIsContainedInTop) {
+  // Top = empty-body CQ with distinct head variables.
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs top;
+  top.Add(MustParseCq("p(X, Y) :- ."));
+  EXPECT_TRUE(MustDecide(tc, "p", top).contained);
+}
+
+TEST(DeciderTest, DiagonalTopDoesNotCoverDistinctHeads) {
+  // (X, X) :- true only covers proof trees with equal head arguments.
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs diagonal;
+  diagonal.Add(MustParseCq("p(X, X) :- ."));
+  ContainmentDecision decision = MustDecide(tc, "p", diagonal);
+  CheckCounterexample(tc, diagonal, decision);
+}
+
+TEST(DeciderTest, EmptyUnionContainsNothingDerivable) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs empty;
+  ContainmentDecision decision = MustDecide(tc, "p", empty);
+  EXPECT_FALSE(decision.contained);
+
+  // A program whose goal can never fire (no base case) IS contained in the
+  // empty union.
+  Program no_base = MustParseProgram(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  EXPECT_TRUE(MustDecide(no_base, "p", empty).contained);
+}
+
+TEST(DeciderTest, NonlinearProgramContainment) {
+  // Nonlinear transitive closure: same language as linear TC.
+  Program nl = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs top;
+  top.Add(MustParseCq("p(X, Y) :- ."));
+  EXPECT_TRUE(MustDecide(nl, "p", top).contained);
+
+  UnionOfCqs short_paths;
+  short_paths.Add(MustParseCq("p(X, Y) :- e(X, Y)."));
+  short_paths.Add(MustParseCq("p(X, Y) :- e(X, A), e(A, Y)."));
+  ContainmentDecision decision = MustDecide(nl, "p", short_paths);
+  CheckCounterexample(nl, short_paths, decision);
+}
+
+TEST(DeciderTest, ContainmentSensitiveToEdbPredicateNames) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs wrong_edb;
+  wrong_edb.Add(MustParseCq("p(X, Y) :- f(X, Y)."));
+  ContainmentDecision decision = MustDecide(tc, "p", wrong_edb);
+  EXPECT_FALSE(decision.contained);
+}
+
+TEST(DeciderTest, MutualRecursionContained) {
+  Program p = MustParseProgram(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )");
+  // odd numbers are at least 1 step from zero.
+  UnionOfCqs at_least_one_step;
+  at_least_one_step.Add(MustParseCq("odd(X) :- succ(Y, X)."));
+  EXPECT_TRUE(MustDecide(p, "odd", at_least_one_step).contained);
+  // But they are not all exactly one step from zero.
+  UnionOfCqs exactly_one;
+  exactly_one.Add(MustParseCq("odd(X) :- succ(Y, X), zero(Y)."));
+  ContainmentDecision decision = MustDecide(p, "odd", exactly_one);
+  CheckCounterexample(p, exactly_one, decision);
+}
+
+TEST(DeciderTest, ConstantsInProgramAndQuery) {
+  Program reach = MustParseProgram(R"(
+    r(X) :- e(root, X).
+    r(X) :- r(Y), e(Y, X).
+  )");
+  // Everything reachable has an incoming edge.
+  UnionOfCqs incoming;
+  incoming.Add(MustParseCq("r(X) :- e(Y, X)."));
+  EXPECT_TRUE(MustDecide(reach, "r", incoming).contained);
+  // Not everything reachable has an incoming edge FROM root.
+  UnionOfCqs from_root;
+  from_root.Add(MustParseCq("r(X) :- e(root, X)."));
+  ContainmentDecision decision = MustDecide(reach, "r", from_root);
+  CheckCounterexample(reach, from_root, decision);
+}
+
+TEST(DeciderTest, RepeatedVariablesInRuleHead) {
+  Program loops = MustParseProgram(R"(
+    l(X, X) :- e(X, X).
+    l(X, Y) :- e(X, Z), l(Z, Y).
+  )");
+  // Every l-fact ends at a self-loop.
+  UnionOfCqs ends_in_loop;
+  ends_in_loop.Add(MustParseCq("l(X, Y) :- e(Y, Y)."));
+  EXPECT_TRUE(MustDecide(loops, "l", ends_in_loop).contained);
+}
+
+TEST(DeciderTest, AntichainAndExactAgree) {
+  struct Case {
+    Program program;
+    std::string goal;
+    UnionOfCqs theta;
+  };
+  std::vector<Case> cases;
+  cases.push_back({Buys1(), "buys", Buys1Nonrecursive()});
+  cases.push_back({Buys2(), "buys", Buys2NonrecursiveAttempt()});
+  {
+    Program tc = MustParseProgram(R"(
+      p(X, Y) :- e(X, Y).
+      p(X, Y) :- e(X, Z), p(Z, Y).
+    )");
+    UnionOfCqs paths;
+    paths.Add(MustParseCq("p(X, Y) :- e(X, Y)."));
+    paths.Add(MustParseCq("p(X, Y) :- e(X, A), e(A, Y)."));
+    cases.push_back({tc, "p", paths});
+    UnionOfCqs top;
+    top.Add(MustParseCq("p(X, Y) :- ."));
+    cases.push_back({tc, "p", top});
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    ContainmentOptions with;
+    with.antichain = true;
+    ContainmentOptions without;
+    without.antichain = false;
+    ContainmentDecision r1 =
+        MustDecide(cases[i].program, cases[i].goal, cases[i].theta, with);
+    ContainmentDecision r2 =
+        MustDecide(cases[i].program, cases[i].goal, cases[i].theta, without);
+    EXPECT_EQ(r1.contained, r2.contained) << "case " << i;
+    EXPECT_LE(r1.stats.states_discovered, r2.stats.states_discovered)
+        << "case " << i;
+  }
+}
+
+// Containment claims are semi-verified against bounded proof-tree
+// enumeration: if the decider says "contained", every enumerable proof
+// tree must admit a strong mapping; if it says "not contained", the
+// counterexample is checked exactly (CheckCounterexample).
+TEST(DeciderTest, ContainedVerdictsAgreeWithBoundedEnumeration) {
+  Program buys1 = Buys1();
+  UnionOfCqs theta = Buys1Nonrecursive();
+  ASSERT_TRUE(MustDecide(buys1, "buys", theta).contained);
+  EnumerateOptions options;
+  options.max_depth = 3;
+  options.max_trees = 3000;
+  std::size_t checked = 0;
+  EnumerateProofTrees(buys1, "buys", options, [&](const ExpansionTree& tree) {
+    EXPECT_TRUE(AnyDisjunctMapsStrongly(buys1, tree, theta))
+        << tree.ToString();
+    ++checked;
+    return true;
+  });
+  EXPECT_GT(checked, 50u);
+}
+
+// Random-database differential check of a "contained" verdict: evaluating
+// the program and the union on random databases must respect inclusion.
+TEST(DeciderTest, ContainedVerdictsAgreeWithRandomDatabases) {
+  Program buys1 = Buys1();
+  UnionOfCqs theta = Buys1Nonrecursive();
+  ASSERT_TRUE(MustDecide(buys1, "buys", theta).contained);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomDbOptions options;
+    options.seed = seed;
+    options.domain_size = 4;
+    options.tuples_per_relation = 5;
+    Database db = RandomDatabaseFor(buys1, options);
+    StatusOr<Relation> program_result = EvaluateGoal(buys1, "buys", db);
+    StatusOr<Relation> theta_result = EvaluateUcq(theta, db);
+    ASSERT_TRUE(program_result.ok());
+    ASSERT_TRUE(theta_result.ok());
+    for (const Tuple& tuple : program_result->tuples()) {
+      EXPECT_TRUE(theta_result->Contains(tuple)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DeciderTest, NotContainedVerdictWitnessedOnConcreteDatabase) {
+  // Freeze the counterexample's expansion into a database and evaluate:
+  // the program must derive the goal tuple while the union must not.
+  Program buys2 = Buys2();
+  UnionOfCqs theta = Buys2NonrecursiveAttempt();
+  ContainmentDecision decision = MustDecide(buys2, "buys", theta);
+  ASSERT_FALSE(decision.contained);
+  ExpansionTree renamed =
+      TreeConnectivity(*decision.counterexample).RenameByClass();
+  ConjunctiveQuery expansion = TreeToCq(buys2, renamed);
+  // Freeze into a database.
+  Database db;
+  Substitution freeze;
+  for (const std::string& v : expansion.VariableNames()) {
+    freeze.emplace(v, Term::Constant(StrCat("k_", v.substr(1))));
+  }
+  for (const Atom& atom : expansion.body()) {
+    ASSERT_TRUE(db.AddFactAtom(ApplySubstitution(freeze, atom)).ok());
+  }
+  Tuple goal_tuple;
+  for (const Term& t : expansion.head_args()) {
+    goal_tuple.push_back(
+        db.dictionary().Intern(ApplySubstitution(freeze, t).name()));
+  }
+  StatusOr<Relation> program_result = EvaluateGoal(buys2, "buys", db);
+  ASSERT_TRUE(program_result.ok());
+  EXPECT_TRUE(program_result->Contains(goal_tuple));
+  StatusOr<Relation> theta_result = EvaluateUcq(theta, db);
+  ASSERT_TRUE(theta_result.ok());
+  EXPECT_FALSE(theta_result->Contains(goal_tuple));
+}
+
+TEST(DeciderTest, GoalMustBeIdb) {
+  Program tc = MustParseProgram("p(X, Y) :- e(X, Y).");
+  UnionOfCqs top;
+  top.Add(MustParseCq("q(X, Y) :- ."));
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(tc, "e", top);
+  EXPECT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeciderTest, StateLimitReported) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs top;
+  top.Add(MustParseCq("p(X, Y) :- ."));
+  ContainmentOptions options;
+  options.max_states = 1;
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(tc, "p", top, options);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeciderTest, SingleCqWrapper) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInCq(tc, "p", MustParseCq("p(X, Y) :- ."));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->contained);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/containment/equivalence.h"
+#include "src/engine/eval.h"
+#include "src/engine/random_db.h"
+#include "src/generators/examples.h"
+#include "src/trees/connectivity.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+EquivalenceResult MustDecideEquivalence(const Program& rec,
+                                        const Program& nonrec,
+                                        const std::string& goal) {
+  StatusOr<EquivalenceResult> result =
+      DecideRecNonrecEquivalence(rec, goal, nonrec, goal);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+TEST(EquivalenceTest, PaperExample11Positive) {
+  // The paper's central positive claim: buys1 IS equivalent to its
+  // nonrecursive rewriting.
+  EquivalenceResult result = MustDecideEquivalence(
+      Buys1Program(), Buys1NonrecursiveProgram(), "buys");
+  EXPECT_TRUE(result.forward_contained);
+  EXPECT_TRUE(result.backward_contained);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.unfolded_disjuncts, 2u);
+}
+
+TEST(EquivalenceTest, PaperExample11Negative) {
+  // ... and the central negative claim: buys2 is NOT equivalent to the
+  // analogous rewriting; the failure is in the forward direction, and a
+  // counterexample expansion is produced.
+  EquivalenceResult result = MustDecideEquivalence(
+      Buys2Program(), Buys2NonrecursiveProgram(), "buys");
+  EXPECT_FALSE(result.forward_contained);
+  EXPECT_TRUE(result.backward_contained);
+  EXPECT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.forward_counterexample.has_value());
+  EXPECT_TRUE(
+      ValidateProofTree(Buys2Program(), *result.forward_counterexample).ok());
+}
+
+TEST(EquivalenceTest, CounterexampleSeparatesTheProgramsOnARealDatabase) {
+  EquivalenceResult result = MustDecideEquivalence(
+      Buys2Program(), Buys2NonrecursiveProgram(), "buys");
+  ASSERT_TRUE(result.forward_counterexample.has_value());
+  // Freeze the counterexample expansion into a database; the recursive
+  // program derives the goal tuple, the nonrecursive one does not.
+  ExpansionTree renamed =
+      TreeConnectivity(*result.forward_counterexample).RenameByClass();
+  ConjunctiveQuery expansion = TreeToCq(Buys2Program(), renamed);
+  Database db;
+  Substitution freeze;
+  int counter = 0;
+  for (const std::string& v : expansion.VariableNames()) {
+    freeze.emplace(v, Term::Constant(StrCat("c", counter++)));
+  }
+  for (const Atom& atom : expansion.body()) {
+    ASSERT_TRUE(db.AddFactAtom(ApplySubstitution(freeze, atom)).ok());
+  }
+  Tuple goal_tuple;
+  for (const Term& t : expansion.head_args()) {
+    goal_tuple.push_back(
+        db.dictionary().Intern(ApplySubstitution(freeze, t).name()));
+  }
+  StatusOr<Relation> recursive =
+      EvaluateGoal(Buys2Program(), "buys", db);
+  StatusOr<Relation> nonrecursive =
+      EvaluateGoal(Buys2NonrecursiveProgram(), "buys", db);
+  ASSERT_TRUE(recursive.ok());
+  ASSERT_TRUE(nonrecursive.ok());
+  EXPECT_TRUE(recursive->Contains(goal_tuple));
+  EXPECT_FALSE(nonrecursive->Contains(goal_tuple));
+}
+
+TEST(EquivalenceTest, RecursiveProgramEquivalentToDeeperRewriting) {
+  // buys1 is also equivalent to the depth-3 rewriting (one more trendy
+  // step spelled out); redundancy does not break equivalence.
+  Program nonrec = MustParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), likes(Z, Y).
+    buys(X, Y) :- trendy(X), trendy(W), likes(Z, Y).
+  )");
+  EquivalenceResult result =
+      MustDecideEquivalence(Buys1Program(), nonrec, "buys");
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(EquivalenceTest, NonEquivalentBecauseNonrecursiveIsLarger) {
+  // The nonrecursive side admits f-edges the recursive side never derives:
+  // backward containment fails.
+  Program rec = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Program nonrec = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- f(X, Y).
+  )");
+  EquivalenceResult result = MustDecideEquivalence(rec, nonrec, "p");
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_FALSE(result.backward_contained);
+  ASSERT_TRUE(result.backward_counterexample.has_value());
+  EXPECT_EQ(result.backward_counterexample->body()[0].predicate(), "f");
+}
+
+TEST(EquivalenceTest, MultiLayerNonrecursiveComparand) {
+  // A nonrecursive program with real layering (mid predicates) against an
+  // equivalent recursive formulation that can take one or two e-steps.
+  Program rec = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), e(Z, Y).
+  )");
+  Program nonrec = MustParseProgram(R"(
+    p(X, Y) :- step(X, Y).
+    step(X, Y) :- e(X, Y).
+    step(X, Y) :- e(X, Z), e(Z, Y).
+  )");
+  EquivalenceResult result = MustDecideEquivalence(rec, nonrec, "p");
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(EquivalenceTest, RejectsRecursiveSecondArgument) {
+  StatusOr<EquivalenceResult> result = DecideRecNonrecEquivalence(
+      Buys1Program(), "buys", Buys2Program(), "buys");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EquivalenceTest, ContainmentInNonrecursiveWrapper) {
+  StatusOr<ContainmentDecision> decision = DecideDatalogInNonrecursive(
+      Buys1Program(), "buys", Buys1NonrecursiveProgram(), "buys");
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->contained);
+  decision = DecideDatalogInNonrecursive(Buys2Program(), "buys",
+                                         Buys2NonrecursiveProgram(), "buys");
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->contained);
+}
+
+TEST(EquivalenceTest, TransitiveClosureVsDist) {
+  // TC is not equivalent to dist_2 (paths of length exactly 4), in either
+  // direction.
+  Program tc = MustParseProgram(R"(
+    dist2(X, Y) :- e(X, Y).
+    dist2(X, Y) :- e(X, Z), dist2(Z, Y).
+  )");
+  EquivalenceResult result =
+      MustDecideEquivalence(tc, DistProgram(2), "dist2");
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_FALSE(result.forward_contained);
+}
+
+TEST(EquivalenceTest, RandomDatabaseDifferentialAgreesWithVerdicts) {
+  struct Case {
+    Program rec;
+    Program nonrec;
+    std::string goal;
+  };
+  std::vector<Case> cases = {
+      {Buys1Program(), Buys1NonrecursiveProgram(), "buys"},
+      {Buys2Program(), Buys2NonrecursiveProgram(), "buys"},
+  };
+  for (const Case& c : cases) {
+    EquivalenceResult verdict =
+        MustDecideEquivalence(c.rec, c.nonrec, c.goal);
+    bool refuted = false;
+    for (std::uint64_t seed = 1; seed <= 25 && !refuted; ++seed) {
+      RandomDbOptions options;
+      options.seed = seed;
+      options.domain_size = 3;
+      options.tuples_per_relation = 4;
+      Database db = RandomDatabaseFor(c.rec, options);
+      StatusOr<Relation> lhs = EvaluateGoal(c.rec, c.goal, db);
+      StatusOr<Relation> rhs = EvaluateGoal(c.nonrec, c.goal, db);
+      ASSERT_TRUE(lhs.ok());
+      ASSERT_TRUE(rhs.ok());
+      if (!(*lhs == *rhs)) refuted = true;
+      if (verdict.equivalent) {
+        EXPECT_EQ(*lhs, *rhs) << "seed " << seed;
+      }
+    }
+    // Note: random databases may fail to refute a non-equivalence (the
+    // separating structure is specific), so we only assert one direction.
+    if (refuted) {
+      EXPECT_FALSE(verdict.equivalent);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datalog

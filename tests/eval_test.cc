@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "src/cq/canonical_db.h"
+#include "src/engine/eval.h"
+#include "src/engine/random_db.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+Database GraphDb(const std::vector<std::pair<std::string, std::string>>& edges,
+                 const std::string& predicate = "e") {
+  Database db;
+  for (const auto& [from, to] : edges) {
+    db.AddFact(predicate, {from, to});
+  }
+  return db;
+}
+
+TEST(EvalTest, TransitiveClosureOnChain) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database db = GraphDb({{"a", "b"}, {"b", "c"}, {"c", "d"}});
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 6u);  // ab ac ad bc bd cd
+}
+
+TEST(EvalTest, TransitiveClosureOnCycle) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database db = GraphDb({{"a", "b"}, {"b", "a"}});
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 4u);  // aa ab ba bb
+}
+
+TEST(EvalTest, NaiveAndSemiNaiveAgree) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(X, Z), p(Z, Y).
+  )");
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomDbOptions options;
+    options.seed = seed;
+    options.domain_size = 5;
+    options.tuples_per_relation = 8;
+    Database db = RandomDatabaseFor(tc, options);
+    EvalOptions naive;
+    naive.semi_naive = false;
+    EvalOptions semi;
+    semi.semi_naive = true;
+    StatusOr<Relation> r1 = EvaluateGoal(tc, "p", db, naive);
+    StatusOr<Relation> r2 = EvaluateGoal(tc, "p", db, semi);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(*r1, *r2) << "seed " << seed;
+  }
+}
+
+TEST(EvalTest, SemiNaiveDoesLessWorkOnLongChain) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database db;
+  for (int i = 0; i < 30; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  EvalStats naive_stats;
+  EvalStats semi_stats;
+  EvalOptions naive;
+  naive.semi_naive = false;
+  EvalOptions semi;
+  semi.semi_naive = true;
+  ASSERT_TRUE(EvaluateGoal(tc, "p", db, naive, &naive_stats).ok());
+  ASSERT_TRUE(EvaluateGoal(tc, "p", db, semi, &semi_stats).ok());
+  EXPECT_EQ(naive_stats.facts_derived, semi_stats.facts_derived);
+  EXPECT_LT(semi_stats.join_probes, naive_stats.join_probes);
+}
+
+TEST(EvalTest, MutualRecursionEvenOdd) {
+  Program p = MustParseProgram(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )");
+  Database db;
+  db.AddFact("zero", {"0"});
+  for (int i = 0; i < 6; ++i) {
+    db.AddFact("succ", {StrCat(i), StrCat(i + 1)});
+  }
+  StatusOr<Database> result = EvaluateProgram(p, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GetRelation("even", 1).size(), 4u);  // 0 2 4 6
+  EXPECT_EQ(result->GetRelation("odd", 1).size(), 3u);   // 1 3 5
+}
+
+TEST(EvalTest, EmptyBodyRuleUsesActiveDomain) {
+  // dist0(X, X) :- . derives the diagonal over the active domain.
+  Program p = MustParseProgram(R"(
+    d(X, X) :- .
+    d(X, Y) :- e(X, Y).
+  )");
+  Database db = GraphDb({{"a", "b"}});
+  StatusOr<Relation> result = EvaluateGoal(p, "d", db);
+  ASSERT_TRUE(result.ok());
+  // diagonal {aa, bb} plus edge ab.
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(EvalTest, ConstantsInRules) {
+  Program p = MustParseProgram(R"(
+    reach(X) :- e(root, X).
+    reach(X) :- reach(Y), e(Y, X).
+  )");
+  Database db = GraphDb({{"root", "a"}, {"a", "b"}, {"c", "d"}});
+  StatusOr<Relation> result = EvaluateGoal(p, "reach", db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);  // a, b
+}
+
+TEST(EvalTest, ProgramConstantAbsentFromDatabase) {
+  Program p = MustParseProgram("q(X) :- e(missing, X).");
+  Database db = GraphDb({{"a", "b"}});
+  StatusOr<Relation> result = EvaluateGoal(p, "q", db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvalTest, GoalWithEmptyDatabase) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database empty;
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvalTest, ZeroAryGoal) {
+  Program p = MustParseProgram(R"(
+    c :- start(Z), e(Z, W).
+  )");
+  Database db;
+  db.AddFact("start", {"s"});
+  db.AddFact("e", {"s", "t"});
+  StatusOr<Relation> result = EvaluateGoal(p, "c", db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);  // the 0-ary tuple: true
+
+  Database db2;
+  db2.AddFact("start", {"s"});
+  StatusOr<Relation> result2 = EvaluateGoal(p, "c", db2);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(result2->empty());
+}
+
+TEST(EvalTest, FactLimitTriggersResourceExhausted) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(X, Z), p(Z, Y).
+  )");
+  Database db;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      db.AddFact("e", {StrCat("n", i), StrCat("n", j)});
+    }
+  }
+  EvalOptions options;
+  options.max_derived_facts = 10;
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalUcqTest, UnionEvaluatesAllDisjuncts) {
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y)."));
+  Database db = GraphDb({{"a", "b"}, {"b", "c"}});
+  StatusOr<Relation> result = EvaluateUcq(ucq, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // ab bc ac
+}
+
+TEST(EvalUcqTest, MatchesDatalogEvaluationOfNonrecursiveEquivalent) {
+  // likes + trendy ∘ likes: nonrecursive buys from Example 1.1.
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+  ucq.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+  Program nonrec = MustParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), likes(Z, Y).
+  )");
+  RandomDbOptions options;
+  options.domain_size = 4;
+  options.tuples_per_relation = 5;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    options.seed = seed;
+    Database db = RandomDatabaseFor(nonrec, options);
+    StatusOr<Relation> via_ucq = EvaluateUcq(ucq, db);
+    StatusOr<Relation> via_program = EvaluateGoal(nonrec, "buys", db);
+    ASSERT_TRUE(via_ucq.ok());
+    ASSERT_TRUE(via_program.ok());
+    EXPECT_EQ(*via_ucq, *via_program) << "seed " << seed;
+  }
+}
+
+TEST(CanonicalDbTest, FreezeProducesGroundFacts) {
+  ConjunctiveQuery cq = MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y), f(a).");
+  CanonicalDatabase frozen = FreezeCq(cq);
+  ASSERT_EQ(frozen.facts.size(), 3u);
+  for (const Atom& fact : frozen.facts) {
+    for (const Term& t : fact.args()) {
+      EXPECT_TRUE(t.is_constant());
+    }
+  }
+  EXPECT_EQ(frozen.goal_tuple[0], Term::Constant("@X"));
+  EXPECT_EQ(frozen.goal_tuple[1], Term::Constant("@Y"));
+  // Pre-existing constants survive freezing unchanged.
+  EXPECT_EQ(frozen.facts[2].args()[0], Term::Constant("a"));
+}
+
+TEST(CanonicalDbTest, FrozenDatabaseSatisfiesItsOwnQuery) {
+  ConjunctiveQuery cq = MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y).");
+  CanonicalDatabase frozen = FreezeCq(cq);
+  Database db;
+  for (const Atom& fact : frozen.facts) {
+    ASSERT_TRUE(db.AddFactAtom(fact).ok());
+  }
+  UnionOfCqs ucq;
+  ucq.Add(cq);
+  StatusOr<Relation> result = EvaluateUcq(ucq, db);
+  ASSERT_TRUE(result.ok());
+  Tuple goal;
+  for (const Term& t : frozen.goal_tuple) {
+    goal.push_back(db.dictionary().Lookup(t.name()));
+  }
+  EXPECT_TRUE(result->Contains(goal));
+}
+
+TEST(RandomDbTest, DeterministicUnderSeed) {
+  std::map<std::string, std::size_t> signature{{"e", 2}, {"f", 1}};
+  RandomDbOptions options;
+  options.seed = 7;
+  Database a = RandomDatabase(signature, options);
+  Database b = RandomDatabase(signature, options);
+  EXPECT_EQ(a.GetRelation("e", 2), b.GetRelation("e", 2));
+  options.seed = 8;
+  Database c = RandomDatabase(signature, options);
+  EXPECT_NE(a.GetRelation("e", 2), c.GetRelation("e", 2));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/analysis.h"
+#include "src/engine/eval.h"
+#include "src/generators/examples.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+Database LineGraph(int length) {
+  Database db;
+  for (int i = 0; i < length; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  return db;
+}
+
+TEST(GeneratorsTest, BuysProgramsShape) {
+  EXPECT_TRUE(IsRecursive(Buys1Program()));
+  EXPECT_TRUE(IsRecursive(Buys2Program()));
+  EXPECT_FALSE(IsRecursive(Buys1NonrecursiveProgram()));
+  EXPECT_FALSE(IsRecursive(Buys2NonrecursiveProgram()));
+  EXPECT_TRUE(IsLinear(Buys1Program()));
+}
+
+TEST(GeneratorsTest, TransitiveClosureSemantics) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", LineGraph(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 10u);  // 5 choose 2
+}
+
+TEST(GeneratorsTest, DistProgramComputesExactPowersOfTwo) {
+  // dist_n(x, y) iff a path of length exactly 2^n.
+  for (int n = 0; n <= 3; ++n) {
+    Program p = DistProgram(n);
+    EXPECT_FALSE(IsRecursive(p));
+    Database db = LineGraph(10);
+    StatusOr<Relation> result = EvaluateGoal(p, DistPredicate(n), db);
+    ASSERT_TRUE(result.ok());
+    int len = 1 << n;
+    EXPECT_EQ(result->size(), static_cast<std::size_t>(11 - len))
+        << "n=" << n;
+  }
+}
+
+TEST(GeneratorsTest, DistLeProgramComputesAtMostBounds) {
+  // dist_n: length <= 2^n; distle_n: length <= 2^n - 1.
+  Program p = DistLeProgram(2);
+  EXPECT_FALSE(IsRecursive(p));
+  Database db = LineGraph(10);
+  StatusOr<Relation> dist = EvaluateGoal(p, DistPredicate(2), db);
+  StatusOr<Relation> distle = EvaluateGoal(p, DistLePredicate(2), db);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_TRUE(distle.ok());
+  // Pairs (i, j), 0 <= i <= j <= 10 with j - i <= 4: for each i,
+  // min(4, 10-i)+1 values.
+  std::size_t expect_dist = 0;
+  std::size_t expect_distle = 0;
+  for (int i = 0; i <= 10; ++i) {
+    expect_dist += std::min(4, 10 - i) + 1;
+    expect_distle += std::min(3, 10 - i) + 1;
+  }
+  EXPECT_EQ(dist->size(), expect_dist);
+  EXPECT_EQ(distle->size(), expect_distle);
+}
+
+TEST(GeneratorsTest, WordProgramTracksLabels) {
+  Program p = WordProgram(2);
+  EXPECT_FALSE(IsRecursive(p));
+  EXPECT_TRUE(IsLinearInIdb(p));
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("e", {"b", "c"});
+  db.AddFact("zero", {"a"});
+  db.AddFact("one", {"c"});
+  StatusOr<Relation> result = EvaluateGoal(p, WordPredicate(2), db);
+  ASSERT_TRUE(result.ok());
+  // word2(x, y): path of length 2 where the paper's rules check a label on
+  // the start node (word1) and on the endpoint of each later step:
+  // a -e-> b -e-> c with zero(a) and one(c).
+  EXPECT_EQ(result->size(), 1u);
+  Tuple expected = {db.dictionary().Lookup("a"),
+                    db.dictionary().Lookup("c")};
+  EXPECT_TRUE(result->Contains(expected));
+}
+
+TEST(GeneratorsTest, EqualProgramMatchesLabeledPaths) {
+  Program p = EqualProgram(1);
+  EXPECT_FALSE(IsRecursive(p));
+  Database db;
+  // Two parallel 2-paths with equal labels.
+  db.AddFact("e", {"a0", "a1"});
+  db.AddFact("e", {"a1", "a2"});
+  db.AddFact("e", {"b0", "b1"});
+  db.AddFact("e", {"b1", "b2"});
+  for (const char* node : {"a0", "b0"}) db.AddFact("zero", {node});
+  for (const char* node : {"a1", "b1"}) db.AddFact("one", {node});
+  StatusOr<Relation> result = EvaluateGoal(p, EqualPredicate(1), db);
+  ASSERT_TRUE(result.ok());
+  // equal1(a0, a2, b0, b2) must hold (labels zero,one on both paths);
+  // symmetric and self-paired variants too.
+  Tuple expected = {
+      db.dictionary().Lookup("a0"), db.dictionary().Lookup("a2"),
+      db.dictionary().Lookup("b0"), db.dictionary().Lookup("b2")};
+  EXPECT_TRUE(result->Contains(expected));
+}
+
+TEST(GeneratorsTest, PathQueriesAndChainQuery) {
+  UnionOfCqs paths = PathQueries(3);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_EQ(ChainQuery(4).body().size(), 4u);
+  EXPECT_EQ(ChainQuery(1).body().size(), 1u);
+}
+
+TEST(GeneratorsTest, ChainProgramShape) {
+  Program p = ChainProgram(3);
+  EXPECT_TRUE(IsRecursive(p));
+  EXPECT_TRUE(IsLinear(p));
+  EXPECT_EQ(p.rules()[0].body().size(), 4u);  // 3 edges + recursive call
+  StatusOr<Relation> result = EvaluateGoal(p, "p", LineGraph(7));
+  ASSERT_TRUE(result.ok());
+  // Paths of length 1, 4, 7 from node i: lengths ≡ 1 (mod 3).
+  std::size_t expected = 0;
+  for (int len = 1; len <= 7; len += 3) expected += 8 - len;
+  EXPECT_EQ(result->size(), expected);
+}
+
+TEST(GeneratorsTest, AllGeneratedProgramsValidate) {
+  std::vector<Program> programs = {
+      Buys1Program(),      Buys2Program(),
+      Buys1NonrecursiveProgram(), Buys2NonrecursiveProgram(),
+      TransitiveClosureProgram(), NonlinearTransitiveClosureProgram(),
+      DistProgram(4),      DistLeProgram(4),
+      EqualProgram(3),     WordProgram(4),
+      ChainProgram(2),
+  };
+  for (const Program& p : programs) {
+    EXPECT_TRUE(p.Validate().ok()) << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace datalog

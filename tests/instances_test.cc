@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/containment/instances.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+TEST(CanonicalizeAtomTest, RenamesInFirstOccurrenceOrder) {
+  CanonicalAtomInfo info = CanonicalizeAtom(MustParseAtom("p(B, A, B, k)"));
+  EXPECT_EQ(info.atom.ToString(), "p($0, $1, $0, k)");
+  EXPECT_EQ(info.original_vars, (std::vector<std::string>{"B", "A"}));
+}
+
+TEST(CanonicalizeAtomTest, GroundAtomUnchanged) {
+  CanonicalAtomInfo info = CanonicalizeAtom(MustParseAtom("p(a, b)"));
+  EXPECT_EQ(info.atom, MustParseAtom("p(a, b)"));
+  EXPECT_TRUE(info.original_vars.empty());
+}
+
+TEST(CanonicalInstanceTest, CountsAreBellNumbers) {
+  // One canonical instance per set partition of the rule's variables:
+  // Bell(1)=1, Bell(2)=2, Bell(3)=5, Bell(4)=15.
+  const std::vector<std::pair<std::string, std::size_t>> cases = {
+      {"p(X) :- e(X).", 1},
+      {"p(X, Y) :- e(X, Y).", 2},
+      {"p(X, Y) :- e(X, Z), p(Z, Y).", 5},
+      {"p(X, Y) :- e(X, Z), e(Z, W), p(W, Y).", 15},
+  };
+  for (const auto& [text, expected] : cases) {
+    Rule rule = MustParseRule(text);
+    std::set<std::string> seen;
+    ForEachCanonicalInstance(rule, 16, [&](const Rule& instance) {
+      EXPECT_TRUE(seen.insert(instance.ToString()).second)
+          << "duplicate instance " << instance.ToString();
+      EXPECT_TRUE(IsRuleInstance(rule, instance)) << instance.ToString();
+      return true;
+    });
+    EXPECT_EQ(seen.size(), expected) << text;
+  }
+}
+
+TEST(CanonicalInstanceTest, ProofVariableBudgetCapsClasses) {
+  // With only 2 proof variables, partitions needing 3+ classes are
+  // skipped: partitions of {X,Y,Z} into <=2 classes: S(3,1)+S(3,2) = 4.
+  Rule rule = MustParseRule("p(X, Y) :- e(X, Z), p(Z, Y).");
+  std::size_t count = 0;
+  ForEachCanonicalInstance(rule, 2, [&](const Rule&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(CanonicalInstanceTest, EarlyStopPropagates) {
+  Rule rule = MustParseRule("p(X, Y) :- e(X, Z), p(Z, Y).");
+  std::size_t count = 0;
+  bool completed = ForEachCanonicalInstance(rule, 16, [&](const Rule&) {
+    return ++count < 2;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(FullInstanceTest, EnumeratesAllSubstitutions) {
+  Rule rule = MustParseRule("p(X, Y) :- e(X, Y).");
+  std::set<std::string> seen;
+  ForEachInstanceOver(rule, {"$0", "$1", "$2"}, [&](const Rule& instance) {
+    seen.insert(instance.ToString());
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 9u);  // 3^2
+}
+
+TEST(ExtendToPermutationTest, ProducesABijectionExtendingTheMap) {
+  std::vector<std::string> proof_vars = {"$0", "$1", "$2", "$3"};
+  Substitution permutation =
+      ExtendToPermutation({"$0", "$1"}, {"$2", "$0"}, proof_vars);
+  EXPECT_EQ(permutation.at("$0"), Term::Variable("$2"));
+  EXPECT_EQ(permutation.at("$1"), Term::Variable("$0"));
+  // Bijection over proof_vars.
+  std::set<std::string> targets;
+  for (const std::string& v : proof_vars) {
+    ASSERT_TRUE(permutation.count(v) > 0) << v;
+    EXPECT_TRUE(targets.insert(permutation.at(v).name()).second);
+  }
+  EXPECT_EQ(targets.size(), proof_vars.size());
+}
+
+TEST(RenameTreeTest, RenamesEveryLabel) {
+  ExpansionNode leaf;
+  Substitution to_proof;
+  to_proof.emplace("X", Term::Variable("$0"));
+  to_proof.emplace("Y", Term::Variable("$1"));
+  leaf.rule =
+      ApplySubstitution(to_proof, MustParseRule("p(X, Y) :- e0(X, Y)."));
+  leaf.goal = leaf.rule.head();
+  ExpansionTree tree{(ExpansionNode(leaf))};
+  Substitution swap;
+  swap.emplace("$0", Term::Variable("$1"));
+  swap.emplace("$1", Term::Variable("$0"));
+  ExpansionTree renamed = RenameTree(tree, swap);
+  EXPECT_EQ(renamed.root().rule.ToString(), "p($1, $0) :- e0($1, $0).");
+  EXPECT_EQ(renamed.root().goal, renamed.root().rule.head());
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/containment/decider.h"
+#include "src/containment/linear.h"
+#include "src/generators/examples.h"
+#include "src/trees/strong_mapping.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+LinearContainmentResult MustDecideLinear(const Program& program,
+                                         const std::string& goal,
+                                         const UnionOfCqs& theta) {
+  StatusOr<LinearContainmentResult> result =
+      DecideLinearDatalogInUcq(program, goal, theta);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+TEST(LinearDeciderTest, PaperExample11Buys1) {
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+  theta.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+  LinearContainmentResult result =
+      MustDecideLinear(Buys1Program(), "buys", theta);
+  EXPECT_TRUE(result.contained);
+}
+
+TEST(LinearDeciderTest, PaperExample11Buys2WithCounterexample) {
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+  theta.Add(MustParseCq("buys(X, Y) :- knows(X, Z), likes(Z, Y)."));
+  LinearContainmentResult result =
+      MustDecideLinear(Buys2Program(), "buys", theta);
+  ASSERT_FALSE(result.contained);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_TRUE(ValidateProofTree(Buys2Program(), *result.counterexample).ok())
+      << result.counterexample->ToString();
+  EXPECT_FALSE(
+      AnyDisjunctMapsStrongly(Buys2Program(), *result.counterexample, theta));
+}
+
+TEST(LinearDeciderTest, TransitiveClosureCases) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs top;
+  top.Add(MustParseCq("p(X, Y) :- ."));
+  EXPECT_TRUE(MustDecideLinear(tc, "p", top).contained);
+  EXPECT_FALSE(MustDecideLinear(tc, "p", PathQueries(3)).contained);
+}
+
+TEST(LinearDeciderTest, RejectsNonlinearPrograms) {
+  Program nl = NonlinearTransitiveClosureProgram();
+  UnionOfCqs top;
+  top.Add(MustParseCq("p(X, Y) :- ."));
+  StatusOr<LinearContainmentResult> result =
+      DecideLinearDatalogInUcq(nl, "p", top);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearDeciderTest, EmptyUnion) {
+  Program no_base = MustParseProgram("p(X, Y) :- e(X, Z), p(Z, Y).");
+  UnionOfCqs empty;
+  EXPECT_TRUE(MustDecideLinear(no_base, "p", empty).contained);
+  Program tc = TransitiveClosureProgram("e", "e");
+  LinearContainmentResult result = MustDecideLinear(tc, "p", empty);
+  EXPECT_FALSE(result.contained);
+  EXPECT_TRUE(ValidateProofTree(tc, *result.counterexample).ok());
+}
+
+// The word-automaton decider and the tree decider implement the same
+// theorem; they must agree on every linear case.
+TEST(LinearDeciderTest, AgreesWithTreeDecider) {
+  struct Case {
+    Program program;
+    std::string goal;
+    UnionOfCqs theta;
+  };
+  std::vector<Case> cases;
+  {
+    UnionOfCqs t1;
+    t1.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    t1.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+    cases.push_back({Buys1Program(), "buys", t1});
+    UnionOfCqs t2;
+    t2.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    t2.Add(MustParseCq("buys(X, Y) :- knows(X, Z), likes(Z, Y)."));
+    cases.push_back({Buys2Program(), "buys", t2});
+  }
+  {
+    Program tc = TransitiveClosureProgram("e", "e");
+    cases.push_back({tc, "p", PathQueries(2)});
+    UnionOfCqs top;
+    top.Add(MustParseCq("p(X, Y) :- ."));
+    cases.push_back({tc, "p", top});
+    UnionOfCqs diag;
+    diag.Add(MustParseCq("p(X, X) :- ."));
+    cases.push_back({tc, "p", diag});
+  }
+  {
+    Program reach = MustParseProgram(R"(
+      r(X) :- e(root, X).
+      r(X) :- r(Y), e(Y, X).
+    )");
+    UnionOfCqs incoming;
+    incoming.Add(MustParseCq("r(X) :- e(Y, X)."));
+    cases.push_back({reach, "r", incoming});
+    UnionOfCqs from_root;
+    from_root.Add(MustParseCq("r(X) :- e(root, X)."));
+    cases.push_back({reach, "r", from_root});
+  }
+  {
+    Program evenodd = MustParseProgram(R"(
+      even(X) :- zero(X).
+      even(X) :- succ(Y, X), odd(Y).
+      odd(X) :- succ(Y, X), even(Y).
+    )");
+    UnionOfCqs step;
+    step.Add(MustParseCq("odd(X) :- succ(Y, X)."));
+    cases.push_back({evenodd, "odd", step});
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    LinearContainmentResult via_word =
+        MustDecideLinear(cases[i].program, cases[i].goal, cases[i].theta);
+    StatusOr<ContainmentDecision> via_tree = DecideDatalogInUcq(
+        cases[i].program, cases[i].goal, cases[i].theta);
+    ASSERT_TRUE(via_tree.ok());
+    EXPECT_EQ(via_word.contained, via_tree->contained) << "case " << i;
+    if (!via_word.contained) {
+      EXPECT_TRUE(
+          ValidateProofTree(cases[i].program, *via_word.counterexample).ok())
+          << "case " << i;
+      EXPECT_FALSE(AnyDisjunctMapsStrongly(
+          cases[i].program, *via_word.counterexample, cases[i].theta))
+          << "case " << i;
+    }
+  }
+}
+
+TEST(LinearDeciderTest, CounterexamplesAreShortestPaths) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  LinearContainmentResult result =
+      MustDecideLinear(tc, "p", PathQueries(3));
+  ASSERT_FALSE(result.contained);
+  // The shortest uncovered expansion is the path of length 4 (4 nodes).
+  EXPECT_EQ(result.counterexample->Size(), 4u);
+}
+
+TEST(LinearDeciderTest, ChainProgramScaling) {
+  // ChainProgram(2) derives paths of odd length; the union of odd paths up
+  // to 3 misses length 5.
+  Program chain = ChainProgram(2);
+  UnionOfCqs odd_paths;
+  odd_paths.Add(ChainQuery(1));
+  odd_paths.Add(ChainQuery(3));
+  LinearContainmentResult result = MustDecideLinear(chain, "p", odd_paths);
+  ASSERT_FALSE(result.contained);
+  EXPECT_EQ(result.counterexample->Size(), 3u);  // 2+2+1 edges over 3 nodes
+}
+
+}  // namespace
+}  // namespace datalog

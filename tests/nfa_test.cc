@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/automata/nfa.h"
+
+namespace datalog {
+namespace {
+
+// L = words over {0,1} ending in 1.
+Nfa EndsInOne() {
+  Nfa nfa(2, 2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(1);
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 0);
+  nfa.AddTransition(0, 1, 1);
+  return nfa;
+}
+
+// L = words with even length over {0,1}.
+Nfa EvenLength() {
+  Nfa nfa(2, 2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  for (int sym = 0; sym < 2; ++sym) {
+    nfa.AddTransition(0, sym, 1);
+    nfa.AddTransition(1, sym, 0);
+  }
+  return nfa;
+}
+
+// L = all words over {0,1}.
+Nfa AllWords() {
+  Nfa nfa(1, 2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 0);
+  return nfa;
+}
+
+Nfa RandomNfa(std::mt19937_64& rng, int states, int symbols,
+              double edge_prob) {
+  Nfa nfa(states, symbols);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  nfa.SetInitial(0);
+  for (int s = 0; s < states; ++s) {
+    if (coin(rng) < 0.3) nfa.SetAccepting(s);
+    for (int a = 0; a < symbols; ++a) {
+      for (int t = 0; t < states; ++t) {
+        if (coin(rng) < edge_prob) nfa.AddTransition(s, a, t);
+      }
+    }
+  }
+  return nfa;
+}
+
+std::vector<std::vector<int>> AllWordsUpTo(int symbols, int max_len) {
+  std::vector<std::vector<int>> words = {{}};
+  std::vector<std::vector<int>> frontier = {{}};
+  for (int len = 1; len <= max_len; ++len) {
+    std::vector<std::vector<int>> next;
+    for (const auto& w : frontier) {
+      for (int a = 0; a < symbols; ++a) {
+        std::vector<int> extended = w;
+        extended.push_back(a);
+        next.push_back(extended);
+        words.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return words;
+}
+
+TEST(NfaTest, AcceptsBasics) {
+  Nfa nfa = EndsInOne();
+  EXPECT_TRUE(nfa.Accepts({1}));
+  EXPECT_TRUE(nfa.Accepts({0, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+}
+
+TEST(NfaTest, EmptinessAndShortestWord) {
+  Nfa nfa = EndsInOne();
+  EXPECT_FALSE(nfa.IsEmpty());
+  auto word = nfa.ShortestWord();
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, (std::vector<int>{1}));
+
+  Nfa empty(2, 2);
+  empty.SetInitial(0);
+  empty.SetAccepting(1);  // unreachable
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.ShortestWord().has_value());
+}
+
+TEST(NfaTest, UnionAcceptsBoth) {
+  Nfa u = Nfa::Union(EndsInOne(), EvenLength());
+  EXPECT_TRUE(u.Accepts({1}));     // ends in one
+  EXPECT_TRUE(u.Accepts({0, 0}));  // even length
+  EXPECT_FALSE(u.Accepts({0}));    // neither
+}
+
+TEST(NfaTest, IntersectionRequiresBoth) {
+  Nfa i = Nfa::Intersection(EndsInOne(), EvenLength());
+  EXPECT_TRUE(i.Accepts({0, 1}));
+  EXPECT_FALSE(i.Accepts({1}));
+  EXPECT_FALSE(i.Accepts({0, 0}));
+}
+
+TEST(NfaTest, DeterminizePreservesLanguage) {
+  Nfa nfa = EndsInOne();
+  StatusOr<Nfa> det = nfa.Determinize();
+  ASSERT_TRUE(det.ok());
+  for (const auto& word : AllWordsUpTo(2, 6)) {
+    EXPECT_EQ(nfa.Accepts(word), det->Accepts(word));
+  }
+}
+
+TEST(NfaTest, ComplementFlipsMembership) {
+  Nfa nfa = EndsInOne();
+  StatusOr<Nfa> complement = nfa.Complement();
+  ASSERT_TRUE(complement.ok());
+  for (const auto& word : AllWordsUpTo(2, 6)) {
+    EXPECT_NE(nfa.Accepts(word), complement->Accepts(word)) << word.size();
+  }
+}
+
+TEST(NfaTest, ContainmentPositive) {
+  // ends-in-1 ∩ even-length ⊆ ends-in-1.
+  Nfa small = Nfa::Intersection(EndsInOne(), EvenLength());
+  auto result = Nfa::Contains(small, EndsInOne());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->contained);
+}
+
+TEST(NfaTest, ContainmentNegativeWithCounterexample) {
+  auto result = Nfa::Contains(AllWords(), EndsInOne());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->contained);
+  // The counterexample is accepted by `a` but not `b`.
+  EXPECT_TRUE(AllWords().Accepts(result->counterexample));
+  EXPECT_FALSE(EndsInOne().Accepts(result->counterexample));
+  // BFS yields a shortest counterexample: the empty word.
+  EXPECT_TRUE(result->counterexample.empty());
+}
+
+TEST(NfaTest, ContainmentAgreesWithComplementConstruction) {
+  // L(a) ⊆ L(b) iff L(a) ∩ complement(L(b)) = ∅ (the paper's reduction).
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    Nfa a = RandomNfa(rng, 4, 2, 0.25);
+    Nfa b = RandomNfa(rng, 4, 2, 0.25);
+    auto onthefly = Nfa::Contains(a, b);
+    ASSERT_TRUE(onthefly.ok());
+    StatusOr<Nfa> not_b = b.Complement();
+    ASSERT_TRUE(not_b.ok());
+    bool via_complement = Nfa::Intersection(a, *not_b).IsEmpty();
+    EXPECT_EQ(onthefly->contained, via_complement) << "trial " << trial;
+  }
+}
+
+TEST(NfaTest, AntichainAndExactAgree) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    Nfa a = RandomNfa(rng, 5, 2, 0.3);
+    Nfa b = RandomNfa(rng, 5, 2, 0.3);
+    Nfa::ContainmentOptions with;
+    with.antichain = true;
+    Nfa::ContainmentOptions without;
+    without.antichain = false;
+    auto r1 = Nfa::Contains(a, b, with);
+    auto r2 = Nfa::Contains(a, b, without);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->contained, r2->contained) << "trial " << trial;
+    EXPECT_LE(r1->explored, r2->explored);
+  }
+}
+
+TEST(NfaTest, CounterexamplesAreGenuine) {
+  std::mt19937_64 rng(99);
+  int negatives = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Nfa a = RandomNfa(rng, 4, 2, 0.35);
+    Nfa b = RandomNfa(rng, 4, 2, 0.2);
+    auto result = Nfa::Contains(a, b);
+    ASSERT_TRUE(result.ok());
+    if (!result->contained) {
+      ++negatives;
+      EXPECT_TRUE(a.Accepts(result->counterexample));
+      EXPECT_FALSE(b.Accepts(result->counterexample));
+    }
+  }
+  EXPECT_GT(negatives, 5) << "test should exercise the negative path";
+}
+
+TEST(NfaTest, ResourceLimitOnContainment) {
+  std::mt19937_64 rng(3);
+  Nfa a = RandomNfa(rng, 8, 2, 0.4);
+  Nfa b = RandomNfa(rng, 8, 2, 0.4);
+  Nfa::ContainmentOptions options;
+  options.max_explored = 1;
+  options.antichain = false;
+  auto result = Nfa::Contains(a, b, options);
+  // Either it found a violation within the first pair, or it hit the cap.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(NfaTest, AddStateGrowsAutomaton) {
+  Nfa nfa(1, 2);
+  int s = nfa.AddState();
+  EXPECT_EQ(s, 1);
+  EXPECT_EQ(nfa.num_states(), 2u);
+  nfa.AddTransition(0, 0, s);
+  EXPECT_EQ(nfa.NumTransitions(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

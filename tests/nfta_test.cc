@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/automata/nfta.h"
+
+namespace datalog {
+namespace {
+
+// Alphabet: symbol 0 = leaf "a" (arity 0), symbol 1 = leaf "b" (arity 0),
+// symbol 2 = binary "f".
+const std::vector<int> kArity = {0, 0, 2};
+
+LabeledTree Leaf(int symbol) {
+  LabeledTree t;
+  t.symbol = symbol;
+  return t;
+}
+
+LabeledTree F(LabeledTree left, LabeledTree right) {
+  LabeledTree t;
+  t.symbol = 2;
+  t.children = {std::move(left), std::move(right)};
+  return t;
+}
+
+// Accepts trees whose leaves are all "a".
+Nfta AllLeavesA() {
+  Nfta nfta(1, kArity);
+  nfta.SetFinal(0);
+  nfta.AddTransition(0, {}, 0);        // a -> q0
+  nfta.AddTransition(2, {0, 0}, 0);    // f(q0, q0) -> q0
+  return nfta;
+}
+
+// Accepts trees containing at least one "b" leaf.
+Nfta SomeLeafB() {
+  // q0 = any tree, q1 = contains b.
+  Nfta nfta(2, kArity);
+  nfta.SetFinal(1);
+  nfta.AddTransition(0, {}, 0);
+  nfta.AddTransition(1, {}, 0);
+  nfta.AddTransition(1, {}, 1);
+  nfta.AddTransition(2, {0, 0}, 0);
+  nfta.AddTransition(2, {1, 0}, 1);
+  nfta.AddTransition(2, {0, 1}, 1);
+  nfta.AddTransition(2, {1, 1}, 1);
+  return nfta;
+}
+
+// Accepts every tree over the alphabet.
+Nfta AllTrees() {
+  Nfta nfta(1, kArity);
+  nfta.SetFinal(0);
+  nfta.AddTransition(0, {}, 0);
+  nfta.AddTransition(1, {}, 0);
+  nfta.AddTransition(2, {0, 0}, 0);
+  return nfta;
+}
+
+Nfta RandomNfta(std::mt19937_64& rng, int states, double density) {
+  Nfta nfta(states, kArity);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> pick(0, states - 1);
+  for (int s = 0; s < states; ++s) {
+    if (coin(rng) < 0.35) nfta.SetFinal(s);
+    if (coin(rng) < 0.7) nfta.AddTransition(0, {}, s);
+    if (coin(rng) < 0.4) nfta.AddTransition(1, {}, s);
+  }
+  int binary = std::max(1, static_cast<int>(density * states * states));
+  for (int i = 0; i < binary; ++i) {
+    nfta.AddTransition(2, {pick(rng), pick(rng)}, pick(rng));
+  }
+  return nfta;
+}
+
+TEST(LabeledTreeTest, SizeDepthToString) {
+  LabeledTree t = F(Leaf(0), F(Leaf(1), Leaf(0)));
+  EXPECT_EQ(t.Size(), 5u);
+  EXPECT_EQ(t.Depth(), 3u);
+  EXPECT_EQ(t.ToString(), "2(0, 2(1, 0))");
+}
+
+TEST(NftaTest, AcceptsBasics) {
+  Nfta a = AllLeavesA();
+  EXPECT_TRUE(a.Accepts(Leaf(0)));
+  EXPECT_FALSE(a.Accepts(Leaf(1)));
+  EXPECT_TRUE(a.Accepts(F(Leaf(0), F(Leaf(0), Leaf(0)))));
+  EXPECT_FALSE(a.Accepts(F(Leaf(0), F(Leaf(1), Leaf(0)))));
+}
+
+TEST(NftaTest, SomeLeafBWorks) {
+  Nfta b = SomeLeafB();
+  EXPECT_FALSE(b.Accepts(Leaf(0)));
+  EXPECT_TRUE(b.Accepts(Leaf(1)));
+  EXPECT_TRUE(b.Accepts(F(Leaf(0), F(Leaf(1), Leaf(0)))));
+  EXPECT_FALSE(b.Accepts(F(Leaf(0), F(Leaf(0), Leaf(0)))));
+}
+
+TEST(NftaTest, EmptinessAndWitness) {
+  EXPECT_FALSE(AllLeavesA().IsEmpty());
+  auto witness = SomeLeafB().WitnessTree();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(SomeLeafB().Accepts(*witness));
+
+  Nfta empty(1, kArity);
+  empty.SetFinal(0);
+  empty.AddTransition(2, {0, 0}, 0);  // no leaf rule: no finite tree
+  EXPECT_TRUE(empty.IsEmpty());
+}
+
+TEST(NftaTest, UnionAndIntersection) {
+  Nfta u = Nfta::Union(AllLeavesA(), SomeLeafB());
+  EXPECT_TRUE(u.Accepts(Leaf(0)));
+  EXPECT_TRUE(u.Accepts(Leaf(1)));
+  Nfta i = Nfta::Intersection(AllLeavesA(), SomeLeafB());
+  // "all leaves a" and "some leaf b" are disjoint.
+  EXPECT_TRUE(i.IsEmpty());
+  Nfta i2 = Nfta::Intersection(AllTrees(), SomeLeafB());
+  EXPECT_FALSE(i2.IsEmpty());
+  EXPECT_TRUE(i2.Accepts(Leaf(1)));
+  EXPECT_FALSE(i2.Accepts(Leaf(0)));
+}
+
+TEST(NftaTest, DeterminizePreservesLanguage) {
+  Nfta original = SomeLeafB();
+  StatusOr<Nfta> det = original.Determinize();
+  ASSERT_TRUE(det.ok());
+  EnumerateLabeledTrees(kArity, 3, 100000, [&](const LabeledTree& tree) {
+    EXPECT_EQ(original.Accepts(tree), det->Accepts(tree)) << tree.ToString();
+    return true;
+  });
+}
+
+TEST(NftaTest, ComplementFlipsMembership) {
+  Nfta original = AllLeavesA();
+  StatusOr<Nfta> complement = original.Complement();
+  ASSERT_TRUE(complement.ok());
+  EnumerateLabeledTrees(kArity, 3, 100000, [&](const LabeledTree& tree) {
+    EXPECT_NE(original.Accepts(tree), complement->Accepts(tree))
+        << tree.ToString();
+    return true;
+  });
+}
+
+TEST(NftaTest, ContainmentPositive) {
+  // all-leaves-a ⊆ all-trees.
+  auto result = Nfta::Contains(AllLeavesA(), AllTrees());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->contained);
+}
+
+TEST(NftaTest, ContainmentNegativeWithCounterexample) {
+  auto result = Nfta::Contains(AllTrees(), SomeLeafB());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->contained);
+  EXPECT_TRUE(AllTrees().Accepts(result->counterexample));
+  EXPECT_FALSE(SomeLeafB().Accepts(result->counterexample));
+}
+
+TEST(NftaTest, ContainmentAgreesWithComplementConstruction) {
+  std::mt19937_64 rng(11);
+  int disagreements = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Nfta a = RandomNfta(rng, 3, 0.4);
+    Nfta b = RandomNfta(rng, 3, 0.4);
+    auto onthefly = Nfta::Contains(a, b);
+    ASSERT_TRUE(onthefly.ok());
+    StatusOr<Nfta> not_b = b.Complement();
+    ASSERT_TRUE(not_b.ok());
+    bool via_complement = Nfta::Intersection(a, *not_b).IsEmpty();
+    if (onthefly->contained != via_complement) ++disagreements;
+    EXPECT_EQ(onthefly->contained, via_complement) << "trial " << trial;
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+TEST(NftaTest, AntichainAndExactAgree) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    Nfta a = RandomNfta(rng, 4, 0.3);
+    Nfta b = RandomNfta(rng, 4, 0.3);
+    Nfta::ContainmentOptions with;
+    with.antichain = true;
+    Nfta::ContainmentOptions without;
+    without.antichain = false;
+    auto r1 = Nfta::Contains(a, b, with);
+    auto r2 = Nfta::Contains(a, b, without);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->contained, r2->contained) << "trial " << trial;
+  }
+}
+
+TEST(NftaTest, CounterexamplesAreGenuine) {
+  std::mt19937_64 rng(5);
+  int negatives = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Nfta a = RandomNfta(rng, 3, 0.5);
+    Nfta b = RandomNfta(rng, 3, 0.2);
+    auto result = Nfta::Contains(a, b);
+    ASSERT_TRUE(result.ok());
+    if (!result->contained) {
+      ++negatives;
+      EXPECT_TRUE(a.Accepts(result->counterexample))
+          << result->counterexample.ToString();
+      EXPECT_FALSE(b.Accepts(result->counterexample))
+          << result->counterexample.ToString();
+    }
+  }
+  EXPECT_GT(negatives, 3);
+}
+
+TEST(NftaTest, MembershipAgreesWithEnumerationOfWitnesses) {
+  // Every tree enumerated up to depth 3 that AllLeavesA accepts has only
+  // "a" leaves; cross-check the semantics of the enumeration helper.
+  std::size_t accepted = 0;
+  EnumerateLabeledTrees(kArity, 3, 100000, [&](const LabeledTree& tree) {
+    if (AllLeavesA().Accepts(tree)) {
+      ++accepted;
+      std::function<bool(const LabeledTree&)> only_a =
+          [&only_a](const LabeledTree& t) {
+            if (t.children.empty()) return t.symbol == 0;
+            for (const LabeledTree& c : t.children) {
+              if (!only_a(c)) return false;
+            }
+            return true;
+          };
+      EXPECT_TRUE(only_a(tree));
+    }
+    return true;
+  });
+  // depth<=3 all-a trees: a, f(a,a), f(a,f(a,a)), f(f(a,a),a),
+  // f(f(a,a),f(a,a)) = 5.
+  EXPECT_EQ(accepted, 5u);
+}
+
+}  // namespace
+}  // namespace datalog

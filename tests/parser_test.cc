@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/parser.h"
+
+namespace datalog {
+namespace {
+
+TEST(ParserTest, SimpleRule) {
+  StatusOr<Program> p = ParseProgram("p(X, Y) :- e(X, Z), p(Z, Y).");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->rules().size(), 1u);
+  const Rule& r = p->rules()[0];
+  EXPECT_EQ(r.head().predicate(), "p");
+  ASSERT_EQ(r.body().size(), 2u);
+  EXPECT_EQ(r.body()[0].predicate(), "e");
+}
+
+TEST(ParserTest, VariablesVsConstants) {
+  StatusOr<Atom> a = ParseAtom("p(X, abc, 42, _tmp, \"hello world\")");
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_TRUE(a->args()[0].is_variable());
+  EXPECT_TRUE(a->args()[1].is_constant());
+  EXPECT_TRUE(a->args()[2].is_constant());
+  EXPECT_EQ(a->args()[2].name(), "42");
+  EXPECT_TRUE(a->args()[3].is_variable()) << "underscore-led is a variable";
+  EXPECT_TRUE(a->args()[4].is_constant());
+  EXPECT_EQ(a->args()[4].name(), "hello world");
+}
+
+TEST(ParserTest, ZeroAryAtomWithAndWithoutParens) {
+  StatusOr<Program> p = ParseProgram(R"(
+    c :- start(Z), bit(Z).
+    d() :- c.
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->rules()[0].head().arity(), 0u);
+  EXPECT_EQ(p->rules()[1].body()[0].arity(), 0u);
+}
+
+TEST(ParserTest, FactAndExplicitEmptyBody) {
+  StatusOr<Program> p = ParseProgram(R"(
+    e(a, b).
+    dist0(X, X) :- .
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->rules()[0].body().empty());
+  EXPECT_TRUE(p->rules()[1].body().empty());
+}
+
+TEST(ParserTest, Comments) {
+  StatusOr<Program> p = ParseProgram(R"(
+    % transitive closure
+    p(X, Y) :- e(X, Y).   // base case
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->rules().size(), 2u);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const std::string text =
+      "buys(X, Y) :- likes(X, Y).\n"
+      "buys(X, Y) :- trendy(X), buys(Z, Y).";
+  StatusOr<Program> p = ParseProgram(text);
+  ASSERT_TRUE(p.ok());
+  StatusOr<Program> reparsed = ParseProgram(p->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*p, *reparsed);
+}
+
+TEST(ParserTest, ErrorMissingPeriod) {
+  StatusOr<Program> p = ParseProgram("p(X) :- e(X)");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("expected '.'"), std::string::npos)
+      << p.status();
+}
+
+TEST(ParserTest, ErrorUppercasePredicate) {
+  StatusOr<Program> p = ParseProgram("P(X) :- e(X).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("expected predicate name"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnbalancedParen) {
+  EXPECT_FALSE(ParseProgram("p(X :- e(X).").ok());
+}
+
+TEST(ParserTest, ErrorBadColon) {
+  EXPECT_FALSE(ParseProgram("p(X) : e(X).").ok());
+}
+
+TEST(ParserTest, ErrorUnterminatedString) {
+  EXPECT_FALSE(ParseProgram("p(\"abc) :- e(X).").ok());
+}
+
+TEST(ParserTest, ErrorEmptyProgram) {
+  EXPECT_FALSE(ParseProgram("  % only a comment\n").ok());
+}
+
+TEST(ParserTest, ErrorReportsLineAndColumn) {
+  StatusOr<Program> p = ParseProgram("p(X) :- e(X).\nq(Y) :- &.");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("2:"), std::string::npos) << p.status();
+}
+
+TEST(ParserTest, ErrorTrailingGarbageAfterAtom) {
+  EXPECT_FALSE(ParseAtom("p(X) extra").ok());
+  EXPECT_FALSE(ParseRule("p(X) :- e(X). q(Y).").ok());
+}
+
+TEST(ParserTest, ArityMismatchRejectedByValidation) {
+  StatusOr<Program> p = ParseProgram(R"(
+    p(X) :- e(X, X).
+    q(X) :- e(X).
+  )");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("arities"), std::string::npos);
+}
+
+TEST(ParserTest, PaperExample11Programs) {
+  // Both programs from Example 1.1 parse.
+  StatusOr<Program> p1 = ParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+  ASSERT_TRUE(p1.ok());
+  StatusOr<Program> p2 = ParseProgram(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- knows(X, Z), buys(Z, Y).
+  )");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->rules().size(), 2u);
+  EXPECT_EQ(p2->rules().size(), 2u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,293 @@
+// Randomized differential testing of the containment machinery: for
+// seeded random (program, union) instances, every implemented decision
+// path must agree —
+//   * the on-the-fly tree decider, antichain and exact modes (§5.2),
+//   * the word-automaton track for linear programs (Theorem 5.12's
+//     parenthetical),
+//   * the explicit A^ptrees / A^θ automata pipeline (Theorem 5.11),
+// and every verdict must be corroborated semantically:
+//   * "contained"  -> every enumerable proof tree is strongly covered and
+//                     evaluation on random databases respects inclusion;
+//   * "not contained" -> the counterexample proof tree is valid, escapes
+//                     every disjunct, and separates the two sides on its
+//                     frozen database.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/ast/analysis.h"
+#include "src/containment/decider.h"
+#include "src/containment/linear.h"
+#include "src/containment/theta_automaton.h"
+#include "src/cq/containment.h"
+#include "src/cq/minimize.h"
+#include "src/engine/eval.h"
+#include "src/engine/random_db.h"
+#include "src/trees/connectivity.h"
+#include "src/trees/enumerate.h"
+#include "src/trees/strong_mapping.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+// --- random instance generation --------------------------------------
+
+const char* const kEdbPredicates[] = {"e", "f", "g"};
+const std::size_t kEdbArities[] = {2, 1, 2};
+const char* const kVariables[] = {"X", "Y", "Z", "W"};
+
+Atom RandomEdbAtom(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> pred_pick(0, 2);
+  std::uniform_int_distribution<int> var_pick(0, 3);
+  int p = pred_pick(rng);
+  std::vector<Term> args;
+  for (std::size_t i = 0; i < kEdbArities[p]; ++i) {
+    args.push_back(Term::Variable(kVariables[var_pick(rng)]));
+  }
+  return Atom(kEdbPredicates[p], std::move(args));
+}
+
+// A random program with goal predicate p/2: a couple of rules with random
+// EDB atoms; each rule is recursive with probability 1/2 (then linear
+// with probability 3/4).
+Program RandomProgram(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> rule_count(2, 3);
+  std::uniform_int_distribution<int> atom_count(1, 2);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::uniform_int_distribution<int> var_pick(0, 3);
+  Program program;
+  int rules = rule_count(rng);
+  for (int r = 0; r < rules; ++r) {
+    std::vector<Atom> body;
+    int atoms = atom_count(rng);
+    for (int a = 0; a < atoms; ++a) body.push_back(RandomEdbAtom(rng));
+    bool recursive = (r > 0) && coin(rng) < 2;  // rule 0 stays a base case
+    if (recursive) {
+      body.push_back(Atom("p", {Term::Variable(kVariables[var_pick(rng)]),
+                                Term::Variable(kVariables[var_pick(rng)])}));
+      if (coin(rng) == 0) {  // occasionally nonlinear
+        body.push_back(
+            Atom("p", {Term::Variable(kVariables[var_pick(rng)]),
+                       Term::Variable(kVariables[var_pick(rng)])}));
+      }
+    }
+    program.AddRule(
+        Rule(Atom("p", {Term::Variable("X"), Term::Variable("Y")}),
+             std::move(body)));
+  }
+  return program;
+}
+
+UnionOfCqs RandomUnion(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> disjunct_count(1, 3);
+  std::uniform_int_distribution<int> atom_count(1, 3);
+  UnionOfCqs theta;
+  int disjuncts = disjunct_count(rng);
+  for (int d = 0; d < disjuncts; ++d) {
+    std::vector<Atom> body;
+    int atoms = atom_count(rng);
+    for (int a = 0; a < atoms; ++a) body.push_back(RandomEdbAtom(rng));
+    theta.Add(ConjunctiveQuery(
+        {Term::Variable("X"), Term::Variable("Y")}, std::move(body)));
+  }
+  return theta;
+}
+
+// --- the differential harness -----------------------------------------
+
+class ContainmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentPropertyTest, AllDecisionPathsAgreeAndVerdictsHold) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  Program program = RandomProgram(rng);
+  UnionOfCqs theta = RandomUnion(rng);
+  SCOPED_TRACE(StrCat("program:\n", program.ToString(), "\ntheta:\n",
+                      theta.ToString()));
+
+  // Reference verdict: tree decider with antichain.
+  ContainmentOptions antichain_options;
+  StatusOr<ContainmentDecision> reference =
+      DecideDatalogInUcq(program, "p", theta, antichain_options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Path 2: exact (no antichain) mode.
+  ContainmentOptions exact_options;
+  exact_options.antichain = false;
+  exact_options.max_states = 200'000;
+  StatusOr<ContainmentDecision> exact =
+      DecideDatalogInUcq(program, "p", theta, exact_options);
+  if (exact.ok()) {
+    EXPECT_EQ(exact->contained, reference->contained);
+    EXPECT_LE(reference->stats.states_discovered,
+              exact->stats.states_discovered);
+  }
+
+  // Path 3: word automata, when the program is linear.
+  if (IsLinearInIdb(program)) {
+    StatusOr<LinearContainmentResult> linear =
+        DecideLinearDatalogInUcq(program, "p", theta);
+    ASSERT_TRUE(linear.ok()) << linear.status();
+    EXPECT_EQ(linear->contained, reference->contained);
+  }
+
+  // Path 4: explicit automata pipeline (Theorem 5.11), within limits.
+  ThetaAutomatonLimits limits;
+  limits.max_states = 40'000;
+  limits.max_transitions = 400'000;
+  StatusOr<ExplicitContainmentResult> explicit_result =
+      DecideContainmentViaExplicitAutomata(program, "p", theta, limits);
+  if (explicit_result.ok()) {
+    EXPECT_EQ(explicit_result->contained, reference->contained);
+  } else {
+    EXPECT_EQ(explicit_result.status().code(),
+              StatusCode::kResourceExhausted);
+  }
+
+  if (reference->contained) {
+    // Semantic corroboration 1: every enumerable proof tree is covered.
+    EnumerateOptions enumerate;
+    enumerate.max_depth = 3;
+    enumerate.max_trees = 200;
+    EnumerateProofTrees(program, "p", enumerate,
+                        [&](const ExpansionTree& tree) {
+                          EXPECT_TRUE(
+                              AnyDisjunctMapsStrongly(program, tree, theta))
+                              << tree.ToString();
+                          return true;
+                        });
+    // Semantic corroboration 2: evaluation inclusion on random databases.
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      RandomDbOptions db_options;
+      db_options.seed = seed;
+      db_options.domain_size = 3;
+      db_options.tuples_per_relation = 4;
+      Database db = RandomDatabaseFor(program, db_options);
+      StatusOr<Relation> lhs = EvaluateGoal(program, "p", db);
+      StatusOr<Relation> rhs = EvaluateUcq(theta, db);
+      ASSERT_TRUE(lhs.ok());
+      ASSERT_TRUE(rhs.ok());
+      for (const Tuple& tuple : lhs->tuples()) {
+        EXPECT_TRUE(rhs->Contains(tuple)) << "db seed " << seed;
+      }
+    }
+  } else {
+    ASSERT_TRUE(reference->counterexample.has_value());
+    const ExpansionTree& witness = *reference->counterexample;
+    EXPECT_TRUE(ValidateProofTree(program, witness).ok())
+        << ValidateProofTree(program, witness) << witness.ToString();
+    EXPECT_FALSE(AnyDisjunctMapsStrongly(program, witness, theta))
+        << witness.ToString();
+    // Freeze the witness expansion into a database: the program derives
+    // the goal tuple there, the union does not.
+    ExpansionTree renamed = TreeConnectivity(witness).RenameByClass();
+    ConjunctiveQuery expansion = TreeToCq(program, renamed);
+    Database db;
+    Substitution freeze;
+    int counter = 0;
+    for (const std::string& v : expansion.VariableNames()) {
+      freeze.emplace(v, Term::Constant(StrCat("c", counter++)));
+    }
+    for (const Atom& atom : expansion.body()) {
+      ASSERT_TRUE(db.AddFactAtom(ApplySubstitution(freeze, atom)).ok());
+    }
+    // The canonical instance's domain includes every frozen variable,
+    // even head-only ones (matters for unsafe rules/queries, which range
+    // over the active domain).
+    for (const auto& [variable, constant] : freeze) {
+      db.AddFact("__domain", {constant.name()});
+    }
+    Tuple goal_tuple;
+    for (const Term& t : expansion.head_args()) {
+      goal_tuple.push_back(
+          db.dictionary().Intern(ApplySubstitution(freeze, t).name()));
+    }
+    StatusOr<Relation> lhs = EvaluateGoal(program, "p", db);
+    StatusOr<Relation> rhs = EvaluateUcq(theta, db);
+    ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(rhs.ok());
+    EXPECT_TRUE(lhs->Contains(goal_tuple));
+    EXPECT_FALSE(rhs->Contains(goal_tuple));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ContainmentPropertyTest,
+                         ::testing::Range(0, 60));
+
+// --- CQ containment vs engine evaluation -------------------------------
+
+ConjunctiveQuery RandomCq(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> atom_count(1, 3);
+  std::vector<Atom> body;
+  int atoms = atom_count(rng);
+  for (int a = 0; a < atoms; ++a) body.push_back(RandomEdbAtom(rng));
+  return ConjunctiveQuery({Term::Variable("X"), Term::Variable("Y")},
+                          std::move(body));
+}
+
+class CqContainmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Theorem 2.2's two directions checked against evaluation: if θ ⊆ ψ is
+// claimed, evaluation respects it on random databases; if refuted, the
+// canonical database of θ separates them.
+TEST_P(CqContainmentPropertyTest, MappingVerdictMatchesEvaluation) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  ConjunctiveQuery theta = RandomCq(rng);
+  ConjunctiveQuery psi = RandomCq(rng);
+  SCOPED_TRACE(StrCat("theta: ", theta.ToString(), "\npsi: ",
+                      psi.ToString()));
+  bool contained = IsCqContained(theta, psi);
+
+  UnionOfCqs theta_union;
+  theta_union.Add(theta);
+  UnionOfCqs psi_union;
+  psi_union.Add(psi);
+  std::map<std::string, std::size_t> signature{
+      {"e", 2}, {"f", 1}, {"g", 2}};
+  bool refuted = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomDbOptions options;
+    options.seed = seed;
+    options.domain_size = 3;
+    options.tuples_per_relation = 5;
+    Database db = RandomDatabase(signature, options);
+    StatusOr<Relation> lhs = EvaluateUcq(theta_union, db);
+    StatusOr<Relation> rhs = EvaluateUcq(psi_union, db);
+    ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(rhs.ok());
+    for (const Tuple& tuple : lhs->tuples()) {
+      if (!rhs->Contains(tuple)) refuted = true;
+      if (contained) {
+        EXPECT_TRUE(rhs->Contains(tuple)) << "db seed " << seed;
+      }
+    }
+  }
+  if (refuted) {
+    EXPECT_FALSE(contained);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCqPairs, CqContainmentPropertyTest,
+                         ::testing::Range(0, 80));
+
+// --- minimization invariants -------------------------------------------
+
+class MinimizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizePropertyTest, CoreIsEquivalentAndNoLarger) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  ConjunctiveQuery cq = RandomCq(rng);
+  ConjunctiveQuery core = MinimizeCq(cq);
+  EXPECT_LE(core.body().size(), cq.body().size());
+  EXPECT_TRUE(IsCqContained(cq, core));
+  EXPECT_TRUE(IsCqContained(core, cq));
+  // Idempotent.
+  EXPECT_EQ(MinimizeCq(core).body().size(), core.body().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCqs, MinimizePropertyTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace datalog

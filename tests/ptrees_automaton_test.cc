@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/containment/ptrees_automaton.h"
+#include "src/generators/examples.h"
+#include "src/trees/enumerate.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+Program SmallTc() { return TransitiveClosureProgram("e", "e0"); }
+
+TEST(ProgramAlphabetTest, SizeIsExponentialInRuleVariables) {
+  // TC: var(Π) has 6 variables; rule 1 has 3 variables (6^3 = 216
+  // instances), rule 2 has 2 (6^2 = 36): 252 labels (Proposition 5.9:
+  // exponential in the size of Π).
+  StatusOr<ProgramAlphabet> alphabet = BuildProgramAlphabet(SmallTc());
+  ASSERT_TRUE(alphabet.ok());
+  EXPECT_EQ(alphabet->labels.size(), 252u);
+  EXPECT_EQ(alphabet->proof_vars.size(), 6u);
+}
+
+TEST(ProgramAlphabetTest, LabelLimitEnforced) {
+  StatusOr<ProgramAlphabet> alphabet = BuildProgramAlphabet(SmallTc(), 10);
+  ASSERT_FALSE(alphabet.ok());
+  EXPECT_EQ(alphabet.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PtreesAutomatonTest, AcceptsExactlyValidProofTrees) {
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(automaton.ok());
+  // Every enumerated proof tree encodes and is accepted.
+  EnumerateOptions options;
+  options.max_depth = 2;
+  options.max_trees = 5000;
+  std::size_t accepted = 0;
+  EnumerateProofTrees(tc, "p", options, [&](const ExpansionTree& tree) {
+    std::optional<LabeledTree> encoded =
+        ProofTreeToLabeledTree(automaton->alphabet, tree);
+    EXPECT_TRUE(encoded.has_value()) << tree.ToString();
+    EXPECT_TRUE(automaton->nfta.Accepts(*encoded)) << tree.ToString();
+    ++accepted;
+    return true;
+  });
+  EXPECT_GT(accepted, 100u);
+}
+
+TEST(PtreesAutomatonTest, MembershipMatchesValidityOnArbitraryLabeledTrees) {
+  // Enumerate arbitrary labeled trees (valid or not) over the alphabet:
+  // the automaton accepts a tree iff it decodes to a valid proof tree
+  // whose root is a goal-predicate atom.
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(automaton.ok());
+  std::size_t checked = 0;
+  std::size_t accepted = 0;
+  EnumerateLabeledTrees(
+      automaton->alphabet.arities, 2, 3000, [&](const LabeledTree& tree) {
+        ExpansionTree decoded =
+            LabeledTreeToProofTree(automaton->alphabet, tree);
+        bool valid = ValidateProofTree(tc, decoded).ok() &&
+                     decoded.root().goal.predicate() == "p";
+        bool accepts = automaton->nfta.Accepts(tree);
+        EXPECT_EQ(accepts, valid) << decoded.ToString();
+        ++checked;
+        if (accepts) ++accepted;
+        return true;
+      });
+  EXPECT_GT(checked, 1000u);
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(PtreesAutomatonTest, WitnessTreeIsAValidProofTree) {
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(automaton.ok());
+  std::optional<LabeledTree> witness = automaton->nfta.WitnessTree();
+  ASSERT_TRUE(witness.has_value());
+  ExpansionTree decoded =
+      LabeledTreeToProofTree(automaton->alphabet, *witness);
+  EXPECT_TRUE(ValidateProofTree(tc, decoded).ok());
+  EXPECT_EQ(decoded.root().goal.predicate(), "p");
+}
+
+TEST(PtreesAutomatonTest, NoBaseRuleMeansEmptyLanguage) {
+  Program no_base = MustParseProgram("p(X, Y) :- e(X, Z), p(Z, Y).");
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(no_base, "p");
+  ASSERT_TRUE(automaton.ok());
+  EXPECT_TRUE(automaton->nfta.IsEmpty());
+}
+
+TEST(PtreesAutomatonTest, RoundTripEncoding) {
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(automaton.ok());
+  EnumerateOptions options;
+  options.max_depth = 2;
+  options.max_trees = 50;
+  EnumerateProofTrees(tc, "p", options, [&](const ExpansionTree& tree) {
+    std::optional<LabeledTree> encoded =
+        ProofTreeToLabeledTree(automaton->alphabet, tree);
+    EXPECT_TRUE(encoded.has_value());
+    ExpansionTree decoded =
+        LabeledTreeToProofTree(automaton->alphabet, *encoded);
+    EXPECT_EQ(decoded.root().rule, tree.root().rule);
+    EXPECT_EQ(decoded.Size(), tree.Size());
+    return true;
+  });
+}
+
+TEST(PtreesAutomatonTest, TreesOutsideVarPiAreNotEncodable) {
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(automaton.ok());
+  // An unfolding tree with fresh variables is not a proof tree.
+  EnumerateOptions options;
+  options.max_depth = 2;
+  EnumerateUnfoldingTrees(tc, "p", options, [&](const ExpansionTree& tree) {
+    if (tree.Depth() == 2) {
+      EXPECT_FALSE(
+          ProofTreeToLabeledTree(automaton->alphabet, tree).has_value());
+    }
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/parser.h"
+#include "src/ast/rule.h"
+
+namespace datalog {
+namespace {
+
+Rule MustParseRule(const std::string& text) {
+  StatusOr<Rule> rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return *rule;
+}
+
+Program MustParse(const std::string& text) {
+  StatusOr<Program> program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return *program;
+}
+
+TEST(RuleTest, ToStringRoundForms) {
+  EXPECT_EQ(MustParseRule("p(X, Y) :- e(X, Z), p(Z, Y).").ToString(),
+            "p(X, Y) :- e(X, Z), p(Z, Y).");
+  EXPECT_EQ(MustParseRule("p(X).").ToString(), "p(X).");
+}
+
+TEST(RuleTest, VariableNamesHeadFirst) {
+  Rule r = MustParseRule("p(Y, X) :- e(X, Z).");
+  EXPECT_EQ(r.VariableNames(), (std::vector<std::string>{"Y", "X", "Z"}));
+}
+
+TEST(RuleTest, SubstitutionAppliesToHeadAndBody) {
+  Rule r = MustParseRule("p(X) :- e(X, Y).");
+  Substitution s;
+  s.emplace("X", Term::Constant("a"));
+  Rule expected = MustParseRule("p(a) :- e(a, Y).");
+  EXPECT_EQ(ApplySubstitution(s, r), expected);
+}
+
+TEST(ProgramTest, IdbEdbSplit) {
+  Program p = MustParse(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+  EXPECT_EQ(p.IdbPredicates(), (std::set<std::string>{"buys"}));
+  EXPECT_EQ(p.EdbPredicates(), (std::set<std::string>{"likes", "trendy"}));
+  EXPECT_TRUE(p.IsIdb("buys"));
+  EXPECT_FALSE(p.IsIdb("likes"));
+}
+
+TEST(ProgramTest, PredicateArity) {
+  Program p = MustParse("p(X, Y) :- e(X, Y), g(X).");
+  EXPECT_EQ(p.PredicateArity("p"), 2u);
+  EXPECT_EQ(p.PredicateArity("g"), 1u);
+}
+
+TEST(ProgramTest, RulesFor) {
+  Program p = MustParse(R"(
+    p(X) :- e(X).
+    q(X) :- p(X).
+    p(X) :- f(X).
+  )");
+  EXPECT_EQ(p.RulesFor("p"), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(p.RulesFor("q"), (std::vector<std::size_t>{1}));
+}
+
+TEST(ProgramTest, ValidateRejectsInconsistentArity) {
+  Program p;
+  p.AddRule(Rule(Atom("p", {Term::Variable("X")}),
+                 {Atom("e", {Term::Variable("X")})}));
+  p.AddRule(Rule(Atom("p", {Term::Variable("X"), Term::Variable("Y")}),
+                 {Atom("e", {Term::Variable("X")})}));
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProgramTest, ValidateRejectsEmptyProgram) {
+  Program p;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProgramTest, ValidateAcceptsUnsafeFacts) {
+  // The paper's Example 6.2 uses `dist0(x, x) :- .` (empty body).
+  Program p = MustParse("dist0(X, X) :- .");
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_TRUE(p.rules()[0].body().empty());
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/term.h"
+
+namespace datalog {
+namespace {
+
+TEST(TermTest, VariableAndConstantAreDistinct) {
+  Term v = Term::Variable("x");
+  Term c = Term::Constant("x");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_NE(v, c);
+  TermHash hash;
+  EXPECT_NE(hash(v), hash(c));
+}
+
+TEST(TermTest, Ordering) {
+  EXPECT_LT(Term::Variable("a"), Term::Variable("b"));
+  // Kind dominates: all variables come before all constants.
+  EXPECT_LT(Term::Variable("z"), Term::Constant("a"));
+}
+
+TEST(TermTest, SubstitutionOnlyRemapsVariables) {
+  Substitution s;
+  s.emplace("x", Term::Constant("a"));
+  EXPECT_EQ(ApplySubstitution(s, Term::Variable("x")), Term::Constant("a"));
+  EXPECT_EQ(ApplySubstitution(s, Term::Variable("y")), Term::Variable("y"));
+  EXPECT_EQ(ApplySubstitution(s, Term::Constant("x")), Term::Constant("x"));
+}
+
+TEST(AtomTest, ToStringForms) {
+  Atom p("p", {Term::Variable("X"), Term::Constant("a")});
+  EXPECT_EQ(p.ToString(), "p(X, a)");
+  Atom zero("c", {});
+  EXPECT_EQ(zero.ToString(), "c");
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  Atom a("p", {Term::Variable("X")});
+  Atom b("p", {Term::Variable("X")});
+  Atom c("p", {Term::Variable("Y")});
+  Atom d("q", {Term::Variable("X")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  AtomHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(AtomTest, VariableNamesDeduplicated) {
+  Atom a("p", {Term::Variable("X"), Term::Variable("Y"), Term::Variable("X"),
+               Term::Constant("k")});
+  EXPECT_EQ(a.VariableNames(), (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(AtomTest, SubstitutionAppliesToAllArgs) {
+  Substitution s;
+  s.emplace("X", Term::Variable("Z"));
+  Atom a("p", {Term::Variable("X"), Term::Variable("Y"), Term::Variable("X")});
+  Atom expected("p", {Term::Variable("Z"), Term::Variable("Y"),
+                      Term::Variable("Z")});
+  EXPECT_EQ(ApplySubstitution(s, a), expected);
+}
+
+TEST(AtomTest, CollectVariablesAcrossAtoms) {
+  std::vector<Atom> atoms = {
+      Atom("p", {Term::Variable("X"), Term::Variable("Y")}),
+      Atom("q", {Term::Variable("Y"), Term::Variable("Z")}),
+  };
+  EXPECT_EQ(CollectVariables(atoms),
+            (std::vector<std::string>{"X", "Y", "Z"}));
+}
+
+}  // namespace
+}  // namespace datalog

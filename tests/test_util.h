@@ -1,0 +1,41 @@
+// Shared helpers for tests: parse-or-fail wrappers.
+#ifndef DATALOG_EQ_TESTS_TEST_UTIL_H_
+#define DATALOG_EQ_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/ast/parser.h"
+#include "src/cq/cq.h"
+
+namespace datalog {
+
+inline Program MustParseProgram(const std::string& text) {
+  StatusOr<Program> program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status() << "\nwhile parsing:\n"
+                            << text;
+  return *program;
+}
+
+inline Rule MustParseRule(const std::string& text) {
+  StatusOr<Rule> rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status() << "\nwhile parsing: " << text;
+  return *rule;
+}
+
+inline Atom MustParseAtom(const std::string& text) {
+  StatusOr<Atom> atom = ParseAtom(text);
+  EXPECT_TRUE(atom.ok()) << atom.status() << "\nwhile parsing: " << text;
+  return *atom;
+}
+
+/// Parses a CQ written as a rule, e.g. "q(X, Y) :- e(X, Z), e(Z, Y)."
+/// (the head predicate name is discarded).
+inline ConjunctiveQuery MustParseCq(const std::string& text) {
+  return CqFromRule(MustParseRule(text));
+}
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "src/containment/decider.h"
+#include "src/containment/theta_automaton.h"
+#include "src/generators/examples.h"
+#include "src/trees/enumerate.h"
+#include "src/trees/strong_mapping.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+Program SmallTc() { return TransitiveClosureProgram("e", "e0"); }
+
+// The key correctness property of Proposition 5.10: A^θ accepts a proof
+// tree iff θ maps strongly into it. Cross-checked tree by tree against
+// the brute-force strong-mapping oracle.
+void CheckAgainstOracle(const Program& program, const std::string& goal,
+                        const ConjunctiveQuery& theta,
+                        std::size_t max_depth, std::size_t max_trees) {
+  StatusOr<PtreesAutomaton> ptrees = BuildPtreesAutomaton(program, goal);
+  ASSERT_TRUE(ptrees.ok()) << ptrees.status();
+  StatusOr<ThetaAutomaton> automaton =
+      BuildThetaAutomaton(program, goal, theta, ptrees->alphabet);
+  ASSERT_TRUE(automaton.ok()) << automaton.status();
+  EnumerateOptions options;
+  options.max_depth = max_depth;
+  options.max_trees = max_trees;
+  std::size_t checked = 0;
+  EnumerateProofTrees(program, goal, options, [&](const ExpansionTree& tree) {
+    std::optional<LabeledTree> encoded =
+        ProofTreeToLabeledTree(ptrees->alphabet, tree);
+    EXPECT_TRUE(encoded.has_value());
+    bool automaton_accepts = automaton->nfta.Accepts(*encoded);
+    bool oracle_accepts =
+        HasStrongContainmentMapping(program, tree, theta);
+    EXPECT_EQ(automaton_accepts, oracle_accepts)
+        << "theta: " << theta.ToString() << "\ntree:\n"
+        << tree.ToString();
+    ++checked;
+    return true;
+  });
+  EXPECT_GT(checked, 30u);
+}
+
+TEST(ThetaAutomatonTest, MatchesOracleOnBaseQuery) {
+  CheckAgainstOracle(SmallTc(), "p", MustParseCq("p(X, Y) :- e0(X, Y)."), 2,
+                     2000);
+}
+
+TEST(ThetaAutomatonTest, MatchesOracleOnPathQuery) {
+  CheckAgainstOracle(SmallTc(), "p",
+                     MustParseCq("p(X, Y) :- e(X, Z), e0(Z, Y)."), 2, 2000);
+}
+
+TEST(ThetaAutomatonTest, MatchesOracleOnCollapsingQuery) {
+  CheckAgainstOracle(SmallTc(), "p",
+                     MustParseCq("p(X, X) :- e(X, Z), e0(Z, X)."), 2, 2000);
+}
+
+TEST(ThetaAutomatonTest, MatchesOracleOnBooleanStyleQuery) {
+  CheckAgainstOracle(SmallTc(), "p", MustParseCq("p(X, Y) :- e(X, Z)."), 2,
+                     2000);
+}
+
+TEST(ThetaAutomatonTest, MatchesOracleOnBuys1) {
+  CheckAgainstOracle(Buys1Program(), "buys",
+                     MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."), 2,
+                     2000);
+}
+
+TEST(ThetaAutomatonTest, MatchesOracleAtDepth3Sample) {
+  CheckAgainstOracle(SmallTc(), "p",
+                     MustParseCq("p(X, Y) :- e(X, Z), e(Z, W), e0(W, Y)."),
+                     3, 400);
+}
+
+TEST(ThetaAutomatonTest, EmptyBodyQueryAcceptsEverythingWithMatchingHead) {
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> ptrees = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(ptrees.ok());
+  StatusOr<ThetaAutomaton> automaton = BuildThetaAutomaton(
+      tc, "p", MustParseCq("p(X, Y) :- ."), ptrees->alphabet);
+  ASSERT_TRUE(automaton.ok());
+  // Every proof tree is accepted (distinct or equal head args both unify
+  // with (X, Y)).
+  EnumerateOptions options;
+  options.max_depth = 2;
+  options.max_trees = 500;
+  EnumerateProofTrees(tc, "p", options, [&](const ExpansionTree& tree) {
+    std::optional<LabeledTree> encoded =
+        ProofTreeToLabeledTree(ptrees->alphabet, tree);
+    EXPECT_TRUE(automaton->nfta.Accepts(*encoded)) << tree.ToString();
+    return true;
+  });
+}
+
+// Theorem 5.11 end-to-end: the explicit-automata pipeline agrees with the
+// on-the-fly decider.
+TEST(ThetaAutomatonTest, ExplicitPipelineAgreesWithDecider) {
+  struct Case {
+    Program program;
+    std::string goal;
+    UnionOfCqs theta;
+  };
+  std::vector<Case> cases;
+  {
+    UnionOfCqs buys1_theta;
+    buys1_theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    buys1_theta.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+    cases.push_back({Buys1Program(), "buys", buys1_theta});
+    UnionOfCqs buys2_theta;
+    buys2_theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    buys2_theta.Add(MustParseCq("buys(X, Y) :- knows(X, Z), likes(Z, Y)."));
+    cases.push_back({Buys2Program(), "buys", buys2_theta});
+  }
+  {
+    Program tc = SmallTc();
+    UnionOfCqs two_paths;
+    two_paths.Add(MustParseCq("p(X, Y) :- e0(X, Y)."));
+    two_paths.Add(MustParseCq("p(X, Y) :- e(X, A), e0(A, Y)."));
+    cases.push_back({tc, "p", two_paths});
+    UnionOfCqs top;
+    top.Add(MustParseCq("p(X, Y) :- ."));
+    cases.push_back({tc, "p", top});
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    StatusOr<ExplicitContainmentResult> via_automata =
+        DecideContainmentViaExplicitAutomata(cases[i].program, cases[i].goal,
+                                             cases[i].theta);
+    ASSERT_TRUE(via_automata.ok()) << via_automata.status();
+    StatusOr<ContainmentDecision> via_decider = DecideDatalogInUcq(
+        cases[i].program, cases[i].goal, cases[i].theta);
+    ASSERT_TRUE(via_decider.ok());
+    EXPECT_EQ(via_automata->contained, via_decider->contained)
+        << "case " << i;
+    if (!via_automata->contained) {
+      ASSERT_TRUE(via_automata->counterexample.has_value());
+      EXPECT_TRUE(
+          ValidateProofTree(cases[i].program, *via_automata->counterexample)
+              .ok());
+      EXPECT_FALSE(AnyDisjunctMapsStrongly(cases[i].program,
+                                           *via_automata->counterexample,
+                                           cases[i].theta));
+    }
+  }
+}
+
+TEST(ThetaAutomatonTest, EmptyUnionViaExplicitPipeline) {
+  Program no_base = MustParseProgram("p(X, Y) :- e(X, Z), p(Z, Y).");
+  UnionOfCqs empty;
+  StatusOr<ExplicitContainmentResult> result =
+      DecideContainmentViaExplicitAutomata(no_base, "p", empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->contained);
+
+  Program tc = SmallTc();
+  StatusOr<ExplicitContainmentResult> nonempty =
+      DecideContainmentViaExplicitAutomata(tc, "p", empty);
+  ASSERT_TRUE(nonempty.ok());
+  EXPECT_FALSE(nonempty->contained);
+  EXPECT_TRUE(ValidateProofTree(tc, *nonempty->counterexample).ok());
+}
+
+}  // namespace
+}  // namespace datalog

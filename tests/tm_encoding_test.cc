@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/analysis.h"
+#include "src/containment/decider.h"
+#include "src/tm/tm_encoding.h"
+#include "src/trees/strong_mapping.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+TmEncoding MustEncode(const TuringMachine& tm, int n) {
+  StatusOr<TmEncoding> encoding = EncodeLinearTmContainment(tm, n);
+  EXPECT_TRUE(encoding.ok()) << encoding.status();
+  return *encoding;
+}
+
+TEST(TmEncodingTest, StructuralProperties) {
+  TuringMachine tm = AcceptAfterOneStepMachine();
+  for (int n = 1; n <= 3; ++n) {
+    TmEncoding encoding = MustEncode(tm, n);
+    EXPECT_TRUE(encoding.program.Validate().ok());
+    EXPECT_TRUE(IsRecursive(encoding.program));
+    // The §5.3 construction is a LINEAR program.
+    EXPECT_TRUE(IsLinear(encoding.program));
+    EXPECT_TRUE(IsLinearInIdb(encoding.program));
+    // Queries are Boolean.
+    for (const ConjunctiveQuery& q : encoding.queries.disjuncts()) {
+      EXPECT_EQ(q.arity(), 0u);
+      EXPECT_FALSE(q.body().empty());
+    }
+    // Query count grows linearly in n for the addressing families (the
+    // transition families are fixed per machine).
+    EXPECT_GT(encoding.queries.size(), static_cast<std::size_t>(4 * n));
+  }
+}
+
+TEST(TmEncodingTest, QueryCountGrowsLinearlyInN) {
+  TuringMachine tm = ImmediatelyAcceptingMachine();
+  std::size_t previous = 0;
+  std::size_t previous_delta = 0;
+  for (int n = 1; n <= 4; ++n) {
+    TmEncoding encoding = MustEncode(tm, n);
+    std::size_t count = encoding.queries.size();
+    if (n >= 2) {
+      std::size_t delta = count - previous;
+      if (n >= 3) {
+        // Linear growth: constant per-n increment.
+        EXPECT_EQ(delta, previous_delta) << "n=" << n;
+      }
+      previous_delta = delta;
+    }
+    previous = count;
+  }
+}
+
+// The headline property of the §5.3 reduction (Theorem 5.15):
+// Π ⊆ Θ iff M does not accept. Validated against the simulator on micro
+// machines with n = 1 (two tape cells).
+void CheckReduction(const TuringMachine& tm, bool expect_contained) {
+  ASSERT_EQ(SimulateOnEmptyTape(tm, 2) == TmVerdict::kAccepts,
+            !expect_contained)
+      << "test machine's simulator verdict disagrees with expectation";
+  TmEncoding encoding = MustEncode(tm, 1);
+  ContainmentOptions options;
+  options.max_states = 2'000'000;
+  StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(
+      encoding.program, encoding.goal, encoding.queries, options);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_EQ(decision->contained, expect_contained);
+  if (!decision->contained && decision->counterexample.has_value()) {
+    // The counterexample encodes an accepting computation: a proof tree
+    // avoiding every error query.
+    EXPECT_TRUE(
+        ValidateProofTree(encoding.program, *decision->counterexample).ok());
+    EXPECT_FALSE(AnyDisjunctMapsStrongly(
+        encoding.program, *decision->counterexample, encoding.queries));
+  }
+}
+
+TEST(TmEncodingTest, ImmediatelyAcceptingMachineIsNotContained) {
+  CheckReduction(ImmediatelyAcceptingMachine(), /*expect_contained=*/false);
+}
+
+TEST(TmEncodingTest, LoopingMachineIsContained) {
+  CheckReduction(LoopsInPlaceMachine(), /*expect_contained=*/true);
+}
+
+TEST(TmEncodingTest, RunsOffTheTapeMachineIsContained) {
+  CheckReduction(RunsOffTheTapeMachine(), /*expect_contained=*/true);
+}
+
+// Machines whose accepting run spans several configurations (e.g.
+// AcceptAfterOneStepMachine) are decided correctly as well, but the
+// counterexample search must assemble a full multi-configuration
+// computation encoding and takes minutes — beyond the test budget. Both
+// verdict directions are already covered above; the instance-size scaling
+// of the reduction is measured in bench_tm_reduction.
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "src/tm/tm.h"
+
+namespace datalog {
+namespace {
+
+TEST(TmTest, ValidationCatchesBrokenMachines) {
+  TuringMachine tm = ImmediatelyAcceptingMachine();
+  EXPECT_TRUE(tm.Validate().ok());
+  TuringMachine bad = tm;
+  bad.initial_state = "nope";
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = tm;
+  bad.blank = "missing";
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = tm;
+  bad.accepting_states = {"ghost"};
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = tm;
+  bad.delta[{"qa", "_"}] = {"ghost", "_", TmMove::kStay};
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(TmTest, ImmediateAccept) {
+  EXPECT_EQ(SimulateOnEmptyTape(ImmediatelyAcceptingMachine(), 2),
+            TmVerdict::kAccepts);
+}
+
+TEST(TmTest, AcceptAfterOneStep) {
+  EXPECT_EQ(SimulateOnEmptyTape(AcceptAfterOneStepMachine(), 2),
+            TmVerdict::kAccepts);
+}
+
+TEST(TmTest, RunsOffTheTape) {
+  EXPECT_EQ(SimulateOnEmptyTape(RunsOffTheTapeMachine(), 2),
+            TmVerdict::kOutOfSpace);
+  // With more space it still eventually falls off the right end.
+  EXPECT_EQ(SimulateOnEmptyTape(RunsOffTheTapeMachine(), 8),
+            TmVerdict::kOutOfSpace);
+}
+
+TEST(TmTest, LoopDetected) {
+  EXPECT_EQ(SimulateOnEmptyTape(LoopsInPlaceMachine(), 2),
+            TmVerdict::kLoops);
+}
+
+TEST(TmTest, HaltWithoutAccepting) {
+  TuringMachine tm;
+  tm.states = {"q0"};
+  tm.tape_symbols = {"_"};
+  tm.initial_state = "q0";
+  // No transitions, no accepting states: halts immediately.
+  EXPECT_EQ(SimulateOnEmptyTape(tm, 2), TmVerdict::kHalts);
+}
+
+TEST(TmTest, BounceMachineAcceptsOnTwoCells) {
+  EXPECT_EQ(SimulateOnEmptyTape(BounceAndAcceptMachine(), 2),
+            TmVerdict::kAccepts);
+}
+
+TEST(TmTest, SimulatorRespectsWrites) {
+  // Write a mark, move right, come back, and verify the mark changed the
+  // branch taken: ql on blank (no transition) would halt, on mark accepts.
+  TuringMachine tm = BounceAndAcceptMachine();
+  // Sabotage: q0 writes blank instead of the mark.
+  tm.delta[{"q0", "_"}] = {"qr", "_", TmMove::kRight};
+  EXPECT_EQ(SimulateOnEmptyTape(tm, 2), TmVerdict::kHalts);
+}
+
+}  // namespace
+}  // namespace datalog

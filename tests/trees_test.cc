@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "src/cq/containment.h"
+#include "src/trees/connectivity.h"
+#include "src/trees/enumerate.h"
+#include "src/trees/expansion_tree.h"
+#include "src/trees/strong_mapping.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+// The transitive-closure program of paper Example 2.5:
+//   r1: p(X, Y) :- e(X, Z), p(Z, Y).
+//   r0: p(X, Y) :- e0(X, Y).
+Program TcProgram() {
+  return MustParseProgram(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    p(X, Y) :- e0(X, Y).
+  )");
+}
+
+// Builds the Figure 2(b) proof tree over var(Π) = {$0..$5}:
+//   root (p($0,$1), p($0,$1) :- e($0,$2), p($2,$1))
+//   child (p($2,$1), p($2,$1) :- e($2,$0), p($0,$1))   <- reuses $0
+//   leaf (p($0,$1), p($0,$1) :- e0($0,$1))
+ExpansionTree Fig2ProofTree() {
+  ExpansionNode leaf;
+  leaf.rule = MustParseRule("p(_0, _1) :- e0(_0, _1).");
+  ExpansionNode child;
+  child.rule = MustParseRule("p(_2, _1) :- e(_2, _0), p(_0, _1).");
+  ExpansionNode root;
+  root.rule = MustParseRule("p(_0, _1) :- e(_0, _2), p(_2, _1).");
+  // Rename "_k" to the canonical proof variable "$k".
+  Substitution to_proof_vars;
+  for (int i = 0; i < 6; ++i) {
+    to_proof_vars.emplace(StrCat("_", i),
+                          Term::Variable(ProofVariableName(i)));
+  }
+  leaf.rule = ApplySubstitution(to_proof_vars, leaf.rule);
+  child.rule = ApplySubstitution(to_proof_vars, child.rule);
+  root.rule = ApplySubstitution(to_proof_vars, root.rule);
+  leaf.goal = leaf.rule.head();
+  child.goal = child.rule.head();
+  root.goal = root.rule.head();
+  child.idb_positions = {1};
+  root.idb_positions = {1};
+  child.children.push_back(leaf);
+  root.children.push_back(child);
+  return ExpansionTree(root);
+}
+
+TEST(ExpansionTreeTest, IsRuleInstanceBasic) {
+  Rule rule = MustParseRule("p(X, Y) :- e(X, Z), p(Z, Y).");
+  EXPECT_TRUE(IsRuleInstance(rule, rule));
+  EXPECT_TRUE(
+      IsRuleInstance(rule, MustParseRule("p(A, B) :- e(A, C), p(C, B).")));
+  EXPECT_TRUE(
+      IsRuleInstance(rule, MustParseRule("p(A, A) :- e(A, A), p(A, A).")));
+  EXPECT_TRUE(
+      IsRuleInstance(rule, MustParseRule("p(a, B) :- e(a, c), p(c, B).")));
+  // Inconsistent reuse of X.
+  EXPECT_FALSE(
+      IsRuleInstance(rule, MustParseRule("p(A, B) :- e(C, D), p(D, B).")));
+  // Wrong predicate.
+  EXPECT_FALSE(
+      IsRuleInstance(rule, MustParseRule("p(A, B) :- f(A, C), p(C, B).")));
+}
+
+TEST(ExpansionTreeTest, Fig2ProofTreeValidates) {
+  Program tc = TcProgram();
+  ExpansionTree tree = Fig2ProofTree();
+  EXPECT_TRUE(ValidateExpansionTree(tc, tree).ok());
+  EXPECT_TRUE(ValidateProofTree(tc, tree).ok())
+      << ValidateProofTree(tc, tree);
+  EXPECT_EQ(tree.Size(), 3u);
+  EXPECT_EQ(tree.Depth(), 3u);
+  // It is NOT an unfolding tree: $0 is reused in the child's body although
+  // it occurs above (in the root label) and not in the child's goal.
+  EXPECT_FALSE(ValidateUnfoldingTree(tc, tree).ok());
+}
+
+TEST(ExpansionTreeTest, TreeToCqCollectsEdbAtoms) {
+  Program tc = TcProgram();
+  ConjunctiveQuery cq = TreeToCq(tc, Fig2ProofTree());
+  EXPECT_EQ(cq.arity(), 2u);
+  ASSERT_EQ(cq.body().size(), 3u);
+  EXPECT_EQ(cq.body()[0].predicate(), "e");
+  EXPECT_EQ(cq.body()[1].predicate(), "e");
+  EXPECT_EQ(cq.body()[2].predicate(), "e0");
+}
+
+TEST(ExpansionTreeTest, ValidationCatchesCorruptedTrees) {
+  Program tc = TcProgram();
+  ExpansionTree tree = Fig2ProofTree();
+  // Corrupt the goal of the root.
+  ExpansionTree bad_goal = tree;
+  bad_goal.mutable_root().goal = MustParseAtom("p(X, Y)");
+  EXPECT_FALSE(ValidateExpansionTree(tc, bad_goal).ok());
+  // Chop off the child: root rule still has an IDB subgoal.
+  ExpansionTree no_child = tree;
+  no_child.mutable_root().children.clear();
+  EXPECT_FALSE(ValidateExpansionTree(tc, no_child).ok());
+  // Rule that is no instance of any program rule.
+  ExpansionTree bad_rule = tree;
+  bad_rule.mutable_root().rule =
+      MustParseRule("p(X, Y) :- e(Y, X), p(X, Y).");
+  bad_rule.mutable_root().goal = bad_rule.root().rule.head();
+  EXPECT_FALSE(ValidateExpansionTree(tc, bad_rule).ok());
+}
+
+TEST(EnumerateTest, UnfoldingTreeCountsForTransitiveClosure) {
+  // For the linear TC program there is exactly one unfolding tree per
+  // depth d (a chain of d-1 recursive rules followed by the base rule).
+  Program tc = TcProgram();
+  for (std::size_t depth = 1; depth <= 5; ++depth) {
+    std::size_t count = 0;
+    EnumerateOptions options;
+    options.max_depth = depth;
+    EnumerateUnfoldingTrees(tc, "p", options, [&](const ExpansionTree& t) {
+      EXPECT_TRUE(ValidateUnfoldingTree(tc, t).ok())
+          << ValidateUnfoldingTree(tc, t) << "\n"
+          << t.ToString();
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, depth);
+  }
+}
+
+TEST(EnumerateTest, UnfoldingTreesOfNonlinearProgramBranch) {
+  Program nl = MustParseProgram(R"(
+    p(X, Y) :- p(X, Z), p(Z, Y).
+    p(X, Y) :- e(X, Y).
+  )");
+  // depth 1: base only = 1; depth 2: base + (rec with both children base)
+  // = 2; depth 3: rec children from depth-2 space (2 each) = 4, plus base
+  // = 5.
+  std::vector<std::size_t> expected = {1, 2, 5};
+  for (std::size_t depth = 1; depth <= 3; ++depth) {
+    std::size_t count = 0;
+    EnumerateOptions options;
+    options.max_depth = depth;
+    EnumerateUnfoldingTrees(nl, "p", options, [&](const ExpansionTree& t) {
+      EXPECT_TRUE(ValidateUnfoldingTree(nl, t).ok());
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, expected[depth - 1]) << "depth " << depth;
+  }
+}
+
+TEST(EnumerateTest, PaperExample25UnfoldingCq) {
+  // Depth-2 unfolding of TC: (X, Y) :- e(X, Z), e0(Z, Y).
+  Program tc = TcProgram();
+  EnumerateOptions options;
+  options.max_depth = 2;
+  std::vector<ConjunctiveQuery> cqs;
+  EnumerateUnfoldingTrees(tc, "p", options, [&](const ExpansionTree& t) {
+    cqs.push_back(TreeToCq(tc, t));
+    return true;
+  });
+  ASSERT_EQ(cqs.size(), 2u);
+  ConjunctiveQuery expected_depth2 =
+      MustParseCq("p(X, Y) :- e(X, Z), e0(Z, Y).");
+  bool found = false;
+  for (const ConjunctiveQuery& cq : cqs) {
+    if (SortedBodyCanonicalForm(cq) ==
+        SortedBodyCanonicalForm(expected_depth2)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumerateTest, MaxTreesCapRespected) {
+  Program nl = MustParseProgram(R"(
+    p(X, Y) :- p(X, Z), p(Z, Y).
+    p(X, Y) :- e(X, Y).
+  )");
+  EnumerateOptions options;
+  options.max_depth = 4;
+  options.max_trees = 3;
+  std::size_t count = 0;
+  bool exhausted = EnumerateUnfoldingTrees(
+      nl, "p", options, [&](const ExpansionTree&) {
+        ++count;
+        return true;
+      });
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(EnumerateTest, ProofTreesAreValidAndIncludeVariableReuse) {
+  Program tc = TcProgram();
+  EnumerateOptions options;
+  options.max_depth = 2;
+  options.max_trees = 100000;
+  std::size_t count = 0;
+  bool saw_reuse = false;
+  EnumerateProofTrees(tc, "p", options, [&](const ExpansionTree& t) {
+    EXPECT_TRUE(ValidateProofTree(tc, t).ok())
+        << ValidateProofTree(tc, t) << t.ToString();
+    if (!ValidateUnfoldingTree(tc, t).ok()) saw_reuse = true;
+    ++count;
+    return true;
+  });
+  EXPECT_GT(count, 0u);
+  EXPECT_TRUE(saw_reuse)
+      << "proof-tree enumeration must include non-unfolding variable reuse";
+}
+
+TEST(EnumerateTest, BoundedExpansionsDeduplicates) {
+  Program tc = TcProgram();
+  EnumerateOptions options;
+  options.max_depth = 4;
+  UnionOfCqs expansions = BoundedExpansions(tc, "p", options);
+  EXPECT_EQ(expansions.size(), 4u);  // path-1 .. path-4, pairwise distinct
+}
+
+TEST(ConnectivityTest, PaperExample53) {
+  // Example 5.3: in the Fig. 2 proof tree, the occurrences of Y($1) in the
+  // root and interior node are connected and distinguished; the
+  // occurrences of X($0) in the root and the leaf are not connected; the
+  // root occurrence of X is distinguished, the leaf one is not.
+  ExpansionTree tree = Fig2ProofTree();
+  TreeConnectivity connectivity(tree);
+  ASSERT_EQ(connectivity.num_nodes(), 3u);
+  const std::string x = ProofVariableName(0);
+  const std::string y = ProofVariableName(1);
+  EXPECT_TRUE(connectivity.Connected(0, 1, y));
+  EXPECT_TRUE(connectivity.Connected(0, 2, y));
+  EXPECT_FALSE(connectivity.Connected(0, 2, x));
+  // Leaf and interior-node occurrences of X are connected to each other
+  // ($0 occurs in the leaf's goal).
+  EXPECT_TRUE(connectivity.Connected(1, 2, x));
+  EXPECT_TRUE(connectivity.IsDistinguishedOccurrence(0, x));
+  EXPECT_FALSE(connectivity.IsDistinguishedOccurrence(2, x));
+  EXPECT_TRUE(connectivity.IsDistinguishedOccurrence(0, y));
+  EXPECT_TRUE(connectivity.IsDistinguishedOccurrence(2, y));
+}
+
+TEST(ConnectivityTest, RenameByClassProducesEquivalentExpansionTree) {
+  Program tc = TcProgram();
+  ExpansionTree proof_tree = Fig2ProofTree();
+  ExpansionTree renamed = TreeConnectivity(proof_tree).RenameByClass();
+  EXPECT_TRUE(ValidateExpansionTree(tc, renamed).ok())
+      << ValidateExpansionTree(tc, renamed) << renamed.ToString();
+  // The renamed tree is the unfolding path of length 3: its CQ is
+  // equivalent to e(X,Z), e(Z,W), e0(W,Y).
+  ConjunctiveQuery expected =
+      MustParseCq("p(X, Y) :- e(X, Z), e(Z, W), e0(W, Y).");
+  ConjunctiveQuery actual = TreeToCq(tc, renamed);
+  EXPECT_TRUE(IsCqContained(actual, expected));
+  EXPECT_TRUE(IsCqContained(expected, actual));
+}
+
+TEST(StrongMappingTest, UnfoldingCqMapsStronglyIntoFig2Tree) {
+  Program tc = TcProgram();
+  ExpansionTree tree = Fig2ProofTree();
+  ConjunctiveQuery theta =
+      MustParseCq("p(X, Y) :- e(X, Z), e(Z, W), e0(W, Y).");
+  EXPECT_TRUE(HasStrongContainmentMapping(tc, tree, theta));
+}
+
+TEST(StrongMappingTest, ConnectednessBlocksNaiveMapping) {
+  // theta identifies the first and third path nodes (X = W). A plain
+  // containment mapping into the proof tree's CQ exists (both map to $0),
+  // but the occurrences of $0 in the root and the leaf are not connected,
+  // so no STRONG mapping exists.
+  Program tc = TcProgram();
+  ExpansionTree tree = Fig2ProofTree();
+  ConjunctiveQuery theta =
+      MustParseCq("p(X, Y) :- e(X, Z), e(Z, X), e0(X, Y).");
+  EXPECT_TRUE(
+      FindContainmentMapping(theta, TreeToCq(tc, tree)).has_value())
+      << "plain containment mapping should exist";
+  EXPECT_FALSE(HasStrongContainmentMapping(tc, tree, theta));
+}
+
+TEST(StrongMappingTest, DistinguishedOccurrenceRequired) {
+  // theta = p(X, Y) :- e0(X, Y): maps the base atom to the leaf's
+  // e0($0, $1), but the leaf occurrence of $0 is not distinguished, so the
+  // distinguished variable X of theta cannot map there strongly.
+  Program tc = TcProgram();
+  ExpansionTree tree = Fig2ProofTree();
+  ConjunctiveQuery theta = MustParseCq("p(X, Y) :- e0(X, Y).");
+  EXPECT_FALSE(HasStrongContainmentMapping(tc, tree, theta));
+}
+
+TEST(StrongMappingTest, AgreesWithContainmentIntoRenamedTree) {
+  // Propositions 5.5/5.6 in miniature: a strong mapping into a proof tree
+  // exists iff a plain containment mapping exists into the CQ of the
+  // class-renamed expansion tree. Verified over all depth<=3 proof trees.
+  Program tc = TcProgram();
+  std::vector<ConjunctiveQuery> thetas = {
+      MustParseCq("p(X, Y) :- e0(X, Y)."),
+      MustParseCq("p(X, Y) :- e(X, Z), e0(Z, Y)."),
+      MustParseCq("p(X, Y) :- e(X, Z), e(Z, W), e0(W, Y)."),
+      MustParseCq("p(X, Y) :- e(X, Z), e(Z, X), e0(X, Y)."),
+      MustParseCq("p(X, X) :- e(X, Z), e0(Z, X)."),
+      MustParseCq("p(X, Y) :- e(X, X), e0(X, Y)."),
+  };
+  EnumerateOptions options;
+  options.max_depth = 3;
+  options.max_trees = 400;
+  std::size_t checked = 0;
+  EnumerateProofTrees(tc, "p", options, [&](const ExpansionTree& tree) {
+    ExpansionTree renamed = TreeConnectivity(tree).RenameByClass();
+    ConjunctiveQuery expansion_cq = TreeToCq(tc, renamed);
+    for (const ConjunctiveQuery& theta : thetas) {
+      bool strong = HasStrongContainmentMapping(tc, tree, theta);
+      bool plain = FindContainmentMapping(theta, expansion_cq).has_value();
+      EXPECT_EQ(strong, plain)
+          << "theta: " << theta.ToString() << "\ntree:\n"
+          << tree.ToString() << "renamed:\n"
+          << renamed.ToString();
+      ++checked;
+    }
+    return true;
+  });
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(StrongMappingTest, UnionHelper) {
+  Program tc = TcProgram();
+  ExpansionTree tree = Fig2ProofTree();
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("p(X, Y) :- e0(X, Y)."));
+  EXPECT_FALSE(AnyDisjunctMapsStrongly(tc, tree, ucq));
+  ucq.Add(MustParseCq("p(X, Y) :- e(X, Z), e(Z, W), e0(W, Y)."));
+  EXPECT_TRUE(AnyDisjunctMapsStrongly(tc, tree, ucq));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/iteration.h"
+#include "src/util/scc.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+#include "src/util/union_find.h"
+
+namespace datalog {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllConstructorsSetDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, StrJoinBasic) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{}, ", "), "");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, StrJoinWithFormatter) {
+  std::vector<int> parts = {1, 2, 3};
+  std::string joined = StrJoin(
+      parts, "-", [](std::ostream& os, int x) { os << (x * 10); });
+  EXPECT_EQ(joined, "10-20-30");
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("x", 1, "-", 2.5), "x1-2.5");
+}
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  uf.Union(0, 1);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, AddGrowsStructure) {
+  UnionFind uf(1);
+  std::size_t a = uf.Add();
+  std::size_t b = uf.Add();
+  EXPECT_EQ(uf.size(), 3u);
+  uf.Union(a, b);
+  EXPECT_TRUE(uf.Connected(a, b));
+  EXPECT_FALSE(uf.Connected(0, a));
+}
+
+TEST(SccTest, SingleCycle) {
+  // 0 -> 1 -> 2 -> 0
+  SccResult r = StronglyConnectedComponents(3, {{1}, {2}, {0}});
+  EXPECT_EQ(r.num_components, 1);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+}
+
+TEST(SccTest, Dag) {
+  // 0 -> 1 -> 2, 0 -> 2
+  SccResult r = StronglyConnectedComponents(3, {{1, 2}, {2}, {}});
+  EXPECT_EQ(r.num_components, 3);
+  // Reverse topological numbering: edge u->v implies comp[u] >= comp[v].
+  EXPECT_GE(r.component[0], r.component[1]);
+  EXPECT_GE(r.component[1], r.component[2]);
+}
+
+TEST(SccTest, TwoComponentsWithBridge) {
+  // {0,1} cycle -> {2,3} cycle
+  SccResult r =
+      StronglyConnectedComponents(4, {{1}, {0, 2}, {3}, {2}});
+  EXPECT_EQ(r.num_components, 2);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+  EXPECT_GE(r.component[0], r.component[2]);
+}
+
+TEST(SccTest, SelfLoopIsItsOwnComponent) {
+  SccResult r = StronglyConnectedComponents(2, {{0}, {}});
+  EXPECT_EQ(r.num_components, 2);
+}
+
+TEST(SccTest, EmptyGraph) {
+  SccResult r = StronglyConnectedComponents(0, {});
+  EXPECT_EQ(r.num_components, 0);
+}
+
+TEST(IterationTest, ProductEnumeratesAll) {
+  std::vector<std::vector<std::size_t>> seen;
+  ForEachProduct({2, 3}, [&](const std::vector<std::size_t>& c) {
+    seen.push_back(c);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(IterationTest, ProductEmptyDimensions) {
+  int count = 0;
+  ForEachProduct({}, [&](const std::vector<std::size_t>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);  // one empty choice
+  count = 0;
+  ForEachProduct({3, 0, 2}, [&](const std::vector<std::size_t>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);  // a zero dimension kills the product
+}
+
+TEST(IterationTest, ProductEarlyStop) {
+  int count = 0;
+  bool completed = ForEachProduct({10, 10}, [&](const std::vector<std::size_t>&) {
+    return ++count < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(IterationTest, SubsetMasks) {
+  int count = 0;
+  ForEachSubsetMask(4, [&](std::uint64_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 16);
+}
+
+}  // namespace
+}  // namespace datalog

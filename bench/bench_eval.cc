@@ -2,6 +2,13 @@
 // evaluation time. Evaluates Example 1.1's recursive buys1 against its
 // equivalent nonrecursive rewriting on synthetic data, and measures
 // semi-naive vs naive fixpoint evaluation on transitive closure.
+//
+// The *Scan variants ablate the indexed engine: they disable hash column
+// indexes and runtime join ordering, reproducing the pre-index engine's
+// scan-every-tuple joins in textual order. Comparing e.g.
+// BM_TransitiveClosureSemiNaive/128 against
+// BM_TransitiveClosureSemiNaiveScan/128 quantifies the index win;
+// per-iteration join_probes are exported as benchmark counters.
 #include <benchmark/benchmark.h>
 
 #include "src/engine/eval.h"
@@ -12,6 +19,20 @@
 
 namespace datalog {
 namespace {
+
+EvalOptions ScanOptions(bool semi_naive) {
+  EvalOptions options;
+  options.semi_naive = semi_naive;
+  options.use_index = false;
+  options.reorder_joins = false;
+  return options;
+}
+
+EvalOptions IndexedOptions(bool semi_naive) {
+  EvalOptions options;
+  options.semi_naive = semi_naive;
+  return options;
+}
 
 Database BuysDatabase(int people, int items) {
   Database db;
@@ -26,16 +47,31 @@ Database BuysDatabase(int people, int items) {
   return db;
 }
 
-void BM_RecursiveBuys(benchmark::State& state) {
+void RunBuys(benchmark::State& state, const EvalOptions& options) {
   Program program = Buys1Program();
   Database db = BuysDatabase(static_cast<int>(state.range(0)), 40);
+  EvalStats stats;
   for (auto _ : state) {
-    StatusOr<Relation> result = EvaluateGoal(program, "buys", db);
+    StatusOr<Relation> result =
+        EvaluateGoal(program, "buys", db, options, &stats);
     DATALOG_CHECK(result.ok());
     benchmark::DoNotOptimize(result);
   }
+  state.counters["join_probes"] = benchmark::Counter(
+      static_cast<double>(stats.join_probes) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+}
+
+void BM_RecursiveBuys(benchmark::State& state) {
+  RunBuys(state, IndexedOptions(/*semi_naive=*/true));
 }
 BENCHMARK(BM_RecursiveBuys)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_RecursiveBuysScan(benchmark::State& state) {
+  RunBuys(state, ScanOptions(/*semi_naive=*/true));
+}
+BENCHMARK(BM_RecursiveBuysScan)->Arg(30)->Arg(60)->Arg(120);
 
 void BM_NonrecursiveBuys(benchmark::State& state) {
   Program program = Buys1NonrecursiveProgram();
@@ -56,31 +92,88 @@ Database LineGraph(int length) {
   return db;
 }
 
-void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
+void RunTransitiveClosure(benchmark::State& state, const EvalOptions& options) {
   Program tc = TransitiveClosureProgram("e", "e");
   Database db = LineGraph(static_cast<int>(state.range(0)));
-  EvalOptions options;
-  options.semi_naive = true;
+  EvalStats stats;
   for (auto _ : state) {
-    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
+    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options, &stats);
     DATALOG_CHECK(result.ok());
     benchmark::DoNotOptimize(result);
   }
+  state.counters["join_probes"] = benchmark::Counter(
+      static_cast<double>(stats.join_probes) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
 }
-BENCHMARK(BM_TransitiveClosureSemiNaive)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
+  RunTransitiveClosure(state, IndexedOptions(/*semi_naive=*/true));
+}
+BENCHMARK(BM_TransitiveClosureSemiNaive)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256);
+
+void BM_TransitiveClosureSemiNaiveScan(benchmark::State& state) {
+  RunTransitiveClosure(state, ScanOptions(/*semi_naive=*/true));
+}
+BENCHMARK(BM_TransitiveClosureSemiNaiveScan)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256);
 
 void BM_TransitiveClosureNaive(benchmark::State& state) {
-  Program tc = TransitiveClosureProgram("e", "e");
-  Database db = LineGraph(static_cast<int>(state.range(0)));
+  RunTransitiveClosure(state, IndexedOptions(/*semi_naive=*/false));
+}
+BENCHMARK(BM_TransitiveClosureNaive)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransitiveClosureNaiveScan(benchmark::State& state) {
+  RunTransitiveClosure(state, ScanOptions(/*semi_naive=*/false));
+}
+BENCHMARK(BM_TransitiveClosureNaiveScan)->Arg(32)->Arg(64)->Arg(128);
+
+// Isolates the two legs of the indexed engine: indexes without join
+// reordering, and reordering without indexes.
+void BM_TransitiveClosureIndexNoReorder(benchmark::State& state) {
   EvalOptions options;
-  options.semi_naive = false;
+  options.reorder_joins = false;
+  RunTransitiveClosure(state, options);
+}
+BENCHMARK(BM_TransitiveClosureIndexNoReorder)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransitiveClosureReorderNoIndex(benchmark::State& state) {
+  EvalOptions options;
+  options.use_index = false;
+  RunTransitiveClosure(state, options);
+}
+BENCHMARK(BM_TransitiveClosureReorderNoIndex)->Arg(32)->Arg(64)->Arg(128);
+
+// Dense random graphs stress the join planner harder than line graphs:
+// bucket sizes are larger and the delta stays fat for several rounds.
+void BM_TransitiveClosureRandomGraph(benchmark::State& state) {
+  Program tc = NonlinearTransitiveClosureProgram();
+  RandomDbOptions db_options;
+  db_options.domain_size = static_cast<int>(state.range(0));
+  db_options.tuples_per_relation = static_cast<int>(state.range(0)) * 2;
+  db_options.seed = 42;
+  Database db = RandomDatabaseFor(tc, db_options);
+  EvalOptions options;
+  options.use_index = state.range(1) != 0;
+  options.reorder_joins = state.range(1) != 0;
   for (auto _ : state) {
     StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
     DATALOG_CHECK(result.ok());
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_TransitiveClosureNaive)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_TransitiveClosureRandomGraph)
+    ->Args({24, 1})
+    ->Args({24, 0})
+    ->Args({48, 1})
+    ->Args({48, 0});
 
 }  // namespace
 }  // namespace datalog

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the evaluation-engine benchmark suite and records the results as
+# JSON (BENCH_eval.json at the repo root by default), seeding the perf
+# trajectory: future PRs compare their numbers against this file.
+#
+# Usage: bench/run_bench.sh [build_dir] [output.json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+output="${2:-${repo_root}/BENCH_eval.json}"
+
+if [[ ! -x "${build_dir}/bench_eval" ]]; then
+  echo "bench_eval not found in ${build_dir}; configure and build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"${build_dir}/bench_eval" \
+  --benchmark_format=json \
+  --benchmark_out="${output}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+
+echo "wrote ${output}"

@@ -43,8 +43,8 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
   // disjunct (Theorem 2.3 reduces UCQ containment to its disjuncts).
   result.backward_contained = true;
   for (const ConjunctiveQuery& disjunct : unfolded->disjuncts()) {
-    StatusOr<bool> contained =
-        IsCqContainedInDatalog(disjunct, recursive, recursive_goal);
+    StatusOr<bool> contained = IsCqContainedInDatalog(
+        disjunct, recursive, recursive_goal, &result.backward_eval_stats);
     if (!contained.ok()) return contained.status();
     if (!*contained) {
       result.backward_contained = false;

@@ -14,6 +14,7 @@
 #include "src/containment/decider.h"
 #include "src/containment/unfold.h"
 #include "src/cq/cq.h"
+#include "src/engine/eval.h"
 
 namespace datalog {
 
@@ -36,6 +37,9 @@ struct EquivalenceResult {
   /// Size of Π' as a UCQ after unfolding.
   std::size_t unfolded_disjuncts = 0;
   ContainmentStats forward_stats;
+  /// Evaluation-engine work done by the backward direction's
+  /// canonical-database checks (accumulated across disjuncts).
+  EvalStats backward_eval_stats;
 };
 
 /// Decides Q_Π ⊆ Q'_Π' for recursive Π and nonrecursive Π'

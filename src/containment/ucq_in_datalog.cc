@@ -8,7 +8,8 @@ namespace datalog {
 
 StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
                                       const Program& program,
-                                      const std::string& goal) {
+                                      const std::string& goal,
+                                      EvalStats* stats) {
   CanonicalDatabase frozen = FreezeCq(theta);
   Database db;
   for (const Atom& fact : frozen.facts) {
@@ -21,7 +22,8 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
   for (const Term& t : frozen.goal_tuple) {
     db.AddFact("__domain", {t.name()});
   }
-  StatusOr<Relation> result = EvaluateGoal(program, goal, db);
+  StatusOr<Relation> result =
+      EvaluateGoal(program, goal, db, EvalOptions(), stats);
   if (!result.ok()) return result.status();
   Tuple goal_tuple;
   goal_tuple.reserve(frozen.goal_tuple.size());
@@ -35,10 +37,11 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
 
 StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
                                        const Program& program,
-                                       const std::string& goal) {
+                                       const std::string& goal,
+                                       EvalStats* stats) {
   for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
     StatusOr<bool> contained =
-        IsCqContainedInDatalog(disjunct, program, goal);
+        IsCqContainedInDatalog(disjunct, program, goal, stats);
     if (!contained.ok()) return contained;
     if (!*contained) return false;
   }

@@ -9,6 +9,7 @@
 
 #include "src/ast/rule.h"
 #include "src/cq/cq.h"
+#include "src/engine/eval.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -18,15 +19,18 @@ namespace datalog {
 /// body, active-domain semantics applies (consistent with the evaluation
 /// engine); such a θ over an empty body is contained only if the program
 /// derives the goal over every database, which the canonical-database
-/// method checks on the frozen instance.
+/// method checks on the frozen instance. When `stats` is non-null, the
+/// engine's work counters accumulate into it across calls.
 StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
                                       const Program& program,
-                                      const std::string& goal);
+                                      const std::string& goal,
+                                      EvalStats* stats = nullptr);
 
 /// Θ ⊆ Q_Π: every disjunct contained.
 StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
                                        const Program& program,
-                                       const std::string& goal);
+                                       const std::string& goal,
+                                       EvalStats* stats = nullptr);
 
 }  // namespace datalog
 

@@ -27,6 +27,18 @@ class MappingSearch {
       }
     }
     mapped_.assign(psi_.body().size(), false);
+    // Candidate targets per psi atom: theta atoms sharing predicate and
+    // arity (an upper bound on how many ways the atom can map).
+    candidates_.assign(psi_.body().size(), 0);
+    for (std::size_t i = 0; i < psi_.body().size(); ++i) {
+      const Atom& from = psi_.body()[i];
+      for (const Atom& to : theta_.body()) {
+        if (from.predicate() == to.predicate() &&
+            from.arity() == to.arity()) {
+          ++candidates_[i];
+        }
+      }
+    }
     if (!Search(psi_.body().size())) return std::nullopt;
     return binding_;
   }
@@ -69,18 +81,22 @@ class MappingSearch {
   }
 
   // Picks the unmapped psi atom with the most already-bound variables
-  // (most-constrained-first), breaking ties toward fewer candidate targets.
+  // (most-constrained-first), breaking ties toward fewer candidate
+  // targets (theta atoms with matching predicate and arity).
   std::size_t PickNextAtom() const {
     std::size_t best = psi_.body().size();
     int best_bound = -1;
+    int best_candidates = 0;
     for (std::size_t i = 0; i < psi_.body().size(); ++i) {
       if (mapped_[i]) continue;
       int bound = 0;
       for (const Term& t : psi_.body()[i].args()) {
         if (t.is_constant() || binding_.count(t.name()) > 0) ++bound;
       }
-      if (bound > best_bound) {
+      if (bound > best_bound ||
+          (bound == best_bound && candidates_[i] < best_candidates)) {
         best_bound = bound;
+        best_candidates = candidates_[i];
         best = i;
       }
     }
@@ -109,6 +125,7 @@ class MappingSearch {
   Substitution binding_;
   std::vector<std::string> trail_;
   std::vector<bool> mapped_;
+  std::vector<int> candidates_;
 };
 
 }  // namespace

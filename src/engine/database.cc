@@ -1,7 +1,6 @@
 #include "src/engine/database.h"
 
 #include <algorithm>
-#include <set>
 
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -25,15 +24,97 @@ const std::string& ConstantDictionary::NameOf(int id) const {
   return names_[id];
 }
 
-bool Relation::Insert(Tuple tuple) {
+PredicateId PredicateDictionary::Intern(const std::string& name,
+                                        std::size_t arity) {
+  auto [it, inserted] =
+      ids_.emplace(name, static_cast<PredicateId>(names_.size()));
+  if (inserted) {
+    names_.push_back(name);
+    arities_.push_back(arity);
+  } else {
+    DATALOG_CHECK_EQ(arities_[it->second], arity)
+        << "predicate " << name << " arity mismatch";
+  }
+  return it->second;
+}
+
+PredicateId PredicateDictionary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNoPredicate : it->second;
+}
+
+const std::string& PredicateDictionary::NameOf(PredicateId id) const {
+  DATALOG_CHECK_GE(id, 0);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(id), names_.size());
+  return names_[id];
+}
+
+std::size_t PredicateDictionary::ArityOf(PredicateId id) const {
+  DATALOG_CHECK_GE(id, 0);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(id), arities_.size());
+  return arities_[id];
+}
+
+bool Relation::Insert(const Tuple& tuple) {
   DATALOG_CHECK_EQ(tuple.size(), arity_);
-  return tuples_.insert(std::move(tuple)).second;
+  return rows_.Intern(tuple.data()).second;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  DATALOG_CHECK_EQ(tuple.size(), arity_);
+  return rows_.Find(tuple.data()) != FlatKeyTable::kNotFound;
+}
+
+TupleSet Relation::tuples() const {
+  TupleSet set;
+  set.reserve(size());
+  for (std::size_t row = 0; row < size(); ++row) set.insert(RowTuple(row));
+  return set;
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
-  std::vector<Tuple> sorted(tuples_.begin(), tuples_.end());
+  std::vector<Tuple> sorted;
+  sorted.reserve(size());
+  for (std::size_t row = 0; row < size(); ++row) {
+    sorted.push_back(RowTuple(row));
+  }
   std::sort(sorted.begin(), sorted.end());
   return sorted;
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (arity_ != other.arity_ || size() != other.size()) return false;
+  for (std::size_t row = 0; row < size(); ++row) {
+    if (other.rows_.Find(RowData(row)) == FlatKeyTable::kNotFound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PredicateId Database::InternPredicate(const std::string& predicate,
+                                      std::size_t arity) {
+  PredicateId id = predicates_.Intern(predicate, arity);
+  if (static_cast<std::size_t>(id) == relations_.size()) {
+    relations_.emplace_back(arity);
+  }
+  return id;
+}
+
+const Relation& Database::RelationOf(PredicateId id) const {
+  DATALOG_CHECK_GE(id, 0);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(id), relations_.size());
+  return relations_[id];
+}
+
+Relation* Database::MutableRelationOf(PredicateId id) {
+  DATALOG_CHECK_GE(id, 0);
+  DATALOG_CHECK_LT(static_cast<std::size_t>(id), relations_.size());
+  return &relations_[id];
+}
+
+bool Database::AddTupleById(PredicateId id, Tuple tuple) {
+  return MutableRelationOf(id)->Insert(std::move(tuple));
 }
 
 void Database::AddFact(const std::string& predicate,
@@ -59,47 +140,44 @@ Status Database::AddFactAtom(const Atom& atom) {
 }
 
 void Database::AddTuple(const std::string& predicate, Tuple tuple) {
-  auto it = relations_.find(predicate);
-  if (it == relations_.end()) {
-    it = relations_.emplace(predicate, Relation(tuple.size())).first;
-  }
-  it->second.Insert(std::move(tuple));
+  PredicateId id = InternPredicate(predicate, tuple.size());
+  AddTupleById(id, std::move(tuple));
 }
 
 const Relation& Database::GetRelation(const std::string& predicate,
                                       std::size_t arity) const {
-  static const Relation* empty_relations = new Relation[16];
-  auto it = relations_.find(predicate);
-  if (it != relations_.end()) {
-    DATALOG_CHECK_EQ(it->second.arity(), arity)
+  PredicateId id = predicates_.Lookup(predicate);
+  if (id != kNoPredicate) {
+    DATALOG_CHECK_EQ(predicates_.ArityOf(id), arity)
         << "predicate " << predicate << " arity mismatch";
-    return it->second;
+    return relations_[id];
   }
-  DATALOG_CHECK_LT(arity, std::size_t{16});
   // Shared empty relations, one per small arity.
-  static bool initialized = [] {
-    for (std::size_t a = 0; a < 16; ++a) {
-      const_cast<Relation&>(empty_relations[a]) = Relation(a);
-    }
-    return true;
+  DATALOG_CHECK_LT(arity, std::size_t{16});
+  static const std::vector<Relation>* empty_relations = [] {
+    auto* relations = new std::vector<Relation>;
+    for (std::size_t a = 0; a < 16; ++a) relations->emplace_back(a);
+    return relations;
   }();
-  (void)initialized;
-  return empty_relations[arity];
+  return (*empty_relations)[arity];
 }
 
 std::vector<int> Database::ActiveDomain() const {
-  std::set<int> domain;
-  for (const auto& [name, relation] : relations_) {
-    for (const Tuple& tuple : relation.tuples()) {
-      domain.insert(tuple.begin(), tuple.end());
+  std::unordered_set<int> domain;
+  for (const Relation& relation : relations_) {
+    for (std::size_t row = 0; row < relation.size(); ++row) {
+      const int* data = relation.RowData(row);
+      domain.insert(data, data + relation.arity());
     }
   }
-  return std::vector<int>(domain.begin(), domain.end());
+  std::vector<int> sorted(domain.begin(), domain.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 std::size_t Database::TotalFacts() const {
   std::size_t total = 0;
-  for (const auto& [name, relation] : relations_) total += relation.size();
+  for (const Relation& relation : relations_) total += relation.size();
   return total;
 }
 
@@ -111,10 +189,19 @@ std::vector<std::string> Database::DecodeTuple(const Tuple& tuple) const {
 }
 
 std::string Database::ToString() const {
+  // Render relations alphabetically for a stable, id-independent listing.
+  std::vector<PredicateId> order(relations_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<PredicateId>(i);
+  }
+  std::sort(order.begin(), order.end(), [this](PredicateId a, PredicateId b) {
+    return predicates_.NameOf(a) < predicates_.NameOf(b);
+  });
   std::string out;
-  for (const auto& [name, relation] : relations_) {
-    for (const Tuple& tuple : relation.SortedTuples()) {
-      out += StrCat(name, "(", StrJoin(DecodeTuple(tuple), ", "), ").\n");
+  for (PredicateId id : order) {
+    for (const Tuple& tuple : relations_[id].SortedTuples()) {
+      out += StrCat(predicates_.NameOf(id), "(",
+                    StrJoin(DecodeTuple(tuple), ", "), ").\n");
     }
   }
   return out;

@@ -1,17 +1,21 @@
 // Dictionary-encoded relational storage: tuples of integer-encoded
-// constants grouped into named relations. This is the substrate on which
-// Datalog programs are evaluated (paper §2.1's Q_Π(D)).
+// constants grouped into relations addressed by dense predicate ids.
+// This is the substrate on which Datalog programs are evaluated (paper
+// §2.1's Q_Π(D)). Both constants and predicate names are interned, so
+// the evaluation hot path never touches strings: a relation lookup is a
+// vector index, a tuple is a vector of ints.
 #ifndef DATALOG_EQ_SRC_ENGINE_DATABASE_H_
 #define DATALOG_EQ_SRC_ENGINE_DATABASE_H_
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/ast/term.h"
+#include "src/engine/flat_table.h"
 #include "src/util/hash.h"
 #include "src/util/status.h"
 
@@ -19,6 +23,12 @@ namespace datalog {
 
 using Tuple = std::vector<int>;
 using TupleSet = std::unordered_set<Tuple, VectorHash<int>>;
+
+/// Dense integer id of an interned predicate name (index into the
+/// database's PredicateDictionary and relation vector).
+using PredicateId = int;
+
+constexpr PredicateId kNoPredicate = -1;
 
 /// Bidirectional mapping between constant spellings and dense integer ids.
 class ConstantDictionary {
@@ -35,39 +45,86 @@ class ConstantDictionary {
   std::vector<std::string> names_;
 };
 
-/// A set of same-arity tuples.
+/// Bidirectional mapping between predicate names and dense PredicateIds,
+/// with the arity recorded per predicate (mirrors ConstantDictionary).
+class PredicateDictionary {
+ public:
+  /// Returns the id of `name`, interning it if new. A predicate keeps the
+  /// arity it was first interned with; re-interning with a different arity
+  /// is a fatal error.
+  PredicateId Intern(const std::string& name, std::size_t arity);
+  /// Returns the id of `name` or kNoPredicate if unknown.
+  PredicateId Lookup(const std::string& name) const;
+  const std::string& NameOf(PredicateId id) const;
+  std::size_t ArityOf(PredicateId id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, PredicateId> ids_;
+  std::vector<std::string> names_;
+  std::vector<std::size_t> arities_;
+};
+
+/// A set of same-arity tuples, stored flat in a FlatKeyTable of width
+/// arity: row i occupies the int range [i*arity, (i+1)*arity) of one
+/// contiguous arena (cache-friendly scans, zero per-tuple allocations)
+/// with open-addressing dedup. Relations only grow, so row indexes are
+/// stable forever — column indexes (src/engine/index.h) and semi-naive
+/// delta watermarks reference rows by index.
 class Relation {
  public:
-  Relation() : arity_(0) {}
-  explicit Relation(std::size_t arity) : arity_(arity) {}
+  Relation() : arity_(0), rows_(0) {}
+  explicit Relation(std::size_t arity) : arity_(arity), rows_(arity) {}
 
   std::size_t arity() const { return arity_; }
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.size() == 0; }
 
   /// Inserts `tuple`; returns true if it was new.
-  bool Insert(Tuple tuple);
-  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
-  const TupleSet& tuples() const { return tuples_; }
+  bool Insert(const Tuple& tuple);
+  bool Contains(const Tuple& tuple) const;
+  /// The i-th row's column values (arity() ints). The pointer is
+  /// invalidated by the next Insert; the row index never is.
+  const int* RowData(std::size_t row) const { return rows_.KeyData(row); }
+  /// Reconstructs the i-th row as a Tuple.
+  Tuple RowTuple(std::size_t row) const {
+    return Tuple(RowData(row), RowData(row) + arity_);
+  }
+  /// Materializes the tuple set (compatibility view for tests/display;
+  /// evaluation iterates rows by index instead).
+  TupleSet tuples() const;
 
   /// Tuples in sorted order, for deterministic display and comparison.
   std::vector<Tuple> SortedTuples() const;
 
-  bool operator==(const Relation& other) const {
-    return arity_ == other.arity_ && tuples_ == other.tuples_;
-  }
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
 
  private:
   std::size_t arity_;
-  TupleSet tuples_;
+  FlatKeyTable rows_;  // the key arena is the row store
 };
 
-/// A database: relations by predicate name plus the shared constant
-/// dictionary and the active domain.
+/// A database: relations indexed by dense PredicateId plus the shared
+/// constant and predicate dictionaries.
 class Database {
  public:
   ConstantDictionary& dictionary() { return dictionary_; }
   const ConstantDictionary& dictionary() const { return dictionary_; }
+
+  const PredicateDictionary& predicates() const { return predicates_; }
+
+  /// Interns `predicate`, creating its (empty) relation if new, and
+  /// returns its dense id.
+  PredicateId InternPredicate(const std::string& predicate,
+                              std::size_t arity);
+
+  /// The relation for an interned predicate id.
+  const Relation& RelationOf(PredicateId id) const;
+  Relation* MutableRelationOf(PredicateId id);
+
+  /// Inserts an already-encoded tuple; returns true if it was new.
+  bool AddTupleById(PredicateId id, Tuple tuple);
 
   /// Adds a fact with constant spelling arguments.
   void AddFact(const std::string& predicate,
@@ -81,16 +138,13 @@ class Database {
   void AddTuple(const std::string& predicate, Tuple tuple);
 
   bool HasRelation(const std::string& predicate) const {
-    return relations_.count(predicate) > 0;
+    PredicateId id = predicates_.Lookup(predicate);
+    return id != kNoPredicate && !relations_[id].empty();
   }
   /// The relation for `predicate`; an empty relation of arity `arity` if
   /// absent.
   const Relation& GetRelation(const std::string& predicate,
                               std::size_t arity) const;
-
-  const std::map<std::string, Relation>& relations() const {
-    return relations_;
-  }
 
   /// All constant ids appearing in any tuple (the active domain), sorted.
   std::vector<int> ActiveDomain() const;
@@ -105,7 +159,8 @@ class Database {
 
  private:
   ConstantDictionary dictionary_;
-  std::map<std::string, Relation> relations_;
+  PredicateDictionary predicates_;
+  std::vector<Relation> relations_;  // parallel to predicates_
 };
 
 }  // namespace datalog

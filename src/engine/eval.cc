@@ -1,49 +1,52 @@
 #include "src/engine/eval.h"
 
-#include <map>
-#include <set>
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/engine/index.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace datalog {
 namespace {
 
-// A body atom compiled against the dictionary: each argument is either a
-// constant id (>= 0 in `constant`) or a variable slot (index into the
-// binding array, in `variable`).
+// A body atom compiled against the dictionaries: the predicate is a dense
+// id, and each argument is either a constant id (>= 0 in `constant`) or a
+// variable slot (index into the binding array, in `variable`).
 struct CompiledAtom {
-  std::string predicate;
+  PredicateId predicate;
   std::size_t arity;
   std::vector<int> constant;  // -1 when the position holds a variable
   std::vector<int> variable;  // -1 when the position holds a constant
 };
 
 struct CompiledRule {
-  std::string head_predicate;
+  PredicateId head_predicate;
   std::vector<int> head_constant;  // parallel to head args, -1 for variables
   std::vector<int> head_variable;
   std::vector<CompiledAtom> body;
   std::size_t num_variables = 0;
   // Variable slots appearing in the head but in no body atom (unsafe).
   std::vector<int> unbound_head_variables;
+  // Slots appearing anywhere in the head (constants excluded).
+  std::vector<char> in_head;
 };
 
 constexpr int kUnbound = -1;
 
 class RuleCompiler {
  public:
-  explicit RuleCompiler(ConstantDictionary* dictionary)
-      : dictionary_(dictionary) {}
+  explicit RuleCompiler(Database* db) : db_(db) {}
 
   CompiledRule Compile(const Rule& rule) {
     CompiledRule compiled;
     slots_.clear();
-    compiled.head_predicate = rule.head().predicate();
-    std::vector<bool> in_body;
+    compiled.head_predicate =
+        db_->InternPredicate(rule.head().predicate(), rule.head().arity());
     for (const Atom& atom : rule.body()) {
       compiled.body.push_back(CompileAtom(atom));
     }
@@ -54,6 +57,10 @@ class RuleCompiler {
       if (v >= 0 && static_cast<std::size_t>(v) >= body_variables) {
         compiled.unbound_head_variables.push_back(v);
       }
+    }
+    compiled.in_head.assign(compiled.num_variables, 0);
+    for (int v : compiled.head_variable) {
+      if (v >= 0) compiled.in_head[v] = 1;
     }
     return compiled;
   }
@@ -67,11 +74,11 @@ class RuleCompiler {
 
   CompiledAtom CompileAtom(const Atom& atom) {
     CompiledAtom compiled;
-    compiled.predicate = atom.predicate();
+    compiled.predicate = db_->InternPredicate(atom.predicate(), atom.arity());
     compiled.arity = atom.arity();
     for (const Term& t : atom.args()) {
       if (t.is_constant()) {
-        compiled.constant.push_back(dictionary_->Intern(t.name()));
+        compiled.constant.push_back(db_->dictionary().Intern(t.name()));
         compiled.variable.push_back(-1);
       } else {
         compiled.constant.push_back(-1);
@@ -84,7 +91,7 @@ class RuleCompiler {
   void CompileHead(const Atom& head, CompiledRule* compiled) {
     for (const Term& t : head.args()) {
       if (t.is_constant()) {
-        compiled->head_constant.push_back(dictionary_->Intern(t.name()));
+        compiled->head_constant.push_back(db_->dictionary().Intern(t.name()));
         compiled->head_variable.push_back(-1);
       } else {
         compiled->head_constant.push_back(-1);
@@ -93,22 +100,58 @@ class RuleCompiler {
     }
   }
 
-  ConstantDictionary* dictionary_;
+  Database* db_;
   std::unordered_map<std::string, int> slots_;
 };
 
+// One position of a join plan: which body atom runs at this step, and the
+// column patterns its index probe uses. `key_mask` marks columns holding
+// constants or variables bound by earlier steps (static per plan: the
+// set of bound variables at each step depends only on the order).
+// `distinct_mask` marks columns binding new variables that stay relevant
+// downstream (used later in the plan, emitted by the head, or repeated
+// within the atom); columns outside both masks bind dead variables, and
+// `project` says some exist — rows then collapse to one representative
+// per (key, distinct) projection inside the index (a projection pushed
+// into the join). `index` is resolved once per rule evaluation.
+struct JoinStep {
+  std::size_t atom = 0;
+  std::uint32_t key_mask = 0;
+  std::uint32_t distinct_mask = 0;
+  bool project = false;
+  const ColumnIndex* index = nullptr;
+};
+
+// The semi-naive delta, represented as a watermark per relation: the
+// database's relations are append-only, so "the facts derived in the
+// previous round" are exactly the rows with index >= lo. Deltas share
+// storage and column indexes with the full relations — a delta probe is
+// a full-index probe restricted to the bucket suffix at or past the
+// watermark.
+struct DeltaWindow {
+  explicit DeltaWindow(std::size_t num_predicates) : lo(num_predicates, 0) {}
+  std::vector<std::size_t> lo;
+};
+
 // Evaluates rule bodies against a database, with one body atom optionally
-// restricted to a delta relation (semi-naive evaluation).
+// restricted to the delta window (semi-naive evaluation). Joins probe
+// per-relation hash column indexes and follow a greedy runtime join
+// order; both behaviors degrade to full scans in textual order when the
+// corresponding EvalOptions switches are off. Derived facts are inserted
+// into the database immediately (chaotic iteration reaches the same
+// least fixpoint as stratified rounds, and saves a staging copy of every
+// fact); rows gained mid-round simply fall into the next round's window.
 class Evaluator {
  public:
   Evaluator(const Program& program, const Database& edb,
             const EvalOptions& options, EvalStats* stats)
       : options_(options), stats_(stats), db_(edb) {
-    RuleCompiler compiler(&db_.dictionary());
+    RuleCompiler compiler(&db_);
     for (const Rule& rule : program.rules()) {
       rules_.push_back(compiler.Compile(rule));
     }
     active_domain_ = db_.ActiveDomain();
+    domain_set_.insert(active_domain_.begin(), active_domain_.end());
     // Constants mentioned only in the program are part of the domain too.
     for (const CompiledRule& rule : rules_) {
       for (int c : rule.head_constant) {
@@ -120,70 +163,218 @@ class Evaluator {
         }
       }
     }
+    // All predicates are interned by now; id space is frozen.
+    indexes_.resize(db_.predicates().size());
+    std::size_t max_body = 0;
+    for (const CompiledRule& rule : rules_) {
+      max_body = std::max(max_body, rule.body.size());
+    }
+    key_scratch_.resize(max_body);
+    undo_scratch_.resize(max_body);
   }
 
   StatusOr<Database> Run() {
-    if (options_.semi_naive) {
-      Status s = RunSemiNaive();
-      if (!s.ok()) return s;
-    } else {
-      Status s = RunNaive();
-      if (!s.ok()) return s;
+    Status s = options_.semi_naive ? RunSemiNaive() : RunNaive();
+    if (stats_ != nullptr) {
+      stats_->index_builds += counters_.index_builds;
+      stats_->tuples_indexed += counters_.tuples_indexed;
     }
+    if (!s.ok()) return s;
     return std::move(db_);
   }
 
  private:
   void InsertDomain(int id) {
-    for (int existing : active_domain_) {
-      if (existing == id) return;
-    }
-    active_domain_.push_back(id);
+    if (domain_set_.insert(id).second) active_domain_.push_back(id);
   }
 
-  // Matches body atoms [index..] given the current binding; on a complete
-  // match, emits head tuples (enumerating the active domain for unsafe
-  // head variables). `delta_atom` designates the atom that must match the
-  // delta relation, or -1 for none.
-  bool MatchBody(const CompiledRule& rule, std::size_t index, int delta_atom,
-                 const std::map<std::string, Relation>& delta,
-                 std::vector<int>* binding, Relation* out) {
-    if (index == rule.body.size()) {
-      return EmitHead(rule, 0, binding, out);
-    }
-    const CompiledAtom& atom = rule.body[index];
-    const Relation* relation;
-    if (static_cast<int>(index) == delta_atom) {
-      auto it = delta.find(atom.predicate);
-      if (it == delta.end()) return true;  // empty delta: no matches
-      relation = &it->second;
+  // Greedy runtime join order: repeatedly pick the unplaced body atom
+  // with the most already-determined argument positions (constants plus
+  // variables bound by earlier steps), breaking ties toward the smaller
+  // relation — the delta atom uses the delta window's size, which
+  // shrinks as the fixpoint converges. With reordering off, textual
+  // order is kept. Either way, each step's column patterns are derived
+  // afterwards and its index is resolved (and caught up) up front.
+  void PlanJoin(const CompiledRule& rule, int delta_atom,
+                const DeltaWindow* delta, std::vector<JoinStep>* out) {
+    const std::size_t n = rule.body.size();
+    std::vector<JoinStep>& plan = *out;
+    plan.assign(n, JoinStep());
+    std::vector<char>& bound = bound_scratch_;
+    bound.assign(rule.num_variables, 0);
+    if (!options_.reorder_joins) {
+      for (std::size_t i = 0; i < n; ++i) plan[i].atom = i;
     } else {
-      relation = &db_.GetRelation(atom.predicate, atom.arity);
-    }
-    for (const Tuple& tuple : relation->tuples()) {
-      if (stats_ != nullptr) ++stats_->join_probes;
-      // Try to unify the atom with the tuple under the current binding.
-      std::vector<int> undo;
-      bool ok = true;
-      for (std::size_t i = 0; i < atom.arity; ++i) {
-        if (atom.constant[i] >= 0) {
-          if (atom.constant[i] != tuple[i]) {
-            ok = false;
-            break;
+      std::vector<char>& placed = placed_scratch_;
+      placed.assign(n, 0);
+      for (std::size_t step = 0; step < n; ++step) {
+        std::size_t best = n;
+        std::size_t best_bound = 0;
+        std::size_t best_size = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (placed[i]) continue;
+          const CompiledAtom& atom = rule.body[i];
+          std::size_t bound_args = 0;
+          for (std::size_t pos = 0; pos < atom.arity; ++pos) {
+            if (atom.constant[pos] >= 0 || bound[atom.variable[pos]]) {
+              ++bound_args;
+            }
           }
-          continue;
+          std::size_t size = db_.RelationOf(atom.predicate).size();
+          // The delta atom wins ties: its window only shrinks, and
+          // scanning it early keeps the growing full relation out of
+          // the index entirely.
+          std::size_t weight = 2 * size;
+          if (static_cast<int>(i) == delta_atom) {
+            size -= std::min(size, delta->lo[atom.predicate]);
+            weight = 2 * size - 1;
+          }
+          if (best == n || bound_args > best_bound ||
+              (bound_args == best_bound && weight < best_size)) {
+            best = i;
+            best_bound = bound_args;
+            best_size = weight;
+          }
         }
-        int slot = atom.variable[i];
-        if ((*binding)[slot] == kUnbound) {
-          (*binding)[slot] = tuple[i];
-          undo.push_back(slot);
-        } else if ((*binding)[slot] != tuple[i]) {
-          ok = false;
-          break;
+        placed[best] = 1;
+        plan[step].atom = best;
+        for (int v : rule.body[best].variable) {
+          if (v >= 0) bound[v] = 1;
         }
       }
-      if (ok) {
-        if (!MatchBody(rule, index + 1, delta_atom, delta, binding, out)) {
+      bound.assign(rule.num_variables, 0);
+    }
+
+    // Column patterns per step. A new variable is live (distinct-mask)
+    // if a later step, the head, or another column of the same atom
+    // still needs it; otherwise its column is dead and candidate rows
+    // can collapse to representatives.
+    std::vector<char>& needed_later = needed_later_scratch_;
+    std::vector<char>& occurrences = occurrences_scratch_;
+    for (std::size_t step = 0; step < n; ++step) {
+      JoinStep& js = plan[step];
+      const CompiledAtom& atom = rule.body[js.atom];
+      if (atom.arity == 0 || atom.arity >= 32) {
+        // Unindexable atom: it still binds its variables, which later
+        // steps must treat as live/key (else projection would collapse
+        // rows that are not interchangeable).
+        for (int v : atom.variable) {
+          if (v >= 0) bound[v] = 1;
+        }
+        continue;
+      }
+      needed_later.assign(rule.num_variables, 0);
+      for (std::size_t later = step + 1; later < n; ++later) {
+        for (int v : rule.body[plan[later].atom].variable) {
+          if (v >= 0) needed_later[v] = 1;
+        }
+      }
+      occurrences.assign(rule.num_variables, 0);
+      for (int v : atom.variable) {
+        if (v >= 0 && occurrences[v] < 2) ++occurrences[v];
+      }
+      for (std::size_t pos = 0; pos < atom.arity; ++pos) {
+        int v = atom.variable[pos];
+        if (atom.constant[pos] >= 0 || bound[v]) {
+          js.key_mask |= 1u << pos;
+        } else if (rule.in_head[v] || needed_later[v] ||
+                   occurrences[v] > 1) {
+          js.distinct_mask |= 1u << pos;
+        } else {
+          js.project = true;
+        }
+      }
+      if (options_.use_index && (js.key_mask != 0 || js.project)) {
+        js.index = &indexes_[atom.predicate].Get(
+            db_.RelationOf(atom.predicate), js.key_mask, js.distinct_mask,
+            &counters_);
+      }
+      for (int v : atom.variable) {
+        if (v >= 0) bound[v] = 1;
+      }
+    }
+  }
+
+  // Unifies `atom` with a row's column values under the current binding;
+  // returns false on mismatch (with any partial bindings recorded on
+  // `undo`).
+  bool UnifyTuple(const CompiledAtom& atom, const int* tuple,
+                  std::vector<int>* binding, std::vector<int>* undo) {
+    if (stats_ != nullptr) ++stats_->join_probes;
+    for (std::size_t i = 0; i < atom.arity; ++i) {
+      if (atom.constant[i] >= 0) {
+        if (atom.constant[i] != tuple[i]) return false;
+        continue;
+      }
+      int slot = atom.variable[i];
+      if ((*binding)[slot] == kUnbound) {
+        (*binding)[slot] = tuple[i];
+        undo->push_back(slot);
+      } else if ((*binding)[slot] != tuple[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Matches plan steps [pos..] given the current binding; on a complete
+  // match, emits head tuples (enumerating the active domain for unsafe
+  // head variables). `delta_atom` designates the body position that must
+  // match the delta window, or -1 for none. Returns false when the
+  // derived-fact limit is hit.
+  bool MatchBody(const CompiledRule& rule, const std::vector<JoinStep>& plan,
+                 std::size_t pos, int delta_atom, const DeltaWindow* delta,
+                 std::vector<int>* binding) {
+    if (pos == plan.size()) {
+      return EmitHead(rule, 0, binding);
+    }
+    const JoinStep& step = plan[pos];
+    const CompiledAtom& atom = rule.body[step.atom];
+    const bool is_delta = static_cast<int>(step.atom) == delta_atom;
+    const Relation& relation = db_.RelationOf(atom.predicate);
+    const std::size_t first_row = is_delta ? delta->lo[atom.predicate] : 0;
+
+    std::vector<int>& undo = undo_scratch_[pos];
+    if (step.index != nullptr) {
+      Tuple& key = key_scratch_[pos];
+      key.clear();
+      for (std::size_t i = 0; i < atom.arity; ++i) {
+        if ((step.key_mask & (1u << i)) == 0) continue;
+        key.push_back(atom.constant[i] >= 0 ? atom.constant[i]
+                                            : (*binding)[atom.variable[i]]);
+      }
+      if (stats_ != nullptr) ++stats_->index_probes;
+      const std::vector<std::uint32_t>* bucket = step.index->Probe(key);
+      if (bucket == nullptr) return true;  // no candidate rows
+      // Bucket row indexes ascend, so a delta probe is the bucket
+      // suffix at or past the watermark.
+      std::size_t bi =
+          first_row == 0
+              ? 0
+              : static_cast<std::size_t>(
+                    std::lower_bound(
+                        bucket->begin(), bucket->end(),
+                        static_cast<std::uint32_t>(first_row)) -
+                    bucket->begin());
+      for (; bi < bucket->size(); ++bi) {
+        undo.clear();
+        if (UnifyTuple(atom, relation.RowData((*bucket)[bi]), binding,
+                       &undo)) {
+          if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, binding)) {
+            return false;
+          }
+        }
+        for (int slot : undo) (*binding)[slot] = kUnbound;
+      }
+      return true;
+    }
+    // Index-free scan: relations may gain rows mid-round (facts are
+    // inserted as they are derived, and the arena may reallocate), so
+    // the row pointer is re-read each iteration and the size re-checked.
+    for (std::size_t row = first_row; row < relation.size(); ++row) {
+      undo.clear();
+      if (UnifyTuple(atom, relation.RowData(row), binding, &undo)) {
+        if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, binding)) {
           return false;
         }
       }
@@ -192,19 +383,21 @@ class Evaluator {
     return true;
   }
 
-  // Emits head tuples, enumerating active-domain values for unbound head
-  // variables starting at position `unbound_index` in
-  // rule.unbound_head_variables. Returns false when the fact limit is hit.
+  // Emits head tuples straight into the database (duplicates are
+  // suppressed by the relation's hash set), enumerating active-domain
+  // values for unbound head variables starting at position
+  // `unbound_index` in rule.unbound_head_variables. Returns false when
+  // the fact limit is hit.
   bool EmitHead(const CompiledRule& rule, std::size_t unbound_index,
-                std::vector<int>* binding, Relation* out) {
+                std::vector<int>* binding) {
     if (unbound_index < rule.unbound_head_variables.size()) {
       int slot = rule.unbound_head_variables[unbound_index];
       if ((*binding)[slot] != kUnbound) {
-        return EmitHead(rule, unbound_index + 1, binding, out);
+        return EmitHead(rule, unbound_index + 1, binding);
       }
       for (int value : active_domain_) {
         (*binding)[slot] = value;
-        if (!EmitHead(rule, unbound_index + 1, binding, out)) {
+        if (!EmitHead(rule, unbound_index + 1, binding)) {
           (*binding)[slot] = kUnbound;
           return false;
         }
@@ -212,7 +405,8 @@ class Evaluator {
       (*binding)[slot] = kUnbound;
       return true;
     }
-    Tuple head(rule.head_constant.size());
+    Tuple& head = head_scratch_;
+    head.resize(rule.head_constant.size());
     for (std::size_t i = 0; i < head.size(); ++i) {
       if (rule.head_constant[i] >= 0) {
         head[i] = rule.head_constant[i];
@@ -222,91 +416,80 @@ class Evaluator {
         head[i] = value;
       }
     }
-    out->Insert(std::move(head));
     ++emitted_;
+    if (db_.MutableRelationOf(rule.head_predicate)->Insert(head)) {
+      ++derived_total_;  // copy happened only for this new fact
+      if (stats_ != nullptr) ++stats_->facts_derived;
+    }
     return emitted_ <= options_.max_derived_facts;
   }
 
-  // Evaluates `rule` and inserts newly derived facts into `new_facts`,
-  // considering only matches that use `delta` at `delta_atom` (or all
-  // matches when delta_atom == -1).
+  // Evaluates `rule`, considering only matches that use the delta window
+  // at `delta_atom` (or all matches when delta_atom == -1). Derived
+  // facts land in the database immediately.
   Status EvaluateRule(const CompiledRule& rule, int delta_atom,
-                      const std::map<std::string, Relation>& delta,
-                      std::map<std::string, Relation>* new_facts) {
-    Relation derived(rule.head_constant.size());
-    std::vector<int> binding(rule.num_variables, kUnbound);
-    if (!MatchBody(rule, 0, delta_atom, delta, &binding, &derived)) {
+                      const DeltaWindow* delta) {
+    std::vector<JoinStep>& plan = plan_scratch_;
+    PlanJoin(rule, delta_atom, delta, &plan);
+    std::vector<int>& binding = binding_scratch_;
+    binding.assign(rule.num_variables, kUnbound);
+    if (!MatchBody(rule, plan, 0, delta_atom, delta, &binding)) {
       return ResourceExhaustedError(
           StrCat("evaluation exceeded ", options_.max_derived_facts,
                  " derived facts"));
-    }
-    const Relation& existing =
-        db_.GetRelation(rule.head_predicate, derived.arity());
-    for (const Tuple& tuple : derived.tuples()) {
-      if (existing.Contains(tuple)) continue;
-      auto it = new_facts->find(rule.head_predicate);
-      if (it == new_facts->end()) {
-        it = new_facts->emplace(rule.head_predicate, Relation(derived.arity()))
-                 .first;
-      }
-      it->second.Insert(tuple);
-    }
-    return OkStatus();
-  }
-
-  Status ApplyNewFacts(const std::map<std::string, Relation>& new_facts) {
-    for (const auto& [predicate, relation] : new_facts) {
-      for (const Tuple& tuple : relation.tuples()) {
-        db_.AddTuple(predicate, tuple);
-        if (stats_ != nullptr) ++stats_->facts_derived;
-      }
     }
     return OkStatus();
   }
 
   Status RunNaive() {
-    const std::map<std::string, Relation> no_delta;
+    std::size_t before = derived_total_;
     while (true) {
       if (stats_ != nullptr) ++stats_->iterations;
-      std::map<std::string, Relation> new_facts;
       for (const CompiledRule& rule : rules_) {
-        Status s = EvaluateRule(rule, -1, no_delta, &new_facts);
+        Status s = EvaluateRule(rule, -1, nullptr);
         if (!s.ok()) return s;
       }
-      if (new_facts.empty()) return OkStatus();
-      Status s = ApplyNewFacts(new_facts);
-      if (!s.ok()) return s;
+      if (derived_total_ == before) return OkStatus();
+      before = derived_total_;
     }
   }
 
   Status RunSemiNaive() {
-    // Round 0: full naive pass to seed the deltas.
-    const std::map<std::string, Relation> no_delta;
-    std::map<std::string, Relation> delta;
+    const std::size_t num_predicates = db_.predicates().size();
+    DeltaWindow delta(num_predicates);
+    // Round 0: full naive pass; the watermarks start at the EDB sizes,
+    // so round 1's windows are exactly the facts derived here.
+    Snapshot(&delta);
     if (stats_ != nullptr) ++stats_->iterations;
+    std::size_t before = derived_total_;
     for (const CompiledRule& rule : rules_) {
-      Status s = EvaluateRule(rule, -1, no_delta, &delta);
+      Status s = EvaluateRule(rule, -1, nullptr);
       if (!s.ok()) return s;
     }
-    Status s = ApplyNewFacts(delta);
-    if (!s.ok()) return s;
 
-    while (!delta.empty()) {
+    while (derived_total_ != before) {
+      before = derived_total_;
       if (stats_ != nullptr) ++stats_->iterations;
-      std::map<std::string, Relation> next_delta;
+      DeltaWindow next(num_predicates);
+      Snapshot(&next);
       for (const CompiledRule& rule : rules_) {
         for (std::size_t i = 0; i < rule.body.size(); ++i) {
-          if (delta.count(rule.body[i].predicate) == 0) continue;
-          Status rs = EvaluateRule(rule, static_cast<int>(i), delta,
-                                   &next_delta);
-          if (!rs.ok()) return rs;
+          PredicateId id = rule.body[i].predicate;
+          if (delta.lo[id] >= db_.RelationOf(id).size()) continue;
+          Status s = EvaluateRule(rule, static_cast<int>(i), &delta);
+          if (!s.ok()) return s;
         }
       }
-      s = ApplyNewFacts(next_delta);
-      if (!s.ok()) return s;
-      delta = std::move(next_delta);
+      delta = std::move(next);
     }
     return OkStatus();
+  }
+
+  // Records current relation sizes as the next round's delta watermarks.
+  void Snapshot(DeltaWindow* delta) const {
+    for (std::size_t id = 0; id < delta->lo.size(); ++id) {
+      delta->lo[id] = db_.RelationOf(static_cast<PredicateId>(id)).size();
+    }
   }
 
   const EvalOptions& options_;
@@ -314,7 +497,25 @@ class Evaluator {
   Database db_;
   std::vector<CompiledRule> rules_;
   std::vector<int> active_domain_;
+  std::unordered_set<int> domain_set_;
+  // Lazily-built column indexes over db_'s relations, parallel to
+  // predicate ids. Delta probes share these (bucket suffix filtering).
+  std::vector<RelationIndex> indexes_;
+  IndexCounters counters_;
+  // Reusable per-plan-depth probe keys and binding-undo logs, the head
+  // construction buffer, and per-rule planning scratch — keeps the hot
+  // path allocation-free.
+  std::vector<Tuple> key_scratch_;
+  std::vector<std::vector<int>> undo_scratch_;
+  Tuple head_scratch_;
+  std::vector<JoinStep> plan_scratch_;
+  std::vector<int> binding_scratch_;
+  std::vector<char> bound_scratch_;
+  std::vector<char> placed_scratch_;
+  std::vector<char> needed_later_scratch_;
+  std::vector<char> occurrences_scratch_;
   std::size_t emitted_ = 0;
+  std::size_t derived_total_ = 0;
 };
 
 }  // namespace
@@ -333,7 +534,11 @@ StatusOr<Relation> EvaluateGoal(const Program& program,
   StatusOr<Database> result = EvaluateProgram(program, edb, options, stats);
   if (!result.ok()) return result.status();
   std::size_t arity = program.PredicateArity(goal_predicate);
-  return result->GetRelation(goal_predicate, arity);
+  PredicateId id = result->predicates().Lookup(goal_predicate);
+  if (id == kNoPredicate) return Relation(arity);
+  // The goal relation is moved out, not copied: the rest of the result
+  // database is discarded anyway.
+  return std::move(*result->MutableRelationOf(id));
 }
 
 StatusOr<Relation> EvaluateUcq(const UnionOfCqs& ucq, const Database& edb) {

@@ -3,6 +3,13 @@
 // body, e.g. `dist0(x, x) :- .` from Example 6.2) are evaluated with
 // active-domain semantics: unbound variables range over the active domain
 // of the input database.
+//
+// The engine works entirely over dense integer ids (constants and
+// predicates are interned), probes hash column indexes instead of
+// scanning relations (src/engine/index.h), and greedily reorders each
+// rule body at runtime by (bound variables, relation size) — including
+// the delta atom in semi-naive rounds. The index and reordering legs can
+// be switched off independently for ablation benchmarks.
 #ifndef DATALOG_EQ_SRC_ENGINE_EVAL_H_
 #define DATALOG_EQ_SRC_ENGINE_EVAL_H_
 
@@ -15,6 +22,12 @@ namespace datalog {
 struct EvalOptions {
   /// Use semi-naive (delta-driven) iteration instead of naive re-derivation.
   bool semi_naive = true;
+  /// Probe lazily-built hash column indexes instead of scanning every
+  /// tuple of every body relation (ablation switch).
+  bool use_index = true;
+  /// Greedily reorder body atoms per evaluation by (bound variables,
+  /// relation size) instead of using textual order (ablation switch).
+  bool reorder_joins = true;
   /// Abort with ResourceExhausted if more than this many facts are derived.
   std::size_t max_derived_facts = 50'000'000;
 };
@@ -24,8 +37,15 @@ struct EvalStats {
   int iterations = 0;
   /// Number of distinct IDB facts derived.
   std::size_t facts_derived = 0;
-  /// Number of rule-body match attempts (join probe count), a work proxy.
+  /// Number of candidate tuples examined while matching rule bodies (a
+  /// work proxy; with indexes on, only index-bucket candidates count).
   std::size_t join_probes = 0;
+  /// Number of hash lookups into column indexes.
+  std::size_t index_probes = 0;
+  /// Number of distinct (relation, column-pattern) indexes built.
+  std::size_t index_builds = 0;
+  /// Total rows absorbed into index buckets (builds plus catch-ups).
+  std::size_t tuples_indexed = 0;
 };
 
 /// Evaluates `program` over `edb` and returns a database containing both

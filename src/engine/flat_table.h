@@ -1,0 +1,51 @@
+// An open-addressing hash table interning fixed-width int keys into
+// dense indexes 0..size()-1, stored flat (one contiguous arena, linear
+// probing, power-of-two capacity, load factor <= 1/2). This is the one
+// probing scheme behind the engine's hot-path hash structures: Relation
+// uses it as its row store (the key arena IS the row arena), and the
+// column indexes (src/engine/index.h) use it for bucket keys and
+// projection dedup.
+#ifndef DATALOG_EQ_SRC_ENGINE_FLAT_TABLE_H_
+#define DATALOG_EQ_SRC_ENGINE_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+
+class FlatKeyTable {
+ public:
+  explicit FlatKeyTable(std::size_t width) : width_(width) {}
+
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  std::size_t width() const { return width_; }
+  std::size_t size() const { return size_; }
+  /// The interned key at `index` (width() ints, contiguous). The
+  /// pointer is invalidated by the next Intern; the index never is.
+  const int* KeyData(std::size_t index) const {
+    return arena_.data() + index * width_;
+  }
+
+  /// Interns `key` (width() ints); returns its dense index and whether
+  /// it was new.
+  std::pair<std::uint32_t, bool> Intern(const int* key);
+  /// Returns the dense index of `key`, or kNotFound.
+  std::uint32_t Find(const int* key) const;
+
+ private:
+  std::size_t Hash(const int* key) const;
+  bool KeyEquals(std::size_t index, const int* key) const;
+  void Grow();
+
+  std::size_t width_;
+  std::size_t size_ = 0;
+  std::vector<int> arena_;  // size_ * width_ ints, keys back to back
+  std::vector<std::uint32_t> slots_;  // key index + 1; 0 means empty
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ENGINE_FLAT_TABLE_H_

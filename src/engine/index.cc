@@ -1,0 +1,74 @@
+#include "src/engine/index.h"
+
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace {
+
+std::vector<int> MaskColumns(std::size_t arity, std::uint32_t mask) {
+  std::vector<int> columns;
+  for (std::size_t c = 0; c < arity; ++c) {
+    if (mask & (1u << c)) columns.push_back(static_cast<int>(c));
+  }
+  return columns;
+}
+
+void Project(const int* row, const std::vector<int>& columns, Tuple* out) {
+  out->clear();
+  for (int c : columns) out->push_back(row[c]);
+}
+
+}  // namespace
+
+ColumnIndex::ColumnIndex(std::size_t arity, std::uint32_t key_mask,
+                         std::uint32_t distinct_mask)
+    : key_mask_(key_mask),
+      distinct_mask_(distinct_mask),
+      // A row is redundant iff another row agrees on key and distinct
+      // columns; with every column covered no two distinct rows can
+      // agree, so the dedup pass would be pure overhead.
+      projecting_((key_mask | distinct_mask) !=
+                  (arity >= 32 ? ~0u : (1u << arity) - 1u)),
+      key_columns_(MaskColumns(arity, key_mask)),
+      distinct_columns_(MaskColumns(arity, key_mask | distinct_mask)),
+      keys_(key_columns_.size()),
+      seen_(projecting_ ? distinct_columns_.size() : 0) {
+  DATALOG_CHECK_LT(arity, std::size_t{32});
+}
+
+void ColumnIndex::Update(const Relation& relation, IndexCounters* counters) {
+  for (; consumed_ < relation.size(); ++consumed_) {
+    const int* row = relation.RowData(consumed_);
+    if (projecting_) {
+      Project(row, distinct_columns_, &scratch_);
+      if (!seen_.Intern(scratch_.data()).second) {
+        continue;  // an interchangeable representative is already bucketed
+      }
+    }
+    Project(row, key_columns_, &scratch_);
+    auto [key_index, inserted] = keys_.Intern(scratch_.data());
+    if (inserted) buckets_.emplace_back();
+    buckets_[key_index].push_back(static_cast<std::uint32_t>(consumed_));
+    if (counters != nullptr) ++counters->tuples_indexed;
+  }
+}
+
+const ColumnIndex& RelationIndex::Get(const Relation& relation,
+                                      std::uint32_t key_mask,
+                                      std::uint32_t distinct_mask,
+                                      IndexCounters* counters) {
+  std::uint64_t pattern =
+      (static_cast<std::uint64_t>(key_mask) << 32) | distinct_mask;
+  auto it = by_pattern_.find(pattern);
+  if (it == by_pattern_.end()) {
+    it = by_pattern_
+             .emplace(pattern,
+                      ColumnIndex(relation.arity(), key_mask, distinct_mask))
+             .first;
+    if (counters != nullptr) ++counters->index_builds;
+  }
+  it->second.Update(relation, counters);
+  return it->second;
+}
+
+}  // namespace datalog

@@ -1,0 +1,100 @@
+// Hash column indexes over relations: given a pattern of bound columns
+// (a bitmask) and their values, return exactly the rows that agree,
+// instead of scanning the whole relation. An index can additionally
+// carry a *distinct* mask: columns whose variables are still live
+// downstream of the probing atom. Rows that agree on key and distinct
+// columns are interchangeable for the rest of the join, so each bucket
+// keeps one representative per distinct-projection — a projection pushed
+// into the index (when the key and distinct masks cover every column,
+// this degenerates to a plain equality index; with an empty distinct
+// mask it is a semi-join existence bucket).
+//
+// Indexes are built lazily the first time the evaluator probes a
+// (relation, key-mask, distinct-mask) triple and are brought up to date
+// incrementally: relations are append-only, so an index only needs to
+// absorb the rows added since it last looked (equivalent to
+// invalidate-on-insert, without the rebuild). Like Relation, all hash
+// structures are flat open-addressing tables over int arenas — the
+// probe path chases no list nodes.
+#ifndef DATALOG_EQ_SRC_ENGINE_INDEX_H_
+#define DATALOG_EQ_SRC_ENGINE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/engine/flat_table.h"
+
+namespace datalog {
+
+/// Index maintenance counters, folded into EvalStats by the evaluator.
+struct IndexCounters {
+  /// Number of distinct (relation, column-pattern) indexes constructed.
+  std::size_t index_builds = 0;
+  /// Total rows absorbed into index buckets (builds plus catch-ups).
+  std::size_t tuples_indexed = 0;
+};
+
+/// A hash index over one relation for one pattern of bound columns. Maps
+/// the projection of a row onto the pattern's columns to the list of row
+/// indexes (into the relation's row order) with that projection. With a
+/// nonzero `distinct_mask`, buckets are thinned to one representative
+/// per projection onto the key+distinct columns.
+class ColumnIndex {
+ public:
+  ColumnIndex(std::size_t arity, std::uint32_t key_mask,
+              std::uint32_t distinct_mask);
+
+  std::uint32_t key_mask() const { return key_mask_; }
+  std::uint32_t distinct_mask() const { return distinct_mask_; }
+  bool projecting() const { return projecting_; }
+
+  /// Absorbs rows [consumed(), relation.size()) into the buckets.
+  void Update(const Relation& relation, IndexCounters* counters);
+
+  /// Number of rows already absorbed.
+  std::size_t consumed() const { return consumed_; }
+
+  /// Row indexes whose key columns equal `key` (the bound values listed
+  /// in ascending column order), or nullptr when no row matches.
+  const std::vector<std::uint32_t>* Probe(const Tuple& key) const {
+    std::uint32_t index = keys_.Find(key.data());
+    return index == FlatKeyTable::kNotFound ? nullptr : &buckets_[index];
+  }
+
+ private:
+  std::uint32_t key_mask_;
+  std::uint32_t distinct_mask_;
+  bool projecting_;
+  std::vector<int> key_columns_;       // columns in key_mask, ascending
+  std::vector<int> distinct_columns_;  // columns in key|distinct, ascending
+  std::size_t consumed_ = 0;
+  FlatKeyTable keys_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // parallel to keys_
+  // Projections (onto distinct_columns_) already represented in a bucket.
+  FlatKeyTable seen_;
+  Tuple scratch_;  // reusable projection buffer for Update
+};
+
+/// The lazily-built set of column indexes for one relation, one per
+/// probed (key-mask, distinct-mask) pattern.
+class RelationIndex {
+ public:
+  /// The up-to-date index for the given masks over `relation`, building
+  /// or catching it up as needed. The returned reference is valid until
+  /// the next Clear.
+  const ColumnIndex& Get(const Relation& relation, std::uint32_t key_mask,
+                         std::uint32_t distinct_mask,
+                         IndexCounters* counters);
+
+  void Clear() { by_pattern_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, ColumnIndex> by_pattern_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ENGINE_INDEX_H_

@@ -4,6 +4,7 @@
 #define DATALOG_EQ_SRC_UTIL_HASH_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -15,6 +16,20 @@ template <typename T>
 void HashCombine(std::size_t* seed, const T& value) {
   std::hash<T> hasher;
   *seed ^= hasher(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a span of ints (FNV-1a finished with a strong mix). Shared by
+/// the engine's flat open-addressing tables (Relation, FlatKeyTable) so
+/// the probing scheme lives in one place.
+inline std::size_t HashIntSpan(const int* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ static_cast<std::uint32_t>(data[i])) * 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h);
 }
 
 /// Hash functor for std::vector<T> with hashable T.

@@ -1,0 +1,155 @@
+// Differential testing of the indexed semi-naive evaluation engine: on
+// seeded random EDBs over the paper's example program families, every
+// engine configuration — naive or semi-naive iteration, with and without
+// hash column indexes and runtime join reordering — must produce the
+// identical fixpoint (same relations, same tuples). Also pins down the
+// quantitative index win: candidate-tuple probes drop by an order of
+// magnitude on the transitive-closure workload.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/engine/eval.h"
+#include "src/engine/random_db.h"
+#include "src/generators/examples.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+EvalOptions Configure(bool semi_naive, bool use_index, bool reorder_joins) {
+  EvalOptions options;
+  options.semi_naive = semi_naive;
+  options.use_index = use_index;
+  options.reorder_joins = reorder_joins;
+  return options;
+}
+
+struct ExampleProgram {
+  const char* name;
+  Program program;
+};
+
+std::vector<ExampleProgram> ExamplePrograms() {
+  std::vector<ExampleProgram> programs;
+  programs.push_back({"buys1", Buys1Program()});
+  programs.push_back({"buys2", Buys2Program()});
+  programs.push_back({"buys1_nonrec", Buys1NonrecursiveProgram()});
+  programs.push_back({"tc_linear", TransitiveClosureProgram("e", "e")});
+  programs.push_back({"tc_nonlinear", NonlinearTransitiveClosureProgram()});
+  programs.push_back({"dist2", DistProgram(2)});
+  programs.push_back({"distle2", DistLeProgram(2)});  // empty-body rules
+  programs.push_back({"equal1", EqualProgram(1)});
+  programs.push_back({"word2", WordProgram(2)});
+  programs.push_back({"chain2", ChainProgram(2)});
+  return programs;
+}
+
+class EvalIndexPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Naive, semi-naive, and indexed/reordered semi-naive evaluation agree
+// on the full fixpoint database (compared via the deterministic sorted
+// rendering, which is independent of predicate-id and row order).
+TEST_P(EvalIndexPropertyTest, AllEngineConfigurationsAgreeOnTheFixpoint) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  RandomDbOptions db_options;
+  db_options.seed = seed + 1;
+  db_options.domain_size = 4;
+  db_options.tuples_per_relation = 6;
+  const struct {
+    bool semi_naive;
+    bool use_index;
+    bool reorder_joins;
+  } configs[] = {
+      {false, false, false},  // naive scan engine
+      {false, true, true},    // naive, indexed + reordered
+      {true, false, false},   // semi-naive scan engine (pre-index engine)
+      {true, true, false},    // indexes without reordering
+      {true, false, true},    // reordering without indexes
+      {true, true, true},     // the full indexed engine (default)
+  };
+  for (ExampleProgram& example : ExamplePrograms()) {
+    Database edb = RandomDatabaseFor(example.program, db_options);
+    std::string reference;
+    for (const auto& config : configs) {
+      EvalOptions options = Configure(config.semi_naive, config.use_index,
+                                      config.reorder_joins);
+      StatusOr<Database> result =
+          EvaluateProgram(example.program, edb, options);
+      ASSERT_TRUE(result.ok())
+          << example.name << ": " << result.status();
+      std::string rendered = result->ToString();
+      if (reference.empty()) {
+        reference = rendered;
+      } else {
+        EXPECT_EQ(rendered, reference)
+            << example.name << " seed " << seed << " diverges for config"
+            << " semi_naive=" << config.semi_naive
+            << " use_index=" << config.use_index
+            << " reorder_joins=" << config.reorder_joins;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEdbs, EvalIndexPropertyTest,
+                         ::testing::Range(0, 12));
+
+TEST(EvalIndexTest, IndexedJoinsCutProbesTenfoldOnTransitiveClosure) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  Database db;
+  for (int i = 0; i < 96; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  EvalStats indexed_stats;
+  EvalStats scan_stats;
+  ASSERT_TRUE(
+      EvaluateGoal(tc, "p", db, Configure(true, true, true), &indexed_stats)
+          .ok());
+  ASSERT_TRUE(
+      EvaluateGoal(tc, "p", db, Configure(true, false, false), &scan_stats)
+          .ok());
+  EXPECT_EQ(indexed_stats.facts_derived, scan_stats.facts_derived);
+  // The indexed engine touches only candidate rows from matching index
+  // buckets; the scan engine examines every tuple at every level.
+  EXPECT_GE(scan_stats.join_probes, 10 * indexed_stats.join_probes);
+  EXPECT_GT(indexed_stats.index_probes, 0u);
+  EXPECT_GT(indexed_stats.index_builds, 0u);
+  EXPECT_GT(indexed_stats.tuples_indexed, 0u);
+  EXPECT_EQ(scan_stats.index_probes, 0u);
+  EXPECT_EQ(scan_stats.tuples_indexed, 0u);
+}
+
+// The projection-pushing leg: when a join variable is dead downstream
+// (buys1's recursive rule joins trendy(X) with buys(Z, Y) where Z is
+// never used again), candidate rows collapse to representatives and the
+// probe count stops tracking the full cartesian product.
+TEST(EvalIndexTest, ProjectionCollapsesDeadJoinColumns) {
+  Program buys = Buys1Program();
+  Database db;
+  for (int p = 0; p < 40; ++p) {
+    if (p % 3 == 0) db.AddFact("trendy", {StrCat("p", p)});
+    for (int i = 0; i < 20; ++i) {
+      if ((p + i) % 5 == 0) {
+        db.AddFact("likes", {StrCat("p", p), StrCat("i", i)});
+      }
+    }
+  }
+  EvalStats indexed_stats;
+  EvalStats scan_stats;
+  StatusOr<Relation> indexed =
+      EvaluateGoal(buys, "buys", db, Configure(true, true, true),
+                   &indexed_stats);
+  StatusOr<Relation> scanned =
+      EvaluateGoal(buys, "buys", db, Configure(true, false, false),
+                   &scan_stats);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(*indexed, *scanned);
+  EXPECT_GE(scan_stats.join_probes, 10 * indexed_stats.join_probes);
+}
+
+}  // namespace
+}  // namespace datalog

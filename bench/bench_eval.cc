@@ -11,6 +11,7 @@
 // per-iteration join_probes are exported as benchmark counters.
 #include <benchmark/benchmark.h>
 
+#include "src/containment/decider.h"
 #include "src/engine/eval.h"
 #include "src/engine/random_db.h"
 #include "src/generators/examples.h"
@@ -174,6 +175,104 @@ BENCHMARK(BM_TransitiveClosureRandomGraph)
     ->Args({24, 0})
     ->Args({48, 1})
     ->Args({48, 0});
+
+// --- containment decider memoization baseline -------------------------
+//
+// The decider's perf anchor, mirroring the *Scan ablations above: a deep
+// recursion × multi-disjunct Θ workload where the fixpoint runs many
+// rounds and the combination memo is hammered. Arg(0) is the number of
+// path disjuncts in Θ (a universal disjunct is added so the instance is
+// contained and the fixpoint runs to completion); Arg(1) selects the
+// memoization substrate — 1 = interned dense ids (flat integer memo rows,
+// vector goal store, cached canonical instances), 0 = the string-keyed
+// baseline it replaced (instance.ToString() memo keys, string-keyed goal
+// store, instances re-materialized every round).
+void BM_DeciderNonlinearDeepRecursion(benchmark::State& state) {
+  Program nl = NonlinearTransitiveClosureProgram();
+  UnionOfCqs theta = PathQueries(static_cast<int>(state.range(0)));
+  theta.Add(ConjunctiveQuery(
+      {Term::Variable("X"), Term::Variable("Y")}, {}));  // universal CQ
+  ContainmentOptions options;
+  options.track_witness = false;
+  options.intern_memo = state.range(1) != 0;
+  ContainmentStats stats;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(nl, "p", theta, options);
+    DATALOG_CHECK(decision.ok());
+    DATALOG_CHECK(decision->contained);
+    stats = decision->stats;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["states"] = static_cast<double>(stats.states_discovered);
+  state.counters["memo_hits"] = static_cast<double>(stats.memo_hits);
+  state.counters["sig_rejects"] =
+      static_cast<double>(stats.subset_sig_rejects);
+}
+BENCHMARK(BM_DeciderNonlinearDeepRecursion)
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({3, 1})
+    ->Args({3, 0});
+
+// Linear variant with a wider recursive rule: the canonical-instance
+// space is larger (more rule variables), so the cross-round instance
+// cache carries more of the win.
+void BM_DeciderDeepChainMultiDisjunct(benchmark::State& state) {
+  Program chain = ChainProgram(2);
+  UnionOfCqs theta = PathQueries(static_cast<int>(state.range(0)));
+  theta.Add(ConjunctiveQuery(
+      {Term::Variable("X"), Term::Variable("Y")}, {}));  // universal CQ
+  ContainmentOptions options;
+  options.track_witness = false;
+  options.intern_memo = state.range(1) != 0;
+  ContainmentStats stats;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(chain, "p", theta, options);
+    DATALOG_CHECK(decision.ok());
+    DATALOG_CHECK(decision->contained);
+    stats = decision->stats;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["states"] = static_cast<double>(stats.states_discovered);
+  state.counters["memo_hits"] = static_cast<double>(stats.memo_hits);
+  state.counters["sig_rejects"] =
+      static_cast<double>(stats.subset_sig_rejects);
+}
+BENCHMARK(BM_DeciderDeepChainMultiDisjunct)
+    ->Args({3, 1})
+    ->Args({3, 0})
+    ->Args({4, 1})
+    ->Args({4, 0});
+
+// Non-contained variant: transitive closure against bounded path unions,
+// where the decider must discover the escaping proof tree. Checker reuse
+// across Decide calls (boundedness-style drivers) is part of what the
+// interned substrate buys, so each iteration decides the same Θ through
+// one reused checker three times.
+void BM_DeciderTcPathsCheckerReuse(benchmark::State& state) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs paths = PathQueries(static_cast<int>(state.range(0)));
+  ContainmentOptions options;
+  options.track_witness = false;
+  options.intern_memo = state.range(1) != 0;
+  for (auto _ : state) {
+    ContainmentChecker checker(tc, "p");
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      StatusOr<ContainmentDecision> decision =
+          checker.Decide(paths, options);
+      DATALOG_CHECK(decision.ok());
+      DATALOG_CHECK(!decision->contained);
+      benchmark::DoNotOptimize(decision);
+    }
+  }
+}
+BENCHMARK(BM_DeciderTcPathsCheckerReuse)
+    ->Args({5, 1})
+    ->Args({5, 0})
+    ->Args({7, 1})
+    ->Args({7, 0});
 
 }  // namespace
 }  // namespace datalog

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Runs the evaluation-engine benchmark suite and records the results as
-# JSON (BENCH_eval.json at the repo root by default), seeding the perf
-# trajectory: future PRs compare their numbers against this file.
+# Runs the evaluation-engine + decider benchmark suite and records the
+# results as JSON (BENCH_eval.json at the repo root by default), seeding
+# the perf trajectory: future PRs compare their numbers against this file.
+#
+# The benchmark binary streams JSON into its output file as it runs, so a
+# crash mid-suite would leave a truncated file behind. To make failures
+# loud instead of silently corrupting the baseline, the run writes to a
+# temp file and only replaces the real output on a clean exit.
 #
 # Usage: bench/run_bench.sh [build_dir] [output.json]
 set -euo pipefail
@@ -16,10 +21,34 @@ if [[ ! -x "${build_dir}/bench_eval" ]]; then
   exit 1
 fi
 
-"${build_dir}/bench_eval" \
-  --benchmark_format=json \
-  --benchmark_out="${output}" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+tmp_output="$(mktemp "${output}.XXXXXX.tmp")"
+cleanup() {
+  rm -f "${tmp_output}"
+}
+trap cleanup EXIT
 
+if ! "${build_dir}/bench_eval" \
+    --benchmark_format=json \
+    --benchmark_out="${tmp_output}" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions="${BENCH_REPETITIONS:-1}"; then
+  echo "bench_eval failed; leaving ${output} untouched" >&2
+  exit 1
+fi
+
+# A clean exit must still have produced complete JSON (the stream ends
+# with the closing brace of the top-level object). Validation needs a
+# JSON parser; without python3 the check is skipped, not misreported.
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
+      "${tmp_output}"; then
+    echo "bench_eval produced invalid JSON; leaving ${output} untouched" >&2
+    exit 1
+  fi
+else
+  echo "python3 not found; skipping JSON validation of ${output}" >&2
+fi
+
+mv "${tmp_output}" "${output}"
+trap - EXIT
 echo "wrote ${output}"

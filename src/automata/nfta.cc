@@ -301,14 +301,30 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
     changed = false;
     for (const Transition& ta : a.transitions_) {
       int arity = a.symbol_arity_[ta.symbol];
-      // Choose one discovered entry per child state of ta.
+      // Choose one discovered entry per child state of ta. The body below
+      // grows and (with antichain pruning) erases discovered[ta.state],
+      // which aliases a child slot whenever the transition is
+      // self-recursive; indexing the live vector across product
+      // iterations would then read freed or reshuffled storage. Only the
+      // aliased slots need a by-value snapshot — other children's entry
+      // vectors are not mutated during this transition's product.
       std::vector<std::size_t> sizes(arity);
       bool feasible = true;
+      bool self_recursive = false;
       for (int i = 0; i < arity; ++i) {
         sizes[i] = discovered[ta.children[i]].size();
         if (sizes[i] == 0) feasible = false;
+        if (ta.children[i] == ta.state) self_recursive = true;
       }
       if (!feasible && arity > 0) continue;
+      std::vector<Entry> self_snapshot;
+      if (self_recursive) self_snapshot = discovered[ta.state];
+      std::vector<const std::vector<Entry>*> child_entries(arity);
+      for (int i = 0; i < arity; ++i) {
+        child_entries[i] = ta.children[i] == ta.state
+                               ? &self_snapshot
+                               : &discovered[ta.children[i]];
+      }
       bool ok = ForEachProduct(sizes, [&](const std::vector<std::size_t>&
                                               choice) {
         // Compute the b-subset over the chosen child subsets.
@@ -317,8 +333,7 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
           const Transition& tb = b.transitions_[index];
           bool applies = true;
           for (int i = 0; i < arity; ++i) {
-            const StateSet& child_set =
-                discovered[ta.children[i]][choice[i]].set;
+            const StateSet& child_set = (*child_entries[i])[choice[i]].set;
             if (!SetContains(child_set, tb.children[i])) {
               applies = false;
               break;
@@ -332,8 +347,7 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
         LabeledTree witness;
         witness.symbol = ta.symbol;
         for (int i = 0; i < arity; ++i) {
-          witness.children.push_back(
-              discovered[ta.children[i]][choice[i]].witness);
+          witness.children.push_back((*child_entries[i])[choice[i]].witness);
         }
         bool a_accepts = a.final_[ta.state];
         bool b_accepts = std::any_of(next.begin(), next.end(),

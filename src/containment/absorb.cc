@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -104,6 +105,23 @@ void InsertPair(AchievedSet* set, AchievedPair pair) {
 
 bool IsAchievedSubset(const AchievedSet& a, const AchievedSet& b) {
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::uint64_t AchievedPairSignatureBit(const AchievedPair& pair) {
+  std::size_t seed = static_cast<std::size_t>(pair.query);
+  HashCombine(&seed, pair.mask);
+  for (const auto& [v, term] : pair.pinned) {
+    HashCombine(&seed, v);
+    HashCombine(&seed, static_cast<int>(term.kind()));
+    HashCombine(&seed, term.name());
+  }
+  return std::uint64_t{1} << (seed & 63);
+}
+
+std::uint64_t AchievedSetSignature(const AchievedSet& set) {
+  std::uint64_t sig = 0;
+  for (const AchievedPair& pair : set) sig |= AchievedPairSignatureBit(pair);
+  return sig;
 }
 
 void CombineAtNode(const std::vector<QueryAnalysis>& queries,

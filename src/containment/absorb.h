@@ -51,6 +51,11 @@ struct AchievedPair {
 /// A deduplicated, sorted set of achieved pairs: the "achievable set" of a
 /// proof subtree (one deterministic-subset-construction state). The empty
 /// pair (β = ∅) is implicit and never stored.
+///
+/// The sort order is load-bearing: IsAchievedSubset runs a linear merge
+/// (std::includes) over both sets and set equality is positional, so an
+/// AchievedSet must stay sorted by AchievedPair::operator< at all times —
+/// do not replace it with a hashed container.
 using AchievedSet = std::vector<AchievedPair>;
 
 /// Inserts `pair` keeping the set sorted and unique.
@@ -58,6 +63,21 @@ void InsertPair(AchievedSet* set, AchievedPair pair);
 
 /// True if every pair of `a` also occurs in `b` (both sorted).
 bool IsAchievedSubset(const AchievedSet& a, const AchievedSet& b);
+
+/// Order-independent 64-bit Bloom signature of an achieved set: every pair
+/// hashes to one of 64 bits and the signature is their union. Because
+/// a ⊆ b implies Signature(a) & ~Signature(b) == 0, the decider's
+/// antichain maintenance — which runs pairwise subset tests against every
+/// retained state of a goal — can reject most candidates with one AND
+/// instead of a merge scan.
+std::uint64_t AchievedPairSignatureBit(const AchievedPair& pair);
+std::uint64_t AchievedSetSignature(const AchievedSet& set);
+
+/// True when the signatures do not refute a ⊆ b (a necessary condition;
+/// confirm with IsAchievedSubset).
+inline bool SignatureMayBeSubset(std::uint64_t sig_a, std::uint64_t sig_b) {
+  return (sig_a & ~sig_b) == 0;
+}
 
 /// One bottom-up combination step at a node labeled with `instance`.
 ///

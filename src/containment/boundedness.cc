@@ -4,27 +4,38 @@
 
 namespace datalog {
 
-StatusOr<bool> IsBoundedAtDepth(const Program& program,
-                                const std::string& goal, std::size_t depth,
+StatusOr<bool> IsBoundedAtDepth(ContainmentChecker& checker,
+                                std::size_t depth,
                                 const ContainmentOptions& options) {
   EnumerateOptions enumerate;
   enumerate.max_depth = depth;
-  UnionOfCqs expansions = BoundedExpansions(program, goal, enumerate);
+  UnionOfCqs expansions =
+      BoundedExpansions(checker.program(), checker.goal(), enumerate);
   if (expansions.empty()) {
     // No expansion up to this depth; Π ⊆ ∅ iff Π has no expansions at all,
     // which the decider determines with an empty union.
   }
   StatusOr<ContainmentDecision> decision =
-      DecideDatalogInUcq(program, goal, expansions, options);
+      checker.Decide(expansions, options);
   if (!decision.ok()) return decision.status();
   return decision->contained;
+}
+
+StatusOr<bool> IsBoundedAtDepth(const Program& program,
+                                const std::string& goal, std::size_t depth,
+                                const ContainmentOptions& options) {
+  ContainmentChecker checker(program, goal);
+  return IsBoundedAtDepth(checker, depth, options);
 }
 
 StatusOr<std::optional<std::size_t>> FindBoundedDepth(
     const Program& program, const std::string& goal, std::size_t max_depth,
     const ContainmentOptions& options) {
+  // One checker across all depths: the canonical-instance cache and goal
+  // interning depend only on (program, goal), not on the candidate Θ.
+  ContainmentChecker checker(program, goal);
   for (std::size_t depth = 1; depth <= max_depth; ++depth) {
-    StatusOr<bool> bounded = IsBoundedAtDepth(program, goal, depth, options);
+    StatusOr<bool> bounded = IsBoundedAtDepth(checker, depth, options);
     if (!bounded.ok()) return bounded.status();
     if (*bounded) return std::optional<std::size_t>(depth);
   }

@@ -21,7 +21,16 @@ StatusOr<bool> IsBoundedAtDepth(
     const Program& program, const std::string& goal, std::size_t depth,
     const ContainmentOptions& options = ContainmentOptions());
 
+/// Checker-reusing variant: the depth search decides one containment per
+/// candidate depth against the same (program, goal), so callers hand in a
+/// ContainmentChecker and the canonical-instance cache and goal interning
+/// are paid once across the whole search instead of once per depth.
+StatusOr<bool> IsBoundedAtDepth(
+    ContainmentChecker& checker, std::size_t depth,
+    const ContainmentOptions& options = ContainmentOptions());
+
 /// Smallest k <= max_depth at which the program is bounded, or nullopt.
+/// Internally reuses one ContainmentChecker across all candidate depths.
 StatusOr<std::optional<std::size_t>> FindBoundedDepth(
     const Program& program, const std::string& goal, std::size_t max_depth,
     const ContainmentOptions& options = ContainmentOptions());

@@ -1,14 +1,22 @@
 #include "src/containment/decider.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/ast/analysis.h"
 #include "src/containment/absorb.h"
 #include "src/containment/instances.h"
 #include "src/containment/query_analysis.h"
+#include "src/util/flat_table.h"
 #include "src/util/iteration.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -16,26 +24,176 @@
 namespace datalog {
 namespace {
 
+// One discovered (goal, achievable set) state. The set and witness are
+// immutable once registered and held by shared_ptr: combination snapshots
+// states by value (a self-recursive rule may grow or prune the very entry
+// being iterated), and sharing makes a snapshot O(states), not
+// O(states × set size × subtree size).
 struct StateEntry {
-  AchievedSet set;
-  ExpansionTree witness;  // a proof subtree realizing the set
+  std::shared_ptr<const AchievedSet> set;
+  std::uint64_t sig = 0;  // AchievedSetSignature(*set)
+  std::shared_ptr<const ExpansionTree> witness;
   std::uint64_t serial = 0;  // stable identity for combination memoization
 };
 
 struct GoalEntry {
-  Atom goal;  // canonical form
   std::vector<StateEntry> states;
+  bool touched = false;  // Register reached this goal in the current run
 };
 
-class Decider {
+std::size_t CanonicalIndex(const std::string& name) {
+  DATALOG_CHECK(IsProofVariableName(name));
+  return static_cast<std::size_t>(std::stoul(name.substr(1)));
+}
+
+}  // namespace
+
+// θ-independent state shared across Decide calls on one (program, goal):
+// the ordered rules plus the interned dense-id substrate — a goal-atom
+// dictionary and the materialized canonical instances. Mirrors the
+// engine's PredicateDictionary scheme: structures are interned once and
+// the decider hot path moves integer ids, not strings.
+struct ContainmentChecker::Context {
+  // The program being checked: borrowed for one-shot decisions
+  // (DecideDatalogInUcq), owned when the checker is reused across Θs.
+  const Program* program = nullptr;
+  std::optional<Program> owned_program;
+  std::string goal;
+  std::unordered_set<std::string> idb;  // hashed; no ordering needed here
+  std::vector<std::string> proof_vars;
+  // EDB-only rules first (they seed the fixpoint), then rules heading the
+  // goal predicate (failing root states surface early), then the rest.
+  std::vector<const Rule*> ordered_rules;
+
+  // --- interned substrate (the intern_memo path) ----------------------
+  // Decider-local predicate ids for goal-atom rows.
+  std::unordered_map<std::string, int> pred_ids;
+  // Decider-local constant ids. Constants encode as non-negative ints and
+  // proof variables $k as -(k+1), so the namespaces cannot collide within
+  // an encoded row.
+  std::unordered_map<std::string, int> const_ids;
+  // Canonical goal atoms -> dense goal ids; row = [pred_id, enc(args)...].
+  VarKeyTable goal_keys;
+
+  // A materialized canonical instance plus everything ProcessInstance
+  // used to recompute from strings every round: the EDB/IDB split, the
+  // canonicalization of each child goal, and the interned goal ids. The
+  // dense instance id is the index into `instances`.
+  struct CachedInstance {
+    Rule rule;
+    // Pointers into rule.body()'s heap buffer: stable across moves of the
+    // CachedInstance (moving a Rule transfers the same atom storage).
+    std::vector<const Atom*> edb_atoms;
+    std::vector<std::size_t> idb_positions;
+    std::vector<Atom> child_goals;
+    std::vector<CanonicalAtomInfo> child_canonical;
+    // child_canonical[j].original_vars materialized as variable Terms.
+    std::vector<std::vector<Term>> child_original_terms;
+    std::vector<std::uint32_t> child_goal_ids;
+    std::uint32_t head_goal_id = 0;
+  };
+  // Per rule (in ordered_rules order): the dense ids of its cached
+  // instances, in canonical-enumeration order. `complete` marks that the
+  // enumeration ran to the end; until then a round resumes it, skipping
+  // the cached prefix at integer cost (ForEachCanonicalAssignment).
+  struct RuleCache {
+    std::vector<std::string> rule_vars;
+    std::vector<std::uint32_t> instance_ids;
+    bool complete = false;
+  };
+  std::vector<CachedInstance> instances;
+  std::vector<RuleCache> rule_caches;  // parallel to ordered_rules
+
+  // Populates the Θ-independent fields. `program_ref` must outlive this
+  // context's use; the ordered rule pointers point into it.
+  void Init(const Program& program_ref, std::string goal_name) {
+    program = &program_ref;
+    goal = std::move(goal_name);
+    for (const std::string& predicate : program_ref.IdbPredicates()) {
+      idb.insert(predicate);
+    }
+    proof_vars = ProofVariables(program_ref);
+    auto rule_class = [this](const Rule& rule) {
+      bool leaf = true;
+      for (const Atom& atom : rule.body()) {
+        if (idb.count(atom.predicate()) > 0) leaf = false;
+      }
+      if (leaf) return 0;
+      return rule.head().predicate() == goal ? 1 : 2;
+    };
+    for (int cls = 0; cls <= 2; ++cls) {
+      for (const Rule& rule : program_ref.rules()) {
+        if (rule_class(rule) == cls) {
+          ordered_rules.push_back(&rule);
+        }
+      }
+    }
+  }
+
+  int EncodeTerm(const Term& term) {
+    if (term.is_variable()) {
+      return -(static_cast<int>(CanonicalIndex(term.name())) + 1);
+    }
+    auto [it, inserted] =
+        const_ids.emplace(term.name(), static_cast<int>(const_ids.size()));
+    return it->second;
+  }
+
+  std::uint32_t InternGoalAtom(const Atom& atom) {
+    auto [pit, pinserted] = pred_ids.emplace(
+        atom.predicate(), static_cast<int>(pred_ids.size()));
+    std::vector<int> row;
+    row.reserve(atom.arity() + 1);
+    row.push_back(pit->second);
+    for (const Term& t : atom.args()) row.push_back(EncodeTerm(t));
+    return goal_keys.Intern(row.data(), row.size()).first;
+  }
+
+  CachedInstance BuildCachedInstance(Rule instance) {
+    CachedInstance cached;
+    for (std::size_t i = 0; i < instance.body().size(); ++i) {
+      const Atom& atom = instance.body()[i];
+      if (idb.count(atom.predicate()) > 0) {
+        cached.idb_positions.push_back(i);
+        cached.child_goals.push_back(atom);
+      }
+    }
+    for (const Atom& child : cached.child_goals) {
+      CanonicalAtomInfo info = CanonicalizeAtom(child);
+      cached.child_goal_ids.push_back(InternGoalAtom(info.atom));
+      std::vector<Term> originals;
+      originals.reserve(info.original_vars.size());
+      for (const std::string& v : info.original_vars) {
+        originals.push_back(Term::Variable(v));
+      }
+      cached.child_original_terms.push_back(std::move(originals));
+      cached.child_canonical.push_back(std::move(info));
+    }
+    // Instance heads are already canonical: rule variables are numbered in
+    // head-first first-occurrence order, so the head's variables carry
+    // canonical indexes exactly as CanonicalizeAtom would assign them.
+    // (The string-keyed path relies on the same fact: it stores goals
+    // under the raw head rendering and looks children up canonicalized.)
+    cached.head_goal_id = InternGoalAtom(instance.head());
+    cached.rule = std::move(instance);
+    for (const Atom& atom : cached.rule.body()) {
+      if (idb.count(atom.predicate()) == 0) {
+        cached.edb_atoms.push_back(&atom);
+      }
+    }
+    return cached;
+  }
+};
+
+// One Decide call: the per-Θ fixpoint over (goal, achievable set) states.
+// Two memoization substrates are implemented behind one Register core:
+// the interned path (dense goal/instance ids, flat integer memo rows) and
+// the string-keyed baseline it replaced, kept as an ablation arm.
+class DeciderRun {
  public:
-  Decider(const Program& program, const std::string& goal,
-          const UnionOfCqs& theta, const ContainmentOptions& options)
-      : program_(program),
-        goal_(goal),
-        options_(options),
-        idb_(program.IdbPredicates()),
-        proof_vars_(ProofVariables(program)) {
+  DeciderRun(ContainmentChecker::Context* context, const UnionOfCqs& theta,
+             const ContainmentOptions& options)
+      : ctx_(*context), options_(options) {
     StatusOr<std::vector<QueryAnalysis>> analyses = AnalyzeUnion(theta);
     if (!analyses.ok()) {
       init_error_ = analyses.status();
@@ -46,54 +204,148 @@ class Decider {
 
   StatusOr<ContainmentDecision> Run() {
     if (!init_error_.ok()) return init_error_;
-    if (idb_.count(goal_) == 0) {
+    if (ctx_.idb.count(ctx_.goal) == 0) {
       return Status(InvalidArgumentError(
-          StrCat("goal predicate ", goal_, " is not an IDB predicate")));
+          StrCat("goal predicate ", ctx_.goal, " is not an IDB predicate")));
     }
     ContainmentDecision decision;
-    // Process EDB-only rules first (they seed the fixpoint), then rules
-    // heading the goal predicate (failing root states surface early),
-    // then the rest.
-    std::vector<const Rule*> ordered_rules;
-    auto rule_class = [this](const Rule& rule) {
-      bool leaf = true;
-      for (const Atom& atom : rule.body()) {
-        if (idb_.count(atom.predicate()) > 0) leaf = false;
+    if (options_.intern_memo) {
+      if (ctx_.rule_caches.empty()) {
+        ctx_.rule_caches.resize(ctx_.ordered_rules.size());
+        for (std::size_t r = 0; r < ctx_.ordered_rules.size(); ++r) {
+          ctx_.rule_caches[r].rule_vars =
+              ctx_.ordered_rules[r]->VariableNames();
+        }
       }
-      if (leaf) return 0;
-      return rule.head().predicate() == goal_ ? 1 : 2;
-    };
-    for (int cls = 0; cls <= 2; ++cls) {
-      for (const Rule& rule : program_.rules()) {
-        if (rule_class(rule) == cls) ordered_rules.push_back(&rule);
-      }
+      store_.resize(ctx_.goal_keys.size());
     }
     bool changed = true;
     while (changed) {
       changed = false;
       ++decision.stats.rounds;
-      for (const Rule* rule : ordered_rules) {
-        bool ok = ForEachCanonicalInstance(
-            *rule, proof_vars_.size(), [&](const Rule& instance) {
-              return ProcessInstance(instance, &decision, &changed);
-            });
-        if (!ok) {
-          // Stopped early: either a counterexample or a resource limit.
-          if (!decision.contained) return decision;
-          return Status(ResourceExhaustedError(
-              StrCat("containment decider exceeded ", options_.max_states,
-                     " states")));
+      bool ok = options_.intern_memo ? RunRoundInterned(&decision, &changed)
+                                     : RunRoundString(&decision, &changed);
+      if (!ok) {
+        // Stopped early: either a counterexample or a resource limit.
+        if (options_.intern_memo) {
+          decision.stats.instances_cached = ctx_.instances.size();
         }
+        if (!decision.contained) return decision;
+        return Status(ResourceExhaustedError(
+            StrCat("containment decider exceeded ", options_.max_states,
+                   " states")));
       }
     }
-    decision.stats.goals_discovered = store_.size();
+    decision.stats.goals_discovered =
+        options_.intern_memo ? touched_goals_ : string_store_.size();
+    if (options_.intern_memo) {
+      decision.stats.instances_cached = ctx_.instances.size();
+    }
     return decision;
   }
 
  private:
-  // Returns false to stop the enumeration (counterexample or limit hit).
-  bool ProcessInstance(const Rule& instance, ContainmentDecision* decision,
-                       bool* changed) {
+  // --- interned round: cached instances + flat integer memo -----------
+
+  bool RunRoundInterned(ContainmentDecision* decision, bool* changed) {
+    for (std::size_t r = 0; r < ctx_.ordered_rules.size(); ++r) {
+      ContainmentChecker::Context::RuleCache& cache = ctx_.rule_caches[r];
+      for (std::uint32_t id : cache.instance_ids) {
+        if (!ProcessCached(ctx_.instances[id], id, decision, changed)) {
+          return false;
+        }
+      }
+      if (cache.complete) continue;
+      // Resume the canonical enumeration past the cached prefix. The
+      // prefix is skipped at assignment level — no substitution strings.
+      std::size_t seen = 0;
+      bool finished = ForEachCanonicalAssignment(
+          *ctx_.ordered_rules[r], ctx_.proof_vars.size(),
+          [&](const std::vector<std::size_t>& classes) {
+            if (seen++ < cache.instance_ids.size()) return true;
+            Rule instance = InstantiateAssignment(*ctx_.ordered_rules[r],
+                                                  cache.rule_vars, classes);
+            std::uint32_t id =
+                static_cast<std::uint32_t>(ctx_.instances.size());
+            ctx_.instances.push_back(
+                ctx_.BuildCachedInstance(std::move(instance)));
+            store_.resize(ctx_.goal_keys.size());
+            cache.instance_ids.push_back(id);
+            return ProcessCached(ctx_.instances[id], id, decision, changed);
+          });
+      if (!finished) return false;
+      cache.complete = true;
+    }
+    return true;
+  }
+
+  bool ProcessCached(const ContainmentChecker::Context::CachedInstance& inst,
+                     std::uint32_t instance_id, ContainmentDecision* decision,
+                     bool* changed) {
+    ++decision->stats.combine_calls;
+    // Snapshot the states of each child goal by value: Register below may
+    // grow or prune the very same GoalEntry when the rule is
+    // self-recursive (child canonical goal == parent goal).
+    std::vector<std::vector<StateEntry>> child_states;
+    child_states.reserve(inst.child_goal_ids.size());
+    for (std::uint32_t goal_id : inst.child_goal_ids) {
+      const GoalEntry& entry = store_[goal_id];
+      if (entry.states.empty()) return true;  // no subtree for this child yet
+      child_states.push_back(entry.states);
+    }
+    // Iterate over every choice of one discovered state per child.
+    std::vector<std::size_t> sizes;
+    sizes.reserve(child_states.size());
+    for (const std::vector<StateEntry>& states : child_states) {
+      sizes.push_back(states.size());
+    }
+    return ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
+      // Skip combinations already combined in an earlier round: the memo
+      // row is (instance id, child serial...) with each 64-bit serial
+      // packed into two ints, deduplicated open-addressing style.
+      memo_row_.clear();
+      memo_row_.push_back(static_cast<int>(instance_id));
+      for (std::size_t j = 0; j < child_states.size(); ++j) {
+        std::uint64_t serial = child_states[j][choice[j]].serial;
+        memo_row_.push_back(static_cast<int>(
+            static_cast<std::uint32_t>(serial)));
+        memo_row_.push_back(static_cast<int>(
+            static_cast<std::uint32_t>(serial >> 32)));
+      }
+      if (!combined_.Intern(memo_row_.data(), memo_row_.size()).second) {
+        ++decision->stats.memo_hits;
+        return true;
+      }
+      AchievedSet parent_set;
+      CombineChoice(inst.rule, inst.edb_atoms, inst.child_goals,
+                    inst.child_original_terms, child_states, choice,
+                    &parent_set);
+      GoalEntry& entry = store_[inst.head_goal_id];
+      if (!entry.touched) {
+        entry.touched = true;
+        ++touched_goals_;
+      }
+      return Register(entry, inst.rule, inst.idb_positions, child_states,
+                      inst.child_canonical, choice, std::move(parent_set),
+                      decision, changed);
+    });
+  }
+
+  // --- string-keyed round: the pre-interning baseline (ablation arm) --
+
+  bool RunRoundString(ContainmentDecision* decision, bool* changed) {
+    for (const Rule* rule : ctx_.ordered_rules) {
+      bool ok = ForEachCanonicalInstance(
+          *rule, ctx_.proof_vars.size(), [&](const Rule& instance) {
+            return ProcessInstanceString(instance, decision, changed);
+          });
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  bool ProcessInstanceString(const Rule& instance,
+                             ContainmentDecision* decision, bool* changed) {
     ++decision->stats.combine_calls;
     // Split the body into EDB atoms and child goals.
     std::vector<const Atom*> edb_atoms;
@@ -101,27 +353,31 @@ class Decider {
     std::vector<std::size_t> idb_positions;
     for (std::size_t i = 0; i < instance.body().size(); ++i) {
       const Atom& atom = instance.body()[i];
-      if (idb_.count(atom.predicate()) > 0) {
+      if (ctx_.idb.count(atom.predicate()) > 0) {
         child_goals.push_back(atom);
         idb_positions.push_back(i);
       } else {
         edb_atoms.push_back(&atom);
       }
     }
-    // Look up the canonical entry for each child goal. The states are
-    // snapshotted by value: Register() below may grow or prune the very
-    // same GoalEntry when the rule is self-recursive (child canonical goal
-    // == parent goal), which would invalidate references into it.
+    // Look up the canonical entry for each child goal, snapshotting the
+    // states by value (see ProcessCached).
     std::vector<std::vector<StateEntry>> child_states;
     std::vector<CanonicalAtomInfo> child_canonical;
+    std::vector<std::vector<Term>> child_original_terms;
     for (const Atom& child : child_goals) {
       CanonicalAtomInfo info = CanonicalizeAtom(child);
-      auto it = store_.find(info.atom.ToString());
-      if (it == store_.end()) return true;  // no subtree for this child yet
+      auto it = string_store_.find(info.atom.ToString());
+      if (it == string_store_.end()) return true;  // no subtree yet
       child_states.push_back(it->second.states);
+      std::vector<Term> originals;
+      originals.reserve(info.original_vars.size());
+      for (const std::string& v : info.original_vars) {
+        originals.push_back(Term::Variable(v));
+      }
+      child_original_terms.push_back(std::move(originals));
       child_canonical.push_back(std::move(info));
     }
-    // Iterate over every choice of one discovered state per child.
     std::vector<std::size_t> sizes;
     sizes.reserve(child_states.size());
     for (const std::vector<StateEntry>& states : child_states) {
@@ -133,75 +389,98 @@ class Decider {
       for (std::size_t j = 0; j < child_states.size(); ++j) {
         memo_key += StrCat("#", child_states[j][choice[j]].serial);
       }
-      if (!combined_.insert(std::move(memo_key)).second) return true;
-      // Rename each child state from its canonical frame into the
-      // instance frame.
-      std::vector<AchievedSet> renamed_sets(child_goals.size());
-      std::vector<const AchievedSet*> set_ptrs(child_goals.size());
-      for (std::size_t j = 0; j < child_goals.size(); ++j) {
-        const StateEntry& state = child_states[j][choice[j]];
-        const std::vector<std::string>& originals =
-            child_canonical[j].original_vars;
-        AchievedSet renamed;
-        renamed.reserve(state.set.size());
-        for (const AchievedPair& pair : state.set) {
-          AchievedPair copy = pair;
-          for (auto& [v, term] : copy.pinned) {
-            if (term.is_variable()) {
-              // Canonical variable $k corresponds to originals[k].
-              std::size_t k = CanonicalIndex(term.name());
-              DATALOG_CHECK_LT(k, originals.size());
-              term = Term::Variable(originals[k]);
-            }
-          }
-          renamed.push_back(std::move(copy));
-        }
-        std::sort(renamed.begin(), renamed.end());
-        renamed_sets[j] = std::move(renamed);
-        set_ptrs[j] = &renamed_sets[j];
+      if (!combined_strings_.insert(std::move(memo_key)).second) {
+        ++decision->stats.memo_hits;
+        return true;
       }
       AchievedSet parent_set;
-      CombineAtNode(queries_, instance, edb_atoms, child_goals, set_ptrs,
-                    &parent_set);
-      return Register(instance, idb_positions, child_states, child_canonical,
-                      choice, std::move(parent_set), decision, changed);
+      CombineChoice(instance, edb_atoms, child_goals, child_original_terms,
+                    child_states, choice, &parent_set);
+      GoalEntry& entry = string_store_[instance.head().ToString()];
+      return Register(entry, instance, idb_positions, child_states,
+                      child_canonical, choice, std::move(parent_set),
+                      decision, changed);
     });
   }
 
-  static std::size_t CanonicalIndex(const std::string& name) {
-    DATALOG_CHECK(IsProofVariableName(name));
-    return static_cast<std::size_t>(std::stoul(name.substr(1)));
+  // --- shared combination + registration core -------------------------
+
+  // Renames each chosen child state from its canonical frame into the
+  // instance frame and runs one bottom-up combination step.
+  void CombineChoice(const Rule& instance,
+                     const std::vector<const Atom*>& edb_atoms,
+                     const std::vector<Atom>& child_goals,
+                     const std::vector<std::vector<Term>>& child_original_terms,
+                     const std::vector<std::vector<StateEntry>>& child_states,
+                     const std::vector<std::size_t>& choice,
+                     AchievedSet* parent_set) {
+    std::vector<AchievedSet> renamed_sets(child_goals.size());
+    std::vector<const AchievedSet*> set_ptrs(child_goals.size());
+    for (std::size_t j = 0; j < child_goals.size(); ++j) {
+      const StateEntry& state = child_states[j][choice[j]];
+      const std::vector<Term>& originals = child_original_terms[j];
+      AchievedSet renamed;
+      renamed.reserve(state.set->size());
+      for (const AchievedPair& pair : *state.set) {
+        AchievedPair copy = pair;
+        for (auto& [v, term] : copy.pinned) {
+          if (term.is_variable()) {
+            // Canonical variable $k corresponds to originals[k].
+            std::size_t k = CanonicalIndex(term.name());
+            DATALOG_CHECK_LT(k, originals.size());
+            term = originals[k];
+          }
+        }
+        renamed.push_back(std::move(copy));
+      }
+      std::sort(renamed.begin(), renamed.end());
+      renamed_sets[j] = std::move(renamed);
+      set_ptrs[j] = &renamed_sets[j];
+    }
+    CombineAtNode(queries_, instance, edb_atoms, child_goals, set_ptrs,
+                  parent_set);
   }
 
   // Registers a (goal, set) state; returns false to stop everything.
-  bool Register(const Rule& instance,
+  bool Register(GoalEntry& entry, const Rule& instance,
                 const std::vector<std::size_t>& idb_positions,
                 const std::vector<std::vector<StateEntry>>& child_states,
                 const std::vector<CanonicalAtomInfo>& child_canonical,
                 const std::vector<std::size_t>& choice, AchievedSet set,
                 ContainmentDecision* decision, bool* changed) {
     const Atom& goal_atom = instance.head();
-    std::string key = goal_atom.ToString();
-    auto [it, inserted] = store_.emplace(key, GoalEntry{goal_atom, {}});
-    GoalEntry& entry = it->second;
+    const std::uint64_t sig = AchievedSetSignature(set);
     if (options_.antichain) {
       for (const StateEntry& existing : entry.states) {
-        if (IsAchievedSubset(existing.set, set)) return true;  // dominated
+        ++decision->stats.subset_checks;
+        if (!SignatureMayBeSubset(existing.sig, sig)) {
+          ++decision->stats.subset_sig_rejects;
+          continue;
+        }
+        if (IsAchievedSubset(*existing.set, set)) return true;  // dominated
       }
       entry.states.erase(
           std::remove_if(entry.states.begin(), entry.states.end(),
-                         [&set](const StateEntry& existing) {
-                           return IsAchievedSubset(set, existing.set);
+                         [&](const StateEntry& existing) {
+                           ++decision->stats.subset_checks;
+                           if (!SignatureMayBeSubset(sig, existing.sig)) {
+                             ++decision->stats.subset_sig_rejects;
+                             return false;
+                           }
+                           return IsAchievedSubset(set, *existing.set);
                          }),
           entry.states.end());
     } else {
       for (const StateEntry& existing : entry.states) {
-        if (existing.set == set) return true;  // already known
+        if (existing.sig == sig && *existing.set == set) {
+          return true;  // already known
+        }
       }
     }
     StateEntry state;
     state.serial = next_serial_++;
-    state.set = std::move(set);
+    state.set = std::make_shared<const AchievedSet>(std::move(set));
+    state.sig = sig;
     if (options_.track_witness) {
       ExpansionNode node;
       node.goal = goal_atom;
@@ -218,18 +497,19 @@ class Decider {
           from.push_back(ProofVariableName(k));
         }
         Substitution permutation = ExtendToPermutation(
-            from, child_canonical[j].original_vars, proof_vars_);
+            from, child_canonical[j].original_vars, ctx_.proof_vars);
         node.children.push_back(
-            RenameTree(child_state.witness, permutation).root());
+            RenameTree(*child_state.witness, permutation).root());
       }
-      state.witness = ExpansionTree(std::move(node));
+      state.witness =
+          std::make_shared<const ExpansionTree>(std::move(node));
     }
     // A new root-goal state must accept, or we have a counterexample.
-    if (goal_atom.predicate() == goal_ &&
-        !RootAccepts(queries_, goal_atom, state.set)) {
+    if (goal_atom.predicate() == ctx_.goal &&
+        !RootAccepts(queries_, goal_atom, *state.set)) {
       decision->contained = false;
       if (options_.track_witness) {
-        decision->counterexample = state.witness;
+        decision->counterexample = *state.witness;
       }
       return false;
     }
@@ -241,25 +521,60 @@ class Decider {
     return true;
   }
 
-  const Program& program_;
-  const std::string goal_;
+  ContainmentChecker::Context& ctx_;
   const ContainmentOptions& options_;
   Status init_error_;
-  std::set<std::string> idb_;
-  std::vector<std::string> proof_vars_;
   std::vector<QueryAnalysis> queries_;
-  std::map<std::string, GoalEntry> store_;
-  std::set<std::string> combined_;
   std::uint64_t next_serial_ = 1;
+
+  // Interned-path per-run state: goal store indexed by dense goal id and
+  // the flat combination memo.
+  std::vector<GoalEntry> store_;
+  std::size_t touched_goals_ = 0;
+  VarKeyTable combined_;
+  std::vector<int> memo_row_;
+
+  // String-keyed per-run state. The ablation arm deliberately keeps the
+  // seed's ordered containers (std::map/std::set) so the decider
+  // benchmarks measure exactly the memoization substrate the interned
+  // path replaced; the production path never touches these.
+  std::map<std::string, GoalEntry> string_store_;
+  std::set<std::string> combined_strings_;
 };
 
-}  // namespace
+ContainmentChecker::ContainmentChecker(Program program, std::string goal)
+    : context_(new Context) {
+  context_->owned_program.emplace(std::move(program));
+  context_->Init(*context_->owned_program, std::move(goal));
+}
+
+ContainmentChecker::~ContainmentChecker() = default;
+ContainmentChecker::ContainmentChecker(ContainmentChecker&&) noexcept =
+    default;
+ContainmentChecker& ContainmentChecker::operator=(
+    ContainmentChecker&&) noexcept = default;
+
+const Program& ContainmentChecker::program() const {
+  return *context_->program;
+}
+
+const std::string& ContainmentChecker::goal() const { return context_->goal; }
+
+StatusOr<ContainmentDecision> ContainmentChecker::Decide(
+    const UnionOfCqs& theta, const ContainmentOptions& options) {
+  DeciderRun run(context_.get(), theta, options);
+  return run.Run();
+}
 
 StatusOr<ContainmentDecision> DecideDatalogInUcq(
     const Program& program, const std::string& goal, const UnionOfCqs& theta,
     const ContainmentOptions& options) {
-  Decider decider(program, goal, theta, options);
-  return decider.Run();
+  // One-shot path: borrow the caller's program for the duration of the
+  // call rather than copying it into an owning checker.
+  ContainmentChecker::Context context;
+  context.Init(program, goal);
+  DeciderRun run(&context, theta, options);
+  return run.Run();
 }
 
 StatusOr<ContainmentDecision> DecideDatalogInCq(

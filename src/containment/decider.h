@@ -23,6 +23,7 @@
 #ifndef DATALOG_EQ_SRC_CONTAINMENT_DECIDER_H_
 #define DATALOG_EQ_SRC_CONTAINMENT_DECIDER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -38,6 +39,13 @@ struct ContainmentOptions {
   bool antichain = true;
   /// Build counterexample proof trees (small cost; disable for benches).
   bool track_witness = true;
+  /// Memoize on the interned dense-id substrate: canonical goal atoms and
+  /// rule instances become dense integer ids, the goal store becomes a
+  /// vector index, and the combination memo becomes flat integer rows in
+  /// an open-addressing table. Disabling falls back to the string-keyed
+  /// memoization (ablation switch; decisions are identical either way —
+  /// see tests/decider_intern_test.cc).
+  bool intern_memo = true;
   /// Abort with ResourceExhausted beyond this many (goal, set) states.
   std::size_t max_states = 1'000'000;
 };
@@ -46,6 +54,17 @@ struct ContainmentStats {
   std::size_t goals_discovered = 0;
   std::size_t states_discovered = 0;
   std::size_t combine_calls = 0;
+  /// Combinations skipped because their (instance, child serials) memo row
+  /// was already present.
+  std::size_t memo_hits = 0;
+  /// Canonical rule instances materialized into the cross-round cache
+  /// (interned path only; 0 on the string-keyed path).
+  std::size_t instances_cached = 0;
+  /// Pairwise achieved-set subset tests run by antichain/dedup
+  /// maintenance, and how many were refuted by the 64-bit Bloom signature
+  /// alone (no merge scan).
+  std::size_t subset_checks = 0;
+  std::size_t subset_sig_rejects = 0;
   int rounds = 0;
 };
 
@@ -56,6 +75,40 @@ struct ContainmentDecision {
   /// track_witness was set.
   std::optional<ExpansionTree> counterexample;
   ContainmentStats stats;
+};
+
+/// Reusable decider context for repeated containment questions about one
+/// (program, goal) pair. The canonical rule instances of Π and the
+/// interned goal-atom dictionary are independent of Θ, so drivers that
+/// decide many candidate Θs against the same program — the boundedness
+/// depth search, recursive/nonrecursive equivalence — build one checker
+/// and re-pay neither the instance enumeration nor the goal interning per
+/// candidate. A checker is not thread-safe; Decide calls must be
+/// sequential.
+class ContainmentChecker {
+ public:
+  ContainmentChecker(Program program, std::string goal);
+  ~ContainmentChecker();
+  ContainmentChecker(ContainmentChecker&&) noexcept;
+  ContainmentChecker& operator=(ContainmentChecker&&) noexcept;
+
+  const Program& program() const;
+  const std::string& goal() const;
+
+  /// Decides Q_Π ⊆ Θ; `theta` must outlive the call, not the checker.
+  StatusOr<ContainmentDecision> Decide(
+      const UnionOfCqs& theta,
+      const ContainmentOptions& options = ContainmentOptions());
+
+ private:
+  friend class DeciderRun;
+  // The one-shot wrapper borrows the caller's program for the duration of
+  // the call instead of copying it into an owning checker.
+  friend StatusOr<ContainmentDecision> DecideDatalogInUcq(
+      const Program& program, const std::string& goal,
+      const UnionOfCqs& theta, const ContainmentOptions& options);
+  struct Context;
+  std::unique_ptr<Context> context_;
 };
 
 /// Decides Q_Π ⊆ Θ for the goal predicate `goal` of `program`.

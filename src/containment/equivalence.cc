@@ -7,20 +7,26 @@
 namespace datalog {
 
 StatusOr<ContainmentDecision> DecideDatalogInNonrecursive(
-    const Program& recursive, const std::string& recursive_goal,
-    const Program& nonrecursive, const std::string& nonrecursive_goal,
-    const EquivalenceOptions& options) {
+    ContainmentChecker& checker, const Program& nonrecursive,
+    const std::string& nonrecursive_goal, const EquivalenceOptions& options) {
   StatusOr<UnionOfCqs> unfolded =
       UnfoldNonrecursive(nonrecursive, nonrecursive_goal, options.unfold);
   if (!unfolded.ok()) return unfolded.status();
-  return DecideDatalogInUcq(recursive, recursive_goal, *unfolded,
-                            options.containment);
+  return checker.Decide(*unfolded, options.containment);
 }
 
-StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
+StatusOr<ContainmentDecision> DecideDatalogInNonrecursive(
     const Program& recursive, const std::string& recursive_goal,
     const Program& nonrecursive, const std::string& nonrecursive_goal,
     const EquivalenceOptions& options) {
+  ContainmentChecker checker(recursive, recursive_goal);
+  return DecideDatalogInNonrecursive(checker, nonrecursive,
+                                     nonrecursive_goal, options);
+}
+
+StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
+    ContainmentChecker& checker, const Program& nonrecursive,
+    const std::string& nonrecursive_goal, const EquivalenceOptions& options) {
   if (IsRecursive(nonrecursive)) {
     return Status(InvalidArgumentError(
         "second program must be nonrecursive; swap the arguments"));
@@ -32,8 +38,8 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
   result.unfolded_disjuncts = unfolded->size();
 
   // Forward direction: Π ⊆ Π' via Theorem 5.12.
-  StatusOr<ContainmentDecision> forward = DecideDatalogInUcq(
-      recursive, recursive_goal, *unfolded, options.containment);
+  StatusOr<ContainmentDecision> forward =
+      checker.Decide(*unfolded, options.containment);
   if (!forward.ok()) return forward.status();
   result.forward_contained = forward->contained;
   result.forward_counterexample = forward->counterexample;
@@ -43,8 +49,9 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
   // disjunct (Theorem 2.3 reduces UCQ containment to its disjuncts).
   result.backward_contained = true;
   for (const ConjunctiveQuery& disjunct : unfolded->disjuncts()) {
-    StatusOr<bool> contained = IsCqContainedInDatalog(
-        disjunct, recursive, recursive_goal, &result.backward_eval_stats);
+    StatusOr<bool> contained =
+        IsCqContainedInDatalog(disjunct, checker.program(), checker.goal(),
+                               &result.backward_eval_stats);
     if (!contained.ok()) return contained.status();
     if (!*contained) {
       result.backward_contained = false;
@@ -54,6 +61,15 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
   }
   result.equivalent = result.forward_contained && result.backward_contained;
   return result;
+}
+
+StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
+    const Program& recursive, const std::string& recursive_goal,
+    const Program& nonrecursive, const std::string& nonrecursive_goal,
+    const EquivalenceOptions& options) {
+  ContainmentChecker checker(recursive, recursive_goal);
+  return DecideRecNonrecEquivalence(checker, nonrecursive, nonrecursive_goal,
+                                    options);
 }
 
 }  // namespace datalog

@@ -55,6 +55,20 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
     const Program& nonrecursive, const std::string& nonrecursive_goal,
     const EquivalenceOptions& options = EquivalenceOptions());
 
+/// Checker-reusing variants for drivers that test many nonrecursive
+/// candidates against one recursive (program, goal) — e.g. rewriting
+/// searches: the checker's interned instance cache is shared across
+/// candidates instead of rebuilt per call.
+StatusOr<ContainmentDecision> DecideDatalogInNonrecursive(
+    ContainmentChecker& checker, const Program& nonrecursive,
+    const std::string& nonrecursive_goal,
+    const EquivalenceOptions& options = EquivalenceOptions());
+
+StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
+    ContainmentChecker& checker, const Program& nonrecursive,
+    const std::string& nonrecursive_goal,
+    const EquivalenceOptions& options = EquivalenceOptions());
+
 }  // namespace datalog
 
 #endif  // DATALOG_EQ_SRC_CONTAINMENT_EQUIVALENCE_H_

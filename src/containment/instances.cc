@@ -22,19 +22,16 @@ CanonicalAtomInfo CanonicalizeAtom(const Atom& atom) {
   return info;
 }
 
-bool ForEachCanonicalInstance(const Rule& rule, std::size_t num_proof_vars,
-                              const std::function<bool(const Rule&)>& visit) {
+bool ForEachCanonicalAssignment(
+    const Rule& rule, std::size_t num_proof_vars,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
   std::vector<std::string> vars = rule.VariableNames();
   // Restricted-growth strings: assignment[i] in 0..max(assignment[0..i-1])+1.
   std::vector<std::size_t> classes(vars.size(), 0);
   std::function<bool(std::size_t, std::size_t)> recurse =
       [&](std::size_t index, std::size_t num_classes) -> bool {
     if (index == vars.size()) {
-      Substitution subst;
-      for (std::size_t i = 0; i < vars.size(); ++i) {
-        subst.emplace(vars[i], Term::Variable(ProofVariableName(classes[i])));
-      }
-      return visit(ApplySubstitution(subst, rule));
+      return visit(static_cast<const std::vector<std::size_t>&>(classes));
     }
     std::size_t limit = std::min(num_classes + 1, num_proof_vars);
     for (std::size_t c = 0; c < limit; ++c) {
@@ -44,6 +41,26 @@ bool ForEachCanonicalInstance(const Rule& rule, std::size_t num_proof_vars,
     return true;
   };
   return recurse(0, 0);
+}
+
+Rule InstantiateAssignment(const Rule& rule,
+                           const std::vector<std::string>& vars,
+                           const std::vector<std::size_t>& classes) {
+  DATALOG_CHECK_EQ(vars.size(), classes.size());
+  Substitution subst;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    subst.emplace(vars[i], Term::Variable(ProofVariableName(classes[i])));
+  }
+  return ApplySubstitution(subst, rule);
+}
+
+bool ForEachCanonicalInstance(const Rule& rule, std::size_t num_proof_vars,
+                              const std::function<bool(const Rule&)>& visit) {
+  std::vector<std::string> vars = rule.VariableNames();
+  return ForEachCanonicalAssignment(
+      rule, num_proof_vars, [&](const std::vector<std::size_t>& classes) {
+        return visit(InstantiateAssignment(rule, vars, classes));
+      });
 }
 
 bool ForEachInstanceOver(const Rule& rule,

@@ -43,6 +43,24 @@ CanonicalAtomInfo CanonicalizeAtom(const Atom& atom);
 bool ForEachCanonicalInstance(const Rule& rule, std::size_t num_proof_vars,
                               const std::function<bool(const Rule&)>& visit);
 
+/// The assignment-level view of ForEachCanonicalInstance: enumerates the
+/// restricted-growth class assignments themselves without materializing
+/// any instance. `visit` receives the class of each rule variable in
+/// VariableNames() order; an assignment is materialized on demand with
+/// InstantiateAssignment. This lets callers that cache instances across
+/// fixpoint rounds (the containment decider) skip already-materialized
+/// prefixes of the enumeration at integer cost instead of re-paying the
+/// substitution strings. Returns false if `visit` stopped early.
+bool ForEachCanonicalAssignment(
+    const Rule& rule, std::size_t num_proof_vars,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Materializes the canonical instance for one class assignment produced
+/// by ForEachCanonicalAssignment; `vars` must be rule.VariableNames().
+Rule InstantiateAssignment(const Rule& rule,
+                           const std::vector<std::string>& vars,
+                           const std::vector<std::size_t>& classes);
+
 /// Enumerates every instance of `rule` over the variable names in
 /// `proof_vars` (full substitution space; |proof_vars|^k instances).
 bool ForEachInstanceOver(const Rule& rule,

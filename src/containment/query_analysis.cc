@@ -5,10 +5,11 @@
 namespace datalog {
 
 StatusOr<QueryAnalysis> AnalyzeQuery(const ConjunctiveQuery& cq) {
-  if (cq.body().size() > 62) {
+  if (cq.body().size() > kMaxDisjunctAtoms) {
     return Status(InvalidArgumentError(
-        StrCat("disjunct has ", cq.body().size(),
-               " atoms; at most 62 are supported")));
+        StrCat("disjunct has ", cq.body().size(), " atoms; at most ",
+               kMaxDisjunctAtoms,
+               " are supported (64-bit atom masks; see kMaxDisjunctAtoms)")));
   }
   QueryAnalysis analysis;
   analysis.cq = &cq;

@@ -45,7 +45,17 @@ struct QueryAnalysis {
   }
 };
 
-/// Builds the analysis; fails if a disjunct has more than 62 body atoms.
+/// Hard cap on body atoms per disjunct. Atom subsets are 64-bit masks
+/// (AchievedPair::mask), and `uint64_t{1} << atom_index` in the absorption
+/// machinery (src/containment/absorb.cc) is undefined behavior at index
+/// 64+; the subset enumeration ForEachSubsetMask additionally needs
+/// `1 << n` headroom above the largest index. Every mask producer routes
+/// through AnalyzeQuery/AnalyzeUnion, which reject larger disjuncts with
+/// InvalidArgumentError so the unguarded shifts are never reached.
+constexpr std::size_t kMaxDisjunctAtoms = 62;
+
+/// Builds the analysis; fails if a disjunct has more than
+/// kMaxDisjunctAtoms body atoms.
 StatusOr<QueryAnalysis> AnalyzeQuery(const ConjunctiveQuery& cq);
 
 /// Analyses for all disjuncts of a union.

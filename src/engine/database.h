@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "src/ast/term.h"
-#include "src/engine/flat_table.h"
+#include "src/util/flat_table.h"
 #include "src/util/hash.h"
 #include "src/util/status.h"
 

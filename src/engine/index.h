@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "src/engine/database.h"
-#include "src/engine/flat_table.h"
+#include "src/util/flat_table.h"
 
 namespace datalog {
 

@@ -1,0 +1,109 @@
+#include "src/util/flat_table.h"
+
+#include "src/util/hash.h"
+
+namespace datalog {
+
+std::size_t FlatKeyTable::Hash(const int* key) const {
+  return HashIntSpan(key, width_);
+}
+
+bool FlatKeyTable::KeyEquals(std::size_t index, const int* key) const {
+  const int* stored = KeyData(index);
+  for (std::size_t i = 0; i < width_; ++i) {
+    if (stored[i] != key[i]) return false;
+  }
+  return true;
+}
+
+void FlatKeyTable::Grow() {
+  std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t index = 0; index < size_; ++index) {
+    std::size_t slot = Hash(KeyData(index)) & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<std::uint32_t>(index + 1);
+  }
+}
+
+std::pair<std::uint32_t, bool> FlatKeyTable::Intern(const int* key) {
+  if (slots_.size() < (size_ + 1) * 2) Grow();  // load factor <= 1/2
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = Hash(key) & mask;
+  while (slots_[slot] != 0) {
+    if (KeyEquals(slots_[slot] - 1, key)) return {slots_[slot] - 1, false};
+    slot = (slot + 1) & mask;
+  }
+  arena_.insert(arena_.end(), key, key + width_);
+  slots_[slot] = static_cast<std::uint32_t>(++size_);
+  return {static_cast<std::uint32_t>(size_ - 1), true};
+}
+
+std::uint32_t FlatKeyTable::Find(const int* key) const {
+  if (slots_.empty()) return kNotFound;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = Hash(key) & mask;
+  while (slots_[slot] != 0) {
+    if (KeyEquals(slots_[slot] - 1, key)) return slots_[slot] - 1;
+    slot = (slot + 1) & mask;
+  }
+  return kNotFound;
+}
+
+std::size_t VarKeyTable::Hash(const int* key, std::size_t length) const {
+  // Seed with the length so equal prefixes of different lengths spread.
+  std::size_t h = HashIntSpan(key, length);
+  return h ^ (length * 0x9e3779b97f4a7c15ULL);
+}
+
+bool VarKeyTable::KeyEquals(std::size_t index, const int* key,
+                            std::size_t length) const {
+  if (KeyLength(index) != length) return false;
+  const int* stored = KeyData(index);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (stored[i] != key[i]) return false;
+  }
+  return true;
+}
+
+void VarKeyTable::Grow() {
+  std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t index = 0; index < size(); ++index) {
+    std::size_t slot = Hash(KeyData(index), KeyLength(index)) & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<std::uint32_t>(index + 1);
+  }
+}
+
+std::pair<std::uint32_t, bool> VarKeyTable::Intern(const int* key,
+                                                   std::size_t length) {
+  if (slots_.size() < (size() + 1) * 2) Grow();  // load factor <= 1/2
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = Hash(key, length) & mask;
+  while (slots_[slot] != 0) {
+    if (KeyEquals(slots_[slot] - 1, key, length)) {
+      return {slots_[slot] - 1, false};
+    }
+    slot = (slot + 1) & mask;
+  }
+  arena_.insert(arena_.end(), key, key + length);
+  offsets_.push_back(arena_.size());
+  slots_[slot] = static_cast<std::uint32_t>(size());
+  return {static_cast<std::uint32_t>(size() - 1), true};
+}
+
+std::uint32_t VarKeyTable::Find(const int* key, std::size_t length) const {
+  if (slots_.empty()) return kNotFound;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = Hash(key, length) & mask;
+  while (slots_[slot] != 0) {
+    if (KeyEquals(slots_[slot] - 1, key, length)) return slots_[slot] - 1;
+    slot = (slot + 1) & mask;
+  }
+  return kNotFound;
+}
+
+}  // namespace datalog

@@ -1,0 +1,95 @@
+// Flat open-addressing interning tables shared by the evaluation engine
+// and the containment decider (linear probing, power-of-two capacity,
+// load factor <= 1/2, one contiguous int arena).
+//
+// FlatKeyTable interns fixed-width int keys into dense indexes
+// 0..size()-1: Relation uses it as its row store (the key arena IS the
+// row arena), the column indexes (src/engine/index.h) use it for bucket
+// keys and projection dedup, and the decider interns canonical goal
+// atoms and rule instances through it.
+//
+// VarKeyTable is the variable-width mode: it interns int spans of
+// differing lengths (keyed rows such as the decider's combination memo
+// rows `(instance_id, child_serial...)`) into the same dense-id scheme,
+// storing every key back to back in one arena with an offsets directory.
+#ifndef DATALOG_EQ_SRC_UTIL_FLAT_TABLE_H_
+#define DATALOG_EQ_SRC_UTIL_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+
+class FlatKeyTable {
+ public:
+  explicit FlatKeyTable(std::size_t width) : width_(width) {}
+
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  std::size_t width() const { return width_; }
+  std::size_t size() const { return size_; }
+  /// The interned key at `index` (width() ints, contiguous). The
+  /// pointer is invalidated by the next Intern; the index never is.
+  const int* KeyData(std::size_t index) const {
+    return arena_.data() + index * width_;
+  }
+
+  /// Interns `key` (width() ints); returns its dense index and whether
+  /// it was new.
+  std::pair<std::uint32_t, bool> Intern(const int* key);
+  /// Returns the dense index of `key`, or kNotFound.
+  std::uint32_t Find(const int* key) const;
+
+ private:
+  std::size_t Hash(const int* key) const;
+  bool KeyEquals(std::size_t index, const int* key) const;
+  void Grow();
+
+  std::size_t width_;
+  std::size_t size_ = 0;
+  std::vector<int> arena_;  // size_ * width_ ints, keys back to back
+  std::vector<std::uint32_t> slots_;  // key index + 1; 0 means empty
+};
+
+/// Variable-width companion of FlatKeyTable: interns int spans of any
+/// length into dense indexes. Keys live back to back in one arena;
+/// offsets_[i] .. offsets_[i+1] delimits key i. Same probing scheme
+/// (linear probing, power-of-two capacity, load <= 1/2); the span length
+/// participates in hashing and equality, so spans of different lengths
+/// never collide as equal.
+class VarKeyTable {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  std::size_t size() const { return offsets_.size() - 1; }
+  std::size_t KeyLength(std::size_t index) const {
+    return offsets_[index + 1] - offsets_[index];
+  }
+  /// The interned key at `index` (KeyLength(index) ints, contiguous).
+  /// The pointer is invalidated by the next Intern; the index never is.
+  const int* KeyData(std::size_t index) const {
+    return arena_.data() + offsets_[index];
+  }
+
+  /// Interns the span `[key, key + length)`; returns its dense index and
+  /// whether it was new.
+  std::pair<std::uint32_t, bool> Intern(const int* key, std::size_t length);
+  /// Returns the dense index of the span, or kNotFound.
+  std::uint32_t Find(const int* key, std::size_t length) const;
+
+ private:
+  std::size_t Hash(const int* key, std::size_t length) const;
+  bool KeyEquals(std::size_t index, const int* key, std::size_t length) const;
+  void Grow();
+
+  std::vector<int> arena_;               // all keys back to back
+  std::vector<std::size_t> offsets_{0};  // size()+1 entries; key i spans
+                                         // [offsets_[i], offsets_[i+1])
+  std::vector<std::uint32_t> slots_;     // key index + 1; 0 means empty
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_FLAT_TABLE_H_

@@ -1,0 +1,284 @@
+// Differential testing of the decider's interned memoization substrate:
+// on program families crossed with randomized unions of bounded
+// expansions, the interned path (dense goal/instance ids, flat integer
+// memo rows) must return byte-identical ContainmentDecisions — verdict,
+// counterexample witness tree, and state counts — to the string-keyed
+// baseline it replaced, with and without antichain pruning. Also pins the
+// 64-atom mask-overflow guard: a disjunct too wide for the 64-bit atom
+// masks must be rejected with InvalidArgumentError up front, never
+// reaching the `1 << atom_index` shifts in absorb.cc.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/containment/decider.h"
+#include "src/containment/query_analysis.h"
+#include "src/generators/examples.h"
+#include "src/trees/enumerate.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+struct DeciderCase {
+  std::string name;
+  Program program;
+  std::string goal;
+  UnionOfCqs theta;
+};
+
+void ExpectSameDecision(const ContainmentDecision& interned,
+                        const ContainmentDecision& string_keyed,
+                        const std::string& label) {
+  EXPECT_EQ(interned.contained, string_keyed.contained) << label;
+  ASSERT_EQ(interned.counterexample.has_value(),
+            string_keyed.counterexample.has_value())
+      << label;
+  if (interned.counterexample.has_value()) {
+    EXPECT_EQ(interned.counterexample->ToString(),
+              string_keyed.counterexample->ToString())
+        << label;
+  }
+  EXPECT_EQ(interned.stats.states_discovered,
+            string_keyed.stats.states_discovered)
+      << label;
+  EXPECT_EQ(interned.stats.goals_discovered,
+            string_keyed.stats.goals_discovered)
+      << label;
+  EXPECT_EQ(interned.stats.rounds, string_keyed.stats.rounds) << label;
+}
+
+void RunDifferential(const DeciderCase& c) {
+  for (bool antichain : {true, false}) {
+    ContainmentOptions interned;
+    interned.intern_memo = true;
+    interned.antichain = antichain;
+    ContainmentOptions string_keyed;
+    string_keyed.intern_memo = false;
+    string_keyed.antichain = antichain;
+    StatusOr<ContainmentDecision> a =
+        DecideDatalogInUcq(c.program, c.goal, c.theta, interned);
+    StatusOr<ContainmentDecision> b =
+        DecideDatalogInUcq(c.program, c.goal, c.theta, string_keyed);
+    ASSERT_EQ(a.ok(), b.ok()) << c.name;
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code()) << c.name;
+      continue;
+    }
+    ExpectSameDecision(*a, *b,
+                       StrCat(c.name, " antichain=", antichain ? 1 : 0));
+  }
+}
+
+std::vector<DeciderCase> FixedCases() {
+  std::vector<DeciderCase> cases;
+  {
+    UnionOfCqs theta;
+    theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    theta.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+    cases.push_back({"buys1_rewriting", Buys1Program(), "buys", theta});
+  }
+  {
+    UnionOfCqs theta;
+    theta.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    theta.Add(MustParseCq("buys(X, Y) :- knows(X, Z), likes(Z, Y)."));
+    cases.push_back({"buys2_attempt", Buys2Program(), "buys", theta});
+  }
+  {
+    cases.push_back({"tc_paths3", TransitiveClosureProgram("e", "e"), "p",
+                     PathQueries(3)});
+  }
+  {
+    UnionOfCqs top;
+    top.Add(MustParseCq("p(X, Y) :- ."));
+    cases.push_back(
+        {"tc_top", TransitiveClosureProgram("e", "e"), "p", top});
+  }
+  {
+    UnionOfCqs diagonal;
+    diagonal.Add(MustParseCq("p(X, X) :- ."));
+    cases.push_back({"tc_diagonal", TransitiveClosureProgram("e", "e"), "p",
+                     diagonal});
+  }
+  {
+    cases.push_back({"nonlinear_tc_paths2",
+                     NonlinearTransitiveClosureProgram(), "p",
+                     PathQueries(2)});
+  }
+  {
+    cases.push_back({"chain2_paths4", ChainProgram(2), "p", PathQueries(4)});
+  }
+  {
+    UnionOfCqs empty;
+    cases.push_back(
+        {"tc_empty_union", TransitiveClosureProgram("e", "e"), "p", empty});
+  }
+  {
+    Program mutual = MustParseProgram(R"(
+      even(X) :- zero(X).
+      even(X) :- succ(Y, X), odd(Y).
+      odd(X) :- succ(Y, X), even(Y).
+    )");
+    UnionOfCqs exactly_one;
+    exactly_one.Add(MustParseCq("odd(X) :- succ(Y, X), zero(Y)."));
+    cases.push_back({"mutual_exactly_one", mutual, "odd", exactly_one});
+  }
+  {
+    Program reach = MustParseProgram(R"(
+      r(X) :- e(root, X).
+      r(X) :- r(Y), e(Y, X).
+    )");
+    UnionOfCqs from_root;
+    from_root.Add(MustParseCq("r(X) :- e(root, X)."));
+    cases.push_back({"constants_from_root", reach, "r", from_root});
+  }
+  {
+    Program loops = MustParseProgram(R"(
+      l(X, X) :- e(X, X).
+      l(X, Y) :- e(X, Z), l(Z, Y).
+    )");
+    UnionOfCqs ends_in_loop;
+    ends_in_loop.Add(MustParseCq("l(X, Y) :- e(Y, Y)."));
+    cases.push_back({"repeated_head_vars", loops, "l", ends_in_loop});
+  }
+  return cases;
+}
+
+TEST(DeciderInternTest, FixedCasesAgreeWithStringKeyedBaseline) {
+  for (const DeciderCase& c : FixedCases()) RunDifferential(c);
+}
+
+// Randomized pairs: each seed picks a program family and a random subset
+// of its bounded expansions as Θ (sometimes topped up with the universal
+// CQ), producing a mix of contained and non-contained instances.
+class DeciderInternRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeciderInternRandomTest, RandomizedExpansionSubsetsAgree) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  std::mt19937_64 rng(seed * 7919 + 1);
+  struct Family {
+    std::string name;
+    Program program;
+    std::string goal;
+  };
+  std::vector<Family> families;
+  families.push_back({"buys1", Buys1Program(), "buys"});
+  families.push_back({"buys2", Buys2Program(), "buys"});
+  families.push_back({"tc", TransitiveClosureProgram("e", "e"), "p"});
+  families.push_back({"tc_nl", NonlinearTransitiveClosureProgram(), "p"});
+  families.push_back({"chain2", ChainProgram(2), "p"});
+  const Family& family = families[seed % families.size()];
+  EnumerateOptions enumerate;
+  enumerate.max_depth = 1 + static_cast<std::size_t>(rng() % 3);
+  enumerate.max_trees = 200;
+  UnionOfCqs expansions =
+      BoundedExpansions(family.program, family.goal, enumerate);
+  UnionOfCqs theta;
+  for (const ConjunctiveQuery& disjunct : expansions.disjuncts()) {
+    if (rng() % 2 == 0) theta.Add(disjunct);
+    if (theta.size() >= 6) break;  // keep the decider input small
+  }
+  if (rng() % 4 == 0) {
+    std::vector<Term> head;
+    for (std::size_t i = 0; i < family.program.PredicateArity(family.goal);
+         ++i) {
+      head.push_back(Term::Variable(StrCat("T", i)));
+    }
+    theta.Add(ConjunctiveQuery(std::move(head), {}));  // universal CQ
+  }
+  DeciderCase c{StrCat(family.name, "_seed", seed), family.program,
+                family.goal, theta};
+  RunDifferential(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomThetas, DeciderInternRandomTest,
+                         ::testing::Range(0, 20));
+
+// A reused checker must behave exactly like a fresh decider per Θ, in
+// particular when an early-stopped run (counterexample found before the
+// instance enumeration finished) leaves a partially built instance cache
+// behind for the next Decide call to resume.
+TEST(DeciderInternTest, CheckerReuseAcrossThetasMatchesFreshDeciders) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  ContainmentChecker checker(tc, "p");
+  std::vector<UnionOfCqs> thetas;
+  thetas.emplace_back();  // empty union: early stop on the first root state
+  thetas.push_back(PathQueries(2));
+  {
+    UnionOfCqs top;
+    top.Add(MustParseCq("p(X, Y) :- ."));
+    thetas.push_back(top);
+  }
+  thetas.push_back(PathQueries(3));
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    StatusOr<ContainmentDecision> reused = checker.Decide(thetas[i]);
+    StatusOr<ContainmentDecision> fresh =
+        DecideDatalogInUcq(tc, "p", thetas[i]);
+    ASSERT_TRUE(reused.ok()) << reused.status();
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    ExpectSameDecision(*reused, *fresh, StrCat("theta ", i));
+  }
+}
+
+TEST(DeciderInternTest, InternedPathReportsMemoAndCacheCounters) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  ContainmentOptions options;
+  options.intern_memo = true;
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(tc, "p", PathQueries(2), options);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_GT(decision->stats.instances_cached, 0u);
+  EXPECT_GT(decision->stats.subset_checks, 0u);
+  options.intern_memo = false;
+  StatusOr<ContainmentDecision> baseline =
+      DecideDatalogInUcq(tc, "p", PathQueries(2), options);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->stats.instances_cached, 0u);
+}
+
+// --- the 64-atom mask-overflow guard ---------------------------------
+
+ConjunctiveQuery WideDisjunct(std::size_t atoms) {
+  std::vector<Atom> body;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    body.push_back(Atom("e", {Term::Variable(StrCat("V", i)),
+                              Term::Variable(StrCat("V", i + 1))}));
+  }
+  return ConjunctiveQuery(
+      {Term::Variable("V0"), Term::Variable(StrCat("V", atoms))},
+      std::move(body));
+}
+
+TEST(DeciderInternTest, SixtyFiveAtomDisjunctIsRejectedNotUndefined) {
+  // 65 atoms would shift `uint64_t{1} << 64` in absorb.cc if it ever got
+  // that far; the analysis layer must reject it cleanly instead.
+  StatusOr<QueryAnalysis> analysis = AnalyzeQuery(WideDisjunct(65));
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), StatusCode::kInvalidArgument);
+
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("p(X, Y) :- e(X, Y)."));
+  theta.Add(WideDisjunct(65));
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(tc, "p", theta);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeciderInternTest, MaxWidthDisjunctIsStillAnalyzable) {
+  // The analysis keeps a pointer to the CQ, so it must outlive it.
+  ConjunctiveQuery widest = WideDisjunct(kMaxDisjunctAtoms);
+  StatusOr<QueryAnalysis> analysis = AnalyzeQuery(widest);
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+  EXPECT_EQ(analysis->cq->body().size(), kMaxDisjunctAtoms);
+  StatusOr<QueryAnalysis> too_wide =
+      AnalyzeQuery(WideDisjunct(kMaxDisjunctAtoms + 1));
+  EXPECT_FALSE(too_wide.ok());
+}
+
+}  // namespace
+}  // namespace datalog

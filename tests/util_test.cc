@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/flat_table.h"
 #include "src/util/iteration.h"
 #include "src/util/scc.h"
 #include "src/util/status.h"
@@ -129,6 +130,52 @@ TEST(SccTest, SelfLoopIsItsOwnComponent) {
 TEST(SccTest, EmptyGraph) {
   SccResult r = StronglyConnectedComponents(0, {});
   EXPECT_EQ(r.num_components, 0);
+}
+
+TEST(VarKeyTableTest, InternsSpansOfDifferentLengths) {
+  VarKeyTable table;
+  int a[] = {1, 2, 3};
+  int b[] = {1, 2};
+  int c[] = {1, 2, 3, 4};
+  EXPECT_EQ(table.Intern(a, 3), (std::pair<std::uint32_t, bool>(0, true)));
+  EXPECT_EQ(table.Intern(b, 2), (std::pair<std::uint32_t, bool>(1, true)));
+  EXPECT_EQ(table.Intern(c, 4), (std::pair<std::uint32_t, bool>(2, true)));
+  // Re-interning returns the existing dense index.
+  EXPECT_EQ(table.Intern(a, 3), (std::pair<std::uint32_t, bool>(0, false)));
+  EXPECT_EQ(table.Intern(b, 2), (std::pair<std::uint32_t, bool>(1, false)));
+  EXPECT_EQ(table.size(), 3u);
+  // A prefix of an interned key is a distinct key.
+  EXPECT_EQ(table.Find(c, 3), 0u);
+  EXPECT_EQ(table.Find(c, 4), 2u);
+  EXPECT_EQ(table.KeyLength(2), 4u);
+  EXPECT_EQ(table.KeyData(1)[1], 2);
+}
+
+TEST(VarKeyTableTest, FindOnEmptyAndMissing) {
+  VarKeyTable table;
+  int key[] = {7};
+  EXPECT_EQ(table.Find(key, 1), VarKeyTable::kNotFound);
+  table.Intern(key, 1);
+  int other[] = {8};
+  EXPECT_EQ(table.Find(other, 1), VarKeyTable::kNotFound);
+  EXPECT_EQ(table.Find(key, 1), 0u);
+}
+
+TEST(VarKeyTableTest, SurvivesGrowth) {
+  VarKeyTable table;
+  std::vector<int> key(3);
+  for (int i = 0; i < 1000; ++i) {
+    key = {i, i * 31, i % 7};
+    auto [index, fresh] = table.Intern(key.data(), key.size());
+    EXPECT_TRUE(fresh);
+    EXPECT_EQ(index, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    key = {i, i * 31, i % 7};
+    EXPECT_EQ(table.Find(key.data(), key.size()),
+              static_cast<std::uint32_t>(i));
+  }
 }
 
 TEST(IterationTest, ProductEnumeratesAll) {

@@ -11,6 +11,8 @@
 // per-iteration join_probes are exported as benchmark counters.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "src/containment/decider.h"
 #include "src/engine/eval.h"
 #include "src/engine/random_db.h"
@@ -183,18 +185,26 @@ BENCHMARK(BM_TransitiveClosureRandomGraph)
 // rounds and the combination memo is hammered. Arg(0) is the number of
 // path disjuncts in Θ (a universal disjunct is added so the instance is
 // contained and the fixpoint runs to completion); Arg(1) selects the
-// memoization substrate — 1 = interned dense ids (flat integer memo rows,
+// memoization substrate — 2 = the shared interned IR (TermId pinned
+// images, integer combine/accept steps, renamed-set memo), 1 = interned
+// dense ids with Term-based achieved sets (flat integer memo rows,
 // vector goal store, cached canonical instances), 0 = the string-keyed
-// baseline it replaced (instance.ToString() memo keys, string-keyed goal
-// store, instances re-materialized every round).
+// baseline both replaced (instance.ToString() memo keys, string-keyed
+// goal store, instances re-materialized every round).
+ContainmentOptions DeciderSubstrateOptions(std::int64_t substrate) {
+  ContainmentOptions options;
+  options.track_witness = false;
+  options.use_ir = substrate == 2;
+  options.intern_memo = substrate >= 1;
+  return options;
+}
+
 void BM_DeciderNonlinearDeepRecursion(benchmark::State& state) {
   Program nl = NonlinearTransitiveClosureProgram();
   UnionOfCqs theta = PathQueries(static_cast<int>(state.range(0)));
   theta.Add(ConjunctiveQuery(
       {Term::Variable("X"), Term::Variable("Y")}, {}));  // universal CQ
-  ContainmentOptions options;
-  options.track_witness = false;
-  options.intern_memo = state.range(1) != 0;
+  ContainmentOptions options = DeciderSubstrateOptions(state.range(1));
   ContainmentStats stats;
   for (auto _ : state) {
     StatusOr<ContainmentDecision> decision =
@@ -208,10 +218,14 @@ void BM_DeciderNonlinearDeepRecursion(benchmark::State& state) {
   state.counters["memo_hits"] = static_cast<double>(stats.memo_hits);
   state.counters["sig_rejects"] =
       static_cast<double>(stats.subset_sig_rejects);
+  state.counters["rename_hits"] =
+      static_cast<double>(stats.rename_memo_hits);
 }
 BENCHMARK(BM_DeciderNonlinearDeepRecursion)
+    ->Args({2, 2})
     ->Args({2, 1})
     ->Args({2, 0})
+    ->Args({3, 2})
     ->Args({3, 1})
     ->Args({3, 0});
 
@@ -223,9 +237,7 @@ void BM_DeciderDeepChainMultiDisjunct(benchmark::State& state) {
   UnionOfCqs theta = PathQueries(static_cast<int>(state.range(0)));
   theta.Add(ConjunctiveQuery(
       {Term::Variable("X"), Term::Variable("Y")}, {}));  // universal CQ
-  ContainmentOptions options;
-  options.track_witness = false;
-  options.intern_memo = state.range(1) != 0;
+  ContainmentOptions options = DeciderSubstrateOptions(state.range(1));
   ContainmentStats stats;
   for (auto _ : state) {
     StatusOr<ContainmentDecision> decision =
@@ -239,10 +251,14 @@ void BM_DeciderDeepChainMultiDisjunct(benchmark::State& state) {
   state.counters["memo_hits"] = static_cast<double>(stats.memo_hits);
   state.counters["sig_rejects"] =
       static_cast<double>(stats.subset_sig_rejects);
+  state.counters["rename_hits"] =
+      static_cast<double>(stats.rename_memo_hits);
 }
 BENCHMARK(BM_DeciderDeepChainMultiDisjunct)
+    ->Args({3, 2})
     ->Args({3, 1})
     ->Args({3, 0})
+    ->Args({4, 2})
     ->Args({4, 1})
     ->Args({4, 0});
 
@@ -254,9 +270,8 @@ BENCHMARK(BM_DeciderDeepChainMultiDisjunct)
 void BM_DeciderTcPathsCheckerReuse(benchmark::State& state) {
   Program tc = TransitiveClosureProgram("e", "e");
   UnionOfCqs paths = PathQueries(static_cast<int>(state.range(0)));
-  ContainmentOptions options;
-  options.track_witness = false;
-  options.intern_memo = state.range(1) != 0;
+  ContainmentOptions options = DeciderSubstrateOptions(state.range(1));
+  ContainmentStats stats;
   for (auto _ : state) {
     ContainmentChecker checker(tc, "p");
     for (int repeat = 0; repeat < 3; ++repeat) {
@@ -264,13 +279,20 @@ void BM_DeciderTcPathsCheckerReuse(benchmark::State& state) {
           checker.Decide(paths, options);
       DATALOG_CHECK(decision.ok());
       DATALOG_CHECK(!decision->contained);
+      stats = decision->stats;
       benchmark::DoNotOptimize(decision);
     }
   }
+  state.counters["states"] = static_cast<double>(stats.states_discovered);
+  state.counters["memo_hits"] = static_cast<double>(stats.memo_hits);
+  state.counters["rename_hits"] =
+      static_cast<double>(stats.rename_memo_hits);
 }
 BENCHMARK(BM_DeciderTcPathsCheckerReuse)
+    ->Args({5, 2})
     ->Args({5, 1})
     ->Args({5, 0})
+    ->Args({7, 2})
     ->Args({7, 1})
     ->Args({7, 0});
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_eval.json schema.
+
+Used by bench/run_bench.sh before replacing the committed baseline and by
+the CI bench-smoke job against the committed file, so a truncated run or
+a hand-edit that breaks the shape fails loudly instead of silently
+corrupting the perf trajectory.
+
+Usage: check_bench_schema.py <bench.json> [--expect-prefix NAME ...]
+
+With --expect-prefix, at least one benchmark entry must start with each
+given prefix (e.g. BM_Decider, BM_RecursiveBuys) — a guard against a
+filter accidentally dropping a whole family from the baseline.
+"""
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_bench_schema: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_schema.py <bench.json> "
+             "[--expect-prefix NAME ...]")
+    path = sys.argv[1]
+    prefixes = []
+    args = sys.argv[2:]
+    while args:
+        if args[0] == "--expect-prefix" and len(args) >= 2:
+            prefixes.append(args[1])
+            args = args[2:]
+        else:
+            fail(f"unknown argument {args[0]}")
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+    if not isinstance(data, dict):
+        fail("top level must be an object")
+    for key in ("context", "benchmarks"):
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+    if not isinstance(data["benchmarks"], list) or not data["benchmarks"]:
+        fail("'benchmarks' must be a non-empty list")
+    for entry in data["benchmarks"]:
+        if not isinstance(entry, dict):
+            fail("benchmark entries must be objects")
+        for key in ("name", "real_time", "cpu_time", "time_unit"):
+            if key not in entry:
+                fail(f"benchmark entry missing {key!r}: "
+                     f"{entry.get('name', '<unnamed>')}")
+        if not isinstance(entry["real_time"], (int, float)):
+            fail(f"{entry['name']}: real_time must be numeric")
+
+    names = [entry["name"] for entry in data["benchmarks"]]
+    for prefix in prefixes:
+        if not any(name.startswith(prefix) for name in names):
+            fail(f"no benchmark entry starts with {prefix!r}")
+    print(f"check_bench_schema: {path} OK "
+          f"({len(names)} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,12 +36,13 @@ if ! "${build_dir}/bench_eval" \
   exit 1
 fi
 
-# A clean exit must still have produced complete JSON (the stream ends
-# with the closing brace of the top-level object). Validation needs a
+# A clean exit must still have produced complete, well-shaped JSON (the
+# stream ends with the closing brace of the top-level object, and every
+# entry carries the fields perf comparisons read). Validation needs a
 # JSON parser; without python3 the check is skipped, not misreported.
 if command -v python3 >/dev/null 2>&1; then
-  if ! python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
-      "${tmp_output}"; then
+  if ! python3 "${repo_root}/bench/check_bench_schema.py" "${tmp_output}" \
+      --expect-prefix BM_Decider --expect-prefix BM_TransitiveClosure; then
     echo "bench_eval produced invalid JSON; leaving ${output} untouched" >&2
     exit 1
   fi

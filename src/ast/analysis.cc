@@ -125,6 +125,11 @@ bool IsProofVariableName(const std::string& name) {
   return !name.empty() && name[0] == '$';
 }
 
+std::size_t ProofVariableIndex(const std::string& name) {
+  DATALOG_CHECK(IsProofVariableName(name));
+  return static_cast<std::size_t>(std::stoul(name.substr(1)));
+}
+
 std::vector<std::string> ProofVariables(const Program& program,
                                         std::size_t minimum) {
   std::size_t k = std::max(VarNum(program), minimum);

@@ -77,6 +77,12 @@ std::string ProofVariableName(std::size_t i);
 /// True if `name` is a canonical proof variable.
 bool IsProofVariableName(const std::string& name);
 
+/// The index i of the canonical proof variable "$i"; CHECK-fails unless
+/// IsProofVariableName(name). The single home of the "$k" parsing
+/// convention — the interned layers (decider, theta automaton) encode
+/// proof variables by this index.
+std::size_t ProofVariableIndex(const std::string& name);
+
 /// Predicates of a nonrecursive program in a topological order of the
 /// dependence graph (every predicate appears after the predicates it
 /// depends on). CHECK-fails on recursive programs.

@@ -86,6 +86,67 @@ void EnumerateAbsorptions(const QueryAnalysis& query,
   }
 }
 
+// --- the IR (dense-id) mirror of the machinery above -------------------
+// The working assignment is the shared ir::DenseBinding (binds are
+// integer stores; consistency checks integer compares, counted into
+// *pinned_compares by the callers that thread a counter through).
+
+// IR rendering of EnumerateAbsorptions: subsets of the candidate atoms of
+// `query` mapped homomorphically into `edb_atoms`, with every unification
+// an integer compare.
+void IrEnumerateAbsorptions(const IrQueryAnalysis& query,
+                            std::uint64_t candidate_mask,
+                            const std::vector<IrInstanceAtom>& edb_atoms,
+                            ir::DenseBinding* assignment,
+                            std::vector<std::int32_t>* trail, int atom_index,
+                            std::uint64_t chosen, std::size_t* pinned_compares,
+                            const std::function<void(std::uint64_t)>& emit) {
+  int n = static_cast<int>(query.body.size());
+  while (atom_index < n &&
+         (candidate_mask & (std::uint64_t{1} << atom_index)) == 0) {
+    ++atom_index;
+  }
+  if (atom_index >= n) {
+    emit(chosen);
+    return;
+  }
+  const IrQueryAtom& from = query.body[atom_index];
+  // Option 1: skip this atom.
+  IrEnumerateAbsorptions(query, candidate_mask, edb_atoms, assignment, trail,
+                         atom_index + 1, chosen, pinned_compares, emit);
+  // Option 2: map it to some EDB atom of the rule body.
+  for (const IrInstanceAtom& to : edb_atoms) {
+    if (to.predicate != from.predicate ||
+        to.args.size() != from.args.size()) {
+      continue;
+    }
+    std::size_t mark = trail->size();
+    bool ok = true;
+    for (std::size_t i = 0; i < from.args.size(); ++i) {
+      std::int32_t f = from.args[i];
+      ir::TermId t = to.args[i];
+      if (f < 0) {  // constant: image must be the same constant
+        if (t != ir::TermId::Constant(static_cast<std::uint32_t>(~f))) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      if (!assignment->Bind(f, t, trail, pinned_compares)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      IrEnumerateAbsorptions(query, candidate_mask, edb_atoms, assignment,
+                             trail, atom_index + 1,
+                             chosen | (std::uint64_t{1} << atom_index),
+                             pinned_compares, emit);
+    }
+    assignment->Undo(trail, mark);
+  }
+}
+
 }  // namespace
 
 std::string AchievedPair::ToString() const {
@@ -214,6 +275,169 @@ void CombineAtNode(const std::vector<QueryAnalysis>& queries,
       // Already handled by the single iteration above.
     }
   }
+}
+
+void InsertPair(IrAchievedSet* set, IrAchievedPair pair) {
+  auto it = std::lower_bound(set->begin(), set->end(), pair);
+  if (it != set->end() && *it == pair) return;
+  set->insert(it, std::move(pair));
+}
+
+bool IsAchievedSubset(const IrAchievedSet& a, const IrAchievedSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::uint64_t AchievedPairSignatureBit(const IrAchievedPair& pair) {
+  std::size_t seed = static_cast<std::size_t>(pair.query);
+  HashCombine(&seed, pair.mask);
+  for (const auto& [v, term] : pair.pinned) {
+    HashCombine(&seed, v);
+    HashCombine(&seed, term.raw());
+  }
+  return std::uint64_t{1} << (seed & 63);
+}
+
+std::uint64_t AchievedSetSignature(const IrAchievedSet& set) {
+  std::uint64_t sig = 0;
+  for (const IrAchievedPair& pair : set) sig |= AchievedPairSignatureBit(pair);
+  return sig;
+}
+
+void CombineAtNode(const std::vector<IrQueryAnalysis>& queries,
+                   const std::vector<IrInstanceAtom>& edb_atoms,
+                   const std::vector<char>& parent_visible,
+                   const std::vector<const IrAchievedSet*>& child_sets,
+                   IrAchievedSet* out, std::size_t* pinned_compares) {
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const IrQueryAnalysis& query = queries[qi];
+    const QueryAnalysis& base = *query.base;
+    // Options per child: that child's pairs for this query, plus the
+    // implicit empty pair (index == count).
+    std::vector<std::vector<const IrAchievedPair*>> options(
+        child_sets.size());
+    for (std::size_t j = 0; j < child_sets.size(); ++j) {
+      for (const IrAchievedPair& pair : *child_sets[j]) {
+        if (pair.query == static_cast<std::int32_t>(qi)) {
+          options[j].push_back(&pair);
+        }
+      }
+    }
+    std::vector<std::size_t> choice(child_sets.size(), 0);
+    // One binding + trail reused across the whole choice odometer: each
+    // iteration unwinds its own binds (EnumerateAbsorptions already
+    // restores to its entry point; the pinned-image seeds are undone at
+    // the bottom of the loop), so no per-iteration allocation.
+    ir::DenseBinding assignment(base.vars.size());
+    std::vector<std::int32_t> trail;
+    while (true) {
+      bool consistent = true;
+      std::uint64_t union_mask = 0;
+      for (std::size_t j = 0; j < child_sets.size() && consistent; ++j) {
+        if (choice[j] == options[j].size()) continue;  // empty pair
+        const IrAchievedPair& pair = *options[j][choice[j]];
+        if ((union_mask & pair.mask) != 0) {
+          consistent = false;  // β must partition across children
+          break;
+        }
+        union_mask |= pair.mask;
+        for (const auto& [v, term] : pair.pinned) {
+          if (!assignment.Bind(v, term, &trail, pinned_compares)) {
+            consistent = false;
+            break;
+          }
+        }
+      }
+      if (consistent) {
+        std::uint64_t candidates = base.full_mask & ~union_mask;
+        IrEnumerateAbsorptions(
+            query, candidates, edb_atoms, &assignment, &trail, 0, 0,
+            pinned_compares, [&](std::uint64_t beta_prime) {
+              std::uint64_t total = union_mask | beta_prime;
+              if (total == 0) return;  // the empty pair stays implicit
+              // Visibility: exposed variables must have images that are
+              // visible at the parent goal (goal variables or constants).
+              IrAchievedPair result;
+              result.query = static_cast<std::int32_t>(qi);
+              result.mask = total;
+              for (std::size_t v = 0; v < base.vars.size(); ++v) {
+                if (!base.IsExposed(static_cast<int>(v), total)) continue;
+                ir::TermId image = assignment.image[v];
+                DATALOG_CHECK(image.valid())
+                    << "exposed variable must be assigned";
+                if (image.is_variable() &&
+                    parent_visible[image.index()] == 0) {
+                  return;  // image not visible at the parent goal
+                }
+                result.pinned.emplace_back(static_cast<std::int32_t>(v),
+                                           image);
+              }
+              InsertPair(out, std::move(result));
+            });
+      }
+      // Unwind this iteration's seed binds (also the partial trail of an
+      // inconsistent choice) and advance the choice counters. A node
+      // with no children runs exactly one iteration: the empty choice
+      // vector advances straight to j == choice.size().
+      assignment.Undo(&trail, 0);
+      std::size_t j = 0;
+      for (; j < choice.size(); ++j) {
+        if (++choice[j] <= options[j].size()) break;
+        choice[j] = 0;
+      }
+      if (j == choice.size()) break;
+    }
+  }
+}
+
+bool RootAccepts(const std::vector<IrQueryAnalysis>& queries,
+                 const std::vector<ir::TermId>& root_goal_args,
+                 const IrAchievedSet& set, std::size_t* pinned_compares) {
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const IrQueryAnalysis& query = queries[qi];
+    const QueryAnalysis& base = *query.base;
+    if (query.head_args.size() != root_goal_args.size()) continue;
+    // Unify the disjunct's head argument vector with the root goal's.
+    std::vector<ir::TermId> head_image(base.vars.size());
+    bool unified = true;
+    for (std::size_t i = 0; i < query.head_args.size() && unified; ++i) {
+      std::int32_t from = query.head_args[i];
+      ir::TermId to = root_goal_args[i];
+      if (from < 0) {  // constant
+        unified =
+            to == ir::TermId::Constant(static_cast<std::uint32_t>(~from));
+        continue;
+      }
+      if (head_image[from].valid()) {
+        if (pinned_compares != nullptr) ++*pinned_compares;
+        unified = head_image[from] == to;
+      } else {
+        head_image[from] = to;
+      }
+    }
+    if (!unified) continue;
+    if (base.full_mask == 0) return true;  // empty body: head match suffices
+    for (const IrAchievedPair& pair : set) {
+      if (pair.query != static_cast<std::int32_t>(qi) ||
+          pair.mask != base.full_mask) {
+        continue;
+      }
+      bool ok = true;
+      for (const auto& [v, term] : pair.pinned) {
+        // Exposed variables of the full mask are exactly the
+        // distinguished variables occurring in the body; their pinned
+        // images must agree with the head unification.
+        if (head_image[v].valid()) {
+          if (pinned_compares != nullptr) ++*pinned_compares;
+          if (head_image[v] != term) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) return true;
+    }
+  }
+  return false;
 }
 
 void EnumerateForwardAbsorptions(

@@ -111,6 +111,78 @@ bool RootAccepts(const std::vector<QueryAnalysis>& queries,
 bool RootAcceptsQuery(const QueryAnalysis& query, const Atom& root_goal,
                       const AchievedSet& set);
 
+// --- the interned IR encoding of the same machinery -------------------
+//
+// The string path above moves Term objects (heap strings) through every
+// bind, compare, and sort. The IR path runs the identical semantics on
+// dense ids: pinned images are ir::TermId (variables are frame-local
+// proof-variable indexes, constants dictionary ids), so homomorphism and
+// consistency checks are single integer compares and an achieved pair is
+// a trivially-copyable span. ContainmentOptions::use_ir selects between
+// them; decisions are byte-identical (tests/decider_intern_test.cc).
+
+/// Pinned exposed-variable images on the IR encoding, sorted by variable
+/// id. The pair is trivially copyable.
+using IrPinnedMap = std::vector<std::pair<std::int32_t, ir::TermId>>;
+
+struct IrAchievedPair {
+  std::int32_t query = 0;
+  std::uint64_t mask = 0;
+  IrPinnedMap pinned;
+
+  bool operator==(const IrAchievedPair& other) const {
+    return query == other.query && mask == other.mask &&
+           pinned == other.pinned;
+  }
+  bool operator<(const IrAchievedPair& other) const {
+    if (query != other.query) return query < other.query;
+    if (mask != other.mask) return mask < other.mask;
+    return pinned < other.pinned;
+  }
+};
+
+/// Sorted, deduplicated achieved set on the IR encoding. The same
+/// sort-order contract as AchievedSet applies: subset tests are linear
+/// merges, so the set must stay sorted by IrAchievedPair::operator< at
+/// all times.
+using IrAchievedSet = std::vector<IrAchievedPair>;
+
+/// Inserts `pair` keeping the set sorted and unique.
+void InsertPair(IrAchievedSet* set, IrAchievedPair pair);
+
+/// True if every pair of `a` also occurs in `b` (both sorted).
+bool IsAchievedSubset(const IrAchievedSet& a, const IrAchievedSet& b);
+
+/// Order-independent 64-bit Bloom signature (IR pairs hash over ids, so
+/// the bit pattern differs from the string path's — only ever compare IR
+/// signatures with IR signatures).
+std::uint64_t AchievedPairSignatureBit(const IrAchievedPair& pair);
+std::uint64_t AchievedSetSignature(const IrAchievedSet& set);
+
+/// An instance-side atom on the IR encoding: predicate dictionary id plus
+/// TermId arguments (variables are proof-variable indexes in the
+/// instance's frame, constants dictionary ids).
+using IrInstanceAtom = ir::TermAtom;
+
+/// IR rendering of CombineAtNode: one bottom-up combination step at a
+/// node whose rule instance has EDB body atoms `edb_atoms` and whose head
+/// contains exactly the proof variables flagged in `parent_visible`
+/// (indexed by proof-variable index). `child_sets` are the children's
+/// achievable sets with pinned images already renamed into the instance
+/// frame. Every integer pinned-image comparison is counted into
+/// `*pinned_compares` when non-null.
+void CombineAtNode(const std::vector<IrQueryAnalysis>& queries,
+                   const std::vector<IrInstanceAtom>& edb_atoms,
+                   const std::vector<char>& parent_visible,
+                   const std::vector<const IrAchievedSet*>& child_sets,
+                   IrAchievedSet* out, std::size_t* pinned_compares);
+
+/// IR rendering of RootAccepts: `root_goal_args` are the root goal's
+/// argument TermIds (the goal predicate is checked by the caller).
+bool RootAccepts(const std::vector<IrQueryAnalysis>& queries,
+                 const std::vector<ir::TermId>& root_goal_args,
+                 const IrAchievedSet& set, std::size_t* pinned_compares);
+
 /// Forward (top-down) absorption step, used by the word-automaton
 /// construction for linear programs: enumerates every subset β' of the
 /// pending atoms `pending_mask` of `query` that maps homomorphically into

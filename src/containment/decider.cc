@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "src/containment/absorb.h"
 #include "src/containment/instances.h"
 #include "src/containment/query_analysis.h"
+#include "src/ir/ir.h"
 #include "src/util/flat_table.h"
 #include "src/util/iteration.h"
 #include "src/util/logging.h"
@@ -24,33 +26,44 @@
 namespace datalog {
 namespace {
 
-// One discovered (goal, achievable set) state. The set and witness are
+// One discovered (goal, achievable set) state, parameterized over the
+// achieved-set representation (Term-based AchievedSet on the baseline
+// paths, IrAchievedSet on the IR path). The set and witness are
 // immutable once registered and held by shared_ptr: combination snapshots
 // states by value (a self-recursive rule may grow or prune the very entry
 // being iterated), and sharing makes a snapshot O(states), not
 // O(states × set size × subtree size).
-struct StateEntry {
-  std::shared_ptr<const AchievedSet> set;
+template <typename SetT>
+struct StateEntryT {
+  std::shared_ptr<const SetT> set;
   std::uint64_t sig = 0;  // AchievedSetSignature(*set)
   std::shared_ptr<const ExpansionTree> witness;
   std::uint64_t serial = 0;  // stable identity for combination memoization
 };
 
-struct GoalEntry {
-  std::vector<StateEntry> states;
+template <typename SetT>
+struct GoalEntryT {
+  std::vector<StateEntryT<SetT>> states;
   bool touched = false;  // Register reached this goal in the current run
 };
 
+using StateEntry = StateEntryT<AchievedSet>;
+using GoalEntry = GoalEntryT<AchievedSet>;
+using IrStateEntry = StateEntryT<IrAchievedSet>;
+using IrGoalEntry = GoalEntryT<IrAchievedSet>;
+
+// Canonical variables are proof variables; their index is their identity
+// on the interned substrate.
 std::size_t CanonicalIndex(const std::string& name) {
-  DATALOG_CHECK(IsProofVariableName(name));
-  return static_cast<std::size_t>(std::stoul(name.substr(1)));
+  return ProofVariableIndex(name);
 }
 
 }  // namespace
 
 // θ-independent state shared across Decide calls on one (program, goal):
-// the ordered rules plus the interned dense-id substrate — a goal-atom
-// dictionary and the materialized canonical instances. Mirrors the
+// the ordered rules plus the interned dense-id substrate — the shared
+// program IR (predicate/constant dictionaries; src/ir/ir.h), a goal-atom
+// dictionary, and the materialized canonical instances. Mirrors the
 // engine's PredicateDictionary scheme: structures are interned once and
 // the decider hot path moves integer ids, not strings.
 struct ContainmentChecker::Context {
@@ -65,39 +78,80 @@ struct ContainmentChecker::Context {
   // goal predicate (failing root states surface early), then the rest.
   std::vector<const Rule*> ordered_rules;
 
-  // --- interned substrate (the intern_memo path) ----------------------
-  // Decider-local predicate ids for goal-atom rows.
-  std::unordered_map<std::string, int> pred_ids;
-  // Decider-local constant ids. Constants encode as non-negative ints and
-  // proof variables $k as -(k+1), so the namespaces cannot collide within
-  // an encoded row.
-  std::unordered_map<std::string, int> const_ids;
-  // Canonical goal atoms -> dense goal ids; row = [pred_id, enc(args)...].
+  // --- interned substrate (the use_ir / intern_memo paths) -------------
+  // The shared program IR. Its predicate and constant dictionaries are
+  // the id spaces every encoded structure below uses; Θ disjuncts are
+  // folded into the same dictionaries per run (append-only, so cached
+  // instance encodings stay valid across Decide calls).
+  ir::ProgramIr program_ir;
+  std::int32_t goal_pred_id = -1;
+  // Canonical goal atoms -> dense goal ids; row = [pred_id, enc(args)...]
+  // with proof variables $k encoded as -(k+1) and constants as their
+  // non-negative dictionary ids (the namespaces cannot collide).
   VarKeyTable goal_keys;
 
+  // One rule encoded once onto the IR id spaces: atoms carry the
+  // predicate dictionary id and int arguments (rule-variable slot in
+  // VariableNames() order, or ~constant_id). Canonical instances are then
+  // stamped out of the template at integer cost — no substitution maps,
+  // no Term construction.
+  struct RuleTemplate {
+    struct AtomTpl {
+      std::int32_t predicate = 0;
+      bool idb = false;
+      // args >= 0: rule-variable slot; args < 0: constant ~id.
+      std::vector<std::int32_t> args;
+    };
+    AtomTpl head;
+    std::vector<AtomTpl> body;
+    std::vector<std::size_t> idb_positions;  // body positions of IDB atoms
+  };
+
   // A materialized canonical instance plus everything ProcessInstance
-  // used to recompute from strings every round: the EDB/IDB split, the
-  // canonicalization of each child goal, and the interned goal ids. The
-  // dense instance id is the index into `instances`.
+  // used to recompute from strings every round: the interned goal ids and
+  // the IR encodings the use_ir combination step runs on (built for every
+  // instance, at integer cost), and the Term-level rendering — the Rule,
+  // the EDB/IDB split as Atoms, the canonicalization bookkeeping — built
+  // lazily only when a run actually needs Terms (the non-IR arms, or
+  // witness tracking on any arm).
   struct CachedInstance {
+    // The class assignment that materialized this instance (classes[i] is
+    // the proof-variable index of rule variable slot i); kept so the
+    // Term-level rendering can be reproduced on demand.
+    std::vector<std::size_t> classes;
+    std::vector<std::size_t> idb_positions;
+    std::vector<std::uint32_t> child_goal_ids;
+    std::uint32_t head_goal_id = 0;
+    // --- IR encodings (instance frame: variables are proof-var indexes,
+    // --- constants dictionary ids) -----------------------------------
+    std::vector<IrInstanceAtom> ir_edb;
+    std::int32_t ir_head_pred = 0;
+    std::vector<ir::TermId> ir_head_args;
+    // Indexed by proof-variable index: does the variable occur in the
+    // head (i.e. is its image visible at the parent goal)?
+    std::vector<char> ir_head_visible;
+    // The variable of the instance frame each canonical child variable
+    // replaced: canonical $k of child j is ir_child_originals[j][k].
+    std::vector<std::vector<ir::TermId>> ir_child_originals;
+    // --- lazy Term-level rendering -----------------------------------
+    bool has_strings = false;
     Rule rule;
     // Pointers into rule.body()'s heap buffer: stable across moves of the
     // CachedInstance (moving a Rule transfers the same atom storage).
     std::vector<const Atom*> edb_atoms;
-    std::vector<std::size_t> idb_positions;
     std::vector<Atom> child_goals;
     std::vector<CanonicalAtomInfo> child_canonical;
     // child_canonical[j].original_vars materialized as variable Terms.
     std::vector<std::vector<Term>> child_original_terms;
-    std::vector<std::uint32_t> child_goal_ids;
-    std::uint32_t head_goal_id = 0;
   };
-  // Per rule (in ordered_rules order): the dense ids of its cached
-  // instances, in canonical-enumeration order. `complete` marks that the
-  // enumeration ran to the end; until then a round resumes it, skipping
-  // the cached prefix at integer cost (ForEachCanonicalAssignment).
+  // Per rule (in ordered_rules order): the encoded template plus the
+  // dense ids of its cached instances, in canonical-enumeration order.
+  // `complete` marks that the enumeration ran to the end; until then a
+  // round resumes it, skipping the cached prefix at integer cost
+  // (ForEachCanonicalAssignment).
   struct RuleCache {
     std::vector<std::string> rule_vars;
+    RuleTemplate tpl;
     std::vector<std::uint32_t> instance_ids;
     bool complete = false;
   };
@@ -113,6 +167,9 @@ struct ContainmentChecker::Context {
       idb.insert(predicate);
     }
     proof_vars = ProofVariables(program_ref);
+    program_ir = ir::ProgramIr::FromProgram(program_ref);
+    goal_pred_id =
+        static_cast<std::int32_t>(program_ir.predicates().Intern(goal));
     auto rule_class = [this](const Rule& rule) {
       bool leaf = true;
       for (const Atom& atom : rule.body()) {
@@ -130,65 +187,162 @@ struct ContainmentChecker::Context {
     }
   }
 
-  int EncodeTerm(const Term& term) {
-    if (term.is_variable()) {
-      return -(static_cast<int>(CanonicalIndex(term.name())) + 1);
+  // Encodes `rule` once onto the IR id spaces; pays the string lookups a
+  // single time per (program, goal) context.
+  RuleTemplate BuildRuleTemplate(const Rule& rule,
+                                 const std::vector<std::string>& rule_vars) {
+    RuleTemplate tpl;
+    std::unordered_map<std::string, std::int32_t> slots;
+    for (std::size_t i = 0; i < rule_vars.size(); ++i) {
+      slots.emplace(rule_vars[i], static_cast<std::int32_t>(i));
     }
-    auto [it, inserted] =
-        const_ids.emplace(term.name(), static_cast<int>(const_ids.size()));
-    return it->second;
+    auto encode_atom = [&](const Atom& atom) {
+      RuleTemplate::AtomTpl enc;
+      enc.predicate = static_cast<std::int32_t>(
+          program_ir.predicates().Intern(atom.predicate()));
+      enc.idb = idb.count(atom.predicate()) > 0;
+      enc.args.reserve(atom.arity());
+      for (const Term& t : atom.args()) {
+        if (t.is_variable()) {
+          enc.args.push_back(slots.at(t.name()));
+        } else {
+          enc.args.push_back(~static_cast<std::int32_t>(
+              program_ir.constants().Intern(t.name())));
+        }
+      }
+      return enc;
+    };
+    tpl.head = encode_atom(rule.head());
+    tpl.body.reserve(rule.body().size());
+    for (std::size_t i = 0; i < rule.body().size(); ++i) {
+      tpl.body.push_back(encode_atom(rule.body()[i]));
+      if (tpl.body.back().idb) tpl.idb_positions.push_back(i);
+    }
+    return tpl;
   }
 
-  std::uint32_t InternGoalAtom(const Atom& atom) {
-    auto [pit, pinserted] = pred_ids.emplace(
-        atom.predicate(), static_cast<int>(pred_ids.size()));
-    std::vector<int> row;
-    row.reserve(atom.arity() + 1);
-    row.push_back(pit->second);
-    for (const Term& t : atom.args()) row.push_back(EncodeTerm(t));
-    return goal_keys.Intern(row.data(), row.size()).first;
-  }
-
-  CachedInstance BuildCachedInstance(Rule instance) {
+  // Stamps the canonical instance for one class assignment out of the
+  // rule template: goal rows, IR atoms, and the child canonicalization
+  // all on integers. The Term-level rendering is deferred to
+  // EnsureInstanceStrings.
+  CachedInstance BuildCachedInstance(const RuleTemplate& tpl,
+                                     const std::vector<std::size_t>& classes) {
     CachedInstance cached;
-    for (std::size_t i = 0; i < instance.body().size(); ++i) {
-      const Atom& atom = instance.body()[i];
-      if (idb.count(atom.predicate()) > 0) {
-        cached.idb_positions.push_back(i);
-        cached.child_goals.push_back(atom);
+    cached.classes = classes;
+    cached.idb_positions = tpl.idb_positions;
+    auto encode_ir = [&](std::int32_t arg) {
+      return arg >= 0
+                 ? ir::TermId::Variable(
+                       static_cast<std::uint32_t>(classes[arg]))
+                 : ir::TermId::Constant(static_cast<std::uint32_t>(~arg));
+    };
+    // Head: instance heads are already canonical — rule variables are
+    // numbered in head-first first-occurrence order, so head classes
+    // carry canonical indexes exactly as CanonicalizeAtom would assign
+    // them. (The string-keyed path relies on the same fact: it stores
+    // goals under the raw head rendering and looks children up
+    // canonicalized.) Goal rows encode variables $k as -(k+1) and
+    // constants as their non-negative dictionary ids.
+    cached.ir_head_pred = tpl.head.predicate;
+    cached.ir_head_visible.assign(proof_vars.size(), 0);
+    row_scratch.clear();
+    row_scratch.push_back(tpl.head.predicate);
+    for (std::int32_t arg : tpl.head.args) {
+      ir::TermId id = encode_ir(arg);
+      cached.ir_head_args.push_back(id);
+      if (id.is_variable()) {
+        cached.ir_head_visible[id.index()] = 1;
+        row_scratch.push_back(-(static_cast<int>(id.index()) + 1));
+      } else {
+        row_scratch.push_back(static_cast<int>(id.index()));
       }
     }
-    for (const Atom& child : cached.child_goals) {
+    cached.head_goal_id =
+        goal_keys.Intern(row_scratch.data(), row_scratch.size()).first;
+    // Body: EDB atoms become IR atoms in the instance frame; IDB atoms
+    // are canonicalized on integers (first-occurrence renumbering of the
+    // proof-variable indexes) into goal rows plus the canonical->frame
+    // variable mapping the combination step renames through.
+    canon_scratch.assign(proof_vars.size(), -1);
+    for (const RuleTemplate::AtomTpl& atom : tpl.body) {
+      if (!atom.idb) {
+        IrInstanceAtom enc;
+        enc.predicate = atom.predicate;
+        enc.args.reserve(atom.args.size());
+        for (std::int32_t arg : atom.args) enc.args.push_back(encode_ir(arg));
+        cached.ir_edb.push_back(std::move(enc));
+        continue;
+      }
+      std::vector<ir::TermId> originals;
+      row_scratch.clear();
+      row_scratch.push_back(atom.predicate);
+      for (std::int32_t arg : atom.args) {
+        ir::TermId id = encode_ir(arg);
+        if (!id.is_variable()) {
+          row_scratch.push_back(static_cast<int>(id.index()));
+          continue;
+        }
+        int& canonical = canon_scratch[id.index()];
+        if (canonical < 0) {
+          canonical = static_cast<int>(originals.size());
+          originals.push_back(id);
+        }
+        row_scratch.push_back(-(canonical + 1));
+      }
+      cached.child_goal_ids.push_back(
+          goal_keys.Intern(row_scratch.data(), row_scratch.size()).first);
+      // Reset only the entries this child touched.
+      for (ir::TermId original : originals) {
+        canon_scratch[original.index()] = -1;
+      }
+      cached.ir_child_originals.push_back(std::move(originals));
+    }
+    return cached;
+  }
+
+  // Materializes the Term-level rendering of a cached instance: the Rule
+  // itself, the EDB/IDB split as Atoms, and the canonicalization
+  // bookkeeping. Needed by the non-IR arms (their achieved sets carry
+  // Terms) and by witness construction on every arm; the IR fixpoint with
+  // witness tracking off never calls this.
+  void EnsureInstanceStrings(CachedInstance* cached, const Rule& rule,
+                             const std::vector<std::string>& rule_vars) {
+    if (cached->has_strings) return;
+    Rule instance = InstantiateAssignment(rule, rule_vars, cached->classes);
+    for (const std::size_t i : cached->idb_positions) {
+      cached->child_goals.push_back(instance.body()[i]);
+    }
+    for (const Atom& child : cached->child_goals) {
       CanonicalAtomInfo info = CanonicalizeAtom(child);
-      cached.child_goal_ids.push_back(InternGoalAtom(info.atom));
       std::vector<Term> originals;
       originals.reserve(info.original_vars.size());
       for (const std::string& v : info.original_vars) {
         originals.push_back(Term::Variable(v));
       }
-      cached.child_original_terms.push_back(std::move(originals));
-      cached.child_canonical.push_back(std::move(info));
+      cached->child_original_terms.push_back(std::move(originals));
+      cached->child_canonical.push_back(std::move(info));
     }
-    // Instance heads are already canonical: rule variables are numbered in
-    // head-first first-occurrence order, so the head's variables carry
-    // canonical indexes exactly as CanonicalizeAtom would assign them.
-    // (The string-keyed path relies on the same fact: it stores goals
-    // under the raw head rendering and looks children up canonicalized.)
-    cached.head_goal_id = InternGoalAtom(instance.head());
-    cached.rule = std::move(instance);
-    for (const Atom& atom : cached.rule.body()) {
+    cached->rule = std::move(instance);
+    for (const Atom& atom : cached->rule.body()) {
       if (idb.count(atom.predicate()) == 0) {
-        cached.edb_atoms.push_back(&atom);
+        cached->edb_atoms.push_back(&atom);
       }
     }
-    return cached;
+    cached->has_strings = true;
   }
+
+  // Scratch buffers for BuildCachedInstance (goal rows and the per-child
+  // canonical renumbering, indexed by proof-variable index).
+  std::vector<int> row_scratch;
+  std::vector<int> canon_scratch;
 };
 
 // One Decide call: the per-Θ fixpoint over (goal, achievable set) states.
-// Two memoization substrates are implemented behind one Register core:
-// the interned path (dense goal/instance ids, flat integer memo rows) and
-// the string-keyed baseline it replaced, kept as an ablation arm.
+// Three memoization substrates are implemented behind one Register core:
+// the IR path (dense goal/instance ids, integer pinned images, renamed-set
+// memo), the interned path it extends (dense ids but Term-based achieved
+// sets), and the string-keyed baseline both replaced, kept as ablation
+// arms.
 class DeciderRun {
  public:
   DeciderRun(ContainmentChecker::Context* context, const UnionOfCqs& theta,
@@ -208,26 +362,42 @@ class DeciderRun {
       return Status(InvalidArgumentError(
           StrCat("goal predicate ", ctx_.goal, " is not an IDB predicate")));
     }
+    const bool interned_substrate = options_.use_ir || options_.intern_memo;
     ContainmentDecision decision;
-    if (options_.intern_memo) {
+    if (interned_substrate) {
       if (ctx_.rule_caches.empty()) {
         ctx_.rule_caches.resize(ctx_.ordered_rules.size());
         for (std::size_t r = 0; r < ctx_.ordered_rules.size(); ++r) {
           ctx_.rule_caches[r].rule_vars =
               ctx_.ordered_rules[r]->VariableNames();
+          ctx_.rule_caches[r].tpl = ctx_.BuildRuleTemplate(
+              *ctx_.ordered_rules[r], ctx_.rule_caches[r].rule_vars);
         }
       }
-      store_.resize(ctx_.goal_keys.size());
+      if (options_.use_ir) {
+        ir_store_.resize(ctx_.goal_keys.size());
+        ir_queries_.reserve(queries_.size());
+        for (const QueryAnalysis& query : queries_) {
+          ir_queries_.push_back(BuildIrQueryAnalysis(
+              query, &ctx_.program_ir.predicates(),
+              &ctx_.program_ir.constants()));
+        }
+      } else {
+        store_.resize(ctx_.goal_keys.size());
+      }
     }
     bool changed = true;
     while (changed) {
       changed = false;
       ++decision.stats.rounds;
-      bool ok = options_.intern_memo ? RunRoundInterned(&decision, &changed)
-                                     : RunRoundString(&decision, &changed);
+      bool ok = options_.use_ir
+                    ? RunRoundCached(ir_store_, &decision, &changed)
+                    : options_.intern_memo
+                          ? RunRoundCached(store_, &decision, &changed)
+                          : RunRoundString(&decision, &changed);
       if (!ok) {
         // Stopped early: either a counterexample or a resource limit.
-        if (options_.intern_memo) {
+        if (interned_substrate) {
           decision.stats.instances_cached = ctx_.instances.size();
         }
         if (!decision.contained) return decision;
@@ -237,21 +407,37 @@ class DeciderRun {
       }
     }
     decision.stats.goals_discovered =
-        options_.intern_memo ? touched_goals_ : string_store_.size();
-    if (options_.intern_memo) {
+        interned_substrate ? touched_goals_ : string_store_.size();
+    if (interned_substrate) {
       decision.stats.instances_cached = ctx_.instances.size();
     }
     return decision;
   }
 
  private:
-  // --- interned round: cached instances + flat integer memo -----------
+  // --- cached rounds: materialized instances + flat integer memo -------
+  // Shared by the interned (Term sets) and IR (TermId sets) paths; the
+  // store type selects the achieved-set representation.
 
-  bool RunRoundInterned(ContainmentDecision* decision, bool* changed) {
+  template <typename SetT>
+  bool RunRoundCached(std::vector<GoalEntryT<SetT>>& goal_store,
+                      ContainmentDecision* decision, bool* changed) {
+    // The Term-level instance rendering is only materialized when this
+    // run moves Terms: always on the Term-set arm, and for witness
+    // construction on the IR arm. The IR fixpoint with witness tracking
+    // off runs on integers end to end.
+    const bool need_strings =
+        !std::is_same<SetT, IrAchievedSet>::value || options_.track_witness;
     for (std::size_t r = 0; r < ctx_.ordered_rules.size(); ++r) {
       ContainmentChecker::Context::RuleCache& cache = ctx_.rule_caches[r];
       for (std::uint32_t id : cache.instance_ids) {
-        if (!ProcessCached(ctx_.instances[id], id, decision, changed)) {
+        if (need_strings) {
+          ctx_.EnsureInstanceStrings(&ctx_.instances[id],
+                                     *ctx_.ordered_rules[r],
+                                     cache.rule_vars);
+        }
+        if (!ProcessCached(goal_store, ctx_.instances[id], id, decision,
+                           changed)) {
           return false;
         }
       }
@@ -263,15 +449,19 @@ class DeciderRun {
           *ctx_.ordered_rules[r], ctx_.proof_vars.size(),
           [&](const std::vector<std::size_t>& classes) {
             if (seen++ < cache.instance_ids.size()) return true;
-            Rule instance = InstantiateAssignment(*ctx_.ordered_rules[r],
-                                                  cache.rule_vars, classes);
             std::uint32_t id =
                 static_cast<std::uint32_t>(ctx_.instances.size());
             ctx_.instances.push_back(
-                ctx_.BuildCachedInstance(std::move(instance)));
-            store_.resize(ctx_.goal_keys.size());
+                ctx_.BuildCachedInstance(cache.tpl, classes));
+            if (need_strings) {
+              ctx_.EnsureInstanceStrings(&ctx_.instances[id],
+                                         *ctx_.ordered_rules[r],
+                                         cache.rule_vars);
+            }
+            goal_store.resize(ctx_.goal_keys.size());
             cache.instance_ids.push_back(id);
-            return ProcessCached(ctx_.instances[id], id, decision, changed);
+            return ProcessCached(goal_store, ctx_.instances[id], id,
+                                 decision, changed);
           });
       if (!finished) return false;
       cache.complete = true;
@@ -279,26 +469,29 @@ class DeciderRun {
     return true;
   }
 
-  bool ProcessCached(const ContainmentChecker::Context::CachedInstance& inst,
+  template <typename SetT>
+  bool ProcessCached(std::vector<GoalEntryT<SetT>>& goal_store,
+                     const ContainmentChecker::Context::CachedInstance& inst,
                      std::uint32_t instance_id, ContainmentDecision* decision,
                      bool* changed) {
     ++decision->stats.combine_calls;
     // Snapshot the states of each child goal by value: Register below may
     // grow or prune the very same GoalEntry when the rule is
     // self-recursive (child canonical goal == parent goal).
-    std::vector<std::vector<StateEntry>> child_states;
+    std::vector<std::vector<StateEntryT<SetT>>> child_states;
     child_states.reserve(inst.child_goal_ids.size());
     for (std::uint32_t goal_id : inst.child_goal_ids) {
-      const GoalEntry& entry = store_[goal_id];
+      const GoalEntryT<SetT>& entry = goal_store[goal_id];
       if (entry.states.empty()) return true;  // no subtree for this child yet
       child_states.push_back(entry.states);
     }
     // Iterate over every choice of one discovered state per child.
     std::vector<std::size_t> sizes;
     sizes.reserve(child_states.size());
-    for (const std::vector<StateEntry>& states : child_states) {
+    for (const std::vector<StateEntryT<SetT>>& states : child_states) {
       sizes.push_back(states.size());
     }
+    const bool is_goal_pred = inst.ir_head_pred == ctx_.goal_pred_id;
     return ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
       // Skip combinations already combined in an earlier round: the memo
       // row is (instance id, child serial...) with each 64-bit serial
@@ -316,17 +509,28 @@ class DeciderRun {
         ++decision->stats.memo_hits;
         return true;
       }
-      AchievedSet parent_set;
-      CombineChoice(inst.rule, inst.edb_atoms, inst.child_goals,
-                    inst.child_original_terms, child_states, choice,
+      SetT parent_set;
+      CombineChoice(inst, instance_id, child_states, choice, decision,
                     &parent_set);
-      GoalEntry& entry = store_[inst.head_goal_id];
+      GoalEntryT<SetT>& entry = goal_store[inst.head_goal_id];
       if (!entry.touched) {
         entry.touched = true;
         ++touched_goals_;
       }
-      return Register(entry, inst.rule, inst.idb_positions, child_states,
-                      inst.child_canonical, choice, std::move(parent_set),
+      // Root acceptance per achieved-set representation; the generic
+      // lambda discards the branch the representation never takes.
+      auto accepts = [&](const SetT& set) {
+        if constexpr (std::is_same_v<SetT, IrAchievedSet>) {
+          return RootAccepts(ir_queries_, inst.ir_head_args, set,
+                             &decision->stats.pinned_compares);
+        } else {
+          return RootAccepts(queries_, inst.rule.head(), set);
+        }
+      };
+      return Register(entry, is_goal_pred, accepts,
+                      options_.track_witness ? &inst.rule : nullptr,
+                      inst.idb_positions, child_states,
+                      &inst.child_canonical, choice, std::move(parent_set),
                       decision, changed);
     });
   }
@@ -383,6 +587,7 @@ class DeciderRun {
     for (const std::vector<StateEntry>& states : child_states) {
       sizes.push_back(states.size());
     }
+    const bool is_goal_pred = instance.head().predicate() == ctx_.goal;
     return ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
       // Skip combinations already combined in an earlier round.
       std::string memo_key = instance.ToString();
@@ -394,26 +599,60 @@ class DeciderRun {
         return true;
       }
       AchievedSet parent_set;
-      CombineChoice(instance, edb_atoms, child_goals, child_original_terms,
-                    child_states, choice, &parent_set);
+      CombineChoiceString(instance, edb_atoms, child_goals,
+                          child_original_terms, child_states, choice,
+                          &parent_set);
       GoalEntry& entry = string_store_[instance.head().ToString()];
-      return Register(entry, instance, idb_positions, child_states,
-                      child_canonical, choice, std::move(parent_set),
-                      decision, changed);
+      auto accepts = [&](const AchievedSet& set) {
+        return RootAccepts(queries_, instance.head(), set);
+      };
+      return Register(entry, is_goal_pred, accepts, &instance, idb_positions,
+                      child_states, &child_canonical, choice,
+                      std::move(parent_set), decision, changed);
     });
   }
 
-  // --- shared combination + registration core -------------------------
+  // --- combination steps ----------------------------------------------
 
-  // Renames each chosen child state from its canonical frame into the
-  // instance frame and runs one bottom-up combination step.
-  void CombineChoice(const Rule& instance,
-                     const std::vector<const Atom*>& edb_atoms,
-                     const std::vector<Atom>& child_goals,
-                     const std::vector<std::vector<Term>>& child_original_terms,
+  // Term-based combination for the interned (non-IR) path: renames each
+  // chosen child state from its canonical frame into the instance frame
+  // and runs one bottom-up combination step.
+  void CombineChoice(const ContainmentChecker::Context::CachedInstance& inst,
+                     std::uint32_t /*instance_id*/,
                      const std::vector<std::vector<StateEntry>>& child_states,
                      const std::vector<std::size_t>& choice,
+                     ContainmentDecision* /*decision*/,
                      AchievedSet* parent_set) {
+    CombineChoiceString(inst.rule, inst.edb_atoms, inst.child_goals,
+                        inst.child_original_terms, child_states, choice,
+                        parent_set);
+  }
+
+  // IR combination: renamed child sets come from the per-(instance,
+  // child, serial) memo, and the combination step runs on integer ids.
+  void CombineChoice(const ContainmentChecker::Context::CachedInstance& inst,
+                     std::uint32_t instance_id,
+                     const std::vector<std::vector<IrStateEntry>>&
+                         child_states,
+                     const std::vector<std::size_t>& choice,
+                     ContainmentDecision* decision,
+                     IrAchievedSet* parent_set) {
+    std::vector<const IrAchievedSet*> set_ptrs(child_states.size());
+    for (std::size_t j = 0; j < child_states.size(); ++j) {
+      set_ptrs[j] =
+          RenamedChildSet(instance_id, j, inst.ir_child_originals[j],
+                          child_states[j][choice[j]], decision);
+    }
+    CombineAtNode(ir_queries_, inst.ir_edb, inst.ir_head_visible, set_ptrs,
+                  parent_set, &decision->stats.pinned_compares);
+  }
+
+  void CombineChoiceString(
+      const Rule& instance, const std::vector<const Atom*>& edb_atoms,
+      const std::vector<Atom>& child_goals,
+      const std::vector<std::vector<Term>>& child_original_terms,
+      const std::vector<std::vector<StateEntry>>& child_states,
+      const std::vector<std::size_t>& choice, AchievedSet* parent_set) {
     std::vector<AchievedSet> renamed_sets(child_goals.size());
     std::vector<const AchievedSet*> set_ptrs(child_goals.size());
     for (std::size_t j = 0; j < child_goals.size(); ++j) {
@@ -441,17 +680,63 @@ class DeciderRun {
                   parent_set);
   }
 
+  // The renamed-set memo: a child state's achieved set renamed from its
+  // canonical frame into the frame of instance `instance_id` at child
+  // position `j` depends only on (instance_id, j, serial), but the
+  // combination product visits the same (j, serial) once per choice of
+  // the *other* children. Memoizing the renamed set turns that repeated
+  // O(set size) rename+sort into a pointer lookup.
+  const IrAchievedSet* RenamedChildSet(
+      std::uint32_t instance_id, std::size_t j,
+      const std::vector<ir::TermId>& originals, const IrStateEntry& state,
+      ContainmentDecision* decision) {
+    int row[4] = {static_cast<int>(instance_id), static_cast<int>(j),
+                  static_cast<int>(static_cast<std::uint32_t>(state.serial)),
+                  static_cast<int>(
+                      static_cast<std::uint32_t>(state.serial >> 32))};
+    auto [index, inserted] = rename_keys_.Intern(row, 4);
+    if (!inserted) {
+      ++decision->stats.rename_memo_hits;
+      return renamed_cache_[index].get();
+    }
+    auto renamed = std::make_shared<IrAchievedSet>();
+    renamed->reserve(state.set->size());
+    for (const IrAchievedPair& pair : *state.set) {
+      IrAchievedPair copy = pair;
+      for (auto& [v, term] : copy.pinned) {
+        if (term.is_variable()) {
+          // Canonical variable $k corresponds to originals[k].
+          DATALOG_CHECK_LT(term.index(), originals.size());
+          term = originals[term.index()];
+        }
+      }
+      renamed->push_back(std::move(copy));
+    }
+    std::sort(renamed->begin(), renamed->end());
+    DATALOG_CHECK_EQ(static_cast<std::size_t>(index), renamed_cache_.size());
+    renamed_cache_.push_back(std::move(renamed));
+    return renamed_cache_[index].get();
+  }
+
+  // --- shared registration core ---------------------------------------
+
   // Registers a (goal, set) state; returns false to stop everything.
-  bool Register(GoalEntry& entry, const Rule& instance,
+  // `accepts` runs root acceptance on the set representation;
+  // `witness_rule` and `child_canonical` back witness construction and
+  // may be null/empty when track_witness is off (the IR arm then never
+  // materializes the Term-level instance at all).
+  template <typename SetT, typename AcceptsFn>
+  bool Register(GoalEntryT<SetT>& entry, bool is_goal_pred,
+                const AcceptsFn& accepts, const Rule* witness_rule,
                 const std::vector<std::size_t>& idb_positions,
-                const std::vector<std::vector<StateEntry>>& child_states,
-                const std::vector<CanonicalAtomInfo>& child_canonical,
-                const std::vector<std::size_t>& choice, AchievedSet set,
+                const std::vector<std::vector<StateEntryT<SetT>>>&
+                    child_states,
+                const std::vector<CanonicalAtomInfo>* child_canonical,
+                const std::vector<std::size_t>& choice, SetT set,
                 ContainmentDecision* decision, bool* changed) {
-    const Atom& goal_atom = instance.head();
     const std::uint64_t sig = AchievedSetSignature(set);
     if (options_.antichain) {
-      for (const StateEntry& existing : entry.states) {
+      for (const StateEntryT<SetT>& existing : entry.states) {
         ++decision->stats.subset_checks;
         if (!SignatureMayBeSubset(existing.sig, sig)) {
           ++decision->stats.subset_sig_rejects;
@@ -461,7 +746,7 @@ class DeciderRun {
       }
       entry.states.erase(
           std::remove_if(entry.states.begin(), entry.states.end(),
-                         [&](const StateEntry& existing) {
+                         [&](const StateEntryT<SetT>& existing) {
                            ++decision->stats.subset_checks;
                            if (!SignatureMayBeSubset(sig, existing.sig)) {
                              ++decision->stats.subset_sig_rejects;
@@ -471,33 +756,33 @@ class DeciderRun {
                          }),
           entry.states.end());
     } else {
-      for (const StateEntry& existing : entry.states) {
+      for (const StateEntryT<SetT>& existing : entry.states) {
         if (existing.sig == sig && *existing.set == set) {
           return true;  // already known
         }
       }
     }
-    StateEntry state;
+    StateEntryT<SetT> state;
     state.serial = next_serial_++;
-    state.set = std::make_shared<const AchievedSet>(std::move(set));
+    state.set = std::make_shared<const SetT>(std::move(set));
     state.sig = sig;
     if (options_.track_witness) {
       ExpansionNode node;
-      node.goal = goal_atom;
-      node.rule = instance;
+      node.goal = witness_rule->head();
+      node.rule = *witness_rule;
       node.idb_positions = idb_positions;
       for (std::size_t j = 0; j < child_states.size(); ++j) {
-        const StateEntry& child_state = child_states[j][choice[j]];
+        const StateEntryT<SetT>& child_state = child_states[j][choice[j]];
         // The child witness's root goal is the canonical child goal; embed
         // it into the instance frame by a var(Π) permutation extending
         // canonical-var -> original-var.
         std::vector<std::string> from;
-        for (std::size_t k = 0; k < child_canonical[j].original_vars.size();
-             ++k) {
+        for (std::size_t k = 0;
+             k < (*child_canonical)[j].original_vars.size(); ++k) {
           from.push_back(ProofVariableName(k));
         }
         Substitution permutation = ExtendToPermutation(
-            from, child_canonical[j].original_vars, ctx_.proof_vars);
+            from, (*child_canonical)[j].original_vars, ctx_.proof_vars);
         node.children.push_back(
             RenameTree(*child_state.witness, permutation).root());
       }
@@ -505,8 +790,7 @@ class DeciderRun {
           std::make_shared<const ExpansionTree>(std::move(node));
     }
     // A new root-goal state must accept, or we have a counterexample.
-    if (goal_atom.predicate() == ctx_.goal &&
-        !RootAccepts(queries_, goal_atom, *state.set)) {
+    if (is_goal_pred && !accepts(*state.set)) {
       decision->contained = false;
       if (options_.track_witness) {
         decision->counterexample = *state.witness;
@@ -525,14 +809,21 @@ class DeciderRun {
   const ContainmentOptions& options_;
   Status init_error_;
   std::vector<QueryAnalysis> queries_;
+  std::vector<IrQueryAnalysis> ir_queries_;  // parallel to queries_ (IR path)
   std::uint64_t next_serial_ = 1;
 
-  // Interned-path per-run state: goal store indexed by dense goal id and
-  // the flat combination memo.
+  // Cached-path per-run state: goal stores indexed by dense goal id (one
+  // per achieved-set representation; only the active one is populated)
+  // and the flat combination memo.
   std::vector<GoalEntry> store_;
+  std::vector<IrGoalEntry> ir_store_;
   std::size_t touched_goals_ = 0;
   VarKeyTable combined_;
   std::vector<int> memo_row_;
+  // Renamed-set memo (IR path): (instance, child position, serial) rows
+  // mapping to the renamed achieved set, alive for the whole run.
+  VarKeyTable rename_keys_;
+  std::vector<std::shared_ptr<const IrAchievedSet>> renamed_cache_;
 
   // String-keyed per-run state. The ablation arm deliberately keeps the
   // seed's ordered containers (std::map/std::set) so the decider

@@ -44,8 +44,18 @@ struct ContainmentOptions {
   /// vector index, and the combination memo becomes flat integer rows in
   /// an open-addressing table. Disabling falls back to the string-keyed
   /// memoization (ablation switch; decisions are identical either way —
-  /// see tests/decider_intern_test.cc).
+  /// see tests/decider_intern_test.cc). Consulted only when use_ir is
+  /// off; the IR path always runs on the interned substrate.
   bool intern_memo = true;
+  /// Run the achieved-set machinery on the shared interned IR
+  /// (src/ir/ir.h): pinned images are dense ir::TermIds, homomorphism and
+  /// consistency checks are integer compares, and renamed child achieved
+  /// sets are memoized per (instance, child position, state serial)
+  /// across the combination product. Mirrors intern_memo as an ablation
+  /// switch: disabling falls back to the Term/string achieved-set
+  /// representation (then intern_memo picks the memo substrate).
+  /// Decisions are byte-identical either way.
+  bool use_ir = true;
   /// Abort with ResourceExhausted beyond this many (goal, set) states.
   std::size_t max_states = 1'000'000;
 };
@@ -65,6 +75,14 @@ struct ContainmentStats {
   /// alone (no merge scan).
   std::size_t subset_checks = 0;
   std::size_t subset_sig_rejects = 0;
+  /// Renamed child achieved sets served from the per-(instance, child,
+  /// serial) memo instead of being recomputed (IR path only; the rename
+  /// work used to be re-paid for every combination in the product).
+  std::size_t rename_memo_hits = 0;
+  /// Integer pinned-image comparisons performed by the IR combination and
+  /// root-acceptance steps (each one replaces a Term/string compare on
+  /// the baseline path; 0 when use_ir is off).
+  std::size_t pinned_compares = 0;
   int rounds = 0;
 };
 

@@ -44,6 +44,31 @@ StatusOr<QueryAnalysis> AnalyzeQuery(const ConjunctiveQuery& cq) {
   return analysis;
 }
 
+IrQueryAnalysis BuildIrQueryAnalysis(const QueryAnalysis& analysis,
+                                     ir::NameDictionary* predicates,
+                                     ir::NameDictionary* constants) {
+  IrQueryAnalysis out;
+  out.base = &analysis;
+  auto encode = [&](const Term& t) -> std::int32_t {
+    if (t.is_variable()) return analysis.var_ids.at(t.name());
+    return ~static_cast<std::int32_t>(constants->Intern(t.name()));
+  };
+  out.body.reserve(analysis.cq->body().size());
+  for (const Atom& atom : analysis.cq->body()) {
+    IrQueryAtom enc;
+    enc.predicate =
+        static_cast<std::int32_t>(predicates->Intern(atom.predicate()));
+    enc.args.reserve(atom.arity());
+    for (const Term& t : atom.args()) enc.args.push_back(encode(t));
+    out.body.push_back(std::move(enc));
+  }
+  out.head_args.reserve(analysis.cq->head_args().size());
+  for (const Term& t : analysis.cq->head_args()) {
+    out.head_args.push_back(encode(t));
+  }
+  return out;
+}
+
 StatusOr<std::vector<QueryAnalysis>> AnalyzeUnion(const UnionOfCqs& ucq) {
   std::vector<QueryAnalysis> analyses;
   analyses.reserve(ucq.size());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/cq/cq.h"
+#include "src/ir/ir.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -60,6 +61,30 @@ StatusOr<QueryAnalysis> AnalyzeQuery(const ConjunctiveQuery& cq);
 
 /// Analyses for all disjuncts of a union.
 StatusOr<std::vector<QueryAnalysis>> AnalyzeUnion(const UnionOfCqs& ucq);
+
+/// One query atom on the interned IR encoding: a pattern atom whose
+/// `arg >= 0` entries are query-local variable ids and whose `arg < 0`
+/// entries are constants (`~arg` is the dictionary id). Matching an
+/// argument against an instance-side ir::TermId is then a branch plus an
+/// integer compare — no string hashing (see absorb.h's IR combination
+/// step).
+using IrQueryAtom = ir::PatternAtom;
+
+/// The IR companion of a QueryAnalysis: the same variable numbering and
+/// atom masks (borrowed from `base`), with the body atoms and head
+/// arguments re-encoded onto shared predicate/constant dictionaries.
+struct IrQueryAnalysis {
+  const QueryAnalysis* base = nullptr;
+  std::vector<IrQueryAtom> body;
+  /// Head arguments, IrQueryAtom-encoded (var id or ~constant).
+  std::vector<std::int32_t> head_args;
+};
+
+/// Encodes `analysis` onto the given dictionaries (interning any new
+/// predicate or constant names). `analysis` must outlive the result.
+IrQueryAnalysis BuildIrQueryAnalysis(const QueryAnalysis& analysis,
+                                     ir::NameDictionary* predicates,
+                                     ir::NameDictionary* constants);
 
 }  // namespace datalog
 

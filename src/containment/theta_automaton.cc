@@ -1,8 +1,13 @@
 #include "src/containment/theta_automaton.h"
 
+#include <cstdint>
+#include <deque>
 #include <set>
 
+#include "src/ast/analysis.h"
 #include "src/containment/query_analysis.h"
+#include "src/ir/ir.h"
+#include "src/util/flat_table.h"
 #include "src/util/iteration.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -10,11 +15,86 @@
 namespace datalog {
 namespace {
 
-std::string StateKey(const Atom& atom,
-                     const std::optional<AchievedPair>& pair) {
-  if (!pair.has_value()) return StrCat(atom.ToString(), " | -");
-  return StrCat(atom.ToString(), " | ", pair->ToString());
-}
+// Interns states and transitions on flat integer rows instead of rendered
+// strings: atoms over var(Π) encode proof variables $k as -(k+1) and
+// constants as shared-dictionary ids (the same scheme as the decider's
+// goal rows), and an achieved pair contributes its mask and pinned
+// (variable, image) ints. The VarKeyTable's dense indexes are the state
+// and atom ids.
+class StateInterner {
+ public:
+  int EncodeTerm(const Term& term) {
+    if (term.is_variable()) {
+      return -(static_cast<int>(ProofVariableIndex(term.name())) + 1);
+    }
+    return static_cast<int>(constants_.Intern(term.name()));
+  }
+
+  std::uint32_t InternAtom(const Atom& atom) {
+    row_.clear();
+    row_.push_back(static_cast<int>(predicates_.Intern(atom.predicate())));
+    for (const Term& t : atom.args()) row_.push_back(EncodeTerm(t));
+    auto [id, inserted] = atom_keys_.Intern(row_.data(), row_.size());
+    if (inserted) states_by_atom_.emplace_back();
+    return id;
+  }
+
+  // Returns (state id, inserted).
+  std::pair<std::uint32_t, bool> InternState(
+      std::uint32_t atom_id, const std::optional<AchievedPair>& pair) {
+    row_.clear();
+    row_.push_back(static_cast<int>(atom_id));
+    if (pair.has_value()) {
+      row_.push_back(1);
+      row_.push_back(static_cast<int>(
+          static_cast<std::uint32_t>(pair->mask)));
+      row_.push_back(static_cast<int>(
+          static_cast<std::uint32_t>(pair->mask >> 32)));
+      for (const auto& [v, term] : pair->pinned) {
+        row_.push_back(v);
+        row_.push_back(EncodeTerm(term));
+      }
+    } else {
+      row_.push_back(0);
+    }
+    auto [id, inserted] = state_keys_.Intern(row_.data(), row_.size());
+    if (inserted) states_by_atom_[atom_id].push_back(static_cast<int>(id));
+    return {id, inserted};
+  }
+
+  // Returns true if the transition row was new.
+  bool InternTransition(std::size_t symbol, const std::vector<int>& children,
+                        int parent) {
+    row_.clear();
+    row_.push_back(static_cast<int>(symbol));
+    row_.push_back(parent);
+    for (int child : children) row_.push_back(child);
+    return transition_keys_.Intern(row_.data(), row_.size()).second;
+  }
+
+  std::size_t num_transitions() const { return transition_keys_.size(); }
+  const std::vector<int>* StatesForAtom(std::uint32_t atom_id) const {
+    return &states_by_atom_[atom_id];
+  }
+  bool HasAtom(const Atom& atom, std::uint32_t* atom_id) {
+    // InternAtom is idempotent and cheap; "has" means some state exists.
+    *atom_id = InternAtom(atom);
+    return !states_by_atom_[*atom_id].empty();
+  }
+
+ private:
+  ir::NameDictionary predicates_;
+  ir::NameDictionary constants_;
+  VarKeyTable atom_keys_;
+  VarKeyTable state_keys_;
+  VarKeyTable transition_keys_;
+  // Deque: callers hold StatesForAtom pointers across interning of new
+  // atoms, so the per-atom vectors must not move when the directory
+  // grows. (The vectors themselves may gain states mid-iteration; the
+  // product enumeration indexes with a size snapshot, like the decider.)
+  std::deque<std::vector<int>> states_by_atom_;
+  std::vector<int> row_;
+};
 
 }  // namespace
 
@@ -28,25 +108,22 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
   queries.push_back(std::move(analysis).value());
 
   std::set<std::string> idb = program.IdbPredicates();
-  ThetaAutomaton automaton{Nfta(0, alphabet.arities), {}, {}};
+  ThetaAutomaton automaton{Nfta(0, alphabet.arities), {}};
   Nfta nfta(0, alphabet.arities);
-  // Discovered state ids per atom string, for child enumeration.
-  std::map<std::string, std::vector<int>> by_atom;
+  StateInterner interner;
   auto intern = [&](const Atom& atom,
                     const std::optional<AchievedPair>& pair) -> int {
-    std::string key = StateKey(atom, pair);
-    auto [it, inserted] =
-        automaton.state_ids.emplace(key, static_cast<int>(
-                                             automaton.states.size()));
+    std::uint32_t atom_id = interner.InternAtom(atom);
+    auto [id, inserted] = interner.InternState(atom_id, pair);
     if (inserted) {
+      DATALOG_CHECK_EQ(static_cast<std::size_t>(id),
+                       automaton.states.size());
       automaton.states.push_back({atom, pair});
-      by_atom[atom.ToString()].push_back(it->second);
       nfta.AddState();
     }
-    return it->second;
+    return static_cast<int>(id);
   };
 
-  std::set<std::string> transition_keys;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -65,12 +142,12 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
       std::vector<const std::vector<int>*> options;
       bool feasible = true;
       for (const Atom& child : child_goals) {
-        auto it = by_atom.find(child.ToString());
-        if (it == by_atom.end()) {
+        std::uint32_t atom_id = 0;
+        if (!interner.HasAtom(child, &atom_id)) {
           feasible = false;
           break;
         }
-        options.push_back(&it->second);
+        options.push_back(interner.StatesForAtom(atom_id));
       }
       if (!feasible) continue;
       std::vector<std::size_t> sizes;
@@ -98,13 +175,11 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
         auto add_transition = [&](const std::optional<AchievedPair>& pair) {
           int parent = intern(label.head(), pair);
           if (automaton.states.size() > limits.max_states) return false;
-          std::string key = StrCat(symbol, "|", StrJoin(child_ids, ","),
-                                   "->", parent);
-          if (transition_keys.insert(key).second) {
+          if (interner.InternTransition(symbol, child_ids, parent)) {
             nfta.AddTransition(static_cast<int>(symbol), child_ids, parent);
             changed = true;
           }
-          return transition_keys.size() <= limits.max_transitions;
+          return interner.num_transitions() <= limits.max_transitions;
         };
         for (const AchievedPair& pair : parents) {
           if (!add_transition(pair)) return false;
@@ -119,7 +194,7 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
         return Status(ResourceExhaustedError(
             StrCat("theta automaton exceeded limits (states=",
                    automaton.states.size(), ", transitions=",
-                   transition_keys.size(), ")")));
+                   interner.num_transitions(), ")")));
       }
     }
   }

@@ -13,7 +13,6 @@
 #ifndef DATALOG_EQ_SRC_CONTAINMENT_THETA_AUTOMATON_H_
 #define DATALOG_EQ_SRC_CONTAINMENT_THETA_AUTOMATON_H_
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,8 +32,10 @@ struct ThetaAutomaton {
     std::optional<AchievedPair> pair;
   };
   Nfta nfta;
+  // States are deduplicated during construction on interned integer rows
+  // (atom id + encoded pair; see BuildThetaAutomaton), not rendered
+  // strings; the state index in `states` is the dense id.
   std::vector<State> states;
-  std::map<std::string, int> state_ids;
 };
 
 struct ThetaAutomatonLimits {

@@ -6,7 +6,8 @@
 
 namespace datalog {
 
-ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq) {
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq,
+                            const CqMappingOptions& options) {
   std::vector<Atom> body = cq.body();
   bool changed = true;
   while (changed) {
@@ -22,7 +23,7 @@ ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq) {
       // `candidate` has a subset of atoms, so current ⊆ candidate holds
       // trivially; they are equivalent iff candidate ⊆ current, i.e. iff
       // there is a containment mapping from current to candidate.
-      if (FindContainmentMapping(current, candidate).has_value()) {
+      if (FindContainmentMapping(current, candidate, options).has_value()) {
         body = std::move(without);
         changed = true;
         break;
@@ -32,12 +33,13 @@ ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq) {
   return ConjunctiveQuery(cq.head_args(), std::move(body));
 }
 
-UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq) {
+UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq,
+                       const CqMappingOptions& options) {
   UnionOfCqs minimized;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    minimized.Add(MinimizeCq(cq));
+    minimized.Add(MinimizeCq(cq, options));
   }
-  return RemoveRedundantDisjuncts(minimized);
+  return RemoveRedundantDisjuncts(minimized, options);
 }
 
 }  // namespace datalog

@@ -5,17 +5,23 @@
 #ifndef DATALOG_EQ_SRC_CQ_MINIMIZE_H_
 #define DATALOG_EQ_SRC_CQ_MINIMIZE_H_
 
+#include "src/cq/containment.h"
 #include "src/cq/cq.h"
 
 namespace datalog {
 
 /// Returns an equivalent CQ with a minimal body (the core, unique up to
 /// renaming): greedily removes body atoms a such that the query maps into
-/// itself-minus-a by a containment mapping.
-ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq);
+/// itself-minus-a by a containment mapping. `options` selects the
+/// homomorphism-search substrate (IR by default; results are identical
+/// either way).
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq,
+                            const CqMappingOptions& options =
+                                CqMappingOptions());
 
 /// Minimizes every disjunct and removes redundant disjuncts.
-UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq);
+UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq,
+                       const CqMappingOptions& options = CqMappingOptions());
 
 }  // namespace datalog
 

@@ -344,22 +344,17 @@ class Evaluator {
                                             : (*binding)[atom.variable[i]]);
       }
       if (stats_ != nullptr) ++stats_->index_probes;
-      const std::vector<std::uint32_t>* bucket = step.index->Probe(key);
-      if (bucket == nullptr) return true;  // no candidate rows
-      // Bucket row indexes ascend, so a delta probe is the bucket
-      // suffix at or past the watermark.
-      std::size_t bi =
-          first_row == 0
-              ? 0
-              : static_cast<std::size_t>(
-                    std::lower_bound(
-                        bucket->begin(), bucket->end(),
-                        static_cast<std::uint32_t>(first_row)) -
-                    bucket->begin());
-      for (; bi < bucket->size(); ++bi) {
+      ColumnIndex::BucketView bucket = step.index->Probe(key);
+      if (bucket.empty()) return true;  // no candidate rows
+      // Bucket row indexes ascend, so a delta probe skips ahead to the
+      // watermark (whole chunks below it are stepped over unread).
+      ColumnIndex::BucketView::Iterator it = bucket.begin();
+      if (first_row != 0) {
+        it.SkipBelow(static_cast<std::uint32_t>(first_row));
+      }
+      for (; !it.done(); it.Next()) {
         undo.clear();
-        if (UnifyTuple(atom, relation.RowData((*bucket)[bi]), binding,
-                       &undo)) {
+        if (UnifyTuple(atom, relation.RowData(it.row()), binding, &undo)) {
           if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, binding)) {
             return false;
           }

@@ -47,8 +47,8 @@ void ColumnIndex::Update(const Relation& relation, IndexCounters* counters) {
     }
     Project(row, key_columns_, &scratch_);
     auto [key_index, inserted] = keys_.Intern(scratch_.data());
-    if (inserted) buckets_.emplace_back();
-    buckets_[key_index].push_back(static_cast<std::uint32_t>(consumed_));
+    if (inserted) arena_.NewBucket();
+    arena_.Append(key_index, static_cast<std::uint32_t>(consumed_));
     if (counters != nullptr) ++counters->tuples_indexed;
   }
 }

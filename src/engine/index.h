@@ -37,6 +37,70 @@ struct IndexCounters {
   std::size_t tuples_indexed = 0;
 };
 
+/// Flat bucket storage shared by every bucket of one index: row indexes
+/// live in fixed-width chunks inside a single arena, and a per-bucket
+/// offsets directory (head chunk, tail chunk, total rows) threads each
+/// bucket's chunks together — the VarKeyTable layout idiom (one arena +
+/// an offsets directory) adapted to buckets that keep growing after
+/// later buckets have started. Replaces the vector-of-vectors bucket
+/// lists: no per-bucket heap allocation, and small buckets (the common
+/// case) are one chunk touched right next to their neighbours.
+class BucketArena {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+  /// Rows per chunk: with the two header words this makes a chunk
+  /// exactly 64 bytes (one cache line), so iterating a large bucket
+  /// chases one pointer per 14 rows while a single-row bucket still
+  /// costs only one line.
+  static constexpr std::size_t kChunkRows = 14;
+
+  struct Chunk {
+    std::uint32_t next = kNull;
+    std::uint32_t count = 0;
+    std::uint32_t rows[kChunkRows];
+  };
+
+  /// Directory entry of one bucket.
+  struct Bucket {
+    std::uint32_t head = kNull;
+    std::uint32_t tail = kNull;
+    std::uint32_t size = 0;
+  };
+
+  /// Appends an empty bucket to the directory; returns its id (dense,
+  /// in creation order — callers align bucket ids with key-table ids).
+  std::uint32_t NewBucket() {
+    buckets_.emplace_back();
+    return static_cast<std::uint32_t>(buckets_.size() - 1);
+  }
+
+  /// Appends `row` to `bucket`. Rows must be appended in ascending
+  /// order per bucket (relation row order), which iteration relies on.
+  void Append(std::uint32_t bucket, std::uint32_t row) {
+    Bucket& b = buckets_[bucket];
+    if (b.tail == kNull || chunks_[b.tail].count == kChunkRows) {
+      std::uint32_t fresh = static_cast<std::uint32_t>(chunks_.size());
+      chunks_.emplace_back();
+      if (b.tail == kNull) {
+        b.head = fresh;
+      } else {
+        chunks_[b.tail].next = fresh;
+      }
+      b.tail = fresh;
+    }
+    Chunk& chunk = chunks_[b.tail];
+    chunk.rows[chunk.count++] = row;
+    ++b.size;
+  }
+
+  const Bucket& bucket(std::uint32_t id) const { return buckets_[id]; }
+  const Chunk& chunk(std::uint32_t id) const { return chunks_[id]; }
+
+ private:
+  std::vector<Bucket> buckets_;  // the offsets directory
+  std::vector<Chunk> chunks_;    // the arena
+};
+
 /// A hash index over one relation for one pattern of bound columns. Maps
 /// the projection of a row onto the pattern's columns to the list of row
 /// indexes (into the relation's row order) with that projection. With a
@@ -44,6 +108,74 @@ struct IndexCounters {
 /// per projection onto the key+distinct columns.
 class ColumnIndex {
  public:
+  /// A probe result: iterates the bucket's row indexes in ascending
+  /// order, optionally skipping rows below a watermark (the semi-naive
+  /// delta probe). Valid until the owning index's next Update.
+  class BucketView {
+   public:
+    BucketView() = default;
+    BucketView(const BucketArena* arena, const BucketArena::Bucket* bucket)
+        : arena_(arena), bucket_(bucket) {}
+
+    bool empty() const { return bucket_ == nullptr || bucket_->size == 0; }
+    std::size_t size() const { return bucket_ == nullptr ? 0 : bucket_->size; }
+
+    class Iterator {
+     public:
+      Iterator() = default;
+      Iterator(const BucketArena* arena, std::uint32_t chunk)
+          : arena_(arena), chunk_(chunk) {}
+
+      bool done() const { return chunk_ == BucketArena::kNull; }
+      std::uint32_t row() const {
+        return arena_->chunk(chunk_).rows[offset_];
+      }
+      void Next() {
+        const BucketArena::Chunk& c = arena_->chunk(chunk_);
+        if (++offset_ >= c.count) {
+          chunk_ = c.next;
+          offset_ = 0;
+        }
+      }
+      /// Advances to the first row >= `watermark`; rows ascend per
+      /// bucket, so whole chunks whose last row is below the watermark
+      /// are skipped without touching their entries. This is a linear
+      /// walk over chunk headers (one cache line per kChunkRows rows)
+      /// where the old contiguous bucket vector allowed a binary
+      /// search; on very skewed buckets a per-bucket chunk directory
+      /// would restore log-time seeks at the cost of reintroducing a
+      /// per-bucket allocation (see ROADMAP follow-ups).
+      void SkipBelow(std::uint32_t watermark) {
+        while (chunk_ != BucketArena::kNull) {
+          const BucketArena::Chunk& c = arena_->chunk(chunk_);
+          if (c.rows[c.count - 1] < watermark) {
+            chunk_ = c.next;
+            offset_ = 0;
+            continue;
+          }
+          while (offset_ < c.count && c.rows[offset_] < watermark) {
+            ++offset_;
+          }
+          return;
+        }
+      }
+
+     private:
+      const BucketArena* arena_ = nullptr;
+      std::uint32_t chunk_ = BucketArena::kNull;
+      std::uint32_t offset_ = 0;
+    };
+
+    Iterator begin() const {
+      if (empty()) return Iterator();
+      return Iterator(arena_, bucket_->head);
+    }
+
+   private:
+    const BucketArena* arena_ = nullptr;
+    const BucketArena::Bucket* bucket_ = nullptr;
+  };
+
   ColumnIndex(std::size_t arity, std::uint32_t key_mask,
               std::uint32_t distinct_mask);
 
@@ -58,10 +190,11 @@ class ColumnIndex {
   std::size_t consumed() const { return consumed_; }
 
   /// Row indexes whose key columns equal `key` (the bound values listed
-  /// in ascending column order), or nullptr when no row matches.
-  const std::vector<std::uint32_t>* Probe(const Tuple& key) const {
+  /// in ascending column order); empty when no row matches.
+  BucketView Probe(const Tuple& key) const {
     std::uint32_t index = keys_.Find(key.data());
-    return index == FlatKeyTable::kNotFound ? nullptr : &buckets_[index];
+    if (index == FlatKeyTable::kNotFound) return BucketView();
+    return BucketView(&arena_, &arena_.bucket(index));
   }
 
  private:
@@ -72,7 +205,7 @@ class ColumnIndex {
   std::vector<int> distinct_columns_;  // columns in key|distinct, ascending
   std::size_t consumed_ = 0;
   FlatKeyTable keys_;
-  std::vector<std::vector<std::uint32_t>> buckets_;  // parallel to keys_
+  BucketArena arena_;  // bucket id == key id in keys_
   // Projections (onto distinct_columns_) already represented in a bucket.
   FlatKeyTable seen_;
   Tuple scratch_;  // reusable projection buffer for Update

@@ -1,0 +1,121 @@
+#include "src/ir/ir.h"
+
+#include "src/util/logging.h"
+
+namespace datalog {
+namespace ir {
+
+ProgramIr ProgramIr::FromProgram(const Program& program) {
+  ProgramIr out;
+  for (const Rule& rule : program.rules()) out.AddRule(rule);
+  return out;
+}
+
+ProgramIr ProgramIr::FromUnion(const UnionOfCqs& ucq) {
+  ProgramIr out;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) out.AddDisjunct(cq);
+  return out;
+}
+
+TermId ProgramIr::InternTerm(const Term& term) {
+  if (term.is_variable()) {
+    return TermId::Variable(variables_.Intern(term.name()));
+  }
+  return TermId::Constant(constants_.Intern(term.name()));
+}
+
+std::uint32_t ProgramIr::InternAtom(const Atom& atom) {
+  AtomSpan span;
+  span.predicate = predicates_.Intern(atom.predicate());
+  span.args_begin = static_cast<std::uint32_t>(terms_.size());
+  for (const Term& t : atom.args()) terms_.push_back(InternTerm(t));
+  span.args_end = static_cast<std::uint32_t>(terms_.size());
+  std::uint32_t index = static_cast<std::uint32_t>(atoms_.size());
+  atoms_.push_back(span);
+  return index;
+}
+
+std::uint32_t ProgramIr::AddRule(const Rule& rule) {
+  RuleSpan span;
+  span.head_atom = InternAtom(rule.head());
+  span.body_begin = static_cast<std::uint32_t>(atoms_.size());
+  for (const Atom& atom : rule.body()) InternAtom(atom);
+  span.body_end = static_cast<std::uint32_t>(atoms_.size());
+  std::uint32_t index = static_cast<std::uint32_t>(rules_.size());
+  rules_.push_back(span);
+  return index;
+}
+
+std::uint32_t ProgramIr::AddDisjunct(const ConjunctiveQuery& cq) {
+  DisjunctSpan span;
+  span.head_args_begin = static_cast<std::uint32_t>(terms_.size());
+  for (const Term& t : cq.head_args()) terms_.push_back(InternTerm(t));
+  span.head_args_end = static_cast<std::uint32_t>(terms_.size());
+  span.body_begin = static_cast<std::uint32_t>(atoms_.size());
+  for (const Atom& atom : cq.body()) InternAtom(atom);
+  span.body_end = static_cast<std::uint32_t>(atoms_.size());
+  std::uint32_t index = static_cast<std::uint32_t>(disjuncts_.size());
+  disjuncts_.push_back(span);
+  return index;
+}
+
+Term ProgramIr::DecodeTerm(TermId id) const {
+  DATALOG_CHECK(id.valid());
+  if (id.is_variable()) return Term::Variable(variables_.name(id.index()));
+  return Term::Constant(constants_.name(id.index()));
+}
+
+Atom ProgramIr::DecodeAtom(std::uint32_t atom_index) const {
+  const AtomSpan& span = atoms_[atom_index];
+  std::vector<Term> args;
+  args.reserve(span.arity());
+  for (std::uint32_t i = span.args_begin; i < span.args_end; ++i) {
+    args.push_back(DecodeTerm(terms_[i]));
+  }
+  return Atom(predicates_.name(span.predicate), std::move(args));
+}
+
+Rule ProgramIr::DecodeRule(std::uint32_t rule_index) const {
+  const RuleSpan& span = rules_[rule_index];
+  std::vector<Atom> body;
+  body.reserve(span.body_end - span.body_begin);
+  for (std::uint32_t a = span.body_begin; a < span.body_end; ++a) {
+    body.push_back(DecodeAtom(a));
+  }
+  return Rule(DecodeAtom(span.head_atom), std::move(body));
+}
+
+ConjunctiveQuery ProgramIr::DecodeDisjunct(
+    std::uint32_t disjunct_index) const {
+  const DisjunctSpan& span = disjuncts_[disjunct_index];
+  std::vector<Term> head_args;
+  head_args.reserve(span.head_args_end - span.head_args_begin);
+  for (std::uint32_t i = span.head_args_begin; i < span.head_args_end; ++i) {
+    head_args.push_back(DecodeTerm(terms_[i]));
+  }
+  std::vector<Atom> body;
+  body.reserve(span.body_end - span.body_begin);
+  for (std::uint32_t a = span.body_begin; a < span.body_end; ++a) {
+    body.push_back(DecodeAtom(a));
+  }
+  return ConjunctiveQuery(std::move(head_args), std::move(body));
+}
+
+Program ProgramIr::ToProgram() const {
+  Program program;
+  for (std::uint32_t r = 0; r < rules_.size(); ++r) {
+    program.AddRule(DecodeRule(r));
+  }
+  return program;
+}
+
+UnionOfCqs ProgramIr::ToUnion() const {
+  UnionOfCqs ucq;
+  for (std::uint32_t d = 0; d < disjuncts_.size(); ++d) {
+    ucq.Add(DecodeDisjunct(d));
+  }
+  return ucq;
+}
+
+}  // namespace ir
+}  // namespace datalog

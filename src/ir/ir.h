@@ -1,0 +1,258 @@
+// Shared interned program IR: the dense-id encoding of terms, atoms,
+// rules, and disjuncts that the CQ and containment layers run on.
+//
+// The AST types (src/ast/term.h) carry a std::string per term, so every
+// homomorphism or consistency check downstream of the parser pays string
+// hashes and compares. This module interns each syntactic object once and
+// hands the hot paths plain integers:
+//
+//   * TermId — a tagged 32-bit id. Constants live in a program-wide
+//     dictionary (the same dictionary-encoding scheme the evaluation
+//     engine uses for its relations); variables are *frame-local* indexes
+//     (a program's variable table, a rule instance's canonical classes, a
+//     query's variable numbering), because every algorithm here compares
+//     variables only within one frame.
+//   * Atoms — flat (PredicateId, TermId...) spans into one term arena.
+//   * Rules / disjuncts — index ranges over the atom table.
+//
+// Every dictionary is bidirectional, so parsing, printing, and witness
+// construction can round-trip between names and ids losslessly (see
+// tests/ir_test.cc and docs/ir.md for the round-trip contract).
+#ifndef DATALOG_EQ_SRC_IR_IR_H_
+#define DATALOG_EQ_SRC_IR_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/ast/term.h"
+#include "src/cq/cq.h"
+
+namespace datalog {
+namespace ir {
+
+/// A dense, tagged term id: one bit distinguishes variables from
+/// constants, the remaining 31 bits are the index into the owning frame
+/// (variables) or dictionary (constants). Trivially copyable; equality,
+/// ordering, and hashing are single integer operations.
+class TermId {
+ public:
+  TermId() : raw_(kInvalidRaw) {}
+
+  static TermId Variable(std::uint32_t index) {
+    return TermId((index << 1) | 1u);
+  }
+  static TermId Constant(std::uint32_t index) { return TermId(index << 1); }
+  static TermId FromRaw(std::uint32_t raw) { return TermId(raw); }
+
+  bool valid() const { return raw_ != kInvalidRaw; }
+  bool is_variable() const { return valid() && (raw_ & 1u) != 0; }
+  bool is_constant() const { return valid() && (raw_ & 1u) == 0; }
+  std::uint32_t index() const { return raw_ >> 1; }
+  std::uint32_t raw() const { return raw_; }
+
+  bool operator==(TermId other) const { return raw_ == other.raw_; }
+  bool operator!=(TermId other) const { return raw_ != other.raw_; }
+  /// Constants order before variables of the same index; the order is
+  /// arbitrary but total and stable, which is all the sorted achieved-set
+  /// containers require.
+  bool operator<(TermId other) const { return raw_ < other.raw_; }
+
+ private:
+  static constexpr std::uint32_t kInvalidRaw = 0xffffffffu;
+  explicit TermId(std::uint32_t raw) : raw_(raw) {}
+  std::uint32_t raw_;
+};
+
+/// A bidirectional name <-> dense id dictionary for one namespace
+/// (constants, predicates, or one frame's variables). Ids are assigned in
+/// interning order starting at 0.
+class NameDictionary {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  std::uint32_t Intern(const std::string& name) {
+    auto [it, inserted] =
+        ids_.emplace(name, static_cast<std::uint32_t>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+  std::uint32_t Find(const std::string& name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kNotFound : it->second;
+  }
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// A dense substitution: variable id -> image term, with invalid TermId
+/// meaning "unbound". Replaces the AST's
+/// unordered_map<std::string, Term> on the interned paths.
+using IrSubstitution = std::vector<TermId>;
+
+/// Applies `subst` to `term`: a bound variable is replaced, anything else
+/// is returned unchanged.
+inline TermId ApplyIrSubstitution(const IrSubstitution& subst, TermId term) {
+  if (!term.is_variable() || term.index() >= subst.size()) return term;
+  TermId image = subst[term.index()];
+  return image.valid() ? image : term;
+}
+
+/// The two sides of every homomorphism/unification step on the IR, and
+/// the shared argument-encoding convention (one place, so the decider's
+/// combination step, the query analysis, and the CQ mapping search
+/// cannot drift apart):
+///
+///   * PatternAtom — the "from" side. Arguments are int32: `arg >= 0`
+///     is a frame-local variable id to be bound, `arg < 0` is the
+///     constant with dictionary id `~arg`.
+///   * TermAtom — the "to" side. Arguments are TermIds of the target
+///     frame (variables or constants), matched by integer compare.
+struct PatternAtom {
+  std::int32_t predicate = 0;
+  std::vector<std::int32_t> args;
+};
+
+struct TermAtom {
+  std::int32_t predicate = 0;
+  std::vector<TermId> args;
+};
+
+/// A dense working binding of pattern variables to TermId images with an
+/// undo trail: the IR replacement for the map-backed unification state.
+/// `compare_count`, when non-null, is incremented once per consistency
+/// check against an existing binding (the decider surfaces this as
+/// ContainmentStats::pinned_compares).
+struct DenseBinding {
+  IrSubstitution image;
+
+  explicit DenseBinding(std::size_t num_vars) : image(num_vars) {}
+
+  bool Bind(std::int32_t var, TermId term, std::vector<std::int32_t>* trail,
+            std::size_t* compare_count) {
+    if (image[var].valid()) {
+      if (compare_count != nullptr) ++*compare_count;
+      return image[var] == term;
+    }
+    image[var] = term;
+    trail->push_back(var);
+    return true;
+  }
+  void Undo(std::vector<std::int32_t>* trail, std::size_t mark) {
+    while (trail->size() > mark) {
+      image[trail->back()] = TermId();
+      trail->pop_back();
+    }
+  }
+};
+
+/// An atom as a flat span: predicate id plus an argument range in the
+/// owning ProgramIr's term arena.
+struct AtomSpan {
+  std::uint32_t predicate = 0;
+  std::uint32_t args_begin = 0;
+  std::uint32_t args_end = 0;
+
+  std::uint32_t arity() const { return args_end - args_begin; }
+};
+
+/// A rule as index ranges: the head atom's index and the body's atom
+/// index range [body_begin, body_end) in the owning ProgramIr's atom
+/// table.
+struct RuleSpan {
+  std::uint32_t head_atom = 0;
+  std::uint32_t body_begin = 0;
+  std::uint32_t body_end = 0;
+};
+
+/// A disjunct (conjunctive query) as index ranges: the head argument
+/// range in the term arena and the body atom range in the atom table.
+struct DisjunctSpan {
+  std::uint32_t head_args_begin = 0;
+  std::uint32_t head_args_end = 0;
+  std::uint32_t body_begin = 0;
+  std::uint32_t body_end = 0;
+};
+
+/// The interned form of a program and/or a union of conjunctive queries:
+/// dictionaries for predicates, constants, and variables, a flat TermId
+/// arena, an atom table of (predicate, args) spans, and rules/disjuncts
+/// as index ranges. Built from the AST in one pass; decodes back to the
+/// AST losslessly (same names, same order).
+///
+/// Variable ids here index the program-wide variable dictionary. Layers
+/// that work frame-locally (the decider's canonical instances, the CQ
+/// homomorphism search) allocate their own variable numbering and use
+/// only the predicate/constant dictionaries, which are global by
+/// construction.
+class ProgramIr {
+ public:
+  ProgramIr() = default;
+
+  /// Interns `program` in one pass over its rules.
+  static ProgramIr FromProgram(const Program& program);
+  /// Interns a union of CQs (sharing no program; head args + bodies).
+  static ProgramIr FromUnion(const UnionOfCqs& ucq);
+
+  // --- incremental building (used by FromProgram/FromUnion and by
+  // --- layers that fold extra structures into an existing IR) ----------
+  TermId InternTerm(const Term& term);
+  std::uint32_t InternAtom(const Atom& atom);  // appends; returns atom index
+  std::uint32_t AddRule(const Rule& rule);
+  std::uint32_t AddDisjunct(const ConjunctiveQuery& cq);
+
+  // --- dictionaries ----------------------------------------------------
+  NameDictionary& predicates() { return predicates_; }
+  NameDictionary& constants() { return constants_; }
+  NameDictionary& variables() { return variables_; }
+  const NameDictionary& predicates() const { return predicates_; }
+  const NameDictionary& constants() const { return constants_; }
+  const NameDictionary& variables() const { return variables_; }
+
+  // --- flat views ------------------------------------------------------
+  std::size_t num_atoms() const { return atoms_.size(); }
+  std::size_t num_rules() const { return rules_.size(); }
+  std::size_t num_disjuncts() const { return disjuncts_.size(); }
+  const AtomSpan& atom(std::size_t index) const { return atoms_[index]; }
+  const RuleSpan& rule(std::size_t index) const { return rules_[index]; }
+  const DisjunctSpan& disjunct(std::size_t index) const {
+    return disjuncts_[index];
+  }
+  /// The argument TermIds of `span`, contiguous in the term arena. The
+  /// pointer is invalidated by the next Intern/Add call; indexes never
+  /// are.
+  const TermId* args(const AtomSpan& span) const {
+    return terms_.data() + span.args_begin;
+  }
+  const TermId* term_range(std::uint32_t begin) const {
+    return terms_.data() + begin;
+  }
+
+  // --- decoding back to the AST (bidirectional mapping) ----------------
+  Term DecodeTerm(TermId id) const;
+  Atom DecodeAtom(std::uint32_t atom_index) const;
+  Rule DecodeRule(std::uint32_t rule_index) const;
+  ConjunctiveQuery DecodeDisjunct(std::uint32_t disjunct_index) const;
+  Program ToProgram() const;
+  UnionOfCqs ToUnion() const;
+
+ private:
+  NameDictionary predicates_;
+  NameDictionary constants_;
+  NameDictionary variables_;
+  std::vector<TermId> terms_;  // the term arena: all argument lists
+  std::vector<AtomSpan> atoms_;
+  std::vector<RuleSpan> rules_;
+  std::vector<DisjunctSpan> disjuncts_;
+};
+
+}  // namespace ir
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_IR_IR_H_

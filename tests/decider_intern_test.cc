@@ -1,12 +1,16 @@
-// Differential testing of the decider's interned memoization substrate:
-// on program families crossed with randomized unions of bounded
-// expansions, the interned path (dense goal/instance ids, flat integer
-// memo rows) must return byte-identical ContainmentDecisions — verdict,
-// counterexample witness tree, and state counts — to the string-keyed
-// baseline it replaced, with and without antichain pruning. Also pins the
-// 64-atom mask-overflow guard: a disjunct too wide for the 64-bit atom
-// masks must be rejected with InvalidArgumentError up front, never
-// reaching the `1 << atom_index` shifts in absorb.cc.
+// Differential testing of the decider's memoization substrates: on
+// program families crossed with randomized unions of bounded expansions,
+// the IR path (dense TermId pinned images, renamed-set memo) and the
+// interned path (dense goal/instance ids, flat integer memo rows, but
+// Term-based achieved sets) must return byte-identical
+// ContainmentDecisions — verdict, counterexample witness tree, and state
+// counts — to the string-keyed baseline both replaced, with and without
+// antichain pruning. The CQ-layer homomorphism search gets the same
+// treatment: IR and string substrates must find identical containment
+// mappings and minimization outputs. Also pins the 64-atom mask-overflow
+// guard: a disjunct too wide for the 64-bit atom masks must be rejected
+// with InvalidArgumentError up front, never reaching the
+// `1 << atom_index` shifts in absorb.cc.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -15,6 +19,8 @@
 
 #include "src/containment/decider.h"
 #include "src/containment/query_analysis.h"
+#include "src/cq/containment.h"
+#include "src/cq/minimize.h"
 #include "src/generators/examples.h"
 #include "src/trees/enumerate.h"
 #include "src/util/strings.h"
@@ -53,23 +59,35 @@ void ExpectSameDecision(const ContainmentDecision& interned,
 
 void RunDifferential(const DeciderCase& c) {
   for (bool antichain : {true, false}) {
+    ContainmentOptions ir;
+    ir.use_ir = true;
+    ir.antichain = antichain;
     ContainmentOptions interned;
+    interned.use_ir = false;
     interned.intern_memo = true;
     interned.antichain = antichain;
     ContainmentOptions string_keyed;
+    string_keyed.use_ir = false;
     string_keyed.intern_memo = false;
     string_keyed.antichain = antichain;
     StatusOr<ContainmentDecision> a =
-        DecideDatalogInUcq(c.program, c.goal, c.theta, interned);
+        DecideDatalogInUcq(c.program, c.goal, c.theta, ir);
     StatusOr<ContainmentDecision> b =
+        DecideDatalogInUcq(c.program, c.goal, c.theta, interned);
+    StatusOr<ContainmentDecision> d =
         DecideDatalogInUcq(c.program, c.goal, c.theta, string_keyed);
-    ASSERT_EQ(a.ok(), b.ok()) << c.name;
-    if (!a.ok()) {
-      EXPECT_EQ(a.status().code(), b.status().code()) << c.name;
+    ASSERT_EQ(a.ok(), d.ok()) << c.name;
+    ASSERT_EQ(b.ok(), d.ok()) << c.name;
+    if (!d.ok()) {
+      EXPECT_EQ(a.status().code(), d.status().code()) << c.name;
+      EXPECT_EQ(b.status().code(), d.status().code()) << c.name;
       continue;
     }
-    ExpectSameDecision(*a, *b,
-                       StrCat(c.name, " antichain=", antichain ? 1 : 0));
+    ExpectSameDecision(
+        *a, *d, StrCat(c.name, " ir-vs-string antichain=", antichain ? 1 : 0));
+    ExpectSameDecision(
+        *b, *d,
+        StrCat(c.name, " interned-vs-string antichain=", antichain ? 1 : 0));
   }
 }
 
@@ -226,17 +244,121 @@ TEST(DeciderInternTest, CheckerReuseAcrossThetasMatchesFreshDeciders) {
 TEST(DeciderInternTest, InternedPathReportsMemoAndCacheCounters) {
   Program tc = TransitiveClosureProgram("e", "e");
   ContainmentOptions options;
+  options.use_ir = false;
   options.intern_memo = true;
   StatusOr<ContainmentDecision> decision =
       DecideDatalogInUcq(tc, "p", PathQueries(2), options);
   ASSERT_TRUE(decision.ok());
   EXPECT_GT(decision->stats.instances_cached, 0u);
   EXPECT_GT(decision->stats.subset_checks, 0u);
+  // Non-IR arms never touch the rename memo or the integer pin compares.
+  EXPECT_EQ(decision->stats.rename_memo_hits, 0u);
+  EXPECT_EQ(decision->stats.pinned_compares, 0u);
   options.intern_memo = false;
   StatusOr<ContainmentDecision> baseline =
       DecideDatalogInUcq(tc, "p", PathQueries(2), options);
   ASSERT_TRUE(baseline.ok());
   EXPECT_EQ(baseline->stats.instances_cached, 0u);
+}
+
+TEST(DeciderInternTest, IrPathReportsRenameMemoAndPinnedCompareCounters) {
+  // A nonlinear program: combination products have two child slots, so
+  // the same (instance, child, serial) rename is requested repeatedly and
+  // the memo must serve the repeats.
+  Program nl = NonlinearTransitiveClosureProgram();
+  UnionOfCqs theta = PathQueries(2);
+  theta.Add(ConjunctiveQuery({Term::Variable("X"), Term::Variable("Y")}, {}));
+  ContainmentOptions options;
+  options.use_ir = true;
+  StatusOr<ContainmentDecision> decision =
+      DecideDatalogInUcq(nl, "p", theta, options);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->contained);
+  EXPECT_GT(decision->stats.rename_memo_hits, 0u);
+  EXPECT_GT(decision->stats.pinned_compares, 0u);
+  EXPECT_GT(decision->stats.instances_cached, 0u);
+}
+
+// --- CQ-layer differential: IR vs string homomorphism search ----------
+
+void ExpectSameMapping(const ConjunctiveQuery& psi,
+                       const ConjunctiveQuery& theta,
+                       const std::string& label) {
+  CqMappingOptions ir;
+  ir.use_ir = true;
+  CqMappingOptions strings;
+  strings.use_ir = false;
+  std::optional<Substitution> a = FindContainmentMapping(psi, theta, ir);
+  std::optional<Substitution> b = FindContainmentMapping(psi, theta, strings);
+  ASSERT_EQ(a.has_value(), b.has_value()) << label;
+  if (a.has_value()) {
+    EXPECT_EQ(*a, *b) << label;  // identical mapping, entry for entry
+  }
+}
+
+TEST(CqIrDifferentialTest, RandomizedExpansionPairsAgree) {
+  struct Family {
+    Program program;
+    std::string goal;
+  };
+  std::vector<Family> families;
+  families.push_back({Buys1Program(), "buys"});
+  families.push_back({TransitiveClosureProgram("e", "e"), "p"});
+  families.push_back({NonlinearTransitiveClosureProgram(), "p"});
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    std::mt19937_64 rng(seed * 104729 + 7);
+    const Family& family = families[seed % families.size()];
+    EnumerateOptions enumerate;
+    enumerate.max_depth = 1 + static_cast<std::size_t>(rng() % 3);
+    enumerate.max_trees = 60;
+    UnionOfCqs expansions =
+        BoundedExpansions(family.program, family.goal, enumerate);
+    const std::vector<ConjunctiveQuery>& cqs = expansions.disjuncts();
+    if (cqs.size() < 2) continue;
+    for (int pair = 0; pair < 8; ++pair) {
+      const ConjunctiveQuery& psi = cqs[rng() % cqs.size()];
+      const ConjunctiveQuery& theta = cqs[rng() % cqs.size()];
+      ExpectSameMapping(psi, theta, StrCat("seed ", seed, " pair ", pair));
+    }
+    // Minimization and redundant-disjunct removal must also be
+    // byte-identical across substrates.
+    CqMappingOptions ir;
+    ir.use_ir = true;
+    CqMappingOptions strings;
+    strings.use_ir = false;
+    for (const ConjunctiveQuery& cq : cqs) {
+      EXPECT_EQ(MinimizeCq(cq, ir).ToString(),
+                MinimizeCq(cq, strings).ToString())
+          << "seed " << seed;
+    }
+    EXPECT_EQ(MinimizeUcq(expansions, ir).ToString(),
+              MinimizeUcq(expansions, strings).ToString())
+        << "seed " << seed;
+    EXPECT_EQ(RemoveRedundantDisjuncts(expansions, ir).ToString(),
+              RemoveRedundantDisjuncts(expansions, strings).ToString())
+        << "seed " << seed;
+    EXPECT_EQ(IsUcqContained(expansions, expansions, ir),
+              IsUcqContained(expansions, expansions, strings))
+        << "seed " << seed;
+  }
+}
+
+TEST(CqIrDifferentialTest, ConstantsAndRepeatedHeadVarsAgree) {
+  // Hand-picked shapes that stress the encoding edges: constants in
+  // bodies and heads, repeated head variables, and empty bodies.
+  std::vector<std::pair<std::string, std::string>> cases = {
+      {"q(X, Y) :- e(X, Z), e(Z, Y).", "q(X, Y) :- e(X, Z), e(Z, W), e(W, Y)."},
+      {"q(X) :- e(root, X).", "q(X) :- e(root, X), e(X, X)."},
+      {"q(X, X) :- e(X, X).", "q(X, Y) :- e(X, Y)."},
+      {"q(X, Y) :- .", "q(X, Y) :- e(X, Y)."},
+      {"q(a, X) :- e(a, X).", "q(a, X) :- e(a, X), e(X, a)."},
+  };
+  for (const auto& [psi_text, theta_text] : cases) {
+    ConjunctiveQuery psi = MustParseCq(psi_text);
+    ConjunctiveQuery theta = MustParseCq(theta_text);
+    ExpectSameMapping(psi, theta, psi_text);
+    ExpectSameMapping(theta, psi, theta_text);
+  }
 }
 
 // --- the 64-atom mask-overflow guard ---------------------------------

@@ -1,0 +1,143 @@
+// The AST <-> IR round-trip contract (docs/ir.md): interning a program or
+// a union of CQs into the shared IR and decoding it back must reproduce
+// the same AST objects — same names, same order, same rendering. Also
+// pins the TermId tagging scheme and the dictionary bidirectionality the
+// containment and CQ layers rely on.
+#include "src/ir/ir.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+TEST(TermIdTest, TagsSeparateVariablesFromConstants) {
+  ir::TermId v = ir::TermId::Variable(7);
+  ir::TermId c = ir::TermId::Constant(7);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_variable());
+  EXPECT_EQ(v.index(), 7u);
+  EXPECT_EQ(c.index(), 7u);
+  EXPECT_NE(v, c);  // same index, different namespaces
+  EXPECT_EQ(v, ir::TermId::Variable(7));
+  EXPECT_EQ(ir::TermId::FromRaw(v.raw()), v);
+}
+
+TEST(TermIdTest, DefaultConstructedIsInvalid) {
+  ir::TermId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(ir::TermId::Variable(0).valid());
+  EXPECT_TRUE(ir::TermId::Constant(0).valid());
+}
+
+TEST(NameDictionaryTest, BidirectionalAndDense) {
+  ir::NameDictionary dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.name(0), "alpha");
+  EXPECT_EQ(dict.name(1), "beta");
+  EXPECT_EQ(dict.Find("beta"), 1u);
+  EXPECT_EQ(dict.Find("gamma"), ir::NameDictionary::kNotFound);
+}
+
+TEST(IrSubstitutionTest, AppliesOnlyToBoundVariables) {
+  ir::IrSubstitution subst(2);
+  subst[0] = ir::TermId::Constant(5);
+  EXPECT_EQ(ApplyIrSubstitution(subst, ir::TermId::Variable(0)),
+            ir::TermId::Constant(5));
+  // Unbound variable and constants pass through.
+  EXPECT_EQ(ApplyIrSubstitution(subst, ir::TermId::Variable(1)),
+            ir::TermId::Variable(1));
+  EXPECT_EQ(ApplyIrSubstitution(subst, ir::TermId::Constant(0)),
+            ir::TermId::Constant(0));
+  // A variable beyond the substitution's frame passes through.
+  EXPECT_EQ(ApplyIrSubstitution(subst, ir::TermId::Variable(9)),
+            ir::TermId::Variable(9));
+}
+
+void ExpectProgramRoundTrip(const std::string& text) {
+  Program program = MustParseProgram(text);
+  ir::ProgramIr ir_form = ir::ProgramIr::FromProgram(program);
+  Program decoded = ir_form.ToProgram();
+  EXPECT_EQ(decoded.ToString(), program.ToString());
+  EXPECT_TRUE(decoded == program);
+}
+
+TEST(ProgramIrTest, RoundTripsParsedPrograms) {
+  ExpectProgramRoundTrip(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  ExpectProgramRoundTrip(R"(
+    buys(X, Y) :- likes(X, Y).
+    buys(X, Y) :- trendy(X), buys(Z, Y).
+  )");
+  // Constants, repeated variables, 0-ary atoms, and empty bodies.
+  ExpectProgramRoundTrip(R"(
+    r(X) :- e(root, X).
+    r(X) :- r(Y), e(Y, X), flag().
+    d(X, X) :- .
+  )");
+}
+
+TEST(ProgramIrTest, RoundTripsUnionsOfCqs) {
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y)."));
+  ucq.Add(MustParseCq("q(X, X) :- e(X, X)."));
+  ucq.Add(MustParseCq("q(a, Y) :- e(a, Y)."));
+  ucq.Add(MustParseCq("q(X, Y) :- ."));
+  ir::ProgramIr ir_form = ir::ProgramIr::FromUnion(ucq);
+  UnionOfCqs decoded = ir_form.ToUnion();
+  ASSERT_EQ(decoded.size(), ucq.size());
+  EXPECT_EQ(decoded.ToString(), ucq.ToString());
+}
+
+TEST(ProgramIrTest, FlatSpansExposeDenseIds) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  ir::ProgramIr ir_form = ir::ProgramIr::FromProgram(program);
+  ASSERT_EQ(ir_form.num_rules(), 1u);
+  const ir::RuleSpan& rule = ir_form.rule(0);
+  // Head plus two body atoms, laid out head-first.
+  EXPECT_EQ(rule.body_end - rule.body_begin, 2u);
+  const ir::AtomSpan& head = ir_form.atom(rule.head_atom);
+  EXPECT_EQ(head.arity(), 2u);
+  EXPECT_EQ(ir_form.predicates().name(head.predicate), "p");
+  // Variables are interned in first-occurrence order: X, Y, Z.
+  const ir::TermId* head_args = ir_form.args(head);
+  EXPECT_TRUE(head_args[0].is_variable());
+  EXPECT_EQ(ir_form.variables().name(head_args[0].index()), "X");
+  EXPECT_EQ(ir_form.variables().name(head_args[1].index()), "Y");
+  const ir::AtomSpan& body0 = ir_form.atom(rule.body_begin);
+  EXPECT_EQ(ir_form.predicates().name(body0.predicate), "e");
+  const ir::TermId* body0_args = ir_form.args(body0);
+  // e(X, Z): X is the same dense id as the head's X.
+  EXPECT_EQ(body0_args[0], head_args[0]);
+  EXPECT_EQ(ir_form.variables().name(body0_args[1].index()), "Z");
+  // Decoding a single rule reproduces the AST rule.
+  EXPECT_TRUE(ir_form.DecodeRule(0) == program.rules()[0]);
+}
+
+TEST(ProgramIrTest, SharedConstantsInternOnce) {
+  Program program = MustParseProgram(R"(
+    r(X) :- e(root, X).
+    s(X) :- f(root, X), g(other).
+  )");
+  ir::ProgramIr ir_form = ir::ProgramIr::FromProgram(program);
+  EXPECT_EQ(ir_form.constants().size(), 2u);  // root, other
+  EXPECT_EQ(ir_form.constants().Find("root"), 0u);
+  EXPECT_EQ(ir_form.constants().Find("other"), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -14,9 +14,12 @@
 #include <cstdint>
 
 #include "src/containment/decider.h"
+#include "src/containment/linear.h"
+#include "src/containment/ptrees_automaton.h"
 #include "src/engine/eval.h"
 #include "src/engine/random_db.h"
 #include "src/generators/examples.h"
+#include "src/tm/tm_encoding.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -295,6 +298,77 @@ BENCHMARK(BM_DeciderTcPathsCheckerReuse)
     ->Args({7, 2})
     ->Args({7, 1})
     ->Args({7, 0});
+
+// --- explicit automata constructions (PR 4 ports) ----------------------
+//
+// The ptrees automaton and the linear word-automaton decider now stamp
+// their labels and states from rule-template int rows through a
+// VarKeyTable; Arg(0) selects the substrate — 1 = interned rows
+// (default), 0 = the rendered-string identity they replaced.
+
+void BM_PtreesAutomaton(benchmark::State& state) {
+  // ChainProgram(2): 8 proof variables over a 4-variable recursive rule
+  // (8^4 instances) plus the base rule — a mid-size alphabet.
+  Program program = ChainProgram(2);
+  const bool use_ir = state.range(0) != 0;
+  std::size_t labels = 0;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StatusOr<PtreesAutomaton> automaton =
+        BuildPtreesAutomaton(program, "p", 50'000'000, use_ir);
+    DATALOG_CHECK(automaton.ok());
+    labels = automaton->alphabet.labels.size();
+    states = automaton->nfta.num_states();
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["alphabet"] = static_cast<double>(labels);
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_PtreesAutomaton)->Arg(1)->Arg(0);
+
+void BM_LinearWordAutomaton(benchmark::State& state) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs paths = PathQueries(3);
+  LinearContainmentOptions options;
+  options.use_ir = state.range(0) != 0;
+  std::size_t theta_states = 0;
+  for (auto _ : state) {
+    StatusOr<LinearContainmentResult> result =
+        DecideLinearDatalogInUcq(tc, "p", paths, options);
+    DATALOG_CHECK(result.ok());
+    DATALOG_CHECK(!result->contained);
+    theta_states = result->theta_states;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["theta_states"] = static_cast<double>(theta_states);
+}
+BENCHMARK(BM_LinearWordAutomaton)->Arg(1)->Arg(0);
+
+// --- the §5.3 TM-reduction workload ------------------------------------
+//
+// A heavyweight end-to-end decider instance (the lower-bound reduction on
+// a micro machine); Arg(0) is the memoization substrate as in the
+// BM_Decider* cases above. Tracks how the decider-wide ports (carried IR,
+// interned combination steps) move the hardest workload in the suite.
+
+void BM_TmReduction(benchmark::State& state) {
+  StatusOr<TmEncoding> encoding =
+      EncodeLinearTmContainment(ImmediatelyAcceptingMachine(), 1);
+  DATALOG_CHECK(encoding.ok());
+  ContainmentOptions options = DeciderSubstrateOptions(state.range(0));
+  options.max_states = 5'000'000;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(
+        encoding->program, encoding->goal, encoding->queries, options);
+    DATALOG_CHECK(decision.ok()) << decision.status();
+    DATALOG_CHECK(!decision->contained);
+    states = decision->stats.states_discovered;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["decider_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_TmReduction)->Arg(2)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace datalog

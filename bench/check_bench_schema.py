@@ -7,10 +7,17 @@ a hand-edit that breaks the shape fails loudly instead of silently
 corrupting the perf trajectory.
 
 Usage: check_bench_schema.py <bench.json> [--expect-prefix NAME ...]
+                                          [--names-file FILE]
 
 With --expect-prefix, at least one benchmark entry must start with each
 given prefix (e.g. BM_Decider, BM_RecursiveBuys) — a guard against a
 filter accidentally dropping a whole family from the baseline.
+
+With --names-file, every (non-aggregate) benchmark entry's name must
+appear in FILE (one name per line — the output of
+`bench_eval --benchmark_list_tests`): the baseline must never name a
+benchmark that no longer exists in the binary, which is how renamed or
+deleted cases silently rot out of the perf trajectory.
 """
 import json
 import sys
@@ -27,10 +34,14 @@ def main() -> None:
              "[--expect-prefix NAME ...]")
     path = sys.argv[1]
     prefixes = []
+    names_file = None
     args = sys.argv[2:]
     while args:
         if args[0] == "--expect-prefix" and len(args) >= 2:
             prefixes.append(args[1])
+            args = args[2:]
+        elif args[0] == "--names-file" and len(args) >= 2:
+            names_file = args[1]
             args = args[2:]
         else:
             fail(f"unknown argument {args[0]}")
@@ -62,6 +73,23 @@ def main() -> None:
     for prefix in prefixes:
         if not any(name.startswith(prefix) for name in names):
             fail(f"no benchmark entry starts with {prefix!r}")
+
+    if names_file is not None:
+        try:
+            with open(names_file) as handle:
+                known = {line.strip() for line in handle if line.strip()}
+        except OSError as error:
+            fail(f"{names_file}: {error}")
+        for entry in data["benchmarks"]:
+            # Aggregate rows (mean/median/stddev under repetitions > 1)
+            # derive their names from a real case; only check base runs.
+            if entry.get("run_type", "iteration") != "iteration":
+                continue
+            if entry["name"] not in known:
+                fail(f"baseline names benchmark {entry['name']!r}, which "
+                     f"the binary no longer provides (stale baseline? "
+                     f"re-record with bench/run_bench.sh)")
+
     print(f"check_bench_schema: {path} OK "
           f"({len(names)} entries)")
 

@@ -41,11 +41,17 @@ fi
 # entry carries the fields perf comparisons read). Validation needs a
 # JSON parser; without python3 the check is skipped, not misreported.
 if command -v python3 >/dev/null 2>&1; then
+  names_file="$(mktemp)"
+  "${build_dir}/bench_eval" --benchmark_list_tests > "${names_file}"
   if ! python3 "${repo_root}/bench/check_bench_schema.py" "${tmp_output}" \
-      --expect-prefix BM_Decider --expect-prefix BM_TransitiveClosure; then
+      --expect-prefix BM_Decider --expect-prefix BM_TransitiveClosure \
+      --expect-prefix BM_PtreesAutomaton --expect-prefix BM_TmReduction \
+      --names-file "${names_file}"; then
+    rm -f "${names_file}"
     echo "bench_eval produced invalid JSON; leaving ${output} untouched" >&2
     exit 1
   fi
+  rm -f "${names_file}"
 else
   echo "python3 not found; skipping JSON validation of ${output}" >&2
 fi

@@ -8,6 +8,7 @@
 #ifndef DATALOG_EQ_SRC_AST_RULE_H_
 #define DATALOG_EQ_SRC_AST_RULE_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,6 +17,16 @@
 #include "src/util/status.h"
 
 namespace datalog {
+
+class Program;
+
+namespace ir {
+class ProgramIr;
+/// Returns the interned IR carried by `program`, building and attaching
+/// it on first use (declared here so Program can grant access to the
+/// cache slot; defined in src/ir/ir.cc, documented in src/ir/ir.h).
+std::shared_ptr<ProgramIr> CarriedIr(const Program& program);
+}  // namespace ir
 
 class Rule {
  public:
@@ -54,7 +65,14 @@ class Program {
   explicit Program(std::vector<Rule> rules) : rules_(std::move(rules)) {}
 
   const std::vector<Rule>& rules() const { return rules_; }
-  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  void AddRule(Rule rule) {
+    carried_ir_.reset();  // mutation invalidates the carried IR
+    rules_.push_back(std::move(rule));
+  }
+
+  /// True if a carried IR is currently attached: ir::CarriedIr built one
+  /// and no mutation has dropped it since.
+  bool has_carried_ir() const { return carried_ir_ != nullptr; }
 
   bool operator==(const Program& other) const { return rules_ == other.rules_; }
 
@@ -85,7 +103,14 @@ class Program {
   std::string ToString() const;
 
  private:
+  friend std::shared_ptr<ir::ProgramIr> ir::CarriedIr(const Program&);
+
   std::vector<Rule> rules_;
+  // The lazily-built interned IR (see ir::CarriedIr in src/ir/ir.h).
+  // mutable: building the cache does not change the program's value.
+  // Copies share the pointer (the rules are equal at copy time and the
+  // IR is append-only); AddRule resets it.
+  mutable std::shared_ptr<ir::ProgramIr> carried_ir_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Program& program);

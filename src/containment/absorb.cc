@@ -458,6 +458,23 @@ void EnumerateForwardAbsorptions(
                        });
 }
 
+void EnumerateForwardAbsorptions(
+    const IrQueryAnalysis& query, std::uint64_t pending_mask,
+    const std::vector<IrInstanceAtom>& edb_atoms, const IrPinnedMap& seed,
+    const std::function<void(std::uint64_t, const ir::IrSubstitution&)>&
+        visit) {
+  ir::DenseBinding assignment(query.base->vars.size());
+  std::vector<std::int32_t> trail;
+  for (const auto& [v, term] : seed) {
+    bool ok = assignment.Bind(v, term, &trail, nullptr);
+    DATALOG_CHECK(ok) << "inconsistent seed assignment";
+  }
+  IrEnumerateAbsorptions(query, pending_mask, edb_atoms, &assignment, &trail,
+                         0, 0, nullptr, [&](std::uint64_t beta_prime) {
+                           visit(beta_prime, assignment.image);
+                         });
+}
+
 bool RootAcceptsQuery(const QueryAnalysis& query, const Atom& root_goal,
                       const AchievedSet& set) {
   const ConjunctiveQuery& cq = *query.cq;

@@ -197,6 +197,17 @@ void EnumerateForwardAbsorptions(
                              const std::vector<std::optional<Term>>&)>&
         visit);
 
+/// IR rendering of EnumerateForwardAbsorptions: the same enumeration in
+/// the same order, with every unification an integer compare and no Terms
+/// moved. The seed pins images in the instance frame (TermIds); `visit`
+/// receives the chosen subset and the extended dense assignment (invalid
+/// TermId = unassigned).
+void EnumerateForwardAbsorptions(
+    const IrQueryAnalysis& query, std::uint64_t pending_mask,
+    const std::vector<IrInstanceAtom>& edb_atoms, const IrPinnedMap& seed,
+    const std::function<void(std::uint64_t, const ir::IrSubstitution&)>&
+        visit);
+
 }  // namespace datalog
 
 #endif  // DATALOG_EQ_SRC_CONTAINMENT_ABSORB_H_

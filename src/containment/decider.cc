@@ -79,11 +79,18 @@ struct ContainmentChecker::Context {
   std::vector<const Rule*> ordered_rules;
 
   // --- interned substrate (the use_ir / intern_memo paths) -------------
-  // The shared program IR. Its predicate and constant dictionaries are
-  // the id spaces every encoded structure below uses; Θ disjuncts are
-  // folded into the same dictionaries per run (append-only, so cached
-  // instance encodings stay valid across Decide calls).
-  ir::ProgramIr program_ir;
+  // The shared program IR: the program's *carried* IR (ir::CarriedIr),
+  // so a Program that was already interned — by an earlier Decide, a
+  // previous checker, or any other IR consumer — is never re-interned.
+  // Its predicate and constant dictionaries are the id spaces every
+  // encoded structure below uses; Θ disjuncts are folded into the same
+  // dictionaries per run (append-only, so cached instance encodings stay
+  // valid across Decide calls and existing ids never move).
+  std::shared_ptr<ir::ProgramIr> program_ir;
+  // Interning passes Init paid (1 when the carried IR was missing, else
+  // 0); consumed into ContainmentStats::program_ir_builds by the first
+  // Decide on this context.
+  std::size_t ir_builds_paid = 0;
   std::int32_t goal_pred_id = -1;
   // Canonical goal atoms -> dense goal ids; row = [pred_id, enc(args)...]
   // with proof variables $k encoded as -(k+1) and constants as their
@@ -167,9 +174,11 @@ struct ContainmentChecker::Context {
       idb.insert(predicate);
     }
     proof_vars = ProofVariables(program_ref);
-    program_ir = ir::ProgramIr::FromProgram(program_ref);
+    const std::size_t builds_before = ir::ProgramIrBuildCount();
+    program_ir = ir::CarriedIr(program_ref);
+    ir_builds_paid = ir::ProgramIrBuildCount() - builds_before;
     goal_pred_id =
-        static_cast<std::int32_t>(program_ir.predicates().Intern(goal));
+        static_cast<std::int32_t>(program_ir->predicates().Intern(goal));
     auto rule_class = [this](const Rule& rule) {
       bool leaf = true;
       for (const Atom& atom : rule.body()) {
@@ -199,7 +208,7 @@ struct ContainmentChecker::Context {
     auto encode_atom = [&](const Atom& atom) {
       RuleTemplate::AtomTpl enc;
       enc.predicate = static_cast<std::int32_t>(
-          program_ir.predicates().Intern(atom.predicate()));
+          program_ir->predicates().Intern(atom.predicate()));
       enc.idb = idb.count(atom.predicate()) > 0;
       enc.args.reserve(atom.arity());
       for (const Term& t : atom.args()) {
@@ -207,7 +216,7 @@ struct ContainmentChecker::Context {
           enc.args.push_back(slots.at(t.name()));
         } else {
           enc.args.push_back(~static_cast<std::int32_t>(
-              program_ir.constants().Intern(t.name())));
+              program_ir->constants().Intern(t.name())));
         }
       }
       return enc;
@@ -364,6 +373,11 @@ class DeciderRun {
     }
     const bool interned_substrate = options_.use_ir || options_.intern_memo;
     ContainmentDecision decision;
+    // The interning pass (if Init had to pay one) is charged to the first
+    // Decide on this context; later Decides report 0, pinning the
+    // carried-IR reuse in the stats.
+    decision.stats.program_ir_builds = ctx_.ir_builds_paid;
+    ctx_.ir_builds_paid = 0;
     if (interned_substrate) {
       if (ctx_.rule_caches.empty()) {
         ctx_.rule_caches.resize(ctx_.ordered_rules.size());
@@ -379,8 +393,8 @@ class DeciderRun {
         ir_queries_.reserve(queries_.size());
         for (const QueryAnalysis& query : queries_) {
           ir_queries_.push_back(BuildIrQueryAnalysis(
-              query, &ctx_.program_ir.predicates(),
-              &ctx_.program_ir.constants()));
+              query, &ctx_.program_ir->predicates(),
+              &ctx_.program_ir->constants()));
         }
       } else {
         store_.resize(ctx_.goal_keys.size());

@@ -83,6 +83,11 @@ struct ContainmentStats {
   /// root-acceptance steps (each one replaces a Term/string compare on
   /// the baseline path; 0 when use_ir is off).
   std::size_t pinned_compares = 0;
+  /// Full AST→IR interning passes this Decide call paid for the program.
+  /// 0 when the program's carried ProgramIr (ir::CarriedIr) was already
+  /// valid — i.e. on every Decide after the first against the same
+  /// unmutated Program or reused checker.
+  std::size_t program_ir_builds = 0;
   int rounds = 0;
 };
 

@@ -46,18 +46,16 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
   result.forward_stats = forward->stats;
 
   // Backward direction: Π' ⊆ Π via canonical databases, disjunct by
-  // disjunct (Theorem 2.3 reduces UCQ containment to its disjuncts).
-  result.backward_contained = true;
-  for (const ConjunctiveQuery& disjunct : unfolded->disjuncts()) {
-    StatusOr<bool> contained =
-        IsCqContainedInDatalog(disjunct, checker.program(), checker.goal(),
-                               &result.backward_eval_stats);
-    if (!contained.ok()) return contained.status();
-    if (!*contained) {
-      result.backward_contained = false;
-      result.backward_counterexample = disjunct;
-      break;
-    }
+  // disjunct (Theorem 2.3 reduces UCQ containment to its disjuncts). The
+  // union-level call freezes through the unfolded union's carried IR.
+  std::size_t failing_disjunct = 0;
+  StatusOr<bool> backward = IsUcqContainedInDatalog(
+      *unfolded, checker.program(), checker.goal(),
+      &result.backward_eval_stats, CanonicalDbOptions(), &failing_disjunct);
+  if (!backward.ok()) return backward.status();
+  result.backward_contained = *backward;
+  if (!*backward) {
+    result.backward_counterexample = unfolded->disjuncts()[failing_disjunct];
   }
   result.equivalent = result.forward_contained && result.backward_contained;
   return result;

@@ -7,6 +7,8 @@
 #include "src/ast/analysis.h"
 #include "src/containment/absorb.h"
 #include "src/containment/query_analysis.h"
+#include "src/ir/ir.h"
+#include "src/util/flat_table.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -18,6 +20,170 @@ std::string PinnedToString(const PinnedMap& pinned) {
   for (const auto& [v, t] : pinned) out += StrCat(v, "=", t.ToString(), ";");
   return out;
 }
+
+// ---- the interned (IR) arm ---------------------------------------------
+//
+// States and transitions are built from the alphabet's per-symbol IR
+// encodings (ProgramAlphabet::LabelIr): IDB atoms over var(Π) intern to
+// dense ids through rows [pred, enc(arg)...] in a VarKeyTable, a theta
+// state is the row [atom id, mask, pinned (variable, image) ints...], and
+// the absorption enumeration runs on the IR overload of
+// EnumerateForwardAbsorptions — no Terms move and nothing is rendered.
+// Discovery order matches the string arm exactly, so the automata are
+// identical state for state.
+
+// The A^ptrees word automaton plus the per-symbol lookup structures the
+// theta automata share: dense IDB-atom ids, symbols grouped by head atom,
+// and each symbol's child atom id / child-visible proof variables.
+struct LinearIrContext {
+  VarKeyTable atom_keys;
+  std::vector<ir::TermAtom> atoms;               // by atom id
+  std::vector<std::vector<int>> labels_by_head;  // by atom id
+  std::vector<int> child_atom_id;                // by symbol; -1 for leaves
+  // By symbol, indexed by proof-variable index: does the variable occur
+  // in the child goal (the paper's visibility condition 4)?
+  std::vector<std::vector<char>> child_visible;
+
+  std::uint32_t InternAtom(const ir::TermAtom& atom) {
+    row_.clear();
+    row_.push_back(atom.predicate);
+    for (ir::TermId t : atom.args) row_.push_back(ir::EncodeRowTerm(t));
+    auto [id, inserted] = atom_keys.Intern(row_.data(), row_.size());
+    if (inserted) {
+      atoms.push_back(atom);
+      labels_by_head.emplace_back();
+    }
+    return id;
+  }
+
+ private:
+  std::vector<int> row_;
+};
+
+// Builds the word automaton for one disjunct over the shared alphabet,
+// on the IR encoding. State ids offset the shared accept state by one,
+// mirroring the string arm's numbering.
+StatusOr<Nfa> BuildThetaWordAutomatonIr(
+    const IrQueryAnalysis& query, const ProgramAlphabet& alphabet,
+    const LinearIrContext& ctx,
+    const std::vector<std::uint32_t>& goal_atom_ids,
+    std::size_t max_states) {
+  const QueryAnalysis& base = *query.base;
+  Nfa nfa(0, alphabet.labels.size());
+  int accept = nfa.AddState();
+  nfa.SetAccepting(accept);
+
+  struct State {
+    std::uint32_t atom_id = 0;
+    std::uint64_t mask = 0;
+    IrPinnedMap pinned;
+  };
+  std::vector<State> states;
+  VarKeyTable state_keys;
+  std::vector<int> worklist;
+  std::vector<int> row;
+  auto intern = [&](std::uint32_t atom_id, std::uint64_t mask,
+                    IrPinnedMap pinned) -> int {
+    row.clear();
+    row.push_back(static_cast<int>(atom_id));
+    row.push_back(static_cast<int>(static_cast<std::uint32_t>(mask)));
+    row.push_back(static_cast<int>(static_cast<std::uint32_t>(mask >> 32)));
+    for (const auto& [v, term] : pinned) {
+      row.push_back(v);
+      row.push_back(ir::EncodeRowTerm(term));
+    }
+    auto [id, inserted] = state_keys.Intern(row.data(), row.size());
+    if (inserted) {
+      int nfa_id = nfa.AddState();
+      DATALOG_CHECK_EQ(nfa_id, static_cast<int>(id) + 1);
+      states.push_back({atom_id, mask, std::move(pinned)});
+      worklist.push_back(nfa_id);
+    }
+    return static_cast<int>(id) + 1;  // accept is state 0
+  };
+
+  // Initial states: unify the disjunct's head vector with each goal atom.
+  for (std::uint32_t atom_id : goal_atom_ids) {
+    const ir::TermAtom& root = ctx.atoms[atom_id];
+    if (query.head_args.size() != root.args.size()) continue;
+    IrPinnedMap pinned;
+    std::vector<ir::TermId> head_image(base.vars.size());
+    bool ok = true;
+    for (std::size_t i = 0; i < root.args.size() && ok; ++i) {
+      std::int32_t from = query.head_args[i];
+      ir::TermId to = root.args[i];
+      if (from < 0) {  // constant: images must be the same constant
+        ok = to == ir::TermId::Constant(static_cast<std::uint32_t>(~from));
+        continue;
+      }
+      if (head_image[from].valid()) {
+        ok = head_image[from] == to;
+      } else {
+        head_image[from] = to;
+      }
+    }
+    if (!ok) continue;
+    // Pin distinguished variables that occur in the body.
+    for (std::size_t v = 0; v < base.vars.size(); ++v) {
+      if (head_image[v].valid() && base.atoms_of_var[v] != 0) {
+        pinned.emplace_back(static_cast<std::int32_t>(v), head_image[v]);
+      }
+    }
+    int id = intern(atom_id, base.full_mask, std::move(pinned));
+    nfa.SetInitial(id);
+  }
+
+  while (!worklist.empty()) {
+    if (states.size() > max_states) {
+      return Status(ResourceExhaustedError(
+          StrCat("linear theta automaton exceeded ", max_states,
+                 " states")));
+    }
+    int id = worklist.back();
+    worklist.pop_back();
+    // Copy: `states` may reallocate while we intern successors.
+    State state = states[id - 1];  // state ids start after `accept`
+    for (int symbol : ctx.labels_by_head[state.atom_id]) {
+      const ProgramAlphabet::LabelIr& label = alphabet.label_ir[symbol];
+      int arity = alphabet.arities[symbol];
+      EnumerateForwardAbsorptions(
+          query, state.mask, label.edb_atoms, state.pinned,
+          [&](std::uint64_t beta_prime, const ir::IrSubstitution& images) {
+            if (arity == 0) {
+              // Leaf: everything pending must be absorbed here.
+              if (beta_prime == state.mask) {
+                nfa.AddTransition(id, symbol, accept);
+              }
+              return;
+            }
+            std::uint64_t next_mask = state.mask & ~beta_prime;
+            // Variables still relevant below: pending atoms contain them
+            // and their image is already determined.
+            const std::vector<char>& child_vars = ctx.child_visible[symbol];
+            IrPinnedMap next_pinned;
+            for (std::size_t v = 0; v < base.vars.size(); ++v) {
+              if ((base.atoms_of_var[v] & next_mask) == 0) continue;
+              if (!images[v].valid()) continue;
+              // Visibility (the paper's condition 4): the image must
+              // occur in the child goal to stay connected.
+              if (images[v].is_variable() &&
+                  child_vars[images[v].index()] == 0) {
+                return;  // this absorption cannot continue downward
+              }
+              next_pinned.emplace_back(static_cast<std::int32_t>(v),
+                                       images[v]);
+            }
+            int next =
+                intern(static_cast<std::uint32_t>(ctx.child_atom_id[symbol]),
+                       next_mask, std::move(next_pinned));
+            nfa.AddTransition(id, symbol, next);
+          });
+    }
+  }
+  return nfa;
+}
+
+// ---- the string arm (ablation baseline: the pre-IR construction) -------
 
 // Builds the word automaton for one disjunct over the shared alphabet.
 // States: (goal atom, pending atom mask, pinned images) plus `accept`.
@@ -81,8 +247,6 @@ StatusOr<Nfa> BuildThetaWordAutomaton(
     nfa.SetInitial(id);
   }
 
-  std::set<std::string> idb_free;  // not needed; arity from alphabet
-  (void)idb_free;
   while (!worklist.empty()) {
     if (states.size() > max_states) {
       return Status(ResourceExhaustedError(
@@ -148,6 +312,25 @@ StatusOr<Nfa> BuildThetaWordAutomaton(
   return nfa;
 }
 
+// Decodes a word over the alphabet into the path proof tree it spells.
+ExpansionTree DecodeWord(const ProgramAlphabet& alphabet,
+                         const std::vector<int>& word) {
+  DATALOG_CHECK(!word.empty());
+  // Build the path tree bottom-up from the last label.
+  ExpansionNode node;
+  for (std::size_t i = word.size(); i-- > 0;) {
+    ExpansionNode parent;
+    parent.rule = alphabet.labels[word[i]];
+    parent.goal = parent.rule.head();
+    parent.idb_positions = alphabet.label_idb_positions[word[i]];
+    if (i + 1 < word.size()) {
+      parent.children.push_back(std::move(node));
+    }
+    node = std::move(parent);
+  }
+  return ExpansionTree(std::move(node));
+}
+
 }  // namespace
 
 StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
@@ -158,9 +341,9 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
         "program is not linear (a rule has more than one IDB subgoal)"));
   }
   StatusOr<ProgramAlphabet> alphabet_or =
-      BuildProgramAlphabet(program, options.max_labels);
+      BuildProgramAlphabet(program, options.max_labels, options.use_ir);
   if (!alphabet_or.ok()) return alphabet_or.status();
-  const ProgramAlphabet& alphabet = *alphabet_or;
+  ProgramAlphabet& alphabet = *alphabet_or;
 
   LinearContainmentResult result;
   result.alphabet_size = alphabet.labels.size();
@@ -170,36 +353,86 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
   Nfa ptrees(0, alphabet.labels.size());
   int accept = ptrees.AddState();
   ptrees.SetAccepting(accept);
-  std::map<std::string, int> atom_ids;
-  std::vector<Atom> state_atoms;
-  auto atom_state = [&](const Atom& atom) {
-    auto [it, inserted] =
-        atom_ids.emplace(atom.ToString(), -1);
-    if (inserted) {
-      it->second = ptrees.AddState();
-      state_atoms.push_back(atom);
+
+  LinearIrContext ctx;                              // IR arm
+  std::map<std::string, int> atom_ids;              // string arm
+  std::vector<Atom> state_atoms;                    // string arm
+  std::map<std::string, std::vector<int>> labels_by_head;  // string arm
+  std::vector<Atom> goal_atoms;                     // string arm
+  std::vector<std::uint32_t> goal_atom_ids;         // IR arm
+
+  if (options.use_ir) {
+    // Keeps the NFA's state count aligned with the interned atoms before
+    // any transition references them (atom id + 1, after `accept`).
+    auto grow_states = [&]() {
+      while (static_cast<std::size_t>(ptrees.num_states()) <
+             ctx.atoms.size() + 1) {
+        ptrees.AddState();
+      }
+    };
+    for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
+      const ProgramAlphabet::LabelIr& label = alphabet.label_ir[symbol];
+      ir::TermAtom head;
+      head.predicate = label.head_pred;
+      head.args = label.head_args;
+      std::uint32_t head_id = ctx.InternAtom(head);
+      ctx.labels_by_head[head_id].push_back(static_cast<int>(symbol));
+      if (alphabet.arities[symbol] == 0) {
+        ctx.child_atom_id.push_back(-1);
+        ctx.child_visible.emplace_back();
+        grow_states();
+        ptrees.AddTransition(static_cast<int>(head_id) + 1,
+                             static_cast<int>(symbol), accept);
+      } else {
+        std::uint32_t child_id = ctx.InternAtom(label.idb_atoms[0]);
+        ctx.child_atom_id.push_back(static_cast<int>(child_id));
+        std::vector<char> visible(alphabet.proof_vars.size(), 0);
+        for (ir::TermId t : label.idb_atoms[0].args) {
+          if (t.is_variable()) visible[t.index()] = 1;
+        }
+        ctx.child_visible.push_back(std::move(visible));
+        grow_states();
+        ptrees.AddTransition(static_cast<int>(head_id) + 1,
+                             static_cast<int>(symbol),
+                             static_cast<int>(child_id) + 1);
+      }
     }
-    return it->second;
-  };
-  std::map<std::string, std::vector<int>> labels_by_head;
-  for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
-    const Rule& label = alphabet.labels[symbol];
-    int from = atom_state(label.head());
-    labels_by_head[label.head().ToString()].push_back(
-        static_cast<int>(symbol));
-    if (alphabet.arities[symbol] == 0) {
-      ptrees.AddTransition(from, static_cast<int>(symbol), accept);
-    } else {
-      int to =
-          atom_state(label.body()[alphabet.label_idb_positions[symbol][0]]);
-      ptrees.AddTransition(from, static_cast<int>(symbol), to);
+    std::uint32_t goal_pred = alphabet.predicates.Find(goal);
+    for (std::uint32_t atom_id = 0; atom_id < ctx.atoms.size(); ++atom_id) {
+      if (goal_pred != ir::NameDictionary::kNotFound &&
+          static_cast<std::uint32_t>(ctx.atoms[atom_id].predicate) ==
+              goal_pred) {
+        ptrees.SetInitial(static_cast<int>(atom_id) + 1);
+        goal_atom_ids.push_back(atom_id);
+      }
     }
-  }
-  std::vector<Atom> goal_atoms;
-  for (const Atom& atom : state_atoms) {
-    if (atom.predicate() == goal) {
-      ptrees.SetInitial(atom_ids.at(atom.ToString()));
-      goal_atoms.push_back(atom);
+  } else {
+    auto atom_state = [&](const Atom& atom) {
+      auto [it, inserted] = atom_ids.emplace(atom.ToString(), -1);
+      if (inserted) {
+        it->second = ptrees.AddState();
+        state_atoms.push_back(atom);
+      }
+      return it->second;
+    };
+    for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
+      const Rule& label = alphabet.labels[symbol];
+      int from = atom_state(label.head());
+      labels_by_head[label.head().ToString()].push_back(
+          static_cast<int>(symbol));
+      if (alphabet.arities[symbol] == 0) {
+        ptrees.AddTransition(from, static_cast<int>(symbol), accept);
+      } else {
+        int to =
+            atom_state(label.body()[alphabet.label_idb_positions[symbol][0]]);
+        ptrees.AddTransition(from, static_cast<int>(symbol), to);
+      }
+    }
+    for (const Atom& atom : state_atoms) {
+      if (atom.predicate() == goal) {
+        ptrees.SetInitial(atom_ids.at(atom.ToString()));
+        goal_atoms.push_back(atom);
+      }
     }
   }
   result.ptrees_states = ptrees.num_states();
@@ -210,8 +443,16 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
     StatusOr<QueryAnalysis> analysis = AnalyzeQuery(disjunct);
     if (!analysis.ok()) return analysis.status();
     StatusOr<Nfa> theta_nfa =
-        BuildThetaWordAutomaton(*analysis, alphabet, labels_by_head,
-                                goal_atoms, options.max_states);
+        options.use_ir
+            ? [&]() {
+                IrQueryAnalysis ir_query = BuildIrQueryAnalysis(
+                    *analysis, &alphabet.predicates, &alphabet.constants);
+                return BuildThetaWordAutomatonIr(ir_query, alphabet, ctx,
+                                                 goal_atom_ids,
+                                                 options.max_states);
+              }()
+            : BuildThetaWordAutomaton(*analysis, alphabet, labels_by_head,
+                                      goal_atoms, options.max_states);
     if (!theta_nfa.ok()) return theta_nfa.status();
     result.theta_states += theta_nfa->num_states();
     if (union_automaton.has_value()) {
@@ -221,27 +462,10 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
     }
   }
 
-  auto decode = [&alphabet](const std::vector<int>& word) {
-    DATALOG_CHECK(!word.empty());
-    // Build the path tree bottom-up from the last label.
-    ExpansionNode node;
-    for (std::size_t i = word.size(); i-- > 0;) {
-      ExpansionNode parent;
-      parent.rule = alphabet.labels[word[i]];
-      parent.goal = parent.rule.head();
-      parent.idb_positions = alphabet.label_idb_positions[word[i]];
-      if (i + 1 < word.size()) {
-        parent.children.push_back(std::move(node));
-      }
-      node = std::move(parent);
-    }
-    return ExpansionTree(std::move(node));
-  };
-
   if (!union_automaton.has_value()) {
     result.contained = ptrees.IsEmpty();
     if (!result.contained) {
-      result.counterexample = decode(*ptrees.ShortestWord());
+      result.counterexample = DecodeWord(alphabet, *ptrees.ShortestWord());
     }
     return result;
   }
@@ -254,7 +478,7 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
   result.contained = containment->contained;
   result.pairs_explored = containment->explored;
   if (!containment->contained) {
-    result.counterexample = decode(containment->counterexample);
+    result.counterexample = DecodeWord(alphabet, containment->counterexample);
   }
   return result;
 }

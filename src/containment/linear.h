@@ -27,6 +27,12 @@ struct LinearContainmentOptions {
   bool antichain = true;
   std::size_t max_states = 500'000;
   std::size_t max_labels = 2'000'000;
+  /// Build the word automata from the alphabet's interned int rows
+  /// (states keyed in a VarKeyTable, absorption on the IR overload of
+  /// EnumerateForwardAbsorptions — no Terms or rendered strings move).
+  /// The string arm is kept as the ablation baseline; both arms build
+  /// identical automata and results (tests/decider_intern_test.cc).
+  bool use_ir = true;
 };
 
 struct LinearContainmentResult {

@@ -1,6 +1,8 @@
 #include "src/containment/ptrees_automaton.h"
 
+#include <functional>
 #include <set>
+#include <unordered_map>
 
 #include "src/ast/analysis.h"
 #include "src/containment/instances.h"
@@ -8,14 +10,181 @@
 #include "src/util/strings.h"
 
 namespace datalog {
+namespace {
 
-int ProgramAlphabet::SymbolOf(const Rule& instance) const {
-  auto it = label_ids.find(instance.ToString());
-  return it == label_ids.end() ? -1 : it->second;
+// One program rule encoded once onto the alphabet's dictionaries: atoms
+// carry the predicate dictionary id plus int arguments (rule-variable
+// slot in VariableNames() order, or ~constant_id), and the original Atom
+// for constant-Term reuse during materialization. Instances are then
+// stamped out of the template at integer cost — no substitution maps, no
+// rendered strings (the decider's RuleTemplate scheme).
+struct AlphabetRuleTemplate {
+  struct AtomTpl {
+    const Atom* source = nullptr;
+    std::int32_t predicate = 0;
+    bool idb = false;
+    // args >= 0: rule-variable slot; args < 0: constant ~dictionary_id.
+    std::vector<std::int32_t> args;
+  };
+  AtomTpl head;
+  std::vector<AtomTpl> body;
+  std::vector<std::size_t> idb_positions;
+};
+
+AlphabetRuleTemplate BuildAlphabetTemplate(
+    const Rule& rule, const std::set<std::string>& idb,
+    ir::NameDictionary* predicates, ir::NameDictionary* constants) {
+  AlphabetRuleTemplate tpl;
+  std::vector<std::string> vars = rule.VariableNames();
+  std::unordered_map<std::string, std::int32_t> slots;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    slots.emplace(vars[i], static_cast<std::int32_t>(i));
+  }
+  auto encode_atom = [&](const Atom& atom) {
+    AlphabetRuleTemplate::AtomTpl enc;
+    enc.source = &atom;
+    enc.predicate =
+        static_cast<std::int32_t>(predicates->Intern(atom.predicate()));
+    enc.idb = idb.count(atom.predicate()) > 0;
+    enc.args.reserve(atom.arity());
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) {
+        enc.args.push_back(slots.at(t.name()));
+      } else {
+        enc.args.push_back(
+            ~static_cast<std::int32_t>(constants->Intern(t.name())));
+      }
+    }
+    return enc;
+  };
+  tpl.head = encode_atom(rule.head());
+  tpl.body.reserve(rule.body().size());
+  for (std::size_t i = 0; i < rule.body().size(); ++i) {
+    tpl.body.push_back(encode_atom(rule.body()[i]));
+    if (tpl.body.back().idb) tpl.idb_positions.push_back(i);
+  }
+  return tpl;
 }
 
-StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
-                                               std::size_t max_labels) {
+// Appends one atom of a label row: [pred, arity, enc(arg)...]. The arity
+// makes the concatenated row self-delimiting, so two distinct instances
+// can never stamp equal rows.
+void AppendAtomRow(const AlphabetRuleTemplate::AtomTpl& atom,
+                   const std::vector<std::size_t>& choice,
+                   std::vector<int>* row) {
+  row->push_back(atom.predicate);
+  row->push_back(static_cast<int>(atom.args.size()));
+  for (std::int32_t arg : atom.args) {
+    row->push_back(arg >= 0 ? -(static_cast<int>(choice[arg]) + 1)
+                            : static_cast<int>(~arg));
+  }
+}
+
+// The interned-arm alphabet construction: enumerate the |proof_vars|^k
+// assignments of each rule by choice vector (the same depth-first order
+// ForEachInstanceOver visits), stamp the label row from the template, and
+// only materialize Terms for rows the VarKeyTable has not seen.
+StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
+                                                 std::size_t max_labels) {
+  ProgramAlphabet alphabet;
+  alphabet.interned = true;
+  alphabet.proof_vars = ProofVariables(program);
+  std::set<std::string> idb = program.IdbPredicates();
+  // Shared Term pool: one variable Term per proof variable, reused by
+  // every materialized label.
+  std::vector<Term> proof_terms;
+  proof_terms.reserve(alphabet.proof_vars.size());
+  for (const std::string& v : alphabet.proof_vars) {
+    proof_terms.push_back(Term::Variable(v));
+  }
+  auto materialize_atom = [&](const AlphabetRuleTemplate::AtomTpl& atom,
+                              const std::vector<std::size_t>& choice) {
+    std::vector<Term> args;
+    args.reserve(atom.args.size());
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      args.push_back(atom.args[i] >= 0 ? proof_terms[choice[atom.args[i]]]
+                                       : atom.source->args()[i]);
+    }
+    return Atom(atom.source->predicate(), std::move(args));
+  };
+  auto encode_ir_atom = [&](const AlphabetRuleTemplate::AtomTpl& atom,
+                            const std::vector<std::size_t>& choice) {
+    ir::TermAtom enc;
+    enc.predicate = atom.predicate;
+    enc.args.reserve(atom.args.size());
+    for (std::int32_t arg : atom.args) {
+      enc.args.push_back(
+          arg >= 0
+              ? ir::TermId::Variable(static_cast<std::uint32_t>(choice[arg]))
+              : ir::TermId::Constant(static_cast<std::uint32_t>(~arg)));
+    }
+    return enc;
+  };
+
+  std::vector<int> row;
+  bool overflow = false;
+  for (std::size_t rule_index = 0; rule_index < program.rules().size();
+       ++rule_index) {
+    const Rule& rule = program.rules()[rule_index];
+    AlphabetRuleTemplate tpl = BuildAlphabetTemplate(
+        rule, idb, &alphabet.predicates, &alphabet.constants);
+    std::size_t num_vars = rule.VariableNames().size();
+    std::vector<std::size_t> choice(num_vars, 0);
+    std::function<bool(std::size_t)> recurse =
+        [&](std::size_t index) -> bool {
+      if (index < num_vars) {
+        for (std::size_t c = 0; c < alphabet.proof_vars.size(); ++c) {
+          choice[index] = c;
+          if (!recurse(index + 1)) return false;
+        }
+        return true;
+      }
+      if (alphabet.labels.size() >= max_labels) {
+        overflow = true;
+        return false;
+      }
+      row.clear();
+      AppendAtomRow(tpl.head, choice, &row);
+      for (const AlphabetRuleTemplate::AtomTpl& atom : tpl.body) {
+        AppendAtomRow(atom, choice, &row);
+      }
+      auto [symbol, inserted] = alphabet.label_keys.Intern(row.data(),
+                                                           row.size());
+      if (!inserted) return true;  // duplicate instance
+      DATALOG_CHECK_EQ(static_cast<std::size_t>(symbol),
+                       alphabet.labels.size());
+      ProgramAlphabet::LabelIr label_ir;
+      label_ir.head_pred = tpl.head.predicate;
+      label_ir.head_args = encode_ir_atom(tpl.head, choice).args;
+      std::vector<Atom> body;
+      body.reserve(tpl.body.size());
+      for (const AlphabetRuleTemplate::AtomTpl& atom : tpl.body) {
+        body.push_back(materialize_atom(atom, choice));
+        if (atom.idb) {
+          label_ir.idb_atoms.push_back(encode_ir_atom(atom, choice));
+        } else {
+          label_ir.edb_atoms.push_back(encode_ir_atom(atom, choice));
+        }
+      }
+      alphabet.arities.push_back(static_cast<int>(tpl.idb_positions.size()));
+      alphabet.label_idb_positions.push_back(tpl.idb_positions);
+      alphabet.labels.emplace_back(materialize_atom(tpl.head, choice),
+                                   std::move(body));
+      alphabet.label_rule_index.push_back(rule_index);
+      alphabet.label_ir.push_back(std::move(label_ir));
+      return true;
+    };
+    if (!recurse(0) && overflow) {
+      return Status(ResourceExhaustedError(
+          StrCat("alphabet exceeded ", max_labels, " labels")));
+    }
+  }
+  return alphabet;
+}
+
+// The rendered-string ablation arm (the pre-IR construction, verbatim).
+StatusOr<ProgramAlphabet> BuildProgramAlphabetString(
+    const Program& program, std::size_t max_labels) {
   ProgramAlphabet alphabet;
   alphabet.proof_vars = ProofVariables(program);
   std::set<std::string> idb = program.IdbPredicates();
@@ -52,48 +221,156 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
   return alphabet;
 }
 
+// Encodes a Term-level atom as a row over the alphabet's dictionaries
+// (lookup only — nothing is interned); false if the atom uses a
+// predicate/constant the alphabet never saw or a non-proof variable.
+bool EncodeAtomRow(const ProgramAlphabet& alphabet, const Atom& atom,
+                   bool with_arity, std::vector<int>* row) {
+  std::uint32_t pred = alphabet.predicates.Find(atom.predicate());
+  if (pred == ir::NameDictionary::kNotFound) return false;
+  row->push_back(static_cast<int>(pred));
+  if (with_arity) row->push_back(static_cast<int>(atom.arity()));
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) {
+      if (!IsProofVariableName(t.name())) return false;
+      std::size_t k = ProofVariableIndex(t.name());
+      if (k >= alphabet.proof_vars.size()) return false;
+      row->push_back(-(static_cast<int>(k) + 1));
+    } else {
+      std::uint32_t c = alphabet.constants.Find(t.name());
+      if (c == ir::NameDictionary::kNotFound) return false;
+      row->push_back(static_cast<int>(c));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int ProgramAlphabet::SymbolOf(const Rule& instance) const {
+  if (!interned) {
+    auto it = label_ids.find(instance.ToString());
+    return it == label_ids.end() ? -1 : it->second;
+  }
+  std::vector<int> row;
+  if (!EncodeAtomRow(*this, instance.head(), /*with_arity=*/true, &row)) {
+    return -1;
+  }
+  for (const Atom& atom : instance.body()) {
+    if (!EncodeAtomRow(*this, atom, /*with_arity=*/true, &row)) return -1;
+  }
+  std::uint32_t symbol = label_keys.Find(row.data(), row.size());
+  return symbol == VarKeyTable::kNotFound ? -1 : static_cast<int>(symbol);
+}
+
+StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
+                                               std::size_t max_labels,
+                                               bool use_ir) {
+  return use_ir ? BuildProgramAlphabetIr(program, max_labels)
+                : BuildProgramAlphabetString(program, max_labels);
+}
+
 int PtreesAutomaton::StateOf(const Atom& atom) const {
-  auto it = atom_states.find(atom.ToString());
-  return it == atom_states.end() ? -1 : it->second;
+  if (!alphabet.interned) {
+    auto it = atom_states.find(atom.ToString());
+    return it == atom_states.end() ? -1 : it->second;
+  }
+  std::vector<int> row;
+  if (!EncodeAtomRow(alphabet, atom, /*with_arity=*/false, &row)) return -1;
+  std::uint32_t state = state_keys.Find(row.data(), row.size());
+  return state == VarKeyTable::kNotFound ? -1 : static_cast<int>(state);
 }
 
 StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
                                                const std::string& goal,
-                                               std::size_t max_labels) {
+                                               std::size_t max_labels,
+                                               bool use_ir) {
   StatusOr<ProgramAlphabet> alphabet =
-      BuildProgramAlphabet(program, max_labels);
+      BuildProgramAlphabet(program, max_labels, use_ir);
   if (!alphabet.ok()) return alphabet.status();
   PtreesAutomaton automaton{std::move(alphabet).value(),
                             Nfta(0, {}),
                             {},
+                            {},
                             {}};
   // States: every IDB atom occurring as a label head or IDB body atom.
   Nfta nfta(0, automaton.alphabet.arities);
-  auto state_of = [&automaton, &nfta](const Atom& atom) {
-    auto [it, inserted] = automaton.atom_states.emplace(
-        atom.ToString(), static_cast<int>(automaton.state_atoms.size()));
-    if (inserted) {
-      automaton.state_atoms.push_back(atom);
-      nfta.AddState();
+  if (automaton.alphabet.interned) {
+    // Interned arm: states are [pred, enc(arg)...] rows over the
+    // alphabet's dictionaries; the VarKeyTable index is the state id.
+    std::vector<int> row;
+    auto state_of = [&](const ir::TermAtom& encoded,
+                        const Atom& atom) -> int {
+      row.clear();
+      row.push_back(encoded.predicate);
+      for (ir::TermId t : encoded.args) row.push_back(ir::EncodeRowTerm(t));
+      auto [id, inserted] =
+          automaton.state_keys.Intern(row.data(), row.size());
+      if (inserted) {
+        DATALOG_CHECK_EQ(static_cast<std::size_t>(id),
+                         automaton.state_atoms.size());
+        automaton.state_atoms.push_back(atom);
+        nfta.AddState();
+      }
+      return static_cast<int>(id);
+    };
+    std::uint32_t goal_pred = automaton.alphabet.predicates.Find(goal);
+    for (std::size_t symbol = 0;
+         symbol < automaton.alphabet.labels.size(); ++symbol) {
+      const ProgramAlphabet::LabelIr& label_ir =
+          automaton.alphabet.label_ir[symbol];
+      const Rule& label = automaton.alphabet.labels[symbol];
+      std::vector<int> children;
+      children.reserve(label_ir.idb_atoms.size());
+      for (std::size_t j = 0; j < label_ir.idb_atoms.size(); ++j) {
+        std::size_t pos = automaton.alphabet.label_idb_positions[symbol][j];
+        children.push_back(
+            state_of(label_ir.idb_atoms[j], label.body()[pos]));
+      }
+      ir::TermAtom head;
+      head.predicate = label_ir.head_pred;
+      head.args = label_ir.head_args;
+      int head_state = state_of(head, label.head());
+      nfta.AddTransition(static_cast<int>(symbol), std::move(children),
+                         head_state);
     }
-    return it->second;
-  };
-  for (std::size_t symbol = 0; symbol < automaton.alphabet.labels.size();
-       ++symbol) {
-    const Rule& label = automaton.alphabet.labels[symbol];
-    std::vector<int> children;
-    for (std::size_t pos : automaton.alphabet.label_idb_positions[symbol]) {
-      children.push_back(state_of(label.body()[pos]));
+    // Final states: all goal-predicate atoms (a state row's first int is
+    // its predicate id), mirroring the string arm exactly — including
+    // goal atoms that only ever occur as children.
+    for (std::size_t s = 0; s < automaton.state_atoms.size(); ++s) {
+      if (goal_pred != ir::NameDictionary::kNotFound &&
+          static_cast<std::uint32_t>(automaton.state_keys.KeyData(s)[0]) ==
+              goal_pred) {
+        nfta.SetFinal(static_cast<int>(s));
+      }
     }
-    int head_state = state_of(label.head());
-    nfta.AddTransition(static_cast<int>(symbol), std::move(children),
-                       head_state);
-  }
-  // Final states (the paper's start states, read top-down): all
-  // goal-predicate atoms.
-  for (std::size_t s = 0; s < automaton.state_atoms.size(); ++s) {
-    if (automaton.state_atoms[s].predicate() == goal) {
-      nfta.SetFinal(static_cast<int>(s));
+  } else {
+    auto state_of = [&automaton, &nfta](const Atom& atom) {
+      auto [it, inserted] = automaton.atom_states.emplace(
+          atom.ToString(), static_cast<int>(automaton.state_atoms.size()));
+      if (inserted) {
+        automaton.state_atoms.push_back(atom);
+        nfta.AddState();
+      }
+      return it->second;
+    };
+    for (std::size_t symbol = 0;
+         symbol < automaton.alphabet.labels.size(); ++symbol) {
+      const Rule& label = automaton.alphabet.labels[symbol];
+      std::vector<int> children;
+      for (std::size_t pos : automaton.alphabet.label_idb_positions[symbol]) {
+        children.push_back(state_of(label.body()[pos]));
+      }
+      int head_state = state_of(label.head());
+      nfta.AddTransition(static_cast<int>(symbol), std::move(children),
+                         head_state);
+    }
+    // Final states (the paper's start states, read top-down): all
+    // goal-predicate atoms.
+    for (std::size_t s = 0; s < automaton.state_atoms.size(); ++s) {
+      if (automaton.state_atoms[s].predicate() == goal) {
+        nfta.SetFinal(static_cast<int>(s));
+      }
     }
   }
   automaton.nfta = std::move(nfta);

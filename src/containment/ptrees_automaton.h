@@ -6,11 +6,18 @@
 // maps the states of its children (the IDB body atoms of ρ) to the state
 // head(ρ); final states are the goal-predicate atoms.
 //
+// Labels and states are interned on flat integer rows (rule templates
+// stamped per variable assignment, deduplicated through a VarKeyTable over
+// shared name dictionaries) by default; the rendered-string identity the
+// rows replaced is kept behind `use_ir = false` as the ablation baseline.
+// Both arms build identical automata (tests/decider_intern_test.cc).
+//
 // Intended for small programs and cross-validation against the on-the-fly
 // decider; construction cost is exponential by design.
 #ifndef DATALOG_EQ_SRC_CONTAINMENT_PTREES_AUTOMATON_H_
 #define DATALOG_EQ_SRC_CONTAINMENT_PTREES_AUTOMATON_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -18,7 +25,9 @@
 
 #include "src/ast/rule.h"
 #include "src/automata/nfta.h"
+#include "src/ir/ir.h"
 #include "src/trees/expansion_tree.h"
+#include "src/util/flat_table.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -32,30 +41,63 @@ struct ProgramAlphabet {
   /// Positions of IDB atoms in each label's body (children align).
   std::vector<std::vector<std::size_t>> label_idb_positions;
   std::vector<int> arities;
-  std::map<std::string, int> label_ids;  // Rule::ToString() -> symbol
   std::vector<std::string> proof_vars;
+
+  // --- interned identity (the use_ir arm) ------------------------------
+  // Labels are rows [pred, arity, enc(arg)...] per atom, head first, over
+  // the shared dictionaries: proof variable $k encodes as -(k+1),
+  // constants as their non-negative dictionary ids (the decider's goal-row
+  // convention). The VarKeyTable's dense index is the symbol.
+  bool interned = false;
+  ir::NameDictionary predicates;
+  ir::NameDictionary constants;
+  VarKeyTable label_keys;
+
+  /// Per-symbol IR encoding of a label in the instance frame (argument
+  /// TermIds are proof-variable indexes or constant dictionary ids).
+  /// Populated on the interned arm; the word- and tree-automaton
+  /// constructions run on these rows instead of the Term-level labels.
+  struct LabelIr {
+    std::int32_t head_pred = 0;
+    std::vector<ir::TermId> head_args;
+    /// Non-IDB body atoms, in body order.
+    std::vector<ir::TermAtom> edb_atoms;
+    /// IDB body atoms (the children), aligned with label_idb_positions.
+    std::vector<ir::TermAtom> idb_atoms;
+  };
+  std::vector<LabelIr> label_ir;
+
+  // --- string identity (ablation arm) ----------------------------------
+  std::map<std::string, int> label_ids;  // Rule::ToString() -> symbol
 
   int SymbolOf(const Rule& instance) const;
 };
 
 /// Enumerates the full alphabet. Fails with ResourceExhausted beyond
-/// `max_labels` instances.
-StatusOr<ProgramAlphabet> BuildProgramAlphabet(
-    const Program& program, std::size_t max_labels = 2'000'000);
+/// `max_labels` instances. `use_ir` selects the interned (default) or
+/// rendered-string label identity; the alphabets are identical either way
+/// (same symbols in the same order).
+StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
+                                               std::size_t max_labels =
+                                                   2'000'000,
+                                               bool use_ir = true);
 
 struct PtreesAutomaton {
   ProgramAlphabet alphabet;
   Nfta nfta;
-  std::map<std::string, int> atom_states;  // Atom::ToString() -> state
+  std::map<std::string, int> atom_states;  // string arm: Atom::ToString()
   std::vector<Atom> state_atoms;
+  VarKeyTable state_keys;  // interned arm: [pred, enc(arg)...] rows
 
   int StateOf(const Atom& atom) const;
 };
 
-/// Builds A^ptrees_{Q,Π} (Proposition 5.9).
-StatusOr<PtreesAutomaton> BuildPtreesAutomaton(
-    const Program& program, const std::string& goal,
-    std::size_t max_labels = 2'000'000);
+/// Builds A^ptrees_{Q,Π} (Proposition 5.9); `use_ir` as above.
+StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
+                                               const std::string& goal,
+                                               std::size_t max_labels =
+                                                   2'000'000,
+                                               bool use_ir = true);
 
 /// Encodes a proof tree as a labeled tree over the alphabet; nullopt if a
 /// node's rule instance is not an alphabet label (i.e. uses variables

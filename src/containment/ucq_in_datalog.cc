@@ -3,47 +3,92 @@
 #include "src/cq/canonical_db.h"
 #include "src/engine/database.h"
 #include "src/engine/eval.h"
+#include "src/ir/ir.h"
 
 namespace datalog {
+namespace {
 
-StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
-                                      const Program& program,
-                                      const std::string& goal,
-                                      EvalStats* stats) {
+// The shared tail of both freeze arms: record the goal tuple's constants
+// in the auxiliary domain relation (every frozen variable is part of the
+// canonical instance's domain even when it appears only in the head, so
+// the active domain is right for unsafe rules), evaluate, and test the
+// frozen head tuple.
+StatusOr<bool> FrozenGoalDerived(const Program& program,
+                                 const std::string& goal, Database* db,
+                                 const Tuple& goal_tuple, EvalStats* stats) {
+  PredicateId domain = db->InternPredicate("__domain", 1);
+  for (int id : goal_tuple) db->AddTupleById(domain, {id});
+  StatusOr<Relation> result =
+      EvaluateGoal(program, goal, *db, EvalOptions(), stats);
+  if (!result.ok()) return result.status();
+  return result->Contains(goal_tuple);
+}
+
+// The Term-level ablation arm: frozen "@v" Atoms through AddFactAtom
+// (one dictionary hash per argument occurrence).
+StatusOr<bool> IsCqContainedString(const ConjunctiveQuery& theta,
+                                   const Program& program,
+                                   const std::string& goal,
+                                   EvalStats* stats) {
   CanonicalDatabase frozen = FreezeCq(theta);
   Database db;
   for (const Atom& fact : frozen.facts) {
     Status s = db.AddFactAtom(fact);
     if (!s.ok()) return s;
   }
-  // Every frozen variable is part of the canonical instance's domain, even
-  // when it appears only in the head; record it in an auxiliary relation
-  // so the active domain is right for unsafe rules.
-  for (const Term& t : frozen.goal_tuple) {
-    db.AddFact("__domain", {t.name()});
-  }
-  StatusOr<Relation> result =
-      EvaluateGoal(program, goal, db, EvalOptions(), stats);
-  if (!result.ok()) return result.status();
   Tuple goal_tuple;
   goal_tuple.reserve(frozen.goal_tuple.size());
   for (const Term& t : frozen.goal_tuple) {
-    int id = db.dictionary().Lookup(t.name());
-    if (id < 0) return false;  // constant unseen anywhere: cannot be derived
-    goal_tuple.push_back(id);
+    goal_tuple.push_back(db.dictionary().Intern(t.name()));
   }
-  return result->Contains(goal_tuple);
+  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats);
+}
+
+StatusOr<bool> IsDisjunctContainedIr(const ir::ProgramIr& theta_ir,
+                                     std::size_t index,
+                                     const Program& program,
+                                     const std::string& goal,
+                                     EvalStats* stats) {
+  Database db;
+  Tuple goal_tuple = FreezeDisjunctIntoDatabase(theta_ir, index, &db);
+  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats);
+}
+
+}  // namespace
+
+StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
+                                      const Program& program,
+                                      const std::string& goal,
+                                      EvalStats* stats,
+                                      const CanonicalDbOptions& options) {
+  if (!options.use_ir) return IsCqContainedString(theta, program, goal, stats);
+  // A bare CQ has no carrier to cache on; intern just this disjunct
+  // (no union copy, no full FromUnion pass). Drivers that loop many CQs
+  // should batch them into a UnionOfCqs and use the union-level call.
+  ir::ProgramIr single;
+  single.AddDisjunct(theta);
+  return IsDisjunctContainedIr(single, 0, program, goal, stats);
 }
 
 StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
                                        const Program& program,
                                        const std::string& goal,
-                                       EvalStats* stats) {
-  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+                                       EvalStats* stats,
+                                       const CanonicalDbOptions& options,
+                                       std::size_t* failing_disjunct) {
+  std::shared_ptr<ir::ProgramIr> theta_ir;
+  if (options.use_ir) theta_ir = ir::CarriedIr(theta);
+  for (std::size_t i = 0; i < theta.disjuncts().size(); ++i) {
     StatusOr<bool> contained =
-        IsCqContainedInDatalog(disjunct, program, goal, stats);
+        options.use_ir
+            ? IsDisjunctContainedIr(*theta_ir, i, program, goal, stats)
+            : IsCqContainedString(theta.disjuncts()[i], program, goal,
+                                  stats);
     if (!contained.ok()) return contained;
-    if (!*contained) return false;
+    if (!*contained) {
+      if (failing_disjunct != nullptr) *failing_disjunct = i;
+      return false;
+    }
   }
   return true;
 }

@@ -2,6 +2,11 @@
 // the "easy" direction, decidable by the classic canonical-database method
 // [CK86] cited in the paper's introduction: freeze the CQ into a database,
 // evaluate the program, and check that the frozen head tuple is derived.
+//
+// The freeze feeds the engine through the shared-IR dictionary handoff by
+// default (FreezeDisjunctIntoDatabase, src/cq/canonical_db.h), reusing the
+// union's carried ProgramIr across calls; the Term-level freeze is kept
+// behind `CanonicalDbOptions::use_ir = false` as the ablation baseline.
 #ifndef DATALOG_EQ_SRC_CONTAINMENT_UCQ_IN_DATALOG_H_
 #define DATALOG_EQ_SRC_CONTAINMENT_UCQ_IN_DATALOG_H_
 
@@ -14,6 +19,16 @@
 
 namespace datalog {
 
+/// Ablation switch for the canonical-database construction substrate.
+struct CanonicalDbOptions {
+  /// Freeze through the ProgramIr → engine dictionary handoff (each name
+  /// interned once, facts inserted as already-encoded tuples). Disabling
+  /// falls back to the Term-level freeze (frozen "@v" Atoms re-hashed per
+  /// argument occurrence). Both arms build identical databases and
+  /// produce identical verdicts (tests/canonical_db_test.cc).
+  bool use_ir = true;
+};
+
 /// θ ⊆ Q_Π: evaluates Π over the canonical database of θ and tests the
 /// frozen head tuple. For θ with head variables that do not occur in the
 /// body, active-domain semantics applies (consistent with the evaluation
@@ -21,16 +36,21 @@ namespace datalog {
 /// derives the goal over every database, which the canonical-database
 /// method checks on the frozen instance. When `stats` is non-null, the
 /// engine's work counters accumulate into it across calls.
-StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
-                                      const Program& program,
-                                      const std::string& goal,
-                                      EvalStats* stats = nullptr);
+StatusOr<bool> IsCqContainedInDatalog(
+    const ConjunctiveQuery& theta, const Program& program,
+    const std::string& goal, EvalStats* stats = nullptr,
+    const CanonicalDbOptions& options = CanonicalDbOptions());
 
-/// Θ ⊆ Q_Π: every disjunct contained.
-StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
-                                       const Program& program,
-                                       const std::string& goal,
-                                       EvalStats* stats = nullptr);
+/// Θ ⊆ Q_Π: every disjunct contained. Uses Θ's carried ProgramIr
+/// (ir::CarriedIr) on the IR arm, so repeated calls on the same union —
+/// the equivalence pipeline's backward direction, rewriting searches —
+/// re-intern nothing. When not contained and `failing_disjunct` is
+/// non-null, it receives the index of the first uncontained disjunct.
+StatusOr<bool> IsUcqContainedInDatalog(
+    const UnionOfCqs& theta, const Program& program, const std::string& goal,
+    EvalStats* stats = nullptr,
+    const CanonicalDbOptions& options = CanonicalDbOptions(),
+    std::size_t* failing_disjunct = nullptr);
 
 }  // namespace datalog
 

@@ -2,6 +2,20 @@
 // for deciding containment of a CQ in a Datalog program [CK86]: freeze the
 // CQ's variables into fresh constants, evaluate the program on the frozen
 // body, and test whether the frozen head tuple is derived.
+//
+// Two renderings of the freeze are provided:
+//
+// * FreezeCq — the Term-level arm: builds frozen Atoms ("@v" constants)
+//   that the caller feeds through Database::AddFactAtom, paying a string
+//   hash per argument occurrence. Kept as the ablation baseline.
+// * FreezeDisjunctIntoDatabase — the IR arm (default in
+//   src/containment/ucq_in_datalog.cc): a dictionary handoff from a
+//   ProgramIr straight into the engine's dictionary encoding. Each
+//   distinct predicate/constant/variable name crosses the string boundary
+//   once (memoized id→id), every further occurrence is an integer copy,
+//   and facts land as already-encoded tuples — no string round-trip on
+//   the hot path. Both arms produce identical databases, fact for fact
+//   and id for id (tests/canonical_db_test.cc).
 #ifndef DATALOG_EQ_SRC_CQ_CANONICAL_DB_H_
 #define DATALOG_EQ_SRC_CQ_CANONICAL_DB_H_
 
@@ -9,6 +23,8 @@
 #include <vector>
 
 #include "src/cq/cq.h"
+#include "src/engine/database.h"
+#include "src/ir/ir.h"
 
 namespace datalog {
 
@@ -26,6 +42,19 @@ CanonicalDatabase FreezeCq(const ConjunctiveQuery& cq);
 
 /// The frozen-constant spelling for variable `name`.
 std::string FrozenConstantName(const std::string& name);
+
+/// Freezes disjunct `index` of `ir` (typically a union's carried IR; see
+/// ir::CarriedIr) directly into `db`'s dictionary encoding and inserts
+/// the frozen body facts. Returns the frozen head tuple as constant ids
+/// of `db`'s dictionary — head-only variables are interned here but no
+/// fact is added for them (the caller records them in its active-domain
+/// relation, mirroring the Term-level arm).
+///
+/// Names are interned into `db` lazily in first-occurrence order — the
+/// exact order the FreezeCq + AddFactAtom arm produces — so the two arms
+/// assign identical ids and the downstream verdicts are byte-identical.
+Tuple FreezeDisjunctIntoDatabase(const ir::ProgramIr& ir, std::size_t index,
+                                 Database* db);
 
 }  // namespace datalog
 

@@ -8,6 +8,7 @@
 #ifndef DATALOG_EQ_SRC_CQ_CQ_H_
 #define DATALOG_EQ_SRC_CQ_CQ_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,15 @@
 #include "src/ast/term.h"
 
 namespace datalog {
+
+class UnionOfCqs;
+
+namespace ir {
+/// Returns the interned IR carried by `ucq` (the union analogue of the
+/// Program overload declared in src/ast/rule.h; defined in src/ir/ir.cc,
+/// documented in src/ir/ir.h).
+std::shared_ptr<ProgramIr> CarriedIr(const UnionOfCqs& ucq);
+}  // namespace ir
 
 class ConjunctiveQuery {
  public:
@@ -55,14 +65,25 @@ class UnionOfCqs {
       : disjuncts_(std::move(disjuncts)) {}
 
   const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
-  void Add(ConjunctiveQuery cq) { disjuncts_.push_back(std::move(cq)); }
+  void Add(ConjunctiveQuery cq) {
+    carried_ir_.reset();  // mutation invalidates the carried IR
+    disjuncts_.push_back(std::move(cq));
+  }
   bool empty() const { return disjuncts_.empty(); }
   std::size_t size() const { return disjuncts_.size(); }
+
+  /// True if a carried IR is currently attached (see ir::CarriedIr).
+  bool has_carried_ir() const { return carried_ir_ != nullptr; }
 
   std::string ToString() const;
 
  private:
+  friend std::shared_ptr<ir::ProgramIr> ir::CarriedIr(const UnionOfCqs&);
+
   std::vector<ConjunctiveQuery> disjuncts_;
+  // Lazily-built interned IR (see ir::CarriedIr in src/ir/ir.h); shared
+  // by copies, reset by Add.
+  mutable std::shared_ptr<ir::ProgramIr> carried_ir_;
 };
 
 std::ostream& operator<<(std::ostream& os, const UnionOfCqs& ucq);

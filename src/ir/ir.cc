@@ -4,18 +4,44 @@
 
 namespace datalog {
 namespace ir {
+namespace {
+
+// See ProgramIrBuildCount(); plain (not atomic) like everything else in
+// this single-threaded layer.
+std::size_t g_program_ir_builds = 0;
+
+}  // namespace
 
 ProgramIr ProgramIr::FromProgram(const Program& program) {
+  ++g_program_ir_builds;
   ProgramIr out;
   for (const Rule& rule : program.rules()) out.AddRule(rule);
   return out;
 }
 
 ProgramIr ProgramIr::FromUnion(const UnionOfCqs& ucq) {
+  ++g_program_ir_builds;
   ProgramIr out;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) out.AddDisjunct(cq);
   return out;
 }
+
+std::shared_ptr<ProgramIr> CarriedIr(const Program& program) {
+  if (program.carried_ir_ == nullptr) {
+    program.carried_ir_ =
+        std::make_shared<ProgramIr>(ProgramIr::FromProgram(program));
+  }
+  return program.carried_ir_;
+}
+
+std::shared_ptr<ProgramIr> CarriedIr(const UnionOfCqs& ucq) {
+  if (ucq.carried_ir_ == nullptr) {
+    ucq.carried_ir_ = std::make_shared<ProgramIr>(ProgramIr::FromUnion(ucq));
+  }
+  return ucq.carried_ir_;
+}
+
+std::size_t ProgramIrBuildCount() { return g_program_ir_builds; }
 
 TermId ProgramIr::InternTerm(const Term& term) {
   if (term.is_variable()) {

@@ -22,6 +22,7 @@
 #define DATALOG_EQ_SRC_IR_IR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -102,6 +103,18 @@ inline TermId ApplyIrSubstitution(const IrSubstitution& subst, TermId term) {
   if (!term.is_variable() || term.index() >= subst.size()) return term;
   TermId image = subst[term.index()];
   return image.valid() ? image : term;
+}
+
+/// The shared int encoding of an instance-frame TermId inside interned
+/// integer rows (the decider's goal rows, the alphabet's label/state
+/// rows, the word-automaton state rows): proof variable $k encodes as
+/// -(k+1), constants as their non-negative dictionary ids. Every
+/// VarKeyTable row producer must use this one definition — the encodings
+/// must stay byte-identical across layers for cross-layer lookups
+/// (SymbolOf/StateOf) to keep resolving.
+inline int EncodeRowTerm(TermId term) {
+  return term.is_variable() ? -(static_cast<int>(term.index()) + 1)
+                            : static_cast<int>(term.index());
 }
 
 /// The two sides of every homomorphism/unification step on the IR, and
@@ -251,6 +264,37 @@ class ProgramIr {
   std::vector<RuleSpan> rules_;
   std::vector<DisjunctSpan> disjuncts_;
 };
+
+// --- the carried IR -----------------------------------------------------
+//
+// Program and UnionOfCqs carry their ProgramIr alongside: a lazily-built
+// shared cache slot, attached by the accessors below on first use and
+// dropped by any mutation (Program::AddRule / UnionOfCqs::Add). Repeated
+// Decide / minimize / unfold drivers on the same object therefore pay the
+// AST→IR interning pass once, not per call
+// (ContainmentStats::program_ir_builds tracks the passes a Decide paid).
+//
+// The carried object is shared *mutable* state with an append-only
+// contract: holders may intern additional names into its dictionaries
+// (the decider folds each Θ's predicates and constants in), which never
+// invalidates existing ids, but must never add or change rules, atoms,
+// or disjuncts. Copies of the carrier share the cache (their rules are
+// equal at copy time). Not thread-safe: concurrent CarriedIr calls or
+// dictionary fold-ins on the same object race.
+
+/// The carried IR of `program`, built with ProgramIr::FromProgram and
+/// attached on first use.
+std::shared_ptr<ProgramIr> CarriedIr(const Program& program);
+
+/// The carried IR of `ucq`, built with ProgramIr::FromUnion and attached
+/// on first use.
+std::shared_ptr<ProgramIr> CarriedIr(const UnionOfCqs& ucq);
+
+/// Process-wide count of full AST→IR interning passes (FromProgram /
+/// FromUnion calls). The carried-IR cache exists to hold this flat
+/// across repeated Decide/minimize/unfold calls; tests pin that by
+/// diffing the counter. Not thread-safe (like the rest of this layer).
+std::size_t ProgramIrBuildCount();
 
 }  // namespace ir
 }  // namespace datalog

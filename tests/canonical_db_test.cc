@@ -1,0 +1,160 @@
+// The canonical-database bridge differential: the ProgramIr → engine
+// dictionary handoff (FreezeDisjunctIntoDatabase) must produce a database
+// identical to the Term-level FreezeCq + AddFactAtom arm — the same
+// predicates, the same constant spellings under the same ids (interning
+// order included), the same facts tuple for tuple, and the same frozen
+// goal tuple — so the downstream containment verdicts are byte-identical.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/containment/ucq_in_datalog.h"
+#include "src/cq/canonical_db.h"
+#include "src/engine/database.h"
+#include "src/generators/examples.h"
+#include "src/ir/ir.h"
+#include "src/trees/enumerate.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+// Rebuilds the string arm of the freeze exactly as ucq_in_datalog's
+// ablation path does: frozen Atoms through AddFactAtom, goal terms
+// interned afterwards.
+Tuple FreezeViaStrings(const ConjunctiveQuery& cq, Database* db) {
+  CanonicalDatabase frozen = FreezeCq(cq);
+  for (const Atom& fact : frozen.facts) {
+    Status s = db->AddFactAtom(fact);
+    EXPECT_TRUE(s.ok()) << s;
+  }
+  Tuple goal;
+  for (const Term& t : frozen.goal_tuple) {
+    goal.push_back(db->dictionary().Intern(t.name()));
+  }
+  return goal;
+}
+
+void ExpectSameDatabase(const Database& a, const Database& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.predicates().size(), b.predicates().size()) << label;
+  for (PredicateId p = 0; p < static_cast<PredicateId>(a.predicates().size());
+       ++p) {
+    EXPECT_EQ(a.predicates().NameOf(p), b.predicates().NameOf(p)) << label;
+    EXPECT_EQ(a.predicates().ArityOf(p), b.predicates().ArityOf(p)) << label;
+    EXPECT_EQ(a.RelationOf(p).SortedTuples(), b.RelationOf(p).SortedTuples())
+        << label << " relation " << a.predicates().NameOf(p);
+  }
+  ASSERT_EQ(a.dictionary().size(), b.dictionary().size()) << label;
+  for (int c = 0; c < static_cast<int>(a.dictionary().size()); ++c) {
+    EXPECT_EQ(a.dictionary().NameOf(c), b.dictionary().NameOf(c)) << label;
+  }
+}
+
+TEST(CanonicalDbBridgeTest, HandoffMatchesStringFreezeOnHandPickedShapes) {
+  // Shapes that stress the encoding edges: constants in bodies and heads,
+  // repeated variables, head-only variables, and empty bodies.
+  std::vector<std::string> cases = {
+      "q(X, Y) :- e(X, Z), e(Z, Y).",
+      "q(X) :- e(root, X), e(X, X).",
+      "q(X, X) :- e(X, X).",
+      "q(X, Y) :- .",
+      "q(a, X) :- e(a, X), f(X, b, X).",
+      "q(X) :- e(X, Y), e(Y, Z), f(Z, X, Y).",
+  };
+  for (const std::string& text : cases) {
+    ConjunctiveQuery cq = MustParseCq(text);
+    UnionOfCqs single;
+    single.Add(cq);
+    Database via_strings;
+    Tuple goal_strings = FreezeViaStrings(cq, &via_strings);
+    Database via_ir;
+    Tuple goal_ir =
+        FreezeDisjunctIntoDatabase(*ir::CarriedIr(single), 0, &via_ir);
+    ExpectSameDatabase(via_strings, via_ir, text);
+    EXPECT_EQ(goal_strings, goal_ir) << text;
+  }
+}
+
+TEST(CanonicalDbBridgeTest, HandoffMatchesStringFreezeOnExpansions) {
+  // Every bounded expansion of a few program families: realistic frozen
+  // databases with shared variables across many atoms.
+  struct Family {
+    Program program;
+    std::string goal;
+  };
+  std::vector<Family> families = {
+      {Buys1Program(), "buys"},
+      {TransitiveClosureProgram("e", "e"), "p"},
+      {NonlinearTransitiveClosureProgram(), "p"},
+  };
+  for (const Family& family : families) {
+    EnumerateOptions options;
+    options.max_depth = 3;
+    options.max_trees = 40;
+    UnionOfCqs expansions =
+        BoundedExpansions(family.program, family.goal, options);
+    std::shared_ptr<ir::ProgramIr> carried = ir::CarriedIr(expansions);
+    for (std::size_t i = 0; i < expansions.size(); ++i) {
+      Database via_strings;
+      Tuple goal_strings =
+          FreezeViaStrings(expansions.disjuncts()[i], &via_strings);
+      Database via_ir;
+      Tuple goal_ir = FreezeDisjunctIntoDatabase(*carried, i, &via_ir);
+      ExpectSameDatabase(via_strings, via_ir,
+                         expansions.disjuncts()[i].ToString());
+      EXPECT_EQ(goal_strings, goal_ir);
+    }
+  }
+}
+
+TEST(CanonicalDbBridgeTest, ContainmentVerdictsAgreeAcrossArms) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs theta = PathQueries(3);
+  theta.Add(MustParseCq("p(X, X) :- ."));
+  theta.Add(MustParseCq("p(X, Y) :- ."));
+  CanonicalDbOptions ir_arm;
+  ir_arm.use_ir = true;
+  CanonicalDbOptions string_arm;
+  string_arm.use_ir = false;
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    StatusOr<bool> a =
+        IsCqContainedInDatalog(disjunct, tc, "p", nullptr, ir_arm);
+    StatusOr<bool> b =
+        IsCqContainedInDatalog(disjunct, tc, "p", nullptr, string_arm);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << disjunct.ToString();
+  }
+  std::size_t failing_ir = 999;
+  std::size_t failing_str = 999;
+  StatusOr<bool> all_ir = IsUcqContainedInDatalog(theta, tc, "p", nullptr,
+                                                  ir_arm, &failing_ir);
+  StatusOr<bool> all_str = IsUcqContainedInDatalog(theta, tc, "p", nullptr,
+                                                   string_arm, &failing_str);
+  ASSERT_TRUE(all_ir.ok() && all_str.ok());
+  EXPECT_EQ(*all_ir, *all_str);
+  EXPECT_EQ(failing_ir, failing_str);
+}
+
+TEST(CanonicalDbBridgeTest, UnionCallReusesCarriedIr) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs theta = PathQueries(2);
+  EXPECT_FALSE(theta.has_carried_ir());
+  StatusOr<bool> first = IsUcqContainedInDatalog(theta, tc, "p");
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(theta.has_carried_ir());
+  // A second call on the same (unmutated) union re-interns nothing.
+  std::size_t builds_before = ir::ProgramIrBuildCount();
+  StatusOr<bool> second = IsUcqContainedInDatalog(theta, tc, "p");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(ir::ProgramIrBuildCount(), builds_before);
+  EXPECT_EQ(*first, *second);
+  // Mutation drops the carried IR.
+  theta.Add(MustParseCq("p(X, Y) :- e(X, Y)."));
+  EXPECT_FALSE(theta.has_carried_ir());
+}
+
+}  // namespace
+}  // namespace datalog

@@ -18,10 +18,13 @@
 #include <vector>
 
 #include "src/containment/decider.h"
+#include "src/containment/linear.h"
+#include "src/containment/ptrees_automaton.h"
 #include "src/containment/query_analysis.h"
 #include "src/cq/containment.h"
 #include "src/cq/minimize.h"
 #include "src/generators/examples.h"
+#include "src/ir/ir.h"
 #include "src/trees/enumerate.h"
 #include "src/util/strings.h"
 #include "tests/test_util.h"
@@ -277,6 +280,220 @@ TEST(DeciderInternTest, IrPathReportsRenameMemoAndPinnedCompareCounters) {
   EXPECT_GT(decision->stats.rename_memo_hits, 0u);
   EXPECT_GT(decision->stats.pinned_compares, 0u);
   EXPECT_GT(decision->stats.instances_cached, 0u);
+}
+
+// --- carried-IR reuse: Decide / minimize / Decide re-interns nothing --
+
+TEST(DeciderInternTest, CarriedIrIsReusedAcrossDecideCalls) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  EXPECT_FALSE(tc.has_carried_ir());
+  UnionOfCqs theta = PathQueries(2);
+  StatusOr<ContainmentDecision> first = DecideDatalogInUcq(tc, "p", theta);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.program_ir_builds, 1u);
+  EXPECT_TRUE(tc.has_carried_ir());
+  // Decide → minimize → Decide: the second Decide against the same
+  // (unmutated) Program pays zero interning passes.
+  UnionOfCqs minimized = MinimizeUcq(theta);
+  StatusOr<ContainmentDecision> second =
+      DecideDatalogInUcq(tc, "p", minimized);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.program_ir_builds, 0u);
+  EXPECT_EQ(first->contained, second->contained);
+  // Mutation invalidates: the next Decide re-interns exactly once.
+  tc.AddRule(MustParseRule("p(X, Y) :- f(X, Y)."));
+  EXPECT_FALSE(tc.has_carried_ir());
+  StatusOr<ContainmentDecision> third = DecideDatalogInUcq(tc, "p", theta);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->stats.program_ir_builds, 1u);
+}
+
+TEST(DeciderInternTest, CheckerChargesInterningToFirstDecideOnly) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  ContainmentChecker checker(tc, "p");
+  StatusOr<ContainmentDecision> first = checker.Decide(PathQueries(2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.program_ir_builds, 1u);
+  StatusOr<ContainmentDecision> second = checker.Decide(PathQueries(3));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.program_ir_builds, 0u);
+}
+
+// --- explicit-automata differentials: ptrees + linear word automata ----
+
+TEST(PtreesIrDifferentialTest, AlphabetsAndAutomataAgreeAcrossArms) {
+  std::vector<Program> programs;
+  programs.push_back(TransitiveClosureProgram("e", "e0"));
+  programs.push_back(Buys1Program());
+  programs.push_back(MustParseProgram(R"(
+    r(X) :- e(root, X).
+    r(X) :- r(Y), e(Y, X).
+  )"));
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    const std::string goal =
+        programs[p].rules().front().head().predicate();
+    StatusOr<PtreesAutomaton> ir_arm =
+        BuildPtreesAutomaton(programs[p], goal, 2'000'000, /*use_ir=*/true);
+    StatusOr<PtreesAutomaton> string_arm =
+        BuildPtreesAutomaton(programs[p], goal, 2'000'000, /*use_ir=*/false);
+    ASSERT_TRUE(ir_arm.ok() && string_arm.ok()) << "program " << p;
+    // Identical alphabets: same symbols in the same order.
+    ASSERT_EQ(ir_arm->alphabet.labels.size(),
+              string_arm->alphabet.labels.size())
+        << "program " << p;
+    for (std::size_t s = 0; s < ir_arm->alphabet.labels.size(); ++s) {
+      EXPECT_EQ(ir_arm->alphabet.labels[s].ToString(),
+                string_arm->alphabet.labels[s].ToString());
+      EXPECT_EQ(ir_arm->alphabet.label_idb_positions[s],
+                string_arm->alphabet.label_idb_positions[s]);
+      EXPECT_EQ(ir_arm->alphabet.arities[s], string_arm->alphabet.arities[s]);
+      // Both SymbolOf implementations resolve every label.
+      EXPECT_EQ(
+          ir_arm->alphabet.SymbolOf(ir_arm->alphabet.labels[s]),
+          static_cast<int>(s));
+      EXPECT_EQ(
+          string_arm->alphabet.SymbolOf(string_arm->alphabet.labels[s]),
+          static_cast<int>(s));
+    }
+    // Identical automata: same states (same atoms in the same order,
+    // resolved identically by StateOf) and the same acceptance behavior
+    // on a sample of arbitrary labeled trees.
+    ASSERT_EQ(ir_arm->nfta.num_states(), string_arm->nfta.num_states())
+        << "program " << p;
+    ASSERT_EQ(ir_arm->state_atoms.size(), string_arm->state_atoms.size());
+    for (std::size_t s = 0; s < ir_arm->state_atoms.size(); ++s) {
+      EXPECT_EQ(ir_arm->state_atoms[s].ToString(),
+                string_arm->state_atoms[s].ToString());
+      EXPECT_EQ(ir_arm->StateOf(ir_arm->state_atoms[s]),
+                static_cast<int>(s));
+      EXPECT_EQ(string_arm->StateOf(ir_arm->state_atoms[s]),
+                static_cast<int>(s));
+    }
+    std::size_t checked = 0;
+    EnumerateLabeledTrees(
+        ir_arm->alphabet.arities, 2, 1500, [&](const LabeledTree& tree) {
+          EXPECT_EQ(ir_arm->nfta.Accepts(tree),
+                    string_arm->nfta.Accepts(tree));
+          ++checked;
+          return true;
+        });
+    EXPECT_GT(checked, 50u) << "program " << p;
+  }
+}
+
+TEST(PtreesIrDifferentialTest, LabelLimitAgreesAcrossArms) {
+  Program tc = TransitiveClosureProgram("e", "e0");
+  for (bool use_ir : {true, false}) {
+    StatusOr<ProgramAlphabet> alphabet =
+        BuildProgramAlphabet(tc, 10, use_ir);
+    ASSERT_FALSE(alphabet.ok());
+    EXPECT_EQ(alphabet.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(LinearIrDifferentialTest, WordAutomatonArmsAgree) {
+  struct Case {
+    std::string name;
+    Program program;
+    std::string goal;
+    UnionOfCqs theta;
+  };
+  std::vector<Case> cases;
+  {
+    UnionOfCqs t1;
+    t1.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    t1.Add(MustParseCq("buys(X, Y) :- trendy(X), likes(Z, Y)."));
+    cases.push_back({"buys1", Buys1Program(), "buys", t1});
+    UnionOfCqs t2;
+    t2.Add(MustParseCq("buys(X, Y) :- likes(X, Y)."));
+    t2.Add(MustParseCq("buys(X, Y) :- knows(X, Z), likes(Z, Y)."));
+    cases.push_back({"buys2", Buys2Program(), "buys", t2});
+  }
+  {
+    Program tc = TransitiveClosureProgram("e", "e");
+    cases.push_back({"tc_paths", tc, "p", PathQueries(3)});
+    UnionOfCqs top;
+    top.Add(MustParseCq("p(X, Y) :- ."));
+    cases.push_back({"tc_top", tc, "p", top});
+    UnionOfCqs diag;
+    diag.Add(MustParseCq("p(X, X) :- ."));
+    cases.push_back({"tc_diag", tc, "p", diag});
+    cases.push_back({"tc_empty", tc, "p", UnionOfCqs()});
+  }
+  {
+    Program reach = MustParseProgram(R"(
+      r(X) :- e(root, X).
+      r(X) :- r(Y), e(Y, X).
+    )");
+    UnionOfCqs from_root;
+    from_root.Add(MustParseCq("r(X) :- e(root, X)."));
+    cases.push_back({"constants", reach, "r", from_root});
+  }
+  cases.push_back({"chain2", ChainProgram(2), "p", PathQueries(4)});
+  for (const Case& c : cases) {
+    LinearContainmentOptions ir_arm;
+    ir_arm.use_ir = true;
+    LinearContainmentOptions string_arm;
+    string_arm.use_ir = false;
+    StatusOr<LinearContainmentResult> a =
+        DecideLinearDatalogInUcq(c.program, c.goal, c.theta, ir_arm);
+    StatusOr<LinearContainmentResult> b =
+        DecideLinearDatalogInUcq(c.program, c.goal, c.theta, string_arm);
+    ASSERT_EQ(a.ok(), b.ok()) << c.name;
+    if (!a.ok()) continue;
+    EXPECT_EQ(a->contained, b->contained) << c.name;
+    EXPECT_EQ(a->alphabet_size, b->alphabet_size) << c.name;
+    EXPECT_EQ(a->ptrees_states, b->ptrees_states) << c.name;
+    EXPECT_EQ(a->theta_states, b->theta_states) << c.name;
+    EXPECT_EQ(a->pairs_explored, b->pairs_explored) << c.name;
+    ASSERT_EQ(a->counterexample.has_value(), b->counterexample.has_value())
+        << c.name;
+    if (a->counterexample.has_value()) {
+      EXPECT_EQ(a->counterexample->ToString(), b->counterexample->ToString())
+          << c.name;
+    }
+  }
+}
+
+TEST(LinearIrDifferentialTest, RandomizedExpansionSubsetsAgree) {
+  // Randomized Θs over linear families, mirroring the decider's
+  // randomized differential: the two word-automaton arms must return
+  // byte-identical results on every seed.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(seed * 2654435761u + 13);
+    std::vector<std::pair<Program, std::string>> families;
+    families.push_back({Buys1Program(), "buys"});
+    families.push_back({TransitiveClosureProgram("e", "e"), "p"});
+    families.push_back({ChainProgram(2), "p"});
+    const auto& [program, goal] = families[seed % families.size()];
+    EnumerateOptions enumerate;
+    enumerate.max_depth = 1 + static_cast<std::size_t>(rng() % 2);
+    enumerate.max_trees = 100;
+    UnionOfCqs expansions = BoundedExpansions(program, goal, enumerate);
+    UnionOfCqs theta;
+    for (const ConjunctiveQuery& disjunct : expansions.disjuncts()) {
+      if (rng() % 2 == 0) theta.Add(disjunct);
+      if (theta.size() >= 4) break;
+    }
+    LinearContainmentOptions ir_arm;
+    ir_arm.use_ir = true;
+    LinearContainmentOptions string_arm;
+    string_arm.use_ir = false;
+    StatusOr<LinearContainmentResult> a =
+        DecideLinearDatalogInUcq(program, goal, theta, ir_arm);
+    StatusOr<LinearContainmentResult> b =
+        DecideLinearDatalogInUcq(program, goal, theta, string_arm);
+    ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed;
+    if (!a.ok()) continue;
+    EXPECT_EQ(a->contained, b->contained) << "seed " << seed;
+    EXPECT_EQ(a->theta_states, b->theta_states) << "seed " << seed;
+    ASSERT_EQ(a->counterexample.has_value(), b->counterexample.has_value())
+        << "seed " << seed;
+    if (a->counterexample.has_value()) {
+      EXPECT_EQ(a->counterexample->ToString(), b->counterexample->ToString())
+          << "seed " << seed;
+    }
+  }
 }
 
 // --- CQ-layer differential: IR vs string homomorphism search ----------

@@ -139,5 +139,58 @@ TEST(ProgramIrTest, SharedConstantsInternOnce) {
   EXPECT_EQ(ir_form.constants().Find("other"), 1u);
 }
 
+TEST(CarriedIrTest, ProgramCachesAndInvalidatesOnMutation) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    p(X, Y) :- e(X, Y).
+  )");
+  EXPECT_FALSE(program.has_carried_ir());
+  const std::size_t builds_before = ir::ProgramIrBuildCount();
+  std::shared_ptr<ir::ProgramIr> first = ir::CarriedIr(program);
+  EXPECT_TRUE(program.has_carried_ir());
+  EXPECT_EQ(ir::ProgramIrBuildCount(), builds_before + 1);
+  // Second access returns the same object without another interning pass.
+  std::shared_ptr<ir::ProgramIr> second = ir::CarriedIr(program);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(ir::ProgramIrBuildCount(), builds_before + 1);
+  // The carried IR round-trips the program.
+  EXPECT_TRUE(first->ToProgram() == program);
+  // Copies share the cache; mutating the copy drops only the copy's.
+  Program copy = program;
+  EXPECT_TRUE(copy.has_carried_ir());
+  EXPECT_EQ(ir::CarriedIr(copy).get(), first.get());
+  copy.AddRule(MustParseRule("p(X, Y) :- f(X, Y)."));
+  EXPECT_FALSE(copy.has_carried_ir());
+  EXPECT_TRUE(program.has_carried_ir());
+  // Rebuilding after mutation reflects the new rule.
+  std::shared_ptr<ir::ProgramIr> rebuilt = ir::CarriedIr(copy);
+  EXPECT_EQ(rebuilt->num_rules(), 3u);
+  EXPECT_TRUE(rebuilt->ToProgram() == copy);
+}
+
+TEST(CarriedIrTest, UnionCachesAndInvalidatesOnMutation) {
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y)."));
+  EXPECT_FALSE(ucq.has_carried_ir());
+  std::shared_ptr<ir::ProgramIr> carried = ir::CarriedIr(ucq);
+  EXPECT_TRUE(ucq.has_carried_ir());
+  EXPECT_EQ(ir::CarriedIr(ucq).get(), carried.get());
+  EXPECT_EQ(carried->num_disjuncts(), 2u);
+  EXPECT_TRUE(carried->ToUnion().ToString() == ucq.ToString());
+  ucq.Add(MustParseCq("q(X, X) :- ."));
+  EXPECT_FALSE(ucq.has_carried_ir());
+}
+
+TEST(CarriedIrTest, AppendOnlyFoldInsKeepDecodedProgramIntact) {
+  // Holders may intern extra names into the carried dictionaries (the
+  // decider folds Θ in); the decoded program must not change.
+  Program program = MustParseProgram("p(X) :- e(X, c0).");
+  std::shared_ptr<ir::ProgramIr> carried = ir::CarriedIr(program);
+  carried->predicates().Intern("brand_new_predicate");
+  carried->constants().Intern("brand_new_constant");
+  EXPECT_TRUE(carried->ToProgram() == program);
+}
+
 }  // namespace
 }  // namespace datalog

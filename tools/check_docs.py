@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Checks the repository's markdown documentation.
+
+Two invariants, enforced by the CI docs job:
+
+1. Every intra-repo markdown link resolves: `[text](relative/path)` in
+   any tracked .md file must point at an existing file or directory
+   (fragments are stripped; absolute URLs and mailto: are skipped).
+2. docs/architecture.md — the one-page layer map — mentions every
+   subdirectory of src/, so a new subsystem cannot land without a place
+   in the map.
+
+Usage: check_docs.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: str):
+    for directory in (root, os.path.join(root, "docs"),
+                      os.path.join(root, "examples"),
+                      os.path.join(root, "bench")):
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".md"):
+                yield os.path.join(directory, name)
+
+
+def main() -> None:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    errors = []
+
+    for path in markdown_files(root):
+        with open(path) as handle:
+            text = handle.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                errors.append(f"{os.path.relpath(path, root)}: broken link "
+                              f"to {target!r}")
+
+    architecture = os.path.join(root, "docs", "architecture.md")
+    if not os.path.exists(architecture):
+        errors.append("docs/architecture.md is missing")
+    else:
+        with open(architecture) as handle:
+            text = handle.read()
+        src = os.path.join(root, "src")
+        for name in sorted(os.listdir(src)):
+            if not os.path.isdir(os.path.join(src, name)):
+                continue
+            if f"src/{name}" not in text:
+                errors.append(f"docs/architecture.md does not mention "
+                              f"src/{name}")
+
+    if errors:
+        for error in errors:
+            print(f"check_docs: {error}", file=sys.stderr)
+        sys.exit(1)
+    print("check_docs: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -157,6 +157,91 @@ void BM_TransitiveClosureReorderNoIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitiveClosureReorderNoIndex)->Arg(32)->Arg(64)->Arg(128);
 
+// --- parallel evaluation: the thread sweep ----------------------------
+//
+// Arg(1) is EvalOptions::num_threads: 1 = the serial engine (the exact
+// pre-parallel code path), 2/4 = staged parallel rounds over a worker
+// pool with sharded merges (docs/engine.md, "Parallel evaluation").
+// Single-core hosts still run the full staged machinery — the sweep
+// then measures the staging/merge overhead rather than a speedup, and
+// per-iteration rounds/staged counters are exported either way.
+
+void RunTransitiveClosureThreads(benchmark::State& state, Program program,
+                                 Database db) {
+  EvalOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  EvalStats stats;
+  for (auto _ : state) {
+    StatusOr<Relation> result =
+        EvaluateGoal(program, "p", db, options, &stats);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["rounds_parallel"] = benchmark::Counter(
+      static_cast<double>(stats.rounds_parallel) / iterations,
+      benchmark::Counter::kAvgThreads);
+  state.counters["tuples_staged"] = benchmark::Counter(
+      static_cast<double>(stats.tuples_staged) / iterations,
+      benchmark::Counter::kAvgThreads);
+}
+
+void BM_TransitiveClosureSemiNaiveThreads(benchmark::State& state) {
+  RunTransitiveClosureThreads(
+      state, TransitiveClosureProgram("e", "e"),
+      LineGraph(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TransitiveClosureSemiNaiveThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void BM_TransitiveClosureRandomGraphThreads(benchmark::State& state) {
+  Program tc = NonlinearTransitiveClosureProgram();
+  RandomDbOptions db_options;
+  db_options.domain_size = static_cast<int>(state.range(0));
+  db_options.tuples_per_relation = static_cast<int>(state.range(0)) * 2;
+  db_options.seed = 42;
+  RunTransitiveClosureThreads(state, tc, RandomDatabaseFor(tc, db_options));
+}
+BENCHMARK(BM_TransitiveClosureRandomGraphThreads)
+    ->Args({48, 1})
+    ->Args({48, 2})
+    ->Args({48, 4});
+
+// --- hub-bucket delta seeks (the BucketArena chunk directory) ---------
+//
+// A "broom" graph — a chain feeding a hub that fans out to Arg(0)
+// leaves — grows index buckets with hundreds of chunks, and textual
+// join order (reordering off) makes every recursive-rule evaluation
+// delta-probe those buckets: each probe seeks the watermark inside a
+// fat bucket, the regression case for SkipBelow's chunk-id directory
+// (log-time binary search vs the linear chunk-header walk).
+void BM_TransitiveClosureHubDeltaSeek(benchmark::State& state) {
+  constexpr int kChain = 64;
+  Program tc = TransitiveClosureProgram("e", "e");
+  Database db;
+  for (int i = 0; i < kChain; ++i) {
+    db.AddFact("e", {StrCat("c", i), StrCat("c", i + 1)});
+  }
+  for (int j = 0; j < static_cast<int>(state.range(0)); ++j) {
+    db.AddFact("e", {StrCat("c", kChain), StrCat("m", j)});
+  }
+  EvalOptions options;
+  options.reorder_joins = false;  // keep the delta atom in probe position
+  EvalStats stats;
+  for (auto _ : state) {
+    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options, &stats);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["index_probes"] = benchmark::Counter(
+      static_cast<double>(stats.index_probes) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_TransitiveClosureHubDeltaSeek)->Arg(512)->Arg(2048);
+
 // Dense random graphs stress the join planner harder than line graphs:
 // bucket sizes are larger and the delta stays fat for several rounds.
 void BM_TransitiveClosureRandomGraph(benchmark::State& state) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/ast/term.h"
+#include "src/util/build_once.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -66,13 +67,13 @@ class Program {
 
   const std::vector<Rule>& rules() const { return rules_; }
   void AddRule(Rule rule) {
-    carried_ir_.reset();  // mutation invalidates the carried IR
+    carried_ir_.Reset();  // mutation invalidates the carried IR
     rules_.push_back(std::move(rule));
   }
 
   /// True if a carried IR is currently attached: ir::CarriedIr built one
   /// and no mutation has dropped it since.
-  bool has_carried_ir() const { return carried_ir_ != nullptr; }
+  bool has_carried_ir() const { return carried_ir_.built(); }
 
   bool operator==(const Program& other) const { return rules_ == other.rules_; }
 
@@ -108,9 +109,11 @@ class Program {
   std::vector<Rule> rules_;
   // The lazily-built interned IR (see ir::CarriedIr in src/ir/ir.h).
   // mutable: building the cache does not change the program's value.
-  // Copies share the pointer (the rules are equal at copy time and the
-  // IR is append-only); AddRule resets it.
-  mutable std::shared_ptr<ir::ProgramIr> carried_ir_;
+  // The slot is build-once (std::once_flag), so concurrent first
+  // accesses on a shared const Program are safe. Copies share the slot
+  // state (the rules are equal at copy time and the shared IR is
+  // immutable); AddRule resets it.
+  mutable BuildOnceSlot<ir::ProgramIr> carried_ir_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Program& program);

@@ -79,13 +79,15 @@ struct ContainmentChecker::Context {
   std::vector<const Rule*> ordered_rules;
 
   // --- interned substrate (the use_ir / intern_memo paths) -------------
-  // The shared program IR: the program's *carried* IR (ir::CarriedIr),
-  // so a Program that was already interned — by an earlier Decide, a
-  // previous checker, or any other IR consumer — is never re-interned.
-  // Its predicate and constant dictionaries are the id spaces every
-  // encoded structure below uses; Θ disjuncts are folded into the same
-  // dictionaries per run (append-only, so cached instance encodings stay
-  // valid across Decide calls and existing ids never move).
+  // The shared program IR, seeded from the program's *carried* IR
+  // (ir::CarriedIr) — so a Program that was already interned by an
+  // earlier Decide, a previous checker, or any other IR consumer is
+  // never re-interned. The carried object is shared immutable state
+  // with copy-on-fold semantics, and this context folds each Θ's
+  // predicates and constants into the dictionaries per run, so Init
+  // takes a private copy to fold into (append-only, so cached instance
+  // encodings stay valid across Decide calls and existing ids never
+  // move).
   std::shared_ptr<ir::ProgramIr> program_ir;
   // Interning passes Init paid (1 when the carried IR was missing, else
   // 0); consumed into ContainmentStats::program_ir_builds by the first
@@ -175,7 +177,10 @@ struct ContainmentChecker::Context {
     }
     proof_vars = ProofVariables(program_ref);
     const std::size_t builds_before = ir::ProgramIrBuildCount();
-    program_ir = ir::CarriedIr(program_ref);
+    // Copy-on-fold: the carried IR is shared and immutable; this
+    // context interns Θ names into the dictionaries, so it folds into a
+    // private copy (an id-for-id clone — no re-interning, not a build).
+    program_ir = std::make_shared<ir::ProgramIr>(*ir::CarriedIr(program_ref));
     ir_builds_paid = ir::ProgramIrBuildCount() - builds_before;
     goal_pred_id =
         static_cast<std::int32_t>(program_ir->predicates().Intern(goal));

@@ -51,7 +51,7 @@ StatusOr<EquivalenceResult> DecideRecNonrecEquivalence(
   std::size_t failing_disjunct = 0;
   StatusOr<bool> backward = IsUcqContainedInDatalog(
       *unfolded, checker.program(), checker.goal(),
-      &result.backward_eval_stats, CanonicalDbOptions(), &failing_disjunct);
+      &result.backward_eval_stats, options.canonical_db, &failing_disjunct);
   if (!backward.ok()) return backward.status();
   result.backward_contained = *backward;
   if (!*backward) {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/containment/decider.h"
+#include "src/containment/ucq_in_datalog.h"
 #include "src/containment/unfold.h"
 #include "src/cq/cq.h"
 #include "src/engine/eval.h"
@@ -21,6 +22,10 @@ namespace datalog {
 struct EquivalenceOptions {
   ContainmentOptions containment;
   UnfoldOptions unfold;
+  /// Options for the backward direction's canonical-database checks —
+  /// canonical_db.eval.num_threads > 1 (or 0 = hardware) fans the
+  /// unfolded disjuncts out across a worker pool.
+  CanonicalDbOptions canonical_db;
 };
 
 struct EquivalenceResult {

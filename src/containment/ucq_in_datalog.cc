@@ -1,9 +1,13 @@
 #include "src/containment/ucq_in_datalog.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/cq/canonical_db.h"
 #include "src/engine/database.h"
 #include "src/engine/eval.h"
 #include "src/ir/ir.h"
+#include "src/util/thread_pool.h"
 
 namespace datalog {
 namespace {
@@ -15,11 +19,11 @@ namespace {
 // frozen head tuple.
 StatusOr<bool> FrozenGoalDerived(const Program& program,
                                  const std::string& goal, Database* db,
-                                 const Tuple& goal_tuple, EvalStats* stats) {
+                                 const Tuple& goal_tuple, EvalStats* stats,
+                                 const EvalOptions& eval) {
   PredicateId domain = db->InternPredicate("__domain", 1);
   for (int id : goal_tuple) db->AddTupleById(domain, {id});
-  StatusOr<Relation> result =
-      EvaluateGoal(program, goal, *db, EvalOptions(), stats);
+  StatusOr<Relation> result = EvaluateGoal(program, goal, *db, eval, stats);
   if (!result.ok()) return result.status();
   return result->Contains(goal_tuple);
 }
@@ -28,8 +32,8 @@ StatusOr<bool> FrozenGoalDerived(const Program& program,
 // (one dictionary hash per argument occurrence).
 StatusOr<bool> IsCqContainedString(const ConjunctiveQuery& theta,
                                    const Program& program,
-                                   const std::string& goal,
-                                   EvalStats* stats) {
+                                   const std::string& goal, EvalStats* stats,
+                                   const EvalOptions& eval) {
   CanonicalDatabase frozen = FreezeCq(theta);
   Database db;
   for (const Atom& fact : frozen.facts) {
@@ -41,17 +45,33 @@ StatusOr<bool> IsCqContainedString(const ConjunctiveQuery& theta,
   for (const Term& t : frozen.goal_tuple) {
     goal_tuple.push_back(db.dictionary().Intern(t.name()));
   }
-  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats);
+  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats, eval);
 }
 
 StatusOr<bool> IsDisjunctContainedIr(const ir::ProgramIr& theta_ir,
                                      std::size_t index,
                                      const Program& program,
                                      const std::string& goal,
-                                     EvalStats* stats) {
+                                     EvalStats* stats,
+                                     const EvalOptions& eval) {
   Database db;
   Tuple goal_tuple = FreezeDisjunctIntoDatabase(theta_ir, index, &db);
-  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats);
+  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats, eval);
+}
+
+// One disjunct check against an already-carried union IR (or the string
+// arm), with the given engine options.
+StatusOr<bool> CheckDisjunct(const UnionOfCqs& theta,
+                             const ir::ProgramIr* theta_ir,
+                             std::size_t disjunct, const Program& program,
+                             const std::string& goal, EvalStats* stats,
+                             const EvalOptions& eval) {
+  if (theta_ir != nullptr) {
+    return IsDisjunctContainedIr(*theta_ir, disjunct, program, goal, stats,
+                                 eval);
+  }
+  return IsCqContainedString(theta.disjuncts()[disjunct], program, goal,
+                             stats, eval);
 }
 
 }  // namespace
@@ -61,13 +81,28 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
                                       const std::string& goal,
                                       EvalStats* stats,
                                       const CanonicalDbOptions& options) {
-  if (!options.use_ir) return IsCqContainedString(theta, program, goal, stats);
+  if (!options.use_ir) {
+    return IsCqContainedString(theta, program, goal, stats, options.eval);
+  }
   // A bare CQ has no carrier to cache on; intern just this disjunct
   // (no union copy, no full FromUnion pass). Drivers that loop many CQs
-  // should batch them into a UnionOfCqs and use the union-level call.
+  // should batch them into a UnionOfCqs and check disjuncts through
+  // IsUcqDisjunctContainedInDatalog (or the union-level call), which
+  // reuses the union's carried IR across the whole loop.
   ir::ProgramIr single;
   single.AddDisjunct(theta);
-  return IsDisjunctContainedIr(single, 0, program, goal, stats);
+  return IsDisjunctContainedIr(single, 0, program, goal, stats,
+                               options.eval);
+}
+
+StatusOr<bool> IsUcqDisjunctContainedInDatalog(
+    const UnionOfCqs& theta, std::size_t disjunct, const Program& program,
+    const std::string& goal, EvalStats* stats,
+    const CanonicalDbOptions& options) {
+  std::shared_ptr<ir::ProgramIr> theta_ir;
+  if (options.use_ir) theta_ir = ir::CarriedIr(theta);
+  return CheckDisjunct(theta, theta_ir.get(), disjunct, program, goal,
+                       stats, options.eval);
 }
 
 StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
@@ -78,12 +113,44 @@ StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
                                        std::size_t* failing_disjunct) {
   std::shared_ptr<ir::ProgramIr> theta_ir;
   if (options.use_ir) theta_ir = ir::CarriedIr(theta);
-  for (std::size_t i = 0; i < theta.disjuncts().size(); ++i) {
-    StatusOr<bool> contained =
-        options.use_ir
-            ? IsDisjunctContainedIr(*theta_ir, i, program, goal, stats)
-            : IsCqContainedString(theta.disjuncts()[i], program, goal,
-                                  stats);
+  const std::size_t n = theta.disjuncts().size();
+  const std::size_t threads = std::min(ResolvedEvalThreads(options.eval), n);
+
+  if (threads > 1) {
+    // Disjunct fan-out: every canonical-database evaluation is
+    // independent, so they run concurrently over the shared immutable
+    // carried IR and program. Each task evaluates with a serial engine
+    // (the two parallelism levels do not nest) into its own stats; the
+    // verdict, the failing disjunct, and the accumulated stats are then
+    // derived in disjunct order, so they match the sequential loop's
+    // regardless of scheduling.
+    EvalOptions task_eval = options.eval;
+    task_eval.num_threads = 1;
+    std::vector<StatusOr<bool>> results(n, false);
+    std::vector<EvalStats> task_stats(n);
+    ThreadPool pool(threads);
+    pool.ParallelFor(n, [&](std::size_t i) {
+      results[i] = CheckDisjunct(theta, theta_ir.get(), i, program, goal,
+                                 stats != nullptr ? &task_stats[i] : nullptr,
+                                 task_eval);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      // Stats fold up to and including the first failing or erroring
+      // disjunct — where the sequential loop stops evaluating.
+      if (stats != nullptr) stats->Accumulate(task_stats[i]);
+      if (!results[i].ok()) return results[i];
+      if (!*results[i]) {
+        if (failing_disjunct != nullptr) *failing_disjunct = i;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    StatusOr<bool> contained = CheckDisjunct(theta, theta_ir.get(), i,
+                                             program, goal, stats,
+                                             options.eval);
     if (!contained.ok()) return contained;
     if (!*contained) {
       if (failing_disjunct != nullptr) *failing_disjunct = i;

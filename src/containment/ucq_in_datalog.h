@@ -27,6 +27,14 @@ struct CanonicalDbOptions {
   /// argument occurrence). Both arms build identical databases and
   /// produce identical verdicts (tests/canonical_db_test.cc).
   bool use_ir = true;
+  /// Engine options for the canonical-database evaluations. num_threads
+  /// additionally gates the union-level driver's disjunct fan-out: when
+  /// it resolves to more than one thread, IsUcqContainedInDatalog
+  /// evaluates its disjuncts concurrently across a worker pool (each
+  /// disjunct's engine then runs serially — the two parallelism levels
+  /// do not nest) with verdict, failing disjunct, and accumulated stats
+  /// identical to the sequential loop's.
+  EvalOptions eval;
 };
 
 /// θ ⊆ Q_Π: evaluates Π over the canonical database of θ and tests the
@@ -38,6 +46,17 @@ struct CanonicalDbOptions {
 /// engine's work counters accumulate into it across calls.
 StatusOr<bool> IsCqContainedInDatalog(
     const ConjunctiveQuery& theta, const Program& program,
+    const std::string& goal, EvalStats* stats = nullptr,
+    const CanonicalDbOptions& options = CanonicalDbOptions());
+
+/// θ_i ⊆ Q_Π for one disjunct of a union, freezing through the union's
+/// carried ProgramIr (ir::CarriedIr). This is the entry for drivers that
+/// loop single CQs: batch the CQs into a UnionOfCqs once and check
+/// disjuncts through it, instead of paying a throwaway singleton IR per
+/// IsCqContainedInDatalog call. IsUcqContainedInDatalog's sequential and
+/// parallel loops are both built on it.
+StatusOr<bool> IsUcqDisjunctContainedInDatalog(
+    const UnionOfCqs& theta, std::size_t disjunct, const Program& program,
     const std::string& goal, EvalStats* stats = nullptr,
     const CanonicalDbOptions& options = CanonicalDbOptions());
 

@@ -14,6 +14,7 @@
 
 #include "src/ast/rule.h"
 #include "src/ast/term.h"
+#include "src/util/build_once.h"
 
 namespace datalog {
 
@@ -66,14 +67,14 @@ class UnionOfCqs {
 
   const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
   void Add(ConjunctiveQuery cq) {
-    carried_ir_.reset();  // mutation invalidates the carried IR
+    carried_ir_.Reset();  // mutation invalidates the carried IR
     disjuncts_.push_back(std::move(cq));
   }
   bool empty() const { return disjuncts_.empty(); }
   std::size_t size() const { return disjuncts_.size(); }
 
   /// True if a carried IR is currently attached (see ir::CarriedIr).
-  bool has_carried_ir() const { return carried_ir_ != nullptr; }
+  bool has_carried_ir() const { return carried_ir_.built(); }
 
   std::string ToString() const;
 
@@ -81,9 +82,10 @@ class UnionOfCqs {
   friend std::shared_ptr<ir::ProgramIr> ir::CarriedIr(const UnionOfCqs&);
 
   std::vector<ConjunctiveQuery> disjuncts_;
-  // Lazily-built interned IR (see ir::CarriedIr in src/ir/ir.h); shared
-  // by copies, reset by Add.
-  mutable std::shared_ptr<ir::ProgramIr> carried_ir_;
+  // Lazily-built interned IR (see ir::CarriedIr in src/ir/ir.h); a
+  // build-once slot safe against concurrent first accesses, shared by
+  // copies, reset by Add.
+  mutable BuildOnceSlot<ir::ProgramIr> carried_ir_;
 };
 
 std::ostream& operator<<(std::ostream& os, const UnionOfCqs& ucq);

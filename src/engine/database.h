@@ -83,6 +83,14 @@ class Relation {
   /// Inserts `tuple`; returns true if it was new.
   bool Insert(const Tuple& tuple);
   bool Contains(const Tuple& tuple) const;
+  /// Raw-pointer variants over arity() contiguous ints — the parallel
+  /// merge phase dedups and appends staged rows without materializing
+  /// Tuples. ContainsRow is a read-only probe, safe to call from many
+  /// threads as long as no Insert runs concurrently.
+  bool InsertRow(const int* data) { return rows_.Intern(data).second; }
+  bool ContainsRow(const int* data) const {
+    return rows_.Find(data) != FlatKeyTable::kNotFound;
+  }
   /// The i-th row's column values (arity() ints). The pointer is
   /// invalidated by the next Insert; the row index never is.
   const int* RowData(std::size_t row) const { return rows_.KeyData(row); }

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "src/engine/index.h"
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace datalog {
 namespace {
@@ -37,6 +39,12 @@ struct CompiledRule {
 };
 
 constexpr int kUnbound = -1;
+
+// Staging shards per parallel round when EvalOptions::num_shards is 0.
+// Fixed (not derived from the thread count) so the merged row order —
+// and therefore the whole result database — is identical for every
+// parallel thread count; see "Parallel evaluation" in docs/engine.md.
+constexpr std::size_t kDefaultShards = 64;
 
 class RuleCompiler {
  public:
@@ -133,14 +141,51 @@ struct DeltaWindow {
   std::vector<std::size_t> lo;
 };
 
+// Per-task matching state plus the emit sink. The serial engine owns one
+// (facts go straight into the database — chaotic iteration); a parallel
+// round owns one per task, with derived tuples staged into per-shard
+// buffers instead of inserted. Everything a match touches and writes
+// lives here, so concurrent tasks share only the frozen database and
+// its indexes, read-only.
+struct MatchContext {
+  // Reusable per-plan-depth probe keys and binding-undo logs, the head
+  // construction buffer, and the variable binding — keeps the hot path
+  // allocation-free.
+  std::vector<Tuple> key;
+  std::vector<std::vector<int>> undo;
+  Tuple head;
+  std::vector<int> binding;
+  // Parallel staging: flat [predicate, args...] rows per shard; unused
+  // (and empty) in serial mode.
+  bool staging = false;
+  std::size_t num_shards = 0;
+  std::vector<std::vector<int>> shard_rows;
+  // Head tuples emitted (duplicates included); matching aborts once it
+  // exceeds the budget. The serial context accumulates across the whole
+  // run (the pre-parallel behavior); a task context is reset per round
+  // with the remaining global budget.
+  std::size_t emitted = 0;
+  std::size_t emit_budget = 0;
+  // Local stats mirrors, folded into EvalStats in a deterministic order
+  // (task order) after the work completes.
+  std::size_t join_probes = 0;
+  std::size_t index_probes = 0;
+  std::size_t tuples_staged = 0;
+};
+
 // Evaluates rule bodies against a database, with one body atom optionally
 // restricted to the delta window (semi-naive evaluation). Joins probe
 // per-relation hash column indexes and follow a greedy runtime join
 // order; both behaviors degrade to full scans in textual order when the
-// corresponding EvalOptions switches are off. Derived facts are inserted
-// into the database immediately (chaotic iteration reaches the same
-// least fixpoint as stratified rounds, and saves a staging copy of every
+// corresponding EvalOptions switches are off.
+//
+// With num_threads == 1 (the default), derived facts are inserted into
+// the database immediately (chaotic iteration reaches the same least
+// fixpoint as stratified rounds, and saves a staging copy of every
 // fact); rows gained mid-round simply fall into the next round's window.
+// With more threads, rounds are staged: rules fan out across a worker
+// pool against the frozen pre-round database, and a sharded merge phase
+// dedups and appends the staged tuples (RunParallel below).
 class Evaluator {
  public:
   Evaluator(const Program& program, const Database& edb,
@@ -165,17 +210,25 @@ class Evaluator {
     }
     // All predicates are interned by now; id space is frozen.
     indexes_.resize(db_.predicates().size());
-    std::size_t max_body = 0;
     for (const CompiledRule& rule : rules_) {
-      max_body = std::max(max_body, rule.body.size());
+      max_body_ = std::max(max_body_, rule.body.size());
     }
-    key_scratch_.resize(max_body);
-    undo_scratch_.resize(max_body);
+    serial_ctx_.key.resize(max_body_);
+    serial_ctx_.undo.resize(max_body_);
+    serial_ctx_.emit_budget = options_.max_derived_facts;
   }
 
   StatusOr<Database> Run() {
-    Status s = options_.semi_naive ? RunSemiNaive() : RunNaive();
+    std::size_t threads = ResolvedEvalThreads(options_);
+    Status s;
+    if (threads > 1) {
+      s = RunParallel(threads);
+    } else {
+      s = options_.semi_naive ? RunSemiNaive() : RunNaive();
+    }
     if (stats_ != nullptr) {
+      stats_->join_probes += serial_ctx_.join_probes;
+      stats_->index_probes += serial_ctx_.index_probes;
       stats_->index_builds += counters_.index_builds;
       stats_->tuples_indexed += counters_.tuples_indexed;
     }
@@ -299,8 +352,9 @@ class Evaluator {
   // returns false on mismatch (with any partial bindings recorded on
   // `undo`).
   bool UnifyTuple(const CompiledAtom& atom, const int* tuple,
-                  std::vector<int>* binding, std::vector<int>* undo) {
-    if (stats_ != nullptr) ++stats_->join_probes;
+                  std::vector<int>* binding, std::vector<int>* undo,
+                  MatchContext* ctx) {
+    ++ctx->join_probes;
     for (std::size_t i = 0; i < atom.arity; ++i) {
       if (atom.constant[i] >= 0) {
         if (atom.constant[i] != tuple[i]) return false;
@@ -321,12 +375,12 @@ class Evaluator {
   // match, emits head tuples (enumerating the active domain for unsafe
   // head variables). `delta_atom` designates the body position that must
   // match the delta window, or -1 for none. Returns false when the
-  // derived-fact limit is hit.
+  // emit budget is hit.
   bool MatchBody(const CompiledRule& rule, const std::vector<JoinStep>& plan,
                  std::size_t pos, int delta_atom, const DeltaWindow* delta,
-                 std::vector<int>* binding) {
+                 MatchContext* ctx) {
     if (pos == plan.size()) {
-      return EmitHead(rule, 0, binding);
+      return EmitHead(rule, 0, ctx);
     }
     const JoinStep& step = plan[pos];
     const CompiledAtom& atom = rule.body[step.atom];
@@ -334,101 +388,116 @@ class Evaluator {
     const Relation& relation = db_.RelationOf(atom.predicate);
     const std::size_t first_row = is_delta ? delta->lo[atom.predicate] : 0;
 
-    std::vector<int>& undo = undo_scratch_[pos];
+    std::vector<int>& binding = ctx->binding;
+    std::vector<int>& undo = ctx->undo[pos];
     if (step.index != nullptr) {
-      Tuple& key = key_scratch_[pos];
+      Tuple& key = ctx->key[pos];
       key.clear();
       for (std::size_t i = 0; i < atom.arity; ++i) {
         if ((step.key_mask & (1u << i)) == 0) continue;
         key.push_back(atom.constant[i] >= 0 ? atom.constant[i]
-                                            : (*binding)[atom.variable[i]]);
+                                            : binding[atom.variable[i]]);
       }
-      if (stats_ != nullptr) ++stats_->index_probes;
+      ++ctx->index_probes;
       ColumnIndex::BucketView bucket = step.index->Probe(key);
       if (bucket.empty()) return true;  // no candidate rows
       // Bucket row indexes ascend, so a delta probe skips ahead to the
-      // watermark (whole chunks below it are stepped over unread).
+      // watermark (chunks below it are stepped over unread; hub buckets
+      // binary-search their chunk directory).
       ColumnIndex::BucketView::Iterator it = bucket.begin();
       if (first_row != 0) {
         it.SkipBelow(static_cast<std::uint32_t>(first_row));
       }
       for (; !it.done(); it.Next()) {
         undo.clear();
-        if (UnifyTuple(atom, relation.RowData(it.row()), binding, &undo)) {
-          if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, binding)) {
+        if (UnifyTuple(atom, relation.RowData(it.row()), &binding, &undo,
+                       ctx)) {
+          if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, ctx)) {
             return false;
           }
         }
-        for (int slot : undo) (*binding)[slot] = kUnbound;
+        for (int slot : undo) binding[slot] = kUnbound;
       }
       return true;
     }
-    // Index-free scan: relations may gain rows mid-round (facts are
-    // inserted as they are derived, and the arena may reallocate), so
-    // the row pointer is re-read each iteration and the size re-checked.
+    // Index-free scan: in serial mode relations may gain rows mid-round
+    // (facts are inserted as they are derived, and the arena may
+    // reallocate), so the row pointer is re-read each iteration and the
+    // size re-checked. In parallel rounds the database is frozen, which
+    // only makes this loop's bound constant.
     for (std::size_t row = first_row; row < relation.size(); ++row) {
       undo.clear();
-      if (UnifyTuple(atom, relation.RowData(row), binding, &undo)) {
-        if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, binding)) {
+      if (UnifyTuple(atom, relation.RowData(row), &binding, &undo, ctx)) {
+        if (!MatchBody(rule, plan, pos + 1, delta_atom, delta, ctx)) {
           return false;
         }
       }
-      for (int slot : undo) (*binding)[slot] = kUnbound;
+      for (int slot : undo) binding[slot] = kUnbound;
     }
     return true;
   }
 
-  // Emits head tuples straight into the database (duplicates are
-  // suppressed by the relation's hash set), enumerating active-domain
-  // values for unbound head variables starting at position
+  // Emits head tuples — straight into the database in serial mode
+  // (duplicates suppressed by the relation's hash set), or staged into
+  // the context's shard buffer in parallel rounds — enumerating
+  // active-domain values for unbound head variables starting at position
   // `unbound_index` in rule.unbound_head_variables. Returns false when
-  // the fact limit is hit.
+  // the emit budget is hit.
   bool EmitHead(const CompiledRule& rule, std::size_t unbound_index,
-                std::vector<int>* binding) {
+                MatchContext* ctx) {
     if (unbound_index < rule.unbound_head_variables.size()) {
       int slot = rule.unbound_head_variables[unbound_index];
-      if ((*binding)[slot] != kUnbound) {
-        return EmitHead(rule, unbound_index + 1, binding);
+      if (ctx->binding[slot] != kUnbound) {
+        return EmitHead(rule, unbound_index + 1, ctx);
       }
       for (int value : active_domain_) {
-        (*binding)[slot] = value;
-        if (!EmitHead(rule, unbound_index + 1, binding)) {
-          (*binding)[slot] = kUnbound;
+        ctx->binding[slot] = value;
+        if (!EmitHead(rule, unbound_index + 1, ctx)) {
+          ctx->binding[slot] = kUnbound;
           return false;
         }
       }
-      (*binding)[slot] = kUnbound;
+      ctx->binding[slot] = kUnbound;
       return true;
     }
-    Tuple& head = head_scratch_;
+    Tuple& head = ctx->head;
     head.resize(rule.head_constant.size());
     for (std::size_t i = 0; i < head.size(); ++i) {
       if (rule.head_constant[i] >= 0) {
         head[i] = rule.head_constant[i];
       } else {
-        int value = (*binding)[rule.head_variable[i]];
+        int value = ctx->binding[rule.head_variable[i]];
         DATALOG_CHECK_NE(value, kUnbound);
         head[i] = value;
       }
     }
-    ++emitted_;
-    if (db_.MutableRelationOf(rule.head_predicate)->Insert(head)) {
+    ++ctx->emitted;
+    if (ctx->staging) {
+      // The shard is a function of the tuple alone, so every staged
+      // copy of one fact lands in the same shard and the merge phase
+      // needs no cross-shard coordination.
+      std::size_t h = HashIntSpan(head.data(), head.size());
+      HashCombine(&h, rule.head_predicate);
+      std::vector<int>& buf = ctx->shard_rows[h % ctx->num_shards];
+      buf.push_back(rule.head_predicate);
+      buf.insert(buf.end(), head.begin(), head.end());
+      ++ctx->tuples_staged;
+    } else if (db_.MutableRelationOf(rule.head_predicate)->Insert(head)) {
       ++derived_total_;  // copy happened only for this new fact
       if (stats_ != nullptr) ++stats_->facts_derived;
     }
-    return emitted_ <= options_.max_derived_facts;
+    return ctx->emitted <= ctx->emit_budget;
   }
 
   // Evaluates `rule`, considering only matches that use the delta window
   // at `delta_atom` (or all matches when delta_atom == -1). Derived
-  // facts land in the database immediately.
+  // facts land in the database immediately. Serial mode only.
   Status EvaluateRule(const CompiledRule& rule, int delta_atom,
                       const DeltaWindow* delta) {
     std::vector<JoinStep>& plan = plan_scratch_;
     PlanJoin(rule, delta_atom, delta, &plan);
-    std::vector<int>& binding = binding_scratch_;
-    binding.assign(rule.num_variables, kUnbound);
-    if (!MatchBody(rule, plan, 0, delta_atom, delta, &binding)) {
+    serial_ctx_.binding.assign(rule.num_variables, kUnbound);
+    if (!MatchBody(rule, plan, 0, delta_atom, delta, &serial_ctx_)) {
       return ResourceExhaustedError(
           StrCat("evaluation exceeded ", options_.max_derived_facts,
                  " derived facts"));
@@ -480,6 +549,186 @@ class Evaluator {
     return OkStatus();
   }
 
+  // The staged parallel fixpoint. Each round: (1) build the task list —
+  // one task per rule (full rounds) or per (rule, delta position)
+  // (semi-naive rounds); (2) plan every task serially, which resolves
+  // and catches up every column index the round will probe; (3) fan the
+  // tasks out across the pool — the database is frozen, workers only
+  // read, and each task stages derived tuples into its own per-shard
+  // buffers; (4) merge — shards dedup in parallel (each against its own
+  // open-addressing table plus read-only probes of the frozen
+  // relations), then survivors append serially in (shard, task) order.
+  //
+  // Determinism: task lists, plans, and each task's staged output are
+  // functions of the frozen pre-round database only; outputs are
+  // indexed by task id (never thread id); the merge folds them in a
+  // fixed order. So the result — including row order — is identical
+  // run-to-run for any thread count, and the fixpoint equals the serial
+  // engine's as a set of tuples (stratified and chaotic semi-naive
+  // iteration reach the same least fixpoint).
+  Status RunParallel(std::size_t threads) {
+    ThreadPool pool(threads);
+    const std::size_t num_predicates = db_.predicates().size();
+    num_shards_ = options_.num_shards > 0
+                      ? static_cast<std::size_t>(options_.num_shards)
+                      : kDefaultShards;
+
+    struct RoundTask {
+      std::size_t rule;
+      int delta_atom;
+    };
+    std::vector<RoundTask> tasks;
+    std::vector<std::vector<JoinStep>> plans;
+    std::vector<MatchContext> contexts;
+    std::vector<std::vector<int>> shard_out(num_shards_);
+    std::vector<std::size_t> shard_collisions(num_shards_, 0);
+
+    DeltaWindow delta(num_predicates);
+    bool full_round = true;  // round 0, and every round of naive mode
+    while (true) {
+      tasks.clear();
+      if (full_round || !options_.semi_naive) {
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+          tasks.push_back({r, -1});
+        }
+      } else {
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+          const CompiledRule& rule = rules_[r];
+          for (std::size_t i = 0; i < rule.body.size(); ++i) {
+            PredicateId id = rule.body[i].predicate;
+            if (delta.lo[id] >= db_.RelationOf(id).size()) continue;
+            tasks.push_back({r, static_cast<int>(i)});
+          }
+        }
+      }
+      if (tasks.empty()) return OkStatus();
+      if (stats_ != nullptr) {
+        ++stats_->iterations;
+        ++stats_->rounds_parallel;
+      }
+      const DeltaWindow* window = full_round ? nullptr : &delta;
+
+      plans.resize(tasks.size());
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        PlanJoin(rules_[tasks[t].rule], tasks[t].delta_atom, window,
+                 &plans[t]);
+      }
+
+      // Next round's watermarks are this round's pre-merge sizes: the
+      // merged survivors below become exactly the next delta windows.
+      DeltaWindow next(num_predicates);
+      Snapshot(&next);
+
+      if (contexts.size() < tasks.size()) contexts.resize(tasks.size());
+      const std::size_t budget =
+          options_.max_derived_facts -
+          std::min(options_.max_derived_facts, emitted_total_);
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        PrepareTaskContext(&contexts[t], budget);
+      }
+
+      pool.ParallelFor(tasks.size(), [&](std::size_t t) {
+        const RoundTask& task = tasks[t];
+        const CompiledRule& rule = rules_[task.rule];
+        MatchContext& ctx = contexts[t];
+        ctx.binding.assign(rule.num_variables, kUnbound);
+        // A false return means the task exceeded the whole remaining
+        // emit budget on its own; the deterministic check below turns
+        // that into the ResourceExhausted error.
+        MatchBody(rule, plans[t], 0, task.delta_atom, window, &ctx);
+      });
+
+      // Fold per-task counters in task order (scheduling-independent).
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        const MatchContext& ctx = contexts[t];
+        emitted_total_ += ctx.emitted;
+        if (stats_ != nullptr) {
+          stats_->join_probes += ctx.join_probes;
+          stats_->index_probes += ctx.index_probes;
+          stats_->tuples_staged += ctx.tuples_staged;
+        }
+      }
+      if (emitted_total_ > options_.max_derived_facts) {
+        return ResourceExhaustedError(
+            StrCat("evaluation exceeded ", options_.max_derived_facts,
+                   " derived facts"));
+      }
+
+      // Merge phase 1 (parallel): per-shard dedup. A tuple's shard is a
+      // function of the tuple, so no two shards see the same fact and
+      // no locks are needed; the frozen relations are probed read-only.
+      pool.ParallelFor(num_shards_, [&](std::size_t s) {
+        MergeShard(contexts, tasks.size(), s, &shard_out[s],
+                   &shard_collisions[s]);
+      });
+
+      // Merge phase 2 (serial): append survivors in (shard, task,
+      // derivation) order — deterministic for any thread count.
+      std::size_t new_facts = 0;
+      for (std::size_t s = 0; s < num_shards_; ++s) {
+        if (stats_ != nullptr) {
+          stats_->merge_collisions += shard_collisions[s];
+        }
+        const std::vector<int>& rows = shard_out[s];
+        for (std::size_t i = 0; i < rows.size();) {
+          Relation* relation = db_.MutableRelationOf(rows[i]);
+          if (relation->InsertRow(rows.data() + i + 1)) ++new_facts;
+          i += 1 + relation->arity();
+        }
+      }
+      derived_total_ += new_facts;
+      if (stats_ != nullptr) stats_->facts_derived += new_facts;
+      if (new_facts == 0) return OkStatus();
+      if (options_.semi_naive) {
+        delta = std::move(next);
+        full_round = false;
+      }
+    }
+  }
+
+  void PrepareTaskContext(MatchContext* ctx, std::size_t budget) {
+    if (ctx->key.size() < max_body_) {
+      ctx->key.resize(max_body_);
+      ctx->undo.resize(max_body_);
+    }
+    ctx->staging = true;
+    ctx->num_shards = num_shards_;
+    ctx->shard_rows.resize(num_shards_);
+    for (std::vector<int>& rows : ctx->shard_rows) rows.clear();
+    ctx->emitted = 0;
+    ctx->emit_budget = budget;
+    ctx->join_probes = 0;
+    ctx->index_probes = 0;
+    ctx->tuples_staged = 0;
+  }
+
+  // Dedups one shard's staged rows: against the frozen relations
+  // (tuples already present before the round) and against a per-shard
+  // table (tuples staged more than once within the round, including by
+  // different tasks). Tasks fold in task order, so the survivor order
+  // is deterministic.
+  void MergeShard(const std::vector<MatchContext>& contexts,
+                  std::size_t num_tasks, std::size_t shard,
+                  std::vector<int>* out, std::size_t* collisions) const {
+    out->clear();
+    *collisions = 0;
+    VarKeyTable seen;  // keys are whole [predicate, args...] rows
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      const std::vector<int>& rows = contexts[t].shard_rows[shard];
+      for (std::size_t i = 0; i < rows.size();) {
+        const Relation& relation = db_.RelationOf(rows[i]);
+        const std::size_t width = 1 + relation.arity();
+        if (relation.ContainsRow(rows.data() + i + 1) ||
+            !seen.Intern(rows.data() + i, width).second) {
+          ++*collisions;
+        } else {
+          out->insert(out->end(), rows.begin() + i, rows.begin() + i + width);
+        }
+        i += width;
+      }
+    }
+  }
+
   // Records current relation sizes as the next round's delta watermarks.
   void Snapshot(DeltaWindow* delta) const {
     for (std::size_t id = 0; id < delta->lo.size(); ++id) {
@@ -495,25 +744,33 @@ class Evaluator {
   std::unordered_set<int> domain_set_;
   // Lazily-built column indexes over db_'s relations, parallel to
   // predicate ids. Delta probes share these (bucket suffix filtering).
+  // In parallel mode all builds and catch-ups happen in the serial
+  // planning step, before fan-out.
   std::vector<RelationIndex> indexes_;
   IndexCounters counters_;
-  // Reusable per-plan-depth probe keys and binding-undo logs, the head
-  // construction buffer, and per-rule planning scratch — keeps the hot
-  // path allocation-free.
-  std::vector<Tuple> key_scratch_;
-  std::vector<std::vector<int>> undo_scratch_;
-  Tuple head_scratch_;
+  std::size_t max_body_ = 0;
+  // The serial engine's match state; parallel rounds use per-task
+  // contexts instead (RunParallel).
+  MatchContext serial_ctx_;
+  // Per-rule planning scratch (serial planning only, both modes).
   std::vector<JoinStep> plan_scratch_;
-  std::vector<int> binding_scratch_;
   std::vector<char> bound_scratch_;
   std::vector<char> placed_scratch_;
   std::vector<char> needed_later_scratch_;
   std::vector<char> occurrences_scratch_;
-  std::size_t emitted_ = 0;
+  // Total emissions across parallel rounds (the serial path tracks this
+  // in serial_ctx_.emitted).
+  std::size_t emitted_total_ = 0;
   std::size_t derived_total_ = 0;
+  std::size_t num_shards_ = 0;
 };
 
 }  // namespace
+
+std::size_t ResolvedEvalThreads(const EvalOptions& options) {
+  if (options.num_threads == 0) return ThreadPool::HardwareConcurrency();
+  return static_cast<std::size_t>(std::max(1, options.num_threads));
+}
 
 StatusOr<Database> EvaluateProgram(const Program& program, const Database& edb,
                                    const EvalOptions& options,

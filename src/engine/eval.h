@@ -28,6 +28,21 @@ struct EvalOptions {
   /// Greedily reorder body atoms per evaluation by (bound variables,
   /// relation size) instead of using textual order (ablation switch).
   bool reorder_joins = true;
+  /// Worker threads for the fixpoint. 1 (default) is the serial engine —
+  /// bit-for-bit the pre-parallel code path, with chaotic in-round
+  /// insertion. 0 resolves to the hardware concurrency. Any value > 1
+  /// switches to staged parallel rounds: rules fan out across a worker
+  /// pool against the frozen pre-round database, derived tuples are
+  /// staged into per-task shard buffers, and a sharded merge dedups and
+  /// appends them. The fixpoint (every relation, as a tuple set) is
+  /// identical to the serial engine's for every other option
+  /// combination, and identical run-to-run for any fixed thread count
+  /// (see docs/engine.md, "Parallel evaluation").
+  int num_threads = 1;
+  /// Staging shards for parallel rounds; 0 picks the default (a fixed
+  /// count, so parallel results do not depend on the thread count).
+  /// Ignored when num_threads resolves to 1.
+  int num_shards = 0;
   /// Abort with ResourceExhausted if more than this many facts are derived.
   std::size_t max_derived_facts = 50'000'000;
 };
@@ -46,7 +61,38 @@ struct EvalStats {
   std::size_t index_builds = 0;
   /// Total rows absorbed into index buckets (builds plus catch-ups).
   std::size_t tuples_indexed = 0;
+  /// Fixpoint rounds executed as staged parallel rounds (0 on the
+  /// serial path).
+  int rounds_parallel = 0;
+  /// Tuples staged into shard buffers by parallel-round tasks
+  /// (duplicates included; the merge phase dedups them).
+  std::size_t tuples_staged = 0;
+  /// Staged tuples dropped by the merge phase as duplicates — already
+  /// in the relation before the round, or staged more than once within
+  /// it.
+  std::size_t merge_collisions = 0;
+
+  /// Folds `other`'s counters into this one (drivers that evaluate many
+  /// databases — e.g. per-disjunct canonical-database checks — fold
+  /// per-evaluation stats in a deterministic order).
+  void Accumulate(const EvalStats& other) {
+    iterations += other.iterations;
+    facts_derived += other.facts_derived;
+    join_probes += other.join_probes;
+    index_probes += other.index_probes;
+    index_builds += other.index_builds;
+    tuples_indexed += other.tuples_indexed;
+    rounds_parallel += other.rounds_parallel;
+    tuples_staged += other.tuples_staged;
+    merge_collisions += other.merge_collisions;
+  }
 };
+
+/// The worker count EvalOptions::num_threads resolves to: 0 means the
+/// hardware concurrency, anything below 1 clamps to 1. The one place
+/// the resolution rule lives — the engine's fixpoint and the
+/// canonical-database disjunct fan-out both consult it.
+std::size_t ResolvedEvalThreads(const EvalOptions& options);
 
 /// Evaluates `program` over `edb` and returns a database containing both
 /// the input facts and all derived IDB facts. The input database's

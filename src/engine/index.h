@@ -48,11 +48,16 @@ struct IndexCounters {
 class BucketArena {
  public:
   static constexpr std::uint32_t kNull = 0xffffffffu;
-  /// Rows per chunk: with the two header words this makes a chunk
-  /// exactly 64 bytes (one cache line), so iterating a large bucket
-  /// chases one pointer per 14 rows while a single-row bucket still
-  /// costs only one line.
+  /// Rows per chunk: with the header words this keeps a chunk one cache
+  /// line, so iterating a large bucket chases one pointer per 14 rows
+  /// while a single-row bucket still costs only one line.
   static constexpr std::size_t kChunkRows = 14;
+  /// Buckets with more than this many chunks materialize a chunk-id
+  /// directory so delta seeks (SkipBelow) binary-search instead of
+  /// walking chunk headers linearly. The common small bucket never pays
+  /// the directory's per-bucket allocation; a hub bucket pays it once,
+  /// at the append that crosses the threshold.
+  static constexpr std::size_t kDirThresholdChunks = 4;
 
   struct Chunk {
     std::uint32_t next = kNull;
@@ -65,6 +70,7 @@ class BucketArena {
     std::uint32_t head = kNull;
     std::uint32_t tail = kNull;
     std::uint32_t size = 0;
+    std::uint32_t dir = kNull;  // index into the chunk-id directories
   };
 
   /// Appends an empty bucket to the directory; returns its id (dense,
@@ -87,6 +93,7 @@ class BucketArena {
         chunks_[b.tail].next = fresh;
       }
       b.tail = fresh;
+      RecordChunk(&b, fresh);
     }
     Chunk& chunk = chunks_[b.tail];
     chunk.rows[chunk.count++] = row;
@@ -95,10 +102,36 @@ class BucketArena {
 
   const Bucket& bucket(std::uint32_t id) const { return buckets_[id]; }
   const Chunk& chunk(std::uint32_t id) const { return chunks_[id]; }
+  /// The bucket's chunk ids in chain order, or nullptr while it is below
+  /// the directory threshold.
+  const std::vector<std::uint32_t>* directory(const Bucket& b) const {
+    return b.dir == kNull ? nullptr : &dirs_[b.dir];
+  }
 
  private:
+  // Tracks a freshly chained chunk in the bucket's directory,
+  // materializing the directory (one walk over the existing chain) at
+  // the append that crosses the threshold. Non-tail chunks are always
+  // full, so the pre-append chunk count is exactly size / kChunkRows.
+  void RecordChunk(Bucket* b, std::uint32_t fresh) {
+    if (b->dir != kNull) {
+      dirs_[b->dir].push_back(fresh);
+      return;
+    }
+    if (b->size / kChunkRows + 1 <= kDirThresholdChunks) return;
+    std::vector<std::uint32_t> ids;
+    ids.reserve(b->size / kChunkRows + 1);
+    for (std::uint32_t c = b->head; c != kNull; c = chunks_[c].next) {
+      ids.push_back(c);
+    }
+    b->dir = static_cast<std::uint32_t>(dirs_.size());
+    dirs_.push_back(std::move(ids));
+  }
+
   std::vector<Bucket> buckets_;  // the offsets directory
   std::vector<Chunk> chunks_;    // the arena
+  // Chunk-id directories of hub buckets (bucket.dir indexes this).
+  std::vector<std::vector<std::uint32_t>> dirs_;
 };
 
 /// A hash index over one relation for one pattern of bound columns. Maps
@@ -123,8 +156,9 @@ class ColumnIndex {
     class Iterator {
      public:
       Iterator() = default;
-      Iterator(const BucketArena* arena, std::uint32_t chunk)
-          : arena_(arena), chunk_(chunk) {}
+      Iterator(const BucketArena* arena, std::uint32_t chunk,
+               const std::vector<std::uint32_t>* dir = nullptr)
+          : arena_(arena), chunk_(chunk), dir_(dir) {}
 
       bool done() const { return chunk_ == BucketArena::kNull; }
       std::uint32_t row() const {
@@ -139,13 +173,34 @@ class ColumnIndex {
       }
       /// Advances to the first row >= `watermark`; rows ascend per
       /// bucket, so whole chunks whose last row is below the watermark
-      /// are skipped without touching their entries. This is a linear
-      /// walk over chunk headers (one cache line per kChunkRows rows)
-      /// where the old contiguous bucket vector allowed a binary
-      /// search; on very skewed buckets a per-bucket chunk directory
-      /// would restore log-time seeks at the cost of reintroducing a
-      /// per-bucket allocation (see ROADMAP follow-ups).
+      /// are stepped over without touching their entries. A hub bucket
+      /// past the directory threshold binary-searches its chunk-id
+      /// directory instead of walking chunk headers linearly — the
+      /// log-time seek the old contiguous bucket vectors allowed. The
+      /// directory seek is position-free, so it only applies to an
+      /// iterator still at the bucket's start (the delta-probe pattern);
+      /// an already-advanced iterator falls back to the linear walk,
+      /// which never moves backwards.
       void SkipBelow(std::uint32_t watermark) {
+        if (dir_ != nullptr && offset_ == 0 && chunk_ == (*dir_)[0]) {
+          const std::vector<std::uint32_t>& dir = *dir_;
+          std::size_t lo = 0;
+          std::size_t hi = dir.size();
+          while (lo < hi) {  // first chunk whose last row >= watermark
+            std::size_t mid = lo + (hi - lo) / 2;
+            const BucketArena::Chunk& c = arena_->chunk(dir[mid]);
+            if (c.rows[c.count - 1] < watermark) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          if (lo == dir.size()) {
+            chunk_ = BucketArena::kNull;
+            return;
+          }
+          chunk_ = dir[lo];
+        }
         while (chunk_ != BucketArena::kNull) {
           const BucketArena::Chunk& c = arena_->chunk(chunk_);
           if (c.rows[c.count - 1] < watermark) {
@@ -164,11 +219,12 @@ class ColumnIndex {
       const BucketArena* arena_ = nullptr;
       std::uint32_t chunk_ = BucketArena::kNull;
       std::uint32_t offset_ = 0;
+      const std::vector<std::uint32_t>* dir_ = nullptr;
     };
 
     Iterator begin() const {
       if (empty()) return Iterator();
-      return Iterator(arena_, bucket_->head);
+      return Iterator(arena_, bucket_->head, arena_->directory(*bucket_));
     }
 
    private:

@@ -1,47 +1,50 @@
 #include "src/ir/ir.h"
 
+#include <atomic>
+
 #include "src/util/logging.h"
 
 namespace datalog {
 namespace ir {
 namespace {
 
-// See ProgramIrBuildCount(); plain (not atomic) like everything else in
-// this single-threaded layer.
-std::size_t g_program_ir_builds = 0;
+// See ProgramIrBuildCount(); atomic because parallel drivers may build
+// distinct programs' IRs concurrently — the tests that diff the counter
+// only ever do so around single-threaded sections, so relaxed ordering
+// is enough.
+std::atomic<std::size_t> g_program_ir_builds{0};
 
 }  // namespace
 
 ProgramIr ProgramIr::FromProgram(const Program& program) {
-  ++g_program_ir_builds;
+  g_program_ir_builds.fetch_add(1, std::memory_order_relaxed);
   ProgramIr out;
   for (const Rule& rule : program.rules()) out.AddRule(rule);
   return out;
 }
 
 ProgramIr ProgramIr::FromUnion(const UnionOfCqs& ucq) {
-  ++g_program_ir_builds;
+  g_program_ir_builds.fetch_add(1, std::memory_order_relaxed);
   ProgramIr out;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) out.AddDisjunct(cq);
   return out;
 }
 
 std::shared_ptr<ProgramIr> CarriedIr(const Program& program) {
-  if (program.carried_ir_ == nullptr) {
-    program.carried_ir_ =
-        std::make_shared<ProgramIr>(ProgramIr::FromProgram(program));
-  }
-  return program.carried_ir_;
+  return program.carried_ir_.GetOrBuild([&] {
+    return std::make_shared<ProgramIr>(ProgramIr::FromProgram(program));
+  });
 }
 
 std::shared_ptr<ProgramIr> CarriedIr(const UnionOfCqs& ucq) {
-  if (ucq.carried_ir_ == nullptr) {
-    ucq.carried_ir_ = std::make_shared<ProgramIr>(ProgramIr::FromUnion(ucq));
-  }
-  return ucq.carried_ir_;
+  return ucq.carried_ir_.GetOrBuild([&] {
+    return std::make_shared<ProgramIr>(ProgramIr::FromUnion(ucq));
+  });
 }
 
-std::size_t ProgramIrBuildCount() { return g_program_ir_builds; }
+std::size_t ProgramIrBuildCount() {
+  return g_program_ir_builds.load(std::memory_order_relaxed);
+}
 
 TermId ProgramIr::InternTerm(const Term& term) {
   if (term.is_variable()) {

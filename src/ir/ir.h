@@ -274,26 +274,33 @@ class ProgramIr {
 // AST→IR interning pass once, not per call
 // (ContainmentStats::program_ir_builds tracks the passes a Decide paid).
 //
-// The carried object is shared *mutable* state with an append-only
-// contract: holders may intern additional names into its dictionaries
-// (the decider folds each Θ's predicates and constants in), which never
-// invalidates existing ids, but must never add or change rules, atoms,
-// or disjuncts. Copies of the carrier share the cache (their rules are
-// equal at copy time). Not thread-safe: concurrent CarriedIr calls or
-// dictionary fold-ins on the same object race.
+// The slot is build-once (a std::once_flag inside util/build_once.h):
+// any number of threads may call CarriedIr on the same const carrier
+// concurrently — exactly one builds, everyone gets the same pointer.
+// That makes the returned object shared *immutable* state, with
+// copy-on-fold semantics for holders that need to extend it: a holder
+// that wants to intern additional names into the dictionaries (the
+// decider folds each Θ's predicates and constants in) must take its own
+// ProgramIr copy and fold into that (see ContainmentChecker::Context) —
+// folding into the shared object would race with concurrent readers.
+// Copies of the carrier share the cache (their rules are equal at copy
+// time); mutating a carrier still requires external synchronization,
+// like any C++ object.
 
 /// The carried IR of `program`, built with ProgramIr::FromProgram and
-/// attached on first use.
+/// attached on first use. Safe to call concurrently on a shared const
+/// Program.
 std::shared_ptr<ProgramIr> CarriedIr(const Program& program);
 
 /// The carried IR of `ucq`, built with ProgramIr::FromUnion and attached
-/// on first use.
+/// on first use. Safe to call concurrently on a shared const UnionOfCqs.
 std::shared_ptr<ProgramIr> CarriedIr(const UnionOfCqs& ucq);
 
 /// Process-wide count of full AST→IR interning passes (FromProgram /
 /// FromUnion calls). The carried-IR cache exists to hold this flat
 /// across repeated Decide/minimize/unfold calls; tests pin that by
-/// diffing the counter. Not thread-safe (like the rest of this layer).
+/// diffing the counter (around single-threaded sections — the counter
+/// itself is atomic).
 std::size_t ProgramIrBuildCount();
 
 }  // namespace ir

@@ -1,0 +1,79 @@
+// A copyable, thread-safe build-once cache slot.
+//
+// BuildOnceSlot<T> is the substrate of the carried program IR
+// (ir::CarriedIr): Program and UnionOfCqs each embed one, and the first
+// accessor builds the shared value under a std::once_flag — so parallel
+// drivers (the engine's worker pool, the canonical-database disjunct
+// fan-out) can race on the first access of a shared carrier without
+// double-building or tearing the pointer.
+//
+// Concurrency contract: any number of threads may call GetOrBuild and
+// built() on the same slot concurrently. Reset (and copy/move *of the
+// slot itself*) are mutations and need external synchronization, exactly
+// like mutating the carrier object they live in.
+#ifndef DATALOG_EQ_SRC_UTIL_BUILD_ONCE_H_
+#define DATALOG_EQ_SRC_UTIL_BUILD_ONCE_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace datalog {
+
+template <typename T>
+class BuildOnceSlot {
+ public:
+  BuildOnceSlot() : state_(std::make_shared<State>()) {}
+
+  // Copies share the built value and the once flag (the carriers'
+  // semantics: a copied Program shares its source's cache until either
+  // side mutates). A moved-from slot re-initializes to an empty state so
+  // the source object stays usable.
+  BuildOnceSlot(const BuildOnceSlot& other) = default;
+  BuildOnceSlot& operator=(const BuildOnceSlot& other) = default;
+  BuildOnceSlot(BuildOnceSlot&& other) noexcept
+      : state_(std::move(other.state_)) {
+    other.state_ = std::make_shared<State>();
+  }
+  BuildOnceSlot& operator=(BuildOnceSlot&& other) noexcept {
+    state_ = std::move(other.state_);
+    other.state_ = std::make_shared<State>();
+    return *this;
+  }
+
+  /// The cached value, building it with `build` (a callable returning
+  /// std::shared_ptr<T>) on the first call. Concurrent callers block
+  /// until the one builder finishes; all receive the same pointer
+  /// (std::call_once publishes the write).
+  template <typename Builder>
+  std::shared_ptr<T> GetOrBuild(Builder&& build) const {
+    // Pin the state locally: a concurrent Reset on *another copy* of
+    // the carrier can drop its own reference without invalidating ours.
+    std::shared_ptr<State> state = state_;
+    std::call_once(state->once, [&] {
+      std::atomic_store(&state->value, build());
+    });
+    return state->value;
+  }
+
+  /// True once a value has been built and not Reset since. Safe to call
+  /// concurrently with GetOrBuild (the peek is atomic), but a true/false
+  /// answer racing an in-flight build is naturally stale.
+  bool built() const { return std::atomic_load(&state_->value) != nullptr; }
+
+  /// Drops the cached value by giving this slot a fresh state; other
+  /// copies of the slot keep the old value. Mutation — requires the same
+  /// external synchronization as mutating the owning carrier.
+  void Reset() { state_ = std::make_shared<State>(); }
+
+ private:
+  struct State {
+    std::once_flag once;
+    std::shared_ptr<T> value;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_BUILD_ONCE_H_

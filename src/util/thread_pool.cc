@@ -1,0 +1,79 @@
+#include "src/util/thread_pool.h"
+
+namespace datalog {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread is one of the batch's executors.
+  for (std::size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job;
+    std::size_t size;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      size = job_size_;
+    }
+    for (std::size_t i = next_.fetch_add(1); i < size;
+         i = next_.fetch_add(1)) {
+      (*job)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // ParallelFor holds the batch open until every worker has checked
+      // in exactly once for this generation, so `job_` cannot be
+      // republished while any worker still runs the old one.
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace datalog

@@ -1,0 +1,75 @@
+// A reusable fixed-size worker pool for data-parallel loops.
+//
+// The pool is the execution substrate for the engine's parallel fixpoint
+// rounds (src/engine/eval.cc) and the canonical-database drivers that
+// loop independent evaluations (src/containment/ucq_in_datalog.cc): the
+// owner creates one pool, then issues any number of ParallelFor batches
+// against it — workers park on a condition variable between batches, so
+// a fixpoint with hundreds of rounds pays the thread-spawn cost once.
+//
+// Scheduling is dynamic (workers pull indexes from a shared atomic
+// counter), so callers must not depend on which thread runs which index.
+// Determinism is the caller's job and is achieved by indexing all
+// outputs by task id, never by thread: see "Parallel evaluation" in
+// docs/engine.md for the argument the engine builds on top of this.
+#ifndef DATALOG_EQ_SRC_UTIL_THREAD_POOL_H_
+#define DATALOG_EQ_SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datalog {
+
+class ThreadPool {
+ public:
+  /// A pool with `num_threads`-way parallelism. The calling thread
+  /// participates in every batch, so `num_threads - 1` workers are
+  /// spawned; a pool of 1 spawns nothing and ParallelFor degenerates to
+  /// an inline loop. Values below 1 are clamped to 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (spawned workers plus the calling thread).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(i)` for every i in [0, n), distributing indexes across the
+  /// workers and the calling thread; returns when all n calls have
+  /// completed. `fn` must not throw and must not call ParallelFor on
+  /// this pool (batches do not nest). Distinct indexes run concurrently,
+  /// so fn must only write state owned by its index.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with the "unknown" value 0
+  /// clamped to 1 — the resolution of EvalOptions::num_threads == 0.
+  static std::size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here between batches
+  std::condition_variable done_cv_;  // ParallelFor waits for the batch
+  // The current batch, published under mu_ and identified by a
+  // generation counter so late-waking workers never rerun an old batch.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;  // workers still inside the current batch
+  bool shutdown_ = false;
+  // Next unclaimed index of the current batch (dynamic scheduling).
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_UTIL_THREAD_POOL_H_

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/containment/equivalence.h"
 #include "src/containment/ucq_in_datalog.h"
 #include "src/cq/canonical_db.h"
 #include "src/engine/database.h"
@@ -136,6 +137,101 @@ TEST(CanonicalDbBridgeTest, ContainmentVerdictsAgreeAcrossArms) {
   ASSERT_TRUE(all_ir.ok() && all_str.ok());
   EXPECT_EQ(*all_ir, *all_str);
   EXPECT_EQ(failing_ir, failing_str);
+}
+
+TEST(CanonicalDbBridgeTest, DisjunctLevelCallReusesCarriedUnionIr) {
+  // The entry for drivers that loop single CQs: checking disjuncts
+  // through the union pays one interning pass for the whole loop —
+  // not a throwaway singleton IR per call — and agrees with the
+  // bare-CQ call disjunct for disjunct.
+  Program tc = TransitiveClosureProgram("e", "e");
+  UnionOfCqs theta = PathQueries(3);
+  theta.Add(MustParseCq("p(X, Y) :- ."));
+  ir::CarriedIr(theta);  // prime the carrier
+  const std::size_t builds_before = ir::ProgramIrBuildCount();
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    StatusOr<bool> via_union =
+        IsUcqDisjunctContainedInDatalog(theta, i, tc, "p");
+    StatusOr<bool> via_cq =
+        IsCqContainedInDatalog(theta.disjuncts()[i], tc, "p");
+    ASSERT_TRUE(via_union.ok() && via_cq.ok());
+    EXPECT_EQ(*via_union, *via_cq) << theta.disjuncts()[i].ToString();
+  }
+  EXPECT_EQ(ir::ProgramIrBuildCount(), builds_before);
+}
+
+TEST(CanonicalDbBridgeTest, ParallelDriversMatchSerialVerdicts) {
+  // The decider differential with a parallel engine underneath: the
+  // union-level driver at several thread counts — which exercises both
+  // the disjunct fan-out and, via num_threads on a single-disjunct
+  // union, the engine's staged parallel rounds — must reproduce the
+  // serial verdicts, failing-disjunct indexes, and per-relation facts.
+  Program tc = TransitiveClosureProgram("e", "e");
+  struct Case {
+    const char* name;
+    UnionOfCqs theta;
+  };
+  std::vector<Case> cases;
+  {
+    cases.push_back({"contained", PathQueries(3)});
+    UnionOfCqs mixed = PathQueries(2);
+    mixed.Add(MustParseCq("p(X, Y) :- f(X, Y)."));  // first failure: index 2
+    mixed.Add(MustParseCq("p(X, Y) :- g(X, Y)."));
+    cases.push_back({"fails_mid_union", mixed});
+    UnionOfCqs single;
+    single.Add(MustParseCq("p(X, Y) :- e(X, Z), e(Z, Y)."));
+    cases.push_back({"single_disjunct", single});
+  }
+  for (Case& c : cases) {
+    std::size_t serial_failing = 999;
+    EvalStats serial_stats;
+    StatusOr<bool> serial = IsUcqContainedInDatalog(
+        c.theta, tc, "p", &serial_stats, CanonicalDbOptions(),
+        &serial_failing);
+    ASSERT_TRUE(serial.ok()) << c.name;
+    for (int threads : {2, 4, 0}) {
+      for (bool use_ir : {true, false}) {
+        CanonicalDbOptions options;
+        options.use_ir = use_ir;
+        options.eval.num_threads = threads;
+        std::size_t failing = 999;
+        EvalStats stats;
+        StatusOr<bool> parallel = IsUcqContainedInDatalog(
+            c.theta, tc, "p", &stats, options, &failing);
+        ASSERT_TRUE(parallel.ok()) << c.name;
+        EXPECT_EQ(*parallel, *serial)
+            << c.name << " threads=" << threads << " use_ir=" << use_ir;
+        EXPECT_EQ(failing, serial_failing)
+            << c.name << " threads=" << threads << " use_ir=" << use_ir;
+        EXPECT_EQ(stats.facts_derived, serial_stats.facts_derived)
+            << c.name << " threads=" << threads << " use_ir=" << use_ir;
+      }
+    }
+  }
+}
+
+TEST(CanonicalDbBridgeTest, ParallelBackwardEquivalenceMatchesSerial) {
+  // The full rec/nonrec equivalence pipeline with the parallel
+  // canonical-database backward direction underneath.
+  EquivalenceOptions parallel;
+  parallel.canonical_db.eval.num_threads = 4;
+  for (bool positive : {true, false}) {
+    Program rec = positive ? Buys1Program() : Buys2Program();
+    Program nonrec =
+        positive ? Buys1NonrecursiveProgram() : Buys2NonrecursiveProgram();
+    StatusOr<EquivalenceResult> serial =
+        DecideRecNonrecEquivalence(rec, "buys", nonrec, "buys");
+    StatusOr<EquivalenceResult> par = DecideRecNonrecEquivalence(
+        rec, "buys", nonrec, "buys", parallel);
+    ASSERT_TRUE(serial.ok() && par.ok());
+    EXPECT_EQ(par->equivalent, serial->equivalent);
+    EXPECT_EQ(par->forward_contained, serial->forward_contained);
+    EXPECT_EQ(par->backward_contained, serial->backward_contained);
+    EXPECT_EQ(par->backward_counterexample.has_value(),
+              serial->backward_counterexample.has_value());
+    EXPECT_EQ(par->backward_eval_stats.facts_derived,
+              serial->backward_eval_stats.facts_derived);
+  }
 }
 
 TEST(CanonicalDbBridgeTest, UnionCallReusesCarriedIr) {

@@ -7,10 +7,12 @@
 // magnitude on the transitive-closure workload.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/engine/eval.h"
+#include "src/engine/index.h"
 #include "src/engine/random_db.h"
 #include "src/generators/examples.h"
 #include "src/util/strings.h"
@@ -120,6 +122,199 @@ TEST(EvalIndexTest, IndexedJoinsCutProbesTenfoldOnTransitiveClosure) {
   EXPECT_GT(indexed_stats.tuples_indexed, 0u);
   EXPECT_EQ(scan_stats.index_probes, 0u);
   EXPECT_EQ(scan_stats.tuples_indexed, 0u);
+}
+
+// The parallel determinism suite: for every engine configuration
+// (naive/semi-naive × index × reorder) and every thread count, staged
+// parallel rounds must compute the identical fixpoint — the same
+// relations with the same tuples (compared via the sorted rendering)
+// and the same count of derived facts — as the serial engine. Shard
+// counts are swept too, including the degenerate single shard.
+class ParallelEvalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEvalPropertyTest, ThreadCountsAgreeOnTheFixpoint) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  RandomDbOptions db_options;
+  db_options.seed = seed + 101;
+  db_options.domain_size = 4;
+  db_options.tuples_per_relation = 6;
+  const struct {
+    bool semi_naive;
+    bool use_index;
+    bool reorder_joins;
+  } configs[] = {
+      {false, true, true},   // naive, indexed + reordered
+      {true, false, false},  // semi-naive scan engine
+      {true, true, false},   // indexes without reordering
+      {true, false, true},   // reordering without indexes
+      {true, true, true},    // the full indexed engine (default)
+  };
+  const struct {
+    int num_threads;
+    int num_shards;
+  } arms[] = {
+      {2, 0}, {4, 0}, {0, 0},  // 0 = hardware concurrency
+      {2, 1}, {4, 7},          // degenerate and odd shard counts
+  };
+  for (ExampleProgram& example : ExamplePrograms()) {
+    Database edb = RandomDatabaseFor(example.program, db_options);
+    for (const auto& config : configs) {
+      EvalOptions serial = Configure(config.semi_naive, config.use_index,
+                                     config.reorder_joins);
+      EvalStats serial_stats;
+      StatusOr<Database> reference =
+          EvaluateProgram(example.program, edb, serial, &serial_stats);
+      ASSERT_TRUE(reference.ok()) << example.name << ": "
+                                  << reference.status();
+      const std::string rendered = reference->ToString();
+      for (const auto& arm : arms) {
+        EvalOptions parallel = serial;
+        parallel.num_threads = arm.num_threads;
+        parallel.num_shards = arm.num_shards;
+        EvalStats parallel_stats;
+        StatusOr<Database> result =
+            EvaluateProgram(example.program, edb, parallel, &parallel_stats);
+        ASSERT_TRUE(result.ok()) << example.name << ": " << result.status();
+        EXPECT_EQ(result->ToString(), rendered)
+            << example.name << " seed " << seed << " diverges at"
+            << " num_threads=" << arm.num_threads
+            << " num_shards=" << arm.num_shards
+            << " semi_naive=" << config.semi_naive
+            << " use_index=" << config.use_index
+            << " reorder_joins=" << config.reorder_joins;
+        EXPECT_EQ(parallel_stats.facts_derived, serial_stats.facts_derived)
+            << example.name << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEdbs, ParallelEvalPropertyTest,
+                         ::testing::Range(0, 6));
+
+// A fixed thread count must also be deterministic run-to-run: same
+// relations *in the same row order*, regardless of scheduling. The
+// rendering is order-insensitive, so compare the raw row sequences.
+TEST(ParallelEvalTest, RepeatedRunsProduceIdenticalRowOrder) {
+  Program tc = NonlinearTransitiveClosureProgram();
+  Database db;
+  for (int i = 0; i < 24; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  EvalOptions options;
+  options.num_threads = 4;
+  StatusOr<Database> first = EvaluateProgram(tc, db, options);
+  ASSERT_TRUE(first.ok());
+  PredicateId p = first->predicates().Lookup("p");
+  ASSERT_NE(p, kNoPredicate);
+  for (int run = 0; run < 3; ++run) {
+    StatusOr<Database> again = EvaluateProgram(tc, db, options);
+    ASSERT_TRUE(again.ok());
+    const Relation& a = first->RelationOf(p);
+    const Relation& b = again->RelationOf(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t row = 0; row < a.size(); ++row) {
+      ASSERT_EQ(a.RowTuple(row), b.RowTuple(row)) << "row " << row;
+    }
+  }
+}
+
+TEST(ParallelEvalTest, ParallelStatsCountRoundsStagingAndCollisions) {
+  // Nonlinear TC derives the same path through many rule matches, so
+  // staged duplicates (merge collisions) must show up; the serial run
+  // must report none of the parallel counters.
+  Program tc = NonlinearTransitiveClosureProgram();
+  Database db;
+  for (int i = 0; i < 16; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  EvalOptions parallel;
+  parallel.num_threads = 2;
+  EvalStats par_stats;
+  ASSERT_TRUE(EvaluateProgram(tc, db, parallel, &par_stats).ok());
+  EXPECT_GT(par_stats.rounds_parallel, 0);
+  EXPECT_EQ(par_stats.rounds_parallel, par_stats.iterations);
+  EXPECT_GT(par_stats.tuples_staged, 0u);
+  EXPECT_GT(par_stats.merge_collisions, 0u);
+  EXPECT_EQ(par_stats.tuples_staged - par_stats.merge_collisions,
+            par_stats.facts_derived);
+  EvalStats serial_stats;
+  ASSERT_TRUE(EvaluateProgram(tc, db, EvalOptions(), &serial_stats).ok());
+  EXPECT_EQ(serial_stats.rounds_parallel, 0);
+  EXPECT_EQ(serial_stats.tuples_staged, 0u);
+  EXPECT_EQ(serial_stats.merge_collisions, 0u);
+  EXPECT_EQ(serial_stats.facts_derived, par_stats.facts_derived);
+}
+
+TEST(ParallelEvalTest, DerivedFactLimitStillAborts) {
+  Program tc = NonlinearTransitiveClosureProgram();
+  Database db;
+  for (int i = 0; i < 32; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  EvalOptions options;
+  options.num_threads = 4;
+  options.max_derived_facts = 50;
+  StatusOr<Database> result = EvaluateProgram(tc, db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- the BucketArena chunk-id directory (hub-bucket delta seeks) -------
+
+// SkipBelow through a hub bucket (past the directory threshold) must
+// agree with plain iteration for every watermark, including chunk
+// boundaries, mid-chunk positions, and past-the-end.
+TEST(BucketArenaTest, DirectorySeeksMatchLinearIterationOnHubBuckets) {
+  BucketArena arena;
+  const std::uint32_t hub = arena.NewBucket();
+  const std::uint32_t small = arena.NewBucket();
+  // Interleave appends so the hub's chunks are not contiguous in the
+  // arena, and give rows gaps so watermarks can fall between them.
+  std::vector<std::uint32_t> hub_rows;
+  for (std::uint32_t i = 0; i < 40 * BucketArena::kChunkRows; ++i) {
+    arena.Append(hub, 3 * i);
+    hub_rows.push_back(3 * i);
+    // The small bucket stays below the directory threshold.
+    if (i < 2 * BucketArena::kChunkRows) arena.Append(small, i);
+  }
+  ASSERT_NE(arena.directory(arena.bucket(hub)), nullptr);
+  EXPECT_EQ(arena.directory(arena.bucket(hub))->size(), 40u);
+  EXPECT_EQ(arena.directory(arena.bucket(small)), nullptr);
+  const std::uint32_t last = hub_rows.back();
+  for (std::uint32_t watermark :
+       {0u, 1u, 3u, 41u, 42u,
+        static_cast<std::uint32_t>(3 * BucketArena::kChunkRows),
+        static_cast<std::uint32_t>(3 * BucketArena::kChunkRows - 1), 601u,
+        last, last + 1, last + 100}) {
+    ColumnIndex::BucketView view(&arena, &arena.bucket(hub));
+    ColumnIndex::BucketView::Iterator it = view.begin();
+    it.SkipBelow(watermark);
+    std::vector<std::uint32_t> seen;
+    for (; !it.done(); it.Next()) seen.push_back(it.row());
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t row : hub_rows) {
+      if (row >= watermark) expected.push_back(row);
+    }
+    EXPECT_EQ(seen, expected) << "watermark " << watermark;
+  }
+}
+
+// An iterator that has already advanced past the start must keep the
+// monotone linear behavior (SkipBelow never moves backwards).
+TEST(BucketArenaTest, SkipBelowOnAdvancedIteratorStaysMonotone) {
+  BucketArena arena;
+  const std::uint32_t hub = arena.NewBucket();
+  for (std::uint32_t i = 0; i < 20 * BucketArena::kChunkRows; ++i) {
+    arena.Append(hub, i);
+  }
+  ColumnIndex::BucketView view(&arena, &arena.bucket(hub));
+  ColumnIndex::BucketView::Iterator it = view.begin();
+  for (int i = 0; i < 50; ++i) it.Next();
+  it.SkipBelow(10);  // already past 10: must not move backwards
+  EXPECT_EQ(it.row(), 50u);
+  it.SkipBelow(200);
+  EXPECT_EQ(it.row(), 200u);
 }
 
 // The projection-pushing leg: when a join variable is dead downstream

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/ast/rule.h"
@@ -182,14 +184,69 @@ TEST(CarriedIrTest, UnionCachesAndInvalidatesOnMutation) {
   EXPECT_FALSE(ucq.has_carried_ir());
 }
 
-TEST(CarriedIrTest, AppendOnlyFoldInsKeepDecodedProgramIntact) {
-  // Holders may intern extra names into the carried dictionaries (the
-  // decider folds Θ in); the decoded program must not change.
+TEST(CarriedIrTest, CopyOnFoldLeavesTheSharedIrUntouched) {
+  // The carried IR is shared immutable state; a holder that needs to
+  // intern extra names (the decider folds Θ in) takes a private copy
+  // and folds into that. The copy is id-for-id — existing ids carry
+  // over — and the shared object's dictionaries never grow.
   Program program = MustParseProgram("p(X) :- e(X, c0).");
   std::shared_ptr<ir::ProgramIr> carried = ir::CarriedIr(program);
-  carried->predicates().Intern("brand_new_predicate");
-  carried->constants().Intern("brand_new_constant");
+  const std::size_t shared_preds = carried->predicates().size();
+  const std::size_t shared_consts = carried->constants().size();
+  const std::size_t builds_before = ir::ProgramIrBuildCount();
+  ir::ProgramIr folded = *carried;  // copy-on-fold: not an interning pass
+  EXPECT_EQ(ir::ProgramIrBuildCount(), builds_before);
+  std::uint32_t new_pred = folded.predicates().Intern("brand_new_predicate");
+  folded.constants().Intern("brand_new_constant");
+  EXPECT_EQ(folded.predicates().Find("p"), carried->predicates().Find("p"));
+  EXPECT_EQ(folded.constants().Find("c0"), carried->constants().Find("c0"));
+  EXPECT_EQ(new_pred, shared_preds);  // appended past the shared ids
+  EXPECT_EQ(carried->predicates().size(), shared_preds);
+  EXPECT_EQ(carried->constants().size(), shared_consts);
+  // Both decode back to the same program (fold-ins add no structure).
   EXPECT_TRUE(carried->ToProgram() == program);
+  EXPECT_TRUE(folded.ToProgram() == program);
+}
+
+TEST(CarriedIrTest, ConcurrentFirstAccessBuildsOnce) {
+  // The slot is build-once: threads racing on the first CarriedIr call
+  // of a shared const Program all get the same object, and exactly one
+  // interning pass runs. (The TSan CI job runs this with real threads.)
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    p(X, Y) :- e(X, Y).
+  )");
+  const std::size_t builds_before = ir::ProgramIrBuildCount();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<ir::ProgramIr>> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&, t] { seen[t] = ir::CarriedIr(program); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(ir::ProgramIrBuildCount(), builds_before + 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].get(), seen[0].get());
+  }
+  EXPECT_TRUE(seen[0]->ToProgram() == program);
+
+  UnionOfCqs ucq;
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  ucq.Add(MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y)."));
+  std::vector<std::shared_ptr<ir::ProgramIr>> useen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { useen[t] = ir::CarriedIr(ucq); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(useen[t].get(), useen[0].get());
+  }
 }
 
 }  // namespace

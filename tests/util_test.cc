@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "src/util/scc.h"
 #include "src/util/status.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 #include "src/util/union_find.h"
 
 namespace datalog {
@@ -219,6 +221,41 @@ TEST(IterationTest, SubsetMasks) {
     return true;
   });
   EXPECT_EQ(count, 16);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  // The fixpoint-round usage pattern: one pool, many small batches.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(7, [&](std::size_t i) { total.fetch_add(i + 1); });
+  }
+  EXPECT_EQ(total.load(), 200u * (7u * 8u / 2u));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::size_t sum = 0;  // no atomics needed: everything runs on the caller
+  pool.ParallelFor(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+  pool.ParallelFor(0, [&](std::size_t) { ADD_FAILURE() << "n=0 ran"; });
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <random>
 
+#include "src/automata/nfa.h"
 #include "src/containment/decider.h"
 #include "src/containment/linear.h"
 #include "src/containment/ptrees_automaton.h"
@@ -384,6 +386,92 @@ BENCHMARK(BM_DeciderTcPathsCheckerReuse)
     ->Args({7, 1})
     ->Args({7, 0});
 
+// --- word-parallel bitset substrate (PR 6) -----------------------------
+//
+// The decider's achieved sets and the automata containment frontiers now
+// run on Bitset/AntichainStore kernels; Arg(1) selects the substrate —
+// 1 = bitsets (default), 0 = the Bloom-signature + sorted-vector path
+// they replaced (the ablation arm).
+
+// Deep nonlinear recursion drives many achieved sets per goal, so the
+// antichain's subset testing dominates; the word-parallel kernels and
+// the popcount-bucket/fold-signature candidate filter carry the win.
+// Arg(0) is the PathQueries depth; {4, *} is the wide-achieved-set
+// stress case (hundreds of interned pairs per set).
+void BM_DeciderAchievedAntichain(benchmark::State& state) {
+  Program nl = NonlinearTransitiveClosureProgram();
+  UnionOfCqs theta = PathQueries(static_cast<int>(state.range(0)));
+  theta.Add(ConjunctiveQuery(
+      {Term::Variable("X"), Term::Variable("Y")}, {}));  // universal CQ
+  ContainmentOptions options;
+  options.track_witness = false;
+  options.use_bitsets = state.range(1) != 0;
+  ContainmentStats stats;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(nl, "p", theta, options);
+    DATALOG_CHECK(decision.ok());
+    DATALOG_CHECK(decision->contained);
+    stats = decision->stats;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["states"] = static_cast<double>(stats.states_discovered);
+  state.counters["subset_checks"] =
+      static_cast<double>(stats.subset_checks);
+  state.counters["prunes"] = static_cast<double>(stats.antichain_prunes);
+  state.counters["word_ops"] = static_cast<double>(stats.subset_word_ops);
+}
+BENCHMARK(BM_DeciderAchievedAntichain)
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({3, 1})
+    ->Args({3, 0})
+    ->Args({4, 1})
+    ->Args({4, 0});
+
+// Self-containment of a dense random NFA: subset frontiers span a large
+// fraction of the state space, so successor-set construction (unions)
+// and the per-dequeue visited-store subset tests dominate — the
+// workload the word-parallel kernels target. Both arms explore the
+// identical (state, subset) sequence (the differential suite pins
+// this), so the time ratio isolates the representation. Arg(0) = number
+// of states; Arg(2) = antichain pruning (0 = exact-store ablation arm).
+void BM_NfaContainmentBitset(benchmark::State& state) {
+  const int states = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(7);
+  Nfa nfa(states, 2);
+  nfa.SetInitial(0);
+  for (int s = 0; s < states; ++s) {
+    if (s % 5 == 0) nfa.SetAccepting(s);
+    for (int symbol = 0; symbol < 2; ++symbol) {
+      for (int d = 0; d < 3; ++d) {
+        nfa.AddTransition(s, symbol, static_cast<int>(rng() % states));
+      }
+    }
+  }
+  Nfa::ContainmentOptions options;
+  options.use_bitsets = state.range(1) != 0;
+  options.antichain = state.range(2) != 0;
+  std::size_t explored = 0;
+  for (auto _ : state) {
+    StatusOr<Nfa::ContainmentResult> result =
+        Nfa::Contains(nfa, nfa, options);
+    DATALOG_CHECK(result.ok());
+    DATALOG_CHECK(result->contained);
+    explored = result->explored;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["explored"] = static_cast<double>(explored);
+}
+BENCHMARK(BM_NfaContainmentBitset)
+    ->Args({64, 1, 1})
+    ->Args({64, 0, 1})
+    ->Args({128, 1, 1})
+    ->Args({128, 0, 1})
+    ->Args({64, 1, 0})
+    ->Args({64, 0, 0})
+    ->Unit(benchmark::kMicrosecond);
+
 // --- explicit automata constructions (PR 4 ports) ----------------------
 //
 // The ptrees automaton and the linear word-automaton decider now stamp
@@ -402,7 +490,7 @@ void BM_PtreesAutomaton(benchmark::State& state) {
     StatusOr<PtreesAutomaton> automaton =
         BuildPtreesAutomaton(program, "p", 50'000'000, use_ir);
     DATALOG_CHECK(automaton.ok());
-    labels = automaton->alphabet.labels.size();
+    labels = automaton->alphabet.num_labels();
     states = automaton->nfta.num_states();
     benchmark::DoNotOptimize(automaton);
   }

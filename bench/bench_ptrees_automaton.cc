@@ -24,7 +24,7 @@ void BM_PtreesAutomatonVsRuleWidth(benchmark::State& state) {
     StatusOr<PtreesAutomaton> automaton =
         BuildPtreesAutomaton(program, "p", 50'000'000);
     DATALOG_CHECK(automaton.ok()) << automaton.status();
-    labels = automaton->alphabet.labels.size();
+    labels = automaton->alphabet.num_labels();
     states = automaton->nfta.num_states();
     benchmark::DoNotOptimize(automaton);
   }
@@ -52,7 +52,7 @@ void BM_PtreesAutomatonVsRuleCount(benchmark::State& state) {
     StatusOr<PtreesAutomaton> automaton =
         BuildPtreesAutomaton(program, "p", 50'000'000);
     DATALOG_CHECK(automaton.ok());
-    labels = automaton->alphabet.labels.size();
+    labels = automaton->alphabet.num_labels();
     benchmark::DoNotOptimize(automaton);
   }
   state.counters["alphabet"] = static_cast<double>(labels);

@@ -5,8 +5,10 @@
 #include <map>
 #include <queue>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "src/util/bitset.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -14,7 +16,8 @@
 namespace datalog {
 namespace {
 
-// Sorted-vector subset representation used by the subset constructions.
+// Sorted-vector subset representation, kept for the use_bitsets=false
+// ablation arm of Contains (the word-parallel paths run on Bitset).
 using StateSet = std::vector<int>;
 
 StateSet SortedUnique(StateSet set) {
@@ -64,20 +67,24 @@ std::size_t Nfa::NumTransitions() const {
 }
 
 bool Nfa::Accepts(const std::vector<int>& word) const {
-  StateSet current;
+  // Word-parallel frontier: one Bitset over the state universe, advanced
+  // symbol by symbol.
+  Bitset current(num_states_);
+  Bitset accepting(num_states_);
   for (std::size_t s = 0; s < num_states_; ++s) {
-    if (initial_[s]) current.push_back(static_cast<int>(s));
+    if (initial_[s]) current.Set(s);
+    if (accepting_[s]) accepting.Set(s);
   }
+  Bitset next(num_states_);
   for (int symbol : word) {
-    StateSet next;
-    for (int s : current) {
-      for (int t : delta_[s][symbol]) next.push_back(t);
-    }
-    current = SortedUnique(std::move(next));
-    if (current.empty()) return false;
+    next.Clear();
+    current.ForEachSetBit([&](std::size_t s) {
+      for (int t : delta_[s][symbol]) next.Set(static_cast<std::size_t>(t));
+    });
+    std::swap(current, next);
+    if (current.None()) return false;
   }
-  return std::any_of(current.begin(), current.end(),
-                     [this](int s) { return accepting_[s]; });
+  return current.Intersects(accepting);
 }
 
 bool Nfa::IsEmpty() const { return !ShortestWord().has_value(); }
@@ -183,40 +190,45 @@ Nfa Nfa::Intersection(const Nfa& a, const Nfa& b) {
 }
 
 StatusOr<Nfa> Nfa::Determinize(std::size_t max_states) const {
-  std::map<StateSet, int> ids;
-  std::deque<StateSet> queue;
+  // Subsets are Bitsets interned by hash; ids are assigned at first
+  // encounter in BFS order, so state numbering matches the discovery
+  // order regardless of the interning container.
+  std::unordered_map<Bitset, int, BitsetHash> ids;
+  std::deque<Bitset> queue;
   Nfa result(0, num_symbols_);
-  auto intern = [&](StateSet set) -> int {
+  Bitset accepting(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (accepting_[s]) accepting.Set(s);
+  }
+  auto intern = [&](Bitset set) -> int {
     auto [it, inserted] = ids.emplace(std::move(set), -1);
     if (inserted) {
       it->second = result.AddState();
-      bool accepting = std::any_of(it->first.begin(), it->first.end(),
-                                   [this](int s) { return accepting_[s]; });
-      result.accepting_[it->second] = accepting;
+      result.accepting_[it->second] = it->first.Intersects(accepting);
       queue.push_back(it->first);
     }
     return it->second;
   };
-  StateSet start;
+  Bitset start(num_states_);
   for (std::size_t s = 0; s < num_states_; ++s) {
-    if (initial_[s]) start.push_back(static_cast<int>(s));
+    if (initial_[s]) start.Set(s);
   }
-  int start_id = intern(SortedUnique(std::move(start)));
+  int start_id = intern(std::move(start));
   result.initial_[start_id] = true;
   while (!queue.empty()) {
     if (ids.size() > max_states) {
       return Status(ResourceExhaustedError(
           StrCat("determinization exceeded ", max_states, " states")));
     }
-    StateSet current = queue.front();
+    Bitset current = std::move(queue.front());
     queue.pop_front();
     int from = ids.at(current);
     for (std::size_t sym = 0; sym < num_symbols_; ++sym) {
-      StateSet next;
-      for (int s : current) {
-        for (int t : delta_[s][sym]) next.push_back(t);
-      }
-      int to = intern(SortedUnique(std::move(next)));
+      Bitset next(num_states_);
+      current.ForEachSetBit([&](std::size_t s) {
+        for (int t : delta_[s][sym]) next.Set(static_cast<std::size_t>(t));
+      });
+      int to = intern(std::move(next));
       result.delta_[from][sym].push_back(to);
     }
   }
@@ -233,10 +245,82 @@ StatusOr<Nfa> Nfa::Complement(std::size_t max_states) const {
   return result;
 }
 
-StatusOr<Nfa::ContainmentResult> Nfa::Contains(
-    const Nfa& a, const Nfa& b, const ContainmentOptions& options) {
-  DATALOG_CHECK_EQ(a.num_symbols_, b.num_symbols_);
-  ContainmentResult result;
+namespace {
+
+// Word-parallel arm of Contains: subsets of b's states are Bitsets and
+// each a-state's visited family lives in an AntichainStore (kKeepMinimal
+// under antichain pruning, kExact otherwise). Domination verdicts match
+// the sorted-vector arm below exactly — legacy "already covered" is
+// "some visited subset of the candidate exists" (antichain) or equality
+// (plain), which is precisely Dominated()/Insert()-returning-false — so
+// verdicts, counterexamples, and explored counts are byte-identical.
+StatusOr<Nfa::ContainmentResult> ContainsBitset(
+    const Nfa& a, const Nfa& b, const Nfa::ContainmentOptions& options) {
+  Nfa::ContainmentResult result;
+  struct Item {
+    int state;
+    Bitset set;
+    std::vector<int> word;
+  };
+  std::vector<AntichainStore> visited(
+      a.num_states(), AntichainStore(options.antichain
+                                         ? AntichainStore::Mode::kKeepMinimal
+                                         : AntichainStore::Mode::kExact));
+  Bitset b_accepting(b.num_states());
+  for (std::size_t s = 0; s < b.num_states(); ++s) {
+    if (b.IsAccepting(static_cast<int>(s))) b_accepting.Set(s);
+  }
+
+  std::deque<Item> queue;
+  Bitset b_start(b.num_states());
+  for (std::size_t s = 0; s < b.num_states(); ++s) {
+    if (b.IsInitial(static_cast<int>(s))) b_start.Set(s);
+  }
+  for (std::size_t s = 0; s < a.num_states(); ++s) {
+    if (!a.IsInitial(static_cast<int>(s))) continue;
+    queue.push_back({static_cast<int>(s), b_start, {}});
+  }
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    // Insert both probes for a dominating visited subset and prunes the
+    // now-dominated supersets — the covered-check + record pair in one.
+    if (!visited[item.state].Insert(item.set, 0)) continue;
+    if (++result.explored > options.max_explored) {
+      return Status(ResourceExhaustedError(
+          StrCat("containment exceeded ", options.max_explored, " pairs")));
+    }
+    bool a_accepts = a.IsAccepting(item.state);
+    bool b_accepts = item.set.Intersects(b_accepting);
+    if (a_accepts && !b_accepts) {
+      result.contained = false;
+      result.counterexample = item.word;
+      return result;
+    }
+    for (std::size_t sym = 0; sym < a.num_symbols(); ++sym) {
+      Bitset next_set(b.num_states());
+      item.set.ForEachSetBit([&](std::size_t s) {
+        for (int t : b.Successors(static_cast<int>(s),
+                                  static_cast<int>(sym))) {
+          next_set.Set(static_cast<std::size_t>(t));
+        }
+      });
+      for (int t : a.Successors(item.state, static_cast<int>(sym))) {
+        if (visited[t].Dominated(next_set)) continue;
+        Item next{t, next_set, item.word};
+        next.word.push_back(static_cast<int>(sym));
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return result;
+}
+
+// Sorted-vector ablation arm (use_bitsets=false): linear pairwise subset
+// scans over plain vectors, the pre-bitset implementation.
+StatusOr<Nfa::ContainmentResult> ContainsSortedVec(
+    const Nfa& a, const Nfa& b, const Nfa::ContainmentOptions& options) {
+  Nfa::ContainmentResult result;
   // Frontier of (a-state, subset of b-states) with the word that got us
   // there; BFS so counterexamples are shortest.
   struct Item {
@@ -245,7 +329,7 @@ StatusOr<Nfa::ContainmentResult> Nfa::Contains(
     std::vector<int> word;
   };
   // visited[a-state] = antichain (or plain list) of explored b-subsets.
-  std::vector<std::vector<StateSet>> visited(a.num_states_);
+  std::vector<std::vector<StateSet>> visited(a.num_states());
   auto already_covered = [&](int state, const StateSet& set) {
     for (const StateSet& existing : visited[state]) {
       if (options.antichain ? IsSubsetOf(existing, set) : existing == set) {
@@ -269,12 +353,12 @@ StatusOr<Nfa::ContainmentResult> Nfa::Contains(
 
   std::deque<Item> queue;
   StateSet b_start;
-  for (std::size_t s = 0; s < b.num_states_; ++s) {
-    if (b.initial_[s]) b_start.push_back(static_cast<int>(s));
+  for (std::size_t s = 0; s < b.num_states(); ++s) {
+    if (b.IsInitial(static_cast<int>(s))) b_start.push_back(static_cast<int>(s));
   }
   b_start = SortedUnique(std::move(b_start));
-  for (std::size_t s = 0; s < a.num_states_; ++s) {
-    if (!a.initial_[s]) continue;
+  for (std::size_t s = 0; s < a.num_states(); ++s) {
+    if (!a.IsInitial(static_cast<int>(s))) continue;
     queue.push_back({static_cast<int>(s), b_start, {}});
   }
   while (!queue.empty()) {
@@ -286,21 +370,23 @@ StatusOr<Nfa::ContainmentResult> Nfa::Contains(
       return Status(ResourceExhaustedError(
           StrCat("containment exceeded ", options.max_explored, " pairs")));
     }
-    bool a_accepts = a.accepting_[item.state];
+    bool a_accepts = a.IsAccepting(item.state);
     bool b_accepts = std::any_of(item.set.begin(), item.set.end(),
-                                 [&b](int s) { return b.accepting_[s]; });
+                                 [&b](int s) { return b.IsAccepting(s); });
     if (a_accepts && !b_accepts) {
       result.contained = false;
       result.counterexample = item.word;
       return result;
     }
-    for (std::size_t sym = 0; sym < a.num_symbols_; ++sym) {
+    for (std::size_t sym = 0; sym < a.num_symbols(); ++sym) {
       StateSet next_set;
       for (int s : item.set) {
-        for (int t : b.delta_[s][sym]) next_set.push_back(t);
+        for (int t : b.Successors(s, static_cast<int>(sym))) {
+          next_set.push_back(t);
+        }
       }
       next_set = SortedUnique(std::move(next_set));
-      for (int t : a.delta_[item.state][sym]) {
+      for (int t : a.Successors(item.state, static_cast<int>(sym))) {
         if (already_covered(t, next_set)) continue;
         Item next{t, next_set, item.word};
         next.word.push_back(static_cast<int>(sym));
@@ -309,6 +395,15 @@ StatusOr<Nfa::ContainmentResult> Nfa::Contains(
     }
   }
   return result;
+}
+
+}  // namespace
+
+StatusOr<Nfa::ContainmentResult> Nfa::Contains(
+    const Nfa& a, const Nfa& b, const ContainmentOptions& options) {
+  DATALOG_CHECK_EQ(a.num_symbols_, b.num_symbols_);
+  return options.use_bitsets ? ContainsBitset(a, b, options)
+                             : ContainsSortedVec(a, b, options);
 }
 
 StatusOr<Nfa::ContainmentResult> Nfa::Contains(const Nfa& a, const Nfa& b) {

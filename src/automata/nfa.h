@@ -63,6 +63,12 @@ class Nfa {
     bool antichain = true;
     /// Abort with ResourceExhausted beyond this many explored pairs.
     std::size_t max_explored = 10'000'000;
+    /// Run the product on word-parallel Bitset subsets with the visited
+    /// families kept in an AntichainStore (src/util/bitset.h). Disabling
+    /// falls back to the sorted-vector subsets with linear pairwise
+    /// scans (ablation baseline; verdicts, counterexamples, and explored
+    /// counts are identical either way — tests/nfa_test.cc).
+    bool use_bitsets = true;
   };
   struct ContainmentResult {
     bool contained = true;

@@ -4,7 +4,9 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <unordered_map>
 
+#include "src/util/bitset.h"
 #include "src/util/iteration.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -12,6 +14,8 @@
 namespace datalog {
 namespace {
 
+// Sorted-vector subset representation, kept for the use_bitsets=false
+// ablation arm of Contains (the word-parallel paths run on Bitset).
 using StateSet = std::vector<int>;  // sorted, unique
 
 StateSet SortedUnique(StateSet set) {
@@ -86,30 +90,30 @@ void Nfta::SetFinal(int state, bool is_final) { final_[state] = is_final; }
 namespace {
 
 // Computes the subset of states a deterministic-run of `nfta` reaches on
-// `tree`, bottom-up.
-StateSet EvaluateSubset(const Nfta& nfta,
-                        const std::vector<Nfta::Transition>& transitions,
-                        const std::vector<std::vector<std::size_t>>& by_symbol,
-                        const LabeledTree& tree) {
-  std::vector<StateSet> child_sets;
+// `tree`, bottom-up, as a word-parallel Bitset.
+Bitset EvaluateSubset(const Nfta& nfta,
+                      const std::vector<Nfta::Transition>& transitions,
+                      const std::vector<std::vector<std::size_t>>& by_symbol,
+                      const LabeledTree& tree) {
+  std::vector<Bitset> child_sets;
   child_sets.reserve(tree.children.size());
   for (const LabeledTree& child : tree.children) {
     child_sets.push_back(
         EvaluateSubset(nfta, transitions, by_symbol, child));
   }
-  StateSet result;
+  Bitset result(nfta.num_states());
   for (std::size_t index : by_symbol[tree.symbol]) {
     const Nfta::Transition& t = transitions[index];
     bool applies = true;
     for (std::size_t i = 0; i < t.children.size(); ++i) {
-      if (!SetContains(child_sets[i], t.children[i])) {
+      if (!child_sets[i].Test(static_cast<std::size_t>(t.children[i]))) {
         applies = false;
         break;
       }
     }
-    if (applies) result.push_back(t.state);
+    if (applies) result.Set(static_cast<std::size_t>(t.state));
   }
-  return SortedUnique(std::move(result));
+  return result;
 }
 
 }  // namespace
@@ -118,9 +122,12 @@ bool Nfta::Accepts(const LabeledTree& tree) const {
   if (static_cast<std::size_t>(tree.symbol) >= symbol_arity_.size()) {
     return false;
   }
-  StateSet root = EvaluateSubset(*this, transitions_, by_symbol_, tree);
-  return std::any_of(root.begin(), root.end(),
-                     [this](int s) { return final_[s]; });
+  Bitset root = EvaluateSubset(*this, transitions_, by_symbol_, tree);
+  Bitset finals(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (final_[s]) finals.Set(s);
+  }
+  return root.Intersects(finals);
 }
 
 bool Nfta::IsEmpty() const { return !WitnessTree().has_value(); }
@@ -203,17 +210,22 @@ StatusOr<Nfta> Nfta::Determinize(std::size_t max_states) const {
   // Bottom-up subset construction, restricted to reachable subsets but
   // kept complete: for every symbol and every tuple of reachable subsets
   // there is exactly one successor subset (possibly the empty subset).
-  std::map<StateSet, int> ids;
-  std::vector<StateSet> subsets;
+  // Subsets are Bitsets interned by hash; ids are assigned at first
+  // encounter in the deterministic fixpoint order, so state numbering
+  // does not depend on the interning container.
+  std::unordered_map<Bitset, int, BitsetHash> ids;
+  std::vector<Bitset> subsets;
   Nfta result(0, symbol_arity_);
-  auto intern = [&](StateSet set) -> int {
+  Bitset finals(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (final_[s]) finals.Set(s);
+  }
+  auto intern = [&](Bitset set) -> int {
     auto [it, inserted] = ids.emplace(std::move(set), -1);
     if (inserted) {
       it->second = result.AddState();
       subsets.push_back(it->first);
-      bool accepting = std::any_of(it->first.begin(), it->first.end(),
-                                   [this](int s) { return final_[s]; });
-      result.SetFinal(it->second, accepting);
+      result.SetFinal(it->second, it->first.Intersects(finals));
     }
     return it->second;
   };
@@ -234,20 +246,21 @@ StatusOr<Nfta> Nfta::Determinize(std::size_t max_states) const {
         if (done.count(key) > 0) return true;
         done.insert(key);
         // Successor subset for this symbol over the chosen child subsets.
-        StateSet next;
+        Bitset next(num_states_);
         for (std::size_t index : by_symbol_[symbol]) {
           const Transition& t = transitions_[index];
           bool applies = true;
           for (int i = 0; i < arity; ++i) {
-            if (!SetContains(subsets[choice[i]], t.children[i])) {
+            if (!subsets[choice[i]].Test(
+                    static_cast<std::size_t>(t.children[i]))) {
               applies = false;
               break;
             }
           }
-          if (applies) next.push_back(t.state);
+          if (applies) next.Set(static_cast<std::size_t>(t.state));
         }
         std::size_t before = subsets.size();
-        int to = intern(SortedUnique(std::move(next)));
+        int to = intern(std::move(next));
         if (subsets.size() > before) changed = true;
         if (subsets.size() > max_states) return false;
         std::vector<int> children;
@@ -280,6 +293,124 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
     const Nfta& a, const Nfta& b, const ContainmentOptions& options) {
   DATALOG_CHECK(a.symbol_arity_ == b.symbol_arity_);
   ContainmentResult result;
+  if (options.use_bitsets) {
+    // Word-parallel arm: b-subsets are Bitsets; each a-state keeps its
+    // discovered family in a vector (the product-iteration source, so
+    // entry order matches the ablation arm exactly) indexed by an
+    // AntichainStore whose payloads are per-entry ids, used to mirror
+    // prunes back into the vector. Domination verdicts coincide with the
+    // sorted-vector scans — "covered" is "some discovered subset of the
+    // candidate exists" (antichain) or equality (plain) — so verdicts,
+    // witness trees, and explored counts are byte-identical.
+    struct Entry {
+      Bitset set;
+      LabeledTree witness;
+      std::uint64_t id = 0;
+    };
+    std::vector<std::vector<Entry>> discovered(a.num_states_);
+    std::vector<AntichainStore> stores(
+        a.num_states_, AntichainStore(options.antichain
+                                          ? AntichainStore::Mode::kKeepMinimal
+                                          : AntichainStore::Mode::kExact));
+    Bitset b_finals(b.num_states_);
+    for (std::size_t s = 0; s < b.num_states_; ++s) {
+      if (b.final_[s]) b_finals.Set(s);
+    }
+    std::uint64_t next_id = 0;
+    std::vector<std::uint64_t> pruned;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Transition& ta : a.transitions_) {
+        int arity = a.symbol_arity_[ta.symbol];
+        // Choose one discovered entry per child state of ta. The body
+        // below grows and (with antichain pruning) erases
+        // discovered[ta.state], which aliases a child slot whenever the
+        // transition is self-recursive; indexing the live vector across
+        // product iterations would then read freed or reshuffled
+        // storage. Only the aliased slots need a by-value snapshot.
+        std::vector<std::size_t> sizes(arity);
+        bool feasible = true;
+        bool self_recursive = false;
+        for (int i = 0; i < arity; ++i) {
+          sizes[i] = discovered[ta.children[i]].size();
+          if (sizes[i] == 0) feasible = false;
+          if (ta.children[i] == ta.state) self_recursive = true;
+        }
+        if (!feasible && arity > 0) continue;
+        std::vector<Entry> self_snapshot;
+        if (self_recursive) self_snapshot = discovered[ta.state];
+        std::vector<const std::vector<Entry>*> child_entries(arity);
+        for (int i = 0; i < arity; ++i) {
+          child_entries[i] = ta.children[i] == ta.state
+                                 ? &self_snapshot
+                                 : &discovered[ta.children[i]];
+        }
+        bool ok = ForEachProduct(sizes, [&](const std::vector<std::size_t>&
+                                                choice) {
+          // Compute the b-subset over the chosen child subsets.
+          Bitset next(b.num_states_);
+          for (std::size_t index : b.by_symbol_[ta.symbol]) {
+            const Transition& tb = b.transitions_[index];
+            bool applies = true;
+            for (int i = 0; i < arity; ++i) {
+              const Bitset& child_set = (*child_entries[i])[choice[i]].set;
+              if (!child_set.Test(static_cast<std::size_t>(tb.children[i]))) {
+                applies = false;
+                break;
+              }
+            }
+            if (applies) next.Set(static_cast<std::size_t>(tb.state));
+          }
+          if (stores[ta.state].Dominated(next)) return true;
+          if (++result.explored > options.max_explored) return false;
+          LabeledTree witness;
+          witness.symbol = ta.symbol;
+          for (int i = 0; i < arity; ++i) {
+            witness.children.push_back(
+                (*child_entries[i])[choice[i]].witness);
+          }
+          bool a_accepts = a.final_[ta.state];
+          bool b_accepts = next.Intersects(b_finals);
+          if (a_accepts && !b_accepts) {
+            result.contained = false;
+            result.counterexample = witness;
+            return false;
+          }
+          pruned.clear();
+          const std::uint64_t id = next_id++;
+          stores[ta.state].Insert(next, id, &pruned);
+          if (!pruned.empty()) {
+            // Mirror the store's prunes into the ordered vector; stable
+            // remove_if keeps the surviving order identical to the
+            // ablation arm's erase.
+            auto& entries = discovered[ta.state];
+            entries.erase(
+                std::remove_if(entries.begin(), entries.end(),
+                               [&](const Entry& e) {
+                                 return std::find(pruned.begin(),
+                                                  pruned.end(),
+                                                  e.id) != pruned.end();
+                               }),
+                entries.end());
+          }
+          discovered[ta.state].push_back(
+              {std::move(next), std::move(witness), id});
+          changed = true;
+          return true;
+        });
+        if (!ok) {
+          if (!result.contained) return result;
+          return Status(ResourceExhaustedError(
+              StrCat("tree containment exceeded ", options.max_explored,
+                     " pairs")));
+        }
+      }
+    }
+    return result;
+  }
+  // Sorted-vector ablation arm (use_bitsets=false): linear pairwise
+  // subset scans over plain vectors, the pre-bitset implementation.
   // Discovered pairs: per a-state, the b-subsets reachable on a common
   // tree, with a witness tree each.
   struct Entry {

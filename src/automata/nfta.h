@@ -84,6 +84,13 @@ class Nfta {
   struct ContainmentOptions {
     bool antichain = true;
     std::size_t max_explored = 10'000'000;
+    /// Run the fixpoint on word-parallel Bitset subsets with each
+    /// a-state's discovered family indexed by an AntichainStore
+    /// (src/util/bitset.h). Disabling falls back to sorted-vector subsets
+    /// with linear pairwise scans (ablation baseline; verdicts, witness
+    /// trees, and explored counts are identical either way —
+    /// tests/nfta_test.cc).
+    bool use_bitsets = true;
   };
   struct ContainmentResult {
     bool contained = true;

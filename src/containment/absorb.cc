@@ -305,7 +305,7 @@ std::uint64_t AchievedSetSignature(const IrAchievedSet& set) {
 
 void CombineAtNode(const std::vector<IrQueryAnalysis>& queries,
                    const std::vector<IrInstanceAtom>& edb_atoms,
-                   const std::vector<char>& parent_visible,
+                   const Bitset& parent_visible,
                    const std::vector<const IrAchievedSet*>& child_sets,
                    IrAchievedSet* out, std::size_t* pinned_compares) {
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
@@ -365,7 +365,7 @@ void CombineAtNode(const std::vector<IrQueryAnalysis>& queries,
                 DATALOG_CHECK(image.valid())
                     << "exposed variable must be assigned";
                 if (image.is_variable() &&
-                    parent_visible[image.index()] == 0) {
+                    !parent_visible.Test(image.index())) {
                   return;  // image not visible at the parent goal
                 }
                 result.pinned.emplace_back(static_cast<std::int32_t>(v),

@@ -24,6 +24,7 @@
 
 #include "src/ast/rule.h"
 #include "src/containment/query_analysis.h"
+#include "src/util/bitset.h"
 
 namespace datalog {
 
@@ -166,14 +167,14 @@ using IrInstanceAtom = ir::TermAtom;
 
 /// IR rendering of CombineAtNode: one bottom-up combination step at a
 /// node whose rule instance has EDB body atoms `edb_atoms` and whose head
-/// contains exactly the proof variables flagged in `parent_visible`
-/// (indexed by proof-variable index). `child_sets` are the children's
+/// contains exactly the proof variables set in `parent_visible` (a Bitset
+/// indexed by proof-variable index). `child_sets` are the children's
 /// achievable sets with pinned images already renamed into the instance
 /// frame. Every integer pinned-image comparison is counted into
 /// `*pinned_compares` when non-null.
 void CombineAtNode(const std::vector<IrQueryAnalysis>& queries,
                    const std::vector<IrInstanceAtom>& edb_atoms,
-                   const std::vector<char>& parent_visible,
+                   const Bitset& parent_visible,
                    const std::vector<const IrAchievedSet*>& child_sets,
                    IrAchievedSet* out, std::size_t* pinned_compares);
 

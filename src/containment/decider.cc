@@ -18,6 +18,7 @@
 #include "src/containment/instances.h"
 #include "src/containment/query_analysis.h"
 #include "src/ir/ir.h"
+#include "src/util/bitset.h"
 #include "src/util/flat_table.h"
 #include "src/util/iteration.h"
 #include "src/util/logging.h"
@@ -37,6 +38,10 @@ template <typename SetT>
 struct StateEntryT {
   std::shared_ptr<const SetT> set;
   std::uint64_t sig = 0;  // AchievedSetSignature(*set)
+  // Exact wide bitset over interned achieved-pair ids — the word-parallel
+  // rendering of *set. Populated only on the bitset path
+  // (use_ir && use_bitsets); empty on the ablation arms.
+  Bitset bits;
   std::shared_ptr<const ExpansionTree> witness;
   std::uint64_t serial = 0;  // stable identity for combination memoization
 };
@@ -44,6 +49,11 @@ struct StateEntryT {
 template <typename SetT>
 struct GoalEntryT {
   std::vector<StateEntryT<SetT>> states;
+  // Bitset-path index over `states`: the same achieved sets as exact
+  // bitsets, payloads are state serials so prunes can be mirrored back
+  // into the ordered vector. kKeepMinimal under antichain maintenance,
+  // kExact (pure dedup) otherwise; unused on the ablation arms.
+  AntichainStore antichain;
   bool touched = false;  // Register reached this goal in the current run
 };
 
@@ -138,7 +148,7 @@ struct ContainmentChecker::Context {
     std::vector<ir::TermId> ir_head_args;
     // Indexed by proof-variable index: does the variable occur in the
     // head (i.e. is its image visible at the parent goal)?
-    std::vector<char> ir_head_visible;
+    Bitset ir_head_visible;
     // The variable of the instance frame each canonical child variable
     // replaced: canonical $k of child j is ir_child_originals[j][k].
     std::vector<std::vector<ir::TermId>> ir_child_originals;
@@ -258,14 +268,14 @@ struct ContainmentChecker::Context {
     // canonicalized.) Goal rows encode variables $k as -(k+1) and
     // constants as their non-negative dictionary ids.
     cached.ir_head_pred = tpl.head.predicate;
-    cached.ir_head_visible.assign(proof_vars.size(), 0);
+    cached.ir_head_visible = Bitset(proof_vars.size());
     row_scratch.clear();
     row_scratch.push_back(tpl.head.predicate);
     for (std::int32_t arg : tpl.head.args) {
       ir::TermId id = encode_ir(arg);
       cached.ir_head_args.push_back(id);
       if (id.is_variable()) {
-        cached.ir_head_visible[id.index()] = 1;
+        cached.ir_head_visible.Set(id.index());
         row_scratch.push_back(-(static_cast<int>(id.index()) + 1));
       } else {
         row_scratch.push_back(static_cast<int>(id.index()));
@@ -419,6 +429,7 @@ class DeciderRun {
         if (interned_substrate) {
           decision.stats.instances_cached = ctx_.instances.size();
         }
+        HarvestBitsetStats(&decision);
         if (!decision.contained) return decision;
         return Status(ResourceExhaustedError(
             StrCat("containment decider exceeded ", options_.max_states,
@@ -430,6 +441,7 @@ class DeciderRun {
     if (interned_substrate) {
       decision.stats.instances_cached = ctx_.instances.size();
     }
+    HarvestBitsetStats(&decision);
     return decision;
   }
 
@@ -737,6 +749,41 @@ class DeciderRun {
     return renamed_cache_[index].get();
   }
 
+  // --- achieved-pair interning (bitset path) ---------------------------
+
+  // Maps an IrAchievedPair to its dense bit index: the row is
+  // [query, mask_lo, mask_hi, (var, enc(term))...] — variable-width, like
+  // the goal rows — so identical pairs intern to identical ids and an
+  // achieved set becomes an exact Bitset over those ids. Ids are global
+  // to the run, which is sound because sets are only ever compared within
+  // one goal entry and equal pairs get equal ids everywhere.
+  std::uint32_t InternAchievedPair(const IrAchievedPair& pair) {
+    pair_row_.clear();
+    pair_row_.push_back(static_cast<int>(pair.query));
+    pair_row_.push_back(
+        static_cast<int>(static_cast<std::uint32_t>(pair.mask)));
+    pair_row_.push_back(
+        static_cast<int>(static_cast<std::uint32_t>(pair.mask >> 32)));
+    for (const auto& [v, term] : pair.pinned) {
+      pair_row_.push_back(static_cast<int>(v));
+      pair_row_.push_back(ir::EncodeRowTerm(term));
+    }
+    return pair_keys_.Intern(pair_row_.data(), pair_row_.size()).first;
+  }
+
+  // Folds the per-goal AntichainStore counters into the decision stats;
+  // called once per Run exit path (the stores are per-run, so the sums
+  // are exactly this Decide's work).
+  void HarvestBitsetStats(ContainmentDecision* decision) const {
+    if (!options_.use_ir || !options_.use_bitsets) return;
+    for (const IrGoalEntry& entry : ir_store_) {
+      const AntichainStore::Stats& s = entry.antichain.stats();
+      decision->stats.subset_checks += s.subset_checks;
+      decision->stats.subset_word_ops += s.word_ops;
+      decision->stats.antichain_prunes += s.prunes;
+    }
+  }
+
   // --- shared registration core ---------------------------------------
 
   // Registers a (goal, set) state; returns false to stop everything.
@@ -753,31 +800,82 @@ class DeciderRun {
                 const std::vector<CanonicalAtomInfo>* child_canonical,
                 const std::vector<std::size_t>& choice, SetT set,
                 ContainmentDecision* decision, bool* changed) {
-    const std::uint64_t sig = AchievedSetSignature(set);
-    if (options_.antichain) {
-      for (const StateEntryT<SetT>& existing : entry.states) {
-        ++decision->stats.subset_checks;
-        if (!SignatureMayBeSubset(existing.sig, sig)) {
-          ++decision->stats.subset_sig_rejects;
-          continue;
+    std::uint64_t sig = 0;
+    Bitset bits;
+    bool on_bitset_path = false;
+    if constexpr (std::is_same_v<SetT, IrAchievedSet>) {
+      // The exact-bitset representation exists only on the IR achieved-set
+      // encoding (pairs intern to dense ids); the Term arms always run the
+      // Bloom-signature + merge-scan maintenance below.
+      on_bitset_path = options_.use_bitsets;
+    }
+    if (on_bitset_path) {
+      if constexpr (std::is_same_v<SetT, IrAchievedSet>) {
+        for (const IrAchievedPair& pair : set) {
+          bits.Set(InternAchievedPair(pair));
         }
-        if (IsAchievedSubset(*existing.set, set)) return true;  // dominated
+        if (entry.states.empty() && entry.antichain.empty() &&
+            !options_.antichain) {
+          entry.antichain = AntichainStore(AntichainStore::Mode::kExact);
+        }
+        // One Insert is the whole maintenance step: it rejects a candidate
+        // some retained subset dominates (kKeepMinimal) or duplicates
+        // (kExact) and prunes retained supersets, handing back their
+        // serials. Domination verdicts coincide with the merge scans below
+        // — pair membership and bit membership are the same relation — so
+        // surviving states, their order, and serial assignment are
+        // byte-identical. No Bloom signature is computed on this path
+        // (state.sig stays 0; subset_sig_rejects is reported 0).
+        pruned_serials_.clear();
+        if (!entry.antichain.Insert(bits, next_serial_, &pruned_serials_)) {
+          return true;  // dominated (antichain) or already known (dedup)
+        }
+        if (!pruned_serials_.empty()) {
+          // Mirror the store's prunes into the ordered state vector;
+          // stable remove_if keeps the surviving order identical to the
+          // ablation arm's erase.
+          entry.states.erase(
+              std::remove_if(entry.states.begin(), entry.states.end(),
+                             [&](const StateEntryT<SetT>& existing) {
+                               return std::find(pruned_serials_.begin(),
+                                                pruned_serials_.end(),
+                                                existing.serial) !=
+                                      pruned_serials_.end();
+                             }),
+              entry.states.end());
+        }
       }
-      entry.states.erase(
-          std::remove_if(entry.states.begin(), entry.states.end(),
-                         [&](const StateEntryT<SetT>& existing) {
-                           ++decision->stats.subset_checks;
-                           if (!SignatureMayBeSubset(sig, existing.sig)) {
-                             ++decision->stats.subset_sig_rejects;
-                             return false;
-                           }
-                           return IsAchievedSubset(set, *existing.set);
-                         }),
-          entry.states.end());
     } else {
-      for (const StateEntryT<SetT>& existing : entry.states) {
-        if (existing.sig == sig && *existing.set == set) {
-          return true;  // already known
+      sig = AchievedSetSignature(set);
+      if (options_.antichain) {
+        for (const StateEntryT<SetT>& existing : entry.states) {
+          ++decision->stats.subset_checks;
+          if (!SignatureMayBeSubset(existing.sig, sig)) {
+            ++decision->stats.subset_sig_rejects;
+            continue;
+          }
+          if (IsAchievedSubset(*existing.set, set)) return true;  // dominated
+        }
+        entry.states.erase(
+            std::remove_if(entry.states.begin(), entry.states.end(),
+                           [&](const StateEntryT<SetT>& existing) {
+                             ++decision->stats.subset_checks;
+                             if (!SignatureMayBeSubset(sig, existing.sig)) {
+                               ++decision->stats.subset_sig_rejects;
+                               return false;
+                             }
+                             if (!IsAchievedSubset(set, *existing.set)) {
+                               return false;
+                             }
+                             ++decision->stats.antichain_prunes;
+                             return true;
+                           }),
+            entry.states.end());
+      } else {
+        for (const StateEntryT<SetT>& existing : entry.states) {
+          if (existing.sig == sig && *existing.set == set) {
+            return true;  // already known
+          }
         }
       }
     }
@@ -785,6 +883,7 @@ class DeciderRun {
     state.serial = next_serial_++;
     state.set = std::make_shared<const SetT>(std::move(set));
     state.sig = sig;
+    state.bits = std::move(bits);
     if (options_.track_witness) {
       ExpansionNode node;
       node.goal = witness_rule->head();
@@ -843,6 +942,10 @@ class DeciderRun {
   // mapping to the renamed achieved set, alive for the whole run.
   VarKeyTable rename_keys_;
   std::vector<std::shared_ptr<const IrAchievedSet>> renamed_cache_;
+  // Achieved-pair id dictionary and scratch buffers (bitset path).
+  VarKeyTable pair_keys_;
+  std::vector<int> pair_row_;
+  std::vector<std::uint64_t> pruned_serials_;
 
   // String-keyed per-run state. The ablation arm deliberately keeps the
   // seed's ordered containers (std::map/std::set) so the decider

@@ -56,6 +56,15 @@ struct ContainmentOptions {
   /// representation (then intern_memo picks the memo substrate).
   /// Decisions are byte-identical either way.
   bool use_ir = true;
+  /// Represent each state's achieved set additionally as an exact wide
+  /// bitset over interned achieved-pair ids (src/util/bitset.h), and run
+  /// the antichain/dedup maintenance through a per-goal AntichainStore
+  /// instead of pairwise merge scans over every retained state. Consulted
+  /// only when use_ir is on; the string path always runs the
+  /// Bloom-signature + sorted-vector scans. Ablation switch in the
+  /// intern_memo/use_ir mold: decisions, witnesses, and state serials are
+  /// byte-identical either way (tests/decider_bitset_test.cc).
+  bool use_bitsets = true;
   /// Abort with ResourceExhausted beyond this many (goal, set) states.
   std::size_t max_states = 1'000'000;
 };
@@ -72,9 +81,18 @@ struct ContainmentStats {
   std::size_t instances_cached = 0;
   /// Pairwise achieved-set subset tests run by antichain/dedup
   /// maintenance, and how many were refuted by the 64-bit Bloom signature
-  /// alone (no merge scan).
+  /// alone (no merge scan). With the exact-bitset path active
+  /// (use_bitsets, the default) no Bloom signatures are computed at all —
+  /// subset_sig_rejects is reported 0 and subset_checks counts the
+  /// AntichainStore's popcount-plausible candidate pairs instead.
   std::size_t subset_checks = 0;
   std::size_t subset_sig_rejects = 0;
+  /// Retained states evicted because a newly discovered achieved set
+  /// dominated them (antichain maintenance; both representations).
+  std::size_t antichain_prunes = 0;
+  /// 64-bit words examined by the bitset path's word-parallel
+  /// subset/equality kernels (0 when use_bitsets is off).
+  std::size_t subset_word_ops = 0;
   /// Renamed child achieved sets served from the per-(instance, child,
   /// serial) memo instead of being recomputed (IR path only; the rename
   /// work used to be re-paid for every combination in the product).

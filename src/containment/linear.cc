@@ -8,6 +8,7 @@
 #include "src/containment/absorb.h"
 #include "src/containment/query_analysis.h"
 #include "src/ir/ir.h"
+#include "src/util/bitset.h"
 #include "src/util/flat_table.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -42,7 +43,7 @@ struct LinearIrContext {
   std::vector<int> child_atom_id;                // by symbol; -1 for leaves
   // By symbol, indexed by proof-variable index: does the variable occur
   // in the child goal (the paper's visibility condition 4)?
-  std::vector<std::vector<char>> child_visible;
+  std::vector<Bitset> child_visible;
 
   std::uint32_t InternAtom(const ir::TermAtom& atom) {
     row_.clear();
@@ -69,7 +70,7 @@ StatusOr<Nfa> BuildThetaWordAutomatonIr(
     const std::vector<std::uint32_t>& goal_atom_ids,
     std::size_t max_states) {
   const QueryAnalysis& base = *query.base;
-  Nfa nfa(0, alphabet.labels.size());
+  Nfa nfa(0, alphabet.num_labels());
   int accept = nfa.AddState();
   nfa.SetAccepting(accept);
 
@@ -159,7 +160,7 @@ StatusOr<Nfa> BuildThetaWordAutomatonIr(
             std::uint64_t next_mask = state.mask & ~beta_prime;
             // Variables still relevant below: pending atoms contain them
             // and their image is already determined.
-            const std::vector<char>& child_vars = ctx.child_visible[symbol];
+            const Bitset& child_vars = ctx.child_visible[symbol];
             IrPinnedMap next_pinned;
             for (std::size_t v = 0; v < base.vars.size(); ++v) {
               if ((base.atoms_of_var[v] & next_mask) == 0) continue;
@@ -167,7 +168,7 @@ StatusOr<Nfa> BuildThetaWordAutomatonIr(
               // Visibility (the paper's condition 4): the image must
               // occur in the child goal to stay connected.
               if (images[v].is_variable() &&
-                  child_vars[images[v].index()] == 0) {
+                  !child_vars.Test(images[v].index())) {
                 return;  // this absorption cannot continue downward
               }
               next_pinned.emplace_back(static_cast<std::int32_t>(v),
@@ -191,7 +192,7 @@ StatusOr<Nfa> BuildThetaWordAutomaton(
     const QueryAnalysis& query, const ProgramAlphabet& alphabet,
     const std::map<std::string, std::vector<int>>& labels_by_head,
     const std::vector<Atom>& goal_atoms, std::size_t max_states) {
-  Nfa nfa(0, alphabet.labels.size());
+  Nfa nfa(0, alphabet.num_labels());
   int accept = nfa.AddState();
   nfa.SetAccepting(accept);
 
@@ -260,7 +261,7 @@ StatusOr<Nfa> BuildThetaWordAutomaton(
     auto it = labels_by_head.find(state.atom.ToString());
     if (it == labels_by_head.end()) continue;
     for (int symbol : it->second) {
-      const Rule& label = alphabet.labels[symbol];
+      const Rule& label = alphabet.Label(symbol);
       std::vector<const Atom*> edb_atoms;
       for (std::size_t i = 0; i < label.body().size(); ++i) {
         bool is_idb = false;
@@ -320,7 +321,7 @@ ExpansionTree DecodeWord(const ProgramAlphabet& alphabet,
   ExpansionNode node;
   for (std::size_t i = word.size(); i-- > 0;) {
     ExpansionNode parent;
-    parent.rule = alphabet.labels[word[i]];
+    parent.rule = alphabet.Label(word[i]);
     parent.goal = parent.rule.head();
     parent.idb_positions = alphabet.label_idb_positions[word[i]];
     if (i + 1 < word.size()) {
@@ -346,11 +347,11 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
   ProgramAlphabet& alphabet = *alphabet_or;
 
   LinearContainmentResult result;
-  result.alphabet_size = alphabet.labels.size();
+  result.alphabet_size = alphabet.num_labels();
 
   // A^ptrees as a word automaton: states are the IDB atoms, words read the
   // labels from the root to the leaf.
-  Nfa ptrees(0, alphabet.labels.size());
+  Nfa ptrees(0, alphabet.num_labels());
   int accept = ptrees.AddState();
   ptrees.SetAccepting(accept);
 
@@ -370,7 +371,7 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
         ptrees.AddState();
       }
     };
-    for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
+    for (std::size_t symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
       const ProgramAlphabet::LabelIr& label = alphabet.label_ir[symbol];
       ir::TermAtom head;
       head.predicate = label.head_pred;
@@ -386,9 +387,9 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
       } else {
         std::uint32_t child_id = ctx.InternAtom(label.idb_atoms[0]);
         ctx.child_atom_id.push_back(static_cast<int>(child_id));
-        std::vector<char> visible(alphabet.proof_vars.size(), 0);
+        Bitset visible(alphabet.proof_vars.size());
         for (ir::TermId t : label.idb_atoms[0].args) {
-          if (t.is_variable()) visible[t.index()] = 1;
+          if (t.is_variable()) visible.Set(t.index());
         }
         ctx.child_visible.push_back(std::move(visible));
         grow_states();
@@ -415,8 +416,8 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
       }
       return it->second;
     };
-    for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
-      const Rule& label = alphabet.labels[symbol];
+    for (std::size_t symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
+      const Rule& label = alphabet.Label(symbol);
       int from = atom_state(label.head());
       labels_by_head[label.head().ToString()].push_back(
           static_cast<int>(symbol));

@@ -14,13 +14,11 @@ namespace {
 
 // One program rule encoded once onto the alphabet's dictionaries: atoms
 // carry the predicate dictionary id plus int arguments (rule-variable
-// slot in VariableNames() order, or ~constant_id), and the original Atom
-// for constant-Term reuse during materialization. Instances are then
+// slot in VariableNames() order, or ~constant_id). Instances are then
 // stamped out of the template at integer cost — no substitution maps, no
 // rendered strings (the decider's RuleTemplate scheme).
 struct AlphabetRuleTemplate {
   struct AtomTpl {
-    const Atom* source = nullptr;
     std::int32_t predicate = 0;
     bool idb = false;
     // args >= 0: rule-variable slot; args < 0: constant ~dictionary_id.
@@ -42,7 +40,6 @@ AlphabetRuleTemplate BuildAlphabetTemplate(
   }
   auto encode_atom = [&](const Atom& atom) {
     AlphabetRuleTemplate::AtomTpl enc;
-    enc.source = &atom;
     enc.predicate =
         static_cast<std::int32_t>(predicates->Intern(atom.predicate()));
     enc.idb = idb.count(atom.predicate()) > 0;
@@ -90,23 +87,6 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
   alphabet.interned = true;
   alphabet.proof_vars = ProofVariables(program);
   std::set<std::string> idb = program.IdbPredicates();
-  // Shared Term pool: one variable Term per proof variable, reused by
-  // every materialized label.
-  std::vector<Term> proof_terms;
-  proof_terms.reserve(alphabet.proof_vars.size());
-  for (const std::string& v : alphabet.proof_vars) {
-    proof_terms.push_back(Term::Variable(v));
-  }
-  auto materialize_atom = [&](const AlphabetRuleTemplate::AtomTpl& atom,
-                              const std::vector<std::size_t>& choice) {
-    std::vector<Term> args;
-    args.reserve(atom.args.size());
-    for (std::size_t i = 0; i < atom.args.size(); ++i) {
-      args.push_back(atom.args[i] >= 0 ? proof_terms[choice[atom.args[i]]]
-                                       : atom.source->args()[i]);
-    }
-    return Atom(atom.source->predicate(), std::move(args));
-  };
   auto encode_ir_atom = [&](const AlphabetRuleTemplate::AtomTpl& atom,
                             const std::vector<std::size_t>& choice) {
     ir::TermAtom enc;
@@ -139,7 +119,7 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
         }
         return true;
       }
-      if (alphabet.labels.size() >= max_labels) {
+      if (alphabet.num_labels() >= max_labels) {
         overflow = true;
         return false;
       }
@@ -152,14 +132,14 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
                                                            row.size());
       if (!inserted) return true;  // duplicate instance
       DATALOG_CHECK_EQ(static_cast<std::size_t>(symbol),
-                       alphabet.labels.size());
+                       alphabet.num_labels());
+      // No Term-level label is materialized here: the interned arm keeps
+      // only the IR encoding, and ProgramAlphabet::Label decodes a Rule
+      // through the dictionaries on first demand.
       ProgramAlphabet::LabelIr label_ir;
       label_ir.head_pred = tpl.head.predicate;
       label_ir.head_args = encode_ir_atom(tpl.head, choice).args;
-      std::vector<Atom> body;
-      body.reserve(tpl.body.size());
       for (const AlphabetRuleTemplate::AtomTpl& atom : tpl.body) {
-        body.push_back(materialize_atom(atom, choice));
         if (atom.idb) {
           label_ir.idb_atoms.push_back(encode_ir_atom(atom, choice));
         } else {
@@ -168,8 +148,6 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
       }
       alphabet.arities.push_back(static_cast<int>(tpl.idb_positions.size()));
       alphabet.label_idb_positions.push_back(tpl.idb_positions);
-      alphabet.labels.emplace_back(materialize_atom(tpl.head, choice),
-                                   std::move(body));
       alphabet.label_rule_index.push_back(rule_index);
       alphabet.label_ir.push_back(std::move(label_ir));
       return true;
@@ -194,12 +172,13 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetString(
     const Rule& rule = program.rules()[rule_index];
     bool completed = ForEachInstanceOver(
         rule, alphabet.proof_vars, [&](const Rule& instance) {
-          if (alphabet.labels.size() >= max_labels) {
+          if (alphabet.eager_labels.size() >= max_labels) {
             overflow = true;
             return false;
           }
           auto [it, inserted] = alphabet.label_ids.emplace(
-              instance.ToString(), static_cast<int>(alphabet.labels.size()));
+              instance.ToString(),
+              static_cast<int>(alphabet.eager_labels.size()));
           if (!inserted) return true;  // duplicate instance
           std::vector<std::size_t> idb_positions;
           for (std::size_t i = 0; i < instance.body().size(); ++i) {
@@ -209,7 +188,7 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetString(
           }
           alphabet.arities.push_back(static_cast<int>(idb_positions.size()));
           alphabet.label_idb_positions.push_back(std::move(idb_positions));
-          alphabet.labels.push_back(instance);
+          alphabet.eager_labels.push_back(instance);
           alphabet.label_rule_index.push_back(rule_index);
           return true;
         });
@@ -246,6 +225,45 @@ bool EncodeAtomRow(const ProgramAlphabet& alphabet, const Atom& atom,
 }
 
 }  // namespace
+
+Atom ProgramAlphabet::DecodeAtom(const ir::TermAtom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.args.size());
+  for (ir::TermId t : atom.args) {
+    args.push_back(t.is_variable() ? Term::Variable(proof_vars[t.index()])
+                                   : Term::Constant(constants.name(
+                                         t.index())));
+  }
+  return Atom(predicates.name(static_cast<std::uint32_t>(atom.predicate)),
+              std::move(args));
+}
+
+const Rule& ProgramAlphabet::Label(std::size_t symbol) const {
+  if (!interned) return eager_labels[symbol];
+  if (label_cache_.size() < num_labels()) label_cache_.resize(num_labels());
+  std::unique_ptr<Rule>& slot = label_cache_[symbol];
+  if (slot == nullptr) {
+    // Rebuild the body in original order by interleaving the EDB and IDB
+    // encodings: label_idb_positions records where the IDB atoms sat.
+    const LabelIr& enc = label_ir[symbol];
+    const std::vector<std::size_t>& idb_pos = label_idb_positions[symbol];
+    std::size_t body_size = enc.edb_atoms.size() + enc.idb_atoms.size();
+    std::vector<Atom> body;
+    body.reserve(body_size);
+    std::size_t next_edb = 0;
+    std::size_t next_idb = 0;
+    for (std::size_t pos = 0; pos < body_size; ++pos) {
+      bool is_idb = next_idb < idb_pos.size() && idb_pos[next_idb] == pos;
+      body.push_back(DecodeAtom(is_idb ? enc.idb_atoms[next_idb++]
+                                       : enc.edb_atoms[next_edb++]));
+    }
+    ir::TermAtom head;
+    head.predicate = enc.head_pred;
+    head.args = enc.head_args;
+    slot = std::make_unique<Rule>(DecodeAtom(head), std::move(body));
+  }
+  return *slot;
+}
 
 int ProgramAlphabet::SymbolOf(const Rule& instance) const {
   if (!interned) {
@@ -299,8 +317,9 @@ StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
     // Interned arm: states are [pred, enc(arg)...] rows over the
     // alphabet's dictionaries; the VarKeyTable index is the state id.
     std::vector<int> row;
-    auto state_of = [&](const ir::TermAtom& encoded,
-                        const Atom& atom) -> int {
+    // The Term-level state atom is decoded from the IR encoding only when
+    // a row is first interned — no label is ever rendered here.
+    auto state_of = [&](const ir::TermAtom& encoded) -> int {
       row.clear();
       row.push_back(encoded.predicate);
       for (ir::TermId t : encoded.args) row.push_back(ir::EncodeRowTerm(t));
@@ -309,28 +328,26 @@ StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
       if (inserted) {
         DATALOG_CHECK_EQ(static_cast<std::size_t>(id),
                          automaton.state_atoms.size());
-        automaton.state_atoms.push_back(atom);
+        automaton.state_atoms.push_back(
+            automaton.alphabet.DecodeAtom(encoded));
         nfta.AddState();
       }
       return static_cast<int>(id);
     };
     std::uint32_t goal_pred = automaton.alphabet.predicates.Find(goal);
     for (std::size_t symbol = 0;
-         symbol < automaton.alphabet.labels.size(); ++symbol) {
+         symbol < automaton.alphabet.num_labels(); ++symbol) {
       const ProgramAlphabet::LabelIr& label_ir =
           automaton.alphabet.label_ir[symbol];
-      const Rule& label = automaton.alphabet.labels[symbol];
       std::vector<int> children;
       children.reserve(label_ir.idb_atoms.size());
       for (std::size_t j = 0; j < label_ir.idb_atoms.size(); ++j) {
-        std::size_t pos = automaton.alphabet.label_idb_positions[symbol][j];
-        children.push_back(
-            state_of(label_ir.idb_atoms[j], label.body()[pos]));
+        children.push_back(state_of(label_ir.idb_atoms[j]));
       }
       ir::TermAtom head;
       head.predicate = label_ir.head_pred;
       head.args = label_ir.head_args;
-      int head_state = state_of(head, label.head());
+      int head_state = state_of(head);
       nfta.AddTransition(static_cast<int>(symbol), std::move(children),
                          head_state);
     }
@@ -355,8 +372,8 @@ StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
       return it->second;
     };
     for (std::size_t symbol = 0;
-         symbol < automaton.alphabet.labels.size(); ++symbol) {
-      const Rule& label = automaton.alphabet.labels[symbol];
+         symbol < automaton.alphabet.num_labels(); ++symbol) {
+      const Rule& label = automaton.alphabet.eager_labels[symbol];
       std::vector<int> children;
       for (std::size_t pos : automaton.alphabet.label_idb_positions[symbol]) {
         children.push_back(state_of(label.body()[pos]));
@@ -400,9 +417,9 @@ ExpansionTree LabeledTreeToProofTree(const ProgramAlphabet& alphabet,
   std::function<ExpansionNode(const LabeledTree&)> decode =
       [&](const LabeledTree& node) {
         DATALOG_CHECK_LT(static_cast<std::size_t>(node.symbol),
-                         alphabet.labels.size());
+                         alphabet.num_labels());
         ExpansionNode decoded;
-        decoded.rule = alphabet.labels[node.symbol];
+        decoded.rule = alphabet.Label(node.symbol);
         decoded.goal = decoded.rule.head();
         decoded.idb_positions = alphabet.label_idb_positions[node.symbol];
         for (const LabeledTree& child : node.children) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,7 +37,10 @@ namespace datalog {
 /// program rule over var(Π), tagged with the originating rule. The symbol
 /// arity is the number of IDB atoms in the instance's body.
 struct ProgramAlphabet {
-  std::vector<Rule> labels;
+  /// String-arm label storage: the materialized Rule per symbol. Empty on
+  /// the interned arm, where Term-level labels are decoded on demand from
+  /// label_ir — go through num_labels()/Label() instead of this field.
+  std::vector<Rule> eager_labels;
   std::vector<std::size_t> label_rule_index;
   /// Positions of IDB atoms in each label's body (children align).
   std::vector<std::vector<std::size_t>> label_idb_positions;
@@ -70,7 +74,25 @@ struct ProgramAlphabet {
   // --- string identity (ablation arm) ----------------------------------
   std::map<std::string, int> label_ids;  // Rule::ToString() -> symbol
 
+  /// Number of symbols (both arms fill `arities`, one entry per label).
+  std::size_t num_labels() const { return arities.size(); }
+
+  /// The Term-level rendering of a label. The interned arm decodes the
+  /// LabelIr through the dictionaries on first use and caches the Rule,
+  /// so constructions that never render a symbol (the IR word/tree
+  /// automata) pay nothing; the string arm returns its eager storage.
+  const Rule& Label(std::size_t symbol) const;
+
+  /// Decodes one instance-frame IR atom into Terms (dictionary lookups);
+  /// lets callers that need a single atom — e.g. automaton state atoms —
+  /// avoid rendering the whole label.
+  Atom DecodeAtom(const ir::TermAtom& atom) const;
+
   int SymbolOf(const Rule& instance) const;
+
+ private:
+  // Lazily decoded labels, indexed by symbol (interned arm only).
+  mutable std::vector<std::unique_ptr<Rule>> label_cache_;
 };
 
 /// Enumerates the full alphabet. Fails with ResourceExhausted beyond

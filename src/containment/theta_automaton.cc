@@ -127,8 +127,8 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
   bool changed = true;
   while (changed) {
     changed = false;
-    for (std::size_t symbol = 0; symbol < alphabet.labels.size(); ++symbol) {
-      const Rule& label = alphabet.labels[symbol];
+    for (std::size_t symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
+      const Rule& label = alphabet.Label(symbol);
       std::vector<const Atom*> edb_atoms;
       std::vector<Atom> child_goals;
       for (std::size_t i = 0; i < label.body().size(); ++i) {
@@ -219,7 +219,7 @@ StatusOr<ExplicitContainmentResult> DecideContainmentViaExplicitAutomata(
   if (!ptrees.ok()) return ptrees.status();
   ExplicitContainmentResult result;
   result.ptrees_states = ptrees->nfta.num_states();
-  result.alphabet_size = ptrees->alphabet.labels.size();
+  result.alphabet_size = ptrees->alphabet.num_labels();
 
   std::optional<Nfta> union_automaton;
   for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {

@@ -1,6 +1,7 @@
 #include "src/containment/ucq_in_datalog.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "src/cq/canonical_db.h"
@@ -128,7 +129,13 @@ StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
     task_eval.num_threads = 1;
     std::vector<StatusOr<bool>> results(n, false);
     std::vector<EvalStats> task_stats(n);
-    ThreadPool pool(threads);
+    // Use the caller's pool when one is supplied; otherwise spin up a
+    // call-local pool. The results are index-owned either way, so the
+    // pool's width only affects scheduling, never the verdict.
+    std::optional<ThreadPool> local_pool;
+    if (options.pool == nullptr) local_pool.emplace(threads);
+    ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : *local_pool;
     pool.ParallelFor(n, [&](std::size_t i) {
       results[i] = CheckDisjunct(theta, theta_ir.get(), i, program, goal,
                                  stats != nullptr ? &task_stats[i] : nullptr,

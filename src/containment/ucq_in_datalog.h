@@ -19,6 +19,8 @@
 
 namespace datalog {
 
+class ThreadPool;
+
 /// Ablation switch for the canonical-database construction substrate.
 struct CanonicalDbOptions {
   /// Freeze through the ProgramIr → engine dictionary handoff (each name
@@ -35,6 +37,15 @@ struct CanonicalDbOptions {
   /// do not nest) with verdict, failing disjunct, and accumulated stats
   /// identical to the sequential loop's.
   EvalOptions eval;
+  /// Optional caller-owned worker pool for the disjunct fan-out. When
+  /// set, IsUcqContainedInDatalog schedules its disjuncts on this pool
+  /// instead of constructing (and tearing down) a fresh ThreadPool per
+  /// call — drivers that loop containment checks (the equivalence
+  /// pipeline, rewriting searches) amortize thread spawns across the
+  /// whole loop. The pool's own parallelism applies; eval.num_threads
+  /// still decides whether fan-out happens at all. Unowned; must outlive
+  /// the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// θ ⊆ Q_Π: evaluates Π over the canonical database of θ and tests the

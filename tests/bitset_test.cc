@@ -1,0 +1,318 @@
+#include "src/util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace datalog {
+namespace {
+
+// --- Bitset kernels across the word boundaries -------------------------
+
+TEST(BitsetTest, DefaultIsEmpty) {
+  Bitset set;
+  EXPECT_EQ(set.num_bits(), 0u);
+  EXPECT_TRUE(set.None());
+  EXPECT_EQ(set.Count(), 0u);
+  EXPECT_EQ(set.Fold(), 0u);
+}
+
+TEST(BitsetTest, SetTestResetAtWordBoundaryWidths) {
+  for (std::size_t width : {1u, 63u, 64u, 65u, 128u}) {
+    Bitset set(width);
+    EXPECT_EQ(set.num_bits(), width);
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_FALSE(set.Test(i)) << "width " << width << " bit " << i;
+      set.Set(i);
+      EXPECT_TRUE(set.Test(i)) << "width " << width << " bit " << i;
+    }
+    EXPECT_EQ(set.Count(), width);
+    for (std::size_t i = 0; i < width; ++i) {
+      set.Reset(i);
+      EXPECT_FALSE(set.Test(i)) << "width " << width << " bit " << i;
+    }
+    EXPECT_TRUE(set.None());
+  }
+}
+
+TEST(BitsetTest, InlineToHeapTransitionKeepsBits) {
+  // Starts inline (one word), grows past 64 bits onto the heap via Set.
+  Bitset set(1);
+  EXPECT_EQ(set.num_words(), 1u);
+  set.Set(0);
+  set.Set(63);  // Set auto-grows logical capacity within the inline word
+  EXPECT_EQ(set.num_words(), 1u);
+  set.Set(64);  // crosses onto the heap
+  EXPECT_GE(set.num_words(), 2u);
+  set.Set(127);
+  EXPECT_TRUE(set.Test(0));
+  EXPECT_TRUE(set.Test(63));
+  EXPECT_TRUE(set.Test(64));
+  EXPECT_TRUE(set.Test(127));
+  EXPECT_FALSE(set.Test(1));
+  EXPECT_FALSE(set.Test(65));
+  EXPECT_EQ(set.Count(), 4u);
+}
+
+TEST(BitsetTest, EqualityAndHashIgnoreCapacity) {
+  Bitset narrow(8);
+  narrow.Set(3);
+  Bitset wide(200);
+  wide.Set(3);
+  EXPECT_EQ(narrow, wide);
+  EXPECT_EQ(narrow.Hash(), wide.Hash());
+  wide.Set(150);
+  EXPECT_NE(narrow, wide);
+  wide.Reset(150);
+  EXPECT_EQ(narrow, wide);
+  EXPECT_EQ(narrow.Hash(), wide.Hash());
+}
+
+TEST(BitsetTest, CopyAndMoveAcrossRepresentations) {
+  Bitset inline_set(10);
+  inline_set.Set(7);
+  Bitset heap_set(100);
+  heap_set.Set(7);
+  heap_set.Set(99);
+
+  Bitset copy = heap_set;
+  EXPECT_EQ(copy, heap_set);
+  copy.Set(50);
+  EXPECT_FALSE(heap_set.Test(50));  // deep copy
+
+  Bitset moved = std::move(copy);
+  EXPECT_TRUE(moved.Test(50));
+  EXPECT_TRUE(moved.Test(99));
+
+  // Heap-to-inline and inline-to-heap assignment.
+  moved = inline_set;
+  EXPECT_EQ(moved, inline_set);
+  Bitset target(4);
+  target = heap_set;
+  EXPECT_EQ(target, heap_set);
+}
+
+TEST(BitsetTest, SubsetTreatsMissingHighWordsAsZero) {
+  Bitset small(5);
+  small.Set(2);
+  Bitset big(130);
+  big.Set(2);
+  big.Set(129);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  big.Reset(129);
+  EXPECT_TRUE(big.IsSubsetOf(small));
+  std::size_t word_ops = 0;
+  EXPECT_TRUE(small.IsSubsetOf(big, &word_ops));
+  EXPECT_GE(word_ops, 1u);
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsInOrder) {
+  Bitset set(130);
+  std::vector<std::size_t> expect = {0, 5, 63, 64, 65, 128};
+  for (std::size_t i : expect) set.Set(i);
+  EXPECT_EQ(set.ToVector(), expect);
+}
+
+// Oracle: mirror every kernel against std::set over random universes
+// spanning the inline/heap boundary.
+TEST(BitsetTest, KernelIdentitiesAgainstSetOracle) {
+  std::mt19937 rng(20260808);
+  for (std::size_t universe : {1u, 63u, 64u, 65u, 128u, 300u}) {
+    std::uniform_int_distribution<std::size_t> pick(0, universe - 1);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::set<std::size_t> oracle_a;
+      std::set<std::size_t> oracle_b;
+      Bitset a(universe);
+      Bitset b(universe);
+      std::size_t fill_a = rng() % (universe + 1);
+      std::size_t fill_b = rng() % (universe + 1);
+      for (std::size_t i = 0; i < fill_a; ++i) {
+        std::size_t bit = pick(rng);
+        oracle_a.insert(bit);
+        a.Set(bit);
+      }
+      for (std::size_t i = 0; i < fill_b; ++i) {
+        std::size_t bit = pick(rng);
+        oracle_b.insert(bit);
+        b.Set(bit);
+      }
+      EXPECT_EQ(a.Count(), oracle_a.size());
+      EXPECT_EQ(a.Any(), !oracle_a.empty());
+      EXPECT_EQ(a == b, oracle_a == oracle_b);
+      bool oracle_subset = std::includes(oracle_b.begin(), oracle_b.end(),
+                                         oracle_a.begin(), oracle_a.end());
+      EXPECT_EQ(a.IsSubsetOf(b), oracle_subset);
+      std::vector<std::size_t> inter;
+      std::set_intersection(oracle_a.begin(), oracle_a.end(),
+                            oracle_b.begin(), oracle_b.end(),
+                            std::back_inserter(inter));
+      EXPECT_EQ(a.Intersects(b), !inter.empty());
+      Bitset union_ab = a;
+      union_ab.UnionWith(b);
+      std::set<std::size_t> oracle_union = oracle_a;
+      oracle_union.insert(oracle_b.begin(), oracle_b.end());
+      EXPECT_EQ(union_ab.ToVector(),
+                std::vector<std::size_t>(oracle_union.begin(),
+                                         oracle_union.end()));
+      Bitset inter_ab = a;
+      inter_ab.IntersectWith(b);
+      EXPECT_EQ(inter_ab.ToVector(), inter);
+      // Fold is a sound subset filter.
+      if (oracle_subset) {
+        EXPECT_EQ(a.Fold() & ~b.Fold(), 0u);
+      }
+      // Hash consistency with equality.
+      if (oracle_a == oracle_b) EXPECT_EQ(a.Hash(), b.Hash());
+    }
+  }
+}
+
+// --- AntichainStore against a brute-force oracle -----------------------
+
+// Brute-force reference: a flat vector with quadratic dominance scans.
+class OracleStore {
+ public:
+  explicit OracleStore(AntichainStore::Mode mode) : mode_(mode) {}
+
+  bool Insert(const Bitset& set, std::uint64_t payload,
+              std::vector<std::uint64_t>* pruned) {
+    for (const auto& [existing, existing_payload] : entries_) {
+      bool dominated =
+          mode_ == AntichainStore::Mode::kExact
+              ? existing == set
+              : mode_ == AntichainStore::Mode::kKeepMinimal
+                    ? existing.IsSubsetOf(set)
+                    : set.IsSubsetOf(existing);
+      if (dominated) return false;
+    }
+    if (mode_ != AntichainStore::Mode::kExact) {
+      for (std::size_t i = 0; i < entries_.size();) {
+        bool dominates = mode_ == AntichainStore::Mode::kKeepMinimal
+                             ? set.IsSubsetOf(entries_[i].first)
+                             : entries_[i].first.IsSubsetOf(set);
+        if (dominates) {
+          if (pruned != nullptr) pruned->push_back(entries_[i].second);
+          entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    entries_.emplace_back(set, payload);
+    return true;
+  }
+
+  std::vector<std::pair<Bitset, std::uint64_t>> Sorted() const {
+    std::vector<std::pair<Bitset, std::uint64_t>> out = entries_;
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    return out;
+  }
+
+ private:
+  AntichainStore::Mode mode_;
+  std::vector<std::pair<Bitset, std::uint64_t>> entries_;
+};
+
+TEST(AntichainStoreTest, KeepsMinimalChain) {
+  AntichainStore store(AntichainStore::Mode::kKeepMinimal);
+  Bitset big(10);
+  big.Set(1);
+  big.Set(2);
+  big.Set(3);
+  EXPECT_TRUE(store.Insert(big, 1));
+  EXPECT_TRUE(store.Dominated(big));  // itself
+  Bitset small(10);
+  small.Set(2);
+  std::vector<std::uint64_t> pruned;
+  EXPECT_TRUE(store.Insert(small, 2, &pruned));  // prunes the superset
+  EXPECT_EQ(pruned, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Dominated(big));       // dominated by the subset
+  EXPECT_FALSE(store.Insert(big, 3));      // rejected
+  Bitset disjoint(10);
+  disjoint.Set(7);
+  EXPECT_FALSE(store.Dominated(disjoint));
+  EXPECT_TRUE(store.Insert(disjoint, 4));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_GT(store.stats().prunes, 0u);
+}
+
+TEST(AntichainStoreTest, KeepsMaximalChain) {
+  AntichainStore store(AntichainStore::Mode::kKeepMaximal);
+  Bitset small(10);
+  small.Set(2);
+  EXPECT_TRUE(store.Insert(small, 1));
+  Bitset big(10);
+  big.Set(1);
+  big.Set(2);
+  std::vector<std::uint64_t> pruned;
+  EXPECT_TRUE(store.Insert(big, 2, &pruned));  // prunes the subset
+  EXPECT_EQ(pruned, std::vector<std::uint64_t>{1});
+  EXPECT_FALSE(store.Insert(small, 3));  // dominated by the superset
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(AntichainStoreTest, ExactModeDedupsEqualOnly) {
+  AntichainStore store(AntichainStore::Mode::kExact);
+  Bitset a(10);
+  a.Set(1);
+  Bitset ab(10);
+  ab.Set(1);
+  ab.Set(2);
+  EXPECT_TRUE(store.Insert(a, 1));
+  EXPECT_TRUE(store.Insert(ab, 2));  // superset still stored
+  EXPECT_FALSE(store.Insert(a, 3));  // equal rejected
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(AntichainStoreTest, RandomizedAgainstBruteForceOracle) {
+  std::mt19937 rng(987654321);
+  for (AntichainStore::Mode mode : {AntichainStore::Mode::kKeepMinimal,
+                                    AntichainStore::Mode::kKeepMaximal,
+                                    AntichainStore::Mode::kExact}) {
+    for (std::size_t universe : {12u, 70u, 150u}) {
+      AntichainStore store(mode);
+      OracleStore oracle(mode);
+      std::uniform_int_distribution<std::size_t> pick(0, universe - 1);
+      for (std::uint64_t payload = 0; payload < 200; ++payload) {
+        Bitset set(universe);
+        // Skewed small sets so subset relations actually occur.
+        std::size_t fill = 1 + rng() % 6;
+        for (std::size_t i = 0; i < fill; ++i) set.Set(pick(rng));
+        std::vector<std::uint64_t> pruned;
+        std::vector<std::uint64_t> oracle_pruned;
+        bool inserted = store.Insert(set, payload, &pruned);
+        bool oracle_inserted = oracle.Insert(set, payload, &oracle_pruned);
+        ASSERT_EQ(inserted, oracle_inserted) << "payload " << payload;
+        std::sort(pruned.begin(), pruned.end());
+        std::sort(oracle_pruned.begin(), oracle_pruned.end());
+        ASSERT_EQ(pruned, oracle_pruned) << "payload " << payload;
+      }
+      // Surviving families are identical (compare by payload).
+      std::vector<std::pair<Bitset, std::uint64_t>> got;
+      store.ForEach([&got](const Bitset& set, std::uint64_t payload) {
+        got.emplace_back(set, payload);
+      });
+      std::sort(got.begin(), got.end(), [](const auto& a, const auto& b) {
+        return a.second < b.second;
+      });
+      std::vector<std::pair<Bitset, std::uint64_t>> expect = oracle.Sorted();
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].second, expect[i].second);
+        EXPECT_EQ(got[i].first, expect[i].first);
+      }
+      // The index did useful filtering on at least some probes.
+      EXPECT_GT(store.stats().subset_checks, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datalog

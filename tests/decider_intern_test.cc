@@ -338,21 +338,21 @@ TEST(PtreesIrDifferentialTest, AlphabetsAndAutomataAgreeAcrossArms) {
         BuildPtreesAutomaton(programs[p], goal, 2'000'000, /*use_ir=*/false);
     ASSERT_TRUE(ir_arm.ok() && string_arm.ok()) << "program " << p;
     // Identical alphabets: same symbols in the same order.
-    ASSERT_EQ(ir_arm->alphabet.labels.size(),
-              string_arm->alphabet.labels.size())
+    ASSERT_EQ(ir_arm->alphabet.num_labels(),
+              string_arm->alphabet.num_labels())
         << "program " << p;
-    for (std::size_t s = 0; s < ir_arm->alphabet.labels.size(); ++s) {
-      EXPECT_EQ(ir_arm->alphabet.labels[s].ToString(),
-                string_arm->alphabet.labels[s].ToString());
+    for (std::size_t s = 0; s < ir_arm->alphabet.num_labels(); ++s) {
+      EXPECT_EQ(ir_arm->alphabet.Label(s).ToString(),
+                string_arm->alphabet.Label(s).ToString());
       EXPECT_EQ(ir_arm->alphabet.label_idb_positions[s],
                 string_arm->alphabet.label_idb_positions[s]);
       EXPECT_EQ(ir_arm->alphabet.arities[s], string_arm->alphabet.arities[s]);
       // Both SymbolOf implementations resolve every label.
       EXPECT_EQ(
-          ir_arm->alphabet.SymbolOf(ir_arm->alphabet.labels[s]),
+          ir_arm->alphabet.SymbolOf(ir_arm->alphabet.Label(s)),
           static_cast<int>(s));
       EXPECT_EQ(
-          string_arm->alphabet.SymbolOf(string_arm->alphabet.labels[s]),
+          string_arm->alphabet.SymbolOf(string_arm->alphabet.Label(s)),
           static_cast<int>(s));
     }
     // Identical automata: same states (same atoms in the same order,

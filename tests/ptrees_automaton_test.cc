@@ -16,7 +16,7 @@ TEST(ProgramAlphabetTest, SizeIsExponentialInRuleVariables) {
   // exponential in the size of Π).
   StatusOr<ProgramAlphabet> alphabet = BuildProgramAlphabet(SmallTc());
   ASSERT_TRUE(alphabet.ok());
-  EXPECT_EQ(alphabet->labels.size(), 252u);
+  EXPECT_EQ(alphabet->num_labels(), 252u);
   EXPECT_EQ(alphabet->proof_vars.size(), 6u);
 }
 

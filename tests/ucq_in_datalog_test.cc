@@ -2,6 +2,7 @@
 
 #include "src/containment/ucq_in_datalog.h"
 #include "src/generators/examples.h"
+#include "src/util/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace datalog {
@@ -86,6 +87,48 @@ TEST(UcqInDatalogTest, UnionContainedIffEveryDisjunctIs) {
   StatusOr<bool> not_all = IsUcqContainedInDatalog(mixed, tc, "p");
   ASSERT_TRUE(not_all.ok());
   EXPECT_FALSE(*not_all);
+}
+
+TEST(UcqInDatalogTest, CallerSuppliedPoolMatchesSequential) {
+  // A caller-owned ThreadPool amortizes thread spawns across repeated
+  // union-level checks; the verdict, failing disjunct, and stats must
+  // match both the per-call pool and the sequential loop.
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs mixed = PathQueries(3);
+  mixed.Add(MustParseCq("p(X, Y) :- f(X, Y)."));
+
+  CanonicalDbOptions sequential;
+  sequential.eval.num_threads = 1;
+  EvalStats seq_stats;
+  std::size_t seq_failing = 0;
+  StatusOr<bool> seq = IsUcqContainedInDatalog(mixed, tc, "p", &seq_stats,
+                                               sequential, &seq_failing);
+  ASSERT_TRUE(seq.ok());
+
+  ThreadPool pool(4);
+  CanonicalDbOptions pooled;
+  pooled.eval.num_threads = 4;
+  pooled.pool = &pool;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EvalStats pool_stats;
+    std::size_t pool_failing = 0;
+    StatusOr<bool> got = IsUcqContainedInDatalog(
+        mixed, tc, "p", &pool_stats, pooled, &pool_failing);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *seq);
+    EXPECT_EQ(pool_failing, seq_failing);
+    EXPECT_EQ(pool_stats.iterations, seq_stats.iterations);
+    EXPECT_EQ(pool_stats.facts_derived, seq_stats.facts_derived);
+  }
+
+  UnionOfCqs good = PathQueries(3);
+  StatusOr<bool> all_good =
+      IsUcqContainedInDatalog(good, tc, "p", nullptr, pooled);
+  ASSERT_TRUE(all_good.ok());
+  EXPECT_TRUE(*all_good);
 }
 
 TEST(UcqInDatalogTest, HeadOnlyVariableQuery) {

@@ -543,5 +543,85 @@ void BM_TmReduction(benchmark::State& state) {
 }
 BENCHMARK(BM_TmReduction)->Arg(2)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// --- SCC-stratified evaluation (src/analysis/stratify.h) ---------------
+//
+// DistProgram(Arg(0)) is a tower of strata (dist0 .. distN, each its own
+// SCC); a flat fixpoint re-evaluates every layer's rules in every round,
+// while strata-ordered evaluation saturates each layer once. Arg(1)
+// toggles EvalOptions::use_strata; the differential tests
+// (tests/prune_strata_test.cc) pin that both arms compute the same
+// fixpoint, this case tracks the work gap (join_probes, rounds_saved).
+
+void BM_StratifiedEval(benchmark::State& state) {
+  Program dist = DistProgram(static_cast<int>(state.range(0)));
+  RandomDbOptions db_options;
+  db_options.domain_size = 24;
+  db_options.tuples_per_relation = 48;
+  db_options.seed = 7;
+  Database edb = RandomDatabaseFor(dist, db_options);
+  EvalOptions options;
+  options.use_strata = state.range(1) != 0;
+  EvalStats stats;
+  for (auto _ : state) {
+    EvalStats round_stats;
+    StatusOr<Database> result =
+        EvaluateProgram(dist, edb, options, &round_stats);
+    DATALOG_CHECK(result.ok()) << result.status();
+    stats = round_stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["strata"] = static_cast<double>(stats.strata);
+  state.counters["rounds_saved"] = static_cast<double>(stats.rounds_saved);
+  state.counters["join_probes"] = static_cast<double>(stats.join_probes);
+}
+BENCHMARK(BM_StratifiedEval)
+    ->Args({3, 1})
+    ->Args({3, 0})
+    ->Args({4, 1})
+    ->Args({4, 0});
+
+// --- goal-directed rule pruning in the decider -------------------------
+//
+// Transitive closure carrying Arg(0) unreachable junk rules (a recursive
+// island per index); Arg(1) toggles
+// ContainmentOptions::prune_unreachable. With pruning the decider's
+// rounds skip the junk rules outright; without it every round re-fires
+// them. Verdict and witness are pinned identical by
+// tests/prune_strata_test.cc; rules_pruned is exported to keep the
+// workload honest.
+
+void BM_DeciderGoalPruning(benchmark::State& state) {
+  Program program = TransitiveClosureProgram("e", "e");
+  const int junk_rules = static_cast<int>(state.range(0));
+  for (int i = 0; i < junk_rules; ++i) {
+    std::string junk = StrCat("junk", i);
+    program.AddRule(Rule(
+        Atom(junk, {Term::Variable("X")}),
+        {Atom("e", {Term::Variable("X"), Term::Variable("Y")}),
+         Atom(junk, {Term::Variable("Y")})}));
+  }
+  UnionOfCqs theta = PathQueries(3);
+  ContainmentOptions options;
+  options.prune_unreachable = state.range(1) != 0;
+  ContainmentStats stats;
+  for (auto _ : state) {
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(program, "p", theta, options);
+    DATALOG_CHECK(decision.ok()) << decision.status();
+    DATALOG_CHECK(!decision->contained);
+    stats = decision->stats;
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["rules_pruned"] = static_cast<double>(stats.rules_pruned);
+  state.counters["states"] = static_cast<double>(stats.states_discovered);
+  state.counters["combine_calls"] =
+      static_cast<double>(stats.combine_calls);
+}
+BENCHMARK(BM_DeciderGoalPruning)
+    ->Args({6, 1})
+    ->Args({6, 0})
+    ->Args({12, 1})
+    ->Args({12, 0});
+
 }  // namespace
 }  // namespace datalog

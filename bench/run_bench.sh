@@ -46,6 +46,8 @@ if command -v python3 >/dev/null 2>&1; then
   if ! python3 "${repo_root}/bench/check_bench_schema.py" "${tmp_output}" \
       --expect-prefix BM_Decider --expect-prefix BM_TransitiveClosure \
       --expect-prefix BM_PtreesAutomaton --expect-prefix BM_TmReduction \
+      --expect-prefix BM_StratifiedEval \
+      --expect-prefix BM_DeciderGoalPruning \
       --names-file "${names_file}"; then
     rm -f "${names_file}"
     echo "bench_eval produced invalid JSON; leaving ${output} untouched" >&2

@@ -1,0 +1,267 @@
+#include "src/analysis/diagnostics.h"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/reachability.h"
+
+namespace datalog {
+namespace {
+
+Diagnostic Make(DiagnosticSeverity severity, DiagnosticKind kind,
+                int rule_index, std::string predicate, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.kind = kind;
+  d.rule_index = rule_index;
+  d.predicate = std::move(predicate);
+  d.message = std::move(message);
+  return d;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+// Errors: a predicate used with two different arities anywhere in the
+// program (or by the goal lookup downstream) breaks interning, indexing,
+// and the automata alphabets. First use wins; every later conflicting use
+// is reported against the rule it occurs in.
+void CheckArities(const Program& program, std::vector<Diagnostic>* out) {
+  struct FirstUse {
+    std::size_t arity;
+    std::size_t rule;
+  };
+  std::map<std::string, FirstUse> first_use;
+  const std::vector<Rule>& rules = program.rules();
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    std::vector<const Atom*> atoms;
+    atoms.push_back(&rules[r].head());
+    for (const Atom& body_atom : rules[r].body()) atoms.push_back(&body_atom);
+    for (const Atom* atom : atoms) {
+      auto [it, inserted] =
+          first_use.emplace(atom->predicate(), FirstUse{atom->arity(), r});
+      if (inserted || it->second.arity == atom->arity()) continue;
+      std::ostringstream msg;
+      msg << "predicate '" << atom->predicate() << "' used with arity "
+          << atom->arity() << " but first used with arity "
+          << it->second.arity << " in rule " << it->second.rule;
+      out->push_back(Make(DiagnosticSeverity::kError,
+                          DiagnosticKind::kArityMismatch, static_cast<int>(r),
+                          atom->predicate(), msg.str()));
+    }
+  }
+}
+
+// Warnings local to a single rule, emitted rule-major so CLI output reads
+// top-to-bottom through the program.
+void CheckRuleLocal(const Program& program, std::vector<Diagnostic>* out) {
+  const std::vector<Rule>& rules = program.rules();
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const std::string& head_pred = rule.head().predicate();
+
+    // Head variables with no body occurrence. Legal — the engine applies
+    // active-domain semantics and the paper's Example 6.2 uses
+    // `dist0(X, X) :- .` — but worth flagging: the rule's meaning depends
+    // on the database's active domain, which surprises most authors.
+    std::unordered_set<std::string> body_vars;
+    for (const Atom& atom : rule.body()) {
+      for (const Term& t : atom.args()) {
+        if (t.is_variable()) body_vars.insert(t.name());
+      }
+    }
+    std::vector<std::string> unsafe;
+    std::unordered_set<std::string> seen_unsafe;
+    for (const Term& t : rule.head().args()) {
+      if (!t.is_variable() || body_vars.count(t.name()) != 0) continue;
+      if (seen_unsafe.insert(t.name()).second) unsafe.push_back(t.name());
+    }
+    if (!unsafe.empty()) {
+      std::ostringstream msg;
+      msg << "head variable(s) " << JoinNames(unsafe)
+          << " not bound by any body atom (rule is unsafe; "
+             "active-domain semantics applies)";
+      out->push_back(Make(DiagnosticSeverity::kWarning,
+                          DiagnosticKind::kUnsafeHeadVariable,
+                          static_cast<int>(r), head_pred, msg.str()));
+    }
+
+    // Variables occurring exactly once in the whole rule, in the body.
+    // (A head-only single occurrence is the unsafe case above; reporting
+    // it twice would be noise.) Usually a typo for a join variable.
+    std::unordered_map<std::string, int> counts;
+    std::vector<std::string> order;
+    auto count_atom = [&](const Atom& atom) {
+      for (const Term& t : atom.args()) {
+        if (!t.is_variable()) continue;
+        if (++counts[t.name()] == 1) order.push_back(t.name());
+      }
+    };
+    count_atom(rule.head());
+    std::unordered_set<std::string> head_vars;
+    for (const Term& t : rule.head().args()) {
+      if (t.is_variable()) head_vars.insert(t.name());
+    }
+    for (const Atom& atom : rule.body()) count_atom(atom);
+    std::vector<std::string> singletons;
+    for (const std::string& name : order) {
+      if (counts[name] == 1 && head_vars.count(name) == 0) {
+        singletons.push_back(name);
+      }
+    }
+    if (!singletons.empty()) {
+      std::ostringstream msg;
+      msg << "variable(s) " << JoinNames(singletons)
+          << " occur only once (possible typo for a join variable)";
+      out->push_back(Make(DiagnosticSeverity::kWarning,
+                          DiagnosticKind::kSingletonVariable,
+                          static_cast<int>(r), head_pred, msg.str()));
+    }
+
+    // Duplicate of an earlier rule (syntactic equality). Harmless to the
+    // semantics, pure cost to varnum(Π), the alphabets, and every round.
+    for (std::size_t earlier = 0; earlier < r; ++earlier) {
+      if (rules[earlier] != rule) continue;
+      std::ostringstream msg;
+      msg << "rule is identical to rule " << earlier;
+      out->push_back(Make(DiagnosticSeverity::kWarning,
+                          DiagnosticKind::kDuplicateRule, static_cast<int>(r),
+                          head_pred, msg.str()));
+      break;
+    }
+  }
+}
+
+// Goal-dependent warnings: rules that cannot contribute to the goal.
+// `unused-rule` (head predicate feeds nothing: not the goal, occurs in no
+// body) is preferred over the weaker `goal-unreachable-rule` so each rule
+// gets at most one of the two.
+void CheckGoalReachability(const Program& program, const std::string& goal,
+                           std::vector<Diagnostic>* out) {
+  std::set<std::string> body_preds;
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& atom : rule.body()) body_preds.insert(atom.predicate());
+  }
+  std::vector<char> reachable = GoalReachableRules(program, goal);
+  const std::vector<Rule>& rules = program.rules();
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const std::string& head_pred = rules[r].head().predicate();
+    if (head_pred != goal && body_preds.count(head_pred) == 0) {
+      std::ostringstream msg;
+      msg << "head predicate '" << head_pred
+          << "' is not the goal and occurs in no rule body";
+      out->push_back(Make(DiagnosticSeverity::kWarning,
+                          DiagnosticKind::kUnusedRule, static_cast<int>(r),
+                          head_pred, msg.str()));
+      continue;
+    }
+    if (!reachable[r]) {
+      std::ostringstream msg;
+      msg << "rule is not backward-reachable from goal '" << goal << "'";
+      out->push_back(Make(DiagnosticSeverity::kWarning,
+                          DiagnosticKind::kGoalUnreachableRule,
+                          static_cast<int>(r), head_pred, msg.str()));
+    }
+  }
+}
+
+}  // namespace
+
+const char* DiagnosticKindSlug(DiagnosticKind kind) {
+  switch (kind) {
+    case DiagnosticKind::kEmptyProgram:
+      return "empty-program";
+    case DiagnosticKind::kArityMismatch:
+      return "arity-mismatch";
+    case DiagnosticKind::kGoalNotIdb:
+      return "goal-not-idb";
+    case DiagnosticKind::kUnsafeHeadVariable:
+      return "unsafe-head-variable";
+    case DiagnosticKind::kSingletonVariable:
+      return "singleton-variable";
+    case DiagnosticKind::kDuplicateRule:
+      return "duplicate-rule";
+    case DiagnosticKind::kUnusedRule:
+      return "unused-rule";
+    case DiagnosticKind::kGoalUnreachableRule:
+      return "goal-unreachable-rule";
+  }
+  return "unknown";
+}
+
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const std::string& goal) {
+  std::vector<Diagnostic> diagnostics;
+  if (program.rules().empty()) {
+    diagnostics.push_back(Make(DiagnosticSeverity::kError,
+                               DiagnosticKind::kEmptyProgram, -1, "",
+                               "program has no rules"));
+    return diagnostics;
+  }
+  CheckArities(program, &diagnostics);
+  bool goal_is_idb = true;
+  if (!goal.empty() && !program.IsIdb(goal)) {
+    goal_is_idb = false;
+    std::ostringstream msg;
+    msg << "goal predicate '" << goal
+        << "' heads no rule (it is extensional, not IDB)";
+    diagnostics.push_back(Make(DiagnosticSeverity::kError,
+                               DiagnosticKind::kGoalNotIdb, -1, goal,
+                               msg.str()));
+  }
+  CheckRuleLocal(program, &diagnostics);
+  // Reachability over an EDB goal would flag every rule; skip the
+  // goal-dependent warnings once goal-not-idb already fired.
+  if (!goal.empty() && goal_is_idb) {
+    CheckGoalReachability(program, goal, &diagnostics);
+  }
+  return diagnostics;
+}
+
+bool HasLintErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagnosticSeverity::kError) return true;
+  }
+  return false;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  std::ostringstream out;
+  out << (diagnostic.severity == DiagnosticSeverity::kError ? "error"
+                                                            : "warning")
+      << '[' << DiagnosticKindSlug(diagnostic.kind) << ']';
+  if (diagnostic.rule_index >= 0) {
+    out << " rule " << diagnostic.rule_index;
+    if (!diagnostic.predicate.empty()) {
+      out << " (" << diagnostic.predicate << ')';
+    }
+  } else if (!diagnostic.predicate.empty()) {
+    out << " (" << diagnostic.predicate << ')';
+  }
+  out << ": " << diagnostic.message;
+  return out.str();
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace datalog

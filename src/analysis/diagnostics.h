@@ -1,0 +1,87 @@
+// Static diagnostics for Datalog programs: structural lints that run
+// before a program reaches the engine or the containment stack.
+//
+// The paper's constructions (§5) assume well-formed programs — consistent
+// predicate arities, an IDB goal — and pay for every rule in varnum(Π),
+// the automata alphabets, and every fixpoint round. The lint pass checks
+// what must hold (errors) and flags what is probably a mistake but is
+// legal under the repo's semantics (warnings):
+//
+//   errors   empty-program, arity-mismatch, goal-not-idb
+//   warnings unsafe-head-variable (legal: active-domain semantics covers
+//            unsafe rules such as the paper's `dist0(X, X) :- .`),
+//            singleton-variable, duplicate-rule, unused-rule,
+//            goal-unreachable-rule
+//
+// Diagnostics are structured records (severity, kind, rule index,
+// predicate, message) so callers can filter or render them; the
+// tools/datalog_lint CLI prints one FormatDiagnostic line each.
+#ifndef DATALOG_EQ_SRC_ANALYSIS_DIAGNOSTICS_H_
+#define DATALOG_EQ_SRC_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+
+namespace datalog {
+
+enum class DiagnosticSeverity { kWarning, kError };
+
+enum class DiagnosticKind {
+  // Errors.
+  kEmptyProgram,
+  kArityMismatch,
+  kGoalNotIdb,
+  // Warnings.
+  kUnsafeHeadVariable,
+  kSingletonVariable,
+  kDuplicateRule,
+  kUnusedRule,
+  kGoalUnreachableRule,
+};
+
+/// Stable lowercase slug for a kind, e.g. "arity-mismatch". Pinned by the
+/// datalog_lint golden files.
+const char* DiagnosticKindSlug(DiagnosticKind kind);
+
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kWarning;
+  DiagnosticKind kind = DiagnosticKind::kEmptyProgram;
+  /// Index of the offending rule in program.rules(), or -1 when the
+  /// diagnostic is program-level (empty-program, goal-not-idb).
+  int rule_index = -1;
+  /// The predicate the diagnostic is about (may be empty).
+  std::string predicate;
+  /// Human-readable explanation (no severity/kind prefix; FormatDiagnostic
+  /// adds those).
+  std::string message;
+
+  bool operator==(const Diagnostic& other) const {
+    return severity == other.severity && kind == other.kind &&
+           rule_index == other.rule_index && predicate == other.predicate &&
+           message == other.message;
+  }
+};
+
+/// Runs every lint over `program`. Goal-dependent checks (goal-not-idb,
+/// unused-rule, goal-unreachable-rule) run only when `goal` is non-empty.
+/// Deterministic: diagnostics are emitted in check order, then rule order.
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const std::string& goal = "");
+
+/// True if any diagnostic in `diagnostics` is an error.
+bool HasLintErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders one diagnostic as
+///   `error[arity-mismatch] rule 1 (p): ...` or
+///   `warning[duplicate-rule] rule 2 (q): ...`
+/// (the `rule N (pred)` span is omitted for program-level diagnostics).
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+/// Renders all diagnostics, one per line (each line newline-terminated).
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ANALYSIS_DIAGNOSTICS_H_

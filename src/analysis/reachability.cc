@@ -1,0 +1,125 @@
+#include "src/analysis/reachability.h"
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+namespace {
+
+// True if some head variable of `rule` has no body occurrence.
+bool IsUnsafeRule(const Rule& rule) {
+  std::unordered_set<std::string> body_vars;
+  for (const Atom& atom : rule.body()) {
+    for (const Term& t : atom.args()) {
+      if (t.is_variable()) body_vars.insert(t.name());
+    }
+  }
+  for (const Term& t : rule.head().args()) {
+    if (t.is_variable() && body_vars.count(t.name()) == 0) return true;
+  }
+  return false;
+}
+
+void CollectConstants(const Rule& rule,
+                      std::unordered_set<std::string>* out) {
+  for (const Term& t : rule.head().args()) {
+    if (t.is_constant()) out->insert(t.name());
+  }
+  for (const Atom& atom : rule.body()) {
+    for (const Term& t : atom.args()) {
+      if (t.is_constant()) out->insert(t.name());
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_set<std::string> GoalReachablePredicates(
+    const Program& program, const std::string& goal) {
+  std::unordered_set<std::string> reachable;
+  reachable.insert(goal);
+  std::deque<std::string> frontier;
+  frontier.push_back(goal);
+  while (!frontier.empty()) {
+    std::string pred = std::move(frontier.front());
+    frontier.pop_front();
+    for (const Rule& rule : program.rules()) {
+      if (rule.head().predicate() != pred) continue;
+      for (const Atom& atom : rule.body()) {
+        if (reachable.insert(atom.predicate()).second) {
+          frontier.push_back(atom.predicate());
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<char> GoalReachableRules(const Program& program,
+                                     const std::string& goal) {
+  std::unordered_set<std::string> reachable =
+      GoalReachablePredicates(program, goal);
+  std::vector<char> result(program.rules().size(), 0);
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    if (reachable.count(program.rules()[r].head().predicate()) != 0) {
+      result[r] = 1;
+    }
+  }
+  return result;
+}
+
+std::optional<Program> PruneUnreachableRules(const Program& program,
+                                             const std::string& goal) {
+  std::vector<char> keep = GoalReachableRules(program, goal);
+  std::size_t kept = 0;
+  for (char k : keep) kept += static_cast<std::size_t>(k);
+  if (kept == keep.size() || kept == 0) return std::nullopt;
+  std::vector<Rule> rules;
+  rules.reserve(kept);
+  for (std::size_t r = 0; r < keep.size(); ++r) {
+    if (keep[r]) rules.push_back(program.rules()[r]);
+  }
+  return Program(std::move(rules));
+}
+
+std::optional<Program> PruneForEvaluation(const Program& program,
+                                          const std::string& goal) {
+  std::vector<char> keep = GoalReachableRules(program, goal);
+  std::size_t kept = 0;
+  for (char k : keep) kept += static_cast<std::size_t>(k);
+  if (kept == keep.size() || kept == 0) return std::nullopt;
+
+  bool retained_unsafe = false;
+  std::unordered_set<std::string> retained_constants;
+  std::unordered_set<std::string> pruned_constants;
+  for (std::size_t r = 0; r < keep.size(); ++r) {
+    const Rule& rule = program.rules()[r];
+    if (keep[r]) {
+      retained_unsafe = retained_unsafe || IsUnsafeRule(rule);
+      CollectConstants(rule, &retained_constants);
+    } else {
+      CollectConstants(rule, &pruned_constants);
+    }
+  }
+  if (retained_unsafe) {
+    for (const std::string& constant : pruned_constants) {
+      // Pruning would remove this constant from the engine's active
+      // domain, which the unsafe retained rule enumerates over: the goal
+      // relation could change. Decline to prune.
+      if (retained_constants.count(constant) == 0) return std::nullopt;
+    }
+  }
+
+  std::vector<Rule> rules;
+  rules.reserve(kept);
+  for (std::size_t r = 0; r < keep.size(); ++r) {
+    if (keep[r]) rules.push_back(program.rules()[r]);
+  }
+  return Program(std::move(rules));
+}
+
+}  // namespace datalog

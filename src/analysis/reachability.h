@@ -1,0 +1,69 @@
+// Goal-directed reachability over a program's rules, and the rule-pruning
+// transforms built on it.
+//
+// A rule can contribute to deriving the goal only if its head predicate is
+// backward-reachable from the goal in the dependence graph (goal first;
+// a rule with head in the reachable set adds all its body predicates).
+// Dropping the rest shrinks varnum(Π), the ptrees/linear automata
+// alphabets, and every decider round — without changing any verdict,
+// witness, or derived goal relation:
+//
+//  * Proof-tree semantics (the decider, ptrees/theta/linear automata):
+//    a proof tree for a goal-predicate fact mentions only rules whose
+//    head predicate is backward-reachable from the goal, so pruning
+//    removes no proof tree and admits no new one. Unconditionally sound —
+//    see PruneUnreachableRules.
+//  * Engine evaluation of the goal relation: sound for the same reason,
+//    EXCEPT that the engine's active domain includes every constant of
+//    the program, so pruning a rule that carries a constant can shrink
+//    the domain an unsafe retained rule enumerates over. PruneForEvaluation
+//    adds that guard and declines to prune in the affected corner.
+#ifndef DATALOG_EQ_SRC_ANALYSIS_REACHABILITY_H_
+#define DATALOG_EQ_SRC_ANALYSIS_REACHABILITY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ast/rule.h"
+
+namespace datalog {
+
+/// The predicates backward-reachable from `goal`: the least set R with
+/// goal ∈ R and, for every rule whose head predicate is in R, all body
+/// predicates in R. (EDB predicates reachable through some rule body are
+/// included.) If the goal heads no rule, the result is just {goal}.
+std::unordered_set<std::string> GoalReachablePredicates(
+    const Program& program, const std::string& goal);
+
+/// Per rule of `program` (by index): 1 if the rule's head predicate is
+/// backward-reachable from `goal`, else 0.
+std::vector<char> GoalReachableRules(const Program& program,
+                                     const std::string& goal);
+
+/// The program restricted to its goal-reachable rules, preserving their
+/// relative order. Returns nullopt when there is nothing to do: every
+/// rule is reachable, or none is (a goal that heads no rule — pruning to
+/// an empty program would turn a structural error into a silent one).
+///
+/// Sound for proof-tree semantics: verdicts and witnesses of the
+/// containment deciders, and the ptrees/theta/linear automata languages
+/// restricted to goal-rooted trees, are unchanged.
+std::optional<Program> PruneUnreachableRules(const Program& program,
+                                             const std::string& goal);
+
+/// PruneUnreachableRules, guarded for engine evaluation under
+/// active-domain semantics: additionally returns nullopt when some
+/// retained rule is unsafe (a head variable unbound by its body) and the
+/// pruned rules mention a constant that no retained rule mentions —
+/// exactly the case where pruning would shrink the active domain the
+/// unsafe rule enumerates over and so could change the goal relation.
+/// (EDB constants are unaffected by pruning; only program constants are
+/// at stake.)
+std::optional<Program> PruneForEvaluation(const Program& program,
+                                          const std::string& goal);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ANALYSIS_REACHABILITY_H_

@@ -1,0 +1,29 @@
+#include "src/analysis/stratify.h"
+
+#include "src/ast/analysis.h"
+
+namespace datalog {
+
+Stratification StratifyProgram(const Program& program) {
+  DependenceGraph graph = BuildDependenceGraph(program);
+  Stratification result;
+  if (program.rules().empty()) return result;
+  // Components are numbered in reverse topological order of the edges
+  // Q -> P ("P depends on Q"), so a rule's body predicates have component
+  // ids >= its head's: iterating components DESCENDING visits
+  // dependencies first.
+  std::vector<std::vector<std::size_t>> by_component(
+      static_cast<std::size_t>(graph.sccs.num_components));
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    int node = graph.NodeId(program.rules()[r].head().predicate());
+    int component = graph.sccs.component[static_cast<std::size_t>(node)];
+    by_component[static_cast<std::size_t>(component)].push_back(r);
+  }
+  for (std::size_t c = by_component.size(); c-- > 0;) {
+    if (by_component[c].empty()) continue;  // EDB-only component
+    result.strata.push_back(std::move(by_component[c]));
+  }
+  return result;
+}
+
+}  // namespace datalog

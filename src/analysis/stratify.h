@@ -1,0 +1,39 @@
+// SCC stratification of a Datalog program for strata-ordered evaluation.
+//
+// Condensing the dependence graph (src/ast/analysis.h, src/util/scc.h)
+// groups the rules by the strongly-connected component of their head
+// predicate; evaluating the components in topological order (dependencies
+// first) computes each lower stratum to fixpoint once, so only the rules
+// of the current component iterate. For monotone Datalog this is the
+// classic semi-naive refinement: the least fixpoint is unchanged, but a
+// rule whose component is already saturated never re-joins in later
+// strata's rounds (EvalStats::rounds_saved counts those avoided
+// rule-round evaluations).
+#ifndef DATALOG_EQ_SRC_ANALYSIS_STRATIFY_H_
+#define DATALOG_EQ_SRC_ANALYSIS_STRATIFY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ast/rule.h"
+
+namespace datalog {
+
+struct Stratification {
+  /// Rule indexes into program.rules(), grouped by the SCC of the rule's
+  /// head predicate and listed in evaluation order: strata[0] must be
+  /// evaluated first, and every rule's body predicates are defined in its
+  /// own stratum or an earlier one. Indexes ascend within a stratum, so a
+  /// single-stratum program yields {0, 1, ..., n-1} and strata-ordered
+  /// evaluation degenerates to the plain fixpoint. Empty strata (SCCs of
+  /// EDB predicates, which head no rules) are omitted.
+  std::vector<std::vector<std::size_t>> strata;
+};
+
+/// Groups the program's rules into evaluation-ordered strata. Mutually
+/// recursive predicates share a component and hence a stratum.
+Stratification StratifyProgram(const Program& program);
+
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_ANALYSIS_STRATIFY_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/util/strings.h"
 
 namespace datalog {
@@ -147,7 +148,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  StatusOr<Program> ParseProgram() {
+  StatusOr<Program> ParseProgram(bool lint) {
     std::vector<Rule> rules;
     while (Peek().kind != TokenKind::kEnd) {
       StatusOr<Rule> rule = ParseOneRule();
@@ -158,8 +159,21 @@ class Parser {
       return Status(InvalidArgumentError("empty program"));
     }
     Program program(std::move(rules));
-    Status valid = program.Validate();
-    if (!valid.ok()) return valid;
+    if (lint) {
+      // The structural lint subsumes Program::Validate (its
+      // arity-mismatch check is Validate's consistency requirement);
+      // only error-severity diagnostics fail the parse.
+      std::vector<Diagnostic> diagnostics = LintProgram(program);
+      if (HasLintErrors(diagnostics)) {
+        std::string message = "program failed lint:\n";
+        for (const Diagnostic& d : diagnostics) {
+          if (d.severity != DiagnosticSeverity::kError) continue;
+          message += FormatDiagnostic(d);
+          message += '\n';
+        }
+        return Status(InvalidArgumentError(message));
+      }
+    }
     return program;
   }
 
@@ -274,10 +288,15 @@ StatusOr<std::vector<Token>> TokenizeAll(std::string_view text) {
 }  // namespace
 
 StatusOr<Program> ParseProgram(std::string_view text) {
+  return ParseProgram(text, ParseOptions());
+}
+
+StatusOr<Program> ParseProgram(std::string_view text,
+                               const ParseOptions& options) {
   StatusOr<std::vector<Token>> tokens = TokenizeAll(text);
   if (!tokens.ok()) return tokens.status();
   Parser parser(std::move(tokens).value());
-  return parser.ParseProgram();
+  return parser.ParseProgram(options.lint);
 }
 
 StatusOr<Atom> ParseAtom(std::string_view text) {

@@ -23,10 +23,24 @@
 
 namespace datalog {
 
+struct ParseOptions {
+  /// Run the structural lint (src/analysis/diagnostics.h) on the parsed
+  /// program and fail with the formatted error diagnostics when any
+  /// error-severity lint fires (arity-mismatch; an empty program is a
+  /// parse error regardless). Lint warnings never fail a parse. Opt out
+  /// for deliberately malformed inputs — the datalog_lint CLI parses raw
+  /// so it can diagnose arity-broken programs itself, and tests exercise
+  /// invalid programs the same way. With lint off the program is NOT
+  /// validated at all (Program::Validate is the lint's subset).
+  bool lint = true;
+};
+
 /// Parses a full program. Returns InvalidArgumentError with line/column
-/// information on malformed input. The parsed program is additionally
-/// passed through Program::Validate().
+/// information on malformed input, and (by default) with formatted lint
+/// diagnostics when the parsed program fails the structural lint.
 StatusOr<Program> ParseProgram(std::string_view text);
+StatusOr<Program> ParseProgram(std::string_view text,
+                               const ParseOptions& options);
 
 /// Parses a single atom, e.g. "p(X, a)".
 StatusOr<Atom> ParseAtom(std::string_view text);

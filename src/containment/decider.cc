@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/reachability.h"
 #include "src/ast/analysis.h"
 #include "src/containment/absorb.h"
 #include "src/containment/instances.h"
@@ -87,6 +88,11 @@ struct ContainmentChecker::Context {
   // EDB-only rules first (they seed the fixpoint), then rules heading the
   // goal predicate (failing root states surface early), then the rest.
   std::vector<const Rule*> ordered_rules;
+  // Parallel to ordered_rules: 1 when the rule's head predicate is
+  // backward-reachable from the goal. An unreachable rule can head no
+  // subtree of a goal-rooted proof tree, so runs with
+  // ContainmentOptions::prune_unreachable skip it entirely.
+  std::vector<char> rule_reachable;
 
   // --- interned substrate (the use_ir / intern_memo paths) -------------
   // The shared program IR, seeded from the program's *carried* IR
@@ -208,6 +214,13 @@ struct ContainmentChecker::Context {
           ordered_rules.push_back(&rule);
         }
       }
+    }
+    std::unordered_set<std::string> reachable =
+        GoalReachablePredicates(program_ref, goal);
+    rule_reachable.reserve(ordered_rules.size());
+    for (const Rule* rule : ordered_rules) {
+      rule_reachable.push_back(
+          reachable.count(rule->head().predicate()) > 0 ? 1 : 0);
     }
   }
 
@@ -393,6 +406,11 @@ class DeciderRun {
     // carried-IR reuse in the stats.
     decision.stats.program_ir_builds = ctx_.ir_builds_paid;
     ctx_.ir_builds_paid = 0;
+    if (options_.prune_unreachable) {
+      for (char reachable : ctx_.rule_reachable) {
+        if (!reachable) ++decision.stats.rules_pruned;
+      }
+    }
     if (interned_substrate) {
       if (ctx_.rule_caches.empty()) {
         ctx_.rule_caches.resize(ctx_.ordered_rules.size());
@@ -460,6 +478,10 @@ class DeciderRun {
     const bool need_strings =
         !std::is_same<SetT, IrAchievedSet>::value || options_.track_witness;
     for (std::size_t r = 0; r < ctx_.ordered_rules.size(); ++r) {
+      // Goal-directed pruning: a rule whose head predicate cannot reach
+      // the goal contributes states only to unreachable goal entries,
+      // which no root acceptance ever consults — skip its enumeration.
+      if (options_.prune_unreachable && !ctx_.rule_reachable[r]) continue;
       ContainmentChecker::Context::RuleCache& cache = ctx_.rule_caches[r];
       for (std::uint32_t id : cache.instance_ids) {
         if (need_strings) {
@@ -569,9 +591,11 @@ class DeciderRun {
   // --- string-keyed round: the pre-interning baseline (ablation arm) --
 
   bool RunRoundString(ContainmentDecision* decision, bool* changed) {
-    for (const Rule* rule : ctx_.ordered_rules) {
+    for (std::size_t r = 0; r < ctx_.ordered_rules.size(); ++r) {
+      if (options_.prune_unreachable && !ctx_.rule_reachable[r]) continue;
       bool ok = ForEachCanonicalInstance(
-          *rule, ctx_.proof_vars.size(), [&](const Rule& instance) {
+          *ctx_.ordered_rules[r], ctx_.proof_vars.size(),
+          [&](const Rule& instance) {
             return ProcessInstanceString(instance, decision, changed);
           });
       if (!ok) return false;

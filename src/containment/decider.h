@@ -65,6 +65,14 @@ struct ContainmentOptions {
   /// intern_memo/use_ir mold: decisions, witnesses, and state serials are
   /// byte-identical either way (tests/decider_bitset_test.cc).
   bool use_bitsets = true;
+  /// Skip rules that are not backward-reachable from the goal predicate
+  /// (src/analysis/reachability.h): such a rule can head no subtree of a
+  /// goal-rooted proof tree, so the verdict AND the counterexample
+  /// witness are byte-identical with this off — only the per-round rule
+  /// sweep shrinks (state serials and discovery counters differ, which is
+  /// the point). Ablation switch; ContainmentStats::rules_pruned reports
+  /// the rules skipped.
+  bool prune_unreachable = true;
   /// Abort with ResourceExhausted beyond this many (goal, set) states.
   std::size_t max_states = 1'000'000;
 };
@@ -101,6 +109,10 @@ struct ContainmentStats {
   /// root-acceptance steps (each one replaces a Term/string compare on
   /// the baseline path; 0 when use_ir is off).
   std::size_t pinned_compares = 0;
+  /// Rules skipped by goal-directed pruning (prune_unreachable): rules of
+  /// Π whose head predicate is not backward-reachable from the goal. 0
+  /// when the option is off or every rule is reachable.
+  std::size_t rules_pruned = 0;
   /// Full AST→IR interning passes this Decide call paid for the program.
   /// 0 when the program's carried ProgramIr (ir::CarriedIr) was already
   /// valid — i.e. on every Decide after the first against the same

@@ -1,9 +1,11 @@
 #include "src/containment/linear.h"
 
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
+#include "src/analysis/reachability.h"
 #include "src/ast/analysis.h"
 #include "src/containment/absorb.h"
 #include "src/containment/query_analysis.h"
@@ -337,12 +339,20 @@ ExpansionTree DecodeWord(const ProgramAlphabet& alphabet,
 StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
     const Program& program, const std::string& goal, const UnionOfCqs& theta,
     const LinearContainmentOptions& options) {
-  if (!IsLinearInIdb(program)) {
+  // Goal-directed pruning first: unreachable rules label no goal-rooted
+  // path, so everything below — including the linearity check — runs on
+  // the reachable fragment.
+  std::optional<Program> pruned;
+  if (options.prune_unreachable) {
+    pruned = PruneUnreachableRules(program, goal);
+  }
+  const Program& prog = pruned.has_value() ? *pruned : program;
+  if (!IsLinearInIdb(prog)) {
     return Status(InvalidArgumentError(
         "program is not linear (a rule has more than one IDB subgoal)"));
   }
   StatusOr<ProgramAlphabet> alphabet_or =
-      BuildProgramAlphabet(program, options.max_labels, options.use_ir);
+      BuildProgramAlphabet(prog, options.max_labels, options.use_ir);
   if (!alphabet_or.ok()) return alphabet_or.status();
   ProgramAlphabet& alphabet = *alphabet_or;
 

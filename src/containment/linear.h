@@ -33,6 +33,13 @@ struct LinearContainmentOptions {
   /// The string arm is kept as the ablation baseline; both arms build
   /// identical automata and results (tests/decider_intern_test.cc).
   bool use_ir = true;
+  /// Drop rules not backward-reachable from the goal before the
+  /// linearity check and the word-automata constructions
+  /// (src/analysis/reachability.h): unreachable rules label no
+  /// goal-rooted path, so the verdict and counterexample are unchanged
+  /// while the alphabet and state spaces shrink. Also admits programs
+  /// whose *unreachable* part is nonlinear. Ablation switch.
+  bool prune_unreachable = true;
 };
 
 struct LinearContainmentResult {

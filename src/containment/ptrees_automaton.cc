@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/analysis/reachability.h"
 #include "src/ast/analysis.h"
 #include "src/containment/instances.h"
 #include "src/util/logging.h"
@@ -302,9 +303,17 @@ int PtreesAutomaton::StateOf(const Atom& atom) const {
 StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
                                                const std::string& goal,
                                                std::size_t max_labels,
-                                               bool use_ir) {
+                                               bool use_ir,
+                                               bool prune_unreachable) {
+  // Goal-directed pruning: an unreachable rule's instances could label no
+  // node of a goal-rooted run, so dropping them changes no accepted tree
+  // — only the alphabet size. (The alphabet copies the rules, so the
+  // pruned program can be call-local.)
+  std::optional<Program> pruned;
+  if (prune_unreachable) pruned = PruneUnreachableRules(program, goal);
+  const Program& prog = pruned.has_value() ? *pruned : program;
   StatusOr<ProgramAlphabet> alphabet =
-      BuildProgramAlphabet(program, max_labels, use_ir);
+      BuildProgramAlphabet(prog, max_labels, use_ir);
   if (!alphabet.ok()) return alphabet.status();
   PtreesAutomaton automaton{std::move(alphabet).value(),
                             Nfta(0, {}),

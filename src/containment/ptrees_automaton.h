@@ -114,12 +114,18 @@ struct PtreesAutomaton {
   int StateOf(const Atom& atom) const;
 };
 
-/// Builds A^ptrees_{Q,Π} (Proposition 5.9); `use_ir` as above.
+/// Builds A^ptrees_{Q,Π} (Proposition 5.9); `use_ir` as above. By
+/// default rules not backward-reachable from `goal` are dropped first
+/// (src/analysis/reachability.h) — they cannot label any node of a
+/// goal-rooted proof tree, so the accepted language is unchanged while
+/// the alphabet (exponential per rule) shrinks; `prune_unreachable =
+/// false` keeps the full alphabet for cross-validation.
 StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
                                                const std::string& goal,
                                                std::size_t max_labels =
                                                    2'000'000,
-                                               bool use_ir = true);
+                                               bool use_ir = true,
+                                               bool prune_unreachable = true);
 
 /// Encodes a proof tree as a labeled tree over the alphabet; nullopt if a
 /// node's rule instance is not an alphabet label (i.e. uses variables

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/analysis/reachability.h"
 #include "src/cq/canonical_db.h"
 #include "src/engine/database.h"
 #include "src/engine/eval.h"
@@ -82,8 +83,11 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
                                       const std::string& goal,
                                       EvalStats* stats,
                                       const CanonicalDbOptions& options) {
+  std::optional<Program> pruned;
+  if (options.prune_unreachable) pruned = PruneForEvaluation(program, goal);
+  const Program& prog = pruned.has_value() ? *pruned : program;
   if (!options.use_ir) {
-    return IsCqContainedString(theta, program, goal, stats, options.eval);
+    return IsCqContainedString(theta, prog, goal, stats, options.eval);
   }
   // A bare CQ has no carrier to cache on; intern just this disjunct
   // (no union copy, no full FromUnion pass). Drivers that loop many CQs
@@ -92,7 +96,7 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
   // reuses the union's carried IR across the whole loop.
   ir::ProgramIr single;
   single.AddDisjunct(theta);
-  return IsDisjunctContainedIr(single, 0, program, goal, stats,
+  return IsDisjunctContainedIr(single, 0, prog, goal, stats,
                                options.eval);
 }
 
@@ -100,9 +104,12 @@ StatusOr<bool> IsUcqDisjunctContainedInDatalog(
     const UnionOfCqs& theta, std::size_t disjunct, const Program& program,
     const std::string& goal, EvalStats* stats,
     const CanonicalDbOptions& options) {
+  std::optional<Program> pruned;
+  if (options.prune_unreachable) pruned = PruneForEvaluation(program, goal);
+  const Program& prog = pruned.has_value() ? *pruned : program;
   std::shared_ptr<ir::ProgramIr> theta_ir;
   if (options.use_ir) theta_ir = ir::CarriedIr(theta);
-  return CheckDisjunct(theta, theta_ir.get(), disjunct, program, goal,
+  return CheckDisjunct(theta, theta_ir.get(), disjunct, prog, goal,
                        stats, options.eval);
 }
 
@@ -112,6 +119,11 @@ StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
                                        EvalStats* stats,
                                        const CanonicalDbOptions& options,
                                        std::size_t* failing_disjunct) {
+  // Prune once, up front: both the sequential loop and the fan-out below
+  // evaluate the same (possibly pruned) program per disjunct.
+  std::optional<Program> pruned;
+  if (options.prune_unreachable) pruned = PruneForEvaluation(program, goal);
+  const Program& prog = pruned.has_value() ? *pruned : program;
   std::shared_ptr<ir::ProgramIr> theta_ir;
   if (options.use_ir) theta_ir = ir::CarriedIr(theta);
   const std::size_t n = theta.disjuncts().size();
@@ -137,7 +149,7 @@ StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
     ThreadPool& pool =
         options.pool != nullptr ? *options.pool : *local_pool;
     pool.ParallelFor(n, [&](std::size_t i) {
-      results[i] = CheckDisjunct(theta, theta_ir.get(), i, program, goal,
+      results[i] = CheckDisjunct(theta, theta_ir.get(), i, prog, goal,
                                  stats != nullptr ? &task_stats[i] : nullptr,
                                  task_eval);
     });
@@ -156,7 +168,7 @@ StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,
 
   for (std::size_t i = 0; i < n; ++i) {
     StatusOr<bool> contained = CheckDisjunct(theta, theta_ir.get(), i,
-                                             program, goal, stats,
+                                             prog, goal, stats,
                                              options.eval);
     if (!contained.ok()) return contained;
     if (!*contained) {

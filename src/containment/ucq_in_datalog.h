@@ -46,6 +46,15 @@ struct CanonicalDbOptions {
   /// still decides whether fan-out happens at all. Unowned; must outlive
   /// the call.
   ThreadPool* pool = nullptr;
+  /// Drop the program's rules that are not backward-reachable from the
+  /// goal before the canonical-database evaluations, via the
+  /// active-domain-guarded PruneForEvaluation
+  /// (src/analysis/reachability.h) — the guard declines to prune exactly
+  /// when removing a rule's constants could change an unsafe retained
+  /// rule's enumeration, so verdicts are identical with this off
+  /// (ablation switch). Pruning happens once per call, before any
+  /// disjunct loop or fan-out.
+  bool prune_unreachable = true;
 };
 
 /// θ ⊆ Q_Π: evaluates Π over the canonical database of θ and tests the

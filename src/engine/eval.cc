@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/analysis/stratify.h"
 #include "src/engine/index.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
@@ -195,6 +197,17 @@ class Evaluator {
     for (const Rule& rule : program.rules()) {
       rules_.push_back(compiler.Compile(rule));
     }
+    // Rule groups, in evaluation order. With stratification on, the SCC
+    // strata of the dependence graph (dependencies first); otherwise one
+    // group holding every rule — the unstratified fixpoint.
+    if (options_.use_strata) {
+      rule_groups_ = StratifyProgram(program).strata;
+    } else if (!rules_.empty()) {
+      rule_groups_.emplace_back();
+      for (std::size_t r = 0; r < rules_.size(); ++r) {
+        rule_groups_.back().push_back(r);
+      }
+    }
     active_domain_ = db_.ActiveDomain();
     domain_set_.insert(active_domain_.begin(), active_domain_.end());
     // Constants mentioned only in the program are part of the domain too.
@@ -220,11 +233,18 @@ class Evaluator {
 
   StatusOr<Database> Run() {
     std::size_t threads = ResolvedEvalThreads(options_);
-    Status s;
-    if (threads > 1) {
-      s = RunParallel(threads);
-    } else {
-      s = options_.semi_naive ? RunSemiNaive() : RunNaive();
+    // One pool for the whole run; each stratum fans its rounds out on it.
+    std::optional<ThreadPool> pool;
+    if (threads > 1 && !rule_groups_.empty()) pool.emplace(threads);
+    Status s = OkStatus();
+    for (const std::vector<std::size_t>& group : rule_groups_) {
+      if (stats_ != nullptr) ++stats_->strata;
+      if (pool.has_value()) {
+        s = RunParallel(*pool, group);
+      } else {
+        s = options_.semi_naive ? RunSemiNaive(group) : RunNaive(group);
+      }
+      if (!s.ok()) break;
     }
     if (stats_ != nullptr) {
       stats_->join_probes += serial_ctx_.join_probes;
@@ -505,12 +525,21 @@ class Evaluator {
     return OkStatus();
   }
 
-  Status RunNaive() {
+  // Per-round bookkeeping shared by every run mode: a round over `group`
+  // also records the rules outside it that an unstratified round would
+  // have considered (EvalStats::rounds_saved).
+  void CountRound(const std::vector<std::size_t>& group) {
+    if (stats_ == nullptr) return;
+    ++stats_->iterations;
+    stats_->rounds_saved += rules_.size() - group.size();
+  }
+
+  Status RunNaive(const std::vector<std::size_t>& group) {
     std::size_t before = derived_total_;
     while (true) {
-      if (stats_ != nullptr) ++stats_->iterations;
-      for (const CompiledRule& rule : rules_) {
-        Status s = EvaluateRule(rule, -1, nullptr);
+      CountRound(group);
+      for (std::size_t r : group) {
+        Status s = EvaluateRule(rules_[r], -1, nullptr);
         if (!s.ok()) return s;
       }
       if (derived_total_ == before) return OkStatus();
@@ -518,25 +547,28 @@ class Evaluator {
     }
   }
 
-  Status RunSemiNaive() {
+  Status RunSemiNaive(const std::vector<std::size_t>& group) {
     const std::size_t num_predicates = db_.predicates().size();
     DeltaWindow delta(num_predicates);
-    // Round 0: full naive pass; the watermarks start at the EDB sizes,
-    // so round 1's windows are exactly the facts derived here.
+    // Round 0: full naive pass over the group (facts of earlier strata
+    // are already in the relations); the watermarks start at the
+    // pre-group sizes, so round 1's windows are exactly the facts
+    // derived here.
     Snapshot(&delta);
-    if (stats_ != nullptr) ++stats_->iterations;
+    CountRound(group);
     std::size_t before = derived_total_;
-    for (const CompiledRule& rule : rules_) {
-      Status s = EvaluateRule(rule, -1, nullptr);
+    for (std::size_t r : group) {
+      Status s = EvaluateRule(rules_[r], -1, nullptr);
       if (!s.ok()) return s;
     }
 
     while (derived_total_ != before) {
       before = derived_total_;
-      if (stats_ != nullptr) ++stats_->iterations;
+      CountRound(group);
       DeltaWindow next(num_predicates);
       Snapshot(&next);
-      for (const CompiledRule& rule : rules_) {
+      for (std::size_t r : group) {
+        const CompiledRule& rule = rules_[r];
         for (std::size_t i = 0; i < rule.body.size(); ++i) {
           PredicateId id = rule.body[i].predicate;
           if (delta.lo[id] >= db_.RelationOf(id).size()) continue;
@@ -566,8 +598,8 @@ class Evaluator {
   // run-to-run for any thread count, and the fixpoint equals the serial
   // engine's as a set of tuples (stratified and chaotic semi-naive
   // iteration reach the same least fixpoint).
-  Status RunParallel(std::size_t threads) {
-    ThreadPool pool(threads);
+  Status RunParallel(ThreadPool& pool,
+                     const std::vector<std::size_t>& group) {
     const std::size_t num_predicates = db_.predicates().size();
     num_shards_ = options_.num_shards > 0
                       ? static_cast<std::size_t>(options_.num_shards)
@@ -588,11 +620,11 @@ class Evaluator {
     while (true) {
       tasks.clear();
       if (full_round || !options_.semi_naive) {
-        for (std::size_t r = 0; r < rules_.size(); ++r) {
+        for (std::size_t r : group) {
           tasks.push_back({r, -1});
         }
       } else {
-        for (std::size_t r = 0; r < rules_.size(); ++r) {
+        for (std::size_t r : group) {
           const CompiledRule& rule = rules_[r];
           for (std::size_t i = 0; i < rule.body.size(); ++i) {
             PredicateId id = rule.body[i].predicate;
@@ -602,10 +634,8 @@ class Evaluator {
         }
       }
       if (tasks.empty()) return OkStatus();
-      if (stats_ != nullptr) {
-        ++stats_->iterations;
-        ++stats_->rounds_parallel;
-      }
+      CountRound(group);
+      if (stats_ != nullptr) ++stats_->rounds_parallel;
       const DeltaWindow* window = full_round ? nullptr : &delta;
 
       plans.resize(tasks.size());
@@ -740,6 +770,9 @@ class Evaluator {
   EvalStats* stats_;
   Database db_;
   std::vector<CompiledRule> rules_;
+  // Evaluation-ordered rule groups: SCC strata (use_strata) or one group
+  // of every rule. Empty only for an empty program.
+  std::vector<std::vector<std::size_t>> rule_groups_;
   std::vector<int> active_domain_;
   std::unordered_set<int> domain_set_;
   // Lazily-built column indexes over db_'s relations, parallel to

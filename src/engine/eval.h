@@ -43,6 +43,16 @@ struct EvalOptions {
   /// count, so parallel results do not depend on the thread count).
   /// Ignored when num_threads resolves to 1.
   int num_shards = 0;
+  /// Run the fixpoint per SCC-stratum of the dependence graph
+  /// (src/analysis/stratify.h), dependencies first: each lower stratum is
+  /// computed to fixpoint once, and only the current component's rules
+  /// iterate. The least fixpoint — every relation, as a tuple set — is
+  /// identical with this off (ablation switch); row order within a
+  /// relation may differ. Composes with naive/semi-naive and with the
+  /// parallel staged rounds (each stratum runs its own staged rounds on
+  /// the shared pool). EvalStats::strata counts the rule groups executed
+  /// and EvalStats::rounds_saved the avoided rule-round evaluations.
+  bool use_strata = true;
   /// Abort with ResourceExhausted if more than this many facts are derived.
   std::size_t max_derived_facts = 50'000'000;
 };
@@ -71,6 +81,14 @@ struct EvalStats {
   /// in the relation before the round, or staged more than once within
   /// it.
   std::size_t merge_collisions = 0;
+  /// Rule groups executed by the fixpoint: the number of (nonempty) SCC
+  /// strata with use_strata on, else 1 per evaluation.
+  int strata = 0;
+  /// Rule-round evaluations avoided by stratification: for every round,
+  /// the rules outside the current stratum that an unstratified round
+  /// would have considered. 0 when use_strata is off or the program is a
+  /// single stratum.
+  std::size_t rounds_saved = 0;
 
   /// Folds `other`'s counters into this one (drivers that evaluate many
   /// databases — e.g. per-disjunct canonical-database checks — fold
@@ -85,6 +103,8 @@ struct EvalStats {
     rounds_parallel += other.rounds_parallel;
     tuples_staged += other.tuples_staged;
     merge_collisions += other.merge_collisions;
+    strata += other.strata;
+    rounds_saved += other.rounds_saved;
   }
 };
 

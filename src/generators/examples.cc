@@ -1,5 +1,6 @@
 #include "src/generators/examples.h"
 
+#include "src/analysis/diagnostics.h"
 #include "src/ast/parser.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -8,9 +9,22 @@ namespace datalog {
 namespace {
 
 Program MustParse(const std::string& text) {
+  // ParseProgram lints by default, so parsed generators are covered.
   StatusOr<Program> program = ParseProgram(text);
   DATALOG_CHECK(program.ok()) << program.status() << "\n" << text;
   return *program;
+}
+
+// Hand-built generators bypass the parser, so they run the structural
+// lint here; error-severity findings are generator bugs. (Warnings are
+// expected — DistLeProgram's `dist0(X, X) :- .` base case is a
+// deliberately unsafe rule.)
+Program Checked(Program program) {
+  std::vector<Diagnostic> diagnostics = LintProgram(program);
+  DATALOG_CHECK(!HasLintErrors(diagnostics))
+      << "generated program failed lint:\n"
+      << FormatDiagnostics(diagnostics) << program.ToString();
+  return program;
 }
 
 Term Var(const std::string& name) { return Term::Variable(name); }
@@ -53,7 +67,7 @@ Program TransitiveClosureProgram(const std::string& step_edb,
                         Atom("p", {Var("Z"), Var("Y")})}));
   program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
                        {Atom(base_edb, {Var("X"), Var("Y")})}));
-  return program;
+  return Checked(std::move(program));
 }
 
 Program NonlinearTransitiveClosureProgram() {
@@ -78,7 +92,7 @@ Program DistProgram(int n) {
   }
   program.AddRule(Rule(Atom(DistPredicate(0), {Var("X"), Var("Y")}),
                        {Atom("e", {Var("X"), Var("Y")})}));
-  return program;
+  return Checked(std::move(program));
 }
 
 Program DistLeProgram(int n) {
@@ -97,7 +111,7 @@ Program DistLeProgram(int n) {
                        {Atom("e", {Var("X"), Var("Y")})}));
   program.AddRule(Rule(Atom(DistPredicate(0), {Var("X"), Var("X")}), {}));
   program.AddRule(Rule(Atom(DistLePredicate(0), {Var("X"), Var("X")}), {}));
-  return program;
+  return Checked(std::move(program));
 }
 
 Program EqualProgram(int n) {
@@ -119,7 +133,7 @@ Program EqualProgram(int n) {
       Atom(EqualPredicate(0), {Var("X"), Var("Y"), Var("U"), Var("V")}),
       {Atom("e", {Var("X"), Var("Y")}), Atom("e", {Var("U"), Var("V")}),
        Atom("one", {Var("X")}), Atom("one", {Var("U")})}));
-  return program;
+  return Checked(std::move(program));
 }
 
 Program WordProgram(int n) {
@@ -138,7 +152,7 @@ Program WordProgram(int n) {
                          {Atom("e", {Var("X"), Var("Y")}),
                           Atom(label, {Var("X")})}));
   }
-  return program;
+  return Checked(std::move(program));
 }
 
 UnionOfCqs PathQueries(int max_length) {
@@ -178,7 +192,7 @@ Program ChainProgram(int step) {
   program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}), std::move(body)));
   program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
                        {Atom("e", {Var("X"), Var("Y")})}));
-  return program;
+  return Checked(std::move(program));
 }
 
 }  // namespace datalog

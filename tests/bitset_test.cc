@@ -167,7 +167,9 @@ TEST(BitsetTest, KernelIdentitiesAgainstSetOracle) {
         EXPECT_EQ(a.Fold() & ~b.Fold(), 0u);
       }
       // Hash consistency with equality.
-      if (oracle_a == oracle_b) EXPECT_EQ(a.Hash(), b.Hash());
+      if (oracle_a == oracle_b) {
+        EXPECT_EQ(a.Hash(), b.Hash());
+      }
     }
   }
 }

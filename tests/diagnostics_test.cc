@@ -1,0 +1,360 @@
+// Unit tests for the static-analysis layer (src/analysis/): one test per
+// diagnostic kind of the structural lint, the SCC stratification used by
+// the engine's strata-ordered fixpoint, goal-directed reachability and
+// the rule-pruning transforms (including PruneForEvaluation's
+// active-domain guard), and the parser/generator lint wiring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/reachability.h"
+#include "src/analysis/stratify.h"
+#include "src/ast/parser.h"
+#include "src/generators/examples.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+// Parses without linting: most lint tests need programs the linted parse
+// would reject.
+Program RawParse(const std::string& text) {
+  ParseOptions options;
+  options.lint = false;
+  StatusOr<Program> program = ParseProgram(text, options);
+  EXPECT_TRUE(program.ok()) << program.status() << "\nwhile parsing:\n"
+                            << text;
+  return *program;
+}
+
+std::vector<DiagnosticKind> KindsOf(const std::vector<Diagnostic>& ds) {
+  std::vector<DiagnosticKind> kinds;
+  kinds.reserve(ds.size());
+  for (const Diagnostic& d : ds) kinds.push_back(d.kind);
+  return kinds;
+}
+
+bool HasKind(const std::vector<Diagnostic>& ds, DiagnosticKind kind) {
+  return std::any_of(ds.begin(), ds.end(), [kind](const Diagnostic& d) {
+    return d.kind == kind;
+  });
+}
+
+// --- LintProgram: one test per diagnostic kind -------------------------
+
+TEST(LintTest, CleanProgramHasNoDiagnostics) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  EXPECT_TRUE(LintProgram(program, "p").empty());
+  EXPECT_TRUE(LintProgram(program).empty());
+}
+
+TEST(LintTest, EmptyProgram) {
+  Program program;
+  std::vector<Diagnostic> ds = LintProgram(program);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].kind, DiagnosticKind::kEmptyProgram);
+  EXPECT_EQ(ds[0].severity, DiagnosticSeverity::kError);
+  EXPECT_EQ(ds[0].rule_index, -1);
+  EXPECT_TRUE(HasLintErrors(ds));
+}
+
+TEST(LintTest, ArityMismatchFirstUseWins) {
+  Program program = RawParse(R"(
+    p(X, Y) :- e(X, Y).
+    q(X) :- p(X).
+  )");
+  std::vector<Diagnostic> ds = LintProgram(program);
+  ASSERT_TRUE(HasKind(ds, DiagnosticKind::kArityMismatch));
+  const Diagnostic* mismatch = nullptr;
+  for (const Diagnostic& d : ds) {
+    if (d.kind == DiagnosticKind::kArityMismatch) mismatch = &d;
+  }
+  ASSERT_NE(mismatch, nullptr);
+  EXPECT_EQ(mismatch->severity, DiagnosticSeverity::kError);
+  EXPECT_EQ(mismatch->predicate, "p");
+  EXPECT_EQ(mismatch->rule_index, 1);  // the *second* use conflicts
+  EXPECT_TRUE(HasLintErrors(ds));
+}
+
+TEST(LintTest, GoalNotIdb) {
+  Program program = MustParseProgram("p(X, Y) :- e(X, Y).");
+  std::vector<Diagnostic> ds = LintProgram(program, "e");
+  ASSERT_TRUE(HasKind(ds, DiagnosticKind::kGoalNotIdb));
+  EXPECT_TRUE(HasLintErrors(ds));
+  // Same program with the IDB goal is clean.
+  EXPECT_TRUE(LintProgram(program, "p").empty());
+}
+
+TEST(LintTest, UnsafeHeadVariableIsWarning) {
+  // The paper's Example 6.2 base case: legal under active-domain
+  // semantics, hence a warning, not an error.
+  Program program = RawParse("dist0(X, X) :- .");
+  std::vector<Diagnostic> ds = LintProgram(program);
+  ASSERT_TRUE(HasKind(ds, DiagnosticKind::kUnsafeHeadVariable));
+  EXPECT_FALSE(HasLintErrors(ds));
+  for (const Diagnostic& d : ds) {
+    if (d.kind == DiagnosticKind::kUnsafeHeadVariable) {
+      EXPECT_EQ(d.rule_index, 0);
+      EXPECT_EQ(d.predicate, "dist0");
+    }
+  }
+}
+
+TEST(LintTest, SingletonVariable) {
+  Program program = MustParseProgram("p(X) :- e(X, Y).");
+  std::vector<Diagnostic> ds = LintProgram(program);
+  ASSERT_EQ(KindsOf(ds),
+            std::vector<DiagnosticKind>{DiagnosticKind::kSingletonVariable});
+  EXPECT_EQ(ds[0].severity, DiagnosticSeverity::kWarning);
+  // A variable shared between body atoms is not a singleton.
+  Program joined = MustParseProgram("p(X) :- e(X, Y), f(Y).");
+  EXPECT_TRUE(LintProgram(joined).empty());
+}
+
+TEST(LintTest, DuplicateRule) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    p(X, Y) :- e(X, Y).
+  )");
+  std::vector<Diagnostic> ds = LintProgram(program);
+  ASSERT_EQ(KindsOf(ds),
+            std::vector<DiagnosticKind>{DiagnosticKind::kDuplicateRule});
+  EXPECT_EQ(ds[0].rule_index, 2);
+  EXPECT_FALSE(HasLintErrors(ds));
+}
+
+TEST(LintTest, UnusedRule) {
+  // q heads a rule but appears in no body and is not the goal.
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    q(X) :- e(X, X).
+  )");
+  std::vector<Diagnostic> ds = LintProgram(program, "p");
+  ASSERT_EQ(KindsOf(ds),
+            std::vector<DiagnosticKind>{DiagnosticKind::kUnusedRule});
+  EXPECT_EQ(ds[0].rule_index, 1);
+  EXPECT_EQ(ds[0].predicate, "q");
+}
+
+TEST(LintTest, GoalUnreachableRule) {
+  // q and r feed each other, so neither is "unused" (each occurs in a
+  // body), but the island is unreachable from the goal p.
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    q(X) :- r(X).
+    r(X) :- q(X).
+  )");
+  std::vector<Diagnostic> ds = LintProgram(program, "p");
+  ASSERT_EQ(ds.size(), 2u);
+  for (const Diagnostic& d : ds) {
+    EXPECT_EQ(d.kind, DiagnosticKind::kGoalUnreachableRule);
+  }
+  EXPECT_FALSE(HasLintErrors(ds));
+}
+
+TEST(LintTest, GoalChecksSkippedWithoutGoal) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    q(X) :- e(X, X).
+  )");
+  EXPECT_TRUE(LintProgram(program).empty());
+}
+
+TEST(LintTest, FormatDiagnosticShapes) {
+  Diagnostic rule_level;
+  rule_level.severity = DiagnosticSeverity::kWarning;
+  rule_level.kind = DiagnosticKind::kDuplicateRule;
+  rule_level.rule_index = 2;
+  rule_level.predicate = "q";
+  rule_level.message = "rule is identical to rule 0";
+  EXPECT_EQ(FormatDiagnostic(rule_level),
+            "warning[duplicate-rule] rule 2 (q): rule is identical to rule 0");
+
+  Diagnostic program_level;
+  program_level.severity = DiagnosticSeverity::kError;
+  program_level.kind = DiagnosticKind::kEmptyProgram;
+  program_level.message = "program has no rules";
+  EXPECT_EQ(FormatDiagnostic(program_level),
+            "error[empty-program]: program has no rules");
+}
+
+// --- stratification ----------------------------------------------------
+
+TEST(StratifyTest, SingleComponentProgramIsOneStratum) {
+  Stratification s = StratifyProgram(TransitiveClosureProgram("e", "e"));
+  ASSERT_EQ(s.strata.size(), 1u);
+  EXPECT_EQ(s.strata[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(StratifyTest, LayeredProgramOrdersDependenciesFirst) {
+  // q depends on p, r depends on q: three strata in p, q, r order.
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    q(X, Y) :- p(X, Y), p(Y, X).
+    r(X) :- q(X, X).
+  )");
+  Stratification s = StratifyProgram(program);
+  ASSERT_EQ(s.strata.size(), 3u);
+  EXPECT_EQ(s.strata[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(s.strata[1], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(s.strata[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(StratifyTest, MutualRecursionSharesAStratum) {
+  Program program = MustParseProgram(R"(
+    p(X) :- e(X, Y), q(Y).
+    q(X) :- f(X, Y), p(Y).
+    top(X) :- p(X), q(X).
+  )");
+  Stratification s = StratifyProgram(program);
+  ASSERT_EQ(s.strata.size(), 2u);
+  EXPECT_EQ(s.strata[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(s.strata[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(StratifyTest, EmptyProgramHasNoStrata) {
+  EXPECT_TRUE(StratifyProgram(Program()).strata.empty());
+}
+
+// --- goal-directed reachability and pruning ----------------------------
+
+TEST(ReachabilityTest, BackwardClosureFromGoal) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Z), q(Z, Y).
+    q(X, Y) :- f(X, Y).
+    junk(X) :- g(X).
+  )");
+  std::unordered_set<std::string> reachable =
+      GoalReachablePredicates(program, "p");
+  EXPECT_EQ(reachable.count("p"), 1u);
+  EXPECT_EQ(reachable.count("q"), 1u);
+  EXPECT_EQ(reachable.count("e"), 1u);
+  EXPECT_EQ(reachable.count("f"), 1u);
+  EXPECT_EQ(reachable.count("junk"), 0u);
+  EXPECT_EQ(reachable.count("g"), 0u);
+  EXPECT_EQ(GoalReachableRules(program, "p"),
+            (std::vector<char>{1, 1, 0}));
+}
+
+TEST(ReachabilityTest, PruneDropsUnreachableRulesInOrder) {
+  Program program = MustParseProgram(R"(
+    junk(X) :- p(X, X), junk(X).
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  std::optional<Program> pruned = PruneUnreachableRules(program, "p");
+  ASSERT_TRUE(pruned.has_value());
+  ASSERT_EQ(pruned->rules().size(), 2u);
+  EXPECT_EQ(pruned->rules()[0], program.rules()[1]);
+  EXPECT_EQ(pruned->rules()[1], program.rules()[2]);
+}
+
+TEST(ReachabilityTest, PruneNoopsWhenAllReachable) {
+  EXPECT_FALSE(
+      PruneUnreachableRules(TransitiveClosureProgram("e", "e"), "p")
+          .has_value());
+}
+
+TEST(ReachabilityTest, PruneDeclinesWhenGoalHeadsNoRule) {
+  // Pruning to an empty program would silently swallow a structural
+  // error (nothing derives the goal).
+  Program program = MustParseProgram("p(X, Y) :- e(X, Y).");
+  EXPECT_FALSE(PruneUnreachableRules(program, "nosuch").has_value());
+}
+
+TEST(ReachabilityTest, EvaluationGuardBlocksActiveDomainShrink) {
+  // The retained part has an unsafe rule (zero(X) :- . enumerates the
+  // active domain) and the junk rule carries a constant `a` that no
+  // retained rule mentions: pruning it would remove `a` from the active
+  // domain and change the goal relation. PruneForEvaluation must refuse.
+  Program program = RawParse(R"(
+    zero(X) :- .
+    p(X) :- zero(X).
+    junk(X) :- e(X, a).
+  )");
+  EXPECT_FALSE(PruneForEvaluation(program, "p").has_value());
+  // Proof-tree pruning has no such hazard and still fires.
+  std::optional<Program> pruned = PruneUnreachableRules(program, "p");
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_EQ(pruned->rules().size(), 2u);
+}
+
+TEST(ReachabilityTest, EvaluationGuardAllowsCoveredConstants) {
+  // Same shape, but a retained rule also mentions `a`: pruning cannot
+  // shrink the active domain, so the guard lets it through.
+  Program program = RawParse(R"(
+    zero(X) :- .
+    p(X) :- zero(X), e(X, a).
+    junk(X) :- e(X, a).
+  )");
+  std::optional<Program> pruned = PruneForEvaluation(program, "p");
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_EQ(pruned->rules().size(), 2u);
+}
+
+TEST(ReachabilityTest, EvaluationGuardAllowsSafePrograms) {
+  // No unsafe retained rule: pruned constants are irrelevant to the goal
+  // relation, so the prune fires even though `a` disappears.
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    junk(X) :- e(X, a).
+  )");
+  std::optional<Program> pruned = PruneForEvaluation(program, "p");
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_EQ(pruned->rules().size(), 1u);
+}
+
+// --- parser and generator wiring ---------------------------------------
+
+TEST(ParserLintTest, LintedParseRejectsArityMismatch) {
+  StatusOr<Program> program = ParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    q(X) :- p(X).
+  )");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("failed lint"),
+            std::string::npos);
+  EXPECT_NE(program.status().message().find("arity-mismatch"),
+            std::string::npos);
+}
+
+TEST(ParserLintTest, LintOffAcceptsArityMismatch) {
+  ParseOptions options;
+  options.lint = false;
+  StatusOr<Program> program = ParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    q(X) :- p(X).
+  )", options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules().size(), 2u);
+}
+
+TEST(ParserLintTest, WarningsDoNotFailTheParse) {
+  // Unsafe heads and singletons are warnings; the linted parse accepts
+  // them (the repo's semantics needs `dist0(X, X) :- .`).
+  StatusOr<Program> program = ParseProgram(R"(
+    dist0(X, X) :- .
+    p(X) :- e(X, Y).
+  )");
+  EXPECT_TRUE(program.ok());
+}
+
+TEST(GeneratorLintTest, GeneratorsPassTheLint) {
+  // The generators run LintProgram under DATALOG_CHECK; constructing
+  // them is the assertion. DistLeProgram carries the deliberately unsafe
+  // base cases, so it exercises the warning-tolerant path.
+  EXPECT_EQ(DistLeProgram(2).rules().size(), 7u);
+  EXPECT_FALSE(HasLintErrors(LintProgram(WordProgram(3))));
+  EXPECT_FALSE(HasLintErrors(LintProgram(EqualProgram(2))));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -109,13 +109,15 @@ TEST(ParserTest, ErrorTrailingGarbageAfterAtom) {
   EXPECT_FALSE(ParseRule("p(X) :- e(X). q(Y).").ok());
 }
 
-TEST(ParserTest, ArityMismatchRejectedByValidation) {
+TEST(ParserTest, ArityMismatchRejectedByLint) {
+  // The parser's default lint (src/analysis/diagnostics.h) rejects
+  // arity-inconsistent programs with the offending diagnostic inline.
   StatusOr<Program> p = ParseProgram(R"(
     p(X) :- e(X, X).
     q(X) :- e(X).
   )");
   ASSERT_FALSE(p.ok());
-  EXPECT_NE(p.status().message().find("arities"), std::string::npos);
+  EXPECT_NE(p.status().message().find("arity-mismatch"), std::string::npos);
 }
 
 TEST(ParserTest, PaperExample11Programs) {

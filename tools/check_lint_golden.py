@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Golden-file tests for the datalog_lint CLI.
+
+Usage: check_lint_golden.py <datalog_lint-binary> <testdata-dir>
+
+For every `<case>.dl` in the testdata directory, runs the lint binary on
+it and compares stdout byte-for-byte against `<case>.golden`. Per-case
+flags come from an optional first-line marker in the .dl file:
+
+    % lint-args: --goal=p --werror
+
+The expected exit status is derived from the golden file: 1 when it
+contains an error-severity line (or, under --werror, any warning line),
+else 0. Registered as the `lint_golden` ctest by CMakeLists.txt.
+"""
+import os
+import subprocess
+import sys
+
+
+def expected_exit(args, golden: str) -> int:
+    if "error[" in golden:
+        return 1
+    if "--werror" in args and "warning[" in golden:
+        return 1
+    return 0
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <lint-binary> <testdata-dir>")
+    binary, testdata = sys.argv[1], sys.argv[2]
+    cases = sorted(
+        name[:-3] for name in os.listdir(testdata) if name.endswith(".dl"))
+    if not cases:
+        sys.exit(f"check_lint_golden: no .dl cases in {testdata}")
+
+    failures = []
+    for case in cases:
+        dl_path = os.path.join(testdata, case + ".dl")
+        golden_path = os.path.join(testdata, case + ".golden")
+        if not os.path.exists(golden_path):
+            failures.append(f"{case}: missing {case}.golden")
+            continue
+        with open(dl_path) as handle:
+            first_line = handle.readline()
+        args = []
+        marker = "% lint-args:"
+        if first_line.startswith(marker):
+            args = first_line[len(marker):].split()
+        result = subprocess.run([binary, *args, dl_path],
+                                capture_output=True, text=True)
+        with open(golden_path) as handle:
+            golden = handle.read()
+        want_exit = expected_exit(args, golden)
+        if result.stdout != golden:
+            failures.append(
+                f"{case}: output mismatch\n--- want ---\n{golden}"
+                f"--- got ----\n{result.stdout}------------")
+        elif result.returncode != want_exit:
+            failures.append(f"{case}: exit {result.returncode}, "
+                            f"want {want_exit}")
+
+    if failures:
+        for failure in failures:
+            print(f"check_lint_golden: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_lint_golden: OK ({len(cases)} cases)")
+
+
+if __name__ == "__main__":
+    main()

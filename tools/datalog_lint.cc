@@ -1,0 +1,110 @@
+// datalog_lint: run the structural lint (src/analysis/diagnostics.h) on a
+// Datalog program and print one line per finding.
+//
+// Usage: datalog_lint [--goal=PRED] [--werror] FILE
+//        datalog_lint [--goal=PRED] [--werror] -       (read stdin)
+//
+// Output: one FormatDiagnostic line per finding, e.g.
+//   error[arity-mismatch] rule 1 (p): predicate 'p' used with arity 1 ...
+//   warning[duplicate-rule] rule 2 (q): rule is identical to rule 0
+// followed by a `N error(s), M warning(s)` summary line.
+//
+// Exit status: 0 when clean or warnings only, 1 when any error-severity
+// diagnostic fired (or any warning, under --werror), 2 on usage or parse
+// failure. The golden-file tests (tools/check_lint_golden.py) pin both
+// the output and the exit status.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/ast/parser.h"
+#include "src/util/status.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: datalog_lint [--goal=PRED] [--werror] FILE|-\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string goal;
+  bool werror = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--goal=", 0) == 0) {
+      goal = arg.substr(7);
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "datalog_lint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  // Parse raw (lint off): the whole point is to diagnose programs the
+  // linted parse would reject, e.g. arity-inconsistent ones.
+  datalog::ParseOptions parse_options;
+  parse_options.lint = false;
+  datalog::StatusOr<datalog::Program> program =
+      datalog::ParseProgram(text, parse_options);
+  if (!program.ok()) {
+    // An unparseable empty input still gets the lint's empty-program
+    // shape; true syntax errors surface as parse failures.
+    if (program.status().message() == "empty program") {
+      datalog::Diagnostic d;
+      d.severity = datalog::DiagnosticSeverity::kError;
+      d.kind = datalog::DiagnosticKind::kEmptyProgram;
+      d.message = "program has no rules";
+      std::cout << datalog::FormatDiagnostic(d) << "\n"
+                << "1 error(s), 0 warning(s)\n";
+      return 1;
+    }
+    std::cerr << "datalog_lint: parse error: " << program.status().message()
+              << "\n";
+    return 2;
+  }
+
+  std::vector<datalog::Diagnostic> diagnostics =
+      datalog::LintProgram(*program, goal);
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const datalog::Diagnostic& d : diagnostics) {
+    std::cout << datalog::FormatDiagnostic(d) << "\n";
+    if (d.severity == datalog::DiagnosticSeverity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+  }
+  std::cout << errors << " error(s), " << warnings << " warning(s)\n";
+  if (errors > 0) return 1;
+  if (werror && warnings > 0) return 1;
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <random>
 
+#include "src/ast/parser.h"
 #include "src/automata/nfa.h"
 #include "src/containment/decider.h"
 #include "src/containment/linear.h"
@@ -267,6 +268,98 @@ BENCHMARK(BM_TransitiveClosureRandomGraph)
     ->Args({24, 0})
     ->Args({48, 1})
     ->Args({48, 0});
+
+// --- cost-based join planning (src/engine/eval.cc planner) ------------
+//
+// A hub join where greedy most-bound-args ordering is a bad plan:
+// reach(W) :- reach(X), hub(X, Y), mid(Y, Z), sel(Z, W) with hub
+// fan-out Arg(0) per chain node, a sparse mid (in-degree 16 per Z
+// value), and |sel| tiny. Greedy walks the rule forward from the delta:
+// the fat hub bucket (fan-out candidates) times mid's per-Y out-degree,
+// each combination spawning a sel probe — fan_out * (1 + 2 * 16) probes
+// per delta row. The cost model starts from the cheap end instead: scan
+// sel, probe mid with Z bound (in-degree-sized buckets), and finish on
+// hub with both columns bound — chain-sized work per delta row plus a
+// one-time two-column hub index. Arg(1) toggles
+// EvalOptions::cost_based; the differential suites pin both arms to the
+// identical fixpoint, so the time ratio plus join_probes isolate the
+// ordering.
+void BM_CostBasedJoinOrder(benchmark::State& state) {
+  constexpr int kChain = 24;
+  constexpr int kMidInDegree = 16;
+  StatusOr<Program> parsed = ParseProgram(R"(
+    reach(X) :- start(X).
+    reach(W) :- reach(X), hub(X, Y), mid(Y, Z), sel(Z, W).
+  )");
+  DATALOG_CHECK(parsed.ok());
+  Program& prog = *parsed;
+  const int fan_out = static_cast<int>(state.range(0));
+  Database db;
+  db.AddFact("start", {"a0"});
+  for (int i = 0; i <= kChain; ++i) {
+    for (int j = 0; j < fan_out; ++j) {
+      db.AddFact("hub", {StrCat("a", i), StrCat("b", j)});
+    }
+  }
+  for (int l = 0; l < fan_out; ++l) {
+    for (int j = 0; j < kMidInDegree; ++j) {
+      db.AddFact("mid",
+                 {StrCat("b", (l * 7 + j * 11) % fan_out), StrCat("c", l)});
+    }
+  }
+  for (int i = 0; i < kChain; ++i) {
+    db.AddFact("sel", {StrCat("c", i), StrCat("a", i + 1)});
+  }
+  EvalOptions options;
+  options.cost_based = state.range(1) != 0;
+  EvalStats stats;
+  for (auto _ : state) {
+    StatusOr<Relation> result =
+        EvaluateGoal(prog, "reach", db, options, &stats);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["join_probes"] = benchmark::Counter(
+      static_cast<double>(stats.join_probes) / iterations,
+      benchmark::Counter::kAvgThreads);
+  state.counters["plans_rebuilt"] = benchmark::Counter(
+      static_cast<double>(stats.plans_rebuilt) / iterations,
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_CostBasedJoinOrder)
+    ->Args({192, 1})
+    ->Args({192, 0})
+    ->Args({256, 1})
+    ->Args({256, 0});
+
+// Plan-cache steady state: deep chain transitive closure under staged
+// parallel rounds (the database is frozen per round, so rounds track
+// the chain length and relation growth settles after the early rounds).
+// Once sizes settle, the 2x watermark rule stops rebuilding: plans_cached
+// grows with the rounds while plans_rebuilt stays flat — the exported
+// counters make the steady state visible in the recorded JSON. Arg(0)
+// is the chain length.
+void BM_PlanCacheSteadyState(benchmark::State& state) {
+  Program tc = TransitiveClosureProgram("e", "e");
+  Database db = LineGraph(static_cast<int>(state.range(0)));
+  EvalOptions options;  // cost_based defaults on
+  options.num_threads = 2;
+  EvalStats stats;
+  for (auto _ : state) {
+    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options, &stats);
+    DATALOG_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["plans_cached"] = benchmark::Counter(
+      static_cast<double>(stats.plans_cached) / iterations,
+      benchmark::Counter::kAvgThreads);
+  state.counters["plans_rebuilt"] = benchmark::Counter(
+      static_cast<double>(stats.plans_rebuilt) / iterations,
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_PlanCacheSteadyState)->Arg(96)->Arg(192);
 
 // --- containment decider memoization baseline -------------------------
 //

@@ -48,6 +48,8 @@ if command -v python3 >/dev/null 2>&1; then
       --expect-prefix BM_PtreesAutomaton --expect-prefix BM_TmReduction \
       --expect-prefix BM_StratifiedEval \
       --expect-prefix BM_DeciderGoalPruning \
+      --expect-prefix BM_CostBasedJoinOrder \
+      --expect-prefix BM_PlanCacheSteadyState \
       --names-file "${names_file}"; then
     rm -f "${names_file}"
     echo "bench_eval produced invalid JSON; leaving ${output} untouched" >&2

@@ -131,6 +131,57 @@ void CheckRuleLocal(const Program& program, std::vector<Diagnostic>* out) {
                           static_cast<int>(r), head_pred, msg.str()));
     }
 
+    // A group of body atoms sharing no variables with the rest forces a
+    // cartesian product under *every* join order — the one shape the
+    // cost-based planner cannot do anything about, and almost always a
+    // missing join variable. Ground (variable-free) atoms are existence
+    // filters, not product factors, so they do not participate.
+    const std::vector<Atom>& body = rule.body();
+    std::vector<std::size_t> var_atoms;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      for (const Term& t : body[i].args()) {
+        if (t.is_variable()) {
+          var_atoms.push_back(i);
+          break;
+        }
+      }
+    }
+    if (var_atoms.size() >= 2) {
+      // Union-find over the variable-bearing atoms, merged through
+      // shared variables.
+      std::vector<std::size_t> parent(var_atoms.size());
+      for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+      auto find = [&parent](std::size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      std::unordered_map<std::string, std::size_t> owner;
+      for (std::size_t i = 0; i < var_atoms.size(); ++i) {
+        for (const Term& t : body[var_atoms[i]].args()) {
+          if (!t.is_variable()) continue;
+          auto [it, inserted] = owner.emplace(t.name(), i);
+          if (!inserted) parent[find(i)] = find(it->second);
+        }
+      }
+      std::size_t first_component = find(0);
+      std::vector<std::string> detached;
+      std::unordered_set<std::string> seen_detached;
+      for (std::size_t i = 1; i < var_atoms.size(); ++i) {
+        if (find(i) == first_component) continue;
+        const std::string& pred = body[var_atoms[i]].predicate();
+        if (seen_detached.insert(pred).second) detached.push_back(pred);
+      }
+      if (!detached.empty()) {
+        std::ostringstream msg;
+        msg << "body atom(s) " << JoinNames(detached)
+            << " share no variables with the rest of the body; every join "
+               "order contains a cross-product step";
+        out->push_back(Make(DiagnosticSeverity::kWarning,
+                            DiagnosticKind::kCrossProductJoin,
+                            static_cast<int>(r), head_pred, msg.str()));
+      }
+    }
+
     // Duplicate of an earlier rule (syntactic equality). Harmless to the
     // semantics, pure cost to varnum(Π), the alphabets, and every round.
     for (std::size_t earlier = 0; earlier < r; ++earlier) {
@@ -194,6 +245,8 @@ const char* DiagnosticKindSlug(DiagnosticKind kind) {
       return "singleton-variable";
     case DiagnosticKind::kDuplicateRule:
       return "duplicate-rule";
+    case DiagnosticKind::kCrossProductJoin:
+      return "cross-product-join";
     case DiagnosticKind::kUnusedRule:
       return "unused-rule";
     case DiagnosticKind::kGoalUnreachableRule:

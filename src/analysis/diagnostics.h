@@ -10,8 +10,10 @@
 //   errors   empty-program, arity-mismatch, goal-not-idb
 //   warnings unsafe-head-variable (legal: active-domain semantics covers
 //            unsafe rules such as the paper's `dist0(X, X) :- .`),
-//            singleton-variable, duplicate-rule, unused-rule,
-//            goal-unreachable-rule
+//            singleton-variable, duplicate-rule, cross-product-join (a
+//            body atom shares no variables with the rest, so every join
+//            order contains a cartesian step no planner can avoid),
+//            unused-rule, goal-unreachable-rule
 //
 // Diagnostics are structured records (severity, kind, rule index,
 // predicate, message) so callers can filter or render them; the
@@ -37,6 +39,7 @@ enum class DiagnosticKind {
   kUnsafeHeadVariable,
   kSingletonVariable,
   kDuplicateRule,
+  kCrossProductJoin,
   kUnusedRule,
   kGoalUnreachableRule,
 };

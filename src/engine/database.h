@@ -80,6 +80,13 @@ class Relation {
   std::size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.size() == 0; }
 
+  /// Growth watermark: the row count, read by the join planner to decide
+  /// whether a cached plan's cardinality estimates are still credible.
+  /// Relations are append-only, so two equal watermarks bracket an
+  /// unchanged relation; a distinct name keeps planner call sites
+  /// self-describing.
+  std::size_t GrowthWatermark() const { return rows_.size(); }
+
   /// Inserts `tuple`; returns true if it was new.
   bool Insert(const Tuple& tuple);
   bool Contains(const Tuple& tuple) const;

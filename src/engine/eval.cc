@@ -28,6 +28,38 @@ struct CompiledAtom {
   std::vector<int> variable;  // -1 when the position holds a constant
 };
 
+// One position of a join plan: which body atom runs at this step, and the
+// column patterns its index probe uses. `key_mask` marks columns holding
+// constants or variables bound by earlier steps (static per plan: the
+// set of bound variables at each step depends only on the order).
+// `distinct_mask` marks columns binding new variables that stay relevant
+// downstream (used later in the plan, emitted by the head, or repeated
+// within the atom); columns outside both masks bind dead variables, and
+// `project` says some exist — rows then collapse to one representative
+// per (key, distinct) projection inside the index (a projection pushed
+// into the join). `index` is resolved when the plan is built and caught
+// up on every use (cached plans refresh it before each stamp).
+struct JoinStep {
+  std::size_t atom = 0;
+  std::uint32_t key_mask = 0;
+  std::uint32_t distinct_mask = 0;
+  bool project = false;
+  const ColumnIndex* index = nullptr;
+};
+
+// A compiled join plan cached for one (rule, delta position), plus the
+// size watermark of every participating relation at build time. The
+// plan stays valid while no participating relation has more than
+// doubled past its watermark — cardinality estimates from before such
+// growth are still within 2x, and the 2x threshold makes rebuilds
+// logarithmic in a relation's final size (plans_rebuilt stays flat
+// while plans_cached grows round over round).
+struct CachedPlan {
+  bool valid = false;
+  std::vector<JoinStep> steps;
+  std::vector<std::pair<PredicateId, std::size_t>> watermarks;
+};
+
 struct CompiledRule {
   PredicateId head_predicate;
   std::vector<int> head_constant;  // parallel to head args, -1 for variables
@@ -38,6 +70,10 @@ struct CompiledRule {
   std::vector<int> unbound_head_variables;
   // Slots appearing anywhere in the head (constants excluded).
   std::vector<char> in_head;
+  // Plan cache, one slot per delta position: plans[0] is the full
+  // (no-delta) plan, plans[i + 1] the plan with body atom i as the
+  // delta. Only used with EvalOptions::cost_based (see PlanFor).
+  std::vector<CachedPlan> plans;
 };
 
 constexpr int kUnbound = -1;
@@ -72,6 +108,7 @@ class RuleCompiler {
     for (int v : compiled.head_variable) {
       if (v >= 0) compiled.in_head[v] = 1;
     }
+    compiled.plans.resize(compiled.body.size() + 1);
     return compiled;
   }
 
@@ -112,24 +149,6 @@ class RuleCompiler {
 
   Database* db_;
   std::unordered_map<std::string, int> slots_;
-};
-
-// One position of a join plan: which body atom runs at this step, and the
-// column patterns its index probe uses. `key_mask` marks columns holding
-// constants or variables bound by earlier steps (static per plan: the
-// set of bound variables at each step depends only on the order).
-// `distinct_mask` marks columns binding new variables that stay relevant
-// downstream (used later in the plan, emitted by the head, or repeated
-// within the atom); columns outside both masks bind dead variables, and
-// `project` says some exist — rows then collapse to one representative
-// per (key, distinct) projection inside the index (a projection pushed
-// into the join). `index` is resolved once per rule evaluation.
-struct JoinStep {
-  std::size_t atom = 0;
-  std::uint32_t key_mask = 0;
-  std::uint32_t distinct_mask = 0;
-  bool project = false;
-  const ColumnIndex* index = nullptr;
 };
 
 // The semi-naive delta, represented as a watermark per relation: the
@@ -261,13 +280,48 @@ class Evaluator {
     if (domain_set_.insert(id).second) active_domain_.push_back(id);
   }
 
-  // Greedy runtime join order: repeatedly pick the unplaced body atom
-  // with the most already-determined argument positions (constants plus
-  // variables bound by earlier steps), breaking ties toward the smaller
-  // relation — the delta atom uses the delta window's size, which
-  // shrinks as the fixpoint converges. With reordering off, textual
-  // order is kept. Either way, each step's column patterns are derived
-  // afterwards and its index is resolved (and caught up) up front.
+  // Estimated candidate rows if `atom` runs next with the columns in
+  // `key_mask` bound: the per-key selectivity of a warm index with that
+  // key pattern — current rows over the index's distinct-key estimate —
+  // restricted to the delta window for the delta atom. Falls back to
+  // the relation size (window size for the delta atom) when nothing is
+  // bound, the atom is unindexable, or every matching index is cold.
+  // Purely a read: consulting stats never builds or catches up an
+  // index.
+  std::size_t EstimateCost(const CompiledAtom& atom, std::uint32_t key_mask,
+                           bool is_delta, const DeltaWindow* delta) const {
+    const Relation& relation = db_.RelationOf(atom.predicate);
+    const std::size_t size = relation.GrowthWatermark();
+    std::size_t rows = size;
+    if (is_delta) {
+      rows = size - std::min(size, delta->lo[atom.predicate]);
+    }
+    if (key_mask == 0 || !options_.use_index || atom.arity == 0 ||
+        atom.arity >= 32) {
+      return rows;
+    }
+    const ColumnIndex* index =
+        indexes_[atom.predicate].FindForKeyMask(key_mask);
+    if (index == nullptr) return rows;
+    ColumnIndexStats stats = index->stats();
+    if (stats.num_buckets == 0) return rows;
+    // num_buckets is the distinct-key estimate; dividing the *current*
+    // row count (not rows_bucketed) extrapolates a stale index's
+    // selectivity to rows it has not absorbed yet.
+    return std::max<std::size_t>(1, rows / stats.num_buckets);
+  }
+
+  // Orders each rule body at runtime (sizes and bucket statistics are
+  // only known then). Cost-based (the default): repeatedly pick the
+  // unplaced atom with the smallest EstimateCost given the variables
+  // bound so far, breaking ties toward more bound argument positions,
+  // then toward the delta atom (its window only shrinks), then toward
+  // textual order — all deterministic. Greedy (cost_based off): most
+  // bound argument positions first, ties toward the smaller relation,
+  // with the delta atom winning exact ties. With reordering off,
+  // textual order is kept. Either way, each step's column patterns are
+  // derived afterwards and its index is resolved (and caught up) up
+  // front.
   void PlanJoin(const CompiledRule& rule, int delta_atom,
                 const DeltaWindow* delta, std::vector<JoinStep>* out) {
     const std::size_t n = rule.body.size();
@@ -277,6 +331,45 @@ class Evaluator {
     bound.assign(rule.num_variables, 0);
     if (!options_.reorder_joins) {
       for (std::size_t i = 0; i < n; ++i) plan[i].atom = i;
+    } else if (options_.cost_based) {
+      std::vector<char>& placed = placed_scratch_;
+      placed.assign(n, 0);
+      for (std::size_t step = 0; step < n; ++step) {
+        std::size_t best = n;
+        std::size_t best_est = 0;
+        std::size_t best_bound = 0;
+        bool best_is_delta = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (placed[i]) continue;
+          const CompiledAtom& atom = rule.body[i];
+          std::uint32_t key_mask = 0;
+          std::size_t bound_args = 0;
+          for (std::size_t pos = 0; pos < atom.arity; ++pos) {
+            if (atom.constant[pos] >= 0 || bound[atom.variable[pos]]) {
+              if (pos < 32) key_mask |= 1u << pos;
+              ++bound_args;
+            }
+          }
+          const bool is_delta = static_cast<int>(i) == delta_atom;
+          std::size_t est = EstimateCost(atom, key_mask, is_delta, delta);
+          if (best == n || est < best_est ||
+              (est == best_est &&
+               (bound_args > best_bound ||
+                (bound_args == best_bound && is_delta && !best_is_delta)))) {
+            best = i;
+            best_est = est;
+            best_bound = bound_args;
+            best_is_delta = is_delta;
+          }
+        }
+        placed[best] = 1;
+        plan[step].atom = best;
+        if (stats_ != nullptr) stats_->est_cost_total += best_est;
+        for (int v : rule.body[best].variable) {
+          if (v >= 0) bound[v] = 1;
+        }
+      }
+      bound.assign(rule.num_variables, 0);
     } else {
       std::vector<char>& placed = placed_scratch_;
       placed.assign(n, 0);
@@ -509,13 +602,74 @@ class Evaluator {
     return ctx->emitted <= ctx->emit_budget;
   }
 
+  // True when any of the plan's participating relations has more than
+  // doubled past the watermark recorded at build time (or went from
+  // empty to nonempty) — the point at which the plan's cardinality
+  // estimates stop being credible.
+  bool PlanStale(const CachedPlan& cached) const {
+    for (const auto& [predicate, rows] : cached.watermarks) {
+      std::size_t now = db_.RelationOf(predicate).GrowthWatermark();
+      if (rows == 0 ? now != 0 : now > 2 * rows) return true;
+    }
+    return false;
+  }
+
+  // Re-resolves a cached plan's index pointers, catching each index up
+  // with the rows appended since the last stamp. The ColumnIndex
+  // references themselves are stable (node-based map), but their
+  // buckets must absorb the new rows before the plan probes them.
+  void RefreshIndexes(const CompiledRule& rule,
+                      std::vector<JoinStep>* steps) {
+    for (JoinStep& step : *steps) {
+      if (step.index == nullptr) continue;
+      const CompiledAtom& atom = rule.body[step.atom];
+      step.index = &indexes_[atom.predicate].Get(
+          db_.RelationOf(atom.predicate), step.key_mask, step.distinct_mask,
+          &counters_);
+    }
+  }
+
+  // The join plan for (rule, delta_atom): with cost_based on, the
+  // cached plan while it is fresh (indexes caught up, plans_cached
+  // counted), else a rebuild into the cache slot with the
+  // participating relations' watermarks re-recorded. With cost_based
+  // off — the ablation baseline — every call re-plans into `scratch`,
+  // byte-for-byte the pre-planner behavior. Only called from the
+  // serial planning phase (the serial engine, or pre-fan-out in
+  // RunParallel), so cache mutation and stats updates are single-
+  // threaded, and parallel runs see plans identical to a serial
+  // planner's.
+  const std::vector<JoinStep>& PlanFor(CompiledRule& rule, int delta_atom,
+                                       const DeltaWindow* delta,
+                                       std::vector<JoinStep>* scratch) {
+    if (!options_.cost_based) {
+      PlanJoin(rule, delta_atom, delta, scratch);
+      return *scratch;
+    }
+    CachedPlan& cached = rule.plans[static_cast<std::size_t>(delta_atom + 1)];
+    if (cached.valid && !PlanStale(cached)) {
+      RefreshIndexes(rule, &cached.steps);
+      if (stats_ != nullptr) ++stats_->plans_cached;
+      return cached.steps;
+    }
+    PlanJoin(rule, delta_atom, delta, &cached.steps);
+    cached.watermarks.clear();
+    for (const CompiledAtom& atom : rule.body) {
+      cached.watermarks.emplace_back(
+          atom.predicate, db_.RelationOf(atom.predicate).GrowthWatermark());
+    }
+    cached.valid = true;
+    if (stats_ != nullptr) ++stats_->plans_rebuilt;
+    return cached.steps;
+  }
+
   // Evaluates `rule`, considering only matches that use the delta window
   // at `delta_atom` (or all matches when delta_atom == -1). Derived
   // facts land in the database immediately. Serial mode only.
-  Status EvaluateRule(const CompiledRule& rule, int delta_atom,
+  Status EvaluateRule(CompiledRule& rule, int delta_atom,
                       const DeltaWindow* delta) {
-    std::vector<JoinStep>& plan = plan_scratch_;
-    PlanJoin(rule, delta_atom, delta, &plan);
+    const std::vector<JoinStep>& plan =
+        PlanFor(rule, delta_atom, delta, &plan_scratch_);
     serial_ctx_.binding.assign(rule.num_variables, kUnbound);
     if (!MatchBody(rule, plan, 0, delta_atom, delta, &serial_ctx_)) {
       return ResourceExhaustedError(
@@ -568,7 +722,7 @@ class Evaluator {
       DeltaWindow next(num_predicates);
       Snapshot(&next);
       for (std::size_t r : group) {
-        const CompiledRule& rule = rules_[r];
+        CompiledRule& rule = rules_[r];
         for (std::size_t i = 0; i < rule.body.size(); ++i) {
           PredicateId id = rule.body[i].predicate;
           if (delta.lo[id] >= db_.RelationOf(id).size()) continue;
@@ -610,7 +764,13 @@ class Evaluator {
       int delta_atom;
     };
     std::vector<RoundTask> tasks;
-    std::vector<std::vector<JoinStep>> plans;
+    // Per-task plan pointers: with cost_based on, tasks point at their
+    // (rule, delta position) cache slots — distinct per task, since a
+    // round's tasks are distinct (rule, delta) pairs, and stable while
+    // the workers run (no planning happens after fan-out). With it off,
+    // each task plans into its own storage slot.
+    std::vector<const std::vector<JoinStep>*> plans;
+    std::vector<std::vector<JoinStep>> plan_storage;
     std::vector<MatchContext> contexts;
     std::vector<std::vector<int>> shard_out(num_shards_);
     std::vector<std::size_t> shard_collisions(num_shards_, 0);
@@ -639,9 +799,10 @@ class Evaluator {
       const DeltaWindow* window = full_round ? nullptr : &delta;
 
       plans.resize(tasks.size());
+      plan_storage.resize(tasks.size());
       for (std::size_t t = 0; t < tasks.size(); ++t) {
-        PlanJoin(rules_[tasks[t].rule], tasks[t].delta_atom, window,
-                 &plans[t]);
+        plans[t] = &PlanFor(rules_[tasks[t].rule], tasks[t].delta_atom,
+                            window, &plan_storage[t]);
       }
 
       // Next round's watermarks are this round's pre-merge sizes: the
@@ -665,7 +826,7 @@ class Evaluator {
         // A false return means the task exceeded the whole remaining
         // emit budget on its own; the deterministic check below turns
         // that into the ResourceExhausted error.
-        MatchBody(rule, plans[t], 0, task.delta_atom, window, &ctx);
+        MatchBody(rule, *plans[t], 0, task.delta_atom, window, &ctx);
       });
 
       // Fold per-task counters in task order (scheduling-independent).

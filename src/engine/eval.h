@@ -6,10 +6,12 @@
 //
 // The engine works entirely over dense integer ids (constants and
 // predicates are interned), probes hash column indexes instead of
-// scanning relations (src/engine/index.h), and greedily reorders each
-// rule body at runtime by (bound variables, relation size) — including
-// the delta atom in semi-naive rounds. The index and reordering legs can
-// be switched off independently for ablation benchmarks.
+// scanning relations (src/engine/index.h), and reorders each rule body
+// at runtime — by default with a cost model over the indexes' bucket
+// statistics, with compiled plans cached per (rule, delta position);
+// the greedy (bound variables, relation size) planner survives as the
+// ablation baseline. The index, reordering, and cost-based legs can be
+// switched off independently for ablation benchmarks.
 #ifndef DATALOG_EQ_SRC_ENGINE_EVAL_H_
 #define DATALOG_EQ_SRC_ENGINE_EVAL_H_
 
@@ -28,6 +30,17 @@ struct EvalOptions {
   /// Greedily reorder body atoms per evaluation by (bound variables,
   /// relation size) instead of using textual order (ablation switch).
   bool reorder_joins = true;
+  /// Cost-based planning: order body atoms by estimated candidate
+  /// cardinality from ColumnIndex bucket statistics (falling back to
+  /// relation size while an index is cold) instead of the greedy
+  /// (bound-count, size) rule, and cache the compiled plan per
+  /// (rule, delta position), keyed on the size watermarks of the
+  /// participating relations, so steady-state rounds stamp cached plans
+  /// instead of re-planning. Off reproduces the greedy planner verbatim
+  /// — re-planned on every rule evaluation, no cache (ablation switch;
+  /// the fixpoint is identical either way, as a tuple set). Ordering
+  /// only applies when reorder_joins is on; caching applies regardless.
+  bool cost_based = true;
   /// Worker threads for the fixpoint. 1 (default) is the serial engine —
   /// bit-for-bit the pre-parallel code path, with chaotic in-round
   /// insertion. 0 resolves to the hardware concurrency. Any value > 1
@@ -89,6 +102,18 @@ struct EvalStats {
   /// would have considered. 0 when use_strata is off or the program is a
   /// single stratum.
   std::size_t rounds_saved = 0;
+  /// Rule evaluations that stamped a cached join plan instead of
+  /// re-planning (cost_based only).
+  std::size_t plans_cached = 0;
+  /// Join plans built: first-time plans plus rebuilds after a
+  /// participating relation outgrew its recorded watermark (cost_based
+  /// only). Flat per round once the fixpoint's relation sizes settle.
+  std::size_t plans_rebuilt = 0;
+  /// Sum of the cost model's estimated candidate cardinality over every
+  /// placed plan step (cost_based with reorder_joins only; cached
+  /// stamps do not re-count). A cross-check that the model's estimates
+  /// track join_probes in shape.
+  std::size_t est_cost_total = 0;
 
   /// Folds `other`'s counters into this one (drivers that evaluate many
   /// databases — e.g. per-disjunct canonical-database checks — fold
@@ -105,6 +130,9 @@ struct EvalStats {
     merge_collisions += other.merge_collisions;
     strata += other.strata;
     rounds_saved += other.rounds_saved;
+    plans_cached += other.plans_cached;
+    plans_rebuilt += other.plans_rebuilt;
+    est_cost_total += other.est_cost_total;
   }
 };
 

@@ -49,6 +49,9 @@ void ColumnIndex::Update(const Relation& relation, IndexCounters* counters) {
     auto [key_index, inserted] = keys_.Intern(scratch_.data());
     if (inserted) arena_.NewBucket();
     arena_.Append(key_index, static_cast<std::uint32_t>(consumed_));
+    ++rows_bucketed_;
+    std::size_t bucket_size = arena_.bucket(key_index).size;
+    if (bucket_size > max_bucket_) max_bucket_ = bucket_size;
     if (counters != nullptr) ++counters->tuples_indexed;
   }
 }
@@ -69,6 +72,21 @@ const ColumnIndex& RelationIndex::Get(const Relation& relation,
   }
   it->second.Update(relation, counters);
   return it->second;
+}
+
+const ColumnIndex* RelationIndex::FindForKeyMask(
+    std::uint32_t key_mask) const {
+  const ColumnIndex* best = nullptr;
+  for (const auto& [pattern, index] : by_pattern_) {
+    if (static_cast<std::uint32_t>(pattern >> 32) != key_mask) continue;
+    if (best == nullptr ||
+        index.stats().rows_bucketed > best->stats().rows_bucketed ||
+        (index.stats().rows_bucketed == best->stats().rows_bucketed &&
+         index.distinct_mask() < best->distinct_mask())) {
+      best = &index;
+    }
+  }
+  return best;
 }
 
 }  // namespace datalog

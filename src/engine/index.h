@@ -37,6 +37,30 @@ struct IndexCounters {
   std::size_t tuples_indexed = 0;
 };
 
+/// Bucket-distribution summary of one ColumnIndex, maintained
+/// incrementally by Update (no bucket walk to read). The cost-based join
+/// planner scores candidate probes with these: the expected candidate
+/// rows of a probe with this index's bound columns is the average bucket
+/// size, and num_buckets doubles as a distinct-values estimate of the
+/// key projection (it is the key table's size).
+struct ColumnIndexStats {
+  /// Distinct key projections seen — the number of buckets.
+  std::size_t num_buckets = 0;
+  /// Rows represented in buckets (after projection thinning, so at most
+  /// rows_consumed).
+  std::size_t rows_bucketed = 0;
+  /// Relation rows absorbed so far (the index's consumed watermark).
+  std::size_t rows_consumed = 0;
+  /// Size of the largest bucket — the worst-case probe fan-out.
+  std::size_t max_bucket = 0;
+
+  /// Expected candidate rows of an equality probe (0 for an empty
+  /// index).
+  std::size_t AvgBucket() const {
+    return num_buckets == 0 ? 0 : rows_bucketed / num_buckets;
+  }
+};
+
 /// Flat bucket storage shared by every bucket of one index: row indexes
 /// live in fixed-width chunks inside a single arena, and a per-bucket
 /// offsets directory (head chunk, tail chunk, total rows) threads each
@@ -245,6 +269,17 @@ class ColumnIndex {
   /// Number of rows already absorbed.
   std::size_t consumed() const { return consumed_; }
 
+  /// Bucket-distribution summary, maintained incrementally by Update —
+  /// reading it never walks a bucket.
+  ColumnIndexStats stats() const {
+    ColumnIndexStats s;
+    s.num_buckets = keys_.size();
+    s.rows_bucketed = rows_bucketed_;
+    s.rows_consumed = consumed_;
+    s.max_bucket = max_bucket_;
+    return s;
+  }
+
   /// Row indexes whose key columns equal `key` (the bound values listed
   /// in ascending column order); empty when no row matches.
   BucketView Probe(const Tuple& key) const {
@@ -260,6 +295,8 @@ class ColumnIndex {
   std::vector<int> key_columns_;       // columns in key_mask, ascending
   std::vector<int> distinct_columns_;  // columns in key|distinct, ascending
   std::size_t consumed_ = 0;
+  std::size_t rows_bucketed_ = 0;  // rows appended across all buckets
+  std::size_t max_bucket_ = 0;     // size of the fattest bucket
   FlatKeyTable keys_;
   BucketArena arena_;  // bucket id == key id in keys_
   // Projections (onto distinct_columns_) already represented in a bucket.
@@ -277,6 +314,15 @@ class RelationIndex {
   const ColumnIndex& Get(const Relation& relation, std::uint32_t key_mask,
                          std::uint32_t distinct_mask,
                          IndexCounters* counters);
+
+  /// The already-built index with the given key mask whose stats best
+  /// describe the relation, or nullptr when every such index is cold
+  /// (never built). Purely a read — never builds or catches up an
+  /// index, so the planner can consult it without perturbing
+  /// index_builds/tuples_indexed. The pick is deterministic (most rows
+  /// bucketed, ties to the smallest distinct mask) rather than map
+  /// iteration order.
+  const ColumnIndex* FindForKeyMask(std::uint32_t key_mask) const;
 
   void Clear() { by_pattern_.clear(); }
 

@@ -3,9 +3,19 @@
 #include "src/util/hash.h"
 
 namespace datalog {
+namespace {
 
-std::size_t FlatKeyTable::Hash(const int* key) const {
-  return HashIntSpan(key, width_);
+// Folds a size_t hash to the 32 bits the slot-hash arrays store. The
+// high bits still participate, so the home slot (hash & mask) keeps the
+// full mixing of HashIntSpan.
+inline std::uint32_t Fold32(std::size_t h) {
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+std::uint32_t FlatKeyTable::Hash(const int* key) const {
+  return Fold32(HashIntSpan(key, width_));
 }
 
 bool FlatKeyTable::KeyEquals(std::size_t index, const int* key) const {
@@ -16,45 +26,108 @@ bool FlatKeyTable::KeyEquals(std::size_t index, const int* key) const {
   return true;
 }
 
+void FlatKeyTable::Place(std::size_t slot, std::uint32_t dist,
+                         std::uint32_t value, std::uint32_t h) {
+  const std::size_t mask = slots_.size() - 1;
+  // Find the insertion point: the first empty slot, or the first
+  // resident displaced less than we are (robin hood — it and the run
+  // after it shift one step right, which grows each displacement by
+  // exactly one and so preserves the probe-order invariant).
+  while (slots_[slot].value != 0 && DistanceOf(slot, mask) >= dist) {
+    slot = (slot + 1) & mask;
+    ++dist;
+  }
+  if (dist > max_probe_) max_probe_ = dist;
+  if (slots_[slot].value != 0) {
+    std::size_t empty = slot;
+    do {
+      empty = (empty + 1) & mask;
+    } while (slots_[empty].value != 0);
+    for (std::size_t dst = empty; dst != slot;) {
+      std::size_t src = (dst + mask) & mask;
+      slots_[dst] = slots_[src];
+      std::uint32_t moved = DistanceOf(dst, mask);
+      if (moved > max_probe_) max_probe_ = moved;
+      dst = src;
+    }
+  }
+  slots_[slot].value = value;
+  slots_[slot].hash = h;
+}
+
 void FlatKeyTable::Grow() {
-  std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
-  slots_.assign(capacity, 0);
+  // Quadrupling (instead of doubling) re-places each key log4 n times
+  // over the table's lifetime instead of log2 n — rehash work sums to
+  // ~1.33n placements instead of 2n — and keeps the load in (1/8, 1/2],
+  // which shortens probe runs. The cost is transient slot-array slack.
+  std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 4;
+  // The stored per-slot hashes make rehashing a slot-array walk: no key
+  // needs to be re-hashed from the arena. Slot layout after a grow may
+  // differ from insertion-order layout, but lookups and the dense ids
+  // never depend on it.
+  std::vector<Slot> old_slots = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  max_probe_ = 0;
   const std::size_t mask = capacity - 1;
-  for (std::size_t index = 0; index < size_; ++index) {
-    std::size_t slot = Hash(KeyData(index)) & mask;
-    while (slots_[slot] != 0) slot = (slot + 1) & mask;
-    slots_[slot] = static_cast<std::uint32_t>(index + 1);
+  for (const Slot& s : old_slots) {
+    if (s.value == 0) continue;
+    Place(s.hash & mask, 0, s.value, s.hash);
   }
 }
 
 std::pair<std::uint32_t, bool> FlatKeyTable::Intern(const int* key) {
   if (slots_.size() < (size_ + 1) * 2) Grow();  // load factor <= 1/2
   const std::size_t mask = slots_.size() - 1;
-  std::size_t slot = Hash(key) & mask;
-  while (slots_[slot] != 0) {
-    if (KeyEquals(slots_[slot] - 1, key)) return {slots_[slot] - 1, false};
+  const std::uint32_t h = Hash(key);
+  std::size_t slot = h & mask;
+  std::uint32_t dist = 0;
+  while (slots_[slot].value != 0) {
+    if (slots_[slot].hash == h && KeyEquals(slots_[slot].value - 1, key)) {
+      return {slots_[slot].value - 1, false};
+    }
+    // A resident closer to home than our probe distance proves the key
+    // is absent (displacements never decrease along a probe sequence).
+    // Checked after the hash filter: hits never reach their run's end,
+    // so the displacement test only ever pays off on the miss path.
+    if (DistanceOf(slot, mask) < dist) break;
     slot = (slot + 1) & mask;
+    ++dist;
   }
   arena_.insert(arena_.end(), key, key + width_);
-  slots_[slot] = static_cast<std::uint32_t>(++size_);
+  const std::uint32_t value = static_cast<std::uint32_t>(++size_);
+  if (slots_[slot].value == 0) {
+    // Fast path: the probe ended on an empty slot, no displacement.
+    slots_[slot].value = value;
+    slots_[slot].hash = h;
+    if (dist > max_probe_) max_probe_ = dist;
+  } else {
+    Place(slot, dist, value, h);
+  }
   return {static_cast<std::uint32_t>(size_ - 1), true};
 }
 
 std::uint32_t FlatKeyTable::Find(const int* key) const {
   if (slots_.empty()) return kNotFound;
   const std::size_t mask = slots_.size() - 1;
-  std::size_t slot = Hash(key) & mask;
-  while (slots_[slot] != 0) {
-    if (KeyEquals(slots_[slot] - 1, key)) return slots_[slot] - 1;
+  const std::uint32_t h = Hash(key);
+  std::size_t slot = h & mask;
+  std::uint32_t dist = 0;
+  while (slots_[slot].value != 0) {
+    if (slots_[slot].hash == h && KeyEquals(slots_[slot].value - 1, key)) {
+      return slots_[slot].value - 1;
+    }
+    if (dist > max_probe_) return kNotFound;
+    if (DistanceOf(slot, mask) < dist) return kNotFound;
     slot = (slot + 1) & mask;
+    ++dist;
   }
   return kNotFound;
 }
 
-std::size_t VarKeyTable::Hash(const int* key, std::size_t length) const {
+std::uint32_t VarKeyTable::Hash(const int* key, std::size_t length) const {
   // Seed with the length so equal prefixes of different lengths spread.
   std::size_t h = HashIntSpan(key, length);
-  return h ^ (length * 0x9e3779b97f4a7c15ULL);
+  return Fold32(h ^ (length * 0x9e3779b97f4a7c15ULL));
 }
 
 bool VarKeyTable::KeyEquals(std::size_t index, const int* key,
@@ -67,14 +140,44 @@ bool VarKeyTable::KeyEquals(std::size_t index, const int* key,
   return true;
 }
 
+void VarKeyTable::Place(std::size_t slot, std::uint32_t dist,
+                        std::uint32_t value, std::uint32_t h) {
+  const std::size_t mask = slots_.size() - 1;
+  // See FlatKeyTable::Place: find the robin-hood insertion point, then
+  // shift the displaced run one step right.
+  while (slots_[slot].value != 0 && DistanceOf(slot, mask) >= dist) {
+    slot = (slot + 1) & mask;
+    ++dist;
+  }
+  if (dist > max_probe_) max_probe_ = dist;
+  if (slots_[slot].value != 0) {
+    std::size_t empty = slot;
+    do {
+      empty = (empty + 1) & mask;
+    } while (slots_[empty].value != 0);
+    for (std::size_t dst = empty; dst != slot;) {
+      std::size_t src = (dst + mask) & mask;
+      slots_[dst] = slots_[src];
+      std::uint32_t moved = DistanceOf(dst, mask);
+      if (moved > max_probe_) max_probe_ = moved;
+      dst = src;
+    }
+  }
+  slots_[slot].value = value;
+  slots_[slot].hash = h;
+}
+
 void VarKeyTable::Grow() {
-  std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
-  slots_.assign(capacity, 0);
+  // As in FlatKeyTable::Grow: quadruple, and reuse the stored hashes —
+  // never re-walk the key arena.
+  std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 4;
+  std::vector<Slot> old_slots = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  max_probe_ = 0;
   const std::size_t mask = capacity - 1;
-  for (std::size_t index = 0; index < size(); ++index) {
-    std::size_t slot = Hash(KeyData(index), KeyLength(index)) & mask;
-    while (slots_[slot] != 0) slot = (slot + 1) & mask;
-    slots_[slot] = static_cast<std::uint32_t>(index + 1);
+  for (const Slot& s : old_slots) {
+    if (s.value == 0) continue;
+    Place(s.hash & mask, 0, s.value, s.hash);
   }
 }
 
@@ -82,26 +185,49 @@ std::pair<std::uint32_t, bool> VarKeyTable::Intern(const int* key,
                                                    std::size_t length) {
   if (slots_.size() < (size() + 1) * 2) Grow();  // load factor <= 1/2
   const std::size_t mask = slots_.size() - 1;
-  std::size_t slot = Hash(key, length) & mask;
-  while (slots_[slot] != 0) {
-    if (KeyEquals(slots_[slot] - 1, key, length)) {
-      return {slots_[slot] - 1, false};
+  const std::uint32_t h = Hash(key, length);
+  std::size_t slot = h & mask;
+  std::uint32_t dist = 0;
+  while (slots_[slot].value != 0) {
+    if (slots_[slot].hash == h &&
+        KeyEquals(slots_[slot].value - 1, key, length)) {
+      return {slots_[slot].value - 1, false};
     }
+    // Hash filter first, displacement early-exit second (see
+    // FlatKeyTable::Intern).
+    if (DistanceOf(slot, mask) < dist) break;
     slot = (slot + 1) & mask;
+    ++dist;
   }
   arena_.insert(arena_.end(), key, key + length);
   offsets_.push_back(arena_.size());
-  slots_[slot] = static_cast<std::uint32_t>(size());
+  const std::uint32_t value = static_cast<std::uint32_t>(size());
+  if (slots_[slot].value == 0) {
+    // Fast path: the probe ended on an empty slot, no displacement.
+    slots_[slot].value = value;
+    slots_[slot].hash = h;
+    if (dist > max_probe_) max_probe_ = dist;
+  } else {
+    Place(slot, dist, value, h);
+  }
   return {static_cast<std::uint32_t>(size() - 1), true};
 }
 
 std::uint32_t VarKeyTable::Find(const int* key, std::size_t length) const {
   if (slots_.empty()) return kNotFound;
   const std::size_t mask = slots_.size() - 1;
-  std::size_t slot = Hash(key, length) & mask;
-  while (slots_[slot] != 0) {
-    if (KeyEquals(slots_[slot] - 1, key, length)) return slots_[slot] - 1;
+  const std::uint32_t h = Hash(key, length);
+  std::size_t slot = h & mask;
+  std::uint32_t dist = 0;
+  while (slots_[slot].value != 0) {
+    if (slots_[slot].hash == h &&
+        KeyEquals(slots_[slot].value - 1, key, length)) {
+      return slots_[slot].value - 1;
+    }
+    if (dist > max_probe_) return kNotFound;
+    if (DistanceOf(slot, mask) < dist) return kNotFound;
     slot = (slot + 1) & mask;
+    ++dist;
   }
   return kNotFound;
 }

@@ -1,5 +1,5 @@
 // Flat open-addressing interning tables shared by the evaluation engine
-// and the containment decider (linear probing, power-of-two capacity,
+// and the containment decider (robin-hood probing, power-of-two capacity,
 // load factor <= 1/2, one contiguous int arena).
 //
 // FlatKeyTable interns fixed-width int keys into dense indexes
@@ -12,6 +12,19 @@
 // differing lengths (keyed rows such as the decider's combination memo
 // rows `(instance_id, child_serial...)`) into the same dense-id scheme,
 // storing every key back to back in one arena with an offsets directory.
+//
+// Probing is robin-hood displacement over the slot array: each slot
+// remembers the stored key's hash, so an insert that meets a "richer"
+// resident (smaller displacement-from-home) swaps with it and carries the
+// displaced entry forward. Deletions do not exist (tables only grow), so
+// insertion never needs the backward-shift repair. The payoff is on the
+// probe side: displacement along any probe sequence is non-decreasing, so
+// both a resident with a smaller displacement than the probe's and a
+// probe distance past the table-wide maximum prove a miss — lookups bail
+// out early instead of scanning to the next empty slot. Dense ids are
+// assigned in arena-append (Intern-call) order, untouched by any of
+// this: the probing scheme only decides which slot points at a key,
+// never which id the key gets.
 #ifndef DATALOG_EQ_SRC_UTIL_FLAT_TABLE_H_
 #define DATALOG_EQ_SRC_UTIL_FLAT_TABLE_H_
 
@@ -42,23 +55,50 @@ class FlatKeyTable {
   /// Returns the dense index of `key`, or kNotFound.
   std::uint32_t Find(const int* key) const;
 
+  /// Largest displacement-from-home of any occupied slot — the probe
+  /// length no lookup ever exceeds (exposed for tests/diagnostics).
+  std::uint32_t max_probe() const { return max_probe_; }
+
  private:
-  std::size_t Hash(const int* key) const;
+  // One slot = the key's dense index + 1 (0 means empty) interleaved
+  // with the key's mixed 32-bit hash, so a probe touches one cache line
+  // for the emptiness check, the displacement computation, and the
+  // pre-compare hash filter. Deliberately trivial (no default member
+  // initializers): Grow zero-fills whole slot arrays, and a non-trivial
+  // default constructor would turn that memset into an element loop.
+  struct Slot {
+    std::uint32_t value;  // key index + 1; 0 means empty
+    std::uint32_t hash;
+  };
+
+  std::uint32_t Hash(const int* key) const;
   bool KeyEquals(std::size_t index, const int* key) const;
+  // Robin-hood displacement insert of `value` (key index + 1, hash `h`)
+  // starting at `slot` with displacement `dist`; assumes the key is not
+  // in the table past that point.
+  void Place(std::size_t slot, std::uint32_t dist, std::uint32_t value,
+             std::uint32_t h);
   void Grow();
+
+  // Displacement of the resident of `slot` from its home slot.
+  std::uint32_t DistanceOf(std::size_t slot, std::size_t mask) const {
+    return static_cast<std::uint32_t>(
+        (slot + slots_.size() - (slots_[slot].hash & mask)) & mask);
+  }
 
   std::size_t width_;
   std::size_t size_ = 0;
   std::vector<int> arena_;  // size_ * width_ ints, keys back to back
-  std::vector<std::uint32_t> slots_;  // key index + 1; 0 means empty
+  std::vector<Slot> slots_;
+  std::uint32_t max_probe_ = 0;
 };
 
 /// Variable-width companion of FlatKeyTable: interns int spans of any
 /// length into dense indexes. Keys live back to back in one arena;
 /// offsets_[i] .. offsets_[i+1] delimits key i. Same probing scheme
-/// (linear probing, power-of-two capacity, load <= 1/2); the span length
-/// participates in hashing and equality, so spans of different lengths
-/// never collide as equal.
+/// (robin-hood displacement, power-of-two capacity, load <= 1/2); the
+/// span length participates in hashing and equality, so spans of
+/// different lengths never collide as equal.
 class VarKeyTable {
  public:
   static constexpr std::uint32_t kNotFound = 0xffffffffu;
@@ -79,15 +119,32 @@ class VarKeyTable {
   /// Returns the dense index of the span, or kNotFound.
   std::uint32_t Find(const int* key, std::size_t length) const;
 
+  /// Largest displacement-from-home of any occupied slot (see
+  /// FlatKeyTable::max_probe).
+  std::uint32_t max_probe() const { return max_probe_; }
+
  private:
-  std::size_t Hash(const int* key, std::size_t length) const;
+  struct Slot {
+    std::uint32_t value;  // key index + 1; 0 means empty
+    std::uint32_t hash;
+  };
+
+  std::uint32_t Hash(const int* key, std::size_t length) const;
   bool KeyEquals(std::size_t index, const int* key, std::size_t length) const;
+  void Place(std::size_t slot, std::uint32_t dist, std::uint32_t value,
+             std::uint32_t h);
   void Grow();
+
+  std::uint32_t DistanceOf(std::size_t slot, std::size_t mask) const {
+    return static_cast<std::uint32_t>(
+        (slot + slots_.size() - (slots_[slot].hash & mask)) & mask);
+  }
 
   std::vector<int> arena_;               // all keys back to back
   std::vector<std::size_t> offsets_{0};  // size()+1 entries; key i spans
                                          // [offsets_[i], offsets_[i+1])
-  std::vector<std::uint32_t> slots_;     // key index + 1; 0 means empty
+  std::vector<Slot> slots_;
+  std::uint32_t max_probe_ = 0;
 };
 
 }  // namespace datalog

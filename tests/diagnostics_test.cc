@@ -130,6 +130,45 @@ TEST(LintTest, DuplicateRule) {
   EXPECT_FALSE(HasLintErrors(ds));
 }
 
+TEST(LintTest, CrossProductJoin) {
+  // f shares no variables with e: a cartesian step under every order.
+  Program program = MustParseProgram("p(X, Z) :- e(X, X), f(Z, Z).");
+  std::vector<Diagnostic> ds = LintProgram(program);
+  ASSERT_EQ(KindsOf(ds),
+            std::vector<DiagnosticKind>{DiagnosticKind::kCrossProductJoin});
+  EXPECT_EQ(ds[0].severity, DiagnosticSeverity::kWarning);
+  EXPECT_EQ(ds[0].rule_index, 0);
+  EXPECT_EQ(ds[0].predicate, "p");
+
+  // A chain of pairwise-shared variables connects the whole body, even
+  // though the endpoints share nothing directly.
+  Program chained =
+      MustParseProgram("p(X, W) :- e(X, Y), f(Y, Z), g(Z, W).");
+  EXPECT_FALSE(HasKind(LintProgram(chained),
+                       DiagnosticKind::kCrossProductJoin));
+
+  // Ground atoms are existence filters, not product factors.
+  Program ground = MustParseProgram("p(X, Y) :- e(X, Y), c(a, b).");
+  EXPECT_FALSE(HasKind(LintProgram(ground),
+                       DiagnosticKind::kCrossProductJoin));
+
+  // A single-atom body cannot cross-product.
+  Program single = MustParseProgram("p(X, Y) :- e(X, Y).");
+  EXPECT_FALSE(HasKind(LintProgram(single),
+                       DiagnosticKind::kCrossProductJoin));
+
+  // Three mutually disjoint groups: both detached atoms are named.
+  Program triple =
+      MustParseProgram("p(X, Y, Z) :- e(X, X), f(Y, Y), g(Z, Z).");
+  std::vector<Diagnostic> triple_ds = LintProgram(triple);
+  ASSERT_TRUE(HasKind(triple_ds, DiagnosticKind::kCrossProductJoin));
+  for (const Diagnostic& d : triple_ds) {
+    if (d.kind == DiagnosticKind::kCrossProductJoin) {
+      EXPECT_NE(d.message.find("f, g"), std::string::npos) << d.message;
+    }
+  }
+}
+
 TEST(LintTest, UnusedRule) {
   // q heads a rule but appears in no body and is not the goal.
   Program program = MustParseProgram(R"(

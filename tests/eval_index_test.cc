@@ -346,5 +346,114 @@ TEST(EvalIndexTest, ProjectionCollapsesDeadJoinColumns) {
   EXPECT_GE(scan_stats.join_probes, 10 * indexed_stats.join_probes);
 }
 
+// The cost-based planner's differential cube: {cost_based on/off} ×
+// {use_index} × {reorder_joins} × {use_strata} × threads {1, 2, 0} must
+// all compute the identical fixpoint on random EDBs over every example
+// program. This is the acceptance gate for the planner and the plan
+// cache: byte-identical fact sets with cost_based on and off, at every
+// thread count.
+class CostBasedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostBasedPropertyTest, CostBasedConfigCubeAgreesOnTheFixpoint) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  RandomDbOptions db_options;
+  db_options.seed = seed + 501;
+  db_options.domain_size = 4;
+  db_options.tuples_per_relation = 6;
+  const int thread_arms[] = {1, 2, 0};  // 0 = hardware concurrency
+  for (ExampleProgram& example : ExamplePrograms()) {
+    Database edb = RandomDatabaseFor(example.program, db_options);
+    std::string reference;
+    for (bool cost_based : {false, true}) {
+      for (bool use_index : {false, true}) {
+        for (bool reorder_joins : {false, true}) {
+          for (bool use_strata : {false, true}) {
+            for (int num_threads : thread_arms) {
+              EvalOptions options;
+              options.cost_based = cost_based;
+              options.use_index = use_index;
+              options.reorder_joins = reorder_joins;
+              options.use_strata = use_strata;
+              options.num_threads = num_threads;
+              StatusOr<Database> result =
+                  EvaluateProgram(example.program, edb, options);
+              ASSERT_TRUE(result.ok())
+                  << example.name << ": " << result.status();
+              std::string rendered = result->ToString();
+              if (reference.empty()) {
+                reference = rendered;
+              } else {
+                EXPECT_EQ(rendered, reference)
+                    << example.name << " seed " << seed
+                    << " diverges for config cost_based=" << cost_based
+                    << " use_index=" << use_index
+                    << " reorder_joins=" << reorder_joins
+                    << " use_strata=" << use_strata
+                    << " num_threads=" << num_threads;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEdbs, CostBasedPropertyTest,
+                         ::testing::Range(0, 4));
+
+// Skew regression: a hub join where greedy ordering is a bad plan.
+// reach(Z) :- reach(X), hub(X, Y), sel(Y, Z) with hub fan-out 64 per
+// node and |sel| tiny. After the delta atom binds X, greedy's
+// most-bound-args rule probes the fat hub bucket next (64 candidates,
+// each spawning a sel probe); the cost model sees sel's full scan is
+// cheaper than hub's average bucket, scans sel first, and probes hub
+// with both columns bound (singleton buckets). Same fixpoint, and the
+// cost-based plan must never examine more candidates than greedy's.
+TEST(EvalIndexTest, CostBasedPlanProbesAtMostGreedyOnHubSkew) {
+  Program prog = MustParseProgram(R"(
+    reach(X) :- start(X).
+    reach(Z) :- reach(X), hub(X, Y), sel(Y, Z).
+  )");
+  constexpr int kChain = 8;
+  constexpr int kFanOut = 64;
+  Database db;
+  db.AddFact("start", {"a0"});
+  for (int i = 0; i <= kChain; ++i) {
+    for (int j = 0; j < kFanOut; ++j) {
+      db.AddFact("hub", {StrCat("a", i), StrCat("b", j)});
+    }
+  }
+  for (int i = 0; i < kChain; ++i) {
+    db.AddFact("sel", {StrCat("b", i), StrCat("a", i + 1)});
+  }
+  EvalOptions cost = Configure(true, true, true);
+  cost.cost_based = true;
+  EvalOptions greedy = cost;
+  greedy.cost_based = false;
+  EvalStats cost_stats;
+  EvalStats greedy_stats;
+  StatusOr<Relation> cost_reach =
+      EvaluateGoal(prog, "reach", db, cost, &cost_stats);
+  StatusOr<Relation> greedy_reach =
+      EvaluateGoal(prog, "reach", db, greedy, &greedy_stats);
+  ASSERT_TRUE(cost_reach.ok());
+  ASSERT_TRUE(greedy_reach.ok());
+  EXPECT_EQ(*cost_reach, *greedy_reach);
+  EXPECT_EQ(cost_stats.facts_derived, greedy_stats.facts_derived);
+  EXPECT_LE(cost_stats.join_probes, greedy_stats.join_probes);
+  // The gap is structural (hub fan-out over |sel|), not a rounding
+  // artifact: demand a real multiple.
+  EXPECT_GE(greedy_stats.join_probes, 2 * cost_stats.join_probes);
+  // The planner ran: plans were built and costed. (The serial engine's
+  // chaotic rounds converge in so few rounds here that every request is
+  // a first build — cache-hit behavior is covered by eval_plan_test's
+  // staged-round steady-state case.)
+  EXPECT_GT(cost_stats.plans_rebuilt, 0u);
+  EXPECT_GT(cost_stats.est_cost_total, 0u);
+  EXPECT_EQ(greedy_stats.plans_cached, 0u);
+  EXPECT_EQ(greedy_stats.plans_rebuilt, 0u);
+}
+
 }  // namespace
 }  // namespace datalog

@@ -89,6 +89,48 @@ TEST(UcqInDatalogTest, UnionContainedIffEveryDisjunctIs) {
   EXPECT_FALSE(*not_all);
 }
 
+// EvalStats audit: checking each disjunct individually through
+// IsUcqDisjunctContainedInDatalog and folding the per-disjunct stats
+// with Accumulate must equal the whole-union run's recount, field for
+// field — including the planner counters (plans_cached, plans_rebuilt,
+// est_cost_total), which Accumulate must cover. An all-contained union
+// is used so the whole-run loop does not short-circuit.
+TEST(UcqInDatalogTest, PerDisjunctStatsAccumulateToWholeRunRecount) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs good = PathQueries(4);
+  EvalStats whole;
+  StatusOr<bool> all = IsUcqContainedInDatalog(good, tc, "p", &whole);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(*all);
+
+  EvalStats accumulated;
+  for (std::size_t d = 0; d < good.size(); ++d) {
+    EvalStats per_disjunct;
+    StatusOr<bool> got =
+        IsUcqDisjunctContainedInDatalog(good, d, tc, "p", &per_disjunct);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(*got);
+    accumulated.Accumulate(per_disjunct);
+  }
+  EXPECT_EQ(accumulated.iterations, whole.iterations);
+  EXPECT_EQ(accumulated.facts_derived, whole.facts_derived);
+  EXPECT_EQ(accumulated.join_probes, whole.join_probes);
+  EXPECT_EQ(accumulated.index_probes, whole.index_probes);
+  EXPECT_EQ(accumulated.index_builds, whole.index_builds);
+  EXPECT_EQ(accumulated.tuples_indexed, whole.tuples_indexed);
+  EXPECT_EQ(accumulated.rounds_parallel, whole.rounds_parallel);
+  EXPECT_EQ(accumulated.tuples_staged, whole.tuples_staged);
+  EXPECT_EQ(accumulated.merge_collisions, whole.merge_collisions);
+  EXPECT_EQ(accumulated.strata, whole.strata);
+  EXPECT_EQ(accumulated.rounds_saved, whole.rounds_saved);
+  EXPECT_EQ(accumulated.plans_cached, whole.plans_cached);
+  EXPECT_EQ(accumulated.plans_rebuilt, whole.plans_rebuilt);
+  EXPECT_EQ(accumulated.est_cost_total, whole.est_cost_total);
+}
+
 TEST(UcqInDatalogTest, CallerSuppliedPoolMatchesSequential) {
   // A caller-owned ThreadPool amortizes thread spawns across repeated
   // union-level checks; the verdict, failing disjunct, and stats must

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <string>
 #include <vector>
@@ -178,6 +179,62 @@ TEST(VarKeyTableTest, SurvivesGrowth) {
     EXPECT_EQ(table.Find(key.data(), key.size()),
               static_cast<std::uint32_t>(i));
   }
+}
+
+// Robin-hood probing invariants shared by both flat tables: dense ids
+// stay append-order (the probing scheme only decides slot placement,
+// never id assignment), Find and Intern agree on membership after heavy
+// displacement and growth, and max_probe bounds every successful
+// lookup's displacement.
+TEST(FlatKeyTableTest, RobinHoodPreservesDenseIdOrderUnderChurn) {
+  FlatKeyTable table(2);
+  // Adversarial-ish keys: many share low hash bits early on, forcing
+  // displacement chains and swap-on-richer inserts across several
+  // growth doublings.
+  std::vector<std::array<int, 2>> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back({i * 16, (i * 7) % 13});
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto [index, fresh] = table.Intern(keys[i].data());
+    ASSERT_TRUE(fresh);
+    ASSERT_EQ(index, static_cast<std::uint32_t>(i));  // append order
+  }
+  EXPECT_EQ(table.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(table.Find(keys[i].data()), static_cast<std::uint32_t>(i));
+    EXPECT_EQ(table.KeyData(i)[0], keys[i][0]);
+    EXPECT_EQ(table.KeyData(i)[1], keys[i][1]);
+    auto [index, fresh] = table.Intern(keys[i].data());
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(index, static_cast<std::uint32_t>(i));
+  }
+  // Misses exit early (never scan to the next empty slot) and report
+  // kNotFound.
+  for (int i = 0; i < 100; ++i) {
+    int missing[] = {i * 16 + 1, -i - 1};
+    EXPECT_EQ(table.Find(missing), FlatKeyTable::kNotFound);
+  }
+  // The displacement bound is maintained and small relative to the
+  // table (load <= 1/2 keeps robin-hood probe chains short).
+  EXPECT_LT(table.max_probe(), 64u);
+}
+
+TEST(VarKeyTableTest, RobinHoodMaxProbeBoundsLookups) {
+  VarKeyTable table;
+  std::vector<int> key;
+  for (int i = 0; i < 1500; ++i) {
+    key = {i, i ^ 0x55, i % 3};
+    table.Intern(key.data(), key.size());
+  }
+  EXPECT_LT(table.max_probe(), 64u);
+  for (int i = 0; i < 1500; ++i) {
+    key = {i, i ^ 0x55, i % 3};
+    EXPECT_EQ(table.Find(key.data(), key.size()),
+              static_cast<std::uint32_t>(i));
+  }
+  key = {-1, -2, -3};
+  EXPECT_EQ(table.Find(key.data(), key.size()), VarKeyTable::kNotFound);
 }
 
 TEST(IterationTest, ProductEnumeratesAll) {

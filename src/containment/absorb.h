@@ -98,6 +98,20 @@ void CombineAtNode(const std::vector<QueryAnalysis>& queries,
                    const std::vector<const AchievedSet*>& child_sets,
                    AchievedSet* out);
 
+/// One fixpoint-table row exported by the decider when
+/// ContainmentOptions::export_trace is set: a canonical goal atom over
+/// var(Π) and every achievable set retained for it at convergence
+/// (the ⊆-minimal ones under the antichain option). The full table is
+/// the inductive invariant behind a "contained" verdict — base, closure
+/// under CombineAtNode, and root acceptance — which an independent
+/// verifier can re-check without the decider (src/corpus/verify.h;
+/// docs/corpus.md, "Absorption traces").
+struct AbsorptionTraceEntry {
+  Atom goal;
+  std::vector<AchievedSet> sets;
+};
+using AbsorptionTrace = std::vector<AbsorptionTraceEntry>;
+
 /// Root acceptance (Theorem 5.8 / start states of Proposition 5.10): true
 /// if some disjunct maps strongly into a subtree with root goal
 /// `root_goal` whose achievable set is `set` — i.e. the disjunct's head

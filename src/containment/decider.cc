@@ -466,10 +466,93 @@ class DeciderRun {
       decision.stats.instances_cached = ctx_.instances.size();
     }
     HarvestBitsetStats(&decision);
+    if (options_.export_trace) {
+      Status exported = ExportTrace(&decision);
+      if (!exported.ok()) return exported;
+    }
     return decision;
   }
 
  private:
+  // --- trace export -----------------------------------------------------
+
+  // Decodes a dense goal id back to its Atom over var(Π): goal rows are
+  // [pred_id, enc(args)...] with variables $k stored as -(k+1) and
+  // constants as their non-negative dictionary ids.
+  Atom DecodeGoalAtom(std::size_t goal_id) const {
+    const int* row = ctx_.goal_keys.KeyData(goal_id);
+    const std::size_t length = ctx_.goal_keys.KeyLength(goal_id);
+    std::string predicate = ctx_.program_ir->predicates().name(
+        static_cast<std::uint32_t>(row[0]));
+    std::vector<Term> args;
+    args.reserve(length - 1);
+    for (std::size_t i = 1; i < length; ++i) {
+      if (row[i] < 0) {
+        args.push_back(Term::Variable(
+            ProofVariableName(static_cast<std::size_t>(-row[i] - 1))));
+      } else {
+        args.push_back(Term::Constant(ctx_.program_ir->constants().name(
+            static_cast<std::uint32_t>(row[i]))));
+      }
+    }
+    return Atom(std::move(predicate), std::move(args));
+  }
+
+  // Decodes an IR achieved set back to Terms. The IR sort order (dense
+  // ids) need not match the Term sort order, so the result is re-sorted
+  // to restore the AchievedSet invariant.
+  AchievedSet DecodeIrSet(const IrAchievedSet& set) const {
+    AchievedSet out;
+    out.reserve(set.size());
+    for (const IrAchievedPair& pair : set) {
+      AchievedPair decoded;
+      decoded.query = static_cast<int>(pair.query);
+      decoded.mask = pair.mask;
+      decoded.pinned.reserve(pair.pinned.size());
+      for (const auto& [var, term] : pair.pinned) {
+        decoded.pinned.emplace_back(
+            static_cast<int>(var),
+            term.is_variable()
+                ? Term::Variable(ProofVariableName(term.index()))
+                : Term::Constant(
+                      ctx_.program_ir->constants().name(term.index())));
+      }
+      out.push_back(std::move(decoded));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Exports the converged fixpoint table (see ContainmentOptions::
+  // export_trace). Only the interned substrates index goals densely; the
+  // string-keyed ablation arm stores goals under their rendering and is
+  // not worth a parser here.
+  Status ExportTrace(ContainmentDecision* decision) const {
+    if (!options_.use_ir && !options_.intern_memo) {
+      return InvalidArgumentError(
+          "export_trace requires the interned substrate (use_ir or "
+          "intern_memo)");
+    }
+    const std::size_t num_goals = ctx_.goal_keys.size();
+    for (std::size_t g = 0; g < num_goals; ++g) {
+      AbsorptionTraceEntry entry;
+      if (options_.use_ir) {
+        if (g >= ir_store_.size() || ir_store_[g].states.empty()) continue;
+        for (const IrStateEntry& state : ir_store_[g].states) {
+          entry.sets.push_back(DecodeIrSet(*state.set));
+        }
+      } else {
+        if (g >= store_.size() || store_[g].states.empty()) continue;
+        for (const StateEntry& state : store_[g].states) {
+          entry.sets.push_back(*state.set);
+        }
+      }
+      entry.goal = DecodeGoalAtom(g);
+      decision->trace.push_back(std::move(entry));
+    }
+    return OkStatus();
+  }
+
   // --- cached rounds: materialized instances + flat integer memo -------
   // Shared by the interned (Term sets) and IR (TermId sets) paths; the
   // store type selects the achieved-set representation.

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "src/ast/rule.h"
+#include "src/containment/absorb.h"
 #include "src/cq/cq.h"
 #include "src/trees/expansion_tree.h"
 #include "src/util/status.h"
@@ -77,6 +78,15 @@ struct ContainmentOptions {
   bool prune_unreachable = true;
   /// Abort with ResourceExhausted beyond this many (goal, set) states.
   std::size_t max_states = 1'000'000;
+  /// On a contained verdict, export the converged fixpoint table — every
+  /// discovered goal atom with the achievable sets retained for it — into
+  /// ContainmentDecision::trace, decoded back to Terms over var(Π). The
+  /// table is an independently checkable witness of containment: it is
+  /// closed under the bottom-up combination step and every root state
+  /// accepts (src/corpus/verify.h replays exactly that invariant).
+  /// Requires the interned substrate (use_ir or intern_memo); the
+  /// string-keyed ablation arm reports InvalidArgument.
+  bool export_trace = false;
 };
 
 struct ContainmentStats {
@@ -129,6 +139,9 @@ struct ContainmentDecision {
   /// disjunct maps strongly (a counterexample expansion), present when
   /// track_witness was set.
   std::optional<ExpansionTree> counterexample;
+  /// When contained and export_trace was set: the converged fixpoint
+  /// table, one entry per discovered goal atom (dense-goal-id order).
+  AbsorptionTrace trace;
   ContainmentStats stats;
 };
 

@@ -262,6 +262,7 @@ const Rule& ProgramAlphabet::Label(std::size_t symbol) const {
     head.predicate = enc.head_pred;
     head.args = enc.head_args;
     slot = std::make_unique<Rule>(DecodeAtom(head), std::move(body));
+    ++decoded_labels_;
   }
   return *slot;
 }
@@ -300,6 +301,33 @@ int PtreesAutomaton::StateOf(const Atom& atom) const {
   return state == VarKeyTable::kNotFound ? -1 : static_cast<int>(state);
 }
 
+const Atom& PtreesAutomaton::StateAtom(std::size_t state) const {
+  if (!alphabet.interned) return state_atoms[state];
+  if (state_cache_.size() < state_keys.size()) {
+    state_cache_.resize(state_keys.size());
+  }
+  std::unique_ptr<Atom>& slot = state_cache_[state];
+  if (slot == nullptr) {
+    // A state row is [pred, enc(arg)...] over the alphabet dictionaries
+    // (proof variable $k as -(k+1), constants as dictionary ids).
+    const int* row = state_keys.KeyData(state);
+    const std::size_t length = state_keys.KeyLength(state);
+    std::vector<Term> args;
+    args.reserve(length - 1);
+    for (std::size_t i = 1; i < length; ++i) {
+      args.push_back(row[i] < 0
+                         ? Term::Variable(alphabet.proof_vars[-row[i] - 1])
+                         : Term::Constant(alphabet.constants.name(
+                               static_cast<std::uint32_t>(row[i]))));
+    }
+    slot = std::make_unique<Atom>(
+        alphabet.predicates.name(static_cast<std::uint32_t>(row[0])),
+        std::move(args));
+    ++decoded_state_atoms_;
+  }
+  return *slot;
+}
+
 StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
                                                const std::string& goal,
                                                std::size_t max_labels,
@@ -315,32 +343,24 @@ StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
   StatusOr<ProgramAlphabet> alphabet =
       BuildProgramAlphabet(prog, max_labels, use_ir);
   if (!alphabet.ok()) return alphabet.status();
-  PtreesAutomaton automaton{std::move(alphabet).value(),
-                            Nfta(0, {}),
-                            {},
-                            {},
-                            {}};
+  PtreesAutomaton automaton;
+  automaton.alphabet = std::move(alphabet).value();
   // States: every IDB atom occurring as a label head or IDB body atom.
   Nfta nfta(0, automaton.alphabet.arities);
   if (automaton.alphabet.interned) {
     // Interned arm: states are [pred, enc(arg)...] rows over the
     // alphabet's dictionaries; the VarKeyTable index is the state id.
     std::vector<int> row;
-    // The Term-level state atom is decoded from the IR encoding only when
-    // a row is first interned — no label is ever rendered here.
+    // No Term-level state atom is materialized here: the key row IS the
+    // state identity, and StateAtom() decodes a row on demand for the
+    // few callers that want to render one.
     auto state_of = [&](const ir::TermAtom& encoded) -> int {
       row.clear();
       row.push_back(encoded.predicate);
       for (ir::TermId t : encoded.args) row.push_back(ir::EncodeRowTerm(t));
       auto [id, inserted] =
           automaton.state_keys.Intern(row.data(), row.size());
-      if (inserted) {
-        DATALOG_CHECK_EQ(static_cast<std::size_t>(id),
-                         automaton.state_atoms.size());
-        automaton.state_atoms.push_back(
-            automaton.alphabet.DecodeAtom(encoded));
-        nfta.AddState();
-      }
+      if (inserted) nfta.AddState();
       return static_cast<int>(id);
     };
     std::uint32_t goal_pred = automaton.alphabet.predicates.Find(goal);
@@ -363,7 +383,7 @@ StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
     // Final states: all goal-predicate atoms (a state row's first int is
     // its predicate id), mirroring the string arm exactly — including
     // goal atoms that only ever occur as children.
-    for (std::size_t s = 0; s < automaton.state_atoms.size(); ++s) {
+    for (std::size_t s = 0; s < automaton.state_keys.size(); ++s) {
       if (goal_pred != ir::NameDictionary::kNotFound &&
           static_cast<std::uint32_t>(automaton.state_keys.KeyData(s)[0]) ==
               goal_pred) {

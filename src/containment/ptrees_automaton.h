@@ -77,6 +77,13 @@ struct ProgramAlphabet {
   /// Number of symbols (both arms fill `arities`, one entry per label).
   std::size_t num_labels() const { return arities.size(); }
 
+  /// Interned-arm labels materialized so far by Label() — the lazy
+  /// decode's work counter, pinned by tests/ptrees_automaton_test.cc:
+  /// the IR constructions render no label at all, and witness decoding
+  /// renders only the symbols on the witness path. Always 0 on the
+  /// string arm (its labels are eager by construction).
+  std::size_t num_decoded_labels() const { return decoded_labels_; }
+
   /// The Term-level rendering of a label. The interned arm decodes the
   /// LabelIr through the dictionaries on first use and caches the Rule,
   /// so constructions that never render a symbol (the IR word/tree
@@ -93,6 +100,7 @@ struct ProgramAlphabet {
  private:
   // Lazily decoded labels, indexed by symbol (interned arm only).
   mutable std::vector<std::unique_ptr<Rule>> label_cache_;
+  mutable std::size_t decoded_labels_ = 0;
 };
 
 /// Enumerates the full alphabet. Fails with ResourceExhausted beyond
@@ -106,12 +114,38 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
 
 struct PtreesAutomaton {
   ProgramAlphabet alphabet;
-  Nfta nfta;
+  Nfta nfta = Nfta(0, {});
   std::map<std::string, int> atom_states;  // string arm: Atom::ToString()
+  /// String-arm state storage: the materialized Atom per state. Empty on
+  /// the interned arm, where state atoms are decoded on demand from the
+  /// state_keys rows — go through num_states()/StateAtom() instead.
   std::vector<Atom> state_atoms;
   VarKeyTable state_keys;  // interned arm: [pred, enc(arg)...] rows
 
+  std::size_t num_states() const {
+    return alphabet.interned ? state_keys.size() : state_atoms.size();
+  }
+
+  /// The Term-level atom of a state. The interned arm decodes the
+  /// state's key row through the alphabet dictionaries on first use and
+  /// caches the Atom, so constructions that never render a state — the
+  /// IR decider cross-checks, emptiness tests — pay nothing; the string
+  /// arm returns its eager storage.
+  const Atom& StateAtom(std::size_t state) const;
+
+  /// Interned-arm state atoms materialized so far by StateAtom() — the
+  /// lazy decode's work counter (see ProgramAlphabet's
+  /// num_decoded_labels). Always 0 on the string arm.
+  std::size_t num_decoded_state_atoms() const {
+    return decoded_state_atoms_;
+  }
+
   int StateOf(const Atom& atom) const;
+
+ private:
+  // Lazily decoded state atoms, indexed by state (interned arm only).
+  mutable std::vector<std::unique_ptr<Atom>> state_cache_;
+  mutable std::size_t decoded_state_atoms_ = 0;
 };
 
 /// Builds A^ptrees_{Q,Π} (Proposition 5.9); `use_ir` as above. By

@@ -124,20 +124,35 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
     return static_cast<int>(id);
   };
 
+  // The per-symbol view (rendered label plus its EDB/IDB body split) is
+  // invariant across fixpoint rounds — materialize it once up front
+  // instead of re-rendering and re-splitting every pass. Label() caches
+  // behind a stable unique_ptr slot, so the references stay valid.
+  struct LabelView {
+    const Rule* label = nullptr;
+    std::vector<const Atom*> edb_atoms;
+    std::vector<Atom> child_goals;
+  };
+  std::vector<LabelView> views(alphabet.num_labels());
+  for (std::size_t symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
+    LabelView& view = views[symbol];
+    view.label = &alphabet.Label(symbol);
+    for (const Atom& atom : view.label->body()) {
+      if (idb.count(atom.predicate()) > 0) {
+        view.child_goals.push_back(atom);
+      } else {
+        view.edb_atoms.push_back(&atom);
+      }
+    }
+  }
+
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
-      const Rule& label = alphabet.Label(symbol);
-      std::vector<const Atom*> edb_atoms;
-      std::vector<Atom> child_goals;
-      for (std::size_t i = 0; i < label.body().size(); ++i) {
-        if (idb.count(label.body()[i].predicate()) > 0) {
-          child_goals.push_back(label.body()[i]);
-        } else {
-          edb_atoms.push_back(&label.body()[i]);
-        }
-      }
+      const Rule& label = *views[symbol].label;
+      const std::vector<const Atom*>& edb_atoms = views[symbol].edb_atoms;
+      const std::vector<Atom>& child_goals = views[symbol].child_goals;
       // Options per child: all discovered states for the child atom.
       std::vector<const std::vector<int>*> options;
       bool feasible = true;

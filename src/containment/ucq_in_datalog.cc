@@ -22,7 +22,19 @@ namespace {
 StatusOr<bool> FrozenGoalDerived(const Program& program,
                                  const std::string& goal, Database* db,
                                  const Tuple& goal_tuple, EvalStats* stats,
-                                 const EvalOptions& eval) {
+                                 const EvalOptions& eval,
+                                 CanonicalDbWitness* witness) {
+  if (witness != nullptr) {
+    // Snapshot before evaluation and before the auxiliary __domain
+    // relation: exactly the frozen facts the verdict is about.
+    witness->facts = db->AllFactAtoms();
+    std::vector<Term> goal_args;
+    goal_args.reserve(goal_tuple.size());
+    for (int id : goal_tuple) {
+      goal_args.push_back(Term::Constant(db->dictionary().NameOf(id)));
+    }
+    witness->goal_atom = Atom(goal, std::move(goal_args));
+  }
   PredicateId domain = db->InternPredicate("__domain", 1);
   for (int id : goal_tuple) db->AddTupleById(domain, {id});
   StatusOr<Relation> result = EvaluateGoal(program, goal, *db, eval, stats);
@@ -35,7 +47,8 @@ StatusOr<bool> FrozenGoalDerived(const Program& program,
 StatusOr<bool> IsCqContainedString(const ConjunctiveQuery& theta,
                                    const Program& program,
                                    const std::string& goal, EvalStats* stats,
-                                   const EvalOptions& eval) {
+                                   const EvalOptions& eval,
+                                   CanonicalDbWitness* witness) {
   CanonicalDatabase frozen = FreezeCq(theta);
   Database db;
   for (const Atom& fact : frozen.facts) {
@@ -47,7 +60,8 @@ StatusOr<bool> IsCqContainedString(const ConjunctiveQuery& theta,
   for (const Term& t : frozen.goal_tuple) {
     goal_tuple.push_back(db.dictionary().Intern(t.name()));
   }
-  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats, eval);
+  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats, eval,
+                           witness);
 }
 
 StatusOr<bool> IsDisjunctContainedIr(const ir::ProgramIr& theta_ir,
@@ -55,10 +69,12 @@ StatusOr<bool> IsDisjunctContainedIr(const ir::ProgramIr& theta_ir,
                                      const Program& program,
                                      const std::string& goal,
                                      EvalStats* stats,
-                                     const EvalOptions& eval) {
+                                     const EvalOptions& eval,
+                                     CanonicalDbWitness* witness) {
   Database db;
   Tuple goal_tuple = FreezeDisjunctIntoDatabase(theta_ir, index, &db);
-  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats, eval);
+  return FrozenGoalDerived(program, goal, &db, goal_tuple, stats, eval,
+                           witness);
 }
 
 // One disjunct check against an already-carried union IR (or the string
@@ -67,13 +83,14 @@ StatusOr<bool> CheckDisjunct(const UnionOfCqs& theta,
                              const ir::ProgramIr* theta_ir,
                              std::size_t disjunct, const Program& program,
                              const std::string& goal, EvalStats* stats,
-                             const EvalOptions& eval) {
+                             const EvalOptions& eval,
+                             CanonicalDbWitness* witness = nullptr) {
   if (theta_ir != nullptr) {
     return IsDisjunctContainedIr(*theta_ir, disjunct, program, goal, stats,
-                                 eval);
+                                 eval, witness);
   }
   return IsCqContainedString(theta.disjuncts()[disjunct], program, goal,
-                             stats, eval);
+                             stats, eval, witness);
 }
 
 }  // namespace
@@ -87,7 +104,8 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
   if (options.prune_unreachable) pruned = PruneForEvaluation(program, goal);
   const Program& prog = pruned.has_value() ? *pruned : program;
   if (!options.use_ir) {
-    return IsCqContainedString(theta, prog, goal, stats, options.eval);
+    return IsCqContainedString(theta, prog, goal, stats, options.eval,
+                               options.witness);
   }
   // A bare CQ has no carrier to cache on; intern just this disjunct
   // (no union copy, no full FromUnion pass). Drivers that loop many CQs
@@ -97,7 +115,7 @@ StatusOr<bool> IsCqContainedInDatalog(const ConjunctiveQuery& theta,
   ir::ProgramIr single;
   single.AddDisjunct(theta);
   return IsDisjunctContainedIr(single, 0, prog, goal, stats,
-                               options.eval);
+                               options.eval, options.witness);
 }
 
 StatusOr<bool> IsUcqDisjunctContainedInDatalog(
@@ -110,7 +128,7 @@ StatusOr<bool> IsUcqDisjunctContainedInDatalog(
   std::shared_ptr<ir::ProgramIr> theta_ir;
   if (options.use_ir) theta_ir = ir::CarriedIr(theta);
   return CheckDisjunct(theta, theta_ir.get(), disjunct, prog, goal,
-                       stats, options.eval);
+                       stats, options.eval, options.witness);
 }
 
 StatusOr<bool> IsUcqContainedInDatalog(const UnionOfCqs& theta,

@@ -21,6 +21,18 @@ namespace datalog {
 
 class ThreadPool;
 
+/// The canonical-database instance behind one disjunct's verdict,
+/// exported for independently checkable certificates: the frozen body
+/// facts exactly as the engine loaded them (before evaluation, before
+/// the auxiliary __domain relation) and the goal atom over the frozen
+/// head tuple. On a negative verdict this is the complete
+/// counterexample — any sound fixpoint over `facts` fails to derive
+/// `goal_atom` (src/corpus/verify.h replays it with a naive evaluator).
+struct CanonicalDbWitness {
+  std::vector<Atom> facts;
+  Atom goal_atom;
+};
+
 /// Ablation switch for the canonical-database construction substrate.
 struct CanonicalDbOptions {
   /// Freeze through the ProgramIr → engine dictionary handoff (each name
@@ -55,6 +67,13 @@ struct CanonicalDbOptions {
   /// (ablation switch). Pruning happens once per call, before any
   /// disjunct loop or fan-out.
   bool prune_unreachable = true;
+  /// When non-null, the single-disjunct entry points
+  /// (IsCqContainedInDatalog, IsUcqDisjunctContainedInDatalog) fill in
+  /// the frozen database they evaluated, for certificate export. The
+  /// union-level driver ignores it (its disjunct fan-out would race on
+  /// one slot); re-check the failing disjunct through the per-disjunct
+  /// entry to capture its witness. Unowned; must outlive the call.
+  CanonicalDbWitness* witness = nullptr;
 };
 
 /// θ ⊆ Q_Π: evaluates Π over the canonical database of θ and tests the

@@ -1,0 +1,663 @@
+#include "src/corpus/certificate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace corpus {
+namespace {
+
+constexpr char kFileHeader[] = "corpus-cert-v1";
+
+Status LineError(std::size_t line_number, const std::string& message) {
+  return InvalidArgumentError(
+      StrCat("cert line ", line_number, ": ", message));
+}
+
+// Strict unsigned decimal: nonempty, digits only, no overflow.
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseSize(const std::string& token, std::size_t* out) {
+  std::uint64_t value = 0;
+  if (!ParseU64(token, &value)) return false;
+  if (value > std::numeric_limits<std::size_t>::max()) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+// Splits on single spaces; rejects leading/trailing/doubled spaces so
+// every serialized file parses back under the exact same tokenization.
+bool TokenizeLine(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t space = line.find(' ', start);
+    if (space == std::string::npos) space = line.size();
+    if (space == start) return false;  // empty token
+    out->push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return !out->empty();
+}
+
+// Splits `text` at commas that sit outside parentheses (atom argument
+// lists contain commas, so a body list needs depth-aware splitting).
+StatusOr<std::vector<std::string>> SplitTopLevelCommas(
+    const std::string& text) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '(') ++depth;
+    if (c == ')') {
+      if (depth == 0) return InvalidArgumentError("unbalanced ')'");
+      --depth;
+    }
+    if (c == ',' && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (depth != 0) return InvalidArgumentError("unbalanced '('");
+  parts.push_back(text.substr(start));
+  return parts;
+}
+
+void AppendPinned(const PinnedMap& pinned, std::string* out) {
+  for (const auto& [var, image] : pinned) {
+    out->append(StrCat(" ", var, "=", SerializeTermToken(image)));
+  }
+}
+
+void SerializeNodePreorder(const ExpansionNode& node, std::string* out) {
+  out->append(StrCat("node ", node.children.size(), " "));
+  if (node.idb_positions.empty()) {
+    out->push_back('-');
+  } else {
+    for (std::size_t i = 0; i < node.idb_positions.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      out->append(StrCat(node.idb_positions[i]));
+    }
+  }
+  out->append(StrCat(" ", SerializeAtomToken(node.goal), " :-"));
+  const std::vector<Atom>& body = node.rule.body();
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    out->append(i == 0 ? " " : ",");
+    out->append(SerializeAtomToken(body[i]));
+  }
+  out->push_back('\n');
+  for (const ExpansionNode& child : node.children) {
+    SerializeNodePreorder(child, out);
+  }
+}
+
+void SerializeOne(const Certificate& cert, std::string* out) {
+  out->append(StrCat("cert ", cert.instance_id, " ",
+                     CertificateKindSlug(cert.kind), "\n"));
+  switch (cert.kind) {
+    case CertificateKind::kInvalid:
+      for (const std::string& error : cert.errors) {
+        out->append(StrCat("error ", error, "\n"));
+      }
+      break;
+    case CertificateKind::kForwardContained:
+      for (std::size_t d = 0; d < cert.derivations.size(); ++d) {
+        out->append(StrCat("disjunct ", d, "\n"));
+        for (const DerivationStep& step : cert.derivations[d]) {
+          out->append(StrCat("step ", step.rule_index));
+          for (const auto& [var, term] : step.bindings) {
+            out->append(StrCat(" ", var, "=", SerializeTermToken(term)));
+          }
+          out->push_back('\n');
+        }
+      }
+      break;
+    case CertificateKind::kForwardNotContained:
+      out->append(StrCat("disjunct ", cert.failing_disjunct, "\n"));
+      for (const Atom& fact : cert.frozen_facts) {
+        out->append(StrCat("fact ", SerializeAtomToken(fact), "\n"));
+      }
+      out->append(StrCat("goal ", SerializeAtomToken(cert.frozen_goal), "\n"));
+      break;
+    case CertificateKind::kBackwardNotContained:
+      if (cert.counterexample.has_value()) {
+        SerializeNodePreorder(cert.counterexample->root(), out);
+      }
+      break;
+    case CertificateKind::kBackwardContained:
+      for (const AbsorptionTraceEntry& entry : cert.trace) {
+        out->append(StrCat("goal ", SerializeAtomToken(entry.goal), "\n"));
+        for (const AchievedSet& set : entry.sets) {
+          out->append(StrCat("set ", set.size(), "\n"));
+          for (const AchievedPair& pair : set) {
+            out->append(StrCat("pair ", pair.query, " ", pair.mask));
+            AppendPinned(pair.pinned, out);
+            out->push_back('\n');
+          }
+        }
+      }
+      break;
+    case CertificateKind::kBackwardContainedUnfold:
+      out->append(StrCat("expansions ", cert.expansion_count, "\n"));
+      for (std::size_t i = 0; i < cert.cover.size(); ++i) {
+        out->append(StrCat("cover ", i, " ", cert.cover[i], "\n"));
+      }
+      break;
+  }
+  out->append("end\n");
+}
+
+// --- parser -----------------------------------------------------------
+
+// One certificate block's payload lines with their file line numbers.
+struct PayloadLine {
+  std::size_t number = 0;
+  std::vector<std::string> tokens;
+};
+
+StatusOr<std::pair<std::string, Term>> ParseBindingToken(
+    const std::string& token) {
+  std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return InvalidArgumentError(StrCat("bad binding '", token, "'"));
+  }
+  std::string name = token.substr(0, eq);
+  StatusOr<Term> term = ParseTermToken(token.substr(eq + 1));
+  if (!term.ok()) return term.status();
+  return std::make_pair(std::move(name), *std::move(term));
+}
+
+Status ParseInvalid(const std::vector<PayloadLine>& lines, Certificate* cert) {
+  for (const PayloadLine& line : lines) {
+    if (line.tokens[0] != "error" || line.tokens.size() != 2) {
+      return LineError(line.number, "expected `error <slug>`");
+    }
+    cert->errors.push_back(line.tokens[1]);
+  }
+  if (cert->errors.empty()) {
+    return LineError(lines.empty() ? 0 : lines.back().number,
+                     "invalid certificate needs at least one error");
+  }
+  return OkStatus();
+}
+
+Status ParseForwardContained(const std::vector<PayloadLine>& lines,
+                             Certificate* cert) {
+  for (const PayloadLine& line : lines) {
+    if (line.tokens[0] == "disjunct") {
+      std::size_t index = 0;
+      if (line.tokens.size() != 2 || !ParseSize(line.tokens[1], &index) ||
+          index != cert->derivations.size()) {
+        return LineError(line.number, "expected `disjunct <next-index>`");
+      }
+      cert->derivations.emplace_back();
+    } else if (line.tokens[0] == "step") {
+      if (cert->derivations.empty() || line.tokens.size() < 2) {
+        return LineError(line.number, "step outside a disjunct block");
+      }
+      DerivationStep step;
+      if (!ParseSize(line.tokens[1], &step.rule_index)) {
+        return LineError(line.number, "bad rule index");
+      }
+      for (std::size_t i = 2; i < line.tokens.size(); ++i) {
+        StatusOr<std::pair<std::string, Term>> binding =
+            ParseBindingToken(line.tokens[i]);
+        if (!binding.ok()) {
+          return LineError(line.number, binding.status().message());
+        }
+        step.bindings.push_back(*std::move(binding));
+      }
+      cert->derivations.back().push_back(std::move(step));
+    } else {
+      return LineError(line.number, "expected `disjunct` or `step`");
+    }
+  }
+  return OkStatus();
+}
+
+Status ParseForwardNotContained(const std::vector<PayloadLine>& lines,
+                                Certificate* cert) {
+  bool saw_disjunct = false;
+  bool saw_goal = false;
+  for (const PayloadLine& line : lines) {
+    if (saw_goal) return LineError(line.number, "content after `goal`");
+    if (line.tokens[0] == "disjunct") {
+      if (saw_disjunct || line.tokens.size() != 2 ||
+          !ParseSize(line.tokens[1], &cert->failing_disjunct)) {
+        return LineError(line.number, "expected one `disjunct <index>` first");
+      }
+      saw_disjunct = true;
+    } else if (line.tokens[0] == "fact") {
+      if (!saw_disjunct || line.tokens.size() != 2) {
+        return LineError(line.number, "expected `fact <atom>` after disjunct");
+      }
+      StatusOr<Atom> atom = ParseAtomToken(line.tokens[1]);
+      if (!atom.ok()) return LineError(line.number, atom.status().message());
+      cert->frozen_facts.push_back(*std::move(atom));
+    } else if (line.tokens[0] == "goal") {
+      if (!saw_disjunct || line.tokens.size() != 2) {
+        return LineError(line.number, "expected `goal <atom>` last");
+      }
+      StatusOr<Atom> atom = ParseAtomToken(line.tokens[1]);
+      if (!atom.ok()) return LineError(line.number, atom.status().message());
+      cert->frozen_goal = *std::move(atom);
+      saw_goal = true;
+    } else {
+      return LineError(line.number, "expected `disjunct`, `fact`, or `goal`");
+    }
+  }
+  if (!saw_goal) {
+    return LineError(lines.empty() ? 0 : lines.back().number,
+                     "missing `goal <atom>`");
+  }
+  return OkStatus();
+}
+
+// One parsed `node` line, before tree reconstruction.
+struct FlatNode {
+  std::size_t line_number = 0;
+  std::size_t num_children = 0;
+  std::vector<std::size_t> idb_positions;
+  Atom goal;
+  std::vector<Atom> body;
+};
+
+StatusOr<FlatNode> ParseNodeLine(const PayloadLine& line) {
+  FlatNode node;
+  node.line_number = line.number;
+  if (line.tokens.size() < 5 || line.tokens.size() > 6 ||
+      line.tokens[4] != ":-") {
+    return LineError(line.number,
+                     "expected `node <n> <positions> <goal> :- [<body>]`");
+  }
+  if (!ParseSize(line.tokens[1], &node.num_children)) {
+    return LineError(line.number, "bad child count");
+  }
+  if (line.tokens[2] != "-") {
+    StatusOr<std::vector<std::string>> parts =
+        SplitTopLevelCommas(line.tokens[2]);
+    if (!parts.ok()) return LineError(line.number, parts.status().message());
+    for (const std::string& part : *parts) {
+      std::size_t position = 0;
+      if (!ParseSize(part, &position)) {
+        return LineError(line.number, "bad idb position");
+      }
+      node.idb_positions.push_back(position);
+    }
+  }
+  if (node.idb_positions.size() != node.num_children) {
+    return LineError(line.number, "idb positions do not match child count");
+  }
+  StatusOr<Atom> goal = ParseAtomToken(line.tokens[3]);
+  if (!goal.ok()) return LineError(line.number, goal.status().message());
+  node.goal = *std::move(goal);
+  if (line.tokens.size() == 6) {
+    StatusOr<std::vector<std::string>> parts =
+        SplitTopLevelCommas(line.tokens[5]);
+    if (!parts.ok()) return LineError(line.number, parts.status().message());
+    for (const std::string& part : *parts) {
+      StatusOr<Atom> atom = ParseAtomToken(part);
+      if (!atom.ok()) return LineError(line.number, atom.status().message());
+      node.body.push_back(*std::move(atom));
+    }
+  }
+  return node;
+}
+
+// Preorder reconstruction; `*next` indexes into `flat`.
+StatusOr<ExpansionNode> BuildNode(const std::vector<FlatNode>& flat,
+                                  std::size_t* next) {
+  if (*next >= flat.size()) {
+    return LineError(flat.back().line_number,
+                     "tree truncated: child node missing");
+  }
+  const FlatNode& source = flat[(*next)++];
+  ExpansionNode node;
+  node.goal = source.goal;
+  node.rule = Rule(source.goal, source.body);
+  node.idb_positions = source.idb_positions;
+  for (std::size_t position : source.idb_positions) {
+    if (position >= source.body.size()) {
+      return LineError(source.line_number, "idb position out of body range");
+    }
+  }
+  for (std::size_t i = 0; i < source.num_children; ++i) {
+    StatusOr<ExpansionNode> child = BuildNode(flat, next);
+    if (!child.ok()) return child.status();
+    node.children.push_back(*std::move(child));
+  }
+  return node;
+}
+
+Status ParseBackwardNotContained(const std::vector<PayloadLine>& lines,
+                                 Certificate* cert) {
+  std::vector<FlatNode> flat;
+  for (const PayloadLine& line : lines) {
+    if (line.tokens[0] != "node") {
+      return LineError(line.number, "expected `node` line");
+    }
+    StatusOr<FlatNode> node = ParseNodeLine(line);
+    if (!node.ok()) return node.status();
+    flat.push_back(*std::move(node));
+  }
+  if (flat.empty()) {
+    return InvalidArgumentError("cert: counterexample tree has no nodes");
+  }
+  std::size_t next = 0;
+  StatusOr<ExpansionNode> root = BuildNode(flat, &next);
+  if (!root.ok()) return root.status();
+  if (next != flat.size()) {
+    return LineError(flat[next].line_number, "dangling node after tree");
+  }
+  cert->counterexample = ExpansionTree(*std::move(root));
+  return OkStatus();
+}
+
+Status ParseBackwardContained(const std::vector<PayloadLine>& lines,
+                              Certificate* cert) {
+  std::size_t pending_pairs = 0;
+  for (const PayloadLine& line : lines) {
+    if (line.tokens[0] == "goal") {
+      if (pending_pairs != 0) {
+        return LineError(line.number, "set is missing pairs");
+      }
+      if (line.tokens.size() != 2) {
+        return LineError(line.number, "expected `goal <atom>`");
+      }
+      StatusOr<Atom> atom = ParseAtomToken(line.tokens[1]);
+      if (!atom.ok()) return LineError(line.number, atom.status().message());
+      AbsorptionTraceEntry entry;
+      entry.goal = *std::move(atom);
+      cert->trace.push_back(std::move(entry));
+    } else if (line.tokens[0] == "set") {
+      if (cert->trace.empty() || pending_pairs != 0 ||
+          line.tokens.size() != 2 ||
+          !ParseSize(line.tokens[1], &pending_pairs)) {
+        return LineError(line.number, "expected `set <npairs>` under a goal");
+      }
+      cert->trace.back().sets.emplace_back();
+    } else if (line.tokens[0] == "pair") {
+      if (pending_pairs == 0 || line.tokens.size() < 3) {
+        return LineError(line.number, "unexpected `pair` line");
+      }
+      AchievedPair pair;
+      std::size_t query = 0;
+      if (!ParseSize(line.tokens[1], &query) ||
+          query > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+        return LineError(line.number, "bad query index");
+      }
+      pair.query = static_cast<int>(query);
+      std::uint64_t mask = 0;
+      if (!ParseU64(line.tokens[2], &mask)) {
+        return LineError(line.number, "bad mask");
+      }
+      pair.mask = mask;
+      for (std::size_t i = 3; i < line.tokens.size(); ++i) {
+        StatusOr<std::pair<std::string, Term>> binding =
+            ParseBindingToken(line.tokens[i]);
+        if (!binding.ok()) {
+          return LineError(line.number, binding.status().message());
+        }
+        std::size_t var = 0;
+        if (!ParseSize(binding->first, &var) ||
+            var > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+          return LineError(line.number, "bad pinned variable id");
+        }
+        pair.pinned.emplace_back(static_cast<int>(var),
+                                 std::move(binding->second));
+      }
+      cert->trace.back().sets.back().push_back(std::move(pair));
+      --pending_pairs;
+    } else {
+      return LineError(line.number, "expected `goal`, `set`, or `pair`");
+    }
+  }
+  if (pending_pairs != 0) {
+    return LineError(lines.empty() ? 0 : lines.back().number,
+                     "set is missing pairs");
+  }
+  // Restore the AchievedSet sorted invariant (hand-written or mutated
+  // goldens may list pairs out of order; subset tests assume sorting).
+  for (AbsorptionTraceEntry& entry : cert->trace) {
+    for (AchievedSet& set : entry.sets) {
+      for (AchievedPair& pair : set) {
+        std::sort(pair.pinned.begin(), pair.pinned.end());
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+  }
+  return OkStatus();
+}
+
+Status ParseBackwardContainedUnfold(const std::vector<PayloadLine>& lines,
+                                    Certificate* cert) {
+  bool saw_expansions = false;
+  for (const PayloadLine& line : lines) {
+    if (line.tokens[0] == "expansions") {
+      if (saw_expansions || line.tokens.size() != 2 ||
+          !ParseSize(line.tokens[1], &cert->expansion_count)) {
+        return LineError(line.number, "expected one `expansions <n>` first");
+      }
+      saw_expansions = true;
+    } else if (line.tokens[0] == "cover") {
+      std::size_t index = 0;
+      std::size_t disjunct = 0;
+      if (!saw_expansions || line.tokens.size() != 3 ||
+          !ParseSize(line.tokens[1], &index) ||
+          !ParseSize(line.tokens[2], &disjunct) ||
+          index != cert->cover.size()) {
+        return LineError(line.number, "expected `cover <next-index> <d>`");
+      }
+      cert->cover.push_back(disjunct);
+    } else {
+      return LineError(line.number, "expected `expansions` or `cover`");
+    }
+  }
+  if (!saw_expansions) {
+    return LineError(lines.empty() ? 0 : lines.back().number,
+                     "missing `expansions <n>`");
+  }
+  if (cert->cover.size() != cert->expansion_count) {
+    return LineError(lines.back().number,
+                     "cover lines do not match expansion count");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* CertificateKindSlug(CertificateKind kind) {
+  switch (kind) {
+    case CertificateKind::kInvalid:
+      return "invalid";
+    case CertificateKind::kForwardContained:
+      return "forward-contained";
+    case CertificateKind::kForwardNotContained:
+      return "forward-not-contained";
+    case CertificateKind::kBackwardNotContained:
+      return "backward-not-contained";
+    case CertificateKind::kBackwardContained:
+      return "backward-contained";
+    case CertificateKind::kBackwardContainedUnfold:
+      return "backward-contained-unfold";
+  }
+  return "unknown";
+}
+
+StatusOr<CertificateKind> CertificateKindFromSlug(const std::string& slug) {
+  for (CertificateKind kind :
+       {CertificateKind::kInvalid, CertificateKind::kForwardContained,
+        CertificateKind::kForwardNotContained,
+        CertificateKind::kBackwardNotContained,
+        CertificateKind::kBackwardContained,
+        CertificateKind::kBackwardContainedUnfold}) {
+    if (slug == CertificateKindSlug(kind)) return kind;
+  }
+  return InvalidArgumentError(StrCat("unknown certificate kind '", slug, "'"));
+}
+
+std::string SerializeTermToken(const Term& term) {
+  return StrCat(term.is_variable() ? "v:" : "c:", term.name());
+}
+
+std::string SerializeAtomToken(const Atom& atom) {
+  std::string out = atom.predicate();
+  out.push_back('(');
+  for (std::size_t i = 0; i < atom.args().size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(SerializeTermToken(atom.args()[i]));
+  }
+  out.push_back(')');
+  return out;
+}
+
+StatusOr<Term> ParseTermToken(const std::string& token) {
+  if (token.size() < 2 || token[1] != ':' ||
+      (token[0] != 'v' && token[0] != 'c')) {
+    return InvalidArgumentError(StrCat("bad term '", token, "'"));
+  }
+  std::string name = token.substr(2);
+  if (name.empty()) {
+    return InvalidArgumentError(StrCat("empty term name in '", token, "'"));
+  }
+  return token[0] == 'v' ? Term::Variable(std::move(name))
+                         : Term::Constant(std::move(name));
+}
+
+StatusOr<Atom> ParseAtomToken(const std::string& token) {
+  std::size_t lparen = token.find('(');
+  if (lparen == std::string::npos || lparen == 0 || token.back() != ')') {
+    return InvalidArgumentError(StrCat("bad atom '", token, "'"));
+  }
+  std::string predicate = token.substr(0, lparen);
+  std::string inner = token.substr(lparen + 1, token.size() - lparen - 2);
+  std::vector<Term> args;
+  if (!inner.empty()) {
+    StatusOr<std::vector<std::string>> parts = SplitTopLevelCommas(inner);
+    if (!parts.ok()) return parts.status();
+    for (const std::string& part : *parts) {
+      StatusOr<Term> term = ParseTermToken(part);
+      if (!term.ok()) return term.status();
+      args.push_back(*std::move(term));
+    }
+  }
+  return Atom(std::move(predicate), std::move(args));
+}
+
+std::string SerializeCertificates(const std::vector<Certificate>& certs) {
+  std::string out = StrCat(kFileHeader, "\n");
+  for (const Certificate& cert : certs) SerializeOne(cert, &out);
+  return out;
+}
+
+StatusOr<std::vector<Certificate>> ParseCertificates(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t newline = text.find('\n', start);
+    if (newline == std::string::npos) newline = text.size();
+    lines.push_back(text.substr(start, newline - start));
+    start = newline + 1;
+  }
+  std::size_t i = 0;
+  while (i < lines.size() && lines[i].empty()) ++i;
+  if (i >= lines.size() || lines[i] != kFileHeader) {
+    return InvalidArgumentError(
+        StrCat("cert: missing `", kFileHeader, "` header"));
+  }
+  ++i;
+
+  std::vector<Certificate> certs;
+  std::vector<std::string> tokens;
+  while (i < lines.size()) {
+    if (lines[i].empty()) {  // blank lines between blocks are fine
+      ++i;
+      continue;
+    }
+    std::size_t cert_line = i + 1;
+    if (!TokenizeLine(lines[i], &tokens) || tokens[0] != "cert" ||
+        tokens.size() != 3) {
+      return LineError(cert_line, "expected `cert <id> <kind>`");
+    }
+    Certificate cert;
+    if (!ParseU64(tokens[1], &cert.instance_id)) {
+      return LineError(cert_line, "bad instance id");
+    }
+    StatusOr<CertificateKind> kind = CertificateKindFromSlug(tokens[2]);
+    if (!kind.ok()) return LineError(cert_line, kind.status().message());
+    cert.kind = *kind;
+    ++i;
+
+    std::vector<PayloadLine> payload;
+    bool closed = false;
+    while (i < lines.size()) {
+      if (lines[i].empty()) {
+        return LineError(i + 1, "blank line inside certificate block");
+      }
+      if (lines[i] == "end") {
+        closed = true;
+        ++i;
+        break;
+      }
+      PayloadLine line;
+      line.number = i + 1;
+      if (!TokenizeLine(lines[i], &line.tokens)) {
+        return LineError(i + 1, "malformed line");
+      }
+      payload.push_back(std::move(line));
+      ++i;
+    }
+    if (!closed) {
+      return LineError(lines.size(), "certificate block missing `end`");
+    }
+
+    Status status = OkStatus();
+    switch (cert.kind) {
+      case CertificateKind::kInvalid:
+        status = ParseInvalid(payload, &cert);
+        break;
+      case CertificateKind::kForwardContained:
+        status = ParseForwardContained(payload, &cert);
+        break;
+      case CertificateKind::kForwardNotContained:
+        status = ParseForwardNotContained(payload, &cert);
+        break;
+      case CertificateKind::kBackwardNotContained:
+        status = ParseBackwardNotContained(payload, &cert);
+        break;
+      case CertificateKind::kBackwardContained:
+        status = ParseBackwardContained(payload, &cert);
+        break;
+      case CertificateKind::kBackwardContainedUnfold:
+        status = ParseBackwardContainedUnfold(payload, &cert);
+        break;
+    }
+    if (!status.ok()) return status;
+    certs.push_back(std::move(cert));
+  }
+  return certs;
+}
+
+}  // namespace corpus
+}  // namespace datalog

@@ -1,0 +1,114 @@
+// Per-instance certificates emitted by the staged pipeline and
+// replayed by the independent verifier.
+//
+// Certificates are TEXT, with a strict line grammar (documented in
+// docs/corpus.md, "Certificate grammar"), so the golden files under
+// tools/testdata/corpus/ can be written and mutated by hand. One file
+// holds any number of certificates:
+//
+//   corpus-cert-v1
+//   cert <instance-id> <kind-slug>
+//   <payload lines>
+//   end
+//   ...
+//
+// Kinds and payloads:
+//   invalid                    error <lint-slug>        (>= 1 lines)
+//   forward-contained          disjunct <d> / step <rule> <v>=<term>...
+//   forward-not-contained      disjunct <d> / fact <atom>... / goal <atom>
+//   backward-not-contained     node <nchildren> <idb-positions> <goal-atom>
+//                                :- <body>
+//                              (preorder; idb-positions comma-joined body
+//                              indices or `-` when childless; body
+//                              comma-joined atoms, empty allowed)
+//   backward-contained         goal <atom> / set <npairs> /
+//                              pair <query> <mask> <var-id>=<term>...
+//   backward-contained-unfold  expansions <n> / cover <i> <disjunct>
+//
+// Terms serialize as `v:NAME` (variable) or `c:NAME` (constant); atoms
+// as `pred(term,...)` with no spaces, `pred()` when 0-ary.
+#ifndef DATALOG_EQ_SRC_CORPUS_CERTIFICATE_H_
+#define DATALOG_EQ_SRC_CORPUS_CERTIFICATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/containment/absorb.h"
+#include "src/corpus/naive.h"
+#include "src/trees/expansion_tree.h"
+#include "src/util/status.h"
+
+namespace datalog {
+namespace corpus {
+
+enum class CertificateKind {
+  /// The lint stage rejected the instance; `errors` lists the slugs.
+  kInvalid,
+  /// Θ ⊆ Q_Π: one naive derivation of the frozen goal per disjunct.
+  kForwardContained,
+  /// Θ ⊄ Q_Π: the failing disjunct's frozen database, from which the
+  /// fixpoint does not derive the frozen goal tuple.
+  kForwardNotContained,
+  /// Q_Π ⊄ Θ: a counterexample expansion tree no disjunct maps into.
+  kBackwardNotContained,
+  /// Q_Π ⊆ Θ: the decider's absorption trace (fixpoint table).
+  kBackwardContained,
+  /// Q_Π ⊆ Θ for a nonrecursive program: a covering disjunct per
+  /// exhaustively enumerated expansion.
+  kBackwardContainedUnfold,
+};
+
+const char* CertificateKindSlug(CertificateKind kind);
+StatusOr<CertificateKind> CertificateKindFromSlug(const std::string& slug);
+
+struct Certificate {
+  std::uint64_t instance_id = 0;
+  CertificateKind kind = CertificateKind::kInvalid;
+
+  /// kInvalid: lint error slugs (diagnostics.h), at least one.
+  std::vector<std::string> errors;
+
+  /// kForwardContained: derivations[d] replays disjunct d's frozen
+  /// database to the frozen goal (CheckDerivation).
+  std::vector<std::vector<DerivationStep>> derivations;
+
+  /// kForwardNotContained: the engine-exported frozen database of
+  /// disjunct `failing_disjunct` and the underived goal atom.
+  std::size_t failing_disjunct = 0;
+  std::vector<Atom> frozen_facts;
+  Atom frozen_goal;
+
+  /// kBackwardNotContained: the counterexample tree.
+  std::optional<ExpansionTree> counterexample;
+
+  /// kBackwardContained: the decider's fixpoint table.
+  AbsorptionTrace trace;
+
+  /// kBackwardContainedUnfold: `cover[i]` is the disjunct index that
+  /// maps into expansion i of the deterministic enumeration
+  /// (EnumerateExpansionsNaive with the shared budget constants).
+  std::size_t expansion_count = 0;
+  std::vector<std::size_t> cover;
+};
+
+/// Serializes certificates into one text file image (deterministic).
+std::string SerializeCertificates(const std::vector<Certificate>& certs);
+
+/// Parses a certificate file; strict — any unknown line, malformed
+/// atom, or truncated block is an InvalidArgument naming the line.
+StatusOr<std::vector<Certificate>> ParseCertificates(const std::string& text);
+
+/// Serializations of the atoms/terms used by the grammar, exposed for
+/// tests and tooling.
+std::string SerializeTermToken(const Term& term);
+std::string SerializeAtomToken(const Atom& atom);
+StatusOr<Term> ParseTermToken(const std::string& token);
+StatusOr<Atom> ParseAtomToken(const std::string& token);
+
+}  // namespace corpus
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CORPUS_CERTIFICATE_H_

@@ -1,0 +1,311 @@
+#include "src/corpus/generate.h"
+
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/generators/examples.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace corpus {
+namespace {
+
+Term Var(const std::string& name) { return Term::Variable(name); }
+
+// p(X, Y) :- e(X, Y).  p(X, Y) :- p(Y, X).
+// Q_Π is e plus its flip — contained in {e(X,Y)} ∪ {e(Y,X)}, recursive
+// and linear, so the ptrees arm confirms the linear arm's hint with an
+// absorption trace.
+Program SymmetricClosureProgram() {
+  Program program;
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("e", {Var("X"), Var("Y")})}));
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("p", {Var("Y"), Var("X")})}));
+  return program;
+}
+
+// p(X, Y) :- e(X, Y).  p(X, Y) :- p(X, Y), p(X, Y).
+// The recursive rule absorbs into itself: every proof tree's expansion
+// is {e(X, Y)}, so the program is equivalent to that single CQ while
+// being recursive and nonlinear — a pure ptrees backward-contained case.
+Program SelfAbsorbingProgram() {
+  Program program;
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("e", {Var("X"), Var("Y")})}));
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("p", {Var("X"), Var("Y")}),
+                        Atom("p", {Var("X"), Var("Y")})}));
+  return program;
+}
+
+// p(X, Y) :- e(X, Y).  p(X, Y) :- p(Y, X), p(Y, X).
+// Nonlinear flip: expansions are nonempty subsets of
+// {e(X,Y), e(Y,X)}, all covered by {e(X,Y)} ∪ {e(Y,X)}.
+Program FlipAbsorbingProgram() {
+  Program program;
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("e", {Var("X"), Var("Y")})}));
+  program.AddRule(Rule(Atom("p", {Var("X"), Var("Y")}),
+                       {Atom("p", {Var("Y"), Var("X")}),
+                        Atom("p", {Var("Y"), Var("X")})}));
+  return program;
+}
+
+UnionOfCqs SymmetricTheta() {
+  UnionOfCqs theta;
+  theta.Add(ConjunctiveQuery({Var("X"), Var("Y")},
+                             {Atom("e", {Var("X"), Var("Y")})}));
+  theta.Add(ConjunctiveQuery({Var("X"), Var("Y")},
+                             {Atom("e", {Var("Y"), Var("X")})}));
+  return theta;
+}
+
+// The full expansion of WordProgram(n) for one label vector: a chain
+// e(X, Z1), ..., e(Z_{n-1}, Y) with labels[0] on the start node and
+// labels[i] on the node each later step ends at.
+ConjunctiveQuery WordDisjunct(const std::vector<int>& labels) {
+  auto node = [&](std::size_t i) {
+    if (i == 0) return Var("X");
+    if (i == labels.size()) return Var("Y");
+    return Var(StrCat("Z", i));
+  };
+  auto label = [](int bit) { return std::string(bit != 0 ? "one" : "zero"); };
+  std::vector<Atom> body;
+  body.push_back(Atom("e", {node(0), node(1)}));
+  body.push_back(Atom(label(labels[0]), {node(0)}));
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    body.push_back(Atom("e", {node(i), node(i + 1)}));
+    body.push_back(Atom(label(labels[i]), {node(i + 1)}));
+  }
+  return ConjunctiveQuery({Var("X"), Var("Y")}, std::move(body));
+}
+
+// Every label vector of length n, in binary counting order.
+std::vector<std::vector<int>> AllLabelVectors(int n) {
+  std::vector<std::vector<int>> vectors;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<int> labels(n);
+    for (int i = 0; i < n; ++i) labels[i] = (mask >> i) & 1;
+    vectors.push_back(std::move(labels));
+  }
+  return vectors;
+}
+
+// Nonrecursive two-layer chain composition: p1 is an e-chain of length
+// c1, p2 composes c2 copies of p1; goal p2 derives exactly the e-paths
+// of length c1 * c2.
+Program LayeredChainProgram(int c1, int c2) {
+  Program program;
+  if (c1 == 1) {
+    program.AddRule(Rule(Atom("p1", {Var("X"), Var("Y")}),
+                         {Atom("e", {Var("X"), Var("Y")})}));
+  } else {
+    program.AddRule(Rule(Atom("p1", {Var("X"), Var("Y")}),
+                         {Atom("e", {Var("X"), Var("Z")}),
+                          Atom("e", {Var("Z"), Var("Y")})}));
+  }
+  if (c2 == 1) {
+    program.AddRule(Rule(Atom("p2", {Var("X"), Var("Y")}),
+                         {Atom("p1", {Var("X"), Var("Y")})}));
+  } else {
+    program.AddRule(Rule(Atom("p2", {Var("X"), Var("Y")}),
+                         {Atom("p1", {Var("X"), Var("Z")}),
+                          Atom("p1", {Var("Z"), Var("Y")})}));
+  }
+  return program;
+}
+
+class Generator {
+ public:
+  explicit Generator(const CorpusGenOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  std::vector<CorpusInstance> Run() {
+    std::vector<CorpusInstance> instances;
+    instances.reserve(options_.count);
+    const int total_weight = options_.weight_tc + options_.weight_deep +
+                             options_.weight_wide + options_.weight_nonrec +
+                             options_.weight_malformed;
+    DATALOG_CHECK_GT(total_weight, 0);
+    for (std::size_t i = 0; i < options_.count; ++i) {
+      CorpusInstance instance;
+      instance.id = i;
+      int draw = static_cast<int>(Next(static_cast<std::uint64_t>(total_weight)));
+      if ((draw -= options_.weight_tc) < 0) {
+        FillTc(&instance);
+      } else if ((draw -= options_.weight_deep) < 0) {
+        FillDeep(&instance);
+      } else if ((draw -= options_.weight_wide) < 0) {
+        FillWide(&instance);
+      } else if ((draw -= options_.weight_nonrec) < 0) {
+        FillNonrec(&instance);
+      } else {
+        FillMalformed(&instance);
+      }
+      instances.push_back(std::move(instance));
+    }
+    return instances;
+  }
+
+ private:
+  std::uint64_t Next(std::uint64_t bound) { return rng_() % bound; }
+
+  void FillTc(CorpusInstance* instance) {
+    switch (Next(3)) {
+      case 0:
+        instance->program = TransitiveClosureProgram("e", "e");
+        break;
+      case 1:
+        instance->program = NonlinearTransitiveClosureProgram();
+        break;
+      default:
+        // Paths of length ≡ 1 (mod step) — a stepper whose refutations
+        // need counterexample paths that skip lengths.
+        instance->program = ChainProgram(static_cast<int>(2 + Next(2)));
+        break;
+    }
+    instance->goal = "p";
+    instance->theta = PathQueries(static_cast<int>(1 + Next(4)));
+  }
+
+  void FillDeep(CorpusInstance* instance) {
+    switch (Next(3)) {
+      case 0: {
+        // dist_n = e-paths of exactly 2^n: equivalent to the exact
+        // chain, incomparable to an offset chain, backward-only when
+        // the union holds both.
+        int n = static_cast<int>(1 + Next(2));
+        instance->program = DistProgram(n);
+        instance->goal = StrCat("dist", n);
+        int exact = 1 << n;
+        switch (Next(3)) {
+          case 0:
+            instance->theta.Add(ChainQuery(exact));
+            break;
+          case 1:
+            instance->theta.Add(ChainQuery(exact + 1));
+            break;
+          default:
+            instance->theta.Add(ChainQuery(exact));
+            instance->theta.Add(ChainQuery(exact + 1));
+            break;
+        }
+        break;
+      }
+      case 1:
+        instance->program = SelfAbsorbingProgram();
+        instance->goal = "p";
+        instance->theta.Add(ConjunctiveQuery(
+            {Var("X"), Var("Y")}, {Atom("e", {Var("X"), Var("Y")})}));
+        break;
+      default:
+        instance->program = FlipAbsorbingProgram();
+        instance->goal = "p";
+        instance->theta = SymmetricTheta();
+        break;
+    }
+  }
+
+  void FillWide(CorpusInstance* instance) {
+    // Word automata over {zero, one}: the full label union is
+    // equivalent; dropping combinations leaves the program
+    // forward-contained only.
+    int n = static_cast<int>(1 + Next(2));
+    if (Next(8) == 0) n = 3;
+    instance->program = WordProgram(n);
+    instance->goal = StrCat("word", n);
+    std::vector<std::vector<int>> vectors = AllLabelVectors(n);
+    bool drop_one = Next(2) == 1;
+    std::size_t dropped = drop_one ? Next(vectors.size()) : vectors.size();
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (i == dropped) continue;
+      instance->theta.Add(WordDisjunct(vectors[i]));
+    }
+  }
+
+  void FillNonrec(CorpusInstance* instance) {
+    int c1 = static_cast<int>(1 + Next(2));
+    int c2 = static_cast<int>(1 + Next(2));
+    instance->program = LayeredChainProgram(c1, c2);
+    instance->goal = "p2";
+    int exact = c1 * c2;
+    switch (Next(3)) {
+      case 0:
+        instance->theta.Add(ChainQuery(exact));
+        break;
+      case 1:
+        instance->theta.Add(ChainQuery(exact + 1));
+        break;
+      default:
+        instance->theta.Add(ChainQuery(exact));
+        instance->theta.Add(ChainQuery(exact + 1));
+        break;
+    }
+  }
+
+  void FillMalformed(CorpusInstance* instance) {
+    switch (Next(3)) {
+      case 0:
+        // Arity clash on p: the extra unary rule contradicts the
+        // binary uses.
+        instance->program = TransitiveClosureProgram("e", "e");
+        instance->program.AddRule(Rule(Atom("p", {Var("X")}),
+                                       {Atom("e", {Var("X"), Var("X")})}));
+        instance->goal = "p";
+        break;
+      case 1:
+        // Goal names an EDB predicate.
+        instance->program = TransitiveClosureProgram("e", "e");
+        instance->goal = "e";
+        break;
+      default:
+        // No rules at all.
+        instance->goal = "p";
+        break;
+    }
+    instance->theta = PathQueries(1);
+  }
+
+  const CorpusGenOptions& options_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace
+
+std::vector<CorpusInstance> GenerateCorpus(const CorpusGenOptions& options) {
+  return Generator(options).Run();
+}
+
+std::vector<CorpusInstance> GoldenCorpus() {
+  std::vector<CorpusInstance> instances;
+
+  CorpusInstance tc;
+  tc.id = 0;
+  tc.program = TransitiveClosureProgram("e", "e");
+  tc.goal = "p";
+  tc.theta = PathQueries(2);
+  instances.push_back(std::move(tc));
+
+  CorpusInstance sym;
+  sym.id = 1;
+  sym.program = SymmetricClosureProgram();
+  sym.goal = "p";
+  sym.theta = SymmetricTheta();
+  instances.push_back(std::move(sym));
+
+  CorpusInstance bad;
+  bad.id = 2;
+  bad.program = TransitiveClosureProgram("e", "e");
+  bad.goal = "e";
+  bad.theta = PathQueries(1);
+  instances.push_back(std::move(bad));
+
+  return instances;
+}
+
+}  // namespace corpus
+}  // namespace datalog

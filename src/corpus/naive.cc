@@ -1,0 +1,474 @@
+#include "src/corpus/naive.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace corpus {
+namespace {
+
+// Tries to bind `var` to `image`, failing on a conflicting existing
+// binding. Appends newly bound names to `bound` so callers can undo.
+bool Bind(Substitution* h, std::vector<std::string>* bound,
+          const std::string& var, const Term& image) {
+  auto it = h->find(var);
+  if (it != h->end()) return it->second == image;
+  h->emplace(var, image);
+  bound->push_back(var);
+  return true;
+}
+
+void Unbind(Substitution* h, std::vector<std::string>* bound,
+            std::size_t mark) {
+  while (bound->size() > mark) {
+    h->erase(bound->back());
+    bound->pop_back();
+  }
+}
+
+// Unifies pattern term `pattern` with target term `image` under `h`:
+// variables bind (consistently), constants only match themselves.
+bool UnifyTerm(Substitution* h, std::vector<std::string>* bound,
+               const Term& pattern, const Term& image) {
+  if (pattern.is_constant()) return pattern == image;
+  return Bind(h, bound, pattern.name(), image);
+}
+
+bool UnifyAtom(Substitution* h, std::vector<std::string>* bound,
+               const Atom& pattern, const Atom& image) {
+  if (pattern.predicate() != image.predicate() ||
+      pattern.arity() != image.arity()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < pattern.arity(); ++i) {
+    if (!UnifyTerm(h, bound, pattern.args()[i], image.args()[i])) return false;
+  }
+  return true;
+}
+
+// Backtracking match of body atoms `index..` into `candidates`.
+bool MatchBodyInto(const std::vector<Atom>& body, std::size_t index,
+                   const std::vector<Atom>& candidates, Substitution* h,
+                   std::vector<std::string>* bound) {
+  if (index == body.size()) return true;
+  for (const Atom& candidate : candidates) {
+    std::size_t mark = bound->size();
+    if (UnifyAtom(h, bound, body[index], candidate) &&
+        MatchBodyInto(body, index + 1, candidates, h, bound)) {
+      return true;
+    }
+    Unbind(h, bound, mark);
+  }
+  return false;
+}
+
+bool AtomGround(const Atom& atom) {
+  for (const Term& term : atom.args()) {
+    if (term.is_variable()) return false;
+  }
+  return true;
+}
+
+// Enumerates every match of `body[index..]` against the ground fact
+// set `known`, yielding the completed substitution. Deterministic:
+// facts are visited in std::set order.
+void ForEachMatch(const std::vector<Atom>& body, std::size_t index,
+                  const std::set<Atom>& known, Substitution* h,
+                  std::vector<std::string>* bound,
+                  const std::function<void(const Substitution&)>& yield) {
+  if (index == body.size()) {
+    yield(*h);
+    return;
+  }
+  for (const Atom& fact : known) {
+    std::size_t mark = bound->size();
+    if (UnifyAtom(h, bound, body[index], fact)) {
+      ForEachMatch(body, index + 1, known, h, bound, yield);
+    }
+    Unbind(h, bound, mark);
+  }
+}
+
+std::vector<std::pair<std::string, Term>> SortedBindings(
+    const Rule& rule, const Substitution& subst) {
+  std::vector<std::string> vars = rule.VariableNames();
+  std::sort(vars.begin(), vars.end());
+  std::vector<std::pair<std::string, Term>> bindings;
+  bindings.reserve(vars.size());
+  for (const std::string& var : vars) {
+    bindings.emplace_back(var, subst.at(var));
+  }
+  return bindings;
+}
+
+}  // namespace
+
+bool IsRangeRestricted(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    std::vector<std::string> body_vars = CollectVariables(rule.body());
+    for (const Term& term : rule.head().args()) {
+      if (!term.is_variable()) continue;
+      if (std::find(body_vars.begin(), body_vars.end(), term.name()) ==
+          body_vars.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool HasDistinctVariableHeads(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    std::vector<std::string> seen;
+    for (const Term& term : rule.head().args()) {
+      if (!term.is_variable()) return false;
+      if (std::find(seen.begin(), seen.end(), term.name()) != seen.end()) {
+        return false;
+      }
+      seen.push_back(term.name());
+    }
+  }
+  return true;
+}
+
+bool IsRecursiveNaive(const Program& program) {
+  std::map<std::string, std::vector<std::string>> edges;
+  for (const Rule& rule : program.rules()) {
+    std::vector<std::string>& out = edges[rule.head().predicate()];
+    for (const Atom& atom : rule.body()) {
+      if (program.IsIdb(atom.predicate())) out.push_back(atom.predicate());
+    }
+  }
+  // Colors: 0 unvisited, 1 on stack, 2 done.
+  std::map<std::string, int> color;
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& pred) -> bool {
+    int& c = color[pred];
+    if (c == 1) return true;
+    if (c == 2) return false;
+    c = 1;
+    for (const std::string& next : edges[pred]) {
+      if (dfs(next)) return true;
+    }
+    c = 2;
+    return false;
+  };
+  for (const auto& entry : edges) {
+    if (dfs(entry.first)) return true;
+  }
+  return false;
+}
+
+bool DisjunctMapsInto(const ConjunctiveQuery& disjunct,
+                      const ConjunctiveQuery& target) {
+  if (disjunct.arity() != target.arity()) return false;
+  Substitution h;
+  std::vector<std::string> bound;
+  for (std::size_t i = 0; i < disjunct.arity(); ++i) {
+    if (!UnifyTerm(&h, &bound, disjunct.head_args()[i],
+                   target.head_args()[i])) {
+      return false;
+    }
+  }
+  return MatchBodyInto(disjunct.body(), 0, target.body(), &h, &bound);
+}
+
+bool UcqCoversCq(const UnionOfCqs& theta, const ConjunctiveQuery& target) {
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    if (DisjunctMapsInto(disjunct, target)) return true;
+  }
+  return false;
+}
+
+NaiveFrozenCq NaiveFreezeCq(const std::string& goal,
+                            const ConjunctiveQuery& disjunct) {
+  auto freeze = [](const Term& term) {
+    if (term.is_constant()) return term;
+    return Term::Constant(StrCat("@", term.name()));
+  };
+  NaiveFrozenCq frozen;
+  frozen.facts.reserve(disjunct.body().size());
+  for (const Atom& atom : disjunct.body()) {
+    std::vector<Term> args;
+    args.reserve(atom.arity());
+    for (const Term& term : atom.args()) args.push_back(freeze(term));
+    frozen.facts.push_back(Atom(atom.predicate(), std::move(args)));
+  }
+  std::vector<Term> goal_args;
+  goal_args.reserve(disjunct.arity());
+  for (const Term& term : disjunct.head_args()) {
+    goal_args.push_back(freeze(term));
+  }
+  frozen.goal_atom = Atom(goal, std::move(goal_args));
+  return frozen;
+}
+
+StatusOr<std::set<Atom>> NaiveFixpoint(const Program& program,
+                                       const std::vector<Atom>& facts,
+                                       std::size_t max_facts) {
+  if (!IsRangeRestricted(program)) {
+    return InvalidArgumentError(
+        "naive fixpoint requires a range-restricted program");
+  }
+  std::set<Atom> known(facts.begin(), facts.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      std::vector<Atom> derived;
+      Substitution h;
+      std::vector<std::string> bound;
+      ForEachMatch(rule.body(), 0, known, &h, &bound,
+                   [&](const Substitution& subst) {
+                     derived.push_back(ApplySubstitution(subst, rule.head()));
+                   });
+      for (const Atom& fact : derived) {
+        if (known.insert(fact).second) changed = true;
+      }
+      if (known.size() > max_facts) {
+        return ResourceExhaustedError(
+            StrCat("naive fixpoint exceeded ", max_facts, " facts"));
+      }
+    }
+  }
+  return known;
+}
+
+StatusOr<std::optional<std::vector<DerivationStep>>> FindDerivation(
+    const Program& program, const std::vector<Atom>& facts,
+    const Atom& goal_atom, std::size_t max_facts) {
+  if (!IsRangeRestricted(program)) {
+    return InvalidArgumentError(
+        "derivation search requires a range-restricted program");
+  }
+  std::set<Atom> known(facts.begin(), facts.end());
+  std::vector<DerivationStep> steps;
+  if (known.count(goal_atom) != 0) return std::optional(steps);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t rule_index = 0; rule_index < program.rules().size();
+         ++rule_index) {
+      const Rule& rule = program.rules()[rule_index];
+      std::vector<std::pair<Atom, DerivationStep>> derived;
+      Substitution h;
+      std::vector<std::string> bound;
+      ForEachMatch(rule.body(), 0, known, &h, &bound,
+                   [&](const Substitution& subst) {
+                     DerivationStep step;
+                     step.rule_index = rule_index;
+                     step.bindings = SortedBindings(rule, subst);
+                     derived.emplace_back(ApplySubstitution(subst, rule.head()),
+                                          std::move(step));
+                   });
+      for (auto& entry : derived) {
+        if (!known.insert(entry.first).second) continue;
+        changed = true;
+        steps.push_back(std::move(entry.second));
+        if (entry.first == goal_atom) return std::optional(std::move(steps));
+        if (known.size() > max_facts) {
+          return ResourceExhaustedError(
+              StrCat("derivation search exceeded ", max_facts, " facts"));
+        }
+      }
+    }
+  }
+  return std::optional<std::vector<DerivationStep>>();
+}
+
+Status CheckDerivation(const Program& program, const std::vector<Atom>& facts,
+                       const std::vector<DerivationStep>& steps,
+                       const Atom& goal_atom) {
+  std::set<Atom> known(facts.begin(), facts.end());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const DerivationStep& step = steps[i];
+    if (step.rule_index >= program.rules().size()) {
+      return InvalidArgumentError(StrCat("derivation step ", i,
+                                         ": rule index ", step.rule_index,
+                                         " out of range"));
+    }
+    const Rule& rule = program.rules()[step.rule_index];
+    Substitution subst;
+    for (const auto& binding : step.bindings) {
+      if (binding.second.is_variable()) {
+        return InvalidArgumentError(StrCat("derivation step ", i,
+                                           ": binding for ", binding.first,
+                                           " is not ground"));
+      }
+      if (!subst.emplace(binding.first, binding.second).second) {
+        return InvalidArgumentError(StrCat("derivation step ", i,
+                                           ": duplicate binding for ",
+                                           binding.first));
+      }
+    }
+    for (const Atom& atom : rule.body()) {
+      Atom instance = ApplySubstitution(subst, atom);
+      if (!AtomGround(instance)) {
+        return InvalidArgumentError(
+            StrCat("derivation step ", i, ": body atom ", instance.ToString(),
+                   " not ground under the recorded bindings"));
+      }
+      if (known.count(instance) == 0) {
+        return InvalidArgumentError(StrCat("derivation step ", i,
+                                           ": body atom ", instance.ToString(),
+                                           " is not a known fact"));
+      }
+    }
+    Atom head = ApplySubstitution(subst, rule.head());
+    if (!AtomGround(head)) {
+      return InvalidArgumentError(StrCat("derivation step ", i, ": head ",
+                                         head.ToString(), " not ground"));
+    }
+    known.insert(head);
+  }
+  if (known.count(goal_atom) == 0) {
+    return InvalidArgumentError(StrCat("derivation does not derive the goal ",
+                                       goal_atom.ToString()));
+  }
+  return OkStatus();
+}
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Program& program, std::size_t budget)
+      : program_(program), budget_(budget) {}
+
+  std::vector<ExpansionNode> Expand(const Atom& goal, int depth) {
+    std::vector<ExpansionNode> out;
+    if (nodes_ > budget_) return out;
+    if (depth <= 0) {
+      complete_ = false;
+      return out;
+    }
+    for (const Rule& rule : program_.rules()) {
+      if (rule.head().predicate() != goal.predicate() ||
+          rule.head().arity() != goal.arity()) {
+        continue;
+      }
+      // Distinct-variable heads: unifying head with `goal` is a pure
+      // downward rename, goal variables are never bound.
+      Substitution subst;
+      for (std::size_t i = 0; i < goal.arity(); ++i) {
+        subst.emplace(rule.head().args()[i].name(), goal.args()[i]);
+      }
+      std::vector<Atom> body;
+      body.reserve(rule.body().size());
+      std::vector<std::size_t> idb_positions;
+      for (std::size_t pos = 0; pos < rule.body().size(); ++pos) {
+        const Atom& atom = rule.body()[pos];
+        for (const Term& term : atom.args()) {
+          if (term.is_variable() && subst.find(term.name()) == subst.end()) {
+            subst.emplace(term.name(), FreshVariable());
+          }
+        }
+        body.push_back(ApplySubstitution(subst, atom));
+        if (program_.IsIdb(atom.predicate())) idb_positions.push_back(pos);
+      }
+      Rule instance(goal, std::move(body));
+
+      if (idb_positions.empty()) {
+        if (!ChargeBudget(1)) return out;
+        ExpansionNode node;
+        node.goal = goal;
+        node.rule = instance;
+        out.push_back(std::move(node));
+        continue;
+      }
+
+      std::vector<std::vector<ExpansionNode>> options;
+      options.reserve(idb_positions.size());
+      bool dead = false;
+      for (std::size_t pos : idb_positions) {
+        options.push_back(Expand(instance.body()[pos], depth - 1));
+        if (options.back().empty()) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) continue;
+
+      // Odometer over child choices, rightmost child fastest.
+      std::vector<std::size_t> pick(options.size(), 0);
+      while (true) {
+        ExpansionNode node;
+        node.goal = goal;
+        node.rule = instance;
+        node.idb_positions = idb_positions;
+        std::size_t subtotal = 1;
+        for (std::size_t i = 0; i < options.size(); ++i) {
+          node.children.push_back(options[i][pick[i]]);
+          subtotal += node.children.back().Size();
+        }
+        if (!ChargeBudget(subtotal)) return out;
+        out.push_back(std::move(node));
+        std::size_t i = options.size();
+        while (i > 0) {
+          if (++pick[i - 1] < options[i - 1].size()) break;
+          pick[i - 1] = 0;
+          --i;
+        }
+        if (i == 0) break;
+      }
+    }
+    return out;
+  }
+
+  Term FreshVariable() { return Term::Variable(StrCat("~", fresh_++)); }
+
+  bool complete() const { return complete_; }
+
+ private:
+  bool ChargeBudget(std::size_t add) {
+    nodes_ += add;
+    if (nodes_ > budget_) {
+      complete_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const Program& program_;
+  std::size_t budget_;
+  std::size_t nodes_ = 0;
+  std::size_t fresh_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+StatusOr<ExpansionEnumeration> EnumerateExpansionsNaive(
+    const Program& program, const std::string& goal, int max_depth,
+    std::size_t node_budget) {
+  if (!HasDistinctVariableHeads(program)) {
+    return InvalidArgumentError(
+        "expansion enumeration requires distinct-variable rule heads");
+  }
+  if (!program.IsIdb(goal)) {
+    return InvalidArgumentError(
+        StrCat("expansion enumeration: goal ", goal, " is not IDB"));
+  }
+  Enumerator enumerator(program, node_budget);
+  std::size_t arity = program.PredicateArity(goal);
+  std::vector<Term> root_args;
+  root_args.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    root_args.push_back(enumerator.FreshVariable());
+  }
+  std::vector<ExpansionNode> roots =
+      enumerator.Expand(Atom(goal, std::move(root_args)), max_depth);
+  ExpansionEnumeration result;
+  result.complete = enumerator.complete();
+  result.trees.reserve(roots.size());
+  for (ExpansionNode& root : roots) {
+    result.trees.push_back(ExpansionTree(std::move(root)));
+  }
+  return result;
+}
+
+}  // namespace corpus
+}  // namespace datalog

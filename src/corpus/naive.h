@@ -1,0 +1,126 @@
+// The naive AST-level kernel shared by the pipeline's cross-checks and
+// the independent certificate verifier (verify.h).
+//
+// Everything here works on Terms, Atoms, and std::set — no interning,
+// no IR, no indexes, no parallelism — and is deliberately the dumbest
+// correct implementation of each judgment: backtracking homomorphism
+// search, a textbook bottom-up fixpoint, and a depth-bounded expansion
+// enumerator. The verifier's trust argument (docs/corpus.md) rests on
+// this file plus src/ast, src/trees, and the string-arm absorb kernel,
+// so keep it free of dependencies on the optimized stack.
+//
+// Several functions assume the generated-instance contract
+// (src/corpus/generate.h): range-restricted, constant-free-head,
+// distinct-variable-head rules. They check what they assume and fail
+// loudly instead of computing garbage on programs outside the contract.
+#ifndef DATALOG_EQ_SRC_CORPUS_NAIVE_H_
+#define DATALOG_EQ_SRC_CORPUS_NAIVE_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/cq/cq.h"
+#include "src/trees/expansion_tree.h"
+#include "src/util/status.h"
+
+namespace datalog {
+namespace corpus {
+
+/// Node budget for one expansion enumeration. Shared by the pipeline's
+/// unfold stage and the verifier's re-enumeration: a
+/// backward-contained-unfold certificate is only meaningful if both
+/// sides enumerate under identical limits.
+inline constexpr std::size_t kExpansionNodeBudget = 50000;
+
+/// Tree-height bound for refutation-only enumeration on recursive
+/// programs (the unfold stage's cheap counterexample probe).
+inline constexpr int kRecursiveRefutationDepth = 3;
+
+/// True when every head variable of every rule also occurs in the
+/// rule's body (the naive fixpoint's applicability condition).
+bool IsRangeRestricted(const Program& program);
+
+/// True when every rule head's arguments are pairwise-distinct
+/// variables (the expansion enumerator's applicability condition:
+/// unifying such a head with a goal atom never binds goal variables).
+bool HasDistinctVariableHeads(const Program& program);
+
+/// Naive recursion test: DFS for a cycle in the IDB dependence
+/// relation (head predicate -> body IDB predicates).
+bool IsRecursiveNaive(const Program& program);
+
+/// Homomorphism test: is there h with h(disjunct head) = target head
+/// (componentwise) and h(disjunct body) ⊆ target body (set semantics)?
+/// Backtracking over body atoms; constants only map to themselves.
+bool DisjunctMapsInto(const ConjunctiveQuery& disjunct,
+                      const ConjunctiveQuery& target);
+
+/// True when some disjunct of `theta` maps into `target`.
+bool UcqCoversCq(const UnionOfCqs& theta, const ConjunctiveQuery& target);
+
+/// Naive freeze of a disjunct (paper §3, canonical database): variable
+/// v becomes constant "@v" — the same spelling src/cq/canonical_db.h
+/// uses, so engine-exported witnesses are comparable fact-for-fact.
+struct NaiveFrozenCq {
+  std::vector<Atom> facts;  // frozen body atoms, in body order
+  Atom goal_atom;           // goal predicate over the frozen head args
+};
+NaiveFrozenCq NaiveFreezeCq(const std::string& goal,
+                            const ConjunctiveQuery& disjunct);
+
+/// Naive bottom-up fixpoint of `program` over `facts` (all ground).
+/// Requires a range-restricted program (else InvalidArgument);
+/// ResourceExhausted past `max_facts` derived atoms.
+StatusOr<std::set<Atom>> NaiveFixpoint(const Program& program,
+                                       const std::vector<Atom>& facts,
+                                       std::size_t max_facts);
+
+/// One replayable forward-chaining step: ground rule
+/// `rule_index` under the recorded variable bindings (every rule
+/// variable bound, sorted by variable name).
+struct DerivationStep {
+  std::size_t rule_index = 0;
+  std::vector<std::pair<std::string, Term>> bindings;
+};
+
+/// Searches for a derivation of `goal_atom` from `facts` by naive
+/// forward chaining, recording every new fact's step in discovery
+/// order. Returns nullopt at fixpoint without the goal; the recorded
+/// prefix up to the goal is a valid CheckDerivation script.
+StatusOr<std::optional<std::vector<DerivationStep>>> FindDerivation(
+    const Program& program, const std::vector<Atom>& facts,
+    const Atom& goal_atom, std::size_t max_facts);
+
+/// Replays a derivation: each step must name a program rule, ground it
+/// completely, and find every body atom among `facts` or earlier
+/// heads; the final fact set must contain `goal_atom`.
+Status CheckDerivation(const Program& program, const std::vector<Atom>& facts,
+                       const std::vector<DerivationStep>& steps,
+                       const Atom& goal_atom);
+
+/// Depth-bounded expansion enumeration from the goal atom
+/// goal(~0, ..., ~k-1) with fresh "~n" variables. Deterministic: rules
+/// in program order, child combinations in odometer order, fresh names
+/// in allocation order — the verifier re-enumerates and must reproduce
+/// the pipeline's trees exactly. `complete` is true iff no tree was
+/// cut off by `max_depth` (height bound; a leaf has height 1) or by
+/// the node budget; for a nonrecursive program and max_depth >
+/// #IDB predicates, complete enumeration is guaranteed. Requires
+/// distinct-variable heads (else InvalidArgument).
+struct ExpansionEnumeration {
+  std::vector<ExpansionTree> trees;
+  bool complete = true;
+};
+StatusOr<ExpansionEnumeration> EnumerateExpansionsNaive(
+    const Program& program, const std::string& goal, int max_depth,
+    std::size_t node_budget);
+
+}  // namespace corpus
+}  // namespace datalog
+
+#endif  // DATALOG_EQ_SRC_CORPUS_NAIVE_H_

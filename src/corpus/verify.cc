@@ -1,0 +1,506 @@
+#include "src/corpus/verify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/ast/analysis.h"
+#include "src/containment/absorb.h"
+#include "src/containment/instances.h"
+#include "src/containment/query_analysis.h"
+#include "src/corpus/naive.h"
+#include "src/trees/expansion_tree.h"
+#include "src/util/strings.h"
+
+namespace datalog {
+namespace corpus {
+namespace {
+
+Status Reject(const Certificate& cert, const std::string& reason) {
+  return InvalidArgumentError(StrCat("cert for instance ", cert.instance_id,
+                                     " (", CertificateKindSlug(cert.kind),
+                                     "): ", reason));
+}
+
+// --- invalid ----------------------------------------------------------
+
+// Naive re-derivation of the lint error slugs a pipeline may claim. Each
+// check is independent of src/analysis — the verifier trusts only what
+// it recomputes here.
+bool ErrorSlugHolds(const CorpusInstance& instance, const std::string& slug) {
+  const Program& program = instance.program;
+  if (slug == "empty-program") return program.rules().empty();
+  if (slug == "arity-mismatch") {
+    std::unordered_map<std::string, std::size_t> arities;
+    for (const Rule& rule : program.rules()) {
+      std::vector<const Atom*> atoms = {&rule.head()};
+      for (const Atom& atom : rule.body()) atoms.push_back(&atom);
+      for (const Atom* atom : atoms) {
+        auto [it, inserted] =
+            arities.emplace(atom->predicate(), atom->arity());
+        if (!inserted && it->second != atom->arity()) return true;
+      }
+    }
+    return false;
+  }
+  if (slug == "goal-not-idb") {
+    for (const Rule& rule : program.rules()) {
+      if (rule.head().predicate() == instance.goal) return false;
+    }
+    return true;
+  }
+  if (slug == "empty-theta") return instance.theta.size() == 0;
+  if (slug == "theta-arity-mismatch") {
+    for (const Rule& rule : program.rules()) {
+      if (rule.head().predicate() != instance.goal) continue;
+      std::size_t goal_arity = rule.head().arity();
+      for (const ConjunctiveQuery& disjunct : instance.theta.disjuncts()) {
+        if (disjunct.arity() != goal_arity) return true;
+      }
+      return false;
+    }
+    return false;  // no goal rule: the mismatch claim has no baseline
+  }
+  return false;  // unknown slug: never accepted
+}
+
+Status VerifyInvalid(const CorpusInstance& instance, const Certificate& cert) {
+  if (cert.errors.empty()) return Reject(cert, "no errors listed");
+  for (const std::string& slug : cert.errors) {
+    if (!ErrorSlugHolds(instance, slug)) {
+      return Reject(cert, StrCat("error '", slug, "' does not hold"));
+    }
+  }
+  return OkStatus();
+}
+
+// --- forward direction ------------------------------------------------
+
+Status VerifyForwardContained(const CorpusInstance& instance,
+                              const Certificate& cert,
+                              const VerifyOptions& options) {
+  const std::vector<ConjunctiveQuery>& disjuncts =
+      instance.theta.disjuncts();
+  if (cert.derivations.size() != disjuncts.size()) {
+    return Reject(cert, StrCat("expected ", disjuncts.size(),
+                               " derivations, got ",
+                               cert.derivations.size()));
+  }
+  for (std::size_t d = 0; d < disjuncts.size(); ++d) {
+    NaiveFrozenCq frozen = NaiveFreezeCq(instance.goal, disjuncts[d]);
+    Status replay = CheckDerivation(instance.program, frozen.facts,
+                                    cert.derivations[d], frozen.goal_atom);
+    if (!replay.ok()) {
+      return Reject(cert,
+                    StrCat("disjunct ", d, ": ", replay.message()));
+    }
+  }
+  (void)options;
+  return OkStatus();
+}
+
+Status VerifyForwardNotContained(const CorpusInstance& instance,
+                                 const Certificate& cert,
+                                 const VerifyOptions& options) {
+  if (cert.failing_disjunct >= instance.theta.size()) {
+    return Reject(cert, "failing disjunct out of range");
+  }
+  if (!IsRangeRestricted(instance.program)) {
+    // Outside range restriction naive and active-domain semantics can
+    // disagree; the generated-instance contract rules this out.
+    return Reject(cert, "program is not range-restricted");
+  }
+  NaiveFrozenCq frozen = NaiveFreezeCq(
+      instance.goal, instance.theta.disjuncts()[cert.failing_disjunct]);
+  // The exported facts must be exactly the canonical database of the
+  // named disjunct (as sets: the engine dedups, a body may repeat atoms).
+  std::set<Atom> expected(frozen.facts.begin(), frozen.facts.end());
+  std::set<Atom> exported(cert.frozen_facts.begin(),
+                          cert.frozen_facts.end());
+  if (expected != exported) {
+    return Reject(cert, "exported facts are not the frozen disjunct");
+  }
+  if (!(cert.frozen_goal == frozen.goal_atom)) {
+    return Reject(cert, "exported goal is not the frozen head tuple");
+  }
+  StatusOr<std::set<Atom>> fixpoint = NaiveFixpoint(
+      instance.program, frozen.facts, options.naive_max_facts);
+  if (!fixpoint.ok()) {
+    return Reject(cert, fixpoint.status().message());
+  }
+  if (fixpoint->count(frozen.goal_atom) > 0) {
+    return Reject(cert, "naive fixpoint derives the frozen goal");
+  }
+  return OkStatus();
+}
+
+// --- backward direction -----------------------------------------------
+
+Status VerifyBackwardNotContained(const CorpusInstance& instance,
+                                  const Certificate& cert) {
+  if (!cert.counterexample.has_value()) {
+    return Reject(cert, "no counterexample tree");
+  }
+  const ExpansionTree& tree = *cert.counterexample;
+  const Atom& root = tree.root().goal;
+  if (root.predicate() != instance.goal) {
+    return Reject(cert, "root is not the goal predicate");
+  }
+  // The refutation is the canonical-database argument applied to the
+  // tree's CQ: freeze its body into a database D and its head into a
+  // tuple t; the tree derives t ∈ Q_Π(D), and no disjunct mapping into
+  // the CQ means t ∉ Θ(D). A specialized root (repeated variables) is a
+  // legitimate counterexample — it names a tuple with repeats. Range
+  // restriction guarantees every head term actually occurs in D, so the
+  // naive reading of Q_Π(D) agrees with the engine's.
+  if (!IsRangeRestricted(instance.program)) {
+    return Reject(cert, "program is not range-restricted");
+  }
+  Status valid = ValidateExpansionTree(instance.program, tree);
+  if (!valid.ok()) return Reject(cert, valid.message());
+  ConjunctiveQuery expansion = TreeToCq(instance.program, tree);
+  for (std::size_t d = 0; d < instance.theta.size(); ++d) {
+    if (DisjunctMapsInto(instance.theta.disjuncts()[d], expansion)) {
+      return Reject(cert,
+                    StrCat("disjunct ", d, " maps into the expansion"));
+    }
+  }
+  return OkStatus();
+}
+
+// Backward-reachable predicates, naively: the rule sweep of the trace
+// check only needs rules that can head a subtree of a goal-rooted proof
+// tree.
+std::unordered_set<std::string> NaiveReachable(const Program& program,
+                                               const std::string& goal) {
+  std::unordered_set<std::string> idb;
+  for (const Rule& rule : program.rules()) {
+    idb.insert(rule.head().predicate());
+  }
+  std::unordered_set<std::string> reachable = {goal};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      if (reachable.count(rule.head().predicate()) == 0) continue;
+      for (const Atom& atom : rule.body()) {
+        if (idb.count(atom.predicate()) > 0 &&
+            reachable.insert(atom.predicate()).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+// Renames a listed set from the child's canonical frame ($k) into the
+// instance frame (original_vars[k]) and restores the sort invariant.
+AchievedSet RenameListedSet(const AchievedSet& set,
+                            const std::vector<std::string>& original_vars) {
+  AchievedSet renamed;
+  renamed.reserve(set.size());
+  for (const AchievedPair& pair : set) {
+    AchievedPair copy = pair;
+    for (auto& [var, term] : copy.pinned) {
+      if (term.is_variable()) {
+        std::size_t k = ProofVariableIndex(term.name());
+        if (k >= original_vars.size()) {
+          // A pinned image outside the child's frame cannot come from a
+          // real trace; drop the pair's claim by pinning an impossible
+          // image is wrong — signal by keeping the term, the subset
+          // tests will simply never match it.
+          continue;
+        }
+        term = Term::Variable(original_vars[k]);
+      }
+    }
+    std::sort(copy.pinned.begin(), copy.pinned.end());
+    renamed.push_back(std::move(copy));
+  }
+  std::sort(renamed.begin(), renamed.end());
+  renamed.erase(std::unique(renamed.begin(), renamed.end()), renamed.end());
+  return renamed;
+}
+
+Status VerifyBackwardContained(const CorpusInstance& instance,
+                               const Certificate& cert) {
+  const Program& program = instance.program;
+  StatusOr<std::vector<QueryAnalysis>> analyses =
+      AnalyzeUnion(instance.theta);
+  if (!analyses.ok()) return Reject(cert, analyses.status().message());
+  const std::vector<QueryAnalysis>& queries = *analyses;
+
+  // Index the trace by goal atom. Duplicate goals would make "the listed
+  // sets of g" ambiguous; reject them.
+  std::map<Atom, const std::vector<AchievedSet>*> table;
+  for (const AbsorptionTraceEntry& entry : cert.trace) {
+    if (!table.emplace(entry.goal, &entry.sets).second) {
+      return Reject(cert, StrCat("duplicate trace goal ",
+                                 entry.goal.ToString()));
+    }
+    if (entry.sets.empty()) {
+      return Reject(cert, StrCat("trace goal ", entry.goal.ToString(),
+                                 " lists no sets"));
+    }
+  }
+
+  const std::vector<std::string> proof_vars = ProofVariables(program);
+  const std::unordered_set<std::string> reachable =
+      NaiveReachable(program, instance.goal);
+  std::unordered_set<std::string> idb;
+  for (const Rule& rule : program.rules()) {
+    idb.insert(rule.head().predicate());
+  }
+
+  // Closure sweep: every canonical instance of every reachable rule whose
+  // children all have listed sets must produce only dominated sets.
+  Status failure = OkStatus();
+  for (const Rule& rule : program.rules()) {
+    if (reachable.count(rule.head().predicate()) == 0) continue;
+    bool completed = ForEachCanonicalInstance(
+        rule, proof_vars.size(), [&](const Rule& inst) {
+          std::vector<const Atom*> edb_atoms;
+          std::vector<Atom> child_goals;
+          for (const Atom& atom : inst.body()) {
+            if (idb.count(atom.predicate()) > 0) {
+              child_goals.push_back(atom);
+            } else {
+              edb_atoms.push_back(&atom);
+            }
+          }
+          // Listed sets per child, renamed into the instance frame.
+          std::vector<std::vector<AchievedSet>> child_options;
+          for (const Atom& child : child_goals) {
+            CanonicalAtomInfo info = CanonicalizeAtom(child);
+            auto it = table.find(info.atom);
+            if (it == table.end()) return true;  // conditional closure
+            std::vector<AchievedSet> renamed;
+            renamed.reserve(it->second->size());
+            for (const AchievedSet& set : *it->second) {
+              renamed.push_back(RenameListedSet(set, info.original_vars));
+            }
+            child_options.push_back(std::move(renamed));
+          }
+          auto parent_it = table.find(inst.head());
+          // Odometer over one listed set per child (empty product = the
+          // single leaf combination).
+          std::vector<std::size_t> choice(child_options.size(), 0);
+          while (true) {
+            std::vector<const AchievedSet*> chosen;
+            chosen.reserve(choice.size());
+            for (std::size_t j = 0; j < choice.size(); ++j) {
+              chosen.push_back(&child_options[j][choice[j]]);
+            }
+            AchievedSet combined;
+            CombineAtNode(queries, inst, edb_atoms, child_goals, chosen,
+                          &combined);
+            if (parent_it == table.end()) {
+              failure = Reject(
+                  cert, StrCat("closure: achievable goal ",
+                               inst.head().ToString(), " is not listed"));
+              return false;
+            }
+            bool dominated = false;
+            for (const AchievedSet& listed : *parent_it->second) {
+              if (IsAchievedSubset(listed, combined)) {
+                dominated = true;
+                break;
+              }
+            }
+            if (!dominated) {
+              failure = Reject(
+                  cert,
+                  StrCat("closure violated at instance ", inst.ToString()));
+              return false;
+            }
+            // Advance the odometer (rightmost fastest).
+            std::size_t j = choice.size();
+            while (j > 0) {
+              --j;
+              if (++choice[j] < child_options[j].size()) break;
+              choice[j] = 0;
+              if (j == 0) return true;
+            }
+            if (choice.empty()) return true;
+          }
+        });
+    if (!completed) return failure;
+  }
+
+  // Acceptance: every listed set of every goal-predicate entry must be
+  // root-accepting (acceptance is upward closed, so every achievable
+  // root state — which dominates some listed set — then accepts).
+  bool goal_listed = false;
+  for (const AbsorptionTraceEntry& entry : cert.trace) {
+    if (entry.goal.predicate() != instance.goal) continue;
+    goal_listed = true;
+    for (const AchievedSet& set : entry.sets) {
+      if (!RootAccepts(queries, entry.goal, set)) {
+        return Reject(cert, StrCat("root state for ",
+                                   entry.goal.ToString(),
+                                   " does not accept"));
+      }
+    }
+  }
+  // An empty goal row is only sound when no proof tree exists at all —
+  // i.e. the closure sweep never produced a goal-predicate state. The
+  // sweep above would have flagged an unlisted achievable goal, so a
+  // trace with no goal entries is accepted only if the goal predicate is
+  // underivable; containment then holds vacuously.
+  (void)goal_listed;
+  return OkStatus();
+}
+
+Status VerifyBackwardContainedUnfold(const CorpusInstance& instance,
+                                     const Certificate& cert,
+                                     const VerifyOptions& options) {
+  (void)options;
+  if (IsRecursiveNaive(instance.program)) {
+    return Reject(cert, "program is recursive; unfold does not terminate");
+  }
+  const int depth =
+      static_cast<int>(instance.program.IdbPredicates().size()) + 1;
+  StatusOr<ExpansionEnumeration> enumeration = EnumerateExpansionsNaive(
+      instance.program, instance.goal, depth, kExpansionNodeBudget);
+  if (!enumeration.ok()) {
+    return Reject(cert, enumeration.status().message());
+  }
+  if (!enumeration->complete) {
+    return Reject(cert, "enumeration hit the shared budget");
+  }
+  if (enumeration->trees.size() != cert.expansion_count ||
+      cert.cover.size() != cert.expansion_count) {
+    return Reject(cert, StrCat("expected ", enumeration->trees.size(),
+                               " expansions, certificate lists ",
+                               cert.expansion_count));
+  }
+  for (std::size_t i = 0; i < enumeration->trees.size(); ++i) {
+    if (cert.cover[i] >= instance.theta.size()) {
+      return Reject(cert, StrCat("cover ", i, " out of range"));
+    }
+    ConjunctiveQuery expansion =
+        TreeToCq(instance.program, enumeration->trees[i]);
+    if (!DisjunctMapsInto(instance.theta.disjuncts()[cert.cover[i]],
+                          expansion)) {
+      return Reject(cert, StrCat("disjunct ", cert.cover[i],
+                                 " does not map into expansion ", i));
+    }
+  }
+  return OkStatus();
+}
+
+bool IsForwardKind(CertificateKind kind) {
+  return kind == CertificateKind::kForwardContained ||
+         kind == CertificateKind::kForwardNotContained;
+}
+
+bool IsBackwardKind(CertificateKind kind) {
+  return kind == CertificateKind::kBackwardNotContained ||
+         kind == CertificateKind::kBackwardContained ||
+         kind == CertificateKind::kBackwardContainedUnfold;
+}
+
+}  // namespace
+
+Status VerifyCertificate(const CorpusInstance& instance,
+                         const Certificate& cert,
+                         const VerifyOptions& options) {
+  switch (cert.kind) {
+    case CertificateKind::kInvalid:
+      return VerifyInvalid(instance, cert);
+    case CertificateKind::kForwardContained:
+      return VerifyForwardContained(instance, cert, options);
+    case CertificateKind::kForwardNotContained:
+      return VerifyForwardNotContained(instance, cert, options);
+    case CertificateKind::kBackwardNotContained:
+      return VerifyBackwardNotContained(instance, cert);
+    case CertificateKind::kBackwardContained:
+      return VerifyBackwardContained(instance, cert);
+    case CertificateKind::kBackwardContainedUnfold:
+      return VerifyBackwardContainedUnfold(instance, cert, options);
+  }
+  return InternalError("unhandled certificate kind");
+}
+
+StatusOr<VerifyReport> VerifyCorpus(
+    const std::vector<CorpusInstance>& instances,
+    const std::vector<Certificate>& certificates,
+    const VerifyOptions& options) {
+  std::unordered_map<std::uint64_t, const CorpusInstance*> by_id;
+  for (const CorpusInstance& instance : instances) {
+    if (!by_id.emplace(instance.id, &instance).second) {
+      return Status(InvalidArgumentError(
+          StrCat("corpus: duplicate instance id ", instance.id)));
+    }
+  }
+  struct Coverage {
+    bool invalid = false;
+    bool forward = false;
+    bool backward = false;
+  };
+  std::unordered_map<std::uint64_t, Coverage> coverage;
+  VerifyReport report;
+  for (const Certificate& cert : certificates) {
+    auto it = by_id.find(cert.instance_id);
+    if (it == by_id.end()) {
+      return Status(InvalidArgumentError(StrCat(
+          "certificate for unknown instance ", cert.instance_id)));
+    }
+    Status verified = VerifyCertificate(*it->second, cert, options);
+    if (!verified.ok()) return verified;
+    ++report.certificates_checked;
+    Coverage& cov = coverage[cert.instance_id];
+    if (cert.kind == CertificateKind::kInvalid) {
+      if (cov.invalid) {
+        return Status(InvalidArgumentError(StrCat(
+            "duplicate invalid certificate for instance ",
+            cert.instance_id)));
+      }
+      cov.invalid = true;
+    } else if (IsForwardKind(cert.kind)) {
+      if (cov.forward) {
+        return Status(InvalidArgumentError(StrCat(
+            "duplicate forward certificate for instance ",
+            cert.instance_id)));
+      }
+      cov.forward = true;
+    } else if (IsBackwardKind(cert.kind)) {
+      if (cov.backward) {
+        return Status(InvalidArgumentError(StrCat(
+            "duplicate backward certificate for instance ",
+            cert.instance_id)));
+      }
+      cov.backward = true;
+    }
+  }
+  for (const CorpusInstance& instance : instances) {
+    const Coverage& cov = coverage[instance.id];
+    if (cov.invalid) {
+      if (cov.forward || cov.backward) {
+        return Status(InvalidArgumentError(StrCat(
+            "instance ", instance.id,
+            " has both invalid and direction certificates")));
+      }
+      ++report.invalid_instances;
+      continue;
+    }
+    if (!cov.forward || !cov.backward) {
+      return Status(InvalidArgumentError(StrCat(
+          "instance ", instance.id, " is not fully covered (forward: ",
+          cov.forward ? "yes" : "no",
+          ", backward: ", cov.backward ? "yes" : "no", ")")));
+    }
+    ++report.forward_covered;
+    ++report.backward_covered;
+  }
+  return report;
+}
+
+}  // namespace corpus
+}  // namespace datalog

@@ -175,6 +175,25 @@ std::vector<int> Database::ActiveDomain() const {
   return sorted;
 }
 
+std::vector<Atom> Database::AllFactAtoms() const {
+  std::vector<Atom> atoms;
+  for (std::size_t id = 0; id < relations_.size(); ++id) {
+    const Relation& relation = relations_[id];
+    const std::string& predicate =
+        predicates_.NameOf(static_cast<PredicateId>(id));
+    for (std::size_t row = 0; row < relation.size(); ++row) {
+      const int* data = relation.RowData(row);
+      std::vector<Term> args;
+      args.reserve(relation.arity());
+      for (std::size_t k = 0; k < relation.arity(); ++k) {
+        args.push_back(Term::Constant(dictionary_.NameOf(data[k])));
+      }
+      atoms.push_back(Atom(predicate, std::move(args)));
+    }
+  }
+  return atoms;
+}
+
 std::size_t Database::TotalFacts() const {
   std::size_t total = 0;
   for (const Relation& relation : relations_) total += relation.size();

@@ -164,6 +164,13 @@ class Database {
   /// All constant ids appearing in any tuple (the active domain), sorted.
   std::vector<int> ActiveDomain() const;
 
+  /// Decodes every stored tuple back to a ground Atom, in (predicate id,
+  /// row index) order — deterministic for a deterministically built
+  /// database. Reflects the database at call time: called before
+  /// evaluation it lists exactly the loaded facts (how the canonical-db
+  /// witness export uses it), called after it includes derived facts.
+  std::vector<Atom> AllFactAtoms() const;
+
   /// Total number of facts across relations.
   std::size_t TotalFacts() const;
 

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/containment/decider.h"
+#include "src/corpus/certificate.h"
+#include "src/corpus/format.h"
+#include "src/corpus/generate.h"
+#include "src/corpus/pipeline.h"
+#include "src/corpus/verify.h"
+
+namespace datalog {
+namespace corpus {
+namespace {
+
+std::vector<Certificate> AllCertificates(const PipelineResult& result) {
+  std::vector<Certificate> all;
+  for (const StageReport& stage : result.stages) {
+    all.insert(all.end(), stage.certificates.begin(),
+               stage.certificates.end());
+  }
+  return all;
+}
+
+// One seeded corpus, one pipeline run, three properties: stage
+// accounting (holdouts shrink monotonically to zero), cheap-stage
+// verdict agreement with the full ptrees decider, and 100% certificate
+// verification with complete coverage.
+TEST(CorpusPipelineTest, SeededCorpusStagesAgreeAndVerify) {
+  CorpusGenOptions gen;
+  gen.seed = 2026;
+  gen.count = 300;
+  std::vector<CorpusInstance> instances = GenerateCorpus(gen);
+  StatusOr<PipelineResult> result = RunCorpusPipeline(instances);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  // Stage accounting: the five stages in contract order, each entering
+  // exactly the previous stage's holdout, holdouts non-increasing, and
+  // nothing left unresolved after ptrees.
+  ASSERT_EQ(result->stages.size(), 5u);
+  const char* kNames[] = {"lint", "forward", "linear", "unfold", "ptrees"};
+  std::size_t prev_holdout = instances.size();
+  for (std::size_t s = 0; s < result->stages.size(); ++s) {
+    const StageReport& stage = result->stages[s];
+    EXPECT_EQ(stage.name, kNames[s]);
+    EXPECT_EQ(stage.entered, prev_holdout);
+    EXPECT_LE(stage.holdout, stage.entered);
+    EXPECT_EQ(stage.decided, stage.entered - stage.holdout);
+    prev_holdout = stage.holdout;
+  }
+  EXPECT_EQ(prev_holdout, 0u);
+  EXPECT_EQ(result->equivalent + result->forward_only +
+                result->backward_only + result->incomparable +
+                result->invalid,
+            instances.size());
+  // The generator's families all actually show up.
+  EXPECT_GT(result->invalid, 0u);
+  EXPECT_GT(result->equivalent, 0u);
+  EXPECT_GT(result->forward_only, 0u);
+
+  // Differential: every backward verdict issued by a cheap stage (a
+  // linear-arm refutation or an unfold enumeration) is re-decided by
+  // the full ptrees decider, and the verdicts must match.
+  std::size_t rechecked = 0;
+  for (const StageReport& stage : result->stages) {
+    if (stage.name != "linear" && stage.name != "unfold") continue;
+    for (const Certificate& cert : stage.certificates) {
+      bool cheap_contained = false;
+      if (cert.kind == CertificateKind::kBackwardContainedUnfold) {
+        cheap_contained = true;
+      } else if (cert.kind != CertificateKind::kBackwardNotContained) {
+        continue;
+      }
+      const CorpusInstance& instance = instances[cert.instance_id];
+      ASSERT_EQ(instance.id, cert.instance_id);
+      StatusOr<ContainmentDecision> full = DecideDatalogInUcq(
+          instance.program, instance.goal, instance.theta);
+      ASSERT_TRUE(full.ok()) << "instance " << instance.id << ": "
+                             << full.status().message();
+      EXPECT_EQ(full->contained, cheap_contained)
+          << "instance " << instance.id << " (stage " << stage.name << ")";
+      ++rechecked;
+    }
+  }
+  EXPECT_GT(rechecked, 50u);
+
+  // Every certificate replays in the AST-only verifier, and coverage is
+  // complete: invalid, or one forward plus one backward certificate.
+  std::vector<Certificate> all = AllCertificates(*result);
+  StatusOr<VerifyReport> report = VerifyCorpus(instances, all);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->certificates_checked, all.size());
+  EXPECT_EQ(report->invalid_instances, result->invalid);
+  EXPECT_EQ(report->forward_covered, instances.size() - result->invalid);
+  EXPECT_EQ(report->backward_covered, instances.size() - result->invalid);
+}
+
+// The pipeline's merged output is a function of the corpus alone:
+// rerunning it — with a different worker count — reproduces the flags,
+// the stage counters, and the serialized certificates byte for byte.
+TEST(CorpusPipelineTest, OutputIsThreadCountIndependent) {
+  CorpusGenOptions gen;
+  gen.seed = 5;
+  gen.count = 80;
+  std::vector<CorpusInstance> instances = GenerateCorpus(gen);
+  PipelineOptions serial;
+  serial.threads = 1;
+  PipelineOptions fanned;
+  fanned.threads = 4;
+  StatusOr<PipelineResult> a = RunCorpusPipeline(instances, serial);
+  StatusOr<PipelineResult> b = RunCorpusPipeline(instances, fanned);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  EXPECT_EQ(a->flags, b->flags);
+  ASSERT_EQ(a->stages.size(), b->stages.size());
+  for (std::size_t s = 0; s < a->stages.size(); ++s) {
+    EXPECT_EQ(a->stages[s].entered, b->stages[s].entered);
+    EXPECT_EQ(a->stages[s].decided, b->stages[s].decided);
+    EXPECT_EQ(a->stages[s].holdout, b->stages[s].holdout);
+    EXPECT_EQ(SerializeCertificates(a->stages[s].certificates),
+              SerializeCertificates(b->stages[s].certificates));
+  }
+}
+
+// The fixed golden corpus lands one instance in each headline verdict
+// class, and its certificates verify — the same three instances the
+// hand-written goldens under tools/testdata/corpus/ are keyed against.
+TEST(CorpusPipelineTest, GoldenCorpusVerdicts) {
+  std::vector<CorpusInstance> instances = GoldenCorpus();
+  ASSERT_EQ(instances.size(), 3u);
+  StatusOr<PipelineResult> result = RunCorpusPipeline(instances);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->forward_only, 1u);
+  EXPECT_EQ(result->equivalent, 1u);
+  EXPECT_EQ(result->invalid, 1u);
+  StatusOr<VerifyReport> report =
+      VerifyCorpus(instances, AllCertificates(*result));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->invalid_instances, 1u);
+  EXPECT_EQ(report->forward_covered, 2u);
+  EXPECT_EQ(report->backward_covered, 2u);
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace datalog

@@ -360,13 +360,13 @@ TEST(PtreesIrDifferentialTest, AlphabetsAndAutomataAgreeAcrossArms) {
     // on a sample of arbitrary labeled trees.
     ASSERT_EQ(ir_arm->nfta.num_states(), string_arm->nfta.num_states())
         << "program " << p;
-    ASSERT_EQ(ir_arm->state_atoms.size(), string_arm->state_atoms.size());
-    for (std::size_t s = 0; s < ir_arm->state_atoms.size(); ++s) {
-      EXPECT_EQ(ir_arm->state_atoms[s].ToString(),
-                string_arm->state_atoms[s].ToString());
-      EXPECT_EQ(ir_arm->StateOf(ir_arm->state_atoms[s]),
+    ASSERT_EQ(ir_arm->num_states(), string_arm->num_states());
+    for (std::size_t s = 0; s < ir_arm->num_states(); ++s) {
+      EXPECT_EQ(ir_arm->StateAtom(s).ToString(),
+                string_arm->StateAtom(s).ToString());
+      EXPECT_EQ(ir_arm->StateOf(ir_arm->StateAtom(s)),
                 static_cast<int>(s));
-      EXPECT_EQ(string_arm->StateOf(ir_arm->state_atoms[s]),
+      EXPECT_EQ(string_arm->StateOf(ir_arm->StateAtom(s)),
                 static_cast<int>(s));
     }
     std::size_t checked = 0;

@@ -109,6 +109,42 @@ TEST(PtreesAutomatonTest, RoundTripEncoding) {
   });
 }
 
+TEST(PtreesAutomatonTest, InternedArmDecodesLabelsAndStatesLazily) {
+  Program tc = SmallTc();
+  StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");
+  ASSERT_TRUE(automaton.ok());
+  // The interned construction runs entirely on the IR rows: building
+  // the automaton renders no Term-level label or state atom at all.
+  ASSERT_TRUE(automaton->alphabet.interned);
+  EXPECT_EQ(automaton->alphabet.num_decoded_labels(), 0u);
+  EXPECT_EQ(automaton->num_decoded_state_atoms(), 0u);
+  // Rendering is per-symbol on demand and cached: touching one label
+  // and one state decodes exactly one of each; repeat access is free.
+  const Rule& label = automaton->alphabet.Label(7);
+  EXPECT_EQ(automaton->alphabet.num_decoded_labels(), 1u);
+  EXPECT_EQ(&automaton->alphabet.Label(7), &label);
+  EXPECT_EQ(automaton->alphabet.num_decoded_labels(), 1u);
+  const Atom& state = automaton->StateAtom(3);
+  EXPECT_EQ(automaton->num_decoded_state_atoms(), 1u);
+  EXPECT_EQ(&automaton->StateAtom(3), &state);
+  EXPECT_EQ(automaton->num_decoded_state_atoms(), 1u);
+  // The lazy views agree with the eager string arm, whose counters stay
+  // zero no matter how many views are taken.
+  StatusOr<PtreesAutomaton> eager =
+      BuildPtreesAutomaton(tc, "p", 2'000'000, /*use_ir=*/false);
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ(label.ToString(), eager->alphabet.Label(7).ToString());
+  EXPECT_EQ(state.ToString(), eager->StateAtom(3).ToString());
+  EXPECT_EQ(eager->alphabet.num_decoded_labels(), 0u);
+  EXPECT_EQ(eager->num_decoded_state_atoms(), 0u);
+  // A full StateOf round-trip decodes every state exactly once.
+  for (std::size_t s = 0; s < automaton->num_states(); ++s) {
+    EXPECT_EQ(automaton->StateOf(automaton->StateAtom(s)),
+              static_cast<int>(s));
+  }
+  EXPECT_EQ(automaton->num_decoded_state_atoms(), automaton->num_states());
+}
+
 TEST(PtreesAutomatonTest, TreesOutsideVarPiAreNotEncodable) {
   Program tc = SmallTc();
   StatusOr<PtreesAutomaton> automaton = BuildPtreesAutomaton(tc, "p");

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Golden-file tests for the corpus_verify CLI.
+
+Usage: check_corpus_golden.py <corpus_gen> <corpus_verify> <testdata-dir>
+
+Regenerates the fixed golden corpus (`corpus_gen --golden`) into a
+temporary directory, then checks every certificate golden under the
+testdata directory against it:
+
+  accept_*.certs   must verify (exit 0) — hand-assembled certificates
+                   covering all three golden instances.
+  reject_*.certs   must be rejected with exit 1 (a verification or
+                   coverage failure, not a parse error), and stderr must
+                   contain the line stored in the matching `.expect`
+                   sidecar — pinning that each mutation (wrong witness
+                   row, dangling tree node, flipped verdict, duplicate
+                   coverage) fails for its own reason.
+
+Registered as the `corpus_golden` ctest by CMakeLists.txt.
+"""
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        print("usage: check_corpus_golden.py <corpus_gen> <corpus_verify> "
+              "<testdata-dir>")
+        sys.exit(2)
+    corpus_gen, corpus_verify, testdata = sys.argv[1:4]
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = os.path.join(tmp, "golden.corpus")
+        gen = subprocess.run([corpus_gen, "--out=" + corpus, "--golden"],
+                             capture_output=True, text=True)
+        if gen.returncode != 0:
+            print(f"FAIL corpus_gen --golden: exit {gen.returncode}\n"
+                  f"{gen.stderr}")
+            sys.exit(1)
+
+        cases = sorted(name for name in os.listdir(testdata)
+                       if name.endswith(".certs"))
+        if not any(name.startswith("accept_") for name in cases) or \
+           not any(name.startswith("reject_") for name in cases):
+            print(f"FAIL: no accept_/reject_ goldens under {testdata}")
+            sys.exit(1)
+        for name in cases:
+            path = os.path.join(testdata, name)
+            run = subprocess.run([corpus_verify, "--corpus=" + corpus, path],
+                                 capture_output=True, text=True)
+            if name.startswith("accept_"):
+                if run.returncode != 0:
+                    failures.append(f"{name}: expected acceptance, got exit "
+                                    f"{run.returncode}\n{run.stderr}")
+            elif name.startswith("reject_"):
+                if run.returncode != 1:
+                    failures.append(f"{name}: expected rejection (exit 1), "
+                                    f"got exit {run.returncode}\n{run.stderr}")
+                    continue
+                expect_path = path[:-len(".certs")] + ".expect"
+                with open(expect_path, encoding="utf-8") as f:
+                    expect = f.read().strip()
+                if expect not in run.stderr:
+                    failures.append(f"{name}: stderr missing {expect!r}\n"
+                                    f"{run.stderr}")
+            else:
+                failures.append(f"{name}: not accept_*/reject_*")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(f"check_corpus_golden: {len(cases) - len(failures)}/{len(cases)} "
+          f"golden cases passed")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

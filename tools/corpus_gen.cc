@@ -1,0 +1,78 @@
+// corpus_gen: generate a seeded, reproducible containment corpus and
+// write it in the binary corpus format (src/corpus/format.h).
+//
+// Usage: corpus_gen --out=FILE [--seed=N] [--count=N] [--golden]
+//
+// The same seed and count always produce a byte-identical file (the
+// CI corpus-smoke job pins this with cmp). --golden ignores seed and
+// count and writes the small fixed GoldenCorpus instead.
+//
+// Exit status: 0 on success, 2 on usage or I/O failure.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/corpus/format.h"
+#include "src/corpus/generate.h"
+#include "src/util/status.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: corpus_gen --out=FILE [--seed=N] [--count=N] [--golden]\n";
+  return 2;
+}
+
+bool ParseU64(const std::string& text, std::uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  datalog::corpus::CorpusGenOptions options;
+  bool golden = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!ParseU64(arg.substr(7), &value)) return Usage();
+      options.seed = value;
+    } else if (arg.rfind("--count=", 0) == 0) {
+      if (!ParseU64(arg.substr(8), &value)) return Usage();
+      options.count = static_cast<std::size_t>(value);
+    } else if (arg == "--golden") {
+      golden = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (out.empty()) return Usage();
+
+  std::vector<datalog::corpus::CorpusInstance> instances =
+      golden ? datalog::corpus::GoldenCorpus()
+             : datalog::corpus::GenerateCorpus(options);
+  datalog::corpus::CorpusWriter writer;
+  for (const datalog::corpus::CorpusInstance& instance : instances) {
+    writer.Add(instance);
+  }
+  datalog::Status written = writer.WriteFile(out);
+  if (!written.ok()) {
+    std::cerr << "corpus_gen: " << written.ToString() << "\n";
+    return 2;
+  }
+  std::cout << "corpus_gen: wrote " << instances.size() << " instances to "
+            << out << "\n";
+  return 0;
+}

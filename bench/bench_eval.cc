@@ -581,7 +581,7 @@ void BM_PtreesAutomaton(benchmark::State& state) {
   std::size_t states = 0;
   for (auto _ : state) {
     StatusOr<PtreesAutomaton> automaton =
-        BuildPtreesAutomaton(program, "p", 50'000'000, use_ir);
+        BuildPtreesAutomaton(program, "p", ExecutionLimits().WithMaxLabels(50'000'000), use_ir);
     DATALOG_CHECK(automaton.ok());
     labels = automaton->alphabet.num_labels();
     states = automaton->nfta.num_states();
@@ -622,7 +622,7 @@ void BM_TmReduction(benchmark::State& state) {
       EncodeLinearTmContainment(ImmediatelyAcceptingMachine(), 1);
   DATALOG_CHECK(encoding.ok());
   ContainmentOptions options = DeciderSubstrateOptions(state.range(0));
-  options.max_states = 5'000'000;
+  options.limits.max_states = 5'000'000;
   std::size_t states = 0;
   for (auto _ : state) {
     StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(

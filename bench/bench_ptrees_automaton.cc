@@ -22,7 +22,7 @@ void BM_PtreesAutomatonVsRuleWidth(benchmark::State& state) {
   std::size_t states = 0;
   for (auto _ : state) {
     StatusOr<PtreesAutomaton> automaton =
-        BuildPtreesAutomaton(program, "p", 50'000'000);
+        BuildPtreesAutomaton(program, "p", ExecutionLimits().WithMaxLabels(50'000'000));
     DATALOG_CHECK(automaton.ok()) << automaton.status();
     labels = automaton->alphabet.num_labels();
     states = automaton->nfta.num_states();
@@ -50,7 +50,7 @@ void BM_PtreesAutomatonVsRuleCount(benchmark::State& state) {
   std::size_t labels = 0;
   for (auto _ : state) {
     StatusOr<PtreesAutomaton> automaton =
-        BuildPtreesAutomaton(program, "p", 50'000'000);
+        BuildPtreesAutomaton(program, "p", ExecutionLimits().WithMaxLabels(50'000'000));
     DATALOG_CHECK(automaton.ok());
     labels = automaton->alphabet.num_labels();
     benchmark::DoNotOptimize(automaton);

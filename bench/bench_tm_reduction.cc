@@ -35,7 +35,7 @@ void RunReduction(benchmark::State& state, const TuringMachine& tm,
   DATALOG_CHECK(encoding.ok());
   ContainmentOptions options;
   options.track_witness = false;
-  options.max_states = 5'000'000;
+  options.limits.max_states = 5'000'000;
   std::size_t states = 0;
   for (auto _ : state) {
     StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(

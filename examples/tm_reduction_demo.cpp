@@ -27,7 +27,7 @@ void Demo(const std::string& name, const datalog::TuringMachine& tm) {
             << "\nencoding: " << encoding->program.rules().size()
             << " rules, " << encoding->queries.size() << " error queries\n";
   ContainmentOptions options;
-  options.max_states = 2'000'000;
+  options.limits.max_states = 2'000'000;
   StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(
       encoding->program, encoding->goal, encoding->queries, options);
   if (!decision.ok()) {

@@ -257,6 +257,8 @@ namespace {
 StatusOr<Nfa::ContainmentResult> ContainsBitset(
     const Nfa& a, const Nfa& b, const Nfa::ContainmentOptions& options) {
   Nfa::ContainmentResult result;
+  Governor governor(options.limits, "NFA containment");
+  const std::size_t max_explored = options.limits.ExploredOr(10'000'000);
   struct Item {
     int state;
     Bitset set;
@@ -281,14 +283,18 @@ StatusOr<Nfa::ContainmentResult> ContainsBitset(
     queue.push_back({static_cast<int>(s), b_start, {}});
   }
   while (!queue.empty()) {
+    // Per-pop poll point: cancellation/deadline observed within one
+    // frontier item's work.
+    Status s = governor.Poll();
+    if (!s.ok()) return s;
     Item item = std::move(queue.front());
     queue.pop_front();
     // Insert both probes for a dominating visited subset and prunes the
     // now-dominated supersets — the covered-check + record pair in one.
     if (!visited[item.state].Insert(item.set, 0)) continue;
-    if (++result.explored > options.max_explored) {
+    if (++result.explored > max_explored) {
       return Status(ResourceExhaustedError(
-          StrCat("containment exceeded ", options.max_explored, " pairs")));
+          StrCat("containment exceeded ", max_explored, " pairs")));
     }
     bool a_accepts = a.IsAccepting(item.state);
     bool b_accepts = item.set.Intersects(b_accepting);
@@ -321,6 +327,8 @@ StatusOr<Nfa::ContainmentResult> ContainsBitset(
 StatusOr<Nfa::ContainmentResult> ContainsSortedVec(
     const Nfa& a, const Nfa& b, const Nfa::ContainmentOptions& options) {
   Nfa::ContainmentResult result;
+  Governor governor(options.limits, "NFA containment");
+  const std::size_t max_explored = options.limits.ExploredOr(10'000'000);
   // Frontier of (a-state, subset of b-states) with the word that got us
   // there; BFS so counterexamples are shortest.
   struct Item {
@@ -362,13 +370,16 @@ StatusOr<Nfa::ContainmentResult> ContainsSortedVec(
     queue.push_back({static_cast<int>(s), b_start, {}});
   }
   while (!queue.empty()) {
+    // Per-pop poll point, mirroring the bitset arm.
+    Status s = governor.Poll();
+    if (!s.ok()) return s;
     Item item = std::move(queue.front());
     queue.pop_front();
     if (already_covered(item.state, item.set)) continue;
     record(item.state, item.set);
-    if (++result.explored > options.max_explored) {
+    if (++result.explored > max_explored) {
       return Status(ResourceExhaustedError(
-          StrCat("containment exceeded ", options.max_explored, " pairs")));
+          StrCat("containment exceeded ", max_explored, " pairs")));
     }
     bool a_accepts = a.IsAccepting(item.state);
     bool b_accepts = std::any_of(item.set.begin(), item.set.end(),

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -61,8 +62,12 @@ class Nfa {
   struct ContainmentOptions {
     /// Prune subset states dominated by a smaller visited subset.
     bool antichain = true;
-    /// Abort with ResourceExhausted beyond this many explored pairs.
-    std::size_t max_explored = 10'000'000;
+    /// The governed bounds (src/util/governor.h): deadline, CancelToken,
+    /// fault injection, and the explored-pair cap
+    /// (`limits.max_explored`, resolving 0 to 10M — the pre-governor
+    /// default; beyond it the run aborts with ResourceExhausted). The
+    /// BFS polls the governor at every queue pop.
+    ExecutionLimits limits;
     /// Run the product on word-parallel Bitset subsets with the visited
     /// families kept in an AntichainStore (src/util/bitset.h). Disabling
     /// falls back to the sorted-vector subsets with linear pairwise

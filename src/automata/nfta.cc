@@ -293,6 +293,12 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
     const Nfta& a, const Nfta& b, const ContainmentOptions& options) {
   DATALOG_CHECK(a.symbol_arity_ == b.symbol_arity_);
   ContainmentResult result;
+  Governor governor(options.limits, "NFTA containment");
+  const std::size_t max_explored = options.limits.ExploredOr(10'000'000);
+  // First governor failure (cancellation / deadline / injected fault);
+  // product callbacks abort by returning false and the `!ok` exits report
+  // this status ahead of the explored-pair diagnosis.
+  Status interrupt = OkStatus();
   if (options.use_bitsets) {
     // Word-parallel arm: b-subsets are Bitsets; each a-state keeps its
     // discovered family in a vector (the product-iteration source, so
@@ -321,6 +327,8 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
     bool changed = true;
     while (changed) {
       changed = false;
+      interrupt = governor.Poll();
+      if (!interrupt.ok()) return interrupt;
       for (const Transition& ta : a.transitions_) {
         int arity = a.symbol_arity_[ta.symbol];
         // Choose one discovered entry per child state of ta. The body
@@ -363,7 +371,9 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
             if (applies) next.Set(static_cast<std::size_t>(tb.state));
           }
           if (stores[ta.state].Dominated(next)) return true;
-          if (++result.explored > options.max_explored) return false;
+          interrupt = governor.ChargeSteps(1);
+          if (!interrupt.ok()) return false;
+          if (++result.explored > max_explored) return false;
           LabeledTree witness;
           witness.symbol = ta.symbol;
           for (int i = 0; i < arity; ++i) {
@@ -401,8 +411,9 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
         });
         if (!ok) {
           if (!result.contained) return result;
+          if (!interrupt.ok()) return interrupt;
           return Status(ResourceExhaustedError(
-              StrCat("tree containment exceeded ", options.max_explored,
+              StrCat("tree containment exceeded ", max_explored,
                      " pairs")));
         }
       }
@@ -430,6 +441,8 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
   bool changed = true;
   while (changed) {
     changed = false;
+    interrupt = governor.Poll();
+    if (!interrupt.ok()) return interrupt;
     for (const Transition& ta : a.transitions_) {
       int arity = a.symbol_arity_[ta.symbol];
       // Choose one discovered entry per child state of ta. The body below
@@ -474,7 +487,9 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
         }
         next = SortedUnique(std::move(next));
         if (covered(ta.state, next)) return true;
-        if (++result.explored > options.max_explored) return false;
+        interrupt = governor.ChargeSteps(1);
+        if (!interrupt.ok()) return false;
+        if (++result.explored > max_explored) return false;
         LabeledTree witness;
         witness.symbol = ta.symbol;
         for (int i = 0; i < arity; ++i) {
@@ -502,8 +517,9 @@ StatusOr<Nfta::ContainmentResult> Nfta::Contains(
       });
       if (!ok) {
         if (!result.contained) return result;
+        if (!interrupt.ok()) return interrupt;
         return Status(ResourceExhaustedError(
-            StrCat("tree containment exceeded ", options.max_explored,
+            StrCat("tree containment exceeded ", max_explored,
                    " pairs")));
       }
     }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -83,7 +84,13 @@ class Nfta {
 
   struct ContainmentOptions {
     bool antichain = true;
-    std::size_t max_explored = 10'000'000;
+    /// The governed bounds (src/util/governor.h): deadline, CancelToken,
+    /// fault injection, and the explored-pair cap
+    /// (`limits.max_explored`, resolving 0 to 10M — the pre-governor
+    /// default; beyond it the run aborts with ResourceExhausted). The
+    /// fixpoint polls the governor at every round and every explored
+    /// pair.
+    ExecutionLimits limits;
     /// Run the fixpoint on word-parallel Bitset subsets with each
     /// a-state's discovered family indexed by an AntichainStore
     /// (src/util/bitset.h). Disabling falls back to sorted-vector subsets

@@ -390,7 +390,10 @@ class DeciderRun {
  public:
   DeciderRun(ContainmentChecker::Context* context, const UnionOfCqs& theta,
              const ContainmentOptions& options)
-      : ctx_(*context), options_(options) {
+      : ctx_(*context),
+        options_(options),
+        governor_(options.limits, "containment decider"),
+        max_states_(options.limits.StatesOr(1'000'000)) {
     StatusOr<std::vector<QueryAnalysis>> analyses = AnalyzeUnion(theta);
     if (!analyses.ok()) {
       init_error_ = analyses.status();
@@ -440,25 +443,35 @@ class DeciderRun {
       }
     }
     bool changed = true;
-    while (changed) {
+    bool ok = true;
+    while (ok && changed) {
       changed = false;
       ++decision.stats.rounds;
-      bool ok = options_.use_ir
-                    ? RunRoundCached(ir_store_, &decision, &changed)
-                    : options_.intern_memo
-                          ? RunRoundCached(store_, &decision, &changed)
-                          : RunRoundString(&decision, &changed);
-      if (!ok) {
-        // Stopped early: either a counterexample or a resource limit.
-        if (interned_substrate) {
-          decision.stats.instances_cached = ctx_.instances.size();
-        }
-        HarvestBitsetStats(&decision);
-        if (!decision.contained) return decision;
-        return Status(ResourceExhaustedError(
-            StrCat("containment decider exceeded ", options_.max_states,
-                   " states")));
+      // Round-boundary poll: a new absorption round never starts after
+      // cancellation or past the deadline.
+      ok = PollGovernor();
+      if (ok) {
+        ok = options_.use_ir
+                 ? RunRoundCached(ir_store_, &decision, &changed)
+                 : options_.intern_memo
+                       ? RunRoundCached(store_, &decision, &changed)
+                       : RunRoundString(&decision, &changed);
       }
+    }
+    if (!ok) {
+      // Stopped early: a counterexample, a resource limit, or a
+      // governor interruption. Either way the stats harvested so far
+      // are a consistent partial result — published through
+      // options_.partial_stats even when the return is a bare Status.
+      if (interned_substrate) {
+        decision.stats.instances_cached = ctx_.instances.size();
+      }
+      HarvestBitsetStats(&decision);
+      ReportStats(decision.stats);
+      if (!decision.contained) return decision;
+      if (!interrupt_status_.ok()) return interrupt_status_;
+      return Status(ResourceExhaustedError(StrCat(
+          "containment decider exceeded ", max_states_, " states")));
     }
     decision.stats.goals_discovered =
         interned_substrate ? touched_goals_ : string_store_.size();
@@ -466,14 +479,59 @@ class DeciderRun {
       decision.stats.instances_cached = ctx_.instances.size();
     }
     HarvestBitsetStats(&decision);
+    ReportStats(decision.stats);
     if (options_.export_trace) {
-      Status exported = ExportTrace(&decision);
-      if (!exported.ok()) return exported;
+      DATALOG_RETURN_IF_ERROR(ExportTrace(&decision));
     }
     return decision;
   }
 
  private:
+  // --- governed polling -------------------------------------------------
+
+  // Publishes the run's stats through options_.partial_stats (when set):
+  // called on every exit path, so interrupted runs surface consistent
+  // partial progress even though the StatusOr return is a bare error.
+  void ReportStats(const ContainmentStats& stats) const {
+    if (options_.partial_stats != nullptr) *options_.partial_stats = stats;
+  }
+
+  // Polls the governor, latching the first failure into
+  // interrupt_status_ — the Run() error exit then distinguishes an
+  // interruption (returns that Status) from the state-cap abort
+  // (synthesizes the ResourceExhausted message). Returns false to stop
+  // the fixpoint machinery.
+  bool PollGovernor() {
+    if (!interrupt_status_.ok()) return false;
+    Status s = governor_.Poll();
+    if (!s.ok()) {
+      interrupt_status_ = std::move(s);
+      return false;
+    }
+    return true;
+  }
+
+  // The per-instance poll point, charging one decider step (the step
+  // budget's unit is a processed rule instance).
+  bool ChargeInstance() {
+    if (!interrupt_status_.ok()) return false;
+    Status s = governor_.ChargeSteps(1);
+    if (!s.ok()) {
+      interrupt_status_ = std::move(s);
+      return false;
+    }
+    return true;
+  }
+
+  // The in-product poll point: one instance's combination product over
+  // child states can dwarf the per-instance granularity, so poll every
+  // 1024 iterations (deterministic — the product order is a function of
+  // the discovered states).
+  bool PollCombineTick() {
+    if ((++combine_ticks_ & 1023u) != 0) return true;
+    return PollGovernor();
+  }
+
   // --- trace export -----------------------------------------------------
 
   // Decodes a dense goal id back to its Atom over var(Π): goal rows are
@@ -616,6 +674,7 @@ class DeciderRun {
                      const ContainmentChecker::Context::CachedInstance& inst,
                      std::uint32_t instance_id, ContainmentDecision* decision,
                      bool* changed) {
+    if (!ChargeInstance()) return false;
     ++decision->stats.combine_calls;
     // Snapshot the states of each child goal by value: Register below may
     // grow or prune the very same GoalEntry when the rule is
@@ -635,6 +694,7 @@ class DeciderRun {
     }
     const bool is_goal_pred = inst.ir_head_pred == ctx_.goal_pred_id;
     return ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
+      if (!PollCombineTick()) return false;
       // Skip combinations already combined in an earlier round: the memo
       // row is (instance id, child serial...) with each 64-bit serial
       // packed into two ints, deduplicated open-addressing style.
@@ -694,6 +754,7 @@ class DeciderRun {
 
   bool ProcessInstanceString(const Rule& instance,
                              ContainmentDecision* decision, bool* changed) {
+    if (!ChargeInstance()) return false;
     ++decision->stats.combine_calls;
     // Split the body into EDB atoms and child goals.
     std::vector<const Atom*> edb_atoms;
@@ -733,6 +794,7 @@ class DeciderRun {
     }
     const bool is_goal_pred = instance.head().predicate() == ctx_.goal;
     return ForEachProduct(sizes, [&](const std::vector<std::size_t>& choice) {
+      if (!PollCombineTick()) return false;
       // Skip combinations already combined in an earlier round.
       std::string memo_key = instance.ToString();
       for (std::size_t j = 0; j < child_states.size(); ++j) {
@@ -1030,7 +1092,7 @@ class DeciderRun {
     }
     entry.states.push_back(std::move(state));
     *changed = true;
-    if (++decision->stats.states_discovered > options_.max_states) {
+    if (++decision->stats.states_discovered > max_states_) {
       return false;
     }
     return true;
@@ -1038,6 +1100,15 @@ class DeciderRun {
 
   ContainmentChecker::Context& ctx_;
   const ContainmentOptions& options_;
+  // The governed bounds: polled at round starts, per instance, and every
+  // 1024 combination iterations (see ContainmentOptions::limits).
+  Governor governor_;
+  // options_.limits.max_states with 0 resolved to the decider default.
+  std::size_t max_states_;
+  // First governor failure, latched by the poll helpers and returned by
+  // Run()'s error exit (distinguishing interruption from the state cap).
+  Status interrupt_status_;
+  std::uint64_t combine_ticks_ = 0;
   Status init_error_;
   std::vector<QueryAnalysis> queries_;
   std::vector<IrQueryAnalysis> ir_queries_;  // parallel to queries_ (IR path)

@@ -31,11 +31,13 @@
 #include "src/containment/absorb.h"
 #include "src/cq/cq.h"
 #include "src/trees/expansion_tree.h"
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
 
 class ThreadPool;
+struct ContainmentStats;
 
 struct ContainmentOptions {
   /// Keep only ⊆-minimal achievable sets per goal.
@@ -76,8 +78,22 @@ struct ContainmentOptions {
   /// the point). Ablation switch; ContainmentStats::rules_pruned reports
   /// the rules skipped.
   bool prune_unreachable = true;
-  /// Abort with ResourceExhausted beyond this many (goal, set) states.
-  std::size_t max_states = 1'000'000;
+  /// The governed bounds (src/util/governor.h): deadline, CancelToken,
+  /// fault injection, step budget (one step = one processed rule
+  /// instance), and the state cap (`limits.max_states`, resolving 0 to
+  /// 1M — the pre-governor default; beyond it the run aborts with
+  /// ResourceExhausted). The absorption fixpoint polls the governor at
+  /// every round start, every instance, and every 1024 combination-
+  /// product iterations — all deterministic points, so the seeded
+  /// FaultInjector fires reproducibly.
+  ExecutionLimits limits;
+  /// When set, receives the run's statistics on EVERY exit — including
+  /// interruption (cancelled / deadline / state cap), where the
+  /// StatusOr return carries no ContainmentDecision. The stats are
+  /// consistent as of the interruption point (rounds counts the round
+  /// being processed), making a bounded run's partial progress
+  /// observable instead of vanishing into a bare error.
+  ContainmentStats* partial_stats = nullptr;
   /// On a contained verdict, export the converged fixpoint table — every
   /// discovered goal atom with the achievable sets retained for it — into
   /// ContainmentDecision::trace, decoded back to Terms over var(Π). The

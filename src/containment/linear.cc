@@ -70,7 +70,9 @@ StatusOr<Nfa> BuildThetaWordAutomatonIr(
     const IrQueryAnalysis& query, const ProgramAlphabet& alphabet,
     const LinearIrContext& ctx,
     const std::vector<std::uint32_t>& goal_atom_ids,
-    std::size_t max_states) {
+    const ExecutionLimits& limits) {
+  Governor governor(limits, "linear theta automaton");
+  const std::size_t max_states = limits.StatesOr(500'000);
   const QueryAnalysis& base = *query.base;
   Nfa nfa(0, alphabet.num_labels());
   int accept = nfa.AddState();
@@ -137,6 +139,7 @@ StatusOr<Nfa> BuildThetaWordAutomatonIr(
   }
 
   while (!worklist.empty()) {
+    DATALOG_RETURN_IF_ERROR(governor.ChargeSteps(1));
     if (states.size() > max_states) {
       return Status(ResourceExhaustedError(
           StrCat("linear theta automaton exceeded ", max_states,
@@ -193,7 +196,9 @@ StatusOr<Nfa> BuildThetaWordAutomatonIr(
 StatusOr<Nfa> BuildThetaWordAutomaton(
     const QueryAnalysis& query, const ProgramAlphabet& alphabet,
     const std::map<std::string, std::vector<int>>& labels_by_head,
-    const std::vector<Atom>& goal_atoms, std::size_t max_states) {
+    const std::vector<Atom>& goal_atoms, const ExecutionLimits& limits) {
+  Governor governor(limits, "linear theta automaton");
+  const std::size_t max_states = limits.StatesOr(500'000);
   Nfa nfa(0, alphabet.num_labels());
   int accept = nfa.AddState();
   nfa.SetAccepting(accept);
@@ -251,6 +256,7 @@ StatusOr<Nfa> BuildThetaWordAutomaton(
   }
 
   while (!worklist.empty()) {
+    DATALOG_RETURN_IF_ERROR(governor.ChargeSteps(1));
     if (states.size() > max_states) {
       return Status(ResourceExhaustedError(
           StrCat("linear theta automaton exceeded ", max_states,
@@ -351,10 +357,9 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
     return Status(InvalidArgumentError(
         "program is not linear (a rule has more than one IDB subgoal)"));
   }
-  StatusOr<ProgramAlphabet> alphabet_or =
-      BuildProgramAlphabet(prog, options.max_labels, options.use_ir);
-  if (!alphabet_or.ok()) return alphabet_or.status();
-  ProgramAlphabet& alphabet = *alphabet_or;
+  ProgramAlphabet alphabet;
+  DATALOG_ASSIGN_OR_RETURN(
+      alphabet, BuildProgramAlphabet(prog, options.limits, options.use_ir));
 
   LinearContainmentResult result;
   result.alphabet_size = alphabet.num_labels();
@@ -460,10 +465,10 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
                     *analysis, &alphabet.predicates, &alphabet.constants);
                 return BuildThetaWordAutomatonIr(ir_query, alphabet, ctx,
                                                  goal_atom_ids,
-                                                 options.max_states);
+                                                 options.limits);
               }()
             : BuildThetaWordAutomaton(*analysis, alphabet, labels_by_head,
-                                      goal_atoms, options.max_states);
+                                      goal_atoms, options.limits);
     if (!theta_nfa.ok()) return theta_nfa.status();
     result.theta_states += theta_nfa->num_states();
     if (union_automaton.has_value()) {
@@ -483,6 +488,7 @@ StatusOr<LinearContainmentResult> DecideLinearDatalogInUcq(
 
   Nfa::ContainmentOptions containment_options;
   containment_options.antichain = options.antichain;
+  containment_options.limits = options.limits;
   StatusOr<Nfa::ContainmentResult> containment =
       Nfa::Contains(ptrees, *union_automaton, containment_options);
   if (!containment.ok()) return containment.status();

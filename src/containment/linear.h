@@ -19,14 +19,21 @@
 #include "src/containment/ptrees_automaton.h"
 #include "src/cq/cq.h"
 #include "src/trees/expansion_tree.h"
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
 
 struct LinearContainmentOptions {
   bool antichain = true;
-  std::size_t max_states = 500'000;
-  std::size_t max_labels = 2'000'000;
+  /// The governed bounds (src/util/governor.h): deadline, CancelToken,
+  /// fault injection, plus the construction caps — `limits.max_states`
+  /// (0 resolves to 500k) for each theta word automaton and
+  /// `limits.max_labels` (0 resolves to 2M) for the alphabet, the
+  /// pre-governor defaults. The same limits govern the alphabet
+  /// enumeration, the word-automata worklists, and the final NFA
+  /// containment check.
+  ExecutionLimits limits;
   /// Build the word automata from the alphabet's interned int rows
   /// (states keyed in a VarKeyTable, absorption on the IR overload of
   /// EnumerateForwardAbsorptions — no Terms or rendered strings move).

@@ -82,8 +82,11 @@ void AppendAtomRow(const AlphabetRuleTemplate::AtomTpl& atom,
 // assignments of each rule by choice vector (the same depth-first order
 // ForEachInstanceOver visits), stamp the label row from the template, and
 // only materialize Terms for rows the VarKeyTable has not seen.
-StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
-                                                 std::size_t max_labels) {
+StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(
+    const Program& program, const ExecutionLimits& limits) {
+  Governor governor(limits, "alphabet enumeration");
+  const std::size_t max_labels = limits.LabelsOr(2'000'000);
+  Status interrupt = OkStatus();
   ProgramAlphabet alphabet;
   alphabet.interned = true;
   alphabet.proof_vars = ProofVariables(program);
@@ -120,6 +123,8 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
         }
         return true;
       }
+      interrupt = governor.ChargeSteps(1);
+      if (!interrupt.ok()) return false;
       if (alphabet.num_labels() >= max_labels) {
         overflow = true;
         return false;
@@ -153,9 +158,12 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
       alphabet.label_ir.push_back(std::move(label_ir));
       return true;
     };
-    if (!recurse(0) && overflow) {
-      return Status(ResourceExhaustedError(
-          StrCat("alphabet exceeded ", max_labels, " labels")));
+    if (!recurse(0)) {
+      if (!interrupt.ok()) return interrupt;
+      if (overflow) {
+        return Status(ResourceExhaustedError(
+            StrCat("alphabet exceeded ", max_labels, " labels")));
+      }
     }
   }
   return alphabet;
@@ -163,7 +171,10 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetIr(const Program& program,
 
 // The rendered-string ablation arm (the pre-IR construction, verbatim).
 StatusOr<ProgramAlphabet> BuildProgramAlphabetString(
-    const Program& program, std::size_t max_labels) {
+    const Program& program, const ExecutionLimits& limits) {
+  Governor governor(limits, "alphabet enumeration");
+  const std::size_t max_labels = limits.LabelsOr(2'000'000);
+  Status interrupt = OkStatus();
   ProgramAlphabet alphabet;
   alphabet.proof_vars = ProofVariables(program);
   std::set<std::string> idb = program.IdbPredicates();
@@ -173,6 +184,8 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetString(
     const Rule& rule = program.rules()[rule_index];
     bool completed = ForEachInstanceOver(
         rule, alphabet.proof_vars, [&](const Rule& instance) {
+          interrupt = governor.ChargeSteps(1);
+          if (!interrupt.ok()) return false;
           if (alphabet.eager_labels.size() >= max_labels) {
             overflow = true;
             return false;
@@ -193,9 +206,12 @@ StatusOr<ProgramAlphabet> BuildProgramAlphabetString(
           alphabet.label_rule_index.push_back(rule_index);
           return true;
         });
-    if (!completed && overflow) {
-      return Status(ResourceExhaustedError(
-          StrCat("alphabet exceeded ", max_labels, " labels")));
+    if (!completed) {
+      if (!interrupt.ok()) return interrupt;
+      if (overflow) {
+        return Status(ResourceExhaustedError(
+            StrCat("alphabet exceeded ", max_labels, " labels")));
+      }
     }
   }
   return alphabet;
@@ -284,10 +300,10 @@ int ProgramAlphabet::SymbolOf(const Rule& instance) const {
 }
 
 StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
-                                               std::size_t max_labels,
+                                               const ExecutionLimits& limits,
                                                bool use_ir) {
-  return use_ir ? BuildProgramAlphabetIr(program, max_labels)
-                : BuildProgramAlphabetString(program, max_labels);
+  return use_ir ? BuildProgramAlphabetIr(program, limits)
+                : BuildProgramAlphabetString(program, limits);
 }
 
 int PtreesAutomaton::StateOf(const Atom& atom) const {
@@ -330,7 +346,7 @@ const Atom& PtreesAutomaton::StateAtom(std::size_t state) const {
 
 StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
                                                const std::string& goal,
-                                               std::size_t max_labels,
+                                               const ExecutionLimits& limits,
                                                bool use_ir,
                                                bool prune_unreachable) {
   // Goal-directed pruning: an unreachable rule's instances could label no
@@ -340,11 +356,9 @@ StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
   std::optional<Program> pruned;
   if (prune_unreachable) pruned = PruneUnreachableRules(program, goal);
   const Program& prog = pruned.has_value() ? *pruned : program;
-  StatusOr<ProgramAlphabet> alphabet =
-      BuildProgramAlphabet(prog, max_labels, use_ir);
-  if (!alphabet.ok()) return alphabet.status();
   PtreesAutomaton automaton;
-  automaton.alphabet = std::move(alphabet).value();
+  DATALOG_ASSIGN_OR_RETURN(automaton.alphabet,
+                           BuildProgramAlphabet(prog, limits, use_ir));
   // States: every IDB atom occurring as a label head or IDB body atom.
   Nfta nfta(0, automaton.alphabet.arities);
   if (automaton.alphabet.interned) {

@@ -29,6 +29,7 @@
 #include "src/ir/ir.h"
 #include "src/trees/expansion_tree.h"
 #include "src/util/flat_table.h"
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -103,14 +104,16 @@ struct ProgramAlphabet {
   mutable std::size_t decoded_labels_ = 0;
 };
 
-/// Enumerates the full alphabet. Fails with ResourceExhausted beyond
-/// `max_labels` instances. `use_ir` selects the interned (default) or
-/// rendered-string label identity; the alphabets are identical either way
-/// (same symbols in the same order).
-StatusOr<ProgramAlphabet> BuildProgramAlphabet(const Program& program,
-                                               std::size_t max_labels =
-                                                   2'000'000,
-                                               bool use_ir = true);
+/// Enumerates the full alphabet. `limits` carries the governed bounds
+/// (src/util/governor.h): deadline, CancelToken, fault injection, and the
+/// label cap (`limits.max_labels`, 0 resolving to 2M — the pre-governor
+/// default; beyond it the enumeration fails with ResourceExhausted). The
+/// enumeration polls the governor once per materialized label. `use_ir`
+/// selects the interned (default) or rendered-string label identity; the
+/// alphabets are identical either way (same symbols in the same order).
+StatusOr<ProgramAlphabet> BuildProgramAlphabet(
+    const Program& program,
+    const ExecutionLimits& limits = ExecutionLimits(), bool use_ir = true);
 
 struct PtreesAutomaton {
   ProgramAlphabet alphabet;
@@ -154,12 +157,10 @@ struct PtreesAutomaton {
 /// goal-rooted proof tree, so the accepted language is unchanged while
 /// the alphabet (exponential per rule) shrinks; `prune_unreachable =
 /// false` keeps the full alphabet for cross-validation.
-StatusOr<PtreesAutomaton> BuildPtreesAutomaton(const Program& program,
-                                               const std::string& goal,
-                                               std::size_t max_labels =
-                                                   2'000'000,
-                                               bool use_ir = true,
-                                               bool prune_unreachable = true);
+StatusOr<PtreesAutomaton> BuildPtreesAutomaton(
+    const Program& program, const std::string& goal,
+    const ExecutionLimits& limits = ExecutionLimits(), bool use_ir = true,
+    bool prune_unreachable = true);
 
 /// Encodes a proof tree as a labeled tree over the alphabet; nullopt if a
 /// node's rule instance is not an alphabet label (i.e. uses variables

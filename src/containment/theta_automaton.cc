@@ -101,11 +101,19 @@ class StateInterner {
 StatusOr<ThetaAutomaton> BuildThetaAutomaton(
     const Program& program, const std::string& goal,
     const ConjunctiveQuery& theta, const ProgramAlphabet& alphabet,
-    const ThetaAutomatonLimits& limits) {
-  StatusOr<QueryAnalysis> analysis = AnalyzeQuery(theta);
-  if (!analysis.ok()) return analysis.status();
+    const ExecutionLimits& limits) {
+  QueryAnalysis analysis;
+  DATALOG_ASSIGN_OR_RETURN(analysis, AnalyzeQuery(theta));
   std::vector<QueryAnalysis> queries;
-  queries.push_back(std::move(analysis).value());
+  queries.push_back(std::move(analysis));
+
+  Governor governor(limits, "theta automaton construction");
+  const std::size_t max_states = limits.StatesOr(200'000);
+  const std::size_t max_transitions = limits.TransitionsOr(2'000'000);
+  // First governor failure; the product callback aborts by returning
+  // false and the within-limits exit reports this ahead of the cap
+  // diagnosis.
+  Status interrupt = OkStatus();
 
   std::set<std::string> idb = program.IdbPredicates();
   ThetaAutomaton automaton{Nfta(0, alphabet.arities), {}};
@@ -149,6 +157,8 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
   bool changed = true;
   while (changed) {
     changed = false;
+    interrupt = governor.Poll();
+    if (!interrupt.ok()) return interrupt;
     for (std::size_t symbol = 0; symbol < alphabet.num_labels(); ++symbol) {
       const Rule& label = *views[symbol].label;
       const std::vector<const Atom*>& edb_atoms = views[symbol].edb_atoms;
@@ -171,6 +181,8 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
       }
       bool within_limits = ForEachProduct(sizes, [&](const std::vector<
                                                      std::size_t>& choice) {
+        interrupt = governor.ChargeSteps(1);
+        if (!interrupt.ok()) return false;
         std::vector<int> child_ids;
         std::vector<AchievedSet> child_sets(child_goals.size());
         std::vector<const AchievedSet*> set_ptrs(child_goals.size());
@@ -189,12 +201,12 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
                       &parents);
         auto add_transition = [&](const std::optional<AchievedPair>& pair) {
           int parent = intern(label.head(), pair);
-          if (automaton.states.size() > limits.max_states) return false;
+          if (automaton.states.size() > max_states) return false;
           if (interner.InternTransition(symbol, child_ids, parent)) {
             nfta.AddTransition(static_cast<int>(symbol), child_ids, parent);
             changed = true;
           }
-          return interner.num_transitions() <= limits.max_transitions;
+          return interner.num_transitions() <= max_transitions;
         };
         for (const AchievedPair& pair : parents) {
           if (!add_transition(pair)) return false;
@@ -206,6 +218,7 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
         return true;
       });
       if (!within_limits) {
+        if (!interrupt.ok()) return interrupt;
         return Status(ResourceExhaustedError(
             StrCat("theta automaton exceeded limits (states=",
                    automaton.states.size(), ", transitions=",
@@ -229,42 +242,47 @@ StatusOr<ThetaAutomaton> BuildThetaAutomaton(
 
 StatusOr<ExplicitContainmentResult> DecideContainmentViaExplicitAutomata(
     const Program& program, const std::string& goal, const UnionOfCqs& theta,
-    const ThetaAutomatonLimits& limits) {
-  StatusOr<PtreesAutomaton> ptrees = BuildPtreesAutomaton(program, goal);
-  if (!ptrees.ok()) return ptrees.status();
+    const ExecutionLimits& limits) {
+  PtreesAutomaton ptrees;
+  DATALOG_ASSIGN_OR_RETURN(ptrees, BuildPtreesAutomaton(program, goal,
+                                                        limits));
   ExplicitContainmentResult result;
-  result.ptrees_states = ptrees->nfta.num_states();
-  result.alphabet_size = ptrees->alphabet.num_labels();
+  result.ptrees_states = ptrees.nfta.num_states();
+  result.alphabet_size = ptrees.alphabet.num_labels();
 
   std::optional<Nfta> union_automaton;
   for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
-    StatusOr<ThetaAutomaton> theta_automaton = BuildThetaAutomaton(
-        program, goal, disjunct, ptrees->alphabet, limits);
-    if (!theta_automaton.ok()) return theta_automaton.status();
-    result.theta_states += theta_automaton->nfta.num_states();
+    DATALOG_ASSIGN_OR_RETURN(
+        ThetaAutomaton theta_automaton,
+        BuildThetaAutomaton(program, goal, disjunct, ptrees.alphabet,
+                            limits));
+    result.theta_states += theta_automaton.nfta.num_states();
     if (union_automaton.has_value()) {
       union_automaton =
-          Nfta::Union(*union_automaton, theta_automaton->nfta);
+          Nfta::Union(*union_automaton, theta_automaton.nfta);
     } else {
-      union_automaton = theta_automaton->nfta;
+      union_automaton = std::move(theta_automaton.nfta);
     }
   }
   if (!union_automaton.has_value()) {
     // Empty union: contained iff the proof-tree language is empty.
-    result.contained = ptrees->nfta.IsEmpty();
+    result.contained = ptrees.nfta.IsEmpty();
     if (!result.contained) {
       result.counterexample =
-          LabeledTreeToProofTree(ptrees->alphabet, *ptrees->nfta.WitnessTree());
+          LabeledTreeToProofTree(ptrees.alphabet, *ptrees.nfta.WitnessTree());
     }
     return result;
   }
-  StatusOr<Nfta::ContainmentResult> containment =
-      Nfta::Contains(ptrees->nfta, *union_automaton);
-  if (!containment.ok()) return containment.status();
-  result.contained = containment->contained;
-  if (!containment->contained) {
+  Nfta::ContainmentOptions contains_options;
+  contains_options.limits = limits;
+  Nfta::ContainmentResult containment;
+  DATALOG_ASSIGN_OR_RETURN(
+      containment,
+      Nfta::Contains(ptrees.nfta, *union_automaton, contains_options));
+  result.contained = containment.contained;
+  if (!containment.contained) {
     result.counterexample =
-        LabeledTreeToProofTree(ptrees->alphabet, containment->counterexample);
+        LabeledTreeToProofTree(ptrees.alphabet, containment.counterexample);
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include "src/containment/absorb.h"
 #include "src/containment/ptrees_automaton.h"
 #include "src/cq/cq.h"
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -38,16 +39,16 @@ struct ThetaAutomaton {
   std::vector<State> states;
 };
 
-struct ThetaAutomatonLimits {
-  std::size_t max_states = 200'000;
-  std::size_t max_transitions = 2'000'000;
-};
-
-/// Builds A^θ_{Q,Π} over the given program alphabet.
+/// Builds A^θ_{Q,Π} over the given program alphabet. `limits` carries the
+/// governed bounds (src/util/governor.h): deadline, CancelToken, fault
+/// injection, plus the construction caps — `limits.max_states` (0 resolves
+/// to 200k) and `limits.max_transitions` (0 resolves to 2M), the
+/// pre-governor defaults. The bottom-up fixpoint polls the governor at
+/// every round and charges a step per product combination.
 StatusOr<ThetaAutomaton> BuildThetaAutomaton(
     const Program& program, const std::string& goal,
     const ConjunctiveQuery& theta, const ProgramAlphabet& alphabet,
-    const ThetaAutomatonLimits& limits = ThetaAutomatonLimits());
+    const ExecutionLimits& limits = ExecutionLimits());
 
 /// Theorem 5.11 end-to-end on explicit automata: decides Π ⊆ Θ by testing
 /// T(A^ptrees) ⊆ ∪_i T(A^θi); returns the automaton-level result plus the
@@ -61,7 +62,7 @@ struct ExplicitContainmentResult {
 };
 StatusOr<ExplicitContainmentResult> DecideContainmentViaExplicitAutomata(
     const Program& program, const std::string& goal, const UnionOfCqs& theta,
-    const ThetaAutomatonLimits& limits = ThetaAutomatonLimits());
+    const ExecutionLimits& limits = ExecutionLimits());
 
 }  // namespace datalog
 

@@ -163,6 +163,10 @@ void SerializeOne(const Certificate& cert, std::string* out) {
         out->append(StrCat("cover ", i, " ", cert.cover[i], "\n"));
       }
       break;
+    case CertificateKind::kTimeout:
+      out->append(StrCat("stage ", cert.timeout_stage, "\n"));
+      out->append(StrCat("reason ", cert.timeout_reason, "\n"));
+      break;
   }
   out->append("end\n");
 }
@@ -485,6 +489,30 @@ Status ParseBackwardContainedUnfold(const std::vector<PayloadLine>& lines,
   return OkStatus();
 }
 
+Status ParseTimeout(const std::vector<PayloadLine>& lines,
+                    Certificate* cert) {
+  for (const PayloadLine& line : lines) {
+    if (line.tokens[0] == "stage") {
+      if (!cert->timeout_stage.empty() || line.tokens.size() != 2) {
+        return LineError(line.number, "expected one `stage <name>`");
+      }
+      cert->timeout_stage = line.tokens[1];
+    } else if (line.tokens[0] == "reason") {
+      if (!cert->timeout_reason.empty() || line.tokens.size() != 2) {
+        return LineError(line.number, "expected one `reason <slug>`");
+      }
+      cert->timeout_reason = line.tokens[1];
+    } else {
+      return LineError(line.number, "expected `stage` or `reason`");
+    }
+  }
+  if (cert->timeout_stage.empty() || cert->timeout_reason.empty()) {
+    return LineError(lines.empty() ? 0 : lines.back().number,
+                     "timeout certificate needs `stage` and `reason`");
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
 const char* CertificateKindSlug(CertificateKind kind) {
@@ -501,6 +529,8 @@ const char* CertificateKindSlug(CertificateKind kind) {
       return "backward-contained";
     case CertificateKind::kBackwardContainedUnfold:
       return "backward-contained-unfold";
+    case CertificateKind::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }
@@ -511,7 +541,8 @@ StatusOr<CertificateKind> CertificateKindFromSlug(const std::string& slug) {
         CertificateKind::kForwardNotContained,
         CertificateKind::kBackwardNotContained,
         CertificateKind::kBackwardContained,
-        CertificateKind::kBackwardContainedUnfold}) {
+        CertificateKind::kBackwardContainedUnfold,
+        CertificateKind::kTimeout}) {
     if (slug == CertificateKindSlug(kind)) return kind;
   }
   return InvalidArgumentError(StrCat("unknown certificate kind '", slug, "'"));
@@ -651,6 +682,9 @@ StatusOr<std::vector<Certificate>> ParseCertificates(const std::string& text) {
         break;
       case CertificateKind::kBackwardContainedUnfold:
         status = ParseBackwardContainedUnfold(payload, &cert);
+        break;
+      case CertificateKind::kTimeout:
+        status = ParseTimeout(payload, &cert);
         break;
     }
     if (!status.ok()) return status;

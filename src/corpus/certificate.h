@@ -24,6 +24,7 @@
 //   backward-contained         goal <atom> / set <npairs> /
 //                              pair <query> <mask> <var-id>=<term>...
 //   backward-contained-unfold  expansions <n> / cover <i> <disjunct>
+//   timeout                    stage <name> / reason <slug>
 //
 // Terms serialize as `v:NAME` (variable) or `c:NAME` (constant); atoms
 // as `pred(term,...)` with no spaces, `pred()` when 0-ary.
@@ -59,6 +60,10 @@ enum class CertificateKind {
   /// Q_Π ⊆ Θ for a nonrecursive program: a covering disjunct per
   /// exhaustively enumerated expansion.
   kBackwardContainedUnfold,
+  /// The instance's per-stage deadline expired before a verdict. The
+  /// payload pins WHICH stage gave up and why — never a timing number,
+  /// so a re-run under the same budget serializes byte-identically.
+  kTimeout,
 };
 
 const char* CertificateKindSlug(CertificateKind kind);
@@ -92,6 +97,11 @@ struct Certificate {
   /// (EnumerateExpansionsNaive with the shared budget constants).
   std::size_t expansion_count = 0;
   std::vector<std::size_t> cover;
+
+  /// kTimeout: the pipeline stage that gave up ("lint", "forward",
+  /// "linear", "unfold", "ptrees") and the reason slug ("deadline").
+  std::string timeout_stage;
+  std::string timeout_reason;
 };
 
 /// Serializes certificates into one text file image (deterministic).

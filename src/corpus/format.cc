@@ -340,9 +340,11 @@ Status CorpusWriter::WriteFile(const std::string& path) const {
   return OkStatus();
 }
 
-StatusOr<CorpusReader> CorpusReader::FromBytes(std::string bytes) {
+StatusOr<CorpusReader> CorpusReader::FromBytes(std::string bytes,
+                                               FaultInjector* fault) {
   CorpusReader reader;
   reader.bytes_ = std::move(bytes);
+  if (fault != nullptr) fault->ApplyReaderFaults(&reader.bytes_);
 
   // The checksum trailer covers everything before it, so verify it
   // first: any later diagnostic then describes genuine structure, not
@@ -428,14 +430,15 @@ StatusOr<CorpusReader> CorpusReader::FromBytes(std::string bytes) {
   return reader;
 }
 
-StatusOr<CorpusReader> CorpusReader::Open(const std::string& path) {
+StatusOr<CorpusReader> CorpusReader::Open(const std::string& path,
+                                          FaultInjector* fault) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     return InvalidArgumentError(StrCat("corpus: cannot open ", path));
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return FromBytes(buffer.str());
+  return FromBytes(buffer.str(), fault);
 }
 
 StatusOr<CorpusInstance> CorpusReader::Decode(std::size_t index) const {

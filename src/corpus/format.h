@@ -49,6 +49,7 @@
 
 #include "src/ast/rule.h"
 #include "src/cq/cq.h"
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -68,6 +69,10 @@ inline constexpr std::uint32_t kFlagBackwardContained = 1u << 3;
 inline constexpr std::uint32_t kFlagLinearContainedHint = 1u << 4;
 /// The lint stage found error-severity diagnostics; no decider runs.
 inline constexpr std::uint32_t kFlagInvalid = 1u << 5;
+/// A stage's per-instance deadline expired before a verdict; the
+/// instance leaves the pipeline with a `timeout` certificate pinning
+/// the stage that gave up (no decider verdict is recorded).
+inline constexpr std::uint32_t kFlagTimedOut = 1u << 6;
 
 /// One corpus entry: decide Q_Π(goal) vs Θ in both directions.
 struct CorpusInstance {
@@ -79,9 +84,9 @@ struct CorpusInstance {
 };
 
 /// True when the pipeline owes no further work on `flags` (both
-/// directions resolved, or the instance is invalid).
+/// directions resolved, or the instance is invalid or timed out).
 inline bool InstanceResolved(std::uint32_t flags) {
-  if ((flags & kFlagInvalid) != 0) return true;
+  if ((flags & (kFlagInvalid | kFlagTimedOut)) != 0) return true;
   return (flags & kFlagForwardResolved) != 0 &&
          (flags & kFlagBackwardResolved) != 0;
 }
@@ -118,10 +123,17 @@ class CorpusWriter {
 /// header, dictionary, every record span, checksum — and reject
 /// truncated or corrupted input with a diagnostic Status before any
 /// instance is decodable; Decode then re-walks one pre-validated record.
+///
+/// A non-null `fault` injects I/O-level damage (short read, byte flip —
+/// FaultInjector::ApplyReaderFaults) into the image before validation;
+/// the fault-injection tests use it to pin that every corruption
+/// surfaces as a diagnostic Status, never as a crash or a bad decode.
 class CorpusReader {
  public:
-  static StatusOr<CorpusReader> FromBytes(std::string bytes);
-  static StatusOr<CorpusReader> Open(const std::string& path);
+  static StatusOr<CorpusReader> FromBytes(std::string bytes,
+                                          FaultInjector* fault = nullptr);
+  static StatusOr<CorpusReader> Open(const std::string& path,
+                                     FaultInjector* fault = nullptr);
 
   std::size_t size() const { return offsets_.size(); }
   const std::vector<std::string>& names() const { return names_; }

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/generators/examples.h"
+#include "src/tm/tm.h"
+#include "src/tm/tm_encoding.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -129,7 +131,7 @@ class Generator {
     instances.reserve(options_.count);
     const int total_weight = options_.weight_tc + options_.weight_deep +
                              options_.weight_wide + options_.weight_nonrec +
-                             options_.weight_malformed;
+                             options_.weight_malformed + options_.weight_tm;
     DATALOG_CHECK_GT(total_weight, 0);
     for (std::size_t i = 0; i < options_.count; ++i) {
       CorpusInstance instance;
@@ -143,8 +145,10 @@ class Generator {
         FillWide(&instance);
       } else if ((draw -= options_.weight_nonrec) < 0) {
         FillNonrec(&instance);
-      } else {
+      } else if ((draw -= options_.weight_malformed) < 0) {
         FillMalformed(&instance);
+      } else {
+        FillTm(&instance);
       }
       instances.push_back(std::move(instance));
     }
@@ -268,6 +272,35 @@ class Generator {
         break;
     }
     instance->theta = PathQueries(1);
+  }
+
+  void FillTm(CorpusInstance* instance) {
+    // The §5.3 reduction instance for a small machine. Address width 1
+    // keeps the encoding within what the staged pipeline can chew on
+    // bounded hardware; the instances are still the most adversarial in
+    // the corpus (linear recursion through every bit predicate, wide
+    // Boolean error unions) and are the intended prey of the
+    // per-instance deadline.
+    TuringMachine tm;
+    switch (Next(4)) {
+      case 0:
+        tm = ImmediatelyAcceptingMachine();
+        break;
+      case 1:
+        tm = AcceptAfterOneStepMachine();
+        break;
+      case 2:
+        tm = LoopsInPlaceMachine();
+        break;
+      default:
+        tm = RunsOffTheTapeMachine();
+        break;
+    }
+    StatusOr<TmEncoding> encoding = EncodeLinearTmContainment(tm, 1);
+    DATALOG_CHECK(encoding.ok()) << encoding.status().ToString();
+    instance->program = std::move(encoding->program);
+    instance->goal = encoding->goal;
+    instance->theta = std::move(encoding->queries);
   }
 
   const CorpusGenOptions& options_;

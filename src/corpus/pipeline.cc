@@ -1,6 +1,7 @@
 #include "src/corpus/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <utility>
@@ -46,12 +47,45 @@ std::size_t CountUnresolved(const std::vector<std::uint32_t>& flags) {
   return n;
 }
 
+/// The limits one instance's work runs under: the run-wide limits
+/// (cancel token, fault injector, step budget) narrowed by the
+/// per-instance deadline, whichever expires first.
+ExecutionLimits InstanceLimits(const PipelineOptions& options) {
+  ExecutionLimits limits = options.limits;
+  if (options.instance_deadline_ms > 0) {
+    const auto mine =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.instance_deadline_ms);
+    if (!limits.deadline.has_value() || mine < *limits.deadline) {
+      limits.deadline = mine;
+    }
+  }
+  return limits;
+}
+
+/// True when the run as a whole must stop: the shared token was
+/// cancelled or the run-wide deadline has passed. Distinguishes an
+/// instance-local deadline (→ timeout holdout) from a pipeline abort.
+bool RunInterrupted(const ExecutionLimits& run_limits) {
+  if (run_limits.cancel != nullptr && run_limits.cancel->cancelled()) {
+    return true;
+  }
+  return run_limits.deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *run_limits.deadline;
+}
+
 /// Fans the stage function out over the still-unresolved instances,
 /// then merges flags and certificates in instance order (so the result
-/// is independent of scheduling).
+/// is independent of scheduling). A slot that exceeded its per-instance
+/// deadline — while the run is otherwise healthy — is converted here,
+/// centrally, into a `timeout` certificate naming this stage; every
+/// other failure (including kCancelled and a run-deadline expiry)
+/// aborts the pipeline with the first failing slot's status in
+/// instance order.
 template <typename Fn>
 Status RunStage(const std::string& name,
                 const std::vector<CorpusInstance>& instances,
+                const ExecutionLimits& run_limits,
                 std::vector<std::uint32_t>* flags, ThreadPool* pool,
                 const Fn& fn, std::vector<StageReport>* stages) {
   std::vector<std::size_t> active;
@@ -66,11 +100,23 @@ Status RunStage(const std::string& name,
     slots[k] = fn(instances[active[k]], (*flags)[active[k]]);
   });
   for (std::size_t k = 0; k < active.size(); ++k) {
-    if (!slots[k].status.ok()) return slots[k].status;
     const std::size_t i = active[k];
-    (*flags)[i] |= slots[k].add_flags;
+    Outcome& slot = slots[k];
+    if (!slot.status.ok()) {
+      if (slot.status.code() != StatusCode::kDeadlineExceeded ||
+          RunInterrupted(run_limits)) {
+        return slot.status;
+      }
+      Certificate cert = MakeCert(instances[i].id, CertificateKind::kTimeout);
+      cert.timeout_stage = name;
+      cert.timeout_reason = "deadline";
+      slot.certs.clear();
+      slot.certs.push_back(std::move(cert));
+      slot.add_flags = kFlagTimedOut;
+    }
+    (*flags)[i] |= slot.add_flags;
     if (InstanceResolved((*flags)[i])) ++report.decided;
-    for (Certificate& cert : slots[k].certs) {
+    for (Certificate& cert : slot.certs) {
       report.certificates.push_back(std::move(cert));
     }
   }
@@ -194,6 +240,7 @@ Outcome ForwardInstance(const CorpusInstance& inst,
   Outcome out;
   CanonicalDbOptions db_opts;
   db_opts.eval.num_threads = 1;
+  db_opts.eval.limits = InstanceLimits(options);
   const std::vector<ConjunctiveQuery>& disjuncts = inst.theta.disjuncts();
   std::size_t failing = disjuncts.size();
   for (std::size_t d = 0; d < disjuncts.size(); ++d) {
@@ -285,8 +332,9 @@ Outcome LinearInstance(const CorpusInstance& inst,
   // automata can be far more expensive than that enumeration — skip.
   if (!IsRecursiveNaive(inst.program)) return out;
   LinearContainmentOptions lopts;
-  lopts.max_states = options.linear_max_states;
-  lopts.max_labels = options.linear_max_labels;
+  lopts.limits = InstanceLimits(options)
+                     .WithMaxStates(options.linear_max_states)
+                     .WithMaxLabels(options.linear_max_labels);
   StatusOr<LinearContainmentResult> result =
       DecideLinearDatalogInUcq(inst.program, inst.goal, inst.theta, lopts);
   if (!result.ok()) {
@@ -392,7 +440,8 @@ Outcome PtreesInstance(const CorpusInstance& inst, std::uint32_t flags,
   ContainmentOptions copts;
   copts.track_witness = true;
   copts.export_trace = true;
-  copts.max_states = options.decider_max_states;
+  copts.limits =
+      InstanceLimits(options).WithMaxStates(options.decider_max_states);
   StatusOr<ContainmentDecision> decision =
       DecideDatalogInUcq(inst.program, inst.goal, inst.theta, copts);
   if (!decision.ok()) {
@@ -438,40 +487,50 @@ StatusOr<PipelineResult> RunCorpusPipeline(
   PipelineResult result;
   result.flags.assign(instances.size(), 0);
 
+  // The run-wide governor is polled between stages; per-instance work
+  // inherits the same limits (narrowed by instance_deadline_ms), so
+  // cancellation and the run deadline are also observed inside stages.
+  Governor governor(options.limits, "corpus pipeline");
+
+  DATALOG_RETURN_IF_ERROR(governor.Poll());
   Status s = RunStage(
-      "lint", instances, &result.flags, &pool,
+      "lint", instances, options.limits, &result.flags, &pool,
       [](const CorpusInstance& inst, std::uint32_t) {
         return LintInstance(inst);
       },
       &result.stages);
   if (!s.ok()) return s;
 
+  DATALOG_RETURN_IF_ERROR(governor.Poll());
   s = RunStage(
-      "forward", instances, &result.flags, &pool,
+      "forward", instances, options.limits, &result.flags, &pool,
       [&options](const CorpusInstance& inst, std::uint32_t) {
         return ForwardInstance(inst, options);
       },
       &result.stages);
   if (!s.ok()) return s;
 
+  DATALOG_RETURN_IF_ERROR(governor.Poll());
   s = RunStage(
-      "linear", instances, &result.flags, &pool,
+      "linear", instances, options.limits, &result.flags, &pool,
       [&options](const CorpusInstance& inst, std::uint32_t) {
         return LinearInstance(inst, options);
       },
       &result.stages);
   if (!s.ok()) return s;
 
+  DATALOG_RETURN_IF_ERROR(governor.Poll());
   s = RunStage(
-      "unfold", instances, &result.flags, &pool,
+      "unfold", instances, options.limits, &result.flags, &pool,
       [](const CorpusInstance& inst, std::uint32_t flags) {
         return UnfoldInstance(inst, flags);
       },
       &result.stages);
   if (!s.ok()) return s;
 
+  DATALOG_RETURN_IF_ERROR(governor.Poll());
   s = RunStage(
-      "ptrees", instances, &result.flags, &pool,
+      "ptrees", instances, options.limits, &result.flags, &pool,
       [&options](const CorpusInstance& inst, std::uint32_t flags) {
         return PtreesInstance(inst, flags, options);
       },
@@ -487,6 +546,8 @@ StatusOr<PipelineResult> RunCorpusPipeline(
     }
     if ((f & kFlagInvalid) != 0) {
       ++result.invalid;
+    } else if ((f & kFlagTimedOut) != 0) {
+      ++result.timed_out;
     } else if ((f & kFlagForwardContained) != 0 &&
                (f & kFlagBackwardContained) != 0) {
       ++result.equivalent;

@@ -41,6 +41,7 @@
 
 #include "src/corpus/certificate.h"
 #include "src/corpus/format.h"
+#include "src/util/governor.h"
 #include "src/util/status.h"
 
 namespace datalog {
@@ -62,6 +63,18 @@ struct PipelineOptions {
   /// the budget just hands the instance to the later stages.
   std::size_t linear_max_states = 20000;
   std::size_t linear_max_labels = 50000;
+  /// Run-wide governor limits: deadline, step budget, cancellation, and
+  /// fault injection shared by every stage. A tripped cancel token or an
+  /// expired run deadline aborts the whole pipeline (kCancelled /
+  /// kDeadlineExceeded); per-instance work inherits these limits.
+  ExecutionLimits limits;
+  /// Per-instance wall-clock budget in milliseconds (0 = none). An
+  /// instance whose stage exceeds it — while the run-wide deadline has
+  /// NOT passed — leaves the pipeline as resolved-by-timeout: it gets a
+  /// `timeout` certificate pinning the stage, the kFlagTimedOut bit,
+  /// and no verdict. The certificate carries no timing numbers, so a
+  /// re-run under the same budgets serializes byte-identically.
+  std::uint64_t instance_deadline_ms = 0;
 };
 
 /// Per-stage accounting: how many instances entered (were still
@@ -86,6 +99,9 @@ struct PipelineResult {
   std::size_t backward_only = 0;  // Q_Π ⊆ Θ only
   std::size_t incomparable = 0;   // neither
   std::size_t invalid = 0;
+  /// Instances that ran out of per-instance deadline mid-stage (they
+  /// carry a `timeout` certificate instead of a verdict).
+  std::size_t timed_out = 0;
 };
 
 /// Runs every stage over the corpus. Errors (engine failures, stage

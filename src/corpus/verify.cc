@@ -395,6 +395,27 @@ Status VerifyBackwardContainedUnfold(const CorpusInstance& instance,
   return OkStatus();
 }
 
+// --- timeout ----------------------------------------------------------
+
+Status VerifyTimeout(const Certificate& cert) {
+  static const char* const kStages[] = {"lint", "forward", "linear",
+                                        "unfold", "ptrees"};
+  bool known = false;
+  for (const char* stage : kStages) {
+    if (cert.timeout_stage == stage) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Reject(cert, StrCat("unknown stage '", cert.timeout_stage, "'"));
+  }
+  if (cert.timeout_reason != "deadline") {
+    return Reject(cert, StrCat("unknown reason '", cert.timeout_reason, "'"));
+  }
+  return OkStatus();
+}
+
 bool IsForwardKind(CertificateKind kind) {
   return kind == CertificateKind::kForwardContained ||
          kind == CertificateKind::kForwardNotContained;
@@ -424,6 +445,8 @@ Status VerifyCertificate(const CorpusInstance& instance,
       return VerifyBackwardContained(instance, cert);
     case CertificateKind::kBackwardContainedUnfold:
       return VerifyBackwardContainedUnfold(instance, cert, options);
+    case CertificateKind::kTimeout:
+      return VerifyTimeout(cert);
   }
   return InternalError("unhandled certificate kind");
 }
@@ -441,6 +464,7 @@ StatusOr<VerifyReport> VerifyCorpus(
   }
   struct Coverage {
     bool invalid = false;
+    bool timed_out = false;
     bool forward = false;
     bool backward = false;
   };
@@ -463,6 +487,13 @@ StatusOr<VerifyReport> VerifyCorpus(
             cert.instance_id)));
       }
       cov.invalid = true;
+    } else if (cert.kind == CertificateKind::kTimeout) {
+      if (cov.timed_out) {
+        return Status(InvalidArgumentError(StrCat(
+            "duplicate timeout certificate for instance ",
+            cert.instance_id)));
+      }
+      cov.timed_out = true;
     } else if (IsForwardKind(cert.kind)) {
       if (cov.forward) {
         return Status(InvalidArgumentError(StrCat(
@@ -482,12 +513,28 @@ StatusOr<VerifyReport> VerifyCorpus(
   for (const CorpusInstance& instance : instances) {
     const Coverage& cov = coverage[instance.id];
     if (cov.invalid) {
-      if (cov.forward || cov.backward) {
+      if (cov.forward || cov.backward || cov.timed_out) {
         return Status(InvalidArgumentError(StrCat(
             "instance ", instance.id,
-            " has both invalid and direction certificates")));
+            " has both invalid and other certificates")));
       }
       ++report.invalid_instances;
+      continue;
+    }
+    if (cov.timed_out) {
+      // A timed-out instance left the pipeline without a verdict; the
+      // direction certificates it earned before the timeout (if any)
+      // were verified above, but full coverage is not required. Both
+      // directions resolved plus a timeout is contradictory — a fully
+      // resolved instance never enters another stage.
+      if (cov.forward && cov.backward) {
+        return Status(InvalidArgumentError(StrCat(
+            "instance ", instance.id,
+            " has a timeout certificate despite full coverage")));
+      }
+      ++report.timed_out_instances;
+      if (cov.forward) ++report.forward_covered;
+      if (cov.backward) ++report.backward_covered;
       continue;
     }
     if (!cov.forward || !cov.backward) {

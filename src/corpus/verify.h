@@ -40,6 +40,12 @@
 //  * backward-contained-unfold — re-enumerates the complete expansion
 //    set of a nonrecursive program deterministically (shared budget
 //    constants) and re-checks the claimed covering disjunct per tree.
+//  * timeout — not a verdict: it attests only that a named pipeline
+//    stage gave up under its deadline. The verifier checks the stage
+//    name and reason slug are well-formed and exempts the instance from
+//    the full-coverage requirement (directions resolved before the
+//    timeout may still carry their certificates, which are verified as
+//    usual).
 #ifndef DATALOG_EQ_SRC_CORPUS_VERIFY_H_
 #define DATALOG_EQ_SRC_CORPUS_VERIFY_H_
 
@@ -70,15 +76,18 @@ Status VerifyCertificate(const CorpusInstance& instance,
 struct VerifyReport {
   std::size_t certificates_checked = 0;
   std::size_t invalid_instances = 0;
+  std::size_t timed_out_instances = 0;
   std::size_t forward_covered = 0;   // instances with a forward cert
   std::size_t backward_covered = 0;  // instances with a backward cert
 };
 
 /// Verifies every certificate against its instance and checks coverage:
-/// each instance must either carry an `invalid` certificate or carry
-/// both one forward-direction and one backward-direction certificate.
-/// Duplicate coverage (two certs for the same instance and direction) is
-/// rejected. Errors name the offending instance id.
+/// each instance must either carry an `invalid` certificate, carry a
+/// `timeout` certificate (plus any direction certificates it earned
+/// before timing out), or carry both one forward-direction and one
+/// backward-direction certificate. Duplicate coverage (two certs for
+/// the same instance and direction) is rejected. Errors name the
+/// offending instance id.
 StatusOr<VerifyReport> VerifyCorpus(
     const std::vector<CorpusInstance>& instances,
     const std::vector<Certificate>& certificates,

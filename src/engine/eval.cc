@@ -187,6 +187,12 @@ struct MatchContext {
   // with the remaining global budget.
   std::size_t emitted = 0;
   std::size_t emit_budget = 0;
+  // Set by a failed governor poll (cancellation, deadline, injected
+  // fault) mid-match; a false MatchBody return with this non-OK means
+  // "interrupted", not "budget hit". Checked by the serial EvaluateRule
+  // and the parallel round's post-fan-out fold, both in deterministic
+  // order.
+  Status abort_status;
   // Local stats mirrors, folded into EvalStats in a deterministic order
   // (task order) after the work completes.
   std::size_t join_probes = 0;
@@ -211,7 +217,11 @@ class Evaluator {
  public:
   Evaluator(const Program& program, const Database& edb,
             const EvalOptions& options, EvalStats* stats)
-      : options_(options), stats_(stats), db_(edb) {
+      : options_(options),
+        stats_(stats),
+        db_(edb),
+        governor_(options_.limits, "engine fixpoint") {
+    max_facts_ = options_.limits.FactsOr(50'000'000);
     RuleCompiler compiler(&db_);
     for (const Rule& rule : program.rules()) {
       rules_.push_back(compiler.Compile(rule));
@@ -247,7 +257,7 @@ class Evaluator {
     }
     serial_ctx_.key.resize(max_body_);
     serial_ctx_.undo.resize(max_body_);
-    serial_ctx_.emit_budget = options_.max_derived_facts;
+    serial_ctx_.emit_budget = max_facts_;
   }
 
   StatusOr<Database> Run() {
@@ -599,6 +609,18 @@ class Evaluator {
       ++derived_total_;  // copy happened only for this new fact
       if (stats_ != nullptr) ++stats_->facts_derived;
     }
+    // Governed poll every 1024 emissions — after the emission is fully
+    // recorded, so an interrupted run's counters are consistent. The
+    // poll sequence is deterministic (emission counts are a function of
+    // the frozen inputs), frequent enough that cancellation lands
+    // mid-rule, and cheap enough to not show on profiles.
+    if ((ctx->emitted & 1023u) == 0) {
+      Status s = governor_.ChargeSteps(1024);
+      if (!s.ok()) {
+        ctx->abort_status = std::move(s);
+        return false;
+      }
+    }
     return ctx->emitted <= ctx->emit_budget;
   }
 
@@ -668,13 +690,18 @@ class Evaluator {
   // facts land in the database immediately. Serial mode only.
   Status EvaluateRule(CompiledRule& rule, int delta_atom,
                       const DeltaWindow* delta) {
+    // Serial poll point: once per rule evaluation, so cancellation and
+    // deadline are observed even when rules emit fewer than 1024 facts
+    // (the in-match poll in EmitHead covers the long tails).
+    Status s = governor_.Poll();
+    if (!s.ok()) return s;
     const std::vector<JoinStep>& plan =
         PlanFor(rule, delta_atom, delta, &plan_scratch_);
     serial_ctx_.binding.assign(rule.num_variables, kUnbound);
     if (!MatchBody(rule, plan, 0, delta_atom, delta, &serial_ctx_)) {
-      return ResourceExhaustedError(
-          StrCat("evaluation exceeded ", options_.max_derived_facts,
-                 " derived facts"));
+      if (!serial_ctx_.abort_status.ok()) return serial_ctx_.abort_status;
+      return ResourceExhaustedError(StrCat("evaluation exceeded ",
+                                           max_facts_, " derived facts"));
     }
     return OkStatus();
   }
@@ -794,6 +821,10 @@ class Evaluator {
         }
       }
       if (tasks.empty()) return OkStatus();
+      // Round-boundary poll (serial, pre-fan-out): a staged round never
+      // starts past the deadline or after cancellation.
+      Status round_status = governor_.Poll();
+      if (!round_status.ok()) return round_status;
       CountRound(group);
       if (stats_ != nullptr) ++stats_->rounds_parallel;
       const DeltaWindow* window = full_round ? nullptr : &delta;
@@ -812,8 +843,7 @@ class Evaluator {
 
       if (contexts.size() < tasks.size()) contexts.resize(tasks.size());
       const std::size_t budget =
-          options_.max_derived_facts -
-          std::min(options_.max_derived_facts, emitted_total_);
+          max_facts_ - std::min(max_facts_, emitted_total_);
       for (std::size_t t = 0; t < tasks.size(); ++t) {
         PrepareTaskContext(&contexts[t], budget);
       }
@@ -822,14 +852,24 @@ class Evaluator {
         const RoundTask& task = tasks[t];
         const CompiledRule& rule = rules_[task.rule];
         MatchContext& ctx = contexts[t];
+        // Task-boundary poll: every worker observes cancellation (or an
+        // injected fault) no later than its next task, and an already
+        // cancelled round skips its remaining tasks cheaply. The result
+        // lands in the per-task context, folded in task order below —
+        // never a data race, never thread-order-dependent stats.
+        ctx.abort_status = governor_.Poll();
+        if (!ctx.abort_status.ok()) return;
         ctx.binding.assign(rule.num_variables, kUnbound);
         // A false return means the task exceeded the whole remaining
-        // emit budget on its own; the deterministic check below turns
-        // that into the ResourceExhausted error.
+        // emit budget on its own (or a mid-match poll failed — see
+        // ctx.abort_status); the deterministic check below turns that
+        // into the right error.
         MatchBody(rule, *plans[t], 0, task.delta_atom, window, &ctx);
       });
 
-      // Fold per-task counters in task order (scheduling-independent).
+      // Fold per-task counters in task order (scheduling-independent) —
+      // unconditionally, so an interrupted round still reports every
+      // task's accumulated work before the error returns.
       for (std::size_t t = 0; t < tasks.size(); ++t) {
         const MatchContext& ctx = contexts[t];
         emitted_total_ += ctx.emitted;
@@ -839,10 +879,17 @@ class Evaluator {
           stats_->tuples_staged += ctx.tuples_staged;
         }
       }
-      if (emitted_total_ > options_.max_derived_facts) {
-        return ResourceExhaustedError(
-            StrCat("evaluation exceeded ", options_.max_derived_facts,
-                   " derived facts"));
+      // Interruption check in task order, after the stat fold: the
+      // round's staged tuples are dropped (the result database is
+      // discarded on error), stats stay consistent.
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (!contexts[t].abort_status.ok()) {
+          return contexts[t].abort_status;
+        }
+      }
+      if (emitted_total_ > max_facts_) {
+        return ResourceExhaustedError(StrCat("evaluation exceeded ",
+                                             max_facts_, " derived facts"));
       }
 
       // Merge phase 1 (parallel): per-shard dedup. A tuple's shard is a
@@ -888,6 +935,7 @@ class Evaluator {
     for (std::vector<int>& rows : ctx->shard_rows) rows.clear();
     ctx->emitted = 0;
     ctx->emit_budget = budget;
+    ctx->abort_status = OkStatus();
     ctx->join_probes = 0;
     ctx->index_probes = 0;
     ctx->tuples_staged = 0;
@@ -957,6 +1005,11 @@ class Evaluator {
   std::size_t emitted_total_ = 0;
   std::size_t derived_total_ = 0;
   std::size_t num_shards_ = 0;
+  // The governed bounds: polls at rule/task/round boundaries and every
+  // 1024 emissions (see EvalOptions::limits).
+  Governor governor_;
+  // options_.limits.max_facts with 0 resolved to the engine default.
+  std::size_t max_facts_ = 0;
 };
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "src/ast/rule.h"
 #include "src/cq/cq.h"
 #include "src/engine/database.h"
+#include "src/util/governor.h"
 
 namespace datalog {
 
@@ -66,8 +67,16 @@ struct EvalOptions {
   /// the shared pool). EvalStats::strata counts the rule groups executed
   /// and EvalStats::rounds_saved the avoided rule-round evaluations.
   bool use_strata = true;
-  /// Abort with ResourceExhausted if more than this many facts are derived.
-  std::size_t max_derived_facts = 50'000'000;
+  /// The governed bounds (src/util/governor.h): deadline, CancelToken,
+  /// fault injection, and the derived-fact cap (`limits.max_facts`,
+  /// resolving 0 to 50M — the pre-governor `max_derived_facts` default).
+  /// Both fixpoints poll the governor at deterministic boundaries: the
+  /// serial engine before every rule evaluation and every 1024 emissions,
+  /// the parallel engine additionally at round starts and task starts —
+  /// so a cancelled run stops within one bounded unit of work and still
+  /// reports consistent EvalStats (counters are folded in task order
+  /// before the error returns).
+  ExecutionLimits limits;
 };
 
 struct EvalStats {

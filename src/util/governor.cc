@@ -1,0 +1,47 @@
+#include "src/util/governor.h"
+
+#include "src/util/strings.h"
+
+namespace datalog {
+
+Status Governor::Poll() {
+  if (limits_.fault != nullptr) {
+    switch (limits_.fault->OnPoll()) {
+      case FaultInjector::Fault::kNone:
+        break;
+      case FaultInjector::Fault::kCancel:
+        // Trip the shared token too, so sibling workers of a parallel
+        // round observe the injected cancellation at their own polls.
+        if (limits_.cancel != nullptr) limits_.cancel->Cancel();
+        return CancelledError(
+            StrCat(procedure_, " cancelled (injected fault)"));
+      case FaultInjector::Fault::kExhaust:
+        return ResourceExhaustedError(
+            StrCat(procedure_, " budget exhausted (injected fault)"));
+      case FaultInjector::Fault::kDeadline:
+        return DeadlineExceededError(
+            StrCat(procedure_, " deadline exceeded (injected fault)"));
+    }
+  }
+  if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
+    return CancelledError(StrCat(procedure_, " cancelled"));
+  }
+  if (limits_.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *limits_.deadline) {
+    return DeadlineExceededError(
+        StrCat(procedure_, " exceeded its deadline"));
+  }
+  return OkStatus();
+}
+
+Status Governor::ChargeSteps(std::uint64_t n) {
+  std::uint64_t total =
+      steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_steps != 0 && total > limits_.max_steps) {
+    return ResourceExhaustedError(StrCat(
+        procedure_, " exceeded its step budget of ", limits_.max_steps));
+  }
+  return Poll();
+}
+
+}  // namespace datalog

@@ -21,6 +21,13 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  // Cooperative interruption (src/util/governor.h): a caller asked the
+  // procedure to stop via a CancelToken...
+  kCancelled = 7,
+  // ...or its wall-clock deadline expired. Distinct from
+  // kResourceExhausted (a size/step budget ran out) so callers can tell
+  // "too big" from "took too long" from "caller gave up".
+  kDeadlineExceeded = 8,
 };
 
 /// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
@@ -62,6 +69,8 @@ Status ResourceExhaustedError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Either a value of type T or an error Status. Dereferencing a non-ok
 /// StatusOr is a fatal error.
@@ -100,5 +109,36 @@ class StatusOr {
 };
 
 }  // namespace datalog
+
+// Propagates a non-OK Status out of the enclosing function. `expr` is
+// evaluated exactly once.
+//
+//   DATALOG_RETURN_IF_ERROR(writer.Append(instance));
+#define DATALOG_RETURN_IF_ERROR(expr)                        \
+  do {                                                       \
+    ::datalog::Status datalog_status_internal_ = (expr);     \
+    if (!datalog_status_internal_.ok()) {                    \
+      return datalog_status_internal_;                       \
+    }                                                        \
+  } while (false)
+
+// Unwraps a StatusOr<T> into `lhs` (which may declare a new variable) or
+// propagates its error Status out of the enclosing function.
+//
+//   DATALOG_ASSIGN_OR_RETURN(ProgramAlphabet alphabet,
+//                            BuildProgramAlphabet(program, limits));
+#define DATALOG_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DATALOG_ASSIGN_OR_RETURN_IMPL_(            \
+      DATALOG_STATUS_CONCAT_(datalog_statusor_, __LINE__), lhs, rexpr)
+
+#define DATALOG_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                   \
+  if (!statusor.ok()) {                                      \
+    return statusor.status();                                \
+  }                                                          \
+  lhs = std::move(statusor).value()
+
+#define DATALOG_STATUS_CONCAT_(a, b) DATALOG_STATUS_CONCAT_IMPL_(a, b)
+#define DATALOG_STATUS_CONCAT_IMPL_(a, b) a##b
 
 #endif  // DATALOG_EQ_SRC_UTIL_STATUS_H_

@@ -333,9 +333,9 @@ TEST(PtreesIrDifferentialTest, AlphabetsAndAutomataAgreeAcrossArms) {
     const std::string goal =
         programs[p].rules().front().head().predicate();
     StatusOr<PtreesAutomaton> ir_arm =
-        BuildPtreesAutomaton(programs[p], goal, 2'000'000, /*use_ir=*/true);
+        BuildPtreesAutomaton(programs[p], goal, ExecutionLimits(), /*use_ir=*/true);
     StatusOr<PtreesAutomaton> string_arm =
-        BuildPtreesAutomaton(programs[p], goal, 2'000'000, /*use_ir=*/false);
+        BuildPtreesAutomaton(programs[p], goal, ExecutionLimits(), /*use_ir=*/false);
     ASSERT_TRUE(ir_arm.ok() && string_arm.ok()) << "program " << p;
     // Identical alphabets: same symbols in the same order.
     ASSERT_EQ(ir_arm->alphabet.num_labels(),
@@ -385,7 +385,7 @@ TEST(PtreesIrDifferentialTest, LabelLimitAgreesAcrossArms) {
   Program tc = TransitiveClosureProgram("e", "e0");
   for (bool use_ir : {true, false}) {
     StatusOr<ProgramAlphabet> alphabet =
-        BuildProgramAlphabet(tc, 10, use_ir);
+        BuildProgramAlphabet(tc, ExecutionLimits().WithMaxLabels(10), use_ir);
     ASSERT_FALSE(alphabet.ok());
     EXPECT_EQ(alphabet.status().code(), StatusCode::kResourceExhausted);
   }

@@ -351,7 +351,7 @@ TEST(DeciderTest, StateLimitReported) {
   UnionOfCqs top;
   top.Add(MustParseCq("p(X, Y) :- ."));
   ContainmentOptions options;
-  options.max_states = 1;
+  options.limits.max_states = 1;
   StatusOr<ContainmentDecision> decision =
       DecideDatalogInUcq(tc, "p", top, options);
   ASSERT_FALSE(decision.ok());

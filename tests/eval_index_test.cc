@@ -254,7 +254,7 @@ TEST(ParallelEvalTest, DerivedFactLimitStillAborts) {
   }
   EvalOptions options;
   options.num_threads = 4;
-  options.max_derived_facts = 50;
+  options.limits.max_facts = 50;
   StatusOr<Database> result = EvaluateProgram(tc, db, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);

@@ -174,7 +174,7 @@ TEST(EvalTest, FactLimitTriggersResourceExhausted) {
     }
   }
   EvalOptions options;
-  options.max_derived_facts = 10;
+  options.limits.max_facts = 10;
   StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);

@@ -1,0 +1,374 @@
+// Tests for the unified resource governor (src/util/governor.h): unit
+// coverage for CancelToken / FaultInjector / ExecutionLimits / Governor,
+// the new status codes, and the poll-point sweep harness — every
+// governed procedure is run once with a counting injector to learn its
+// poll count P, then re-run P times with a cancel fault fired at each
+// poll in turn, asserting a clean kCancelled Status every time and a
+// baseline-identical result on a fresh post-fault re-run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/containment/decider.h"
+#include "src/containment/linear.h"
+#include "src/containment/theta_automaton.h"
+#include "src/engine/database.h"
+#include "src/engine/eval.h"
+#include "src/util/governor.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace datalog {
+namespace {
+
+// --- status codes ------------------------------------------------------
+
+TEST(GovernorStatusTest, NewCodesNameAndPrint) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  Status cancelled = CancelledError("stopped early");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "CANCELLED: stopped early");
+  Status late = DeadlineExceededError("too slow");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DEADLINE_EXCEEDED: too slow");
+}
+
+// --- token / injector / limits unit coverage ---------------------------
+
+TEST(CancelTokenTest, CancelAndReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnceAtTheNthPoll) {
+  FaultInjector injector(FaultInjector::Fault::kCancel, 3);
+  EXPECT_EQ(injector.OnPoll(), FaultInjector::Fault::kNone);
+  EXPECT_EQ(injector.OnPoll(), FaultInjector::Fault::kNone);
+  EXPECT_EQ(injector.OnPoll(), FaultInjector::Fault::kCancel);
+  EXPECT_EQ(injector.OnPoll(), FaultInjector::Fault::kNone);
+  EXPECT_EQ(injector.polls(), 4u);
+  injector.Reset(FaultInjector::Fault::kExhaust, 1);
+  EXPECT_EQ(injector.polls(), 0u);
+  EXPECT_EQ(injector.OnPoll(), FaultInjector::Fault::kExhaust);
+}
+
+TEST(ExecutionLimitsTest, CapResolversDefaultOnZero) {
+  ExecutionLimits limits;
+  EXPECT_EQ(limits.FactsOr(7), 7u);
+  EXPECT_EQ(limits.StatesOr(9), 9u);
+  limits = limits.WithMaxFacts(3).WithMaxStates(4).WithMaxLabels(5)
+               .WithMaxTransitions(6).WithMaxExplored(8);
+  EXPECT_EQ(limits.FactsOr(7), 3u);
+  EXPECT_EQ(limits.StatesOr(9), 4u);
+  EXPECT_EQ(limits.LabelsOr(9), 5u);
+  EXPECT_EQ(limits.TransitionsOr(9), 6u);
+  EXPECT_EQ(limits.ExploredOr(9), 8u);
+}
+
+TEST(GovernorTest, PollObservesCancelDeadlineAndFaults) {
+  ExecutionLimits free_limits;
+  Governor free_governor(free_limits, "test");
+  EXPECT_TRUE(free_governor.Poll().ok());
+
+  CancelToken token;
+  token.Cancel();
+  ExecutionLimits cancel_limits = ExecutionLimits().WithCancel(&token);
+  Governor cancelled(cancel_limits, "test");
+  EXPECT_EQ(cancelled.Poll().code(), StatusCode::kCancelled);
+
+  ExecutionLimits late_limits = ExecutionLimits().WithDeadline(
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  Governor late(late_limits, "test");
+  EXPECT_EQ(late.Poll().code(), StatusCode::kDeadlineExceeded);
+
+  // An injected cancel fault also trips the shared token.
+  FaultInjector injector(FaultInjector::Fault::kCancel, 1);
+  CancelToken shared;
+  ExecutionLimits fault_limits =
+      ExecutionLimits().WithFault(&injector).WithCancel(&shared);
+  Governor faulted(fault_limits, "test");
+  EXPECT_EQ(faulted.Poll().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(shared.cancelled());
+}
+
+TEST(GovernorTest, ChargeStepsEnforcesTheBudget) {
+  ExecutionLimits limits = ExecutionLimits().WithMaxSteps(10);
+  Governor governor(limits, "budgeted procedure");
+  EXPECT_TRUE(governor.ChargeSteps(10).ok());
+  Status over = governor.ChargeSteps(1);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(over.message().find("budgeted procedure"), std::string::npos);
+  EXPECT_EQ(governor.steps(), 11u);
+}
+
+TEST(FaultInjectorTest, ReaderFaultsMutateTheImage) {
+  FaultInjector injector;
+  std::string bytes = "abcdef";
+  injector.ApplyReaderFaults(&bytes);
+  EXPECT_EQ(bytes, "abcdef");  // unconfigured: no-op
+  injector.TruncateReadsTo(4);
+  injector.ApplyReaderFaults(&bytes);
+  EXPECT_EQ(bytes, "abcd");
+  FaultInjector flipper;
+  flipper.FlipByteAt(0);
+  std::string flipped = "abcd";
+  flipper.ApplyReaderFaults(&flipped);
+  EXPECT_EQ(flipped[0], static_cast<char>(~'a'));
+  EXPECT_EQ(flipped.substr(1), "bcd");
+}
+
+// --- the poll-point sweep harness --------------------------------------
+
+// Runs `workload` once with a counting injector to learn its poll count,
+// then fires a cancel fault at every poll in [1, P] and requires a clean
+// kCancelled Status each time; finally re-runs unfaulted and requires
+// the baseline fingerprint, byte for byte.
+void SweepPollPoints(
+    const std::function<StatusOr<std::string>(const ExecutionLimits&)>&
+        workload) {
+  FaultInjector counter;
+  ExecutionLimits counting = ExecutionLimits().WithFault(&counter);
+  StatusOr<std::string> baseline = workload(counting);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  const std::uint64_t polls = counter.polls();
+  ASSERT_GT(polls, 0u) << "workload never polled its governor";
+
+  FaultInjector injector;
+  CancelToken token;
+  for (std::uint64_t n = 1; n <= polls; ++n) {
+    injector.Reset(FaultInjector::Fault::kCancel, n);
+    token.Reset();
+    ExecutionLimits faulted =
+        ExecutionLimits().WithFault(&injector).WithCancel(&token);
+    StatusOr<std::string> result = workload(faulted);
+    ASSERT_FALSE(result.ok())
+        << "fault at poll " << n << " of " << polls << " was swallowed";
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << "poll " << n << ": " << result.status();
+    EXPECT_TRUE(token.cancelled()) << "poll " << n;
+  }
+
+  StatusOr<std::string> rerun = workload(ExecutionLimits());
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_EQ(*rerun, *baseline);
+}
+
+Database ChainDb(int length) {
+  Database db;
+  for (int i = 0; i < length; ++i) {
+    db.AddFact("e", {StrCat("n", i), StrCat("n", i + 1)});
+  }
+  return db;
+}
+
+std::string RelationFingerprint(const Relation& relation) {
+  std::string out;
+  for (const Tuple& tuple : relation.SortedTuples()) {
+    for (int value : tuple) out += StrCat(value, ",");
+    out += ";";
+  }
+  return out;
+}
+
+TEST(GovernorSweepTest, SerialEngineFixpoint) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database db = ChainDb(6);
+  SweepPollPoints([&](const ExecutionLimits& limits) -> StatusOr<std::string> {
+    EvalOptions options;
+    options.limits = limits;
+    StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
+    if (!result.ok()) return result.status();
+    return RelationFingerprint(*result);
+  });
+}
+
+TEST(GovernorSweepTest, PtreesDecider) {
+  // Recursive and contained: the decider runs its absorption fixpoint to
+  // convergence, polling per round, per instance, and per combine tick.
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(Y, X).
+  )");
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  theta.Add(MustParseCq("q(X, Y) :- e(Y, X)."));
+  SweepPollPoints([&](const ExecutionLimits& limits) -> StatusOr<std::string> {
+    ContainmentOptions options;
+    options.limits = limits;
+    StatusOr<ContainmentDecision> decision =
+        DecideDatalogInUcq(program, "p", theta, options);
+    if (!decision.ok()) return decision.status();
+    return std::string(decision->contained ? "contained" : "refuted");
+  });
+}
+
+TEST(GovernorSweepTest, LinearWordAutomatonArm) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  theta.Add(MustParseCq("q(X, Y) :- e(X, Z), e(Z, Y)."));
+  SweepPollPoints([&](const ExecutionLimits& limits) -> StatusOr<std::string> {
+    LinearContainmentOptions options;
+    options.limits = limits;
+    StatusOr<LinearContainmentResult> result =
+        DecideLinearDatalogInUcq(program, "p", theta, options);
+    if (!result.ok()) return result.status();
+    return std::string(result->contained ? "contained" : "refuted");
+  });
+}
+
+TEST(GovernorSweepTest, ExplicitAutomataPipeline) {
+  // Covers the alphabet enumeration, ptrees construction, theta
+  // construction, and NFTA containment poll sites in one workload.
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(Y, X).
+  )");
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  theta.Add(MustParseCq("q(X, Y) :- e(Y, X)."));
+  SweepPollPoints([&](const ExecutionLimits& limits) -> StatusOr<std::string> {
+    StatusOr<ExplicitContainmentResult> result =
+        DecideContainmentViaExplicitAutomata(program, "p", theta, limits);
+    if (!result.ok()) return result.status();
+    return std::string(result->contained ? "contained" : "refuted");
+  });
+}
+
+// --- deadlines and budgets through real procedures ---------------------
+
+TEST(GovernorIntegrationTest, ExpiredDeadlineStopsTheEngine) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database db = ChainDb(6);
+  EvalOptions options;
+  options.limits = ExecutionLimits().WithDeadline(
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EvalStats stats;
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernorIntegrationTest, StepBudgetStopsTheEngine) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  // The engine charges the budget in 1024-emission chunks, so the
+  // workload must emit more than one chunk: a 64-chain's transitive
+  // closure derives 64*65/2 = 2080 facts.
+  Database db = ChainDb(64);
+  EvalOptions options;
+  options.limits = ExecutionLimits().WithMaxSteps(5);
+  StatusOr<Relation> result = EvaluateGoal(tc, "p", db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorIntegrationTest, DeciderReportsPartialStatsOnCancellation) {
+  Program program = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(Y, X).
+  )");
+  UnionOfCqs theta;
+  theta.Add(MustParseCq("q(X, Y) :- e(X, Y)."));
+  theta.Add(MustParseCq("q(X, Y) :- e(Y, X)."));
+
+  ContainmentStats full_stats;
+  ContainmentOptions options;
+  options.partial_stats = &full_stats;
+  StatusOr<ContainmentDecision> clean =
+      DecideDatalogInUcq(program, "p", theta, options);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // Cancel partway: the partial stats must be consistent (no torn
+  // counters — bounded by the clean run's totals).
+  FaultInjector injector(FaultInjector::Fault::kCancel, 2);
+  ContainmentStats partial_stats;
+  ContainmentOptions faulted;
+  faulted.partial_stats = &partial_stats;
+  faulted.limits = ExecutionLimits().WithFault(&injector);
+  StatusOr<ContainmentDecision> cancelled =
+      DecideDatalogInUcq(program, "p", theta, faulted);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_LE(partial_stats.goals_discovered, full_stats.goals_discovered);
+  EXPECT_LE(partial_stats.states_discovered, full_stats.states_discovered);
+  EXPECT_LE(partial_stats.combine_calls, full_stats.combine_calls);
+}
+
+// --- parallel cancellation ---------------------------------------------
+
+TEST(GovernorParallelTest, CancelsCleanlyAtEveryPollPoint) {
+  Program tc = MustParseProgram(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+  )");
+  Database db = ChainDb(10);
+  StatusOr<Relation> serial = EvaluateGoal(tc, "p", db);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(StrCat("threads=", threads));
+    EvalOptions parallel;
+    parallel.num_threads = threads;
+
+    FaultInjector counter;
+    EvalOptions counting = parallel;
+    counting.limits = ExecutionLimits().WithFault(&counter);
+    EvalStats clean_stats;
+    StatusOr<Relation> clean =
+        EvaluateGoal(tc, "p", db, counting, &clean_stats);
+    ASSERT_TRUE(clean.ok()) << clean.status();
+    EXPECT_EQ(*clean, *serial);
+    const std::uint64_t polls = counter.polls();
+    ASSERT_GT(polls, 0u);
+
+    FaultInjector injector;
+    CancelToken token;
+    for (std::uint64_t n = 1; n <= polls; ++n) {
+      injector.Reset(FaultInjector::Fault::kCancel, n);
+      token.Reset();
+      EvalOptions faulted = parallel;
+      faulted.limits =
+          ExecutionLimits().WithFault(&injector).WithCancel(&token);
+      EvalStats stats;
+      StatusOr<Relation> result =
+          EvaluateGoal(tc, "p", db, faulted, &stats);
+      ASSERT_FALSE(result.ok()) << "poll " << n << " of " << polls;
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << "poll " << n << ": " << result.status();
+      EXPECT_TRUE(token.cancelled()) << "poll " << n;
+      // Consistent partial stats: never more work than a full clean run.
+      EXPECT_LE(stats.facts_derived, clean_stats.facts_derived)
+          << "poll " << n;
+    }
+
+    // A fresh post-fault run matches the serial result row for row.
+    StatusOr<Relation> rerun = EvaluateGoal(tc, "p", db, parallel);
+    ASSERT_TRUE(rerun.ok()) << rerun.status();
+    EXPECT_EQ(RelationFingerprint(*rerun), RelationFingerprint(*serial));
+  }
+}
+
+}  // namespace
+}  // namespace datalog

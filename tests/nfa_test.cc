@@ -202,7 +202,7 @@ TEST(NfaTest, ResourceLimitOnContainment) {
   Nfa a = RandomNfa(rng, 8, 2, 0.4);
   Nfa b = RandomNfa(rng, 8, 2, 0.4);
   Nfa::ContainmentOptions options;
-  options.max_explored = 1;
+  options.limits.max_explored = 1;
   options.antichain = false;
   auto result = Nfa::Contains(a, b, options);
   // Either it found a violation within the first pair, or it hit the cap.

@@ -115,7 +115,7 @@ TEST_P(ContainmentPropertyTest, AllDecisionPathsAgreeAndVerdictsHold) {
   // Path 2: exact (no antichain) mode.
   ContainmentOptions exact_options;
   exact_options.antichain = false;
-  exact_options.max_states = 200'000;
+  exact_options.limits.max_states = 200'000;
   StatusOr<ContainmentDecision> exact =
       DecideDatalogInUcq(program, "p", theta, exact_options);
   if (exact.ok()) {
@@ -133,7 +133,7 @@ TEST_P(ContainmentPropertyTest, AllDecisionPathsAgreeAndVerdictsHold) {
   }
 
   // Path 4: explicit automata pipeline (Theorem 5.11), within limits.
-  ThetaAutomatonLimits limits;
+  ExecutionLimits limits;
   limits.max_states = 40'000;
   limits.max_transitions = 400'000;
   StatusOr<ExplicitContainmentResult> explicit_result =

@@ -357,10 +357,10 @@ TEST(LinearPruneTest, PruningAdmitsNonlinearUnreachablePart) {
 TEST(PtreesPruneTest, PruningShrinksPtreesAlphabet) {
   Program program = TcWithJunk();
   StatusOr<PtreesAutomaton> pruned = BuildPtreesAutomaton(
-      program, "p", /*max_labels=*/2'000'000, /*use_ir=*/true,
+      program, "p", ExecutionLimits(), /*use_ir=*/true,
       /*prune_unreachable=*/true);
   StatusOr<PtreesAutomaton> full = BuildPtreesAutomaton(
-      program, "p", /*max_labels=*/2'000'000, /*use_ir=*/true,
+      program, "p", ExecutionLimits(), /*use_ir=*/true,
       /*prune_unreachable=*/false);
   ASSERT_TRUE(pruned.ok()) << pruned.status();
   ASSERT_TRUE(full.ok()) << full.status();

@@ -21,7 +21,7 @@ TEST(ProgramAlphabetTest, SizeIsExponentialInRuleVariables) {
 }
 
 TEST(ProgramAlphabetTest, LabelLimitEnforced) {
-  StatusOr<ProgramAlphabet> alphabet = BuildProgramAlphabet(SmallTc(), 10);
+  StatusOr<ProgramAlphabet> alphabet = BuildProgramAlphabet(SmallTc(), ExecutionLimits().WithMaxLabels(10));
   ASSERT_FALSE(alphabet.ok());
   EXPECT_EQ(alphabet.status().code(), StatusCode::kResourceExhausted);
 }
@@ -131,7 +131,7 @@ TEST(PtreesAutomatonTest, InternedArmDecodesLabelsAndStatesLazily) {
   // The lazy views agree with the eager string arm, whose counters stay
   // zero no matter how many views are taken.
   StatusOr<PtreesAutomaton> eager =
-      BuildPtreesAutomaton(tc, "p", 2'000'000, /*use_ir=*/false);
+      BuildPtreesAutomaton(tc, "p", ExecutionLimits(), /*use_ir=*/false);
   ASSERT_TRUE(eager.ok());
   EXPECT_EQ(label.ToString(), eager->alphabet.Label(7).ToString());
   EXPECT_EQ(state.ToString(), eager->StateAtom(3).ToString());

@@ -63,7 +63,7 @@ void CheckReduction(const TuringMachine& tm, bool expect_contained) {
       << "test machine's simulator verdict disagrees with expectation";
   TmEncoding encoding = MustEncode(tm, 1);
   ContainmentOptions options;
-  options.max_states = 2'000'000;
+  options.limits.max_states = 2'000'000;
   StatusOr<ContainmentDecision> decision = DecideDatalogInUcq(
       encoding.program, encoding.goal, encoding.queries, options);
   ASSERT_TRUE(decision.ok()) << decision.status();

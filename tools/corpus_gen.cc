@@ -1,11 +1,15 @@
 // corpus_gen: generate a seeded, reproducible containment corpus and
 // write it in the binary corpus format (src/corpus/format.h).
 //
-// Usage: corpus_gen --out=FILE [--seed=N] [--count=N] [--golden]
+// Usage: corpus_gen --out=FILE [--seed=N] [--count=N] [--weight-tm=N]
+//                   [--golden]
 //
-// The same seed and count always produce a byte-identical file (the
-// CI corpus-smoke job pins this with cmp). --golden ignores seed and
-// count and writes the small fixed GoldenCorpus instead.
+// The same flags always produce a byte-identical file (the CI
+// corpus-smoke job pins this with cmp). --weight-tm enables the
+// adversarial §5.3 Turing-machine reduction family (weight 0 by
+// default, so corpora generated without the flag are unchanged).
+// --golden ignores the other generation flags and writes the small
+// fixed GoldenCorpus instead.
 //
 // Exit status: 0 on success, 2 on usage or I/O failure.
 #include <cstdint>
@@ -20,8 +24,8 @@
 namespace {
 
 int Usage() {
-  std::cerr
-      << "usage: corpus_gen --out=FILE [--seed=N] [--count=N] [--golden]\n";
+  std::cerr << "usage: corpus_gen --out=FILE [--seed=N] [--count=N] "
+               "[--weight-tm=N] [--golden]\n";
   return 2;
 }
 
@@ -52,6 +56,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--count=", 0) == 0) {
       if (!ParseU64(arg.substr(8), &value)) return Usage();
       options.count = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--weight-tm=", 0) == 0) {
+      if (!ParseU64(arg.substr(12), &value)) return Usage();
+      options.weight_tm = static_cast<int>(value);
     } else if (arg == "--golden") {
       golden = true;
     } else {

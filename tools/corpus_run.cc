@@ -2,6 +2,8 @@
 // over a binary corpus and write one certificate file per stage.
 //
 // Usage: corpus_run --corpus=FILE --out-dir=DIR [--threads=N]
+//                   [--deadline-ms=MS] [--max-steps=N]
+//                   [--instance-deadline-ms=MS]
 //
 // Writes DIR/stage-<name>.certs (lint, forward, linear, unfold,
 // ptrees; a stage that emitted nothing still writes its header-only
@@ -9,9 +11,22 @@
 // corpus-wide verdict-class tallies. The outputs are deterministic for
 // a fixed corpus regardless of --threads.
 //
-// Exit status: 0 on success, 1 when the pipeline reports an error
-// (engine failure or a stage disagreement — the differential signal),
-// 2 on usage or I/O failure.
+// --deadline-ms bounds the whole run on the wall clock. --max-steps is
+// inherited by every governed procedure the pipeline spawns (each
+// instance's engine/decider run charges its own counter against it), so
+// it caps the largest single unit of work, not the run's total.
+// --instance-deadline-ms bounds each instance, and an instance that
+// exceeds it leaves the pipeline with a `timeout` certificate instead
+// of aborting the run.
+//
+// Exit status:
+//   0  success, no instance timed out
+//   1  pipeline error (engine failure or stage disagreement)
+//   2  usage or I/O failure
+//   3  success, but at least one instance timed out
+//   4  run cancelled (kCancelled)
+//   5  run-wide deadline or step budget exhausted (kDeadlineExceeded /
+//      kResourceExhausted from the run-wide governor)
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -26,9 +41,20 @@
 namespace {
 
 int Usage() {
-  std::cerr
-      << "usage: corpus_run --corpus=FILE --out-dir=DIR [--threads=N]\n";
+  std::cerr << "usage: corpus_run --corpus=FILE --out-dir=DIR [--threads=N]\n"
+            << "                  [--deadline-ms=MS] [--max-steps=N]\n"
+            << "                  [--instance-deadline-ms=MS]\n";
   return 2;
+}
+
+bool ParseU64(const std::string& arg, std::size_t prefix,
+              std::uint64_t* value) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(arg.c_str() + prefix, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  *value = static_cast<std::uint64_t>(parsed);
+  return true;
 }
 
 }  // namespace
@@ -39,16 +65,24 @@ int main(int argc, char** argv) {
   datalog::corpus::PipelineOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    std::uint64_t value = 0;
     if (arg.rfind("--corpus=", 0) == 0) {
       corpus_path = arg.substr(9);
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(10);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      char* end = nullptr;
-      errno = 0;
-      unsigned long long threads = std::strtoull(arg.c_str() + 10, &end, 10);
-      if (errno != 0 || *end != '\0') return Usage();
-      options.threads = static_cast<std::size_t>(threads);
+      if (!ParseU64(arg, 10, &value)) return Usage();
+      options.threads = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseU64(arg, 14, &value)) return Usage();
+      options.limits =
+          options.limits.WithDeadlineIn(static_cast<std::int64_t>(value));
+    } else if (arg.rfind("--max-steps=", 0) == 0) {
+      if (!ParseU64(arg, 12, &value)) return Usage();
+      options.limits = options.limits.WithMaxSteps(value);
+    } else if (arg.rfind("--instance-deadline-ms=", 0) == 0) {
+      if (!ParseU64(arg, 23, &value)) return Usage();
+      options.instance_deadline_ms = value;
     } else {
       return Usage();
     }
@@ -72,7 +106,15 @@ int main(int argc, char** argv) {
       datalog::corpus::RunCorpusPipeline(*instances, options);
   if (!result.ok()) {
     std::cerr << "corpus_run: " << result.status().ToString() << "\n";
-    return 1;
+    switch (result.status().code()) {
+      case datalog::StatusCode::kCancelled:
+        return 4;
+      case datalog::StatusCode::kDeadlineExceeded:
+      case datalog::StatusCode::kResourceExhausted:
+        return 5;
+      default:
+        return 1;
+    }
   }
 
   for (const datalog::corpus::StageReport& stage : result->stages) {
@@ -96,6 +138,7 @@ int main(int argc, char** argv) {
             << " forward-only=" << result->forward_only
             << " backward-only=" << result->backward_only
             << " incomparable=" << result->incomparable
-            << " invalid=" << result->invalid << "\n";
-  return 0;
+            << " invalid=" << result->invalid
+            << " timed-out=" << result->timed_out << "\n";
+  return result->timed_out > 0 ? 3 : 0;
 }

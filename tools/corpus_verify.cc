@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   std::cout << "corpus_verify: " << report->certificates_checked
             << " certificates verified over " << instances->size()
             << " instances (invalid=" << report->invalid_instances
+            << " timed-out=" << report->timed_out_instances
             << " forward-covered=" << report->forward_covered
             << " backward-covered=" << report->backward_covered << ")\n";
   return 0;
